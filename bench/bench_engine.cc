@@ -1,0 +1,126 @@
+// E12 - engine micro-benchmarks (google-benchmark): the kernels every
+// experiment above is built on.
+#include <benchmark/benchmark.h>
+
+#include "analysis/ac.h"
+#include "analysis/noise.h"
+#include "analysis/op.h"
+#include "analysis/transient.h"
+#include "circuit/netlist.h"
+#include "core/mic_amp.h"
+#include "devices/passive.h"
+#include "devices/sources.h"
+#include "numeric/lu.h"
+#include "numeric/rng.h"
+#include "process/process.h"
+
+namespace {
+
+using namespace msim;
+
+void BM_LuFactorSolve(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  num::Rng rng(1);
+  num::RealMatrix a(n, n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c) a(r, c) = rng.normal();
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += double(n);
+  num::RealVector b(n, 1.0);
+  for (auto _ : state) {
+    num::RealLu lu(a);
+    benchmark::DoNotOptimize(lu.solve(b));
+  }
+}
+BENCHMARK(BM_LuFactorSolve)->Arg(16)->Arg(64)->Arg(128);
+
+struct MicFixture {
+  ckt::Netlist nl;
+  core::MicAmp mic;
+  MicFixture() {
+    const auto nvdd = nl.node("vdd");
+    const auto nvss = nl.node("vss");
+    const auto inp = nl.node("inp");
+    const auto inn = nl.node("inn");
+    nl.add<dev::VSource>("Vdd", nvdd, ckt::kGround, 1.3);
+    nl.add<dev::VSource>("Vss", nvss, ckt::kGround, -1.3);
+    nl.add<dev::VSource>("Vinp", inp, ckt::kGround,
+                         dev::Waveform::dc(0.0).with_ac(0.5));
+    nl.add<dev::VSource>("Vinn", inn, ckt::kGround,
+                         dev::Waveform::dc(0.0).with_ac(-0.5));
+    mic = core::build_mic_amp(nl, proc::ProcessModel::cmos12(), {}, nvdd,
+                              nvss, ckt::kGround, inp, inn);
+  }
+};
+
+void BM_MicAmpOperatingPoint(benchmark::State& state) {
+  MicFixture f;
+  for (auto _ : state) {
+    auto op = an::solve_op(f.nl);
+    benchmark::DoNotOptimize(op.converged);
+  }
+}
+BENCHMARK(BM_MicAmpOperatingPoint);
+
+void BM_MicAmpAcPoint(benchmark::State& state) {
+  MicFixture f;
+  an::solve_op(f.nl);
+  for (auto _ : state) {
+    auto r = an::run_ac(f.nl, {1e3});
+    benchmark::DoNotOptimize(r.solutions.size());
+  }
+}
+BENCHMARK(BM_MicAmpAcPoint);
+
+void BM_MicAmpNoisePoint(benchmark::State& state) {
+  MicFixture f;
+  an::solve_op(f.nl);
+  an::NoiseOptions opt;
+  opt.out_p = f.mic.outp;
+  opt.out_n = f.mic.outn;
+  opt.input_source = "Vinp";
+  for (auto _ : state) {
+    auto r = an::run_noise(f.nl, {1e3}, opt);
+    benchmark::DoNotOptimize(r.points.size());
+  }
+}
+BENCHMARK(BM_MicAmpNoisePoint);
+
+void BM_MicAmpTransientMs(benchmark::State& state) {
+  MicFixture f;
+  f.nl.find_as<dev::VSource>("Vinp")->set_waveform(
+      dev::Waveform::sine(0.0, 1e-3, 1e3));
+  f.nl.find_as<dev::VSource>("Vinn")->set_waveform(
+      dev::Waveform::sine(0.0, -1e-3, 1e3));
+  an::TranOptions t;
+  t.t_stop = 1e-3;
+  t.dt = 2e-6;
+  t.record = false;
+  for (auto _ : state) {
+    auto r = an::run_transient(f.nl, t);
+    benchmark::DoNotOptimize(r.ok);
+  }
+}
+BENCHMARK(BM_MicAmpTransientMs);
+
+void BM_RcTransient10k(benchmark::State& state) {
+  ckt::Netlist nl;
+  const auto in = nl.node("in");
+  const auto out = nl.node("out");
+  nl.add<dev::VSource>("V1", in, ckt::kGround,
+                       dev::Waveform::sine(0.0, 1.0, 1e3));
+  nl.add<dev::Resistor>("R1", in, out, 1e3);
+  nl.add<dev::Capacitor>("C1", out, ckt::kGround, 100e-9);
+  an::TranOptions t;
+  t.t_stop = 10e-3;
+  t.dt = 1e-6;
+  t.record = false;
+  for (auto _ : state) {
+    auto r = an::run_transient(nl, t);
+    benchmark::DoNotOptimize(r.ok);
+  }
+}
+BENCHMARK(BM_RcTransient10k);
+
+}  // namespace
+
+BENCHMARK_MAIN();

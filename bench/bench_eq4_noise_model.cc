@@ -1,0 +1,71 @@
+// E8 - Equation (4): the closed-loop noise model of the PGA.
+//
+// Compares the paper's analytic output-noise expression against the full
+// adjoint noise analysis for every gain code.  Req (the amplifier
+// equivalent input noise resistance) is extracted once from the
+// simulated amplifier floor, exactly as a designer would calibrate
+// Eq. (4) from a measurement.
+#include "bench_util.h"
+#include "core/design_equations.h"
+
+using namespace bench;
+
+int main() {
+  header("Eq. (4): closed-loop noise model vs simulation (thermal floor)");
+
+  auto rig = make_mic_rig();
+  core::MicAmpDesign d;
+  const double t_k = num::celsius_to_kelvin(25.0);
+
+  // Extract Req from the simulated floor at 40 dB (highest gain: the
+  // network contribution is smallest there).
+  rig->mic.set_gain_code(5);
+  if (!an::solve_op(rig->nl).converged) return 1;
+  an::NoiseOptions nopt;
+  nopt.out_p = rig->mic.outp;
+  nopt.out_n = rig->mic.outn;
+  nopt.input_source = "Vinp";
+  nopt.temp_k = t_k;
+  const auto base = an::run_noise(rig->nl, {20e3}, nopt);
+  const double s_floor = base.points[0].s_in;  // thermal-dominated
+  // Invert Eq. (4) at code 5 for Req.
+  const double acl5 = rig->mic.acl[5];
+  const double ra5 = d.r_string_total / acl5;
+  const double rf5 = d.r_string_total - ra5;
+  const double kT2 = 2.0 * num::kBoltzmann * t_k;
+  const double net5 =
+      core::eq4_closed_loop_noise(t_k, acl5, ra5, rf5, 0.0, d.r_switch_on);
+  const double req =
+      (s_floor * acl5 * acl5 - net5) /
+      (kT2 * (1.0 + acl5) * (1.0 + acl5));
+  std::printf("  extracted Req = %.0f ohm\n\n", req);
+
+  std::printf("  %-6s %-22s %-22s %-8s\n", "code",
+              "Eq.(4) in-ref [nV/rtHz]", "simulated [nV/rtHz]", "ratio");
+  bool all_ok = true;
+  for (int code = 0; code < core::kMicGainCodes; ++code) {
+    rig->mic.set_gain_code(code);
+    if (!an::solve_op(rig->nl).converged) return 1;
+    const auto res = an::run_noise(rig->nl, {20e3}, nopt);
+    const double sim_nv = std::sqrt(res.points[0].s_in) * 1e9;
+    const double acl = rig->mic.acl[static_cast<std::size_t>(code)];
+    const double ra = d.r_string_total / acl;
+    const double rf = d.r_string_total - ra;
+    const double eq_nv = core::eq4_input_referred_density(
+                             t_k, acl, ra, rf, req, d.r_switch_on) *
+                         1e9;
+    const double ratio = sim_nv / eq_nv;
+    std::printf("  %-6d %-22.2f %-22.2f %-8.3f\n", code, eq_nv, sim_nv,
+                ratio);
+    if (ratio < 0.7 || ratio > 1.4) all_ok = false;
+  }
+  row("Eq.(4) vs simulation", "model tracks measurement",
+      all_ok ? "within 40 % at all codes" : "deviates", all_ok);
+
+  // Eq. (5) anchor: the switch contribution alone.
+  const double sw_nv =
+      std::sqrt(core::eq5_switch_noise(t_k, 60.0, 80e-6, 1.3)) * 1e9;
+  row("Eq.(5) switch noise (W/L=60, Veff=1.3)", "sqrt(4kT Ron)",
+      fmt("%.2f nV/rtHz", sw_nv), sw_nv > 0.5 && sw_nv < 3.0);
+  return 0;
+}

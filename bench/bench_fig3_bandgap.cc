@@ -1,0 +1,92 @@
+// E6 - Figure 3 and Sec. 2.1 claims: the fully differential bandgap.
+//
+// Regenerates: Vref(T) over -20..85 C (the TC parabola), the box-method
+// temperature coefficient against the +-40 ppm/C bound, the +-0.6 V
+// symmetric outputs, 2.6 V operation and the audio-band output noise
+// against the 200 nV/rtHz bound.
+#include "bench_util.h"
+
+using namespace bench;
+
+int main() {
+  header("Figure 3 / Sec 2.1: fully differential bandgap reference");
+
+  ckt::Netlist nl;
+  const auto nvdd = nl.node("vdd");
+  const auto nvss = nl.node("vss");
+  auto* vdd_src = nl.add<dev::VSource>("Vdd", nvdd, ckt::kGround, 1.3);
+  auto* vss_src = nl.add<dev::VSource>("Vss", nvss, ckt::kGround, -1.3);
+  const auto pm = proc::ProcessModel::cmos12();
+  const auto bg = core::build_bandgap(nl, pm, core::BandgapDesign{}, nvdd,
+                                      nvss, ckt::kGround);
+
+  // --- Vref(T) ------------------------------------------------------------
+  std::vector<double> temps;
+  for (double tc = -20.0; tc <= 85.0; tc += 7.5)
+    temps.push_back(num::celsius_to_kelvin(tc));
+  const auto sweep = an::temperature_sweep(nl, temps, an::OpOptions{});
+  std::printf("  %-10s %-12s %-12s %-12s\n", "T [C]", "vref_p [V]",
+              "vref_n [V]", "diff [V]");
+  double vmin = 1e9, vmax = -1e9, vnom = 0.0;
+  for (const auto& pt : sweep) {
+    if (!pt.op.converged) {
+      std::printf("  OP failed at T=%.1f\n", pt.value);
+      return 1;
+    }
+    const double vp = pt.op.v(bg.vref_p);
+    const double vn = pt.op.v(bg.vref_n);
+    std::printf("  %-10.1f %-12.5f %-12.5f %-12.5f\n",
+                pt.value - 273.15, vp, vn, vp - vn);
+    vmin = std::min(vmin, vp - vn);
+    vmax = std::max(vmax, vp - vn);
+    if (std::abs(pt.value - 300.15) < 4.0) vnom = vp - vn;
+  }
+  const double tc_ppm =
+      (vmax - vmin) / vnom / (temps.back() - temps.front()) * 1e6;
+  row("TC (box, -20..85 C)", "< +-40 ppm/C", fmt("%.1f ppm/C", tc_ppm),
+      tc_ppm < 40.0);
+
+  // --- symmetric outputs / supply -------------------------------------------
+  const auto op = an::solve_op(nl);
+  row("outputs", "+-0.6 V about agnd",
+      fmt("%+.3f / ", op.v(bg.vref_p)) + fmt("%+.3f V", op.v(bg.vref_n)),
+      std::abs(op.v(bg.vref_p) - 0.6) < 0.05 &&
+          std::abs(op.v(bg.vref_n) + 0.6) < 0.05);
+
+  {
+    an::OpOptions opt;
+    auto s2 = an::dc_sweep(
+        nl, {3.0, 2.8, 2.6},
+        [&](double v) {
+          vdd_src->set_waveform(dev::Waveform::dc(v / 2.0));
+          vss_src->set_waveform(dev::Waveform::dc(-v / 2.0));
+        },
+        opt);
+    const bool ok = s2.back().op.converged &&
+                    std::abs(s2.back().op.v(bg.vref_p) -
+                             s2.front().op.v(bg.vref_p)) < 0.01;
+    row("V_sup operation", "down to 2.6 V",
+        ok ? "2.6 V ok" : "degrades", ok);
+    vdd_src->set_waveform(dev::Waveform::dc(1.3));
+    vss_src->set_waveform(dev::Waveform::dc(-1.3));
+    an::solve_op(nl);
+  }
+
+  // --- noise ------------------------------------------------------------------
+  an::NoiseOptions nopt;
+  nopt.out_p = bg.vref_p;
+  nopt.out_n = bg.vref_n;
+  const auto freqs = an::log_frequencies(100.0, 10e3, 15);
+  const auto noise = an::run_noise(nl, freqs, nopt);
+  std::printf("\n  output noise density:\n  %-12s %-16s\n", "f [Hz]",
+              "nV/rtHz");
+  for (const auto& p : noise.points)
+    if (p.freq_hz >= 280.0 || p.freq_hz <= 110.0)
+      std::printf("  %-12.1f %-16.1f\n", p.freq_hz,
+                  std::sqrt(p.s_out) * 1e9);
+  const double avg =
+      std::sqrt(noise.integrate_output(300.0, 3400.0) / 3100.0) * 1e9;
+  row("avg noise (voice band)", "< 200 nV/rtHz", fmt("%.1f nV/rtHz", avg),
+      avg < 200.0);
+  return 0;
+}

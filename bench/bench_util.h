@@ -1,0 +1,127 @@
+// Shared helpers for the reproduction benches: standard rigs for the
+// paper's circuits and a paper-vs-measured table printer.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "analysis/ac.h"
+#include "analysis/noise.h"
+#include "analysis/op.h"
+#include "analysis/sweep.h"
+#include "analysis/transient.h"
+#include "circuit/netlist.h"
+#include "core/bandgap.h"
+#include "core/bias.h"
+#include "core/class_ab_driver.h"
+#include "core/mic_amp.h"
+#include "devices/passive.h"
+#include "devices/sources.h"
+#include "numeric/units.h"
+#include "signal/meter.h"
+
+namespace bench {
+
+using namespace msim;
+
+inline void header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void row(const std::string& name, const std::string& paper,
+                const std::string& measured, bool ok) {
+  std::printf("  %-34s paper: %-18s measured: %-18s [%s]\n", name.c_str(),
+              paper.c_str(), measured.c_str(), ok ? "ok" : "DIFF");
+}
+
+inline std::string fmt(const char* f, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, f, v);
+  return buf;
+}
+
+// Microphone-amplifier rig: +-1.3 V rails, differential input sources.
+struct MicRig {
+  ckt::Netlist nl;
+  dev::VSource* vdd_src = nullptr;
+  dev::VSource* vss_src = nullptr;
+  dev::VSource* vinp = nullptr;
+  dev::VSource* vinn = nullptr;
+  core::MicAmp mic;
+};
+
+inline std::unique_ptr<MicRig> make_mic_rig(
+    const core::MicAmpDesign& d = {},
+    const proc::ProcessModel& pm = proc::ProcessModel::cmos12()) {
+  auto r = std::make_unique<MicRig>();
+  const auto nvdd = r->nl.node("vdd");
+  const auto nvss = r->nl.node("vss");
+  const auto inp = r->nl.node("inp");
+  const auto inn = r->nl.node("inn");
+  r->vdd_src = r->nl.add<dev::VSource>("Vdd", nvdd, ckt::kGround, 1.3);
+  r->vss_src = r->nl.add<dev::VSource>("Vss", nvss, ckt::kGround, -1.3);
+  r->vinp = r->nl.add<dev::VSource>(
+      "Vinp", inp, ckt::kGround, dev::Waveform::dc(0.0).with_ac(0.5));
+  r->vinn = r->nl.add<dev::VSource>(
+      "Vinn", inn, ckt::kGround, dev::Waveform::dc(0.0).with_ac(-0.5));
+  r->mic = core::build_mic_amp(r->nl, pm, d, nvdd, nvss, ckt::kGround,
+                               inp, inn);
+  return r;
+}
+
+// Driver rig in the Fig. 9 inverting connection with a 50 ohm load.
+struct DrvRig {
+  ckt::Netlist nl;
+  dev::VSource* vdd_src = nullptr;
+  dev::VSource* vss_src = nullptr;
+  dev::VSource* vsp = nullptr;
+  dev::VSource* vsn = nullptr;
+  core::ClassAbDriver drv;
+};
+
+inline std::unique_ptr<DrvRig> make_drv_rig(
+    double vsup = 2.6, const core::DriverDesign& d = {},
+    double c_load = 0.0,
+    const proc::ProcessModel& pm = proc::ProcessModel::cmos12()) {
+  auto r = std::make_unique<DrvRig>();
+  auto& nl = r->nl;
+  const auto nvdd = nl.node("vdd");
+  const auto nvss = nl.node("vss");
+  const auto src_p = nl.node("src_p");
+  const auto src_n = nl.node("src_n");
+  const auto fb_p = nl.node("fb_p");
+  const auto fb_n = nl.node("fb_n");
+  r->vdd_src = nl.add<dev::VSource>("Vdd", nvdd, ckt::kGround, vsup / 2.0);
+  r->vss_src =
+      nl.add<dev::VSource>("Vss", nvss, ckt::kGround, -vsup / 2.0);
+  r->vsp = nl.add<dev::VSource>("Vsp", src_p, ckt::kGround, 0.0);
+  r->vsn = nl.add<dev::VSource>("Vsn", src_n, ckt::kGround, 0.0);
+  r->drv = core::build_class_ab_driver(nl, pm, d, nvdd, nvss, ckt::kGround,
+                                       fb_p, fb_n);
+  nl.add<dev::Resistor>("Ra1", src_p, fb_n, 20e3);
+  nl.add<dev::Resistor>("Rf1", r->drv.outp, fb_n, 20e3);
+  nl.add<dev::Resistor>("Ra2", src_n, fb_p, 20e3);
+  nl.add<dev::Resistor>("Rf2", r->drv.outn, fb_p, 20e3);
+  nl.add<dev::Resistor>("RL", r->drv.outp, r->drv.outn, 50.0);
+  if (c_load > 0.0)
+    nl.add<dev::Capacitor>("CL", r->drv.outp, r->drv.outn, c_load);
+  return r;
+}
+
+// THD of the driver rig at the given source amplitude (per side).
+inline double drv_thd(DrvRig& r, double vp, double f0 = 1e3) {
+  r.vsp->set_waveform(dev::Waveform::sine(0.0, vp, f0));
+  r.vsn->set_waveform(dev::Waveform::sine(0.0, -vp, f0));
+  an::TranOptions t;
+  t.t_stop = 4e-3;
+  t.dt = 1e-6;
+  t.record_after = 1e-3;
+  const auto res = an::run_transient(r.nl, t);
+  if (!res.ok) return -1.0;
+  const auto w = res.diff_wave(r.drv.outp, r.drv.outn);
+  return sig::measure_harmonics(w, t.dt, f0).thd;
+}
+
+}  // namespace bench

@@ -1,0 +1,89 @@
+// Full transmit-link budget: microphone -> PGA -> sigma-delta A/D.
+//
+// Ties the paper's Eq. (2) together end to end: the PGA's analog noise
+// (from the transistor-level amplifier), the modulator's quantization
+// noise (from the sdm substrate), and the combined link SNR for each
+// gain code.  This is the calculation behind "appropriate signal levels
+// for optimum usage of a S-D A/D converter's dynamic range".
+#include <cmath>
+#include <cstdio>
+
+#include "analysis/ac.h"
+#include "analysis/noise.h"
+#include "analysis/op.h"
+#include "circuit/netlist.h"
+#include "core/mic_amp.h"
+#include "devices/sources.h"
+#include "process/process.h"
+#include "sdm/sdm.h"
+#include "signal/psophometric.h"
+
+using namespace msim;
+
+int main() {
+  // Modulator: 2nd order, OSR 256 over the 4 kHz voice band.
+  sdm::SdmDesign sd;
+  sd.fs_hz = 2.048e6;
+  sdm::SigmaDelta mod(sd);
+  const auto adc = sdm::measure_sdm_snr(mod, 0.5, 1e3, 4e3, 1 << 17);
+  std::printf("A/D alone: %.1f dB SNR (%.1f bits) at -6 dBFS\n\n",
+              adc.snr_db, adc.enob);
+
+  std::printf("%-6s %-12s %-14s %-14s %-14s\n", "code", "gain [dB]",
+              "analog S/N", "quant. S/N", "link S/N [dB]");
+
+  const auto pm = proc::ProcessModel::cmos12();
+  const double v_mic_rms = 6e-3;  // nominal speech at the microphone
+
+  for (int code : {0, 1, 2, 3, 4, 5}) {
+    ckt::Netlist nl;
+    const auto vdd = nl.node("vdd");
+    const auto vss = nl.node("vss");
+    const auto inp = nl.node("inp");
+    const auto inn = nl.node("inn");
+    nl.add<dev::VSource>("Vdd", vdd, ckt::kGround, 1.3);
+    nl.add<dev::VSource>("Vss", vss, ckt::kGround, -1.3);
+    nl.add<dev::VSource>("Vinp", inp, ckt::kGround,
+                         dev::Waveform::dc(0.0).with_ac(0.5));
+    nl.add<dev::VSource>("Vinn", inn, ckt::kGround,
+                         dev::Waveform::dc(0.0).with_ac(-0.5));
+    auto mic = core::build_mic_amp(nl, pm, {}, vdd, vss, ckt::kGround,
+                                   inp, inn);
+    mic.set_gain_code(code);
+    if (!an::solve_op(nl).converged) continue;
+    const auto ac = an::run_ac(nl, {1e3});
+    const double gain = std::abs(ac.vdiff(0, mic.outp, mic.outn));
+    const double v_out_rms = v_mic_rms * gain;
+
+    // Analog (PGA) noise at the modulator input.
+    an::NoiseOptions nopt;
+    nopt.out_p = mic.outp;
+    nopt.out_n = mic.outn;
+    nopt.input_source = "Vinp";
+    const auto freqs = an::log_frequencies(100.0, 20e3, 15);
+    const auto noise = an::run_noise(nl, freqs, nopt);
+    const double analog_n2 = noise.integrate_output(300.0, 3400.0);
+    const double analog_snr =
+        20.0 * std::log10(v_out_rms / std::sqrt(analog_n2));
+
+    // Quantization noise for this signal level (amplitude relative to
+    // the modulator full scale of 1 V).
+    const double a_peak = std::min(v_out_rms * std::sqrt(2.0), 0.9);
+    sdm::SigmaDelta m2(sd);
+    const auto q = sdm::measure_sdm_snr(m2, a_peak, 1e3, 4e3, 1 << 16);
+
+    // Combined: noise powers add.
+    const double link_snr = -10.0 * std::log10(
+        std::pow(10.0, -analog_snr / 10.0) +
+        std::pow(10.0, -q.snr_db / 10.0));
+
+    std::printf("%-6d %-12.1f %-14.1f %-14.1f %-14.1f\n", code,
+                an::to_db(gain), analog_snr, q.snr_db, link_snr);
+  }
+
+  std::printf(
+      "\nreading: at low gain codes the quantizer dominates (signal sits\n"
+      "low in the A/D range); at 40 dB the analog front end dominates -\n"
+      "precisely why Eq. (2) pins the amplifier noise at 5.1 nV/rtHz.\n");
+  return 0;
+}

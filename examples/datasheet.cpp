@@ -1,0 +1,57 @@
+// Datasheet generator: characterizes both amplifiers across process
+// corners and prints Table-1/Table-2 style summaries - what a user
+// evaluating this IP would run first.
+#include <cstdio>
+
+#include "core/characterize.h"
+
+using namespace msim;
+
+int main() {
+  const struct {
+    const char* name;
+    proc::Corner corner;
+  } corners[] = {{"TT", proc::Corner::kTT},
+                 {"SS", proc::Corner::kSS},
+                 {"FF", proc::Corner::kFF}};
+
+  std::printf("microphone amplifier (40 dB code, 2.6 V, 25 C):\n");
+  std::printf("%-6s %-9s %-10s %-9s %-9s %-9s %-9s %-8s %-9s\n",
+              "corner", "gain[dB]", "err[mdB]", "n300[nV]", "n1k[nV]",
+              "navg[nV]", "S/N[dB]", "IQ[mA]", "Vos_s[mV]");
+  for (const auto& c : corners) {
+    const auto pm = proc::ProcessModel::cmos12(c.corner);
+    const auto ds = core::characterize_mic_amp({}, pm, 5, 7);
+    if (!ds.valid) {
+      std::printf("%-6s characterization failed\n", c.name);
+      continue;
+    }
+    std::printf(
+        "%-6s %-9.2f %-10.1f %-9.2f %-9.2f %-9.2f %-9.1f %-8.2f %-9.2f\n",
+        c.name, ds.gain_db, ds.gain_error_db * 1e3, ds.noise_300_nv,
+        ds.noise_1k_nv, ds.noise_avg_nv, ds.snr_psoph_db, ds.iq_ma,
+        ds.offset_sigma_mv);
+  }
+
+  std::printf("\npower buffer (2.6 V, 50 ohm load):\n");
+  std::printf("%-6s %-8s %-12s %-12s %-12s %-10s %-10s\n", "corner",
+              "IQ[mA]", "IQ_leg[mA]", "THD@4Vpp[%]", "V(0.6%)[V]",
+              "SR[V/us]", "dG[%]");
+  for (const auto& c : corners) {
+    const auto pm = proc::ProcessModel::cmos12(c.corner);
+    const auto ds = core::characterize_driver({}, pm, 2.6);
+    if (!ds.valid) {
+      std::printf("%-6s characterization failed\n", c.name);
+      continue;
+    }
+    std::printf("%-6s %-8.2f %-12.2f %-12.3f %-12.2f %-10.1f %-10.1f\n",
+                c.name, ds.iq_ma, ds.iq_leg_ma,
+                ds.thd_full_swing * 100.0, ds.swing_06_v,
+                ds.slew_v_per_us, ds.gain_var_pct);
+  }
+
+  std::printf("\npaper anchors: Table 1 (gain 40 dB +-0.05, 5.1 nV avg,\n"
+              "S/N >= 87 dB, IQ <= 2.6 mA); Table 2 (IQ 3.25 +- 0.5 mA,\n"
+              "HD <= 0.6 %% at 4 Vpp, SR 2.5 V/us, ~5 %% gain variation).\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Full chip at transistor level: every block of the paper's front-end
+// in one netlist, biased by a single operating-point solve.
+//
+// Prints the die-level summary an evaluation report would lead with:
+// block-by-block quiescent currents, reference voltages, PGA gain at a
+// few codes, and the end-to-end receive path level.
+#include <cstdio>
+
+#include "analysis/ac.h"
+#include "analysis/op.h"
+#include "analysis/transfer.h"
+#include "circuit/netlist.h"
+#include "core/chip.h"
+#include "devices/sources.h"
+
+using namespace msim;
+
+int main() {
+  ckt::Netlist nl;
+  const auto vdd = nl.node("vdd");
+  const auto vss = nl.node("vss");
+  const auto inp = nl.node("mic_p");
+  const auto inn = nl.node("mic_n");
+  nl.add<dev::VSource>("Vdd", vdd, ckt::kGround, 1.3);
+  nl.add<dev::VSource>("Vss", vss, ckt::kGround, -1.3);
+  nl.add<dev::VSource>("Vmicp", inp, ckt::kGround,
+                       dev::Waveform::dc(0.0).with_ac(0.5));
+  nl.add<dev::VSource>("Vmicn", inn, ckt::kGround,
+                       dev::Waveform::dc(0.0).with_ac(-0.5));
+
+  const auto pm = proc::ProcessModel::cmos12();
+  auto chip = core::build_chip(nl, pm, {}, vdd, vss, ckt::kGround, inp,
+                               inn);
+
+  const auto op = an::solve_op(nl);
+  if (!op.converged) {
+    std::printf("chip operating point failed (%s)\n", op.method.c_str());
+    return 1;
+  }
+  std::printf("chip biased: %d unknowns, %d Newton iterations (%s)\n\n",
+              nl.unknown_count(), op.iterations, op.method.c_str());
+
+  // Power budget.
+  const double i_mic = chip.mic.supply_probe->current(op.x);
+  const double i_mod = chip.mod_amp.supply_probe->current(op.x);
+  const double i_drv = chip.driver.supply_probe->current(op.x);
+  const double i_total = -nl.find_as<dev::VSource>("Vdd")->current(op.x);
+  std::printf("quiescent currents at 2.6 V:\n");
+  std::printf("  microphone PGA      %6.2f mA\n", i_mic * 1e3);
+  std::printf("  modulator opamp     %6.2f mA\n", i_mod * 1e3);
+  std::printf("  power buffer        %6.2f mA\n", i_drv * 1e3);
+  std::printf("  whole chip          %6.2f mA  (%.1f mW)\n",
+              i_total * 1e3, i_total * 2.6 * 1e3);
+
+  // References.
+  std::printf("\nreferences: vref = %+0.3f / %+0.3f V, bias = %.1f uA\n",
+              op.v(chip.bandgap.vref_p), op.v(chip.bandgap.vref_n),
+              chip.bias.i_probe->current(op.x) * 1e6);
+
+  // Transmit gain at three codes (on the fully assembled chip).
+  std::printf("\ntransmit path (PGA -> modulator opamp):\n");
+  for (int code : {0, 3, 5}) {
+    chip.mic.set_gain_code(code);
+    if (!an::solve_op(nl).converged) continue;
+    const auto ac = an::run_ac(nl, {1e3});
+    const double g_pga =
+        std::abs(ac.vdiff(0, chip.mic.outp, chip.mic.outn));
+    const double g_mod =
+        std::abs(ac.vdiff(0, chip.mod_amp.outp, chip.mod_amp.outn));
+    std::printf("  code %d: PGA %.1f dB, at modulator %.1f dB\n", code,
+                an::to_db(g_pga), an::to_db(g_mod));
+  }
+
+  // Receive path: DAC code to earpiece voltage.
+  std::printf("\nreceive path (DAC -> attenuator -> buffer -> 50 ohm):\n");
+  chip.rx_atten.set_code(0);
+  for (int code : {8, 32, 56}) {
+    chip.dac.set_code(code);
+    const auto op2 = an::solve_op(nl);
+    if (!op2.converged) continue;
+    std::printf("  DAC %2d: v(dac) = %+7.1f mV -> v(ear) = %+7.1f mV\n",
+                code,
+                (op2.v(chip.dac.outp) - op2.v(chip.dac.outn)) * 1e3,
+                (op2.v(chip.driver.outp) - op2.v(chip.driver.outn)) *
+                    1e3);
+  }
+
+  // Output resistance of the buffer at the earpiece (via .tf).
+  const auto tf = an::run_tf(nl, "Vmicp", chip.driver.outp,
+                             chip.driver.outn);
+  if (tf.ok)
+    std::printf("\nbuffer output resistance at the earpiece: %.2f ohm\n",
+                tf.r_out);
+  return 0;
+}

@@ -1,0 +1,16 @@
+* delta-Vbe PTAT core with vertical PNPs (paper Fig. 2 style)
+.model qv pnp is=2e-17 bf=12 vaf=40
+.model mp pmos vto=0.78 kp=27u lambda=0.0045
+.model mn nmos vto=0.75 kp=80u lambda=0.003
+vdd vdd 0 1.3
+vss vss 0 -1.3
+mp1 n1 n2 vdd vdd mp w=237u l=10u
+mp2 n2 n2 vdd vdd mp w=237u l=10u
+mn1 n1 n1 e1 vss mn w=80u l=10u
+mn2 n2 n1 rt vss mn w=80u l=10u
+q1 vss vss e1 qv area=1
+q2 vss vss e2 qv area=8
+r1 rt e2 2.69k
+istart vdd n1 50n
+.op
+.end

@@ -1,0 +1,20 @@
+* programmable-gain ladder demo: .param + .subckt + switches
+* (behavioral twin of the paper's Fig. 5 network around an ideal amp)
+.param rtot 10k acl 100
+.model sw1 sw ron=80 roff=1e12
+
+.subckt halfstring out fb ctap
+r_a ctap tap {rtot / acl}
+s_tap tap fb sw1 on
+r_f tap out {rtot - rtot / acl}
+.ends
+
+* ideal amplifier: out = 1e5 * (inp - fb)
+vin inp 0 dc 0 ac 1 sin(0 1m 1k)
+e_amp out 0 inp fb 1e5
+x1 out fb 0 halfstring
+rl out 0 100k
+.op
+.ac dec 5 10 1meg
+.tran 10u 3m
+.end

@@ -1,0 +1,7 @@
+* first-order RC low-pass, 1.59 kHz corner
+v1 in 0 dc 0 ac 1 sin(0 1 1k)
+r1 in out 1k
+c1 out 0 100n
+.op
+.ac dec 10 10 100k
+.end

@@ -1,0 +1,51 @@
+#include "analysis/ac.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "analysis/mna.h"
+#include "numeric/lu.h"
+
+namespace msim::an {
+
+std::vector<double> log_frequencies(double f_start_hz, double f_stop_hz,
+                                    int points_per_decade) {
+  std::vector<double> f;
+  const double lg0 = std::log10(f_start_hz);
+  const double lg1 = std::log10(f_stop_hz);
+  const int n = std::max(1, static_cast<int>(
+                                std::ceil((lg1 - lg0) * points_per_decade)));
+  f.reserve(static_cast<std::size_t>(n) + 1);
+  for (int i = 0; i <= n; ++i)
+    f.push_back(std::pow(10.0, lg0 + (lg1 - lg0) * i / n));
+  return f;
+}
+
+AcResult run_ac(ckt::Netlist& nl, const std::vector<double>& freqs_hz,
+                const AcOptions& opt) {
+  nl.assign_unknowns();
+  AcResult r;
+  r.freqs_hz = freqs_hz;
+  r.solutions.reserve(freqs_hz.size());
+
+  num::ComplexMatrix jac;
+  num::ComplexVector rhs;
+  for (double f : freqs_hz) {
+    assemble_ac(nl, 2.0 * M_PI * f, opt.gshunt, jac, rhs);
+    num::ComplexLu lu(jac);
+    if (lu.singular())
+      throw std::runtime_error("AC matrix singular at f=" +
+                               std::to_string(f));
+    r.solutions.push_back(lu.solve(rhs));
+  }
+  return r;
+}
+
+std::complex<double> ac_transfer(ckt::Netlist& nl, double freq_hz,
+                                 ckt::NodeId p, ckt::NodeId n,
+                                 const AcOptions& opt) {
+  const AcResult r = run_ac(nl, {freq_hz}, opt);
+  return r.vdiff(0, p, n);
+}
+
+}  // namespace msim::an

@@ -1,0 +1,51 @@
+// Small-signal AC analysis around a saved operating point.
+//
+// Usage: solve_op() first (it saves every device's OP), then run_ac().
+// Exactly the sources whose waveform has a non-zero AC magnitude excite
+// the circuit, so transfer functions (gain, PSRR, CMRR) are selected by
+// toggling AC magnitudes between runs.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "circuit/netlist.h"
+#include "numeric/matrix.h"
+
+namespace msim::an {
+
+struct AcOptions {
+  double gshunt = 1e-12;
+};
+
+struct AcResult {
+  std::vector<double> freqs_hz;
+  std::vector<num::ComplexVector> solutions;  // one per frequency
+
+  std::complex<double> v(std::size_t freq_idx, ckt::NodeId node) const {
+    return node == ckt::kGround ? std::complex<double>{}
+                                : solutions[freq_idx][node - 1];
+  }
+  std::complex<double> vdiff(std::size_t freq_idx, ckt::NodeId p,
+                             ckt::NodeId n) const {
+    return v(freq_idx, p) - v(freq_idx, n);
+  }
+};
+
+// Logarithmically spaced frequency grid, `points_per_decade` per decade,
+// inclusive of both endpoints.
+std::vector<double> log_frequencies(double f_start_hz, double f_stop_hz,
+                                    int points_per_decade);
+
+AcResult run_ac(ckt::Netlist& nl, const std::vector<double>& freqs_hz,
+                const AcOptions& opt = {});
+
+// Single-frequency transfer: complex output vdiff(p,n) given the current
+// AC excitation pattern.
+std::complex<double> ac_transfer(ckt::Netlist& nl, double freq_hz,
+                                 ckt::NodeId p, ckt::NodeId n,
+                                 const AcOptions& opt = {});
+
+inline double to_db(double mag) { return 20.0 * std::log10(mag); }
+
+}  // namespace msim::an

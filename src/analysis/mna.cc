@@ -1,0 +1,43 @@
+#include "analysis/mna.h"
+
+namespace msim::an {
+
+void assemble_real(const ckt::Netlist& nl, const num::RealVector& x,
+                   const AssembleParams& p, num::RealMatrix& jac,
+                   num::RealVector& rhs) {
+  const std::size_t n = static_cast<std::size_t>(nl.unknown_count());
+  if (jac.rows() != n) jac.resize(n, n);
+  jac.fill(0.0);
+  rhs.assign(n, 0.0);
+
+  ckt::StampContext ctx(p.mode, x, jac, rhs);
+  ctx.time = p.time;
+  ctx.dt = p.dt;
+  ctx.temp_k = p.temp_k;
+  ctx.gmin = p.gmin;
+  ctx.use_trapezoidal = p.use_trapezoidal;
+  ctx.source_scale = p.source_scale;
+
+  for (const auto& d : nl.devices()) d->stamp(ctx);
+
+  // Weak shunts from every node voltage to ground keep matrices regular
+  // in the presence of floating gates / capacitor-only nodes.
+  const int nodes = nl.node_count() - 1;
+  for (int i = 0; i < nodes; ++i) jac(i, i) += p.gshunt;
+}
+
+void assemble_ac(const ckt::Netlist& nl, double omega, double gshunt,
+                 num::ComplexMatrix& jac, num::ComplexVector& rhs) {
+  const std::size_t n = static_cast<std::size_t>(nl.unknown_count());
+  if (jac.rows() != n) jac.resize(n, n);
+  jac.fill({0.0, 0.0});
+  rhs.assign(n, {0.0, 0.0});
+
+  ckt::AcStampContext ctx(omega, jac, rhs);
+  for (const auto& d : nl.devices()) d->stamp_ac(ctx);
+
+  const int nodes = nl.node_count() - 1;
+  for (int i = 0; i < nodes; ++i) jac(i, i) += gshunt;
+}
+
+}  // namespace msim::an

@@ -1,0 +1,32 @@
+// MNA system assembly shared by all analyses.
+#pragma once
+
+#include "circuit/netlist.h"
+#include "numeric/matrix.h"
+
+namespace msim::an {
+
+// Parameters controlling one large-signal assembly pass.
+struct AssembleParams {
+  ckt::AnalysisMode mode = ckt::AnalysisMode::kDcOp;
+  double time = 0.0;
+  double dt = 0.0;
+  double temp_k = 300.15;
+  double gmin = 1e-12;     // junction-homotopy conductance
+  double gshunt = 1e-12;   // node-to-ground shunt (floating-node guard)
+  double source_scale = 1.0;
+  bool use_trapezoidal = true;
+};
+
+// Builds jac/rhs (sized n x n / n) for the Newton system jac*x_next = rhs
+// linearized around candidate `x`.
+void assemble_real(const ckt::Netlist& nl, const num::RealVector& x,
+                   const AssembleParams& p, num::RealMatrix& jac,
+                   num::RealVector& rhs);
+
+// Builds the complex small-signal system at angular frequency omega.
+// Devices must have a saved operating point (save_op()).
+void assemble_ac(const ckt::Netlist& nl, double omega, double gshunt,
+                 num::ComplexMatrix& jac, num::ComplexVector& rhs);
+
+}  // namespace msim::an

@@ -1,0 +1,70 @@
+// Monte-Carlo driver: runs a user-supplied trial (build a perturbed
+// netlist, measure a scalar) N times and collects summary statistics.
+// Used for the gain-accuracy (dAcl <= 0.05 dB), offset and quiescent-
+// current spread experiments.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "numeric/rng.h"
+
+namespace msim::an {
+
+struct McStats {
+  std::vector<double> samples;
+  int failures = 0;
+
+  double mean() const {
+    if (samples.empty()) return 0.0;
+    double s = 0.0;
+    for (double v : samples) s += v;
+    return s / static_cast<double>(samples.size());
+  }
+  double stddev() const {
+    if (samples.size() < 2) return 0.0;
+    const double m = mean();
+    double s = 0.0;
+    for (double v : samples) s += (v - m) * (v - m);
+    return std::sqrt(s / static_cast<double>(samples.size() - 1));
+  }
+  double min() const {
+    return samples.empty()
+               ? 0.0
+               : *std::min_element(samples.begin(), samples.end());
+  }
+  double max() const {
+    return samples.empty()
+               ? 0.0
+               : *std::max_element(samples.begin(), samples.end());
+  }
+  // Worst absolute deviation from the mean.
+  double max_abs_dev() const {
+    const double m = mean();
+    double w = 0.0;
+    for (double v : samples) w = std::max(w, std::abs(v - m));
+    return w;
+  }
+};
+
+// `trial` receives a per-sample RNG and returns the measured scalar, or
+// NaN to signal a failed sample (counted separately, excluded from
+// statistics).
+inline McStats monte_carlo(int n_samples, num::Rng& rng,
+                           const std::function<double(num::Rng&)>& trial) {
+  McStats st;
+  st.samples.reserve(static_cast<std::size_t>(n_samples));
+  for (int i = 0; i < n_samples; ++i) {
+    num::Rng sample_rng = rng.fork();
+    const double v = trial(sample_rng);
+    if (std::isnan(v))
+      ++st.failures;
+    else
+      st.samples.push_back(v);
+  }
+  return st;
+}
+
+}  // namespace msim::an

@@ -1,0 +1,149 @@
+#include "analysis/noise.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "analysis/mna.h"
+#include "numeric/lu.h"
+
+namespace msim::an {
+namespace {
+
+// Trapezoidal integral of y(f) over [f1, f2] where y is tabulated on the
+// (sorted) grid `f`; linear interpolation at clipped endpoints.
+double trapz_clipped(const std::vector<double>& f,
+                     const std::vector<double>& y, double f1, double f2) {
+  if (f.size() < 2 || f2 <= f.front() || f1 >= f.back()) return 0.0;
+  f1 = std::max(f1, f.front());
+  f2 = std::min(f2, f.back());
+  auto value_at = [&](double x) {
+    const auto it = std::upper_bound(f.begin(), f.end(), x);
+    std::size_t i = static_cast<std::size_t>(it - f.begin());
+    if (i == 0) return y.front();
+    if (i >= f.size()) return y.back();
+    const double t = (x - f[i - 1]) / (f[i] - f[i - 1]);
+    return y[i - 1] + t * (y[i] - y[i - 1]);
+  };
+  double acc = 0.0;
+  double x_prev = f1, y_prev = value_at(f1);
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    if (f[i] <= f1) continue;
+    const double x = std::min(f[i], f2);
+    const double yy = (x == f[i]) ? y[i] : value_at(x);
+    acc += 0.5 * (y_prev + yy) * (x - x_prev);
+    x_prev = x;
+    y_prev = yy;
+    if (x >= f2) break;
+  }
+  if (x_prev < f2) acc += 0.5 * (y_prev + value_at(f2)) * (f2 - x_prev);
+  return acc;
+}
+
+}  // namespace
+
+double NoiseResult::integrate_output(double f1_hz, double f2_hz) const {
+  std::vector<double> f, y;
+  f.reserve(points.size());
+  y.reserve(points.size());
+  for (const auto& p : points) {
+    f.push_back(p.freq_hz);
+    y.push_back(p.s_out);
+  }
+  return trapz_clipped(f, y, f1_hz, f2_hz);
+}
+
+double NoiseResult::input_referred_rms(double f1_hz, double f2_hz) const {
+  std::vector<double> f, y;
+  f.reserve(points.size());
+  y.reserve(points.size());
+  for (const auto& p : points) {
+    f.push_back(p.freq_hz);
+    y.push_back(p.s_in);
+  }
+  return std::sqrt(trapz_clipped(f, y, f1_hz, f2_hz));
+}
+
+double NoiseResult::input_referred_avg_density(double f1_hz,
+                                               double f2_hz) const {
+  const double rms = input_referred_rms(f1_hz, f2_hz);
+  return rms / std::sqrt(f2_hz - f1_hz);
+}
+
+NoiseResult run_noise(ckt::Netlist& nl, const std::vector<double>& freqs_hz,
+                      const NoiseOptions& opt) {
+  nl.assign_unknowns();
+  if (opt.out_p == ckt::kGround && opt.out_n == ckt::kGround)
+    throw std::invalid_argument("noise analysis needs an output node");
+
+  // Collect all noise sources at the saved operating point.
+  std::vector<ckt::NoiseSource> sources;
+  for (const auto& d : nl.devices())
+    d->append_noise_sources(sources, opt.temp_k);
+
+  NoiseResult r;
+  r.points.reserve(freqs_hz.size());
+  r.by_source.resize(sources.size());
+  for (std::size_t j = 0; j < sources.size(); ++j)
+    r.by_source[j].label = sources[j].label;
+
+  // Per-source running PSD for trapezoidal per-source integration.
+  std::vector<double> psd_prev(sources.size(), 0.0);
+  double f_prev = 0.0;
+
+  num::ComplexMatrix jac;
+  num::ComplexVector rhs;
+  const std::size_t n = static_cast<std::size_t>(nl.unknown_count());
+
+  for (std::size_t k = 0; k < freqs_hz.size(); ++k) {
+    const double f = freqs_hz[k];
+    assemble_ac(nl, 2.0 * M_PI * f, opt.gshunt, jac, rhs);
+    num::ComplexLu lu(jac);
+    if (lu.singular())
+      throw std::runtime_error("noise: singular MNA at f=" +
+                               std::to_string(f));
+
+    NoisePoint pt;
+    pt.freq_hz = f;
+
+    // Forward solve for the signal gain (input-referring).
+    if (!opt.input_source.empty()) {
+      const num::ComplexVector x = lu.solve(rhs);
+      auto v = [&](ckt::NodeId nd) {
+        return nd == ckt::kGround ? std::complex<double>{} : x[nd - 1];
+      };
+      pt.gain_mag = std::abs(v(opt.out_p) - v(opt.out_n));
+    }
+
+    // Adjoint solve: A^T y = e_out.
+    num::ComplexVector e(n, {0.0, 0.0});
+    if (opt.out_p != ckt::kGround) e[opt.out_p - 1] += 1.0;
+    if (opt.out_n != ckt::kGround) e[opt.out_n - 1] -= 1.0;
+    const num::ComplexVector y = lu.solve_transpose(e);
+
+    auto yv = [&](ckt::NodeId nd) {
+      return nd == ckt::kGround ? std::complex<double>{} : y[nd - 1];
+    };
+
+    double s_out = 0.0;
+    for (std::size_t j = 0; j < sources.size(); ++j) {
+      const auto& src = sources[j];
+      const double z2 = std::norm(yv(src.p) - yv(src.n));
+      const double contrib = z2 * src.psd(f);
+      s_out += contrib;
+      // Per-source trapezoidal integration across the grid.
+      if (k > 0)
+        r.by_source[j].v2 += 0.5 * (psd_prev[j] + contrib) * (f - f_prev);
+      psd_prev[j] = contrib;
+    }
+    f_prev = f;
+
+    pt.s_out = s_out;
+    if (pt.gain_mag > 0.0)
+      pt.s_in = s_out / (pt.gain_mag * pt.gain_mag);
+    r.points.push_back(pt);
+  }
+  return r;
+}
+
+}  // namespace msim::an

@@ -1,0 +1,155 @@
+#include "analysis/op.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analysis/mna.h"
+#include "numeric/lu.h"
+
+namespace msim::an {
+namespace {
+
+// One damped-Newton solve at fixed homotopy parameters.  Reuses `x` as
+// the starting point and leaves the final iterate in it.
+// One damped-Newton solve; retries internally with progressively tighter
+// damping (max_step / 3, / 10) because high-loop-gain circuits can limit-
+// cycle under loose damping yet converge quickly under tight damping.
+bool newton_solve_damped(const ckt::Netlist& nl, const AssembleParams& p,
+                         const OpOptions& opt, num::RealVector& x,
+                         int& iters);
+
+bool newton_solve(const ckt::Netlist& nl, const AssembleParams& p,
+                  const OpOptions& opt, num::RealVector& x, int& iters) {
+  num::RealMatrix jac;
+  num::RealVector rhs;
+  int stall = 0;
+  for (int it = 0; it < opt.max_iterations; ++it) {
+    ++iters;
+    assemble_real(nl, x, p, jac, rhs);
+    num::RealLu lu(jac);
+    if (lu.singular()) return false;
+    const num::RealVector x_new = lu.solve(rhs);
+
+    // Damping: clamp each unknown's update to max_step individually.
+    // Per-component clamping (rather than a global scale) keeps
+    // independent subcircuits decoupled: a block taking large steps does
+    // not stall another block that is already converging.
+    bool converged = true;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      double dx = x_new[i] - x[i];
+      if (std::abs(dx) > opt.vtol + opt.reltol * std::abs(x_new[i]))
+        converged = false;
+      if (dx > opt.max_step) dx = opt.max_step;
+      if (dx < -opt.max_step) dx = -opt.max_step;
+      x[i] += dx;
+    }
+    if (converged) return true;
+    (void)stall;
+  }
+  return false;
+}
+
+bool newton_solve_damped(const ckt::Netlist& nl, const AssembleParams& p,
+                         const OpOptions& opt, num::RealVector& x,
+                         int& iters) {
+  const num::RealVector x0 = x;
+  for (double factor : {1.0, 3.0, 10.0}) {
+    OpOptions o = opt;
+    o.max_step = opt.max_step / factor;
+    o.initial_guess.clear();
+    if (newton_solve(nl, p, o, x, iters)) return true;
+    x = x0;  // restart each attempt from the same point
+  }
+  return false;
+}
+
+void finalize(ckt::Netlist& nl, const OpOptions& opt, OpResult& r) {
+  if (!r.converged) return;
+  for (const auto& d : nl.devices()) d->save_op(r.x, opt.temp_k);
+}
+
+}  // namespace
+
+double OpResult::v(const ckt::Netlist& nl, std::string_view node) const {
+  const ckt::NodeId id = const_cast<ckt::Netlist&>(nl).node(node);
+  return v(id);
+}
+
+OpResult solve_op(ckt::Netlist& nl, const OpOptions& opt) {
+  nl.assign_unknowns();
+  for (const auto& d : nl.devices()) d->set_temperature(opt.temp_k);
+
+  OpResult r;
+  r.x.assign(static_cast<std::size_t>(nl.unknown_count()), 0.0);
+  if (!opt.initial_guess.empty() &&
+      opt.initial_guess.size() == r.x.size()) {
+    r.x = opt.initial_guess;
+  }
+
+  AssembleParams p;
+  p.mode = ckt::AnalysisMode::kDcOp;
+  p.temp_k = opt.temp_k;
+  p.gshunt = opt.gshunt;
+
+  // 1. Plain Newton at final gmin.
+  p.gmin = opt.gmin;
+  num::RealVector x = r.x;
+  if (newton_solve_damped(nl, p, opt, x, r.iterations)) {
+    r.x = std::move(x);
+    r.converged = true;
+    r.method = "newton";
+    finalize(nl, opt, r);
+    return r;
+  }
+
+  // Shared helper: relax gmin from `g0` down to the target in half-decade
+  // steps, continuing from the current iterate.
+  auto gmin_ladder = [&](num::RealVector& xx, double g0) {
+    for (double gmin = g0; gmin >= opt.gmin * 0.99;
+         gmin *= 0.31622776601683794) {
+      p.gmin = std::max(gmin, opt.gmin);
+      if (!newton_solve_damped(nl, p, opt, xx, r.iterations)) return false;
+    }
+    p.gmin = opt.gmin;
+    return newton_solve_damped(nl, p, opt, xx, r.iterations);
+  };
+
+  // 2. gmin stepping: converge with a large junction shunt, then relax.
+  x = r.x;
+  p.source_scale = 1.0;
+  if (gmin_ladder(x, 1e-1)) {
+    r.x = std::move(x);
+    r.converged = true;
+    r.method = "gmin";
+    finalize(nl, opt, r);
+    return r;
+  }
+
+  // 3. Source stepping at elevated gmin, then a gmin ladder at full
+  // sources.
+  x.assign(x.size(), 0.0);
+  p.gmin = 1e-6;
+  bool ok = true;
+  for (int i = 1; i <= 20; ++i) {
+    p.source_scale = i / 20.0;
+    if (!newton_solve_damped(nl, p, opt, x, r.iterations)) {
+      ok = false;
+      break;
+    }
+  }
+  if (ok) {
+    p.source_scale = 1.0;
+    if (gmin_ladder(x, 1e-6)) {
+      r.x = std::move(x);
+      r.converged = true;
+      r.method = "source";
+      finalize(nl, opt, r);
+      return r;
+    }
+  }
+
+  r.converged = false;
+  return r;
+}
+
+}  // namespace msim::an

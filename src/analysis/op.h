@@ -1,0 +1,37 @@
+// DC operating-point solver: damped Newton with gmin-stepping and
+// source-stepping homotopies as fallbacks.
+#pragma once
+
+#include <string>
+
+#include "circuit/netlist.h"
+#include "numeric/matrix.h"
+
+namespace msim::an {
+
+struct OpOptions {
+  double temp_k = 300.15;
+  double vtol = 1e-9;       // absolute unknown tolerance
+  double reltol = 1e-6;     // relative unknown tolerance
+  int max_iterations = 300;
+  double max_step = 0.4;    // max per-unknown Newton update [V or A]
+  double gmin = 1e-12;      // final junction gmin
+  double gshunt = 1e-12;
+  num::RealVector initial_guess;  // optional (size 0 -> zeros)
+};
+
+struct OpResult {
+  num::RealVector x;
+  bool converged = false;
+  int iterations = 0;
+  std::string method;  // "newton" | "gmin" | "source"
+
+  double v(const ckt::Netlist& nl, std::string_view node) const;
+  double v(ckt::NodeId n) const { return n == 0 ? 0.0 : x[n - 1]; }
+};
+
+// Solves the DC operating point and, on success, calls save_op() on all
+// devices so that AC / noise analyses can follow immediately.
+OpResult solve_op(ckt::Netlist& nl, const OpOptions& opt = {});
+
+}  // namespace msim::an

@@ -1,0 +1,106 @@
+#include "analysis/op_report.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "devices/bjt.h"
+#include "devices/diode.h"
+#include "devices/mosfet.h"
+#include "devices/passive.h"
+#include "devices/sources.h"
+
+namespace msim::an {
+namespace {
+
+std::string eng(double v, const char* unit) {
+  static const struct {
+    double scale;
+    const char* prefix;
+  } kScales[] = {{1e9, "G"}, {1e6, "M"}, {1e3, "k"}, {1.0, ""},
+                 {1e-3, "m"}, {1e-6, "u"}, {1e-9, "n"}, {1e-12, "p"},
+                 {1e-15, "f"}};
+  const double a = std::abs(v);
+  char buf[48];
+  if (a == 0.0) {
+    std::snprintf(buf, sizeof buf, "0 %s", unit);
+    return buf;
+  }
+  for (const auto& s : kScales) {
+    if (a >= s.scale) {
+      std::snprintf(buf, sizeof buf, "%.3g %s%s", v / s.scale, s.prefix,
+                    unit);
+      return buf;
+    }
+  }
+  std::snprintf(buf, sizeof buf, "%.3g %s", v, unit);
+  return buf;
+}
+
+}  // namespace
+
+std::string op_report(const ckt::Netlist& nl, const OpResult& op) {
+  std::ostringstream os;
+  char line[160];
+
+  os << "node voltages:\n";
+  for (int n = 1; n < nl.node_count(); ++n) {
+    std::snprintf(line, sizeof line, "  %-24s %s\n",
+                  nl.node_name(n).c_str(), eng(op.v(n), "V").c_str());
+    os << line;
+  }
+
+  bool any_mos = false;
+  for (const auto& d : nl.devices())
+    if (dynamic_cast<const dev::Mosfet*>(d.get())) any_mos = true;
+  if (any_mos) {
+    os << "mosfets:\n";
+    std::snprintf(line, sizeof line, "  %-20s %-10s %-10s %-10s %-8s %s\n",
+                  "name", "id", "gm", "gds", "veff", "region");
+    os << line;
+    for (const auto& d : nl.devices()) {
+      const auto* m = dynamic_cast<const dev::Mosfet*>(d.get());
+      if (!m) continue;
+      std::snprintf(line, sizeof line,
+                    "  %-20s %-10s %-10s %-10s %-8.3f %s\n",
+                    m->name().c_str(), eng(m->op().id, "A").c_str(),
+                    eng(m->op().gm, "S").c_str(),
+                    eng(m->op().gds, "S").c_str(), m->op().veff,
+                    m->op().saturated
+                        ? (m->op().reversed ? "sat(rev)" : "sat")
+                        : "triode");
+      os << line;
+    }
+  }
+
+  bool any_bjt = false;
+  for (const auto& d : nl.devices())
+    if (dynamic_cast<const dev::Bjt*>(d.get())) any_bjt = true;
+  if (any_bjt) {
+    os << "bjts:\n";
+    std::snprintf(line, sizeof line, "  %-20s %-10s %-10s %-10s %s\n",
+                  "name", "ic", "ib", "gm", "vbe");
+    os << line;
+    for (const auto& d : nl.devices()) {
+      const auto* q = dynamic_cast<const dev::Bjt*>(d.get());
+      if (!q) continue;
+      std::snprintf(line, sizeof line, "  %-20s %-10s %-10s %-10s %s\n",
+                    q->name().c_str(), eng(q->op().ic, "A").c_str(),
+                    eng(q->op().ib, "A").c_str(),
+                    eng(q->op().gm, "S").c_str(),
+                    eng(q->op().vbe, "V").c_str());
+      os << line;
+    }
+  }
+
+  os << "sources:\n";
+  for (const auto& d : nl.devices()) {
+    const auto* v = dynamic_cast<const dev::VSource*>(d.get());
+    if (!v) continue;
+    std::snprintf(line, sizeof line, "  %-20s %s\n", v->name().c_str(),
+                  eng(v->current(op.x), "A").c_str());
+    os << line;
+  }
+  return os.str();
+}
+
+}  // namespace msim::an

@@ -1,0 +1,17 @@
+// Formatted operating-point report: the ".op printout" a designer reads
+// first - node voltages plus a per-device bias table (currents,
+// transconductances, regions).  Used by msim_cli and handy in tests.
+#pragma once
+
+#include <string>
+
+#include "analysis/op.h"
+#include "circuit/netlist.h"
+
+namespace msim::an {
+
+// Renders the solved operating point.  Devices must hold saved OPs
+// (solve_op() does this on success).
+std::string op_report(const ckt::Netlist& nl, const OpResult& op);
+
+}  // namespace msim::an

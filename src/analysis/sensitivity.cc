@@ -1,0 +1,60 @@
+#include "analysis/sensitivity.h"
+
+#include "analysis/mna.h"
+#include "devices/mos_switch.h"
+#include "devices/passive.h"
+#include "numeric/lu.h"
+
+namespace msim::an {
+
+std::vector<ResistorSensitivity> resistor_sensitivities(
+    ckt::Netlist& nl, const OpResult& op, ckt::NodeId out_p,
+    ckt::NodeId out_n, double temp_k) {
+  // Rebuild the DC Jacobian at the solved point.
+  AssembleParams p;
+  p.mode = ckt::AnalysisMode::kDcOp;
+  p.temp_k = temp_k;
+  num::RealMatrix jac;
+  num::RealVector rhs;
+  assemble_real(nl, op.x, p, jac, rhs);
+  num::RealLu lu(jac);
+
+  const std::size_t n = op.x.size();
+  num::RealVector e(n, 0.0);
+  if (out_p != ckt::kGround) e[out_p - 1] += 1.0;
+  if (out_n != ckt::kGround) e[out_n - 1] -= 1.0;
+  const num::RealVector y = lu.solve_transpose(e);
+
+  auto v_at = [&](ckt::NodeId nd) {
+    return nd == ckt::kGround ? 0.0 : op.x[nd - 1];
+  };
+  auto y_at = [&](ckt::NodeId nd) {
+    return nd == ckt::kGround ? 0.0 : y[nd - 1];
+  };
+
+  std::vector<ResistorSensitivity> out;
+  for (const auto& dptr : nl.devices()) {
+    double r_val = 0.0;
+    if (auto* r = dynamic_cast<dev::Resistor*>(dptr.get()))
+      r_val = r->resistance();
+    else if (auto* s = dynamic_cast<dev::MosSwitch*>(dptr.get())) {
+      if (!s->is_on()) continue;
+      r_val = s->resistance();
+    } else {
+      continue;
+    }
+    const auto& nodes = dptr->nodes();
+    const double dv = v_at(nodes[0]) - v_at(nodes[1]);
+    const double dy = y_at(nodes[0]) - y_at(nodes[1]);
+    ResistorSensitivity s;
+    s.name = dptr->name();
+    s.r_ohms = r_val;
+    // dV/dG = -(v_a - v_b)(y_a - y_b); dG/dR = -1/R^2.
+    s.dv_dr = dv * dy / (r_val * r_val);
+    s.dv_dlog = s.dv_dr * r_val;
+    out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace msim::an

@@ -1,0 +1,35 @@
+// Adjoint DC sensitivity analysis.
+//
+// For a converged operating point x solving F(x) = 0, the sensitivity of
+// an output voltage V_out = e^T x to a resistor value follows from one
+// transpose solve with the Jacobian:  J^T y = e, then
+//     dV/dG_j = -(v_a - v_b) * (y_a - y_b),   dV/dR = -dV/dG / R^2
+// for the conductance G_j stamped between nodes (a, b).  One adjoint
+// solve yields the sensitivity to *every* resistor simultaneously - the
+// analytic counterpart of the gain-accuracy Monte Carlo (Table 1's
+// dAcl row), and the tool a designer uses to find which string segment
+// actually limits matching.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/op.h"
+#include "circuit/netlist.h"
+
+namespace msim::an {
+
+struct ResistorSensitivity {
+  std::string name;
+  double r_ohms = 0.0;
+  double dv_dr = 0.0;        // [V/ohm]
+  double dv_dlog = 0.0;      // dV per relative change: R * dV/dR [V]
+};
+
+// Sensitivities of vdiff(out_p, out_n) at the given solved OP to every
+// Resistor and MosSwitch (on-state) in the netlist.
+std::vector<ResistorSensitivity> resistor_sensitivities(
+    ckt::Netlist& nl, const OpResult& op, ckt::NodeId out_p,
+    ckt::NodeId out_n, double temp_k = 300.15);
+
+}  // namespace msim::an

@@ -1,0 +1,69 @@
+#include "analysis/stability.h"
+
+#include <cmath>
+
+#include "analysis/ac.h"
+
+namespace msim::an {
+
+StabilityResult measure_loop_gain(ckt::Netlist& nl, dev::VSource* probe,
+                                  const std::vector<double>& freqs_hz) {
+  StabilityResult r;
+  const ckt::NodeId amp_side = probe->nodes()[0];
+  const ckt::NodeId fb_side = probe->nodes()[1];
+
+  const dev::Waveform saved = probe->waveform();
+  probe->set_waveform(dev::Waveform::dc(saved.dc_value()).with_ac(1.0));
+
+  const AcResult ac = run_ac(nl, freqs_hz);
+  r.points.reserve(freqs_hz.size());
+  for (std::size_t i = 0; i < freqs_hz.size(); ++i) {
+    const auto vp = ac.v(i, amp_side);
+    const auto vn = ac.v(i, fb_side);
+    LoopGainPoint pt;
+    pt.freq_hz = freqs_hz[i];
+    pt.t = (std::abs(vn) > 0.0) ? -vp / vn : std::complex<double>{};
+    r.points.push_back(pt);
+  }
+  probe->set_waveform(saved);
+
+  // Crossover: |T| falls through 1 (log-interpolated).
+  for (std::size_t i = 1; i < r.points.size(); ++i) {
+    const double m0 = std::abs(r.points[i - 1].t);
+    const double m1 = std::abs(r.points[i].t);
+    if (m0 >= 1.0 && m1 < 1.0) {
+      const double lf0 = std::log(r.points[i - 1].freq_hz);
+      const double lf1 = std::log(r.points[i].freq_hz);
+      const double u = (std::log(m0) - 0.0) / (std::log(m0) - std::log(m1));
+      r.unity_gain_hz = std::exp(lf0 + u * (lf1 - lf0));
+      const double ph0 = std::arg(r.points[i - 1].t);
+      const double ph1 = std::arg(r.points[i].t);
+      const double ph = ph0 + u * (ph1 - ph0);
+      r.phase_margin_deg = 180.0 + ph * 180.0 / M_PI;
+      // Wrap into (-180, 180] context: margins > 180 mean wrapped phase.
+      if (r.phase_margin_deg > 360.0) r.phase_margin_deg -= 360.0;
+      r.crossover_found = true;
+      break;
+    }
+  }
+
+  // Gain margin: first phase crossing of -180 deg with |T| < 1 region.
+  for (std::size_t i = 1; i < r.points.size(); ++i) {
+    const double ph0 = std::arg(r.points[i - 1].t) * 180.0 / M_PI;
+    const double ph1 = std::arg(r.points[i].t) * 180.0 / M_PI;
+    if ((ph0 > -180.0 && ph1 <= -180.0) ||
+        (ph0 < 180.0 && ph1 >= 180.0 && ph0 > 0.0)) {
+      const double u = std::abs((180.0 - std::abs(ph0)) /
+                                (std::abs(ph1) - std::abs(ph0) + 1e-30));
+      const double m = std::abs(r.points[i - 1].t) *
+                       std::pow(std::abs(r.points[i].t) /
+                                    std::abs(r.points[i - 1].t),
+                                u);
+      r.gain_margin_db = -20.0 * std::log10(m);
+      break;
+    }
+  }
+  return r;
+}
+
+}  // namespace msim::an

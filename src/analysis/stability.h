@@ -1,0 +1,44 @@
+// Loop-gain and stability analysis via voltage injection.
+//
+// Insert a 0 V VSource (the "injection probe") in series with the
+// feedback path, oriented with `p` toward the amplifier output and `n`
+// toward the feedback network.  With an AC magnitude of 1 on the probe,
+// the single-injection Middlebrook approximation gives the loop gain
+//     T(f) = - v(p) / v(n),
+// accurate when the impedance looking into the feedback network is much
+// larger than the driving-point impedance behind it (true for the
+// resistive feedback around this library's amplifiers).
+//
+// From T(f) the usual margins follow: unity-gain frequency, phase margin
+// and gain margin - the quantities behind the paper's "one compensation
+// network per output" claims.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "circuit/netlist.h"
+#include "devices/sources.h"
+
+namespace msim::an {
+
+struct LoopGainPoint {
+  double freq_hz = 0.0;
+  std::complex<double> t;  // loop gain
+};
+
+struct StabilityResult {
+  std::vector<LoopGainPoint> points;
+  double unity_gain_hz = 0.0;      // 0 when |T| < 1 everywhere
+  double phase_margin_deg = 0.0;   // 180 + arg T at crossover
+  double gain_margin_db = 0.0;     // -|T|dB where arg T = -180 (0 if none)
+  bool crossover_found = false;
+};
+
+// Measures T(f) on the prepared netlist.  The operating point must
+// already be solved (save_op done); the injection source's AC magnitude
+// is forced to 1 during the measurement and restored afterwards.
+StabilityResult measure_loop_gain(ckt::Netlist& nl, dev::VSource* probe,
+                                  const std::vector<double>& freqs_hz);
+
+}  // namespace msim::an

@@ -1,0 +1,73 @@
+#include "analysis/transfer.h"
+
+#include "analysis/mna.h"
+#include "analysis/op.h"
+#include "devices/sources.h"
+#include "numeric/lu.h"
+
+namespace msim::an {
+
+TransferResult run_tf(ckt::Netlist& nl, const std::string& source,
+                      ckt::NodeId out_p, ckt::NodeId out_n,
+                      double temp_k) {
+  TransferResult r;
+  auto* vsrc = nl.find_as<dev::VSource>(source);
+  auto* isrc = vsrc ? nullptr : nl.find_as<dev::ISource>(source);
+  if (!vsrc && !isrc) return r;
+
+  // Jacobian at the (already solved) OP.  We re-solve here to guarantee
+  // consistency and to obtain the linearization point.
+  OpOptions opt;
+  opt.temp_k = temp_k;
+  const OpResult op = solve_op(nl, opt);
+  if (!op.converged) return r;
+
+  AssembleParams p;
+  p.mode = ckt::AnalysisMode::kDcOp;
+  p.temp_k = temp_k;
+  num::RealMatrix jac;
+  num::RealVector rhs;
+  assemble_real(nl, op.x, p, jac, rhs);
+  num::RealLu lu(jac);
+  if (lu.singular()) return r;
+
+  const std::size_t n = op.x.size();
+  auto vdiff = [&](const num::RealVector& x, ckt::NodeId a,
+                   ckt::NodeId b) {
+    const double va = a == ckt::kGround ? 0.0 : x[a - 1];
+    const double vb = b == ckt::kGround ? 0.0 : x[b - 1];
+    return va - vb;
+  };
+
+  // 1. Gain and input resistance: perturb the source by a unit.
+  num::RealVector b1(n, 0.0);
+  if (vsrc) {
+    b1[static_cast<std::size_t>(vsrc->branch_base())] = 1.0;
+  } else {
+    const auto& nd = isrc->nodes();
+    if (nd[0] != ckt::kGround) b1[nd[0] - 1] -= 1.0;
+    if (nd[1] != ckt::kGround) b1[nd[1] - 1] += 1.0;
+  }
+  const num::RealVector dx = lu.solve(b1);
+  r.gain = vdiff(dx, out_p, out_n);
+  if (vsrc) {
+    // dI through the source for dV = 1: r_in = 1 / dI (current into +).
+    const double di = dx[static_cast<std::size_t>(vsrc->branch_base())];
+    r.r_in = di != 0.0 ? std::abs(1.0 / di) : 1e18;
+  } else {
+    const auto& nd = isrc->nodes();
+    r.r_in = std::abs(vdiff(dx, nd[1], nd[0]));
+  }
+
+  // 2. Output resistance: unit current into the output port.
+  num::RealVector b2(n, 0.0);
+  if (out_p != ckt::kGround) b2[out_p - 1] += 1.0;
+  if (out_n != ckt::kGround) b2[out_n - 1] -= 1.0;
+  const num::RealVector dy = lu.solve(b2);
+  r.r_out = std::abs(vdiff(dy, out_p, out_n));
+
+  r.ok = true;
+  return r;
+}
+
+}  // namespace msim::an

@@ -1,0 +1,26 @@
+// Small-signal DC transfer-function analysis (SPICE .tf): gain from a
+// designated source to an output, plus input and output resistance -
+// three linear solves on the operating-point Jacobian.
+#pragma once
+
+#include <string>
+
+#include "circuit/netlist.h"
+
+namespace msim::an {
+
+struct TransferResult {
+  bool ok = false;
+  double gain = 0.0;   // d v(out) / d (source value)
+  double r_in = 0.0;   // resistance seen by the input source
+  double r_out = 0.0;  // output resistance at the output port
+};
+
+// Computes the DC transfer function around the *solved* operating point
+// (call solve_op first).  `source` names a VSource or ISource; the
+// output is sensed differentially between out_p and out_n.
+TransferResult run_tf(ckt::Netlist& nl, const std::string& source,
+                      ckt::NodeId out_p, ckt::NodeId out_n,
+                      double temp_k = 300.15);
+
+}  // namespace msim::an

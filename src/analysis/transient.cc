@@ -1,0 +1,189 @@
+#include "analysis/transient.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analysis/mna.h"
+#include "analysis/op.h"
+#include "numeric/lu.h"
+
+namespace msim::an {
+namespace {
+
+bool newton_step(const ckt::Netlist& nl, const AssembleParams& p,
+                 const TranOptions& opt, num::RealVector& x) {
+  num::RealMatrix jac;
+  num::RealVector rhs;
+  for (int it = 0; it < opt.max_newton; ++it) {
+    assemble_real(nl, x, p, jac, rhs);
+    num::RealLu lu(jac);
+    if (lu.singular()) return false;
+    const num::RealVector x_new = lu.solve(rhs);
+
+    double max_dx = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i)
+      max_dx = std::max(max_dx, std::abs(x_new[i] - x[i]));
+    const double scale =
+        max_dx > opt.max_step ? opt.max_step / max_dx : 1.0;
+
+    bool converged = true;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double dx = x_new[i] - x[i];
+      if (std::abs(dx) > opt.vtol + opt.reltol * std::abs(x_new[i]))
+        converged = false;
+      x[i] += scale * dx;
+    }
+    if (converged && scale == 1.0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<double> TranResult::node_wave(ckt::NodeId n) const {
+  std::vector<double> w;
+  w.reserve(x.size());
+  for (const auto& sol : x)
+    w.push_back(n == ckt::kGround ? 0.0 : sol[n - 1]);
+  return w;
+}
+
+std::vector<double> TranResult::diff_wave(ckt::NodeId p,
+                                          ckt::NodeId n) const {
+  std::vector<double> w;
+  w.reserve(x.size());
+  for (const auto& sol : x) {
+    const double vp = p == ckt::kGround ? 0.0 : sol[p - 1];
+    const double vn = n == ckt::kGround ? 0.0 : sol[n - 1];
+    w.push_back(vp - vn);
+  }
+  return w;
+}
+
+namespace {
+
+// Divided-difference LTE estimate for the trapezoidal rule:
+// LTE ~ h^3 x''' / 12 with x''' ~ 6 * DD3 over the last four points.
+double lte_estimate(const std::vector<double>& ts,
+                    const std::vector<num::RealVector>& xs, double t_new,
+                    const num::RealVector& x_new, double h) {
+  const std::size_t n = ts.size();
+  if (n < 3) return 0.0;  // not enough history: accept
+  const double t0 = ts[n - 3], t1 = ts[n - 2], t2 = ts[n - 1];
+  double worst = 0.0;
+  for (std::size_t i = 0; i < x_new.size(); ++i) {
+    const double d01 = (xs[n - 2][i] - xs[n - 3][i]) / (t1 - t0);
+    const double d12 = (xs[n - 1][i] - xs[n - 2][i]) / (t2 - t1);
+    const double d23 = (x_new[i] - xs[n - 1][i]) / (t_new - t2);
+    const double dd012 = (d12 - d01) / (t2 - t0);
+    const double dd123 = (d23 - d12) / (t_new - t1);
+    const double ddd = (dd123 - dd012) / (t_new - t0);  // ~ x'''/6
+    worst = std::max(worst, std::abs(h * h * h * ddd * 0.5));
+  }
+  return worst;
+}
+
+}  // namespace
+
+TranResult run_transient(ckt::Netlist& nl, const TranOptions& opt) {
+  TranResult r;
+
+  OpOptions op_opt;
+  op_opt.temp_k = opt.temp_k;
+  op_opt.gmin = opt.gmin;
+  op_opt.gshunt = opt.gshunt;
+  const OpResult op = solve_op(nl, op_opt);
+  if (!op.converged) return r;
+
+  for (const auto& d : nl.devices()) d->begin_transient(op.x);
+
+  AssembleParams p;
+  p.mode = ckt::AnalysisMode::kTransient;
+  p.temp_k = opt.temp_k;
+  p.gmin = opt.gmin;
+  p.gshunt = opt.gshunt;
+  p.use_trapezoidal = opt.use_trapezoidal;
+
+  num::RealVector x = op.x;
+  double t = 0.0;
+  if (opt.record && opt.record_after <= 0.0) {
+    r.time.push_back(0.0);
+    r.x.push_back(x);
+  }
+
+  if (!opt.adaptive) {
+    // Fixed base step (exactly reproducible sampling for FFT work);
+    // Newton failures trigger transparent sub-stepping to the boundary.
+    while (t < opt.t_stop - 0.5 * opt.dt) {
+      double dt = opt.dt;
+      const double t_target = std::min(t + opt.dt, opt.t_stop);
+      int halvings = 0;
+      while (t < t_target - 1e-18) {
+        dt = std::min(dt, t_target - t);
+        num::RealVector x_try = x;
+        p.time = t + dt;
+        p.dt = dt;
+        if (newton_step(nl, p, opt, x_try)) {
+          for (const auto& d : nl.devices()) d->accept_step(x_try, dt);
+          x = std::move(x_try);
+          t += dt;
+        } else {
+          if (++halvings > opt.max_halvings) return r;
+          dt *= 0.5;
+        }
+      }
+      if (opt.record && t >= opt.record_after) {
+        r.time.push_back(t);
+        r.x.push_back(x);
+      }
+    }
+    r.ok = true;
+    return r;
+  }
+
+  // Adaptive stepping with LTE control.  A short accepted-point history
+  // feeds the divided-difference estimator (kept separate from the
+  // recorded output so record_after still works).
+  const double dt_max = opt.dt_max > 0.0 ? opt.dt_max : 50.0 * opt.dt;
+  std::vector<double> hist_t{t};
+  std::vector<num::RealVector> hist_x{x};
+  double dt = opt.dt;
+  int rejections = 0;
+  while (t < opt.t_stop * (1.0 - 1e-12)) {
+    dt = std::min(dt, opt.t_stop - t);
+    num::RealVector x_try = x;
+    p.time = t + dt;
+    p.dt = dt;
+    bool ok = newton_step(nl, p, opt, x_try);
+    double err = 0.0;
+    if (ok) err = lte_estimate(hist_t, hist_x, t + dt, x_try, dt);
+    if (!ok || (err > opt.lte_tol && dt > opt.dt_min * 1.01)) {
+      dt = std::max(0.5 * dt, opt.dt_min);
+      if (++rejections > 60 + opt.max_halvings * 8) return r;
+      continue;
+    }
+    rejections = 0;
+    for (const auto& d : nl.devices()) d->accept_step(x_try, dt);
+    x = std::move(x_try);
+    t += dt;
+    hist_t.push_back(t);
+    hist_x.push_back(x);
+    if (hist_t.size() > 4) {
+      hist_t.erase(hist_t.begin());
+      hist_x.erase(hist_x.begin());
+    }
+    if (opt.record && t >= opt.record_after) {
+      r.time.push_back(t);
+      r.x.push_back(x);
+    }
+    // Step-size controller: grow gently when the error leaves margin.
+    if (err < 0.25 * opt.lte_tol)
+      dt = std::min(dt * 1.5, dt_max);
+    else if (err < 0.7 * opt.lte_tol)
+      dt = std::min(dt * 1.1, dt_max);
+  }
+  r.ok = true;
+  return r;
+}
+
+}  // namespace msim::an

@@ -1,0 +1,58 @@
+// Time-domain transient analysis.
+//
+// Trapezoidal (default) or backward-Euler integration with a fixed base
+// step; Newton failures trigger automatic step halving and retry.  The
+// fixed base step makes the FFT post-processing in the distortion benches
+// trivially coherent (dt is chosen as an integer divisor of the signal
+// period).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "circuit/netlist.h"
+#include "numeric/matrix.h"
+
+namespace msim::an {
+
+struct TranOptions {
+  double t_stop = 1e-3;
+  double dt = 1e-6;
+  double temp_k = 300.15;
+  double vtol = 1e-9;
+  double reltol = 1e-6;
+  int max_newton = 80;
+  double max_step = 0.5;      // Newton damping clamp
+  double gmin = 1e-12;
+  double gshunt = 1e-12;
+  bool use_trapezoidal = true;
+  int max_halvings = 12;      // dt reduction attempts on Newton failure
+  bool record = true;         // store full solution waveforms
+  // Skip storing points before this time (settling removal).
+  double record_after = 0.0;
+
+  // Adaptive stepping: when enabled, `dt` is the initial step and the
+  // controller grows/shrinks it between [dt_min, dt_max] based on a
+  // divided-difference local-truncation-error estimate (trapezoidal
+  // LTE ~ h^3 x'''/12).  lte_tol is the per-step error target [V].
+  bool adaptive = false;
+  double dt_min = 1e-12;
+  double dt_max = 0.0;        // 0 -> 50x the base dt
+  double lte_tol = 100e-6;
+};
+
+struct TranResult {
+  bool ok = false;
+  std::vector<double> time;
+  std::vector<num::RealVector> x;
+
+  // Waveform of one node voltage.
+  std::vector<double> node_wave(ckt::NodeId n) const;
+  // Differential waveform v(p) - v(n).
+  std::vector<double> diff_wave(ckt::NodeId p, ckt::NodeId n) const;
+};
+
+// Runs a transient from the DC operating point at t = 0.
+TranResult run_transient(ckt::Netlist& nl, const TranOptions& opt);
+
+}  // namespace msim::an

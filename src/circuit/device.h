@@ -1,0 +1,183 @@
+// Device interface: every circuit element implements MNA stamping for the
+// large-signal (DC / transient) system, small-signal AC stamping around a
+// saved operating point, and enumeration of its physical noise sources.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "circuit/node.h"
+#include "numeric/matrix.h"
+
+namespace msim::ckt {
+
+enum class AnalysisMode {
+  kDcOp,       // capacitors open, inductors short (via 0 V branch)
+  kTransient,  // dynamic elements use companion models
+};
+
+// Context handed to Device::stamp().  The Newton iteration solves
+//   jac * x_next = rhs
+// so nonlinear devices stamp their Norton linearization around the
+// candidate solution `x`:  g into jac, (g*v0 - i(v0)) into rhs.
+class StampContext {
+ public:
+  StampContext(AnalysisMode mode, const num::RealVector& x,
+               num::RealMatrix& jac, num::RealVector& rhs)
+      : mode_(mode), x_(x), jac_(jac), rhs_(rhs) {}
+
+  AnalysisMode mode() const { return mode_; }
+  double time = 0.0;    // current transient time (s); 0 for DC
+  double dt = 0.0;      // current transient step (s); 0 for DC
+  double temp_k = 300.15;
+  double gmin = 0.0;    // homotopy conductance added by nonlinear junctions
+  bool use_trapezoidal = true;  // integration method for companion models
+  double source_scale = 1.0;    // source-stepping homotopy factor (DC only)
+
+  // Node voltage in the current candidate solution (ground -> 0).
+  double v(NodeId n) const { return n == kGround ? 0.0 : x_[n - 1]; }
+  // Value of an arbitrary unknown (node voltage or branch current).
+  double unknown(int idx) const { return x_[idx]; }
+  std::size_t size() const { return x_.size(); }
+
+  void add_jac(int row_unknown, int col_unknown, double g) {
+    jac_(row_unknown, col_unknown) += g;
+  }
+  // Conductance stamp between two *nodes* (either may be ground).
+  void add_conductance(NodeId p, NodeId n, double g) {
+    if (p != kGround) jac_(p - 1, p - 1) += g;
+    if (n != kGround) jac_(n - 1, n - 1) += g;
+    if (p != kGround && n != kGround) {
+      jac_(p - 1, n - 1) -= g;
+      jac_(n - 1, p - 1) -= g;
+    }
+  }
+  // RHS current `i` injected INTO node `n` (ground entries dropped).
+  void add_current_into(NodeId n, double i) {
+    if (n != kGround) rhs_[n - 1] += i;
+  }
+  void add_rhs(int row_unknown, double v) { rhs_[row_unknown] += v; }
+  // Jacobian stamp with a node on the row and an arbitrary unknown column.
+  void add_node_jac(NodeId row, int col_unknown, double g) {
+    if (row != kGround) jac_(row - 1, col_unknown) += g;
+  }
+  void add_branch_jac(int row_unknown, NodeId col, double g) {
+    if (col != kGround) jac_(row_unknown, col - 1) += g;
+  }
+
+ private:
+  AnalysisMode mode_;
+  const num::RealVector& x_;
+  num::RealMatrix& jac_;
+  num::RealVector& rhs_;
+};
+
+// Context for small-signal complex stamping at angular frequency omega.
+class AcStampContext {
+ public:
+  AcStampContext(double omega, num::ComplexMatrix& jac,
+                 num::ComplexVector& rhs)
+      : omega_(omega), jac_(jac), rhs_(rhs) {}
+
+  double omega() const { return omega_; }
+
+  void add_admittance(NodeId p, NodeId n, std::complex<double> y) {
+    if (p != kGround) jac_(p - 1, p - 1) += y;
+    if (n != kGround) jac_(n - 1, n - 1) += y;
+    if (p != kGround && n != kGround) {
+      jac_(p - 1, n - 1) -= y;
+      jac_(n - 1, p - 1) -= y;
+    }
+  }
+  // Transconductance stamp: current gm*(v(cp)-v(cn)) flowing p -> n.
+  void add_transconductance(NodeId p, NodeId n, NodeId cp, NodeId cn,
+                            std::complex<double> gm) {
+    auto at = [&](NodeId r, NodeId c, std::complex<double> v) {
+      if (r != kGround && c != kGround) jac_(r - 1, c - 1) += v;
+    };
+    at(p, cp, gm);
+    at(p, cn, -gm);
+    at(n, cp, -gm);
+    at(n, cn, gm);
+  }
+  void add_jac(int row, int col, std::complex<double> v) {
+    jac_(row, col) += v;
+  }
+  void add_node_jac(NodeId row, int col, std::complex<double> v) {
+    if (row != kGround) jac_(row - 1, col) += v;
+  }
+  void add_branch_jac(int row, NodeId col, std::complex<double> v) {
+    if (col != kGround) jac_(row, col - 1) += v;
+  }
+  void add_current_into(NodeId n, std::complex<double> i) {
+    if (n != kGround) rhs_[n - 1] += i;
+  }
+  void add_rhs(int row, std::complex<double> v) { rhs_[row] += v; }
+
+ private:
+  double omega_;
+  num::ComplexMatrix& jac_;
+  num::ComplexVector& rhs_;
+};
+
+// A physical noise generator: a current source of spectral density
+// psd(f) [A^2/Hz] connected between nodes p and n, evaluated at the saved
+// operating point.
+struct NoiseSource {
+  std::string label;
+  NodeId p = kGround;
+  NodeId n = kGround;
+  std::function<double(double /*freq_hz*/)> psd;
+};
+
+class Device {
+ public:
+  Device(std::string name, std::vector<NodeId> nodes)
+      : name_(std::move(name)), nodes_(std::move(nodes)) {}
+  virtual ~Device() = default;
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  const std::string& name() const { return name_; }
+  const std::vector<NodeId>& nodes() const { return nodes_; }
+  virtual std::string_view type() const = 0;
+
+  // Number of extra branch-current unknowns this device introduces.
+  virtual int branch_count() const { return 0; }
+  // First unknown index of this device's branch block (set by the MNA
+  // assembler before any stamping).
+  int branch_base() const { return branch_base_; }
+  void set_branch_base(int b) { branch_base_ = b; }
+
+  // Large-signal stamping (DC operating point and transient).
+  virtual void stamp(StampContext& ctx) const = 0;
+
+  // Called when a transient step is accepted, with the accepted solution;
+  // dynamic devices update their integration history here.
+  virtual void accept_step(const num::RealVector& /*x*/, double /*dt*/) {}
+  // Called before transient starts, with the DC operating point.
+  virtual void begin_transient(const num::RealVector& /*x_op*/) {}
+
+  // Stores the operating point for small-signal / noise analyses.
+  virtual void save_op(const num::RealVector& /*x*/, double /*temp_k*/) {}
+
+  // Small-signal stamping around the saved operating point.
+  virtual void stamp_ac(AcStampContext& ctx) const = 0;
+
+  // Appends this device's noise sources (evaluated at the saved OP).
+  virtual void append_noise_sources(std::vector<NoiseSource>& /*out*/,
+                                    double /*temp_k*/) const {}
+
+  // Re-evaluates temperature-dependent parameters.
+  virtual void set_temperature(double /*temp_k*/) {}
+
+ protected:
+  std::string name_;
+  std::vector<NodeId> nodes_;
+  int branch_base_ = -1;
+};
+
+}  // namespace msim::ckt

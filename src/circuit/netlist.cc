@@ -1,0 +1,53 @@
+#include "circuit/netlist.h"
+
+#include <stdexcept>
+
+namespace msim::ckt {
+
+Netlist::Netlist() {
+  names_.push_back("0");
+  by_name_.emplace("0", kGround);
+  by_name_.emplace("gnd", kGround);
+}
+
+NodeId Netlist::node(std::string_view name) {
+  const std::string key(name);
+  auto it = by_name_.find(key);
+  if (it != by_name_.end()) return it->second;
+  const NodeId id = static_cast<NodeId>(names_.size());
+  names_.push_back(key);
+  by_name_.emplace(key, id);
+  return id;
+}
+
+NodeId Netlist::internal_node(std::string_view hint) {
+  return node("_" + std::string(hint) + std::to_string(anon_counter_++));
+}
+
+bool Netlist::has_node(std::string_view name) const {
+  return by_name_.count(std::string(name)) != 0;
+}
+
+const std::string& Netlist::node_name(NodeId id) const {
+  return names_.at(static_cast<std::size_t>(id));
+}
+
+Device* Netlist::find(std::string_view name) const {
+  auto it = index_.find(std::string(name));
+  if (it == index_.end()) return nullptr;
+  return devices_[it->second].get();
+}
+
+int Netlist::assign_unknowns() {
+  int next = node_count() - 1;  // node voltages first (ground excluded)
+  for (const auto& d : devices_) {
+    d->set_branch_base(next);
+    next += d->branch_count();
+  }
+  unknown_count_ = next;
+  if (unknown_count_ == 0)
+    throw std::runtime_error("netlist has no unknowns");
+  return unknown_count_;
+}
+
+}  // namespace msim::ckt

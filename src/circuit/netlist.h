@@ -1,0 +1,69 @@
+// Netlist: owns nodes and devices, assigns MNA unknown indices.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "circuit/device.h"
+#include "circuit/node.h"
+
+namespace msim::ckt {
+
+class Netlist {
+ public:
+  Netlist();
+
+  // Returns the id for a named node, creating it on first use.  The names
+  // "0" and "gnd" always map to ground.
+  NodeId node(std::string_view name);
+  // Creates a fresh anonymous internal node (named "_n<k>").
+  NodeId internal_node(std::string_view hint = "n");
+
+  bool has_node(std::string_view name) const;
+  const std::string& node_name(NodeId id) const;
+  // Total node count including ground.
+  int node_count() const { return static_cast<int>(names_.size()); }
+
+  // Constructs a device in place and returns a non-owning pointer.
+  template <typename D, typename... Args>
+  D* add(Args&&... args) {
+    auto dev = std::make_unique<D>(std::forward<Args>(args)...);
+    D* raw = dev.get();
+    index_[raw->name()] = devices_.size();
+    devices_.push_back(std::move(dev));
+    return raw;
+  }
+
+  Device* find(std::string_view name) const;
+  // Finds and downcasts; returns nullptr when absent or of another type.
+  template <typename D>
+  D* find_as(std::string_view name) const {
+    return dynamic_cast<D*>(find(name));
+  }
+
+  const std::vector<std::unique_ptr<Device>>& devices() const {
+    return devices_;
+  }
+
+  // Assigns branch-current unknowns after all node voltages; returns the
+  // total number of MNA unknowns (node_count()-1 + total branches).
+  int assign_unknowns();
+  int unknown_count() const { return unknown_count_; }
+
+  // The MNA unknown index of a node voltage (node must not be ground).
+  static int node_unknown(NodeId n) { return n - 1; }
+
+ private:
+  std::vector<std::string> names_;  // index = NodeId
+  std::unordered_map<std::string, NodeId> by_name_;
+  std::vector<std::unique_ptr<Device>> devices_;
+  std::unordered_map<std::string, std::size_t> index_;
+  int unknown_count_ = 0;
+  int anon_counter_ = 0;
+};
+
+}  // namespace msim::ckt

@@ -1,0 +1,11 @@
+// Node identifiers for the netlist / MNA layer.
+#pragma once
+
+namespace msim::ckt {
+
+// Nodes are dense small integers; 0 is always ground.  The MNA unknown
+// index of node k (k > 0) is k - 1; branch-current unknowns follow.
+using NodeId = int;
+inline constexpr NodeId kGround = 0;
+
+}  // namespace msim::ckt

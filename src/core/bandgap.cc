@@ -1,0 +1,111 @@
+#include "core/bandgap.h"
+
+#include <cmath>
+
+#include "numeric/units.h"
+
+namespace msim::core {
+namespace {
+
+// Estimated Vbe of the vertical PNP at the loop current (used only for
+// initial resistor sizing; the OP solver finds the true values).
+constexpr double kVbeNominal = 0.71;
+
+}  // namespace
+
+BandgapCircuit build_bandgap(ckt::Netlist& nl, const proc::ProcessModel& pm,
+                             const BandgapDesign& d, ckt::NodeId vdd,
+                             ckt::NodeId vss, ckt::NodeId agnd,
+                             const std::string& prefix) {
+  BandgapCircuit bg;
+  bg.vdd = vdd;
+  bg.vss = vss;
+  bg.agnd = agnd;
+
+  auto nn = [&](const char* s) { return nl.node(prefix + "." + s); };
+  auto dn = [&](const char* s) { return prefix + "." + s; };
+
+  const auto& pp = pm.pmos();
+  const auto& np = pm.nmos();
+  const double l = d.l_mirror;
+  auto w_pmos = [&](double i) {
+    return 2.0 * i / (pp.kp * d.veff_p * d.veff_p) * l;
+  };
+  auto w_nmos = [&](double i) {
+    return 2.0 * i / (np.kp * d.veff_n * d.veff_n) * l;
+  };
+
+  // ------------------------------------------------------- PTAT loop
+  const auto p_n1 = nn("p_n1");
+  const auto p_n2 = nn("p_n2");  // PMOS gate rail of the PTAT loop
+  const auto p_e1 = nn("p_e1");
+  const auto p_rt = nn("p_rt");
+  const auto p_e2 = nn("p_e2");
+  const double wp1 = w_pmos(d.i_ptat);
+  const double wn1 = w_nmos(d.i_ptat);
+  nl.add<dev::Mosfet>(dn("MPp1"), p_n1, p_n2, vdd, vdd, pp, wp1, l);
+  nl.add<dev::Mosfet>(dn("MPp2"), p_n2, p_n2, vdd, vdd, pp, wp1, l);
+  const double wf1 = wn1 / l * d.l_force;
+  nl.add<dev::Mosfet>(dn("MNp1"), p_n1, p_n1, p_e1, vss, np, wf1,
+                      d.l_force);
+  nl.add<dev::Mosfet>(dn("MNp2"), p_n2, p_n1, p_rt, vss, np, wf1,
+                      d.l_force);
+  nl.add<dev::Bjt>(dn("Qp1"), vss, vss, p_e1, pm.vertical_pnp(1.0));
+  nl.add<dev::Bjt>(dn("Qp2"), vss, vss, p_e2,
+                   pm.vertical_pnp(d.area_ratio));
+  bg.r1_ohms = num::thermal_voltage(300.15) * std::log(d.area_ratio) /
+               d.i_ptat;
+  bg.r1 = nl.add<dev::Resistor>(dn("R1"), p_rt, p_e2, bg.r1_ohms);
+  bg.r1->set_tc(pm.poly_tc1(), pm.poly_tc2());
+  nl.add<dev::ISource>(dn("Istart_p"), vdd, p_n1, d.startup_a);
+
+  // ------------------------------------------------------- CTAT loop
+  const auto c_n1 = nn("c_n1");
+  const auto c_n2 = nn("c_n2");  // PMOS gate rail of the CTAT loop
+  const auto c_e1 = nn("c_e1");
+  const auto c_rt = nn("c_rt");
+  const double wp2 = w_pmos(d.i_ctat);
+  const double wn2 = w_nmos(d.i_ctat);
+  nl.add<dev::Mosfet>(dn("MPc1"), c_n1, c_n2, vdd, vdd, pp, wp2, l);
+  nl.add<dev::Mosfet>(dn("MPc2"), c_n2, c_n2, vdd, vdd, pp, wp2, l);
+  const double wf2 = wn2 / l * d.l_force;
+  nl.add<dev::Mosfet>(dn("MNc1"), c_n1, c_n1, c_e1, vss, np, wf2,
+                      d.l_force);
+  nl.add<dev::Mosfet>(dn("MNc2"), c_n2, c_n1, c_rt, vss, np, wf2,
+                      d.l_force);
+  nl.add<dev::Bjt>(dn("Qc1"), vss, vss, c_e1, pm.vertical_pnp(1.0));
+  bg.r3_ohms = kVbeNominal / d.i_ctat;
+  bg.r3 = nl.add<dev::Resistor>(dn("R3"), c_rt, vss, bg.r3_ohms);
+  bg.r3->set_tc(pm.poly_tc1(), pm.poly_tc2());
+  nl.add<dev::ISource>(dn("Istart_c"), vdd, c_n1, d.startup_a);
+
+  // -------------------------------------------- composite output legs
+  bg.vref_p = nn("vref_p");
+  bg.vref_n = nn("vref_n");
+  const double i_comp = d.k1 * d.i_ptat + d.k2 * d.i_ctat;
+  bg.r2_ohms = d.vref / i_comp;
+
+  // +0.6 V leg: weighted PMOS mirrors push the composite current into
+  // R2p referenced to analog ground.
+  nl.add<dev::Mosfet>(dn("MPo1"), bg.vref_p, p_n2, vdd, vdd, pp,
+                      wp1 * d.k1, l);
+  nl.add<dev::Mosfet>(dn("MPo2"), bg.vref_p, c_n2, vdd, vdd, pp,
+                      wp2 * d.k2, l);
+  bg.r2p = nl.add<dev::Resistor>(dn("R2p"), bg.vref_p, agnd, bg.r2_ohms);
+  bg.r2p->set_tc(pm.poly_tc1(), pm.poly_tc2());
+
+  // -0.6 V leg: the same composite current is first mirrored into a
+  // vss-referenced NMOS diode, then pulled out of R2n.
+  const auto nmir = nn("nmir");
+  nl.add<dev::Mosfet>(dn("MPo3"), nmir, p_n2, vdd, vdd, pp, wp1 * d.k1, l);
+  nl.add<dev::Mosfet>(dn("MPo4"), nmir, c_n2, vdd, vdd, pp, wp2 * d.k2, l);
+  const double wno = w_nmos(i_comp);
+  nl.add<dev::Mosfet>(dn("MNo1"), nmir, nmir, vss, vss, np, wno, l);
+  nl.add<dev::Mosfet>(dn("MNo2"), bg.vref_n, nmir, vss, vss, np, wno, l);
+  bg.r2n = nl.add<dev::Resistor>(dn("R2n"), agnd, bg.vref_n, bg.r2_ohms);
+  bg.r2n->set_tc(pm.poly_tc1(), pm.poly_tc2());
+
+  return bg;
+}
+
+}  // namespace msim::core

@@ -1,0 +1,66 @@
+// Figure 3: the fully differential bandgap reference.
+//
+// Architecture (reconstructed from the paper's description: "built of
+// CMOS compatible vertical-bipolar transistors and MOS current mirrors
+// with geometry and current values that minimize the noise energy in the
+// audio band", operating down to 2.6 V, outputs +-0.6 V symmetric about
+// analog ground):
+//
+//   * a delta-Vbe/R1 PTAT current loop (as in the bias cell),
+//   * a Vbe/R3 CTAT current loop of the same mirror topology,
+//   * composite output mirrors summing k1*I_ptat + k2*I_ctat,
+//   * the composite current pushed through R2p to analog ground for the
+//     +0.6 V output and pulled through R2n for the -0.6 V output.
+//
+// Choosing k1/k2 so the PTAT and CTAT temperature slopes cancel gives the
+// bandgap null; the residual is the classic Vbe-curvature parabola whose
+// end-to-end spread the paper bounds at +-40 ppm/C.  All stack heights
+// respect the 2.6 V / no-cascode constraint.
+#pragma once
+
+#include "circuit/netlist.h"
+#include "devices/bjt.h"
+#include "devices/mosfet.h"
+#include "devices/passive.h"
+#include "devices/sources.h"
+#include "process/process.h"
+
+namespace msim::core {
+
+struct BandgapDesign {
+  double i_ptat = 60e-6;     // PTAT loop current at 27 C (high: noise)
+  double i_ctat = 60e-6;     // CTAT loop current at 27 C
+  double area_ratio = 8.0;   // delta-Vbe emitter area ratio
+  double k1 = 0.66;          // PTAT weight in the composite mirror
+  double k2 = 1.0;           // CTAT weight
+  double vref = 0.6;         // per-side output magnitude [V]
+  double veff_p = 0.35;      // higher overdrive: less mirror gm -> noise
+  double veff_n = 0.30;
+  double l_mirror = 20e-6;   // long channels: PSRR + low mirror flicker
+  double l_force = 40e-6;    // NMOS forcing pairs: their gate flicker is
+                             // amplified by k1*R2/R1, so they get the
+                             // largest area (paper Sec. 2.1 sizing rule)
+  double startup_a = 50e-9;
+};
+
+struct BandgapCircuit {
+  ckt::NodeId vdd = ckt::kGround;
+  ckt::NodeId vss = ckt::kGround;
+  ckt::NodeId agnd = ckt::kGround;
+  ckt::NodeId vref_p = ckt::kGround;  // ~ +0.6 V
+  ckt::NodeId vref_n = ckt::kGround;  // ~ -0.6 V
+  double r1_ohms = 0.0;   // PTAT resistor
+  double r3_ohms = 0.0;   // CTAT resistor
+  double r2_ohms = 0.0;   // output resistors (each side)
+  dev::Resistor* r1 = nullptr;
+  dev::Resistor* r3 = nullptr;
+  dev::Resistor* r2p = nullptr;
+  dev::Resistor* r2n = nullptr;
+};
+
+BandgapCircuit build_bandgap(ckt::Netlist& nl, const proc::ProcessModel& pm,
+                             const BandgapDesign& d, ckt::NodeId vdd,
+                             ckt::NodeId vss, ckt::NodeId agnd,
+                             const std::string& prefix = "bg");
+
+}  // namespace msim::core

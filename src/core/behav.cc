@@ -1,0 +1,91 @@
+#include "core/behav.h"
+
+#include <cmath>
+
+#include "devices/diode.h"
+
+namespace msim::core {
+
+BehavAmp build_behav_amp(ckt::Netlist& nl, const BehavAmpDesign& d,
+                         ckt::NodeId agnd, ckt::NodeId inp, ckt::NodeId inn,
+                         const std::string& prefix) {
+  BehavAmp a;
+  a.inp = inp;
+  a.inn = inn;
+  a.outp = nl.node(prefix + ".outp");
+  a.outn = nl.node(prefix + ".outn");
+
+  auto dn = [&](const char* s) { return prefix + "." + s; };
+
+  // Two-stage macromodel per half:
+  //   1. slew-limited transconductor gm1 into R0 || C0 (the dominant
+  //      pole), with back-to-back diode clamps bounding the integrator
+  //      node so overload recovery is instantaneous;
+  //   2. saturating output stage out = vmax * tanh(k u / vmax) with
+  //      output resistance rout.
+  // Differential DC gain: 2 gm1 R0 k = a0;  GBW: 2 gm1 k / (2 pi C0);
+  // slew at the output: k * i_slew / C0.
+  const double gm1 = 1e-3;
+  const double k = 10.0;
+  const double c0 = 2.0 * gm1 * k / (2.0 * M_PI * d.gbw_hz);
+  const double r0 = d.a0 / (2.0 * gm1 * k);
+  const double i_slew = d.slew * c0 / k;
+
+  auto half = [&](const char* tag, ckt::NodeId cp, ckt::NodeId cn,
+                  ckt::NodeId out) {
+    const auto u = nl.node(prefix + ".u_" + tag);
+    nl.add<dev::TanhVccs>(dn((std::string("G1") + tag).c_str()), agnd, u,
+                          cp, cn, gm1, i_slew);
+    nl.add<dev::Resistor>(dn((std::string("R0") + tag).c_str()), u, agnd,
+                          r0)
+        ->set_noiseless(true);
+    nl.add<dev::Capacitor>(dn((std::string("C0") + tag).c_str()), u, agnd,
+                           c0);
+    // Integrator clamp: conduction from ~0.55 V keeps |u| bounded just
+    // past the output stage's saturation point.
+    nl.add<dev::Diode>(dn((std::string("Dp") + tag).c_str()), u, agnd,
+                       dev::DiodeParams{});
+    nl.add<dev::Diode>(dn((std::string("Dn") + tag).c_str()), agnd, u,
+                       dev::DiodeParams{});
+    // Output stage: non-inverting (G1 injects into u with + polarity),
+    // G2 inverts, so sense u negatively for a net positive path.
+    const double gm2 = k / d.rout;
+    const double i_clamp = d.vout_max / d.rout;
+    nl.add<dev::TanhVccs>(dn((std::string("G2") + tag).c_str()), out, agnd,
+                          agnd, u, gm2, i_clamp);
+    nl.add<dev::Resistor>(dn((std::string("R2") + tag).c_str()), out, agnd,
+                          d.rout)
+        ->set_noiseless(true);
+  };
+  half("p", inp, inn, a.outp);
+  half("n", inn, inp, a.outn);
+  return a;
+}
+
+BehavPga build_behav_pga(ckt::Netlist& nl, const BehavAmpDesign& d,
+                         double gain, ckt::NodeId agnd, ckt::NodeId inp,
+                         ckt::NodeId inn, const std::string& prefix) {
+  BehavPga pga;
+  // The DDA's second input pair is modelled by subtracting the divided
+  // output from the input with ideal VCVS arithmetic:
+  //   fb_p = inp - (1/gain) * outp ;  fb_n = inn - (1/gain) * outn.
+  const auto fb_p = nl.node(prefix + ".fb_p");
+  const auto fb_n = nl.node(prefix + ".fb_n");
+  BehavAmp amp = build_behav_amp(nl, d, agnd, fb_p, fb_n, prefix + ".amp");
+  pga.outp = amp.outp;
+  pga.outn = amp.outn;
+  pga.amp = amp;
+
+  const double beta = 1.0 / gain;
+  const auto mid_p = nl.node(prefix + ".mid_p");
+  nl.add<dev::Vcvs>(prefix + ".Ein_p", fb_p, mid_p, inp, agnd, 1.0);
+  nl.add<dev::Vcvs>(prefix + ".Efb_p", mid_p, agnd, amp.outp, agnd,
+                    -beta);
+  const auto mid_n = nl.node(prefix + ".mid_n");
+  nl.add<dev::Vcvs>(prefix + ".Ein_n", fb_n, mid_n, inn, agnd, 1.0);
+  nl.add<dev::Vcvs>(prefix + ".Efb_n", mid_n, agnd, amp.outn, agnd,
+                    -beta);
+  return pga;
+}
+
+}  // namespace msim::core

@@ -1,0 +1,48 @@
+// Behavioral (macromodel) building blocks.
+//
+// The transistor-level blocks in this library are the reference
+// implementation; these macromodels reproduce their first-order behaviour
+// (finite DC gain, single-pole GBW, slew limiting, output saturation)
+// at a fraction of the simulation cost.  They are used by the Figure-1
+// front-end chain simulation and by ablation benches that need an
+// "ideal amplifier" comparison point.
+#pragma once
+
+#include "circuit/netlist.h"
+#include "devices/controlled.h"
+#include "devices/passive.h"
+#include "devices/tanh_vccs.h"
+#include "process/process.h"
+
+namespace msim::core {
+
+struct BehavAmpDesign {
+  double a0 = 20e3;       // DC differential gain
+  double gbw_hz = 2e6;    // unity-gain bandwidth
+  double slew = 2.5e6;    // output slew rate [V/s]
+  double vout_max = 1.1;  // per-side output clamp [V]
+  double rout = 100.0;    // per-side output resistance reference
+};
+
+struct BehavAmp {
+  ckt::NodeId inp{}, inn{};
+  ckt::NodeId outp{}, outn{};
+};
+
+// Fully differential macromodel amplifier: out = A(s) * (inp - inn),
+// slew-limited and clamped per side at +-vout_max around agnd.
+BehavAmp build_behav_amp(ckt::Netlist& nl, const BehavAmpDesign& d,
+                         ckt::NodeId agnd, ckt::NodeId inp, ckt::NodeId inn,
+                         const std::string& prefix);
+
+// Non-inverting behavioral PGA: macromodel amplifier closed by an ideal
+// feedback divider (gain = 1 + rf/ra), mirroring the DDA arrangement.
+struct BehavPga {
+  BehavAmp amp;
+  ckt::NodeId outp{}, outn{};
+};
+BehavPga build_behav_pga(ckt::Netlist& nl, const BehavAmpDesign& d,
+                         double gain, ckt::NodeId agnd, ckt::NodeId inp,
+                         ckt::NodeId inn, const std::string& prefix);
+
+}  // namespace msim::core

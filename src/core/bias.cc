@@ -1,0 +1,79 @@
+#include "core/bias.h"
+
+#include <cmath>
+
+#include "numeric/units.h"
+
+namespace msim::core {
+
+double bias_design_current(const BiasDesign& d, double r1_ohms,
+                           double temp_k) {
+  return num::thermal_voltage(temp_k) * std::log(d.area_ratio) / r1_ohms;
+}
+
+BiasCircuit build_bias(ckt::Netlist& nl, const proc::ProcessModel& pm,
+                       const BiasDesign& d, ckt::NodeId vdd,
+                       ckt::NodeId vss, const std::string& prefix) {
+  BiasCircuit bc;
+  bc.vdd = vdd;
+  bc.vss = vss;
+  bc.i_nominal = d.i_bias;
+
+  auto nn = [&](const char* s) { return nl.node(prefix + "." + s); };
+  auto dn = [&](const char* s) { return prefix + "." + s; };
+
+  const auto n1 = nn("n1");
+  const auto n2 = nn("n2");   // also the PMOS gate rail (diode side)
+  const auto e1 = nn("e1");
+  const auto rt = nn("rt");
+  const auto e2 = nn("e2");
+  bc.pg = n2;
+
+  // Device sizing from the square law at the target current.
+  const auto& pp = pm.pmos();
+  const auto& np = pm.nmos();
+  const double wl_p = 2.0 * d.i_bias / (pp.kp * d.veff_p * d.veff_p);
+  const double wl_n = 2.0 * d.i_bias / (np.kp * d.veff_n * d.veff_n);
+  const double w_p = wl_p * d.l_mirror;
+  const double w_n = wl_n * d.l_mirror;
+
+  // R1 sized for the target PTAT current at nominal temperature.
+  bc.r1_ohms = num::thermal_voltage(300.15) * std::log(d.area_ratio) /
+               d.i_bias;
+
+  // PMOS mirror: MP2 diode (branch 2), MP1 mirrors into branch 1.
+  nl.add<dev::Mosfet>(dn("MP1"), n1, n2, vdd, vdd, pp, w_p, d.l_mirror);
+  nl.add<dev::Mosfet>(dn("MP2"), n2, n2, vdd, vdd, pp, w_p, d.l_mirror);
+
+  // NMOS forcing pair: equal Vgs at equal current forces V(e1) = V(rt).
+  nl.add<dev::Mosfet>(dn("MN1"), n1, n1, e1, vss, np, w_n, d.l_mirror);
+  nl.add<dev::Mosfet>(dn("MN2"), n2, n1, rt, vss, np, w_n, d.l_mirror);
+
+  // Vertical PNPs (base and collector tied to the substrate rail).
+  nl.add<dev::Bjt>(dn("Q1"), vss, vss, e1, pm.vertical_pnp(1.0));
+  nl.add<dev::Bjt>(dn("Q2"), vss, vss, e2, pm.vertical_pnp(d.area_ratio));
+
+  // Polysilicon delta-Vbe resistor.
+  bc.r1 = nl.add<dev::Resistor>(dn("R1"), rt, e2, bc.r1_ohms);
+  bc.r1->set_tc(pm.poly_tc1(), pm.poly_tc2());
+
+  // Behavioral startup: a tiny current into the NMOS gate rail keeps the
+  // zero-current equilibrium unreachable (real chips use a dedicated
+  // startup device that cuts off once the loop is live).
+  nl.add<dev::ISource>(dn("Istart"), vdd, n1, d.startup_a);
+
+  // Output measurement branch: mirrored current through a 0 V probe into
+  // a diode NMOS referenced to vss.
+  const auto no = nn("no");
+  const auto np1 = nn("np1");
+  bc.mp_out =
+      nl.add<dev::Mosfet>(dn("MP3"), np1, n2, vdd, vdd, pp, w_p,
+                          d.l_mirror);
+  bc.i_probe = nl.add<dev::VSource>(dn("Vprobe"), np1, no, 0.0);
+  nl.add<dev::Mosfet>(dn("MN3"), no, no, vss, vss, np, w_n, d.l_mirror);
+  bc.ng = no;  // vss-referenced NMOS current-source gate rail
+
+  return bc;
+}
+
+}  // namespace msim::core

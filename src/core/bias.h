@@ -1,0 +1,57 @@
+// Figure 2: the simple low-voltage bias circuit.
+//
+// A delta-Vbe / R PTAT core built from two CMOS-compatible vertical PNPs
+// at emitter area ratio m, a polysilicon resistor, an NMOS forcing pair
+// and a simple (non-cascode) PMOS mirror.  The polysilicon resistor's
+// positive TC tames the pure PTAT slope so the bias current is "constant
+// or slightly increasing with temperature" (paper Sec. 2.1), and the
+// stack height is exactly Eq. (1):
+//     Vs,min >= Vth,max + Vbe,max + 2*Vds,sat.
+//
+// Exported bias rails: `pg` (gate for PMOS current sources referenced to
+// vdd) and `ng` (gate for NMOS current sources referenced to vss).
+#pragma once
+
+#include "circuit/netlist.h"
+#include "devices/bjt.h"
+#include "devices/mosfet.h"
+#include "devices/passive.h"
+#include "devices/sources.h"
+#include "process/process.h"
+
+namespace msim::core {
+
+struct BiasDesign {
+  double i_bias = 20e-6;      // target branch current at 27 C [A]
+  double area_ratio = 8.0;    // Q2 : Q1 emitter area ratio
+  double veff_p = 0.25;       // PMOS mirror overdrive [V]
+  double veff_n = 0.25;       // NMOS forcing-pair overdrive [V]
+  double l_mirror = 10e-6;    // long channels for PSRR (paper Sec. 2)
+  double startup_a = 50e-9;   // behavioral startup injection [A]
+};
+
+// Handle to the built circuit (non-owning; the netlist owns devices).
+struct BiasCircuit {
+  ckt::NodeId vdd = ckt::kGround;
+  ckt::NodeId vss = ckt::kGround;
+  ckt::NodeId pg = ckt::kGround;   // PMOS current-source gate rail
+  ckt::NodeId ng = ckt::kGround;   // NMOS current-source gate rail
+  double i_nominal = 0.0;          // design-target branch current
+  double r1_ohms = 0.0;            // the delta-Vbe resistor
+  dev::Resistor* r1 = nullptr;
+  dev::Mosfet* mp_out = nullptr;   // measurement branch mirror
+  dev::VSource* i_probe = nullptr; // 0 V probe in the output branch
+};
+
+// Builds the bias cell between `vdd` and `vss` (names are prefixed with
+// `prefix` so several instances can coexist).  The returned i_probe
+// carries the mirrored output current: I_out = -i_probe->current(x).
+BiasCircuit build_bias(ckt::Netlist& nl, const proc::ProcessModel& pm,
+                       const BiasDesign& d, ckt::NodeId vdd,
+                       ckt::NodeId vss, const std::string& prefix = "bias");
+
+// Analytic companion: the PTAT design current Vt*ln(m)/R1 at temp_k.
+double bias_design_current(const BiasDesign& d, double r1_ohms,
+                           double temp_k);
+
+}  // namespace msim::core

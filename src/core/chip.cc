@@ -1,0 +1,62 @@
+#include "core/chip.h"
+
+#include "devices/passive.h"
+
+namespace msim::core {
+
+Chip build_chip(ckt::Netlist& nl, const proc::ProcessModel& pm,
+                const ChipDesign& d, ckt::NodeId vdd, ckt::NodeId vss,
+                ckt::NodeId agnd, ckt::NodeId mic_inp, ckt::NodeId mic_inn,
+                const std::string& prefix) {
+  Chip chip;
+  chip.vdd = vdd;
+  chip.vss = vss;
+  chip.agnd = agnd;
+  chip.mic_inp = mic_inp;
+  chip.mic_inn = mic_inn;
+
+  auto pn = [&](const char* s) { return prefix + "." + s; };
+
+  // Central bias and references.
+  chip.bias = build_bias(nl, pm, d.bias, vdd, vss, pn("bias"));
+  chip.bandgap =
+      build_bandgap(nl, pm, d.bandgap, vdd, vss, agnd, pn("bg"));
+
+  // Transmit: microphone PGA; its outputs feed the modulator opamp
+  // wired as a unity follower stand-in for the sigma-delta input stage.
+  chip.mic = build_mic_amp(nl, pm, d.mic, vdd, vss, agnd, mic_inp,
+                           mic_inn, pn("mic"));
+  const auto mod_fbp = nl.node(pn("mod_fbp"));
+  const auto mod_fbn = nl.node(pn("mod_fbn"));
+  chip.mod_amp = build_modulator_opamp(nl, pm, d.mod_amp, vdd, vss, agnd,
+                                       mod_fbp, mod_fbn, pn("modamp"));
+  // Inverting unity around the modulator opamp from the PGA outputs.
+  nl.add<dev::Resistor>(pn("Rma1"), chip.mic.outp, mod_fbn, 200e3);
+  nl.add<dev::Resistor>(pn("Rmf1"), chip.mod_amp.outp, mod_fbn, 200e3);
+  nl.add<dev::Resistor>(pn("Rma2"), chip.mic.outn, mod_fbp, 200e3);
+  nl.add<dev::Resistor>(pn("Rmf2"), chip.mod_amp.outn, mod_fbp, 200e3);
+
+  // Receive: DAC off the bandgap, attenuator, power buffer.
+  chip.dac = build_string_dac(nl, pm, d.dac, chip.bandgap.vref_p,
+                              chip.bandgap.vref_n, pn("dac"));
+  chip.rx_atten = build_rx_attenuator(nl, pm, d.rx_atten, chip.dac.outp,
+                                      chip.dac.outn, pn("rxatt"));
+  const auto drv_fbp = nl.node(pn("drv_fbp"));
+  const auto drv_fbn = nl.node(pn("drv_fbn"));
+  chip.driver = build_class_ab_driver(nl, pm, d.driver, vdd, vss, agnd,
+                                      drv_fbp, drv_fbn, pn("drv"));
+  nl.add<dev::Resistor>(pn("Rda1"), chip.rx_atten.outp, drv_fbn,
+                        d.r_buf_fb);
+  nl.add<dev::Resistor>(pn("Rdf1"), chip.driver.outp, drv_fbn,
+                        d.r_buf_fb);
+  nl.add<dev::Resistor>(pn("Rda2"), chip.rx_atten.outn, drv_fbp,
+                        d.r_buf_fb);
+  nl.add<dev::Resistor>(pn("Rdf2"), chip.driver.outn, drv_fbp,
+                        d.r_buf_fb);
+  nl.add<dev::Resistor>(pn("Rload"), chip.driver.outp, chip.driver.outn,
+                        d.r_load);
+
+  return chip;
+}
+
+}  // namespace msim::core

@@ -1,0 +1,60 @@
+// The whole front-end chip at transistor level (Figure 1).
+//
+// Assembles every block this repository implements onto shared supply
+// rails, exactly as the die floorplan would: central bias, fully
+// differential bandgap, microphone PGA (transmit), modulator opamp
+// (the sigma-delta's amplifier), and on receive the string DAC off the
+// bandgap, the programmable attenuator and the class-AB power buffer
+// in its Fig. 9 inverting connection.
+//
+// One solve_op() biases the entire chip (~200 devices); the supply
+// probes report the block-by-block and total quiescent current - the
+// power budget of the paper's battery-operated terminal.
+#pragma once
+
+#include "circuit/netlist.h"
+#include "core/bandgap.h"
+#include "core/bias.h"
+#include "core/class_ab_driver.h"
+#include "core/mic_amp.h"
+#include "core/modulator_opamp.h"
+#include "core/rx_attenuator.h"
+#include "core/string_dac.h"
+
+namespace msim::core {
+
+struct ChipDesign {
+  BiasDesign bias;
+  BandgapDesign bandgap;
+  MicAmpDesign mic;
+  ModOpampDesign mod_amp;
+  // High-resistance DAC string so the unbuffered reference is unloaded
+  // (bits, r_unit, r_switch_on).
+  StringDacDesign dac{6, 20e3, 500.0};
+  RxAttenDesign rx_atten;
+  DriverDesign driver;
+  double r_load = 50.0;      // earpiece
+  double r_buf_fb = 100e3;   // buffer feedback network (Fig. 9)
+};
+
+struct Chip {
+  ckt::NodeId vdd{}, vss{}, agnd{};
+  ckt::NodeId mic_inp{}, mic_inn{};   // microphone terminals
+  BiasCircuit bias;
+  BandgapCircuit bandgap;
+  MicAmp mic;
+  ModOpamp mod_amp;
+  StringDac dac;
+  RxAttenuator rx_atten;
+  ClassAbDriver driver;
+};
+
+// Builds the full chip between the given rails; `mic_inp/inn` must be
+// externally driven (microphone model) and the earpiece load is
+// connected across the driver outputs.
+Chip build_chip(ckt::Netlist& nl, const proc::ProcessModel& pm,
+                const ChipDesign& d, ckt::NodeId vdd, ckt::NodeId vss,
+                ckt::NodeId agnd, ckt::NodeId mic_inp, ckt::NodeId mic_inn,
+                const std::string& prefix = "chip");
+
+}  // namespace msim::core

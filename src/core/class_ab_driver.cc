@@ -1,0 +1,176 @@
+#include "core/class_ab_driver.h"
+
+#include <cmath>
+
+namespace msim::core {
+namespace {
+
+// W for a square-law device at current i, overdrive veff, length l.
+double w_for(double i, double kp, double veff, double l) {
+  return 2.0 * i / (kp * veff * veff) * l;
+}
+
+}  // namespace
+
+ClassAbDriver build_class_ab_driver(ckt::Netlist& nl,
+                                    const proc::ProcessModel& pm,
+                                    const DriverDesign& d, ckt::NodeId vdd,
+                                    ckt::NodeId vss, ckt::NodeId agnd,
+                                    ckt::NodeId inp, ckt::NodeId inn,
+                                    const std::string& prefix) {
+  ClassAbDriver drv;
+  drv.vss = vss;
+  drv.agnd = agnd;
+  drv.inp = inp;
+  drv.inn = inn;
+
+  auto nn = [&](const char* s) { return nl.node(prefix + "." + s); };
+  auto dn = [&](const std::string& s) { return prefix + "." + s; };
+
+  const auto vdd_i = nn("vdd_i");
+  drv.vdd = vdd_i;
+  drv.supply_probe = nl.add<dev::VSource>(dn("Vprobe"), vdd, vdd_i, 0.0);
+
+  const auto& pp = pm.pmos();
+  const auto& np = pm.nmos();
+
+  // ------------------------------------------------------- bias rails
+  const auto pg = nn("pg");
+  const auto ng = nn("ng");
+  const double w_pd = w_for(d.i_ref, pp.kp, d.veff_bias, d.l_bias);
+  const double w_nd = w_for(d.i_ref, np.kp, d.veff_bias, d.l_bias);
+  nl.add<dev::Mosfet>(dn("MBP"), pg, pg, vdd_i, vdd_i, pp, w_pd, d.l_bias);
+  nl.add<dev::ISource>(dn("Iref"), pg, vss, d.i_ref);
+  // vss-referenced rail mirrored from pg.
+  nl.add<dev::Mosfet>(dn("MBP2"), ng, pg, vdd_i, vdd_i, pp, w_pd,
+                      d.l_bias);
+  nl.add<dev::Mosfet>(dn("MBN"), ng, ng, vss, vss, np, w_nd, d.l_bias);
+
+  // ------------------------------------- translinear replica stacks
+  // Floating-pair device geometry (carries ~i_ref at quiescent).
+  const double l_t = 2e-6;
+  const double w_nt = w_for(d.i_ref, np.kp, 0.20, l_t);
+  const double w_pt = w_for(d.i_ref, pp.kp, 0.20, l_t);
+  // N-side stack: vbn2 = vss + Vgs(MNr2 @ Iref) + Vgs(MNr1 @ Iref),
+  // MNr1 a 1/rep_ratio replica of the NMOS output device.
+  const auto vbn2 = nn("vbn2");
+  const auto vbp2 = nn("vbp2");
+  if (d.fixed_ab_bias) {
+    // Ablation: no replica control - fixed gate biases that do not track
+    // supply, temperature or process.
+    nl.add<dev::VSource>(dn("Vbn2fix"), vbn2, vss, d.vbn2_fixed);
+    nl.add<dev::VSource>(dn("Vbp2fix"), vdd_i, vbp2, d.vbp2_fixed);
+  } else {
+    const auto midn = nn("midn");
+    nl.add<dev::Mosfet>(dn("MPrn"), vbn2, pg, vdd_i, vdd_i, pp, w_pd,
+                        d.l_bias);
+    nl.add<dev::Mosfet>(dn("MNr2"), vbn2, vbn2, midn, vss, np, w_nt, l_t);
+    nl.add<dev::Mosfet>(dn("MNr1"), midn, midn, vss, vss, np,
+                        d.w_out_n / d.rep_ratio_n, d.l_out);
+    // P-side stack: vbp2 = vdd - Vsg(MPr1 @ Iref) - Vsg(MPr2 @ Iref).
+    const auto midp = nn("midp");
+    nl.add<dev::Mosfet>(dn("MPr1"), midp, midp, vdd_i, vdd_i, pp,
+                        d.w_out_p / d.rep_ratio_p, d.l_out);
+    nl.add<dev::Mosfet>(dn("MPr2"), vbp2, vbp2, midp, vdd_i, pp, w_pt,
+                        l_t);
+    nl.add<dev::Mosfet>(dn("MNrn"), vbp2, ng, vss, vss, np, w_nd,
+                        d.l_bias);
+  }
+
+  // --------------------------------------------------- input pairs
+  const auto tail_n = nn("tail_n");
+  const auto tail_p = nn("tail_p");
+  nl.add<dev::Mosfet>(dn("MTN"), tail_n, ng, vss, vss, np,
+                      w_nd * (d.i_tail / d.i_ref), d.l_bias);
+  nl.add<dev::Mosfet>(dn("MTP"), tail_p, pg, vdd_i, vdd_i, pp,
+                      w_pd * (d.i_tail / d.i_ref), d.l_bias);
+  const double w_in_n =
+      w_for(d.i_tail / 2.0, np.kp, d.veff_input, d.l_input);
+  const double w_in_p =
+      w_for(d.i_tail / 2.0, pp.kp, d.veff_input, d.l_input);
+
+  drv.gp_p = nn("gp_p");
+  drv.gn_p = nn("gn_p");
+  drv.gp_n = nn("gp_n");
+  drv.gn_n = nn("gn_n");
+  // NMOS pair pulls from the PMOS-output gate nodes.
+  if (d.use_nmos_pair) {
+    nl.add<dev::Mosfet>(dn("MIN_p"), drv.gp_p, inp, tail_n, vss, np,
+                        w_in_n, d.l_input);
+    nl.add<dev::Mosfet>(dn("MIN_n"), drv.gp_n, inn, tail_n, vss, np,
+                        w_in_n, d.l_input);
+  } else {
+    // Keep the tail device biased so the mirror rail is undisturbed.
+    nl.add<dev::Resistor>(dn("Rtn_dump"), tail_n, vss, 1e5);
+  }
+  // PMOS pair pushes into the NMOS-output gate nodes.
+  if (d.use_pmos_pair) {
+    nl.add<dev::Mosfet>(dn("MIP_p"), drv.gn_p, inp, tail_p, vdd_i, pp,
+                        w_in_p, d.l_input);
+    nl.add<dev::Mosfet>(dn("MIP_n"), drv.gn_n, inn, tail_p, vdd_i, pp,
+                        w_in_p, d.l_input);
+  } else {
+    nl.add<dev::Resistor>(dn("Rtp_dump"), tail_p, vdd_i, 1e5);
+  }
+
+  // ------------------------------------------------- CMFB (Sec. 4)
+  drv.outp = nn("outp");
+  drv.outn = nn("outn");
+  const auto vcm_det = nn("vcm_det");
+  nl.add<dev::Resistor>(dn("Rc1"), drv.outp, vcm_det, d.r_cm_detect);
+  nl.add<dev::Resistor>(dn("Rc2"), drv.outn, vcm_det, d.r_cm_detect);
+  const auto tcm = nn("tcm");
+  const auto pg2 = nn("pg2");  // CM-modulated gate of the AB top sources
+  nl.add<dev::Mosfet>(dn("MTC"), tcm, ng, vss, vss, np,
+                      w_nd * (d.i_cm / d.i_ref), d.l_bias);
+  const double w_cm = w_for(d.i_cm / 2.0, np.kp, d.veff_input, d.l_input);
+  nl.add<dev::Mosfet>(dn("T3"), pg2, vcm_det, tcm, vss, np, w_cm,
+                      d.l_input);
+  nl.add<dev::Mosfet>(dn("T4"), vdd_i, agnd, tcm, vss, np, w_cm,
+                      d.l_input);
+  nl.add<dev::Mosfet>(dn("MD2"), pg2, pg2, vdd_i, vdd_i, pp,
+                      w_for(d.i_cm / 2.0, pp.kp, d.veff_bias, d.l_bias),
+                      d.l_bias);
+
+  // ------------------------------------------- AB legs (x2, symmetric)
+  const double w_ab_p =
+      w_for(d.i_ab, pp.kp, d.veff_bias, d.l_bias);
+  const double w_ab_n =
+      w_for(d.i_ab, np.kp, d.veff_bias, d.l_bias);
+  auto build_leg = [&](const char* leg, ckt::NodeId gp, ckt::NodeId gn,
+                       ckt::NodeId out, dev::Mosfet*& mop,
+                       dev::Mosfet*& mon, dev::VSource*& probe) {
+    auto ln = [&](const char* s) {
+      return dn(std::string(s) + "_" + leg);
+    };
+    // AB branch current source / sink (top source on the CMFB rail).
+    nl.add<dev::Mosfet>(ln("MPab"), gp, pg2, vdd_i, vdd_i, pp, w_ab_p,
+                        d.l_bias);
+    nl.add<dev::Mosfet>(ln("MNab"), gn, ng, vss, vss, np, w_ab_n,
+                        d.l_bias);
+    // Floating translinear pair between the two gate nodes.
+    nl.add<dev::Mosfet>(ln("MNt"), gp, vbn2, gn, vss, np, w_nt, l_t);
+    nl.add<dev::Mosfet>(ln("MPt"), gn, vbp2, gp, vdd_i, pp, w_pt, l_t);
+    // Output devices, with a 0 V probe in the NMOS drain so the benches
+    // can observe the quiescent/crossover current directly.
+    const auto mdrain = nl.node(dn(std::string("mon_d_") + leg));
+    mop = nl.add<dev::Mosfet>(ln("MOP"), out, gp, vdd_i, vdd_i, pp,
+                              d.w_out_p, d.l_out);
+    mon = nl.add<dev::Mosfet>(ln("MON"), mdrain, gn, vss, vss, np,
+                              d.w_out_n, d.l_out);
+    probe = nl.add<dev::VSource>(ln("Vqprobe"), out, mdrain, 0.0);
+    // Compensation network (one per output, as in the paper).
+    const auto z = nl.node(dn(std::string("z_") + leg));
+    nl.add<dev::Capacitor>(ln("Cc"), out, z, d.c_comp);
+    auto* rz = nl.add<dev::Resistor>(ln("Rz"), z, gn, d.r_zero);
+    rz->set_noiseless(true);
+  };
+  build_leg("p", drv.gp_p, drv.gn_p, drv.outp, drv.mop_p, drv.mon_p,
+            drv.out_probe_p);
+  build_leg("n", drv.gp_n, drv.gn_n, drv.outn, drv.mop_n, drv.mon_n,
+            drv.out_probe_n);
+
+  return drv;
+}
+
+}  // namespace msim::core

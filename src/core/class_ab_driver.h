@@ -1,0 +1,85 @@
+// Figure 8: the class-AB fully differential output driver ("power
+// buffer").
+//
+// Architecture (paper Sec. 4):
+//  * Complementary NMOS + PMOS input pairs so the input range reaches
+//    both rails (Eqs. 6/7; Table 2 "Vin,max rail-to-rail").
+//  * Each output leg is a PMOS/NMOS class-AB pair driven directly from
+//    the differential stage through a floating (Monticelli-style)
+//    translinear network whose reference gates come from replica diode
+//    stacks running at the stabilized bias current - this is the
+//    "quiescent current ... compared to the predetermined bias current,
+//    controlled by simple current amplifiers" mechanism of [2]; it is
+//    what holds I_Q to ~15% over 2.8-5 V supply in the paper.
+//  * Common-mode feedback: resistive divider across the outputs into a
+//    common-mode amplifier equal to the main stage; the correction
+//    modulates the top current sources of both AB branches ("common load
+//    devices", one compensation network per output).
+//  * Very wide output devices sized from Eq. (8) for 4 Vpp into 50 ohm
+//    at 2.6 V supply.
+#pragma once
+
+#include "circuit/netlist.h"
+#include "devices/mosfet.h"
+#include "devices/passive.h"
+#include "devices/sources.h"
+#include "process/process.h"
+
+namespace msim::core {
+
+struct DriverDesign {
+  // Output devices (per Eq. 8: beta >= I_peak / (margin from rail)^2).
+  double w_out_n = 6.6e-3;    // [m] W of each NMOS output device
+  double w_out_p = 19.8e-3;   // [m] W of each PMOS output device
+  double l_out = 1.2e-6;      // minimum length: maximum transconductance
+  // Quiescent control.
+  double i_ref = 100e-6;      // stabilized reference current
+  double rep_ratio_n = 9.0;   // I_Q(MON) = rep_ratio * i_ref
+  double rep_ratio_p = 9.0;
+  double i_ab = 300e-6;       // AB branch standing current
+  // Input stage.
+  double i_tail = 200e-6;     // each complementary pair's tail
+  double veff_input = 0.15;
+  double l_input = 1.2e-6;    // short: max gm (the paper notes the
+                              // resulting signal-dependent-gain drawback)
+  // Biasing / mirrors.
+  double veff_bias = 0.25;
+  double l_bias = 4e-6;
+  // CMFB.
+  double r_cm_detect = 10e3;
+  double i_cm = 200e-6;
+  // Compensation per output.
+  double c_comp = 15e-12;
+  double r_zero = 40.0;
+  // Ablation switches (bench_iq_control / bench_fig9_swing_range):
+  // replace the replica-stack AB bias with fixed gate voltages (no
+  // quiescent control), or drop one of the complementary input pairs.
+  bool fixed_ab_bias = false;
+  double vbn2_fixed = 1.76;   // above vss [V]
+  double vbp2_fixed = 1.82;   // below vdd [V]
+  bool use_nmos_pair = true;
+  bool use_pmos_pair = true;
+};
+
+struct ClassAbDriver {
+  ckt::NodeId vdd{}, vss{}, agnd{};
+  ckt::NodeId inp{}, inn{};
+  ckt::NodeId outp{}, outn{};
+  ckt::NodeId gp_p{}, gn_p{}, gp_n{}, gn_n{};  // AB gate nodes per leg
+  dev::Mosfet* mop_p = nullptr;  // output devices (P leg)
+  dev::Mosfet* mon_p = nullptr;
+  dev::Mosfet* mop_n = nullptr;  // output devices (N leg)
+  dev::Mosfet* mon_n = nullptr;
+  dev::VSource* supply_probe = nullptr;  // total quiescent current
+  dev::VSource* out_probe_p = nullptr;   // in series with MON_p drain
+  dev::VSource* out_probe_n = nullptr;
+};
+
+ClassAbDriver build_class_ab_driver(ckt::Netlist& nl,
+                                    const proc::ProcessModel& pm,
+                                    const DriverDesign& d, ckt::NodeId vdd,
+                                    ckt::NodeId vss, ckt::NodeId agnd,
+                                    ckt::NodeId inp, ckt::NodeId inn,
+                                    const std::string& prefix = "drv");
+
+}  // namespace msim::core

@@ -1,0 +1,84 @@
+#include "core/design_equations.h"
+
+#include <cmath>
+
+#include "numeric/units.h"
+
+namespace msim::core {
+
+using num::kBoltzmann;
+
+double eq1_bias_min_supply(double vth_max, double vbe_max, double ib,
+                           double kp_wl) {
+  return vth_max + vbe_max + 2.0 * std::sqrt(2.0 * ib / kp_wl);
+}
+
+double eq2_noise_budget(double v_mod_max_rms, double gain, double bw_hz,
+                        double snr_db) {
+  return v_mod_max_rms /
+         (gain * std::sqrt(bw_hz) * std::pow(10.0, snr_db / 20.0));
+}
+
+double eq3_tail_noise(double a_imbalance, double i_noise_psd, double gm) {
+  return a_imbalance * i_noise_psd / (gm * gm);
+}
+
+double eq4_closed_loop_noise(double temp_k, double acl, double ra, double rf,
+                             double req, double ron) {
+  const double r_par = ra * rf / (ra + rf);
+  const double one_plus = 1.0 + acl;
+  return 2.0 * kBoltzmann * temp_k *
+         (acl * acl * r_par +
+          one_plus * one_plus * (req + 2.0 * std::sqrt(2.0) * ron));
+}
+
+double eq4_input_referred_density(double temp_k, double acl, double ra,
+                                  double rf, double req, double ron) {
+  return std::sqrt(eq4_closed_loop_noise(temp_k, acl, ra, rf, req, ron)) /
+         acl;
+}
+
+double eq5_switch_ron(double wl_ratio, double ucox, double veff) {
+  return 1.0 / (2.0 * wl_ratio * ucox * veff);
+}
+
+double eq5_switch_noise(double temp_k, double wl_ratio, double ucox,
+                        double veff) {
+  return 4.0 * kBoltzmann * temp_k *
+         eq5_switch_ron(wl_ratio, ucox, veff);
+}
+
+double eq6_input_range_high(double vdd, double ib, double kp_wl_load_p,
+                            double vth_load_p_max, double vth_drv_n_min) {
+  return vdd - std::sqrt(ib / kp_wl_load_p) - vth_load_p_max +
+         vth_drv_n_min;
+}
+
+double eq7_input_range_low(double vss, double ib, double kp_wl_load_n,
+                           double vth_load_n_max, double vth_drv_p_min) {
+  return vss + std::sqrt(ib / kp_wl_load_n) + vth_load_n_max -
+         vth_drv_p_min;
+}
+
+double eq8_swing_low(double vss, double i_n, double beta_n) {
+  return vss + std::sqrt(i_n / beta_n);
+}
+
+double eq8_swing_high(double vdd, double i_p, double beta_p) {
+  return vdd - std::sqrt(i_p / beta_p);
+}
+
+double resistor_noise_density(double temp_k, double r_ohms) {
+  return std::sqrt(4.0 * kBoltzmann * temp_k * r_ohms);
+}
+
+double mos_thermal_density(double temp_k, double gm) {
+  return std::sqrt(4.0 * kBoltzmann * temp_k * (2.0 / 3.0) / gm);
+}
+
+double mos_flicker_psd(double kf, double cox, double w_m, double l_m,
+                       double f_hz) {
+  return kf / (cox * w_m * l_m * f_hz);
+}
+
+}  // namespace msim::core

@@ -1,0 +1,75 @@
+// The paper's design equations (1)-(8) as documented, unit-tested
+// functions.  These are the analytic companions to the transistor-level
+// experiments: bench_eq1_bias_minsupply and bench_eq4_noise_model compare
+// them against full simulation.
+//
+// Where the scanned paper's signs are ambiguous (Eqs. 6/7), the
+// physically consistent form is implemented and the derivation noted.
+#pragma once
+
+namespace msim::core {
+
+// ---- Equation (1): minimum supply voltage of the simple bias circuit.
+// V_s,min >= Vth,max(T) + Vbe,max(T) + 2*sqrt(2 Ib / (uCox W/L)).
+// `ib` is the bias current, `kp_wl` = uCox * (W/L) of the mirror devices.
+double eq1_bias_min_supply(double vth_max, double vbe_max, double ib,
+                           double kp_wl);
+
+// ---- Equation (2): input-referred noise budget from an S/N target.
+// V_noise <= V_mod,max / (G_mic * sqrt(BW) * 10^(S/N / 20))   [V/sqrt(Hz)]
+// With the paper's numbers (0.6 Vrms, G=100, BW=3.1 kHz, 86.5 dB) this
+// evaluates to 5.1 nV/sqrt(Hz).
+double eq2_noise_budget(double v_mod_max_rms, double gain, double bw_hz,
+                        double snr_db);
+
+// ---- Equation (3): tail-current-source noise contribution.
+// ve^2 = A * I_b,noise / gm^2, the equivalent input noise power added by
+// the differential-stage current source through mismatch imbalance A.
+double eq3_tail_noise(double a_imbalance, double i_noise_psd, double gm);
+
+// ---- Equation (4): closed-loop output noise PSD of the PGA.
+// e_eq^2(f) = 2kT [ Acl^2 (Ra || Rf) + (1 + Acl)^2 (Req + 2*sqrt(2)*Ron) ]
+// All resistances in ohms, `acl` the closed-loop gain magnitude,
+// `req` the amplifier equivalent input noise resistance, `ron` one
+// switch's on-resistance.  Returns V^2/Hz at the amplifier output.
+double eq4_closed_loop_noise(double temp_k, double acl, double ra, double rf,
+                             double req, double ron);
+
+// Equivalent *input-referred* density from Eq. (4): sqrt(e^2)/Acl.
+double eq4_input_referred_density(double temp_k, double acl, double ra,
+                                  double rf, double req, double ron);
+
+// ---- Equation (5): thermal noise PSD of a gain-select MOS switch.
+// e_sw^2(f) = 4kT Ron = 4kT / (2 (W/L) uCox Veff)      [V^2/Hz]
+double eq5_switch_noise(double temp_k, double wl_ratio, double ucox,
+                        double veff);
+double eq5_switch_ron(double wl_ratio, double ucox, double veff);
+
+// ---- Equations (6)/(7): input range limits of the complementary-input
+// buffer.  For the N-pair active against P loads the upper limit is
+//   Va = Vdd - sqrt(Ib/(uCox (W/L)_LP)) - |Vth,LP|max + Vth,DN,min
+// and symmetrically for the P pair
+//   Vb = Vss + sqrt(Ib/(uCox (W/L)_LN)) + Vth,LN,max - |Vth,DP|min.
+// (The printed paper drops the sign of the load-threshold term; the form
+// here follows from v_D = Vdd - |Vgs,load| and v_G <= v_D + Vth.)
+double eq6_input_range_high(double vdd, double ib, double kp_wl_load_p,
+                            double vth_load_p_max, double vth_drv_n_min);
+double eq7_input_range_low(double vss, double ib, double kp_wl_load_n,
+                           double vth_load_n_max, double vth_drv_p_min);
+
+// ---- Equation (8): class-AB output swing.
+// Vss + sqrt(I_N / beta_N) <= Vo <= Vdd - sqrt(I_P / beta_P)
+// where beta = uCox (W/L) of the output devices at peak current I.
+double eq8_swing_low(double vss, double i_n, double beta_n);
+double eq8_swing_high(double vdd, double i_p, double beta_p);
+
+// ---- Supporting relations used throughout the paper's Section 3.
+// Thermal noise voltage density of a resistor: sqrt(4kTR) [V/sqrt(Hz)].
+double resistor_noise_density(double temp_k, double r_ohms);
+// MOSFET channel thermal noise input-referred density for gamma_n = 2/3.
+double mos_thermal_density(double temp_k, double gm);
+// MOSFET 1/f input-referred PSD at frequency f: kf/(Cox W L f) [V^2/Hz].
+double mos_flicker_psd(double kf, double cox, double w_m, double l_m,
+                       double f_hz);
+
+}  // namespace msim::core

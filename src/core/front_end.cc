@@ -1,0 +1,61 @@
+#include "core/front_end.h"
+
+namespace msim::core {
+
+FrontEnd build_front_end(ckt::Netlist& nl, const FrontEndDesign& d,
+                         ckt::NodeId agnd, const std::string& prefix) {
+  FrontEnd fe;
+  auto nn = [&](const char* s) { return nl.node(prefix + "." + s); };
+  auto dn = [&](const char* s) { return prefix + "." + s; };
+
+  // ------------------------------------------------- transmit path
+  fe.mic_p = nn("mic_p");
+  fe.mic_n = nn("mic_n");
+  fe.mic_src = nl.add<dev::VSource>(dn("Vmic"), fe.mic_p, fe.mic_n, 0.0);
+  // Common-mode definition of the floating transducer.
+  nl.add<dev::Resistor>(dn("Rcm1"), fe.mic_p, agnd, 1e6);
+  nl.add<dev::Resistor>(dn("Rcm2"), fe.mic_n, agnd, 1e6);
+
+  const auto pga_in_p = nn("pga_in_p");
+  const auto pga_in_n = nn("pga_in_n");
+  nl.add<dev::Resistor>(dn("Rmic1"), fe.mic_p, pga_in_p, d.r_mic / 2.0);
+  nl.add<dev::Resistor>(dn("Rmic2"), fe.mic_n, pga_in_n, d.r_mic / 2.0);
+
+  BehavPga pga = build_behav_pga(nl, d.mic_amp, d.mic_gain, agnd,
+                                 pga_in_p, pga_in_n, dn("pga"));
+  fe.pga_outp = pga.outp;
+  fe.pga_outn = pga.outn;
+
+  // Anti-alias RC into the modulator's differential input load.
+  fe.mod_p = nn("mod_p");
+  fe.mod_n = nn("mod_n");
+  nl.add<dev::Resistor>(dn("Raa1"), pga.outp, fe.mod_p, d.r_aa);
+  nl.add<dev::Resistor>(dn("Raa2"), pga.outn, fe.mod_n, d.r_aa);
+  nl.add<dev::Capacitor>(dn("Caa"), fe.mod_p, fe.mod_n, d.c_aa);
+  nl.add<dev::Resistor>(dn("Rmod"), fe.mod_p, fe.mod_n, d.r_mod_in);
+
+  // -------------------------------------------------- receive path
+  fe.dac_p = nn("dac_p");
+  fe.dac_n = nn("dac_n");
+  fe.dac_src = nl.add<dev::VSource>(dn("Vdac"), fe.dac_p, fe.dac_n, 0.0);
+  nl.add<dev::Resistor>(dn("Rcm3"), fe.dac_p, agnd, 1e6);
+  nl.add<dev::Resistor>(dn("Rcm4"), fe.dac_n, agnd, 1e6);
+
+  // Power buffer as an inverting amplifier (Fig. 9): gain = Rf / Ra.
+  const auto vn = nn("buf_vn");
+  const auto vp = nn("buf_vp");
+  BehavAmp buf = build_behav_amp(nl, d.buf_amp, agnd, vp, vn, dn("buf"));
+  fe.ear_p = buf.outp;
+  fe.ear_n = buf.outn;
+  const double ra = d.r_fb / d.rx_gain;
+  nl.add<dev::Resistor>(dn("Ra1"), fe.dac_p, vn, ra);
+  nl.add<dev::Resistor>(dn("Ra2"), fe.dac_n, vp, ra);
+  nl.add<dev::Resistor>(dn("Rf1"), buf.outp, vn, d.r_fb);
+  nl.add<dev::Resistor>(dn("Rf2"), buf.outn, vp, d.r_fb);
+
+  // Earpiece load.
+  nl.add<dev::Resistor>(dn("Rload"), fe.ear_p, fe.ear_n, d.r_load);
+  return fe;
+}
+
+}  // namespace msim::core

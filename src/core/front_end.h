@@ -1,0 +1,56 @@
+// Figure 1: the programmable analogue front-end of a digital voice
+// terminal, assembled at behavioral level.
+//
+// Chain: microphone (differential source with source resistance) ->
+// programmable-gain microphone amplifier -> anti-alias RC -> sigma-delta
+// modulator input (modelled as its differential input load) and, on the
+// receive side, D/A output -> programmable attenuator -> class-AB power
+// buffer (inverting configuration, Fig. 9) -> 50 ohm earpiece load.
+//
+// The transistor-level mic amp / driver are drop-in replacements for the
+// behavioral blocks (see examples/voice_frontend.cpp); the behavioral
+// chain is what makes whole-link S/N and level-plan studies cheap.
+#pragma once
+
+#include "circuit/netlist.h"
+#include "core/behav.h"
+#include "devices/passive.h"
+#include "devices/sources.h"
+
+namespace msim::core {
+
+struct FrontEndDesign {
+  // Transmit path.
+  double r_mic = 2e3;          // microphone source resistance
+  double mic_gain = 100.0;     // PGA gain (10..40 dB codes)
+  double r_aa = 10e3;          // anti-alias RC to the modulator
+  double c_aa = 1e-9;
+  double r_mod_in = 1e6;       // modulator differential input load
+                               // (switched-cap input: high at audio)
+  // Receive path.
+  double rx_gain = 0.5;        // buffer closed-loop gain (Fig. 9)
+  double r_fb = 20e3;          // buffer feedback resistor
+  double r_load = 50.0;        // earpiece load
+  BehavAmpDesign mic_amp;      // PGA macromodel
+  // Power-buffer macromodel: low output resistance so the clamp current
+  // can source the 50 ohm earpiece (a0, gbw, slew, vmax, rout).
+  BehavAmpDesign buf_amp{20e3, 2e6, 2.5e6, 1.15, 5.0};
+};
+
+struct FrontEnd {
+  // Transmit side.
+  ckt::NodeId mic_p{}, mic_n{};    // microphone EMF nodes
+  ckt::NodeId pga_outp{}, pga_outn{};
+  ckt::NodeId mod_p{}, mod_n{};    // modulator input
+  dev::VSource* mic_src = nullptr;
+  // Receive side.
+  ckt::NodeId dac_p{}, dac_n{};
+  ckt::NodeId ear_p{}, ear_n{};    // buffer output at the load
+  dev::VSource* dac_src = nullptr;
+};
+
+FrontEnd build_front_end(ckt::Netlist& nl, const FrontEndDesign& d,
+                         ckt::NodeId agnd,
+                         const std::string& prefix = "afe");
+
+}  // namespace msim::core

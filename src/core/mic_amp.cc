@@ -1,0 +1,179 @@
+#include "core/mic_amp.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace msim::core {
+
+void MicAmp::set_gain_code(int code) {
+  if (code < 0 || code >= kMicGainCodes)
+    throw std::out_of_range("mic amp gain code must be 0..5");
+  for (int k = 0; k < kMicGainCodes; ++k) {
+    sw_p[static_cast<std::size_t>(k)]->set_on(k == code);
+    sw_n[static_cast<std::size_t>(k)]->set_on(k == code);
+  }
+  active_code = code;
+}
+
+MicAmp build_mic_amp(ckt::Netlist& nl, const proc::ProcessModel& pm,
+                     const MicAmpDesign& d, ckt::NodeId vdd, ckt::NodeId vss,
+                     ckt::NodeId agnd, ckt::NodeId inp, ckt::NodeId inn,
+                     const std::string& prefix) {
+  MicAmp m;
+  m.vss = vss;
+  m.agnd = agnd;
+  m.inp = inp;
+  m.inn = inn;
+
+  auto nn = [&](const char* s) { return nl.node(prefix + "." + s); };
+  auto dn = [&](const std::string& s) { return prefix + "." + s; };
+
+  // Internal supply rail behind a 0 V probe (I_Q measurement, Table 1).
+  const auto vdd_i = nn("vdd_i");
+  m.vdd = vdd_i;
+  m.supply_probe = nl.add<dev::VSource>(dn("Vprobe"), vdd, vdd_i, 0.0);
+
+  const auto& pp = pm.pmos();
+  const auto& np = pm.nmos();
+
+  // ------------------------------------------------------------- bias
+  // Internal current reference: diode PMOS carrying i_bias_ref defines
+  // the vdd-referenced gate rail `pg` for all tails / sources.
+  const auto pg = nn("pg");
+  const double w_bp =
+      2.0 * d.i_bias_ref / (pp.kp * d.veff_tail * d.veff_tail) * d.l_tail;
+  nl.add<dev::Mosfet>(dn("MBP"), pg, pg, vdd_i, vdd_i, pp, w_bp, d.l_tail);
+  nl.add<dev::ISource>(dn("Iref"), pg, vss, d.i_bias_ref);
+
+  auto tail_w = [&](double i) { return w_bp * (i / d.i_bias_ref); };
+
+  // ------------------------------------------------------ input stage
+  m.x = nn("x");
+  m.y = nn("y");
+  m.fbp = nn("fbp");
+  m.fbn = nn("fbn");
+  m.outp = nn("outp");
+  m.outn = nn("outn");
+  const auto ta = nn("ta");
+  const auto tb = nn("tb");
+
+  const double i_tail = 2.0 * d.id_input;
+  nl.add<dev::Mosfet>(dn("MT1"), ta, pg, vdd_i, vdd_i, pp, tail_w(i_tail),
+                      d.l_tail);
+  nl.add<dev::Mosfet>(dn("MT2"), tb, pg, vdd_i, vdd_i, pp, tail_w(i_tail),
+                      d.l_tail);
+
+  // Input devices: bulk tied to source (own n-well), the paper's noise
+  // prescription for inputs on a noisy substrate (Sec. 3.2).
+  const double w_in = 2.0 * d.id_input /
+                      (pp.kp * d.veff_input * d.veff_input) * d.l_input;
+  m.input_devices[0] = nl.add<dev::Mosfet>(dn("M1"), m.x, inp, ta, ta, pp,
+                                           w_in, d.l_input);
+  m.input_devices[1] = nl.add<dev::Mosfet>(dn("M2"), m.y, inn, ta, ta, pp,
+                                           w_in, d.l_input);
+  m.input_devices[2] = nl.add<dev::Mosfet>(dn("M3"), m.y, m.fbp, tb, tb,
+                                           pp, w_in, d.l_input);
+  m.input_devices[3] = nl.add<dev::Mosfet>(dn("M4"), m.x, m.fbn, tb, tb,
+                                           pp, w_in, d.l_input);
+
+  // Common NMOS loads, gates on the CMFB rail.
+  const auto vcmfb = nn("vcmfb");
+  const double i_load = 2.0 * d.id_input;
+  const double w_load =
+      2.0 * i_load / (np.kp * d.veff_load * d.veff_load) * d.l_load;
+  nl.add<dev::Mosfet>(dn("ML1"), m.x, vcmfb, vss, vss, np, w_load,
+                      d.l_load);
+  nl.add<dev::Mosfet>(dn("ML2"), m.y, vcmfb, vss, vss, np, w_load,
+                      d.l_load);
+
+  // ---------------------------------------------------- CMFB (Sec. 2.2)
+  // Resistive common-mode detector with linear characteristics.
+  const auto vcm_det = nn("vcm_det");
+  nl.add<dev::Resistor>(dn("Rc1"), m.outp, vcm_det, d.r_cm_detect);
+  nl.add<dev::Resistor>(dn("Rc2"), m.outn, vcm_det, d.r_cm_detect);
+  // Common-mode amplifier pair (factor-of-two devices and current) whose
+  // output is mirrored into the common load gates.
+  const auto tc = nn("tc");
+  const double id_cm = d.cm_size_factor * d.id_input;
+  nl.add<dev::Mosfet>(dn("MT3"), tc, pg, vdd_i, vdd_i, pp,
+                      tail_w(2.0 * id_cm), d.l_tail);
+  nl.add<dev::Mosfet>(dn("MC1"), vcmfb, vcm_det, tc, tc, pp,
+                      d.cm_size_factor * w_in, d.l_input);
+  nl.add<dev::Mosfet>(dn("MC2"), vss, agnd, tc, tc, pp,
+                      d.cm_size_factor * w_in, d.l_input);
+  // Mirror diode: same geometry as the loads (1:1 at matched currents).
+  const double w_md =
+      2.0 * id_cm / (np.kp * d.veff_load * d.veff_load) * d.l_load;
+  nl.add<dev::Mosfet>(dn("MD"), vcmfb, vcmfb, vss, vss, np, w_md,
+                      d.l_load);
+
+  // --------------------------------------------------- second stage
+  const double w_drv = 2.0 * d.id_stage2 /
+                       (np.kp * d.veff_stage2 * d.veff_stage2) *
+                       d.l_stage2;
+  const double w_s2l = 2.0 * d.id_stage2 /
+                       (pp.kp * d.veff_stage2_load * d.veff_stage2_load) *
+                       d.l_stage2_load;
+  nl.add<dev::Mosfet>(dn("MN5p"), m.outp, m.x, vss, vss, np, w_drv,
+                      d.l_stage2);
+  nl.add<dev::Mosfet>(dn("MN5n"), m.outn, m.y, vss, vss, np, w_drv,
+                      d.l_stage2);
+  nl.add<dev::Mosfet>(dn("MP5p"), m.outp, pg, vdd_i, vdd_i, pp, w_s2l,
+                      d.l_stage2_load);
+  nl.add<dev::Mosfet>(dn("MP5n"), m.outn, pg, vdd_i, vdd_i, pp, w_s2l,
+                      d.l_stage2_load);
+
+  // Miller compensation with zero-cancelling resistor, one per output.
+  const auto zp = nn("zp");
+  const auto zn = nn("zn");
+  nl.add<dev::Capacitor>(dn("Ccp"), m.outp, zp, d.c_miller);
+  auto* rzp = nl.add<dev::Resistor>(dn("Rzp"), zp, m.x, d.r_zero);
+  rzp->set_noiseless(true);  // in series with Cc: no in-band noise path
+  nl.add<dev::Capacitor>(dn("Ccn"), m.outn, zn, d.c_miller);
+  auto* rzn = nl.add<dev::Resistor>(dn("Rzn"), zn, m.y, d.r_zero);
+  rzn->set_noiseless(true);
+
+  // --------------------------------- gain-programming string (Fig. 5)
+  // Tap resistances from the (floating) center tap: Ra_k = Rtot / Acl_k.
+  const auto ctap = nn("ctap");
+  std::array<double, kMicGainCodes> ra{};
+  for (int k = 0; k < kMicGainCodes; ++k) {
+    m.acl[static_cast<std::size_t>(k)] =
+        std::pow(10.0, MicAmp::code_gain_db(k) / 20.0);
+    ra[static_cast<std::size_t>(k)] =
+        d.r_string_total / m.acl[static_cast<std::size_t>(k)];
+  }
+  auto build_string = [&](const char* side, ckt::NodeId out,
+                          ckt::NodeId fb,
+                          std::array<dev::MosSwitch*, kMicGainCodes>& sws,
+                          std::vector<dev::Resistor*>& segs) {
+    ckt::NodeId prev = ctap;
+    double pos = 0.0;
+    // Taps in ascending resistance from the center: code 5 (40 dB,
+    // smallest Ra) first.
+    for (int k = kMicGainCodes - 1; k >= 0; --k) {
+      const auto tap =
+          nl.node(prefix + "." + side + ".t" + std::to_string(k));
+      const double seg = ra[static_cast<std::size_t>(k)] - pos;
+      segs.push_back(nl.add<dev::Resistor>(
+          dn(std::string("Rs") + side + std::to_string(k)), prev, tap,
+          seg));
+      sws[static_cast<std::size_t>(k)] = nl.add<dev::MosSwitch>(
+          dn(std::string("SW") + side + std::to_string(k)), tap, fb,
+          d.r_switch_on);
+      pos = ra[static_cast<std::size_t>(k)];
+      prev = tap;
+    }
+    segs.push_back(nl.add<dev::Resistor>(dn(std::string("Rs") + side +
+                                            "top"),
+                                         prev, out,
+                                         d.r_string_total - pos));
+  };
+  build_string("p", m.outp, m.fbp, m.sw_p, m.string_segments_p);
+  build_string("n", m.outn, m.fbn, m.sw_n, m.string_segments_n);
+
+  m.set_gain_code(kMicGainCodes - 1);  // default 40 dB, the critical case
+  return m;
+}
+
+}  // namespace msim::core

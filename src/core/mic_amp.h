@@ -1,0 +1,100 @@
+// Figures 4 and 5: the programmable-gain low-noise microphone amplifier.
+//
+// Architecture (paper Sec. 3):
+//  * DDA input stage (Saeckinger/Guggenbuehl): two matched PMOS
+//    differential pairs - one for the microphone input, one for the
+//    feedback taps - summing into common long-channel NMOS loads.  This
+//    gives the high-impedance inputs and precise gain the paper claims.
+//  * PMOS input devices (large W*L) for low 1/f noise; device sizes and
+//    currents chosen by the noise-reduction recipe of Sec. 3.2.
+//  * Common-mode feedback: resistive output detector into a PMOS pair
+//    (the "common-mode amplifier", devices 2x the input pair) whose
+//    output current is mirrored into the gate of the common NMOS loads
+//    ("both signals added in the common load devices").
+//  * Class-A second stage (paper Sec. 2.2) with Miller compensation.
+//  * Gain programming: two matched resistor strings between the outputs
+//    with MOS-switch-selected taps; codes give 10..40 dB in 6 dB steps.
+//    Exactly two switches (one per side) are on at any code - the 2*Ron
+//    factor of Eq. (4).
+//
+// Closed-loop gain at code k: Acl = Rtot / Ra_k = 10^((10 + 6k)/20).
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "circuit/netlist.h"
+#include "devices/mos_switch.h"
+#include "devices/mosfet.h"
+#include "devices/passive.h"
+#include "devices/sources.h"
+#include "process/process.h"
+
+namespace msim::core {
+
+inline constexpr int kMicGainCodes = 6;  // 10, 16, 22, 28, 34, 40 dB
+
+struct MicAmpDesign {
+  // Input stage.
+  double id_input = 200e-6;   // drain current per input device
+  double veff_input = 0.06;   // weak overdrive: maximum gm/Id
+  double l_input = 4e-6;      // large area -> low flicker
+  // NMOS loads: long channel (PSRR) and large area (flicker).
+  double veff_load = 0.55;
+  double l_load = 50e-6;
+  // Common-mode amplifier: paper says twice the size and current.
+  double cm_size_factor = 2.0;
+  // Second stage (class A).
+  double id_stage2 = 250e-6;
+  double veff_stage2 = 0.10;
+  double l_stage2 = 2e-6;
+  double veff_stage2_load = 0.25;
+  double l_stage2_load = 5e-6;
+  // Tail / mirror devices.
+  double veff_tail = 0.25;
+  double l_tail = 5e-6;
+  // Compensation.
+  double c_miller = 10e-12;
+  double r_zero = 200.0;
+  // Gain network.
+  double r_string_total = 10e3;   // per side, output to center tap
+  double r_switch_on = 80.0;      // Eq. (5) on-resistance
+  // CM detector resistors (noise "compressed by the amplifier gain").
+  double r_cm_detect = 100e3;
+  // Internal bias reference current.
+  double i_bias_ref = 50e-6;
+};
+
+struct MicAmp {
+  ckt::NodeId vdd{}, vss{}, agnd{};
+  ckt::NodeId inp{}, inn{};      // microphone inputs (high impedance)
+  ckt::NodeId outp{}, outn{};
+  ckt::NodeId fbp{}, fbn{};      // feedback tap summing nodes
+  ckt::NodeId x{}, y{};          // first-stage outputs
+  // Switch banks: sw_p[k] / sw_n[k] select gain code k.
+  std::array<dev::MosSwitch*, kMicGainCodes> sw_p{};
+  std::array<dev::MosSwitch*, kMicGainCodes> sw_n{};
+  std::array<double, kMicGainCodes> acl{};  // ideal closed-loop gains
+  // All four input devices (M1 inp, M2 inn, M3 fbp, M4 fbn) for
+  // mismatch injection in Monte-Carlo runs.
+  std::array<dev::Mosfet*, 4> input_devices{};
+  std::vector<dev::Resistor*> string_segments_p;
+  std::vector<dev::Resistor*> string_segments_n;
+  dev::VSource* supply_probe = nullptr;  // for I_Q measurement
+  int active_code = -1;
+
+  // Ideal gain in dB for code k (10 + 6k).
+  static double code_gain_db(int code) { return 10.0 + 6.0 * code; }
+
+  // Turns on exactly the two switches of code k (0..5).
+  void set_gain_code(int code);
+};
+
+// Builds the amplifier between the given rails.  A dedicated 0 V supply
+// probe in series with vdd measures the quiescent current (Table 1 I_Q).
+MicAmp build_mic_amp(ckt::Netlist& nl, const proc::ProcessModel& pm,
+                     const MicAmpDesign& d, ckt::NodeId vdd, ckt::NodeId vss,
+                     ckt::NodeId agnd, ckt::NodeId inp, ckt::NodeId inn,
+                     const std::string& prefix = "mic");
+
+}  // namespace msim::core

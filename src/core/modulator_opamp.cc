@@ -1,0 +1,95 @@
+#include "core/modulator_opamp.h"
+
+namespace msim::core {
+
+ModOpamp build_modulator_opamp(ckt::Netlist& nl,
+                               const proc::ProcessModel& pm,
+                               const ModOpampDesign& d, ckt::NodeId vdd,
+                               ckt::NodeId vss, ckt::NodeId agnd,
+                               ckt::NodeId inp, ckt::NodeId inn,
+                               const std::string& prefix) {
+  ModOpamp a;
+  a.vss = vss;
+  a.agnd = agnd;
+  a.inp = inp;
+  a.inn = inn;
+
+  auto nn = [&](const char* s) { return nl.node(prefix + "." + s); };
+  auto dn = [&](const std::string& s) { return prefix + "." + s; };
+
+  const auto vdd_i = nn("vdd_i");
+  a.vdd = vdd_i;
+  a.supply_probe = nl.add<dev::VSource>(dn("Vprobe"), vdd, vdd_i, 0.0);
+
+  const auto& pp = pm.pmos();
+  const auto& np = pm.nmos();
+
+  // Bias reference.
+  const auto pg = nn("pg");
+  const double w_bp =
+      2.0 * d.i_bias_ref / (pp.kp * d.veff_tail * d.veff_tail) * d.l_tail;
+  nl.add<dev::Mosfet>(dn("MBP"), pg, pg, vdd_i, vdd_i, pp, w_bp, d.l_tail);
+  nl.add<dev::ISource>(dn("Iref"), pg, vss, d.i_bias_ref);
+  auto tail_w = [&](double i) { return w_bp * (i / d.i_bias_ref); };
+
+  // Input pair.
+  a.outp = nn("outp");
+  a.outn = nn("outn");
+  const auto x = nn("x");
+  const auto y = nn("y");
+  const auto ta = nn("ta");
+  const double i_tail = 2.0 * d.id_input;
+  nl.add<dev::Mosfet>(dn("MT1"), ta, pg, vdd_i, vdd_i, pp, tail_w(i_tail),
+                      d.l_tail);
+  const double w_in = 2.0 * d.id_input /
+                      (pp.kp * d.veff_input * d.veff_input) * d.l_input;
+  nl.add<dev::Mosfet>(dn("M1"), x, inp, ta, ta, pp, w_in, d.l_input);
+  nl.add<dev::Mosfet>(dn("M2"), y, inn, ta, ta, pp, w_in, d.l_input);
+
+  // Common NMOS loads on the CMFB rail.
+  const auto vcmfb = nn("vcmfb");
+  const double w_load = 2.0 * d.id_input /
+                        (np.kp * d.veff_load * d.veff_load) * d.l_load;
+  nl.add<dev::Mosfet>(dn("ML1"), x, vcmfb, vss, vss, np, w_load,
+                      d.l_load);
+  nl.add<dev::Mosfet>(dn("ML2"), y, vcmfb, vss, vss, np, w_load,
+                      d.l_load);
+
+  // CMFB: resistive detector into a PMOS pair, mirrored to the loads.
+  const auto vcm_det = nn("vcm_det");
+  nl.add<dev::Resistor>(dn("Rc1"), a.outp, vcm_det, d.r_cm_detect);
+  nl.add<dev::Resistor>(dn("Rc2"), a.outn, vcm_det, d.r_cm_detect);
+  const auto tc = nn("tc");
+  nl.add<dev::Mosfet>(dn("MT3"), tc, pg, vdd_i, vdd_i, pp,
+                      tail_w(2.0 * d.id_input), d.l_tail);
+  nl.add<dev::Mosfet>(dn("MC1"), vcmfb, vcm_det, tc, tc, pp, w_in,
+                      d.l_input);
+  nl.add<dev::Mosfet>(dn("MC2"), vss, agnd, tc, tc, pp, w_in, d.l_input);
+  nl.add<dev::Mosfet>(dn("MD"), vcmfb, vcmfb, vss, vss, np, w_load,
+                      d.l_load);
+
+  // Class-A second stage (the paper's stated choice for linearity).
+  const double w_drv = 2.0 * d.id_stage2 /
+                       (np.kp * d.veff_stage2 * d.veff_stage2) *
+                       d.l_stage2;
+  nl.add<dev::Mosfet>(dn("MN5p"), a.outp, x, vss, vss, np, w_drv,
+                      d.l_stage2);
+  nl.add<dev::Mosfet>(dn("MN5n"), a.outn, y, vss, vss, np, w_drv,
+                      d.l_stage2);
+  nl.add<dev::Mosfet>(dn("MP5p"), a.outp, pg, vdd_i, vdd_i, pp,
+                      tail_w(d.id_stage2), d.l_tail);
+  nl.add<dev::Mosfet>(dn("MP5n"), a.outn, pg, vdd_i, vdd_i, pp,
+                      tail_w(d.id_stage2), d.l_tail);
+
+  // Miller compensation.
+  const auto zp = nn("zp");
+  const auto zn = nn("zn");
+  nl.add<dev::Capacitor>(dn("Ccp"), a.outp, zp, d.c_miller);
+  nl.add<dev::Resistor>(dn("Rzp"), zp, x, d.r_zero)->set_noiseless(true);
+  nl.add<dev::Capacitor>(dn("Ccn"), a.outn, zn, d.c_miller);
+  nl.add<dev::Resistor>(dn("Rzn"), zn, y, d.r_zero)->set_noiseless(true);
+
+  return a;
+}
+
+}  // namespace msim::core

@@ -1,0 +1,54 @@
+// The modulator's operational amplifier (paper Sec. 2.2).
+//
+// "A class A output stage is used in the opamp for the modulator because
+// of the low supply voltage and to keep the linearity of the converter;
+// because of which the quiescent supply current for the modulators opamp
+// is about 150 uA."
+//
+// Topology: the microphone amplifier's core without the DDA second pair
+// or the gain string - one PMOS input pair into common NMOS loads with
+// the resistive-detector / mirror CMFB, class-A second stage, Miller
+// compensation.  Scaled to the 150 uA budget.  Used as the integrator
+// amplifier in switched-capacitor work (see test_sc_integrator).
+#pragma once
+
+#include "circuit/netlist.h"
+#include "devices/mosfet.h"
+#include "devices/passive.h"
+#include "devices/sources.h"
+#include "process/process.h"
+
+namespace msim::core {
+
+struct ModOpampDesign {
+  double id_input = 15e-6;    // per input device
+  double veff_input = 0.08;
+  double l_input = 3e-6;
+  double veff_load = 0.45;
+  double l_load = 20e-6;
+  double id_stage2 = 25e-6;
+  double veff_stage2 = 0.10;
+  double l_stage2 = 2e-6;
+  double veff_tail = 0.25;
+  double l_tail = 5e-6;
+  double c_miller = 2e-12;
+  double r_zero = 2e3;
+  double r_cm_detect = 500e3;  // light load: SC circuits hate loading
+  double i_bias_ref = 10e-6;
+};
+
+struct ModOpamp {
+  ckt::NodeId vdd{}, vss{}, agnd{};
+  ckt::NodeId inp{}, inn{};
+  ckt::NodeId outp{}, outn{};
+  dev::VSource* supply_probe = nullptr;
+};
+
+ModOpamp build_modulator_opamp(ckt::Netlist& nl,
+                               const proc::ProcessModel& pm,
+                               const ModOpampDesign& d, ckt::NodeId vdd,
+                               ckt::NodeId vss, ckt::NodeId agnd,
+                               ckt::NodeId inp, ckt::NodeId inn,
+                               const std::string& prefix = "modamp");
+
+}  // namespace msim::core

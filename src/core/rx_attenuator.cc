@@ -1,0 +1,67 @@
+#include "core/rx_attenuator.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace msim::core {
+
+void RxAttenuator::set_code(int code) {
+  if (code < 0 || code >= kRxAttenCodes)
+    throw std::out_of_range("rx attenuator code must be 0..5");
+  for (int k = 0; k < kRxAttenCodes; ++k) {
+    sw_p[static_cast<std::size_t>(k)]->set_on(k == code);
+    sw_n[static_cast<std::size_t>(k)]->set_on(k == code);
+  }
+  active_code = code;
+}
+
+RxAttenuator build_rx_attenuator(ckt::Netlist& nl,
+                                 const proc::ProcessModel& pm,
+                                 const RxAttenDesign& d, ckt::NodeId inp,
+                                 ckt::NodeId inn,
+                                 const std::string& prefix) {
+  RxAttenuator att;
+  att.inp = inp;
+  att.inn = inn;
+  att.outp = nl.node(prefix + ".outp");
+  att.outn = nl.node(prefix + ".outn");
+  const auto ctap = nl.node(prefix + ".ctap");
+
+  auto dn = [&](const std::string& s) { return prefix + "." + s; };
+
+  // Tap fractions from the center: 10^(-6k/20); code 0 taps the input.
+  auto build_side = [&](const char* side, ckt::NodeId in, ckt::NodeId out,
+                        std::array<dev::MosSwitch*, kRxAttenCodes>& sws,
+                        std::vector<dev::Resistor*>& segs) {
+    double pos = 0.0;
+    ckt::NodeId prev = ctap;
+    for (int k = kRxAttenCodes - 1; k >= 0; --k) {
+      const double frac = std::pow(10.0, RxAttenuator::code_gain_db(k) /
+                                             20.0);
+      ckt::NodeId tap;
+      if (k == 0) {
+        tap = in;  // 0 dB: tap the input directly
+      } else {
+        tap = nl.node(prefix + "." + side + ".t" + std::to_string(k));
+      }
+      const double seg_r = (frac - pos) * d.r_total;
+      segs.push_back(nl.add<dev::Resistor>(
+          dn(std::string("R") + side + std::to_string(k)), prev, tap,
+          seg_r));
+      auto* seg = segs.back();
+      seg->set_tc(pm.poly_tc1(), pm.poly_tc2());
+      sws[static_cast<std::size_t>(k)] = nl.add<dev::MosSwitch>(
+          dn(std::string("SW") + side + std::to_string(k)), tap, out,
+          d.r_switch_on);
+      pos = frac;
+      prev = tap;
+    }
+  };
+  build_side("p", inp, att.outp, att.sw_p, att.segments_p);
+  build_side("n", inn, att.outn, att.sw_n, att.segments_n);
+
+  att.set_code(0);
+  return att;
+}
+
+}  // namespace msim::core

@@ -1,0 +1,53 @@
+// Receive-path programmable attenuator.
+//
+// Figure 1's front-end is programmable on both paths: the microphone PGA
+// on transmit and a level control ahead of the power buffer on receive
+// ("to be able to provide appropriate signal levels ... due to different
+// transducer characteristics").  This block is the receive twin of the
+// Fig. 5 gain network: two matched resistor strings with MOS-switch
+// taps, giving 0 to -30 dB in 6 dB steps, fully differential, feeding
+// the buffer's high-impedance inputs.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "circuit/netlist.h"
+#include "devices/mos_switch.h"
+#include "devices/passive.h"
+#include "process/process.h"
+
+namespace msim::core {
+
+inline constexpr int kRxAttenCodes = 6;  // 0, -6, ..., -30 dB
+
+struct RxAttenDesign {
+  double r_total = 20e3;      // per-side string resistance
+  double r_switch_on = 100.0;
+};
+
+struct RxAttenuator {
+  ckt::NodeId inp{}, inn{};
+  ckt::NodeId outp{}, outn{};
+  std::array<dev::MosSwitch*, kRxAttenCodes> sw_p{};
+  std::array<dev::MosSwitch*, kRxAttenCodes> sw_n{};
+  std::vector<dev::Resistor*> segments_p;
+  std::vector<dev::Resistor*> segments_n;
+  int active_code = -1;
+
+  static double code_gain_db(int code) { return -6.0 * code; }
+  // Selects attenuation code 0..5 (0 dB .. -30 dB).
+  void set_code(int code);
+};
+
+// Builds the attenuator between (inp, inn) and its tap outputs; the
+// strings are center-connected through `acm` (usually analog ground via
+// a high-value resistor is unnecessary: the center tap is the natural
+// differential null).
+RxAttenuator build_rx_attenuator(ckt::Netlist& nl,
+                                 const proc::ProcessModel& pm,
+                                 const RxAttenDesign& d, ckt::NodeId inp,
+                                 ckt::NodeId inn,
+                                 const std::string& prefix = "rxatt");
+
+}  // namespace msim::core

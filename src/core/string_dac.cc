@@ -1,0 +1,65 @@
+#include "core/string_dac.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace msim::core {
+
+void StringDac::set_code(int code) {
+  if (code < 0 || code >= levels())
+    throw std::out_of_range("dac code out of range");
+  for (int k = 0; k < levels(); ++k) {
+    taps_p[static_cast<std::size_t>(k)]->set_on(k == code);
+    // Complementary tap: mirrors the output about the string center.
+    taps_n[static_cast<std::size_t>(k)]->set_on(k ==
+                                                levels() - 1 - code);
+  }
+  active_code = code;
+}
+
+StringDac build_string_dac(ckt::Netlist& nl, const proc::ProcessModel& pm,
+                           const StringDacDesign& d, ckt::NodeId ref_p,
+                           ckt::NodeId ref_n, const std::string& prefix) {
+  StringDac dac;
+  dac.ref_p = ref_p;
+  dac.ref_n = ref_n;
+  dac.bits = d.bits;
+  dac.outp = nl.node(prefix + ".outp");
+  dac.outn = nl.node(prefix + ".outn");
+
+  const int n = dac.levels();
+  dac.segments.reserve(static_cast<std::size_t>(n));
+  dac.taps_p.reserve(static_cast<std::size_t>(n));
+  dac.taps_n.reserve(static_cast<std::size_t>(n));
+
+  // String from ref_n to ref_p with a tap at the middle of each step:
+  // tap k sits after k full units plus half a unit (mid-rise coding).
+  ckt::NodeId prev = ref_n;
+  for (int k = 0; k < n; ++k) {
+    const auto tap =
+        nl.node(prefix + ".t" + std::to_string(k));
+    // Half unit below the tap (completing the previous step) and the
+    // taps' half units combine into full units internally.
+    auto* r_lo = nl.add<dev::Resistor>(
+        prefix + ".Rl" + std::to_string(k), prev, tap,
+        d.r_unit * (k == 0 ? 0.5 : 1.0));
+    r_lo->set_tc(pm.poly_tc1(), pm.poly_tc2());
+    dac.segments.push_back(r_lo);
+    dac.taps_p.push_back(nl.add<dev::MosSwitch>(
+        prefix + ".SWp" + std::to_string(k), tap, dac.outp,
+        d.r_switch_on));
+    dac.taps_n.push_back(nl.add<dev::MosSwitch>(
+        prefix + ".SWn" + std::to_string(k), tap, dac.outn,
+        d.r_switch_on));
+    prev = tap;
+  }
+  auto* r_top = nl.add<dev::Resistor>(prefix + ".Rtop", prev, ref_p,
+                                      d.r_unit * 0.5);
+  r_top->set_tc(pm.poly_tc1(), pm.poly_tc2());
+  dac.segments.push_back(r_top);
+
+  dac.set_code(n / 2);
+  return dac;
+}
+
+}  // namespace msim::core

@@ -1,0 +1,53 @@
+// Receive-path D/A converter: a resistor-string DAC.
+//
+// Figure 1's receive chain is D/A -> programmable attenuation -> power
+// buffer.  The natural companion to this paper's blocks is a resistor
+// string hung between the differential bandgap outputs (+-0.6 V): it is
+// inherently monotonic (the property that matters for a voice DAC), its
+// accuracy is set by the same matched-unit-resistor statistics as the
+// PGA's gain network, and its differential output comes free by tapping
+// the string complementarily (out_n mirrors out_p about the center).
+#pragma once
+
+#include <vector>
+
+#include "circuit/netlist.h"
+#include "devices/mos_switch.h"
+#include "devices/passive.h"
+#include "process/process.h"
+
+namespace msim::core {
+
+struct StringDacDesign {
+  int bits = 6;
+  double r_unit = 250.0;      // unit segment resistance
+  double r_switch_on = 500.0; // tap switch (feeds a high-Z buffer)
+};
+
+struct StringDac {
+  ckt::NodeId ref_p{}, ref_n{};
+  ckt::NodeId outp{}, outn{};
+  int bits = 0;
+  std::vector<dev::Resistor*> segments;     // 2^bits units
+  std::vector<dev::MosSwitch*> taps_p;      // 2^bits tap switches
+  std::vector<dev::MosSwitch*> taps_n;
+  int active_code = -1;
+
+  int levels() const { return 1 << bits; }
+  // Selects code 0 .. 2^bits - 1; out_p taps level `code`, out_n taps
+  // the complementary level, so v(outp)-v(outn) spans the reference
+  // symmetrically.
+  void set_code(int code);
+  // Ideal differential output for a code given the reference span.
+  static double ideal_out(int code, int bits, double v_span) {
+    const int n = 1 << bits;
+    return v_span * (2.0 * code - (n - 1)) / n;
+  }
+};
+
+StringDac build_string_dac(ckt::Netlist& nl, const proc::ProcessModel& pm,
+                           const StringDacDesign& d, ckt::NodeId ref_p,
+                           ckt::NodeId ref_n,
+                           const std::string& prefix = "dac");
+
+}  // namespace msim::core

@@ -1,0 +1,99 @@
+#include "devices/controlled.h"
+
+namespace msim::dev {
+
+// ------------------------------------------------------------------- Vcvs
+
+Vcvs::Vcvs(std::string name, ckt::NodeId p, ckt::NodeId n, ckt::NodeId cp,
+           ckt::NodeId cn, double gain)
+    : Device(std::move(name), {p, n, cp, cn}), gain_(gain) {}
+
+void Vcvs::stamp(ckt::StampContext& ctx) const {
+  const int ib = branch_base_;
+  ctx.add_node_jac(nodes_[0], ib, 1.0);
+  ctx.add_node_jac(nodes_[1], ib, -1.0);
+  // Branch row: v(p) - v(n) - gain*(v(cp) - v(cn)) = 0
+  ctx.add_branch_jac(ib, nodes_[0], 1.0);
+  ctx.add_branch_jac(ib, nodes_[1], -1.0);
+  ctx.add_branch_jac(ib, nodes_[2], -gain_);
+  ctx.add_branch_jac(ib, nodes_[3], gain_);
+}
+
+void Vcvs::stamp_ac(ckt::AcStampContext& ctx) const {
+  const int ib = branch_base_;
+  ctx.add_node_jac(nodes_[0], ib, {1.0, 0.0});
+  ctx.add_node_jac(nodes_[1], ib, {-1.0, 0.0});
+  ctx.add_branch_jac(ib, nodes_[0], {1.0, 0.0});
+  ctx.add_branch_jac(ib, nodes_[1], {-1.0, 0.0});
+  ctx.add_branch_jac(ib, nodes_[2], {-gain_, 0.0});
+  ctx.add_branch_jac(ib, nodes_[3], {gain_, 0.0});
+}
+
+// ------------------------------------------------------------------- Vccs
+
+Vccs::Vccs(std::string name, ckt::NodeId p, ckt::NodeId n, ckt::NodeId cp,
+           ckt::NodeId cn, double gm)
+    : Device(std::move(name), {p, n, cp, cn}), gm_(gm) {}
+
+void Vccs::stamp(ckt::StampContext& ctx) const {
+  // Current gm*(v(cp)-v(cn)) leaves p, enters n.
+  auto at = [&](ckt::NodeId r, ckt::NodeId c, double v) {
+    if (r != ckt::kGround && c != ckt::kGround)
+      ctx.add_jac(r - 1, c - 1, v);
+  };
+  at(nodes_[0], nodes_[2], gm_);
+  at(nodes_[0], nodes_[3], -gm_);
+  at(nodes_[1], nodes_[2], -gm_);
+  at(nodes_[1], nodes_[3], gm_);
+}
+
+void Vccs::stamp_ac(ckt::AcStampContext& ctx) const {
+  ctx.add_transconductance(nodes_[0], nodes_[1], nodes_[2], nodes_[3],
+                           {gm_, 0.0});
+}
+
+// ------------------------------------------------------------------- Cccs
+
+Cccs::Cccs(std::string name, ckt::NodeId p, ckt::NodeId n,
+           const VSource* sense, double gain)
+    : Device(std::move(name), {p, n}), sense_(sense), gain_(gain) {}
+
+void Cccs::stamp(ckt::StampContext& ctx) const {
+  const int is = sense_->branch_base();
+  ctx.add_node_jac(nodes_[0], is, gain_);
+  ctx.add_node_jac(nodes_[1], is, -gain_);
+}
+
+void Cccs::stamp_ac(ckt::AcStampContext& ctx) const {
+  const int is = sense_->branch_base();
+  ctx.add_node_jac(nodes_[0], is, {gain_, 0.0});
+  ctx.add_node_jac(nodes_[1], is, {-gain_, 0.0});
+}
+
+// ------------------------------------------------------------------- Ccvs
+
+Ccvs::Ccvs(std::string name, ckt::NodeId p, ckt::NodeId n,
+           const VSource* sense, double transresistance)
+    : Device(std::move(name), {p, n}), sense_(sense), r_(transresistance) {}
+
+void Ccvs::stamp(ckt::StampContext& ctx) const {
+  const int ib = branch_base_;
+  const int is = sense_->branch_base();
+  ctx.add_node_jac(nodes_[0], ib, 1.0);
+  ctx.add_node_jac(nodes_[1], ib, -1.0);
+  ctx.add_branch_jac(ib, nodes_[0], 1.0);
+  ctx.add_branch_jac(ib, nodes_[1], -1.0);
+  ctx.add_jac(ib, is, -r_);
+}
+
+void Ccvs::stamp_ac(ckt::AcStampContext& ctx) const {
+  const int ib = branch_base_;
+  const int is = sense_->branch_base();
+  ctx.add_node_jac(nodes_[0], ib, {1.0, 0.0});
+  ctx.add_node_jac(nodes_[1], ib, {-1.0, 0.0});
+  ctx.add_branch_jac(ib, nodes_[0], {1.0, 0.0});
+  ctx.add_branch_jac(ib, nodes_[1], {-1.0, 0.0});
+  ctx.add_jac(ib, is, {-r_, 0.0});
+}
+
+}  // namespace msim::dev

@@ -1,0 +1,80 @@
+// Linear controlled sources: VCVS (E), VCCS (G), CCCS (F), CCVS (H).
+//
+// The current-controlled variants sense the branch current of a VSource
+// (SPICE style); pass the sensing source by pointer.
+#pragma once
+
+#include "circuit/device.h"
+#include "devices/sources.h"
+
+namespace msim::dev {
+
+// v(p,n) = gain * v(cp,cn)
+class Vcvs : public ckt::Device {
+ public:
+  Vcvs(std::string name, ckt::NodeId p, ckt::NodeId n, ckt::NodeId cp,
+       ckt::NodeId cn, double gain);
+
+  std::string_view type() const override { return "vcvs"; }
+  int branch_count() const override { return 1; }
+  double gain() const { return gain_; }
+  void set_gain(double g) { gain_ = g; }
+
+  void stamp(ckt::StampContext& ctx) const override;
+  void stamp_ac(ckt::AcStampContext& ctx) const override;
+
+ private:
+  double gain_;
+};
+
+// i(p->n) = gm * v(cp,cn)
+class Vccs : public ckt::Device {
+ public:
+  Vccs(std::string name, ckt::NodeId p, ckt::NodeId n, ckt::NodeId cp,
+       ckt::NodeId cn, double gm);
+
+  std::string_view type() const override { return "vccs"; }
+  double gm() const { return gm_; }
+  void set_gm(double g) { gm_ = g; }
+
+  void stamp(ckt::StampContext& ctx) const override;
+  void stamp_ac(ckt::AcStampContext& ctx) const override;
+
+ private:
+  double gm_;
+};
+
+// i(p->n) = gain * i(sense branch)
+class Cccs : public ckt::Device {
+ public:
+  Cccs(std::string name, ckt::NodeId p, ckt::NodeId n, const VSource* sense,
+       double gain);
+
+  std::string_view type() const override { return "cccs"; }
+
+  void stamp(ckt::StampContext& ctx) const override;
+  void stamp_ac(ckt::AcStampContext& ctx) const override;
+
+ private:
+  const VSource* sense_;
+  double gain_;
+};
+
+// v(p,n) = r * i(sense branch)
+class Ccvs : public ckt::Device {
+ public:
+  Ccvs(std::string name, ckt::NodeId p, ckt::NodeId n, const VSource* sense,
+       double transresistance);
+
+  std::string_view type() const override { return "ccvs"; }
+  int branch_count() const override { return 1; }
+
+  void stamp(ckt::StampContext& ctx) const override;
+  void stamp_ac(ckt::AcStampContext& ctx) const override;
+
+ private:
+  const VSource* sense_;
+  double r_;
+};
+
+}  // namespace msim::dev

@@ -1,0 +1,64 @@
+// Shared helpers for exponential junction devices (diode, BJT):
+// overflow-safe exponential and the classic SPICE junction-voltage
+// limiting that keeps Newton iterations from overshooting.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+namespace msim::dev {
+
+// exp(u) linearized beyond u = kExpCap so currents and conductances stay
+// finite while remaining C1-continuous.
+inline constexpr double kExpCap = 80.0;
+
+struct LimitedExp {
+  double value;  // f(u)
+  double deriv;  // f'(u)
+};
+
+inline LimitedExp limited_exp(double u) {
+  if (u < kExpCap) {
+    const double e = std::exp(u);
+    return {e, e};
+  }
+  const double e = std::exp(kExpCap);
+  return {e * (1.0 + (u - kExpCap)), e};
+}
+
+// SPICE pnjlim: limits the junction-voltage Newton step.  `vnew` is the
+// candidate voltage, `vold` the previous iterate, `vt` the (scaled)
+// thermal voltage and `vcrit` the critical voltage of the junction.
+inline double pnjlim(double vnew, double vold, double vt, double vcrit) {
+  if (vnew > vcrit && std::abs(vnew - vold) > vt + vt) {
+    if (vold > 0.0) {
+      const double arg = 1.0 + (vnew - vold) / vt;
+      vnew = arg > 0.0 ? vold + vt * std::log(arg) : vcrit;
+    } else {
+      vnew = vt * std::log(vnew / vt);
+    }
+  }
+  return vnew;
+}
+
+inline double junction_vcrit(double vt, double isat) {
+  return vt * std::log(vt / (std::sqrt(2.0) * isat));
+}
+
+// Softplus with slope parameter `a`: smooth max(x, 0) used to blend the
+// MOSFET sub-threshold and strong-inversion regions so Newton always sees
+// continuous derivatives.
+struct SoftPlus {
+  double value;
+  double deriv;  // in (0, 1)
+};
+
+inline SoftPlus softplus(double x, double a) {
+  const double u = x / a;
+  if (u > kExpCap) return {x, 1.0};
+  if (u < -kExpCap) return {a * std::exp(u), std::exp(u)};
+  const double e = std::exp(u);
+  return {a * std::log1p(e), e / (1.0 + e)};
+}
+
+}  // namespace msim::dev

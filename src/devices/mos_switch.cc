@@ -1,0 +1,37 @@
+#include "devices/mos_switch.h"
+
+#include "numeric/units.h"
+
+namespace msim::dev {
+
+MosSwitch::MosSwitch(std::string name, ckt::NodeId p, ckt::NodeId n,
+                     double r_on, double r_off, bool on)
+    : Device(std::move(name), {p, n}), r_on_(r_on), r_off_(r_off), on_(on) {}
+
+void MosSwitch::set_clock(Waveform clock, double threshold) {
+  clock_ = std::move(clock);
+  clock_threshold_ = threshold;
+}
+
+void MosSwitch::stamp(ckt::StampContext& ctx) const {
+  const bool on =
+      ctx.mode() == ckt::AnalysisMode::kTransient ? on_at(ctx.time)
+                                                  : on_at(0.0);
+  ctx.add_conductance(nodes_[0], nodes_[1], 1.0 / (on ? r_on_ : r_off_));
+}
+
+void MosSwitch::stamp_ac(ckt::AcStampContext& ctx) const {
+  const bool on = on_at(0.0);
+  ctx.add_admittance(nodes_[0], nodes_[1], 1.0 / (on ? r_on_ : r_off_));
+}
+
+void MosSwitch::append_noise_sources(std::vector<ckt::NoiseSource>& out,
+                                     double temp_k) const {
+  // Off switches are treated as ideal open circuits (paper, Sec. 3.1).
+  if (!on_at(0.0)) return;
+  const double psd = 4.0 * num::kBoltzmann * temp_k / r_on_;
+  out.push_back({name_ + ".thermal", nodes_[0], nodes_[1],
+                 [psd](double) { return psd; }});
+}
+
+}  // namespace msim::dev

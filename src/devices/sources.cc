@@ -1,0 +1,64 @@
+#include "devices/sources.h"
+
+#include <complex>
+
+namespace msim::dev {
+
+// ----------------------------------------------------------------- VSource
+
+VSource::VSource(std::string name, ckt::NodeId p, ckt::NodeId n, Waveform w)
+    : Device(std::move(name), {p, n}), wave_(std::move(w)) {}
+
+VSource::VSource(std::string name, ckt::NodeId p, ckt::NodeId n,
+                 double dc_volts)
+    : VSource(std::move(name), p, n, Waveform::dc(dc_volts)) {}
+
+void VSource::stamp(ckt::StampContext& ctx) const {
+  const int ib = branch_base_;
+  ctx.add_node_jac(nodes_[0], ib, 1.0);
+  ctx.add_node_jac(nodes_[1], ib, -1.0);
+  ctx.add_branch_jac(ib, nodes_[0], 1.0);
+  ctx.add_branch_jac(ib, nodes_[1], -1.0);
+  const double v = (ctx.mode() == ckt::AnalysisMode::kDcOp)
+                       ? wave_.dc_value() * ctx.source_scale
+                       : wave_.value(ctx.time);
+  ctx.add_rhs(ib, v);
+}
+
+void VSource::stamp_ac(ckt::AcStampContext& ctx) const {
+  const int ib = branch_base_;
+  ctx.add_node_jac(nodes_[0], ib, {1.0, 0.0});
+  ctx.add_node_jac(nodes_[1], ib, {-1.0, 0.0});
+  ctx.add_branch_jac(ib, nodes_[0], {1.0, 0.0});
+  ctx.add_branch_jac(ib, nodes_[1], {-1.0, 0.0});
+  if (wave_.ac_mag() != 0.0) {
+    ctx.add_rhs(ib, std::polar(wave_.ac_mag(), wave_.ac_phase()));
+  }
+}
+
+// ----------------------------------------------------------------- ISource
+
+ISource::ISource(std::string name, ckt::NodeId p, ckt::NodeId n, Waveform w)
+    : Device(std::move(name), {p, n}), wave_(std::move(w)) {}
+
+ISource::ISource(std::string name, ckt::NodeId p, ckt::NodeId n,
+                 double dc_amps)
+    : ISource(std::move(name), p, n, Waveform::dc(dc_amps)) {}
+
+void ISource::stamp(ckt::StampContext& ctx) const {
+  const double i = (ctx.mode() == ckt::AnalysisMode::kDcOp)
+                       ? wave_.dc_value() * ctx.source_scale
+                       : wave_.value(ctx.time);
+  // Current i leaves node p and enters node n.
+  ctx.add_current_into(nodes_[0], -i);
+  ctx.add_current_into(nodes_[1], i);
+}
+
+void ISource::stamp_ac(ckt::AcStampContext& ctx) const {
+  if (wave_.ac_mag() == 0.0) return;
+  const std::complex<double> i = std::polar(wave_.ac_mag(), wave_.ac_phase());
+  ctx.add_current_into(nodes_[0], -i);
+  ctx.add_current_into(nodes_[1], i);
+}
+
+}  // namespace msim::dev

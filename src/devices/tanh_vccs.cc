@@ -1,0 +1,53 @@
+#include "devices/tanh_vccs.h"
+
+#include <cmath>
+
+namespace msim::dev {
+
+using ckt::kGround;
+
+TanhVccs::TanhVccs(std::string name, ckt::NodeId p, ckt::NodeId n,
+                   ckt::NodeId cp, ckt::NodeId cn, double gm, double i_max)
+    : Device(std::move(name), {p, n, cp, cn}), gm_(gm), i_max_(i_max) {
+  gm_op_ = gm;
+}
+
+double TanhVccs::current(double vc, double& slope) const {
+  const double u = gm_ * vc / i_max_;
+  const double t = std::tanh(u);
+  slope = gm_ * (1.0 - t * t);
+  return i_max_ * t;
+}
+
+void TanhVccs::stamp(ckt::StampContext& ctx) const {
+  const double vc = ctx.v(nodes_[2]) - ctx.v(nodes_[3]);
+  double g;
+  const double i = current(vc, g);
+  const double ieq = i - g * vc;
+
+  auto at = [&](ckt::NodeId r, ckt::NodeId c, double v) {
+    if (r != kGround && c != kGround) ctx.add_jac(r - 1, c - 1, v);
+  };
+  at(nodes_[0], nodes_[2], g);
+  at(nodes_[0], nodes_[3], -g);
+  at(nodes_[1], nodes_[2], -g);
+  at(nodes_[1], nodes_[3], g);
+  // Current i flows out of p, into n.
+  ctx.add_current_into(nodes_[0], -ieq);
+  ctx.add_current_into(nodes_[1], ieq);
+}
+
+void TanhVccs::save_op(const num::RealVector& x, double /*temp_k*/) {
+  auto v = [&](ckt::NodeId nd) { return nd == kGround ? 0.0 : x[nd - 1]; };
+  const double vc = v(nodes_[2]) - v(nodes_[3]);
+  double g;
+  (void)current(vc, g);
+  gm_op_ = g;
+}
+
+void TanhVccs::stamp_ac(ckt::AcStampContext& ctx) const {
+  ctx.add_transconductance(nodes_[0], nodes_[1], nodes_[2], nodes_[3],
+                           {gm_op_, 0.0});
+}
+
+}  // namespace msim::dev

@@ -1,0 +1,34 @@
+// Saturating transconductor: i(p->n) = i_max * tanh(gm * v(cp,cn) / i_max).
+//
+// This is the canonical behavioral model of a differential pair: linear
+// transconductance gm for small inputs, smooth current limiting at the
+// tail current i_max (which is what produces slew-rate limiting in the
+// macromodelled amplifiers of core/behav).
+#pragma once
+
+#include "circuit/device.h"
+
+namespace msim::dev {
+
+class TanhVccs : public ckt::Device {
+ public:
+  TanhVccs(std::string name, ckt::NodeId p, ckt::NodeId n, ckt::NodeId cp,
+           ckt::NodeId cn, double gm, double i_max);
+
+  std::string_view type() const override { return "tanh_vccs"; }
+
+  double gm() const { return gm_; }
+  double i_max() const { return i_max_; }
+
+  void stamp(ckt::StampContext& ctx) const override;
+  void save_op(const num::RealVector& x, double temp_k) override;
+  void stamp_ac(ckt::AcStampContext& ctx) const override;
+
+ private:
+  double current(double vc, double& slope) const;
+
+  double gm_, i_max_;
+  double gm_op_ = 0.0;  // small-signal gm at the saved OP
+};
+
+}  // namespace msim::dev

@@ -1,0 +1,25 @@
+#include "numeric/interp.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace msim::num {
+
+PiecewiseLinear::PiecewiseLinear(std::vector<double> xs,
+                                 std::vector<double> ys)
+    : xs_(std::move(xs)), ys_(std::move(ys)) {
+  assert(xs_.size() == ys_.size());
+  assert(std::is_sorted(xs_.begin(), xs_.end()));
+}
+
+double PiecewiseLinear::operator()(double x) const {
+  if (xs_.empty()) return 0.0;
+  if (x <= xs_.front()) return ys_.front();
+  if (x >= xs_.back()) return ys_.back();
+  const auto it = std::upper_bound(xs_.begin(), xs_.end(), x);
+  const std::size_t i = static_cast<std::size_t>(it - xs_.begin());
+  const double t = (x - xs_[i - 1]) / (xs_[i] - xs_[i - 1]);
+  return ys_[i - 1] + t * (ys_[i] - ys_[i - 1]);
+}
+
+}  // namespace msim::num

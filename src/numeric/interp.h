@@ -1,0 +1,31 @@
+// Piecewise-linear interpolation over a sorted breakpoint table.
+//
+// Used by PWL sources, the psophometric weighting table and measured-curve
+// comparisons in the benches.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace msim::num {
+
+class PiecewiseLinear {
+ public:
+  PiecewiseLinear() = default;
+  // `xs` must be strictly increasing and the two arrays equally sized.
+  PiecewiseLinear(std::vector<double> xs, std::vector<double> ys);
+
+  // Evaluates with flat extrapolation outside [xs.front(), xs.back()].
+  double operator()(double x) const;
+
+  bool empty() const { return xs_.empty(); }
+  std::size_t size() const { return xs_.size(); }
+  double x_min() const { return xs_.front(); }
+  double x_max() const { return xs_.back(); }
+
+ private:
+  std::vector<double> xs_;
+  std::vector<double> ys_;
+};
+
+}  // namespace msim::num

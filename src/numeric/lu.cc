@@ -1,0 +1,111 @@
+#include "numeric/lu.h"
+
+#include <cmath>
+#include <cstddef>
+
+namespace msim::num {
+namespace {
+
+double magnitude(double v) { return std::abs(v); }
+double magnitude(const std::complex<double>& v) { return std::abs(v); }
+
+// Pivots below this absolute value are treated as structural zeros.
+constexpr double kPivotFloor = 1e-30;
+
+}  // namespace
+
+template <typename T>
+void Lu<T>::factor(const Matrix<T>& a) {
+  const std::size_t n = a.rows();
+  lu_ = a;
+  perm_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
+  singular_ = false;
+  min_pivot_ = n ? 1e300 : 0.0;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivot: largest magnitude in column k at or below row k.
+    std::size_t piv = k;
+    double best = magnitude(lu_(k, k));
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double m = magnitude(lu_(r, k));
+      if (m > best) {
+        best = m;
+        piv = r;
+      }
+    }
+    if (best < kPivotFloor) {
+      singular_ = true;
+      min_pivot_ = 0.0;
+      return;
+    }
+    if (piv != k) {
+      std::swap(perm_[piv], perm_[k]);
+      T* rk = lu_.row(k);
+      T* rp = lu_.row(piv);
+      for (std::size_t c = 0; c < n; ++c) std::swap(rk[c], rp[c]);
+    }
+    if (best < min_pivot_) min_pivot_ = best;
+
+    const T pivot = lu_(k, k);
+    for (std::size_t r = k + 1; r < n; ++r) {
+      T m = lu_(r, k) / pivot;
+      lu_(r, k) = m;
+      if (m == T{}) continue;
+      const T* src = lu_.row(k);
+      T* dst = lu_.row(r);
+      for (std::size_t c = k + 1; c < n; ++c) dst[c] -= m * src[c];
+    }
+  }
+}
+
+template <typename T>
+std::vector<T> Lu<T>::solve(const std::vector<T>& b) const {
+  const std::size_t n = lu_.rows();
+  std::vector<T> x(n);
+  // Apply permutation: y = P b.
+  for (std::size_t i = 0; i < n; ++i) x[i] = b[perm_[i]];
+  // Forward substitution with unit-diagonal L.
+  for (std::size_t i = 0; i < n; ++i) {
+    const T* r = lu_.row(i);
+    T acc = x[i];
+    for (std::size_t j = 0; j < i; ++j) acc -= r[j] * x[j];
+    x[i] = acc;
+  }
+  // Back substitution with U.
+  for (std::size_t ii = n; ii-- > 0;) {
+    const T* r = lu_.row(ii);
+    T acc = x[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= r[j] * x[j];
+    x[ii] = acc / r[ii];
+  }
+  return x;
+}
+
+template <typename T>
+std::vector<T> Lu<T>::solve_transpose(const std::vector<T>& b) const {
+  // A = P^T L U  =>  A^T x = U^T L^T P x = b.
+  const std::size_t n = lu_.rows();
+  std::vector<T> v(b);
+  // Forward substitution with U^T (lower triangular, non-unit diagonal).
+  for (std::size_t i = 0; i < n; ++i) {
+    T acc = v[i];
+    for (std::size_t j = 0; j < i; ++j) acc -= lu_(j, i) * v[j];
+    v[i] = acc / lu_(i, i);
+  }
+  // Back substitution with L^T (upper triangular, unit diagonal).
+  for (std::size_t ii = n; ii-- > 0;) {
+    T acc = v[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= lu_(j, ii) * v[j];
+    v[ii] = acc;
+  }
+  // Undo permutation: x = P^T v.
+  std::vector<T> x(n);
+  for (std::size_t i = 0; i < n; ++i) x[perm_[i]] = v[i];
+  return x;
+}
+
+template class Lu<double>;
+template class Lu<std::complex<double>>;
+
+}  // namespace msim::num

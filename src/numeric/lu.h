@@ -1,0 +1,50 @@
+// LU factorization with partial pivoting and the associated solves.
+//
+// This is the single linear-algebra kernel the whole simulator rests on:
+// operating point, AC, transient and the adjoint noise analysis all reduce
+// to factor + solve (or transpose-solve) calls on MNA matrices.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "numeric/matrix.h"
+
+namespace msim::num {
+
+// Factorization outcome.  `singular` is set when no usable pivot (above
+// an absolute floor) exists in some column; callers typically respond by
+// adding gmin or reporting a floating node.
+template <typename T>
+class Lu {
+ public:
+  Lu() = default;
+
+  // Factors a copy of `a` in place.  O(n^3).
+  explicit Lu(const Matrix<T>& a) { factor(a); }
+
+  void factor(const Matrix<T>& a);
+
+  bool singular() const { return singular_; }
+  std::size_t size() const { return lu_.rows(); }
+
+  // Solves A x = b.  Requires !singular().
+  std::vector<T> solve(const std::vector<T>& b) const;
+
+  // Solves A^T x = b (transpose solve; used by the adjoint noise method).
+  std::vector<T> solve_transpose(const std::vector<T>& b) const;
+
+  // Magnitude of the smallest pivot seen; a cheap conditioning indicator.
+  double min_pivot() const { return min_pivot_; }
+
+ private:
+  Matrix<T> lu_;
+  std::vector<std::size_t> perm_;  // row permutation: lu_ row i came from perm_[i]
+  bool singular_ = false;
+  double min_pivot_ = 0.0;
+};
+
+using RealLu = Lu<double>;
+using ComplexLu = Lu<std::complex<double>>;
+
+}  // namespace msim::num

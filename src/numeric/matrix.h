@@ -1,0 +1,84 @@
+// Dense row-major matrix used by the MNA engine.
+//
+// Circuit matrices in this project are small (tens to a few hundred
+// unknowns), where a cache-friendly dense LU beats a sparse solver and is
+// far easier to make robust.  The template is instantiated for `double`
+// (DC / transient Jacobians) and `std::complex<double>` (AC / noise).
+#pragma once
+
+#include <cassert>
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace msim::num {
+
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, T{}) {}
+
+  static Matrix identity(std::size_t n) {
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i) m(i, i) = T{1};
+    return m;
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  T& operator()(std::size_t r, std::size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  const T& operator()(std::size_t r, std::size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  // Raw row pointer; rows are contiguous.
+  T* row(std::size_t r) { return data_.data() + r * cols_; }
+  const T* row(std::size_t r) const { return data_.data() + r * cols_; }
+
+  void fill(const T& v) { data_.assign(data_.size(), v); }
+  void resize(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, T{});
+  }
+
+  Matrix transpose() const {
+    Matrix t(cols_, rows_);
+    for (std::size_t r = 0; r < rows_; ++r)
+      for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+    return t;
+  }
+
+  // y = A * x
+  std::vector<T> mul(const std::vector<T>& x) const {
+    assert(x.size() == cols_);
+    std::vector<T> y(rows_, T{});
+    for (std::size_t r = 0; r < rows_; ++r) {
+      const T* a = row(r);
+      T acc{};
+      for (std::size_t c = 0; c < cols_; ++c) acc += a[c] * x[c];
+      y[r] = acc;
+    }
+    return y;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+using RealMatrix = Matrix<double>;
+using ComplexMatrix = Matrix<std::complex<double>>;
+using RealVector = std::vector<double>;
+using ComplexVector = std::vector<std::complex<double>>;
+
+}  // namespace msim::num

@@ -1,0 +1,96 @@
+#include "numeric/rootfind.h"
+
+#include <cmath>
+
+namespace msim::num {
+
+std::optional<RootResult> find_root_brent(const std::function<double(double)>& f,
+                                          double lo, double hi, double xtol,
+                                          int max_iter) {
+  double a = lo, b = hi;
+  double fa = f(a), fb = f(b);
+  if (fa == 0.0) return RootResult{a, fa, 0, true};
+  if (fb == 0.0) return RootResult{b, fb, 0, true};
+  if ((fa > 0.0) == (fb > 0.0)) return std::nullopt;
+
+  double c = a, fc = fa;
+  double d = b - a, e = d;
+  for (int iter = 1; iter <= max_iter; ++iter) {
+    if ((fb > 0.0) == (fc > 0.0)) {
+      c = a;
+      fc = fa;
+      d = e = b - a;
+    }
+    if (std::abs(fc) < std::abs(fb)) {
+      a = b;
+      b = c;
+      c = a;
+      fa = fb;
+      fb = fc;
+      fc = fa;
+    }
+    const double tol1 = 2.0 * 1e-16 * std::abs(b) + 0.5 * xtol;
+    const double xm = 0.5 * (c - b);
+    if (std::abs(xm) <= tol1 || fb == 0.0)
+      return RootResult{b, fb, iter, true};
+    if (std::abs(e) >= tol1 && std::abs(fa) > std::abs(fb)) {
+      // Inverse quadratic interpolation / secant.
+      const double s = fb / fa;
+      double p, q;
+      if (a == c) {
+        p = 2.0 * xm * s;
+        q = 1.0 - s;
+      } else {
+        const double qq = fa / fc;
+        const double r = fb / fc;
+        p = s * (2.0 * xm * qq * (qq - r) - (b - a) * (r - 1.0));
+        q = (qq - 1.0) * (r - 1.0) * (s - 1.0);
+      }
+      if (p > 0.0) q = -q;
+      p = std::abs(p);
+      if (2.0 * p < std::min(3.0 * xm * q - std::abs(tol1 * q),
+                             std::abs(e * q))) {
+        e = d;
+        d = p / q;
+      } else {
+        d = xm;
+        e = d;
+      }
+    } else {
+      d = xm;
+      e = d;
+    }
+    a = b;
+    fa = fb;
+    b += (std::abs(d) > tol1) ? d : (xm > 0.0 ? tol1 : -tol1);
+    fb = f(b);
+  }
+  return RootResult{b, fb, max_iter, false};
+}
+
+double minimize_golden(const std::function<double(double)>& f, double lo,
+                       double hi, double xtol) {
+  constexpr double kInvPhi = 0.6180339887498949;
+  double a = lo, b = hi;
+  double x1 = b - kInvPhi * (b - a);
+  double x2 = a + kInvPhi * (b - a);
+  double f1 = f(x1), f2 = f(x2);
+  while (b - a > xtol) {
+    if (f1 < f2) {
+      b = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = b - kInvPhi * (b - a);
+      f1 = f(x1);
+    } else {
+      a = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = a + kInvPhi * (b - a);
+      f2 = f(x2);
+    }
+  }
+  return 0.5 * (a + b);
+}
+
+}  // namespace msim::num

@@ -1,0 +1,28 @@
+// Scalar root finding and minimization used by the design-equation
+// solvers (bandgap trim, bias sizing) and by test oracles.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+namespace msim::num {
+
+struct RootResult {
+  double x = 0.0;
+  double f = 0.0;
+  int iterations = 0;
+  bool converged = false;
+};
+
+// Brent's method on [lo, hi]; requires f(lo) and f(hi) to bracket a root.
+// Returns nullopt when the bracket is invalid.
+std::optional<RootResult> find_root_brent(const std::function<double(double)>& f,
+                                          double lo, double hi,
+                                          double xtol = 1e-12,
+                                          int max_iter = 200);
+
+// Golden-section minimization of a unimodal function on [lo, hi].
+double minimize_golden(const std::function<double(double)>& f, double lo,
+                       double hi, double xtol = 1e-9);
+
+}  // namespace msim::num

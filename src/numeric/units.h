@@ -1,0 +1,26 @@
+// Physical constants and unit helpers shared across device models and
+// design equations.  Values follow CODATA; precision far exceeds the
+// modelling accuracy of a 1.2 um process.
+#pragma once
+
+namespace msim::num {
+
+// Boltzmann constant [J/K].
+inline constexpr double kBoltzmann = 1.380649e-23;
+// Elementary charge [C].
+inline constexpr double kElementaryCharge = 1.602176634e-19;
+// Absolute zero offset [K] for Celsius conversions.
+inline constexpr double kZeroCelsiusInKelvin = 273.15;
+// Silicon bandgap voltage at 0 K, linear-extrapolation value [V].
+inline constexpr double kSiBandgapV = 1.205;
+
+inline constexpr double celsius_to_kelvin(double c) {
+  return c + kZeroCelsiusInKelvin;
+}
+
+// Thermal voltage kT/q [V] at absolute temperature `t_kelvin`.
+inline constexpr double thermal_voltage(double t_kelvin) {
+  return kBoltzmann * t_kelvin / kElementaryCharge;
+}
+
+}  // namespace msim::num

@@ -1,0 +1,112 @@
+#include "sdm/sdm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+#include <stdexcept>
+
+#include "signal/fft.h"
+
+namespace msim::sdm {
+namespace {
+
+double clamp(double v, double lim) {
+  return std::min(std::max(v, -lim), lim);
+}
+
+}  // namespace
+
+SigmaDelta::SigmaDelta(SdmDesign d) : d_(d) {
+  if (d_.order != 1 && d_.order != 2)
+    throw std::invalid_argument("sigma-delta order must be 1 or 2");
+}
+
+void SigmaDelta::reset() { s1_ = s2_ = 0.0; }
+
+double SigmaDelta::step(double vin) {
+  // Quantize the last integrator state, then update (delaying
+  // integrators: y[n] decided from states before the update).
+  const double last_state = d_.order == 2 ? s2_ : s1_;
+  const double y = last_state >= 0.0 ? d_.full_scale : -d_.full_scale;
+  // Boser-Wooley: s1 += g1 (vin - y); s2 += g2 (s1 - y).
+  s1_ = clamp(s1_ + d_.g1 * (vin - y), d_.state_clamp);
+  if (d_.order == 2) s2_ = clamp(s2_ + d_.g2 * (s1_ - y), d_.state_clamp);
+  return y;
+}
+
+std::vector<double> SigmaDelta::run(const std::vector<double>& vin) {
+  std::vector<double> out;
+  out.reserve(vin.size());
+  for (double v : vin) out.push_back(step(v));
+  return out;
+}
+
+std::vector<double> decimate_sinc(const std::vector<double>& bits,
+                                  int ratio, int k) {
+  std::vector<double> x = bits;
+  // k cascaded boxcars of length `ratio` (applied at full rate), then
+  // downsample - equivalent to a sinc^k response.
+  for (int stage = 0; stage < k; ++stage) {
+    std::vector<double> y(x.size(), 0.0);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      acc += x[i];
+      if (i >= static_cast<std::size_t>(ratio))
+        acc -= x[i - static_cast<std::size_t>(ratio)];
+      y[i] = acc / ratio;
+    }
+    x = std::move(y);
+  }
+  std::vector<double> out;
+  out.reserve(x.size() / static_cast<std::size_t>(ratio) + 1);
+  for (std::size_t i = static_cast<std::size_t>(ratio);
+       i < x.size(); i += static_cast<std::size_t>(ratio))
+    out.push_back(x[i]);
+  return out;
+}
+
+SnrResult measure_sdm_snr(SigmaDelta& mod, double a, double f0_hz,
+                          double bw_hz, std::size_t n) {
+  mod.reset();
+  const double fs = mod.design().fs_hz;
+  // Coherent bin for the test tone.
+  const std::size_t nfft = sig::next_pow2(n);
+  const std::size_t bin = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::round(f0_hz * nfft / fs)));
+  const double f_coherent = double(bin) * fs / double(nfft);
+
+  std::vector<double> vin(nfft);
+  for (std::size_t i = 0; i < nfft; ++i)
+    vin[i] = a * std::sin(2.0 * M_PI * f_coherent * double(i) / fs);
+  const auto bits = mod.run(vin);
+
+  // Hann window to contain leakage of the (coherent) tone anyway.
+  std::vector<std::complex<double>> buf(nfft);
+  for (std::size_t i = 0; i < nfft; ++i) {
+    const double w =
+        0.5 - 0.5 * std::cos(2.0 * M_PI * double(i) / double(nfft));
+    buf[i] = bits[i] * w;
+  }
+  sig::fft_inplace(buf);
+
+  const std::size_t bw_bin =
+      static_cast<std::size_t>(bw_hz * nfft / fs);
+  double p_sig = 0.0, p_noise = 0.0;
+  for (std::size_t kk = 1; kk <= bw_bin && kk < nfft / 2; ++kk) {
+    const double p = std::norm(buf[kk]);
+    // Signal spreads over ~3 bins with a Hann window.
+    if (kk + 2 >= bin && kk <= bin + 2)
+      p_sig += p;
+    else
+      p_noise += p;
+  }
+  SnrResult r;
+  r.signal_db = 10.0 * std::log10(
+      p_sig / (0.25 * nfft * nfft * mod.design().full_scale *
+               mod.design().full_scale) + 1e-300) + 6.02;
+  r.snr_db = 10.0 * std::log10(p_sig / (p_noise + 1e-300));
+  r.enob = (r.snr_db - 1.76) / 6.02;
+  return r;
+}
+
+}  // namespace msim::sdm

@@ -1,0 +1,36 @@
+#include "signal/csv.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace msim::sig {
+
+std::string to_csv(const CsvTable& table) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < table.columns.size(); ++i) {
+    if (i) os << ',';
+    os << table.columns[i];
+  }
+  os << '\n';
+  char buf[40];
+  for (const auto& row : table.rows) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) os << ',';
+      std::snprintf(buf, sizeof buf, "%.9g", row[i]);
+      os << buf;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+void write_csv(const std::string& path, const CsvTable& table) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write CSV file: " + path);
+  out << to_csv(table);
+  if (!out) throw std::runtime_error("CSV write failed: " + path);
+}
+
+}  // namespace msim::sig

@@ -1,0 +1,25 @@
+// Tiny CSV writer for waveforms, sweeps and spectra - the export format
+// shared by msim_cli and the benches for external plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace msim::sig {
+
+struct CsvTable {
+  std::vector<std::string> columns;
+  std::vector<std::vector<double>> rows;  // each row.size() == columns
+
+  void add_row(std::initializer_list<double> values) {
+    rows.emplace_back(values);
+  }
+};
+
+// Renders the table as CSV text (header + rows, %.9g).
+std::string to_csv(const CsvTable& table);
+
+// Writes to a file; throws std::runtime_error on I/O failure.
+void write_csv(const std::string& path, const CsvTable& table);
+
+}  // namespace msim::sig

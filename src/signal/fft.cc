@@ -1,0 +1,54 @@
+#include "signal/fft.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace msim::sig {
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void fft_inplace(std::vector<std::complex<double>>& a, bool inverse) {
+  const std::size_t n = a.size();
+  if (n == 0 || (n & (n - 1)) != 0)
+    throw std::invalid_argument("fft size must be a power of two");
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = (inverse ? 2.0 : -2.0) * M_PI / double(len);
+    const std::complex<double> wl(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = a[i + k];
+        const std::complex<double> v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wl;
+      }
+    }
+  }
+  if (inverse)
+    for (auto& v : a) v /= double(n);
+}
+
+std::vector<std::complex<double>> fft_real(const std::vector<double>& x,
+                                           std::size_t n) {
+  if (n == 0) n = next_pow2(x.size());
+  std::vector<std::complex<double>> a(n, {0.0, 0.0});
+  for (std::size_t i = 0; i < x.size() && i < n; ++i) a[i] = x[i];
+  fft_inplace(a);
+  return a;
+}
+
+}  // namespace msim::sig

@@ -1,0 +1,20 @@
+// Radix-2 FFT and helpers for spectral post-processing of transient
+// waveforms (Figure 11's output spectrum, THD extraction).
+#pragma once
+
+#include <complex>
+#include <vector>
+
+namespace msim::sig {
+
+// In-place radix-2 decimation-in-time FFT; size must be a power of two.
+void fft_inplace(std::vector<std::complex<double>>& data, bool inverse = false);
+
+// Forward FFT of a real waveform zero-padded/truncated to `n` (power of
+// two; 0 -> next power of two >= x.size()).
+std::vector<std::complex<double>> fft_real(const std::vector<double>& x,
+                                           std::size_t n = 0);
+
+std::size_t next_pow2(std::size_t n);
+
+}  // namespace msim::sig

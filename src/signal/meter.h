@@ -1,0 +1,43 @@
+// Waveform meters: RMS, single-bin DFT (Goertzel), harmonic distortion
+// and spectral estimation.  These are the software equivalents of the
+// audio analyzer used for the paper's HD / output-spectrum measurements.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+namespace msim::sig {
+
+double mean(const std::vector<double>& x);
+double rms(const std::vector<double>& x);        // includes DC
+double rms_ac(const std::vector<double>& x);     // DC removed
+
+// Single-frequency DFT of a uniformly sampled waveform (Goertzel).
+// Returns the complex amplitude normalized so that a pure sine
+// A*sin(2*pi*f*t) yields magnitude A (i.e. 2/N scaling).
+std::complex<double> goertzel(const std::vector<double>& x, double dt,
+                              double freq_hz);
+
+struct HarmonicAnalysis {
+  double fundamental_amp = 0.0;         // amplitude of h1
+  std::vector<double> harmonic_amp;     // amplitudes of h2..hN
+  double thd = 0.0;                     // sqrt(sum h_k^2)/h1, k >= 2
+  double thd_db = 0.0;                  // 20*log10(thd)
+};
+
+// Measures the fundamental and `n_harmonics` harmonics of a waveform
+// sampled at step `dt`; the capture should contain an integer number of
+// fundamental periods for exact results.
+HarmonicAnalysis measure_harmonics(const std::vector<double>& x, double dt,
+                                   double f0_hz, int n_harmonics = 9);
+
+// Amplitude spectrum (2/N-normalized, rectangular window) of a waveform;
+// returns {freq_hz, amplitude} pairs up to Nyquist.
+struct SpectrumPoint {
+  double freq_hz;
+  double amplitude;
+};
+std::vector<SpectrumPoint> amplitude_spectrum(const std::vector<double>& x,
+                                              double dt);
+
+}  // namespace msim::sig

@@ -1,0 +1,59 @@
+#include "signal/psophometric.h"
+
+#include <cmath>
+#include <vector>
+
+#include "numeric/interp.h"
+
+namespace msim::sig {
+namespace {
+
+// ITU-T O.41 psophometric weighting table (telephone circuits),
+// frequency [Hz] -> weight [dB], 0 dB reference at 800 Hz.
+const num::PiecewiseLinear& o41_table() {
+  static const num::PiecewiseLinear table(
+      {16.66, 50.0,   100.0,  200.0,  300.0,  400.0,  500.0,  600.0,
+       700.0, 800.0,  900.0,  1000.0, 1200.0, 1400.0, 1600.0, 1800.0,
+       2000.0, 2500.0, 3000.0, 3500.0, 4000.0, 4500.0, 5000.0, 6000.0},
+      {-85.0, -63.0, -41.0, -21.0, -10.6, -6.3, -3.6, -2.0,
+       -0.9,  0.0,   0.6,   1.0,   0.0,   -0.9, -1.7, -2.4,
+       -3.0,  -4.2,  -5.6,  -8.5,  -15.0, -25.0, -36.0, -43.0});
+  return table;
+}
+
+}  // namespace
+
+double psophometric_weight_db(double freq_hz) { return o41_table()(freq_hz); }
+
+double psophometric_weight(double freq_hz) {
+  return std::pow(10.0, psophometric_weight_db(freq_hz) / 20.0);
+}
+
+double weighted_noise_power(const std::function<double(double)>& psd,
+                            double f1_hz, double f2_hz,
+                            int points_per_decade) {
+  const double lg0 = std::log10(f1_hz);
+  const double lg1 = std::log10(f2_hz);
+  const int n = std::max(
+      2, static_cast<int>(std::ceil((lg1 - lg0) * points_per_decade)));
+  double acc = 0.0;
+  double f_prev = f1_hz;
+  double y_prev = psd(f_prev) * std::pow(psophometric_weight(f_prev), 2);
+  for (int i = 1; i <= n; ++i) {
+    const double f = std::pow(10.0, lg0 + (lg1 - lg0) * i / n);
+    const double y = psd(f) * std::pow(psophometric_weight(f), 2);
+    acc += 0.5 * (y_prev + y) * (f - f_prev);
+    f_prev = f;
+    y_prev = y;
+  }
+  return acc;
+}
+
+double weighted_snr_db(double v_signal_rms,
+                       const std::function<double(double)>& psd,
+                       double f1_hz, double f2_hz) {
+  const double noise_v2 = weighted_noise_power(psd, f1_hz, f2_hz);
+  return 20.0 * std::log10(v_signal_rms / std::sqrt(noise_v2));
+}
+
+}  // namespace msim::sig

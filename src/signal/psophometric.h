@@ -1,0 +1,34 @@
+// ITU-T O.41 psophometric weighting.
+//
+// The paper's Table 1 S/N figure is "psofometrically weighted": voice-
+// band noise is weighted by the standard telephone psophometric curve
+// before integration.  weight_db() interpolates the O.41 table; the
+// weighted-noise helpers integrate a noise PSD against the squared
+// magnitude weight, which is how Eq. (2)'s 86.5 dB requirement is
+// evaluated.
+#pragma once
+
+#include <functional>
+
+namespace msim::sig {
+
+// Psophometric weight in dB at `freq_hz` (0 dB at 800 Hz by definition).
+double psophometric_weight_db(double freq_hz);
+
+// Linear magnitude weight (10^(dB/20)).
+double psophometric_weight(double freq_hz);
+
+// Integrates S(f) * |W(f)|^2 over [f1, f2] with trapezoidal quadrature on
+// a log grid (`points_per_decade` resolution).  S is a PSD in V^2/Hz;
+// returns weighted noise power in V^2.
+double weighted_noise_power(const std::function<double(double)>& psd,
+                            double f1_hz, double f2_hz,
+                            int points_per_decade = 200);
+
+// Psophometrically weighted S/N in dB for a signal of RMS `v_signal_rms`
+// against the given noise PSD, integrated over [f1, f2].
+double weighted_snr_db(double v_signal_rms,
+                       const std::function<double(double)>& psd,
+                       double f1_hz, double f2_hz);
+
+}  // namespace msim::sig

@@ -1,0 +1,618 @@
+#include "spicefmt/parser.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cctype>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "devices/bjt.h"
+#include "devices/controlled.h"
+#include "devices/diode.h"
+#include "devices/mos_switch.h"
+#include "devices/mosfet.h"
+#include "devices/passive.h"
+#include "devices/sources.h"
+
+namespace msim::spice {
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& msg) {
+  throw std::runtime_error("spice parse error, line " +
+                           std::to_string(line) + ": " + msg);
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+// One logical (continuation-joined) line with its source line number.
+struct Card {
+  std::string text;
+  int line = 0;
+};
+
+std::vector<Card> preprocess(const std::string& text) {
+  std::vector<Card> cards;
+  std::istringstream in(text);
+  std::string raw;
+  int lineno = 0;
+  bool first = true;
+  while (std::getline(in, raw)) {
+    ++lineno;
+    // Strip inline comments.
+    for (const char* mark : {";", "$ "}) {
+      const auto pos = raw.find(mark);
+      if (pos != std::string::npos) raw.erase(pos);
+    }
+    // Trim.
+    const auto b = raw.find_first_not_of(" \t\r");
+    if (b == std::string::npos) {
+      first = false;
+      continue;
+    }
+    raw = raw.substr(b, raw.find_last_not_of(" \t\r") - b + 1);
+    if (first) {  // title card
+      cards.push_back({"*title* " + raw, lineno});
+      first = false;
+      continue;
+    }
+    if (raw[0] == '*') continue;  // comment card
+    if (raw[0] == '+') {
+      if (cards.empty()) fail(lineno, "continuation with no prior card");
+      cards.back().text += " " + raw.substr(1);
+      continue;
+    }
+    cards.push_back({lower(raw), lineno});
+  }
+  return cards;
+}
+
+std::vector<std::string> tokenize(const std::string& s) {
+  // Split on whitespace, commas, '=' and parentheses (kept as breaks);
+  // {expression} blocks are kept as single tokens.
+  std::vector<std::string> toks;
+  std::string cur;
+  int brace_depth = 0;
+  for (char c : s) {
+    if (c == '{') ++brace_depth;
+    if (c == '}') --brace_depth;
+    if (brace_depth == 0 && c != '}' &&
+        (std::isspace(static_cast<unsigned char>(c)) || c == ',' ||
+         c == '(' || c == ')' || c == '=')) {
+      if (!cur.empty()) {
+        toks.push_back(cur);
+        cur.clear();
+      }
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) toks.push_back(cur);
+  return toks;
+}
+
+// ---- parameter expressions -------------------------------------------
+// .param cards define named values; any token written as {expr} is
+// evaluated with +-*/, parentheses, SI-suffixed numbers and parameter
+// references.  Grammar: expr := term (('+'|'-') term)* ;
+// term := factor (('*'|'/') factor)* ; factor := number | name | (expr)
+// | '-' factor.
+class ExprEval {
+ public:
+  explicit ExprEval(const std::map<std::string, double>& params)
+      : params_(params) {}
+
+  double eval(const std::string& text, int line) {
+    s_ = text;
+    pos_ = 0;
+    line_ = line;
+    const double v = expr();
+    skip_ws();
+    if (pos_ != s_.size()) fail(line_, "trailing junk in {" + s_ + "}");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+  }
+  bool peek(char c) {
+    skip_ws();
+    return pos_ < s_.size() && s_[pos_] == c;
+  }
+  bool take(char c) {
+    if (!peek(c)) return false;
+    ++pos_;
+    return true;
+  }
+  double expr() {
+    double v = term();
+    for (;;) {
+      if (take('+'))
+        v += term();
+      else if (take('-'))
+        v -= term();
+      else
+        return v;
+    }
+  }
+  double term() {
+    double v = factor();
+    for (;;) {
+      if (take('*'))
+        v *= factor();
+      else if (take('/'))
+        v /= factor();
+      else
+        return v;
+    }
+  }
+  double factor() {
+    skip_ws();
+    if (take('(')) {
+      const double v = expr();
+      if (!take(')')) fail(line_, "missing ')' in {" + s_ + "}");
+      return v;
+    }
+    if (take('-')) return -factor();
+    // Number or identifier token.
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isalnum(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == '_' ||
+            ((s_[pos_] == '+' || s_[pos_] == '-') && pos_ > start &&
+             (s_[pos_ - 1] == 'e' || s_[pos_ - 1] == 'E'))))
+      ++pos_;
+    if (pos_ == start) fail(line_, "bad expression {" + s_ + "}");
+    const std::string tok = s_.substr(start, pos_ - start);
+    if (std::isdigit(static_cast<unsigned char>(tok[0])) ||
+        tok[0] == '.')
+      return parse_value(tok);
+    const auto it = params_.find(tok);
+    if (it == params_.end())
+      fail(line_, "unknown parameter '" + tok + "'");
+    return it->second;
+  }
+
+  const std::map<std::string, double>& params_;
+  std::string s_;
+  std::size_t pos_ = 0;
+  int line_ = 0;
+};
+
+struct ModelCard {
+  std::string kind;  // nmos pmos npn pnp d sw
+  std::map<std::string, double> params;
+};
+
+struct Subckt {
+  std::vector<std::string> ports;
+  std::vector<Card> body;
+};
+
+dev::MosParams mos_from_model(const ModelCard& m) {
+  dev::MosParams p;
+  p.polarity = m.kind == "pmos" ? dev::MosPolarity::kPmos
+                                : dev::MosPolarity::kNmos;
+  auto get = [&](const char* k, double dflt) {
+    const auto it = m.params.find(k);
+    return it == m.params.end() ? dflt : it->second;
+  };
+  p.vth0 = std::abs(get("vto", p.vth0));
+  p.kp = get("kp", p.kp);
+  p.lambda = get("lambda", p.lambda);
+  p.gamma = get("gamma", p.gamma);
+  p.phi = get("phi", p.phi);
+  if (m.params.count("tox"))
+    p.cox = 3.45e-11 / m.params.at("tox");
+  else
+    p.cox = get("cox", p.cox);
+  p.kf = get("kf", p.kf);
+  p.af = get("af", p.af);
+  p.n_sub = get("n", p.n_sub);
+  p.ld = get("ld", p.ld);
+  p.vth_tc = get("tcv", p.vth_tc);
+  p.mu_exp = get("bex", p.mu_exp);
+  return p;
+}
+
+dev::BjtParams bjt_from_model(const ModelCard& m) {
+  dev::BjtParams p;
+  p.polarity =
+      m.kind == "pnp" ? dev::BjtPolarity::kPnp : dev::BjtPolarity::kNpn;
+  auto get = [&](const char* k, double dflt) {
+    const auto it = m.params.find(k);
+    return it == m.params.end() ? dflt : it->second;
+  };
+  p.is = get("is", p.is);
+  p.beta_f = get("bf", p.beta_f);
+  p.beta_r = get("br", p.beta_r);
+  p.vaf = get("vaf", p.vaf);
+  p.xti = get("xti", p.xti);
+  p.xtb = get("xtb", p.xtb);
+  p.eg = get("eg", p.eg);
+  p.kf = get("kf", p.kf);
+  p.af = get("af", p.af);
+  return p;
+}
+
+dev::DiodeParams diode_from_model(const ModelCard& m) {
+  dev::DiodeParams p;
+  auto get = [&](const char* k, double dflt) {
+    const auto it = m.params.find(k);
+    return it == m.params.end() ? dflt : it->second;
+  };
+  p.is = get("is", p.is);
+  p.n = get("n", p.n);
+  p.xti = get("xti", p.xti);
+  p.eg = get("eg", p.eg);
+  p.kf = get("kf", p.kf);
+  p.af = get("af", p.af);
+  return p;
+}
+
+class Builder {
+ public:
+  explicit Builder(std::vector<Card> cards) : cards_(std::move(cards)) {
+    result_.netlist = std::make_unique<ckt::Netlist>();
+    collect_definitions();
+  }
+
+  ParseResult build() {
+    for (const auto& c : cards_) {
+      if (skip_lines_.count(c.line)) continue;
+      emit_card(c, /*prefix=*/"", /*port_map=*/{});
+    }
+    // Second pass: current-controlled sources that referenced sources
+    // defined later in the file.
+    for (const auto& pending : deferred_) emit_fh(pending);
+    return std::move(result_);
+  }
+
+ private:
+  struct FhCard {
+    Card card;
+    std::string prefix;
+    std::map<std::string, std::string> port_map;
+  };
+
+  // Records .model cards and .subckt bodies; marks their lines consumed.
+  void collect_definitions() {
+    for (std::size_t i = 0; i < cards_.size(); ++i) {
+      const auto& c = cards_[i];
+      auto toks = tokenize(c.text);
+      if (toks.empty()) continue;
+      if (toks[0] == ".param") {
+        // .param name value [name value ...]; values may reference
+        // previously defined parameters via {..}.
+        for (std::size_t k = 1; k + 1 < toks.size(); k += 2)
+          params_[toks[k]] = resolve(toks[k + 1], c.line);
+        skip_lines_.insert(c.line);
+      } else if (toks[0] == ".model") {
+        if (toks.size() < 3) fail(c.line, ".model needs name and type");
+        ModelCard m;
+        m.kind = toks[2];
+        for (std::size_t k = 3; k + 1 < toks.size(); k += 2)
+          m.params[toks[k]] = resolve(toks[k + 1], c.line);
+        models_[toks[1]] = std::move(m);
+        skip_lines_.insert(c.line);
+      } else if (toks[0] == ".subckt") {
+        if (toks.size() < 2) fail(c.line, ".subckt needs a name");
+        Subckt sub;
+        sub.ports.assign(toks.begin() + 2, toks.end());
+        skip_lines_.insert(c.line);
+        std::size_t j = i + 1;
+        for (; j < cards_.size(); ++j) {
+          const auto inner = tokenize(cards_[j].text);
+          skip_lines_.insert(cards_[j].line);
+          if (!inner.empty() && inner[0] == ".ends") break;
+          sub.body.push_back(cards_[j]);
+        }
+        if (j == cards_.size()) fail(c.line, "missing .ends");
+        subckts_[toks[1]] = std::move(sub);
+      }
+    }
+  }
+
+  // Evaluates a token: "{expr}" through the expression engine, plain
+  // numbers through parse_value.
+  double resolve(const std::string& tok, int line) {
+    if (!tok.empty() && tok.front() == '{') {
+      if (tok.back() != '}') fail(line, "unterminated { in " + tok);
+      ExprEval ev(params_);
+      return ev.eval(tok.substr(1, tok.size() - 2), line);
+    }
+    return parse_value(tok);
+  }
+
+  ckt::NodeId node(const std::string& name, const std::string& prefix,
+                   const std::map<std::string, std::string>& port_map) {
+    const auto it = port_map.find(name);
+    if (it != port_map.end()) return result_.netlist->node(it->second);
+    if (name == "0" || name == "gnd") return ckt::kGround;
+    return result_.netlist->node(prefix + name);
+  }
+
+  // Parses source waveform tokens starting at index `i`.
+  dev::Waveform parse_waveform(const std::vector<std::string>& toks,
+                               std::size_t i, int line) {
+    dev::Waveform w = dev::Waveform::dc(0.0);
+    double ac_mag = 0.0, ac_phase = 0.0;
+    bool have_ac = false;
+    auto is_value = [](const std::string& t) {
+      return !t.empty() &&
+             (std::isdigit(static_cast<unsigned char>(t[0])) ||
+              t[0] == '-' || t[0] == '.' || t[0] == '{');
+    };
+    while (i < toks.size()) {
+      const std::string& t = toks[i];
+      if (t == "dc") {
+        if (i + 1 >= toks.size()) fail(line, "dc needs a value");
+        w = dev::Waveform::dc(resolve(toks[i + 1], line));
+        i += 2;
+      } else if (t == "ac") {
+        have_ac = true;
+        ac_mag = 1.0;
+        ++i;
+        if (i < toks.size() && is_value(toks[i])) {
+          ac_mag = resolve(toks[i], line);
+          ++i;
+          if (i < toks.size() && is_value(toks[i])) {
+            ac_phase = resolve(toks[i], line) * M_PI / 180.0;
+            ++i;
+          }
+        }
+      } else if (t == "sin") {
+        std::vector<double> a;
+        for (++i; i < toks.size(); ++i)
+          a.push_back(resolve(toks[i], line));
+        if (a.size() < 3) fail(line, "sin needs offset ampl freq");
+        w = dev::Waveform::sine(a[0], a[1], a[2],
+                                a.size() > 3 ? a[3] : 0.0,
+                                a.size() > 4 ? a[4] : 0.0);
+        break;
+      } else if (t == "pulse") {
+        std::vector<double> a;
+        for (++i; i < toks.size(); ++i)
+          a.push_back(resolve(toks[i], line));
+        if (a.size() < 7) fail(line, "pulse needs 7 values");
+        w = dev::Waveform::pulse(a[0], a[1], a[2], a[3], a[4], a[5],
+                                 a[6]);
+        break;
+      } else if (t == "pwl") {
+        std::vector<double> ts, vs;
+        for (++i; i + 1 < toks.size(); i += 2) {
+          ts.push_back(resolve(toks[i], line));
+          vs.push_back(resolve(toks[i + 1], line));
+        }
+        if (ts.empty()) fail(line, "pwl needs time/value pairs");
+        w = dev::Waveform::pwl(std::move(ts), std::move(vs));
+        break;
+      } else {
+        // Bare number or {expression}: DC value.
+        w = dev::Waveform::dc(resolve(t, line));
+        ++i;
+      }
+    }
+    if (have_ac) w.with_ac(ac_mag, ac_phase);
+    return w;
+  }
+
+  void emit_card(const Card& c, const std::string& prefix,
+                 const std::map<std::string, std::string>& port_map) {
+    auto toks = tokenize(c.text);
+    if (toks.empty()) return;
+    const std::string& head = toks[0];
+    auto& nl = *result_.netlist;
+
+    if (head.rfind("*title*", 0) == 0) {
+      result_.title = c.text.substr(8);
+      return;
+    }
+    if (head[0] == '.') {
+      if (head == ".end") return;
+      if (head == ".temp") {
+        if (toks.size() > 1) result_.temp_c = parse_value(toks[1]);
+        return;
+      }
+      AnalysisDirective d;
+      d.kind = head.substr(1);
+      d.args.assign(toks.begin() + 1, toks.end());
+      result_.directives.push_back(std::move(d));
+      return;
+    }
+
+    const std::string name = prefix + head;
+    auto nd = [&](std::size_t i) {
+      if (i >= toks.size()) fail(c.line, "missing node on " + head);
+      return node(toks[i], prefix, port_map);
+    };
+    auto val = [&](std::size_t i) {
+      if (i >= toks.size()) fail(c.line, "missing value on " + head);
+      return resolve(toks[i], c.line);
+    };
+    auto kw = [&](const char* key, double dflt) {
+      for (std::size_t i = 3; i + 1 < toks.size(); ++i)
+        if (toks[i] == key) return resolve(toks[i + 1], c.line);
+      return dflt;
+    };
+
+    switch (head[0]) {
+      case 'r': {
+        auto* r = nl.add<dev::Resistor>(name, nd(1), nd(2), val(3));
+        const double tc1 = kw("tc1", 0.0), tc2 = kw("tc2", 0.0);
+        if (tc1 != 0.0 || tc2 != 0.0) r->set_tc(tc1, tc2);
+        break;
+      }
+      case 'c':
+        nl.add<dev::Capacitor>(name, nd(1), nd(2), val(3));
+        break;
+      case 'l':
+        nl.add<dev::Inductor>(name, nd(1), nd(2), val(3));
+        break;
+      case 'v':
+        nl.add<dev::VSource>(name, nd(1), nd(2),
+                             parse_waveform(toks, 3, c.line));
+        break;
+      case 'i':
+        nl.add<dev::ISource>(name, nd(1), nd(2),
+                             parse_waveform(toks, 3, c.line));
+        break;
+      case 'e':
+        nl.add<dev::Vcvs>(name, nd(1), nd(2), nd(3), nd(4), val(5));
+        break;
+      case 'g':
+        nl.add<dev::Vccs>(name, nd(1), nd(2), nd(3), nd(4), val(5));
+        break;
+      case 'f':
+      case 'h':
+        deferred_.push_back({c, prefix, port_map});
+        break;
+      case 'd': {
+        if (toks.size() < 4) fail(c.line, "diode needs model");
+        auto params = diode_from_model(model(toks[3], "d", c.line));
+        params.area = kw("area", 1.0);
+        nl.add<dev::Diode>(name, nd(1), nd(2), params);
+        break;
+      }
+      case 'q': {
+        if (toks.size() < 5) fail(c.line, "bjt needs c b e model");
+        auto params = bjt_from_model(model(toks[4], "npn|pnp", c.line));
+        params.area = kw("area", 1.0);
+        nl.add<dev::Bjt>(name, nd(1), nd(2), nd(3), params);
+        break;
+      }
+      case 'm': {
+        if (toks.size() < 6) fail(c.line, "mosfet needs d g s b model");
+        const auto params =
+            mos_from_model(model(toks[5], "nmos|pmos", c.line));
+        const double w = kw("w", 10e-6), l = kw("l", 2e-6);
+        nl.add<dev::Mosfet>(name, nd(1), nd(2), nd(3), nd(4), params, w,
+                            l);
+        break;
+      }
+      case 's': {
+        if (toks.size() < 4) fail(c.line, "switch needs model");
+        const auto& m = model(toks[3], "sw", c.line);
+        auto get = [&](const char* k, double dflt) {
+          const auto it = m.params.find(k);
+          return it == m.params.end() ? dflt : it->second;
+        };
+        const bool on = std::find(toks.begin(), toks.end(), "on") !=
+                        toks.end();
+        nl.add<dev::MosSwitch>(name, nd(1), nd(2), get("ron", 100.0),
+                               get("roff", 1e12), on);
+        break;
+      }
+      case 'x': {
+        if (toks.size() < 2) fail(c.line, "x card needs subckt name");
+        const std::string sub_name = toks.back();
+        const auto it = subckts_.find(sub_name);
+        if (it == subckts_.end())
+          fail(c.line, "unknown subckt " + sub_name);
+        const auto& sub = it->second;
+        if (toks.size() - 2 != sub.ports.size())
+          fail(c.line, "port count mismatch on " + head);
+        std::map<std::string, std::string> map;
+        for (std::size_t k = 0; k < sub.ports.size(); ++k) {
+          // Map formal port to the *caller's* resolved node name.
+          const auto actual = node(toks[1 + k], prefix, port_map);
+          map[sub.ports[k]] =
+              result_.netlist->node_name(actual);
+        }
+        for (const auto& body_card : sub.body)
+          emit_card(body_card, name + ".", map);
+        break;
+      }
+      default:
+        fail(c.line, "unknown element '" + head + "'");
+    }
+  }
+
+  void emit_fh(const FhCard& p) {
+    auto toks = tokenize(p.card.text);
+    auto& nl = *result_.netlist;
+    const std::string name = p.prefix + toks[0];
+    const auto np = node(toks[1], p.prefix, p.port_map);
+    const auto nn = node(toks[2], p.prefix, p.port_map);
+    // Controlling source: resolve within the same scope first.
+    auto* sense = nl.find_as<dev::VSource>(p.prefix + toks[3]);
+    if (!sense) sense = nl.find_as<dev::VSource>(toks[3]);
+    if (!sense)
+      fail(p.card.line, "controlling source " + toks[3] + " not found");
+    const double gain = parse_value(toks[4]);
+    if (toks[0][0] == 'f')
+      nl.add<dev::Cccs>(name, np, nn, sense, gain);
+    else
+      nl.add<dev::Ccvs>(name, np, nn, sense, gain);
+  }
+
+  const ModelCard& model(const std::string& name, const char* expect,
+                         int line) {
+    const auto it = models_.find(name);
+    if (it == models_.end()) fail(line, "unknown model " + name);
+    (void)expect;
+    return it->second;
+  }
+
+  std::vector<Card> cards_;
+  std::map<std::string, double> params_;
+  std::map<std::string, ModelCard> models_;
+  std::map<std::string, Subckt> subckts_;
+  std::set<int> skip_lines_;
+  std::vector<FhCard> deferred_;
+  ParseResult result_;
+};
+
+}  // namespace
+
+double parse_value(const std::string& token) {
+  const std::string t = lower(token);
+  std::size_t pos = 0;
+  double v;
+  try {
+    v = std::stod(t, &pos);
+  } catch (const std::exception&) {
+    throw std::runtime_error("bad number: " + token);
+  }
+  const std::string suffix = t.substr(pos);
+  if (suffix.empty()) return v;
+  if (suffix.rfind("meg", 0) == 0) return v * 1e6;
+  if (suffix.rfind("mil", 0) == 0) return v * 25.4e-6;
+  switch (suffix[0]) {
+    case 'f': return v * 1e-15;
+    case 'p': return v * 1e-12;
+    case 'n': return v * 1e-9;
+    case 'u': return v * 1e-6;
+    case 'm': return v * 1e-3;
+    case 'k': return v * 1e3;
+    case 'g': return v * 1e9;
+    case 't': return v * 1e12;
+    default:
+      // Unit tails like "5v", "10ohm" are tolerated.
+      return v;
+  }
+}
+
+ParseResult parse_netlist(const std::string& text) {
+  Builder b(preprocess(text));
+  return b.build();
+}
+
+ParseResult parse_netlist_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in)
+    throw std::runtime_error("cannot open netlist file: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse_netlist(ss.str());
+}
+
+}  // namespace msim::spice

@@ -1,0 +1,147 @@
+// Behavioral macromodel and Figure-1 front-end chain tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/ac.h"
+#include "analysis/op.h"
+#include "analysis/transient.h"
+#include "circuit/netlist.h"
+#include "core/behav.h"
+#include "core/front_end.h"
+#include "devices/sources.h"
+#include "signal/meter.h"
+
+namespace {
+
+using namespace msim;
+
+TEST(BehavAmp, OpenLoopGainAndPole) {
+  ckt::Netlist nl;
+  const auto inp = nl.node("inp");
+  const auto inn = nl.node("inn");
+  nl.add<dev::VSource>("Vinp", inp, ckt::kGround,
+                       dev::Waveform::dc(0.0).with_ac(0.5e-4));
+  nl.add<dev::VSource>("Vinn", inn, ckt::kGround,
+                       dev::Waveform::dc(0.0).with_ac(-0.5e-4));
+  core::BehavAmpDesign d;
+  const auto amp =
+      core::build_behav_amp(nl, d, ckt::kGround, inp, inn, "amp");
+  ASSERT_TRUE(an::solve_op(nl).converged);
+  const auto ac = an::run_ac(nl, {1.0, d.gbw_hz});
+  const double a_dc =
+      std::abs(ac.vdiff(0, amp.outp, amp.outn)) / 1e-4;
+  EXPECT_NEAR(a_dc, d.a0, d.a0 * 0.05);
+  // Near unity at the GBW frequency.
+  const double a_gbw =
+      std::abs(ac.vdiff(1, amp.outp, amp.outn)) / 1e-4;
+  EXPECT_NEAR(a_gbw, 1.0, 0.3);
+}
+
+TEST(BehavAmp, OutputClampsAtVmax) {
+  ckt::Netlist nl;
+  const auto inp = nl.node("inp");
+  nl.add<dev::VSource>("Vinp", inp, ckt::kGround, 0.1);  // huge overdrive
+  core::BehavAmpDesign d;
+  const auto amp = core::build_behav_amp(nl, d, ckt::kGround, inp,
+                                         ckt::kGround, "amp");
+  const auto op = an::solve_op(nl);
+  ASSERT_TRUE(op.converged);
+  EXPECT_LT(op.v(amp.outp), d.vout_max * 1.01);
+  EXPECT_GT(op.v(amp.outp), d.vout_max * 0.80);
+}
+
+TEST(BehavPga, ClosedLoopGainTracksSetting) {
+  for (double gain : {3.162, 10.0, 100.0}) {
+    ckt::Netlist nl;
+    const auto inp = nl.node("inp");
+    const auto inn = nl.node("inn");
+    nl.add<dev::VSource>("Vinp", inp, ckt::kGround,
+                         dev::Waveform::dc(0.0).with_ac(0.5e-3));
+    nl.add<dev::VSource>("Vinn", inn, ckt::kGround,
+                         dev::Waveform::dc(0.0).with_ac(-0.5e-3));
+    const auto pga = core::build_behav_pga(nl, core::BehavAmpDesign{},
+                                           gain, ckt::kGround, inp, inn,
+                                           "pga");
+    ASSERT_TRUE(an::solve_op(nl).converged);
+    const auto ac = an::run_ac(nl, {1e3});
+    const double g = std::abs(ac.vdiff(0, pga.outp, pga.outn)) / 1e-3;
+    EXPECT_NEAR(g, gain, gain * 0.02) << "gain setting " << gain;
+  }
+}
+
+TEST(BehavAmp, SlewLimitsLargeStep) {
+  ckt::Netlist nl;
+  const auto inp = nl.node("inp");
+  // Large step: saturates the input transconductor so the output ramp
+  // is set by the slew limit, not by linear settling.
+  nl.add<dev::VSource>(
+      "Vinp", inp, ckt::kGround,
+      dev::Waveform::pulse(-0.5, 0.5, 1e-6, 1e-9, 1e-9, 1.0, 2.0));
+  core::BehavAmpDesign d;
+  d.slew = 1e6;  // 1 V/us
+  const auto amp = core::build_behav_amp(nl, d, ckt::kGround, inp,
+                                         ckt::kGround, "amp");
+  // Unity feedback: out -> inn handled by driving inn from outp? The
+  // macro amp is open loop here; a full-swing step saturates the first
+  // stage and the output ramps at the slew limit.
+  an::TranOptions t;
+  t.t_stop = 20e-6;  // include the integrator's overload recovery
+  t.dt = 5e-9;
+  const auto r = an::run_transient(nl, t);
+  ASSERT_TRUE(r.ok);
+  const auto w = r.node_wave(amp.outp);
+  double sr_max = 0.0;
+  for (std::size_t i = 1; i < w.size(); ++i)
+    sr_max = std::max(sr_max, std::abs(w[i] - w[i - 1]) /
+                                  (r.time[i] - r.time[i - 1]));
+  EXPECT_LT(sr_max, d.slew * 1.3);
+  EXPECT_GT(sr_max, d.slew * 0.5);
+}
+
+TEST(FrontEnd, TransmitPathLevelPlan) {
+  // 6 mVrms microphone EMF at 40 dB lands near 0.6 Vrms at the
+  // modulator input - the level plan behind Eq. (2).
+  ckt::Netlist nl;
+  core::FrontEndDesign d;
+  const auto fe = core::build_front_end(nl, d, ckt::kGround);
+  fe.mic_src->set_waveform(
+      dev::Waveform::dc(0.0).with_ac(6e-3 * std::sqrt(2.0)));
+  ASSERT_TRUE(an::solve_op(nl).converged);
+  const auto ac = an::run_ac(nl, {1e3});
+  const double v_mod =
+      std::abs(ac.vdiff(0, fe.mod_p, fe.mod_n)) / std::sqrt(2.0);
+  EXPECT_NEAR(v_mod, 0.6, 0.1);
+}
+
+TEST(FrontEnd, ReceivePathDrivesLoad) {
+  ckt::Netlist nl;
+  core::FrontEndDesign d;
+  const auto fe = core::build_front_end(nl, d, ckt::kGround);
+  fe.dac_src->set_waveform(dev::Waveform::sine(0.0, 2.0, 1e3));
+  an::TranOptions t;
+  t.t_stop = 3e-3;
+  t.dt = 2e-6;
+  t.record_after = 1e-3;
+  const auto r = an::run_transient(nl, t);
+  ASSERT_TRUE(r.ok);
+  const auto w = r.diff_wave(fe.ear_p, fe.ear_n);
+  const auto h = sig::measure_harmonics(w, t.dt, 1e3);
+  // Inverting gain 0.5: 2 Vp in -> ~1 Vp across the earpiece.
+  EXPECT_NEAR(h.fundamental_amp, 1.0, 0.1);
+  EXPECT_LT(h.thd, 0.02);
+}
+
+TEST(FrontEnd, AntiAliasFilterRollsOff) {
+  ckt::Netlist nl;
+  core::FrontEndDesign d;
+  const auto fe = core::build_front_end(nl, d, ckt::kGround);
+  fe.mic_src->set_waveform(dev::Waveform::dc(0.0).with_ac(1e-3));
+  ASSERT_TRUE(an::solve_op(nl).converged);
+  const auto ac = an::run_ac(nl, {1e3, 1e6});
+  const double a_low = std::abs(ac.vdiff(0, fe.mod_p, fe.mod_n));
+  const double a_high = std::abs(ac.vdiff(1, fe.mod_p, fe.mod_n));
+  EXPECT_LT(a_high, 0.05 * a_low);
+}
+
+}  // namespace

@@ -1,0 +1,160 @@
+// BJT and diode model tests: exponential law, beta, Early effect,
+// polarity, and the temperature behaviour (CTAT V_BE, dV_BE ~ -2 mV/K;
+// PTAT delta-V_BE) that the paper's bandgap reference depends on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/op.h"
+#include "analysis/sweep.h"
+#include "circuit/netlist.h"
+#include "devices/bjt.h"
+#include "devices/diode.h"
+#include "devices/passive.h"
+#include "devices/sources.h"
+#include "numeric/units.h"
+#include "process/process.h"
+
+namespace {
+
+using namespace msim;
+
+// Diode-connected vertical PNP fed by a current source; returns V_EB.
+double pnp_veb(double current_a, double temp_c, double area = 1.0) {
+  ckt::Netlist nl;
+  const auto e = nl.node("e");
+  // PNP: collector and base to ground, emitter pulled up by the source.
+  nl.add<dev::Bjt>("Q1", ckt::kGround, ckt::kGround, e,
+                   proc::ProcessModel::cmos12().vertical_pnp(area));
+  nl.add<dev::ISource>("Ib", ckt::kGround, e, current_a);
+  an::OpOptions opt;
+  opt.temp_k = num::celsius_to_kelvin(temp_c);
+  const auto r = an::solve_op(nl, opt);
+  EXPECT_TRUE(r.converged);
+  return r.v(e);
+}
+
+TEST(Bjt, ForwardVbeIsAbout0p65VAtRoomTemp) {
+  const double veb = pnp_veb(10e-6, 25.0);
+  EXPECT_GT(veb, 0.55);
+  EXPECT_LT(veb, 0.75);
+}
+
+TEST(Bjt, VbeSlopeIsAboutMinus2mVPerK) {
+  const double v1 = pnp_veb(10e-6, 20.0);
+  const double v2 = pnp_veb(10e-6, 40.0);
+  const double slope = (v2 - v1) / 20.0;
+  EXPECT_LT(slope, -1.4e-3);
+  EXPECT_GT(slope, -2.6e-3);
+}
+
+TEST(Bjt, DeltaVbeIsPtat) {
+  // Two junctions at 1:8 area ratio carrying equal currents:
+  // dVbe = Vt * ln(8), and it must scale linearly with T.
+  for (double tc : {0.0, 27.0, 85.0}) {
+    const double t_k = num::celsius_to_kelvin(tc);
+    const double dvbe = pnp_veb(10e-6, tc, 1.0) - pnp_veb(10e-6, tc, 8.0);
+    const double expected = num::thermal_voltage(t_k) * std::log(8.0);
+    EXPECT_NEAR(dvbe, expected, expected * 0.02)
+        << "at " << tc << " C";
+  }
+}
+
+TEST(Bjt, CollectorCurrentFollowsExponential) {
+  // 60 mV/decade at room temperature (Vt*ln10 per decade).
+  const double v1 = pnp_veb(1e-6, 27.0);
+  const double v2 = pnp_veb(10e-6, 27.0);
+  const double per_decade = v2 - v1;
+  EXPECT_NEAR(per_decade, num::thermal_voltage(300.15) * std::log(10.0),
+              2e-3);
+}
+
+TEST(Bjt, BetaSplitsEmitterCurrent) {
+  ckt::Netlist nl;
+  const auto e = nl.node("e");
+  const auto b = nl.node("b");
+  const auto params = proc::ProcessModel::cmos12().vertical_pnp();
+  nl.add<dev::Bjt>("Q1", ckt::kGround, b, e, params);
+  nl.add<dev::ISource>("Ie", ckt::kGround, e, 100e-6);
+  auto* vb = nl.add<dev::VSource>("Vb", b, ckt::kGround, 0.0);
+  const auto r = an::solve_op(nl);
+  ASSERT_TRUE(r.converged);
+  // Base current flows out of the PNP base into Vb: i(Vb) = ie/(beta+1).
+  const double ib = vb->current(r.x);
+  EXPECT_NEAR(ib, 100e-6 / (params.beta_f + 1.0), 2e-6);
+}
+
+TEST(Bjt, EarlyEffectGivesFiniteOutputConductance) {
+  ckt::Netlist nl;
+  const auto c = nl.node("c");
+  const auto b = nl.node("b");
+  dev::BjtParams p;  // NPN defaults
+  nl.add<dev::Bjt>("Q1", c, b, ckt::kGround, p);
+  nl.add<dev::VSource>("Vb", b, ckt::kGround, 0.65);
+  auto* vc = nl.add<dev::VSource>("Vc", c, ckt::kGround, 1.0);
+  auto r = an::solve_op(nl);
+  ASSERT_TRUE(r.converged);
+  const double ic1 = -vc->current(r.x);
+  vc->set_waveform(dev::Waveform::dc(3.0));
+  r = an::solve_op(nl);
+  ASSERT_TRUE(r.converged);
+  const double ic2 = -vc->current(r.x);
+  EXPECT_GT(ic2, ic1);  // finite ro
+  // Slope consistent with VAF ~ 60 V within a factor of ~2.
+  const double ro = 2.0 / (ic2 - ic1);
+  EXPECT_GT(ro, 0.3 * p.vaf / ic1);
+  EXPECT_LT(ro, 3.0 * p.vaf / ic1);
+}
+
+TEST(Diode, SixtymVPerDecade) {
+  ckt::Netlist nl;
+  const auto a = nl.node("a");
+  nl.add<dev::Diode>("D1", a, ckt::kGround, dev::DiodeParams{});
+  auto* is = nl.add<dev::ISource>("I1", ckt::kGround, a, 1e-6);
+  auto r = an::solve_op(nl);
+  ASSERT_TRUE(r.converged);
+  const double v1 = r.v(a);
+  is->set_waveform(dev::Waveform::dc(100e-6));
+  r = an::solve_op(nl);
+  ASSERT_TRUE(r.converged);
+  const double v2 = r.v(a);
+  EXPECT_NEAR(v2 - v1, 2.0 * num::thermal_voltage(300.15) * std::log(10.0),
+              2e-3);
+}
+
+TEST(Diode, ReverseLeakageIsNegativeIs) {
+  ckt::Netlist nl;
+  const auto a = nl.node("a");
+  dev::DiodeParams p;
+  auto* d = nl.add<dev::Diode>("D1", a, ckt::kGround, p);
+  nl.add<dev::VSource>("V1", a, ckt::kGround, -5.0);
+  const auto r = an::solve_op(nl);
+  ASSERT_TRUE(r.converged);
+  d->save_op(r.x, 300.15);
+  EXPECT_NEAR(d->current(), -p.is, p.is * 0.1);
+}
+
+TEST(Bjt, SeriesResistorPtatCell) {
+  // The classic bandgap core branch: dVbe across a resistor defines a
+  // PTAT current.  I = Vt ln(m) / R.
+  ckt::Netlist nl;
+  const auto e1 = nl.node("e1");
+  const auto e2 = nl.node("e2");
+  const auto pm = proc::ProcessModel::cmos12();
+  nl.add<dev::Bjt>("Q1", ckt::kGround, ckt::kGround, e1,
+                   pm.vertical_pnp(1.0));
+  nl.add<dev::Bjt>("Q2", ckt::kGround, ckt::kGround, e2,
+                   pm.vertical_pnp(8.0));
+  // Force both emitters to the same potential through ideal sources and
+  // measure the voltage difference a resistor would see.
+  nl.add<dev::ISource>("I1", ckt::kGround, e1, 20e-6);
+  nl.add<dev::ISource>("I2", ckt::kGround, e2, 20e-6);
+  const auto r = an::solve_op(nl);
+  ASSERT_TRUE(r.converged);
+  const double dvbe = r.v(e1) - r.v(e2);
+  const double i_ptat = dvbe / 2.7e3;
+  EXPECT_NEAR(i_ptat, num::thermal_voltage(300.15) * std::log(8.0) / 2.7e3,
+              i_ptat * 0.05);
+}
+
+}  // namespace

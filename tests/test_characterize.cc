@@ -1,0 +1,50 @@
+// Characterization-API tests: the datasheet numbers must reproduce the
+// paper's tables from a single call.
+#include <gtest/gtest.h>
+
+#include "core/characterize.h"
+
+namespace {
+
+using namespace msim;
+
+TEST(Characterize, MicAmpDatasheetMatchesTable1) {
+  const auto pm = proc::ProcessModel::cmos12();
+  const auto ds = core::characterize_mic_amp({}, pm, 5, 5);
+  ASSERT_TRUE(ds.valid);
+  EXPECT_NEAR(ds.gain_db, 40.0, 0.05);
+  EXPECT_LT(std::abs(ds.gain_error_db), 0.05);
+  EXPECT_GT(ds.bw_3db_hz, 20e3);  // audio amp with wide loop bandwidth
+  EXPECT_LT(ds.noise_300_nv, 7.7);
+  EXPECT_LT(ds.noise_1k_nv, 6.6);
+  EXPECT_LT(ds.noise_avg_nv, 5.9);
+  EXPECT_GT(ds.snr_psoph_db, 86.5);
+  EXPECT_LT(ds.thd_db, -52.0);
+  EXPECT_LT(ds.iq_ma, 2.6);
+  // Offset: large common-centroid devices keep sigma well under a mV.
+  EXPECT_GT(ds.offset_sigma_mv, 0.01);
+  EXPECT_LT(ds.offset_sigma_mv, 1.0);
+}
+
+TEST(Characterize, MicAmpLowCodeHasLowerGain) {
+  const auto pm = proc::ProcessModel::cmos12();
+  const auto ds = core::characterize_mic_amp({}, pm, 0, 3);
+  ASSERT_TRUE(ds.valid);
+  EXPECT_NEAR(ds.gain_db, 10.0, 0.05);
+  // Eq. (4): noisier input-referred at the low code.
+  EXPECT_GT(ds.noise_avg_nv, 5.9);
+}
+
+TEST(Characterize, DriverDatasheetMatchesTable2) {
+  const auto pm = proc::ProcessModel::cmos12();
+  const auto ds = core::characterize_driver({}, pm, 2.6);
+  ASSERT_TRUE(ds.valid);
+  EXPECT_NEAR(ds.iq_ma, 3.25, 0.5);
+  EXPECT_LT(ds.thd_full_swing, 0.006);
+  EXPECT_GE(ds.swing_06_v, 1.0);
+  EXPECT_GT(ds.slew_v_per_us, 2.5);
+  // Signal-dependent gain stays in the paper's "~5 %" ballpark.
+  EXPECT_LT(ds.gain_var_pct, 6.0);
+}
+
+}  // namespace

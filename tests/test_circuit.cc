@@ -1,0 +1,58 @@
+// Netlist bookkeeping tests: node registry, device lookup, unknown
+// assignment.
+#include <gtest/gtest.h>
+
+#include "circuit/netlist.h"
+#include "devices/passive.h"
+#include "devices/sources.h"
+
+namespace {
+
+using namespace msim;
+
+TEST(Netlist, GroundAliases) {
+  ckt::Netlist nl;
+  EXPECT_EQ(nl.node("0"), ckt::kGround);
+  EXPECT_EQ(nl.node("gnd"), ckt::kGround);
+}
+
+TEST(Netlist, NodeCreationIsIdempotent) {
+  ckt::Netlist nl;
+  const auto a = nl.node("vdd");
+  const auto b = nl.node("vdd");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(nl.node_count(), 2);  // ground + vdd
+  EXPECT_EQ(nl.node_name(a), "vdd");
+}
+
+TEST(Netlist, InternalNodesAreUnique) {
+  ckt::Netlist nl;
+  const auto a = nl.internal_node("x");
+  const auto b = nl.internal_node("x");
+  EXPECT_NE(a, b);
+}
+
+TEST(Netlist, FindAndDowncast) {
+  ckt::Netlist nl;
+  const auto n1 = nl.node("n1");
+  nl.add<dev::Resistor>("R1", n1, ckt::kGround, 1e3);
+  EXPECT_NE(nl.find("R1"), nullptr);
+  EXPECT_EQ(nl.find("R2"), nullptr);
+  EXPECT_NE(nl.find_as<dev::Resistor>("R1"), nullptr);
+  EXPECT_EQ(nl.find_as<dev::VSource>("R1"), nullptr);
+}
+
+TEST(Netlist, UnknownAssignmentCountsBranches) {
+  ckt::Netlist nl;
+  const auto n1 = nl.node("n1");
+  const auto n2 = nl.node("n2");
+  nl.add<dev::VSource>("V1", n1, ckt::kGround, 1.0);
+  nl.add<dev::Resistor>("R1", n1, n2, 1e3);
+  nl.add<dev::Resistor>("R2", n2, ckt::kGround, 1e3);
+  // 2 node voltages + 1 vsource branch.
+  EXPECT_EQ(nl.assign_unknowns(), 3);
+  auto* v1 = nl.find("V1");
+  EXPECT_EQ(v1->branch_base(), 2);
+}
+
+}  // namespace

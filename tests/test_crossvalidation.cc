@@ -1,0 +1,154 @@
+// Cross-validation: the behavioral macromodels must agree with the
+// transistor-level blocks they stand in for (gain, bandwidth ordering,
+// clipping), and independent analyses must agree with each other
+// (AC vs transient, noise vs equation).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/ac.h"
+#include "analysis/noise.h"
+#include "analysis/op.h"
+#include "analysis/transient.h"
+#include "circuit/netlist.h"
+#include "core/behav.h"
+#include "core/mic_amp.h"
+#include "devices/passive.h"
+#include "devices/sources.h"
+#include "signal/meter.h"
+
+namespace {
+
+using namespace msim;
+
+TEST(CrossValidation, BehavioralPgaMatchesTransistorGain) {
+  // Same closed-loop gain setting: behavioral PGA vs the transistor-
+  // level mic amp, within 1 %.
+  const double gain_target = std::pow(10.0, 22.0 / 20.0);  // code 2
+
+  double g_behav = 0.0, g_transistor = 0.0;
+  {
+    ckt::Netlist nl;
+    const auto inp = nl.node("inp");
+    const auto inn = nl.node("inn");
+    nl.add<dev::VSource>("Vinp", inp, ckt::kGround,
+                         dev::Waveform::dc(0.0).with_ac(0.5e-3));
+    nl.add<dev::VSource>("Vinn", inn, ckt::kGround,
+                         dev::Waveform::dc(0.0).with_ac(-0.5e-3));
+    const auto pga = core::build_behav_pga(nl, {}, gain_target,
+                                           ckt::kGround, inp, inn, "pga");
+    EXPECT_TRUE(an::solve_op(nl).converged);
+    const auto ac = an::run_ac(nl, {1e3});
+    g_behav = std::abs(ac.vdiff(0, pga.outp, pga.outn)) / 1e-3;
+  }
+  {
+    ckt::Netlist nl;
+    const auto vdd = nl.node("vdd");
+    const auto vss = nl.node("vss");
+    const auto inp = nl.node("inp");
+    const auto inn = nl.node("inn");
+    nl.add<dev::VSource>("Vdd", vdd, ckt::kGround, 1.3);
+    nl.add<dev::VSource>("Vss", vss, ckt::kGround, -1.3);
+    nl.add<dev::VSource>("Vinp", inp, ckt::kGround,
+                         dev::Waveform::dc(0.0).with_ac(0.5e-3));
+    nl.add<dev::VSource>("Vinn", inn, ckt::kGround,
+                         dev::Waveform::dc(0.0).with_ac(-0.5e-3));
+    auto mic = core::build_mic_amp(nl, proc::ProcessModel::cmos12(), {},
+                                   vdd, vss, ckt::kGround, inp, inn);
+    mic.set_gain_code(2);
+    EXPECT_TRUE(an::solve_op(nl).converged);
+    const auto ac = an::run_ac(nl, {1e3});
+    g_transistor = std::abs(ac.vdiff(0, mic.outp, mic.outn)) / 1e-3;
+  }
+  EXPECT_NEAR(g_behav / g_transistor, 1.0, 0.01);
+}
+
+TEST(CrossValidation, AcGainMatchesTransientAmplitude) {
+  // For the transistor mic amp, the AC small-signal gain and the
+  // transient fundamental must agree to well under a percent.
+  ckt::Netlist nl;
+  const auto vdd = nl.node("vdd");
+  const auto vss = nl.node("vss");
+  const auto inp = nl.node("inp");
+  const auto inn = nl.node("inn");
+  nl.add<dev::VSource>("Vdd", vdd, ckt::kGround, 1.3);
+  nl.add<dev::VSource>("Vss", vss, ckt::kGround, -1.3);
+  auto* vinp = nl.add<dev::VSource>(
+      "Vinp", inp, ckt::kGround, dev::Waveform::dc(0.0).with_ac(0.5));
+  auto* vinn = nl.add<dev::VSource>(
+      "Vinn", inn, ckt::kGround, dev::Waveform::dc(0.0).with_ac(-0.5));
+  auto mic = core::build_mic_amp(nl, proc::ProcessModel::cmos12(), {},
+                                 vdd, vss, ckt::kGround, inp, inn);
+  mic.set_gain_code(3);  // 28 dB
+  ASSERT_TRUE(an::solve_op(nl).converged);
+  const auto ac = an::run_ac(nl, {1e3});
+  const double g_ac = std::abs(ac.vdiff(0, mic.outp, mic.outn));
+
+  vinp->set_waveform(dev::Waveform::sine(0.0, 0.5e-3, 1e3));
+  vinn->set_waveform(dev::Waveform::sine(0.0, -0.5e-3, 1e3));
+  an::TranOptions t;
+  t.t_stop = 4e-3;
+  t.dt = 2e-6;
+  t.record_after = 1e-3;
+  const auto res = an::run_transient(nl, t);
+  ASSERT_TRUE(res.ok);
+  const auto h = sig::measure_harmonics(
+      res.diff_wave(mic.outp, mic.outn), t.dt, 1e3);
+  const double g_tran = h.fundamental_amp / 1e-3;
+  EXPECT_NEAR(g_tran / g_ac, 1.0, 0.005);
+}
+
+TEST(CrossValidation, NoiseFloorMatchesGmFormula) {
+  // The mic amp's high-frequency input-referred floor must track the
+  // hand formula 4kT*gamma/gm summed over the four input devices plus
+  // load and network terms, within 15 %.
+  ckt::Netlist nl;
+  const auto vdd = nl.node("vdd");
+  const auto vss = nl.node("vss");
+  const auto inp = nl.node("inp");
+  const auto inn = nl.node("inn");
+  nl.add<dev::VSource>("Vdd", vdd, ckt::kGround, 1.3);
+  nl.add<dev::VSource>("Vss", vss, ckt::kGround, -1.3);
+  nl.add<dev::VSource>("Vinp", inp, ckt::kGround,
+                       dev::Waveform::dc(0.0).with_ac(0.5));
+  nl.add<dev::VSource>("Vinn", inn, ckt::kGround,
+                       dev::Waveform::dc(0.0).with_ac(-0.5));
+  auto mic = core::build_mic_amp(nl, proc::ProcessModel::cmos12(), {},
+                                 vdd, vss, ckt::kGround, inp, inn);
+  mic.set_gain_code(5);
+  ASSERT_TRUE(an::solve_op(nl).converged);
+
+  const auto* m1 = mic.input_devices[0];
+  const auto* ml = nl.find_as<dev::Mosfet>("mic.ML1");
+  ASSERT_NE(ml, nullptr);
+  const double kT4 = 4.0 * 1.380649e-23 * 300.15;
+  const double gm_in = m1->op().gm;
+  const double gm_l = ml->op().gm;
+  const double hand =
+      4.0 * kT4 * (2.0 / 3.0) / gm_in +                    // 4 inputs
+      2.0 * kT4 * (2.0 / 3.0) * gm_l / (gm_in * gm_in) +   // 2 loads
+      2.0 * kT4 * (99.0 + 80.0);                            // Ra + Ron
+  an::NoiseOptions opt;
+  opt.out_p = mic.outp;
+  opt.out_n = mic.outn;
+  opt.input_source = "Vinp";
+  const auto res = an::run_noise(nl, {200e3}, opt);
+  EXPECT_NEAR(res.points[0].s_in / hand, 1.0, 0.15);
+}
+
+TEST(CrossValidation, BehavioralClampTracksDesign) {
+  for (double vmax : {0.8, 1.1}) {
+    ckt::Netlist nl;
+    const auto inp = nl.node("inp");
+    nl.add<dev::VSource>("Vin", inp, ckt::kGround, 1.0);
+    core::BehavAmpDesign d;
+    d.vout_max = vmax;
+    const auto amp = core::build_behav_amp(nl, d, ckt::kGround, inp,
+                                           ckt::kGround, "a");
+    const auto op = an::solve_op(nl);
+    ASSERT_TRUE(op.converged);
+    EXPECT_NEAR(op.v(amp.outp), vmax, vmax * 0.05);
+  }
+}
+
+}  // namespace

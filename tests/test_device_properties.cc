@@ -1,0 +1,254 @@
+// Property-style device and physics tests (parameterized sweeps):
+//  * stamp conservation: every device's KCL contributions sum to zero,
+//  * MOSFET current continuity across region boundaries,
+//  * BJT translinearity,
+//  * waveform invariants (pulse periodicity, PWL interpolation),
+//  * the thermal-equilibrium theorem S_v(f) = 4kT Re{Z(f)} for arbitrary
+//    passive RC one-ports (a deep consistency check tying the AC solver
+//    to the adjoint noise analysis).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/ac.h"
+#include "analysis/mna.h"
+#include "analysis/noise.h"
+#include "analysis/op.h"
+#include "circuit/netlist.h"
+#include "devices/bjt.h"
+#include "devices/mosfet.h"
+#include "devices/passive.h"
+#include "devices/sources.h"
+#include "numeric/lu.h"
+#include "numeric/rng.h"
+#include "numeric/units.h"
+#include "process/process.h"
+
+namespace {
+
+using namespace msim;
+
+// ---- stamp conservation -------------------------------------------------
+// For any device stamped into a netlist whose nodes are all floating
+// (connected only through the device + gshunt), the column sums of the
+// Jacobian restricted to node rows must vanish: charge cannot be created.
+TEST(StampProperty, MosfetJacobianRowsConserveCurrent) {
+  ckt::Netlist nl;
+  const auto d = nl.node("d");
+  const auto g = nl.node("g");
+  const auto s = nl.node("s");
+  const auto b = nl.node("b");
+  const auto pm = proc::ProcessModel::cmos12();
+  nl.add<dev::Mosfet>("M1", d, g, s, b, pm.nmos(), 50e-6, 2e-6);
+  nl.assign_unknowns();
+
+  num::RealVector x = {1.5, 1.2, 0.1, 0.0};  // arbitrary bias
+  num::RealMatrix jac;
+  num::RealVector rhs;
+  an::AssembleParams p;
+  p.gshunt = 0.0;
+  p.gmin = 0.0;
+  an::assemble_real(nl, x, p, jac, rhs);
+  // Current into d + current into s must balance: rows d-1 and s-1 are
+  // opposite (gate and bulk carry no DC current in the model).
+  for (std::size_t c = 0; c < 4; ++c)
+    EXPECT_NEAR(jac(d - 1, c) + jac(s - 1, c), 0.0, 1e-15) << c;
+  EXPECT_NEAR(rhs[d - 1] + rhs[s - 1], 0.0, 1e-18);
+  // Gate and bulk rows empty.
+  for (std::size_t c = 0; c < 4; ++c) {
+    EXPECT_DOUBLE_EQ(jac(g - 1, c), 0.0);
+    EXPECT_DOUBLE_EQ(jac(b - 1, c), 0.0);
+  }
+}
+
+TEST(StampProperty, BjtTerminalCurrentsSumToZero) {
+  ckt::Netlist nl;
+  const auto c = nl.node("c");
+  const auto b = nl.node("b");
+  const auto e = nl.node("e");
+  nl.add<dev::Bjt>("Q1", c, b, e, dev::BjtParams{});
+  nl.assign_unknowns();
+  num::RealVector x = {1.0, 0.65, 0.0};
+  num::RealMatrix jac;
+  num::RealVector rhs;
+  an::AssembleParams p;
+  p.gshunt = 0.0;
+  p.gmin = 0.0;
+  an::assemble_real(nl, x, p, jac, rhs);
+  for (std::size_t col = 0; col < 3; ++col)
+    EXPECT_NEAR(jac(c - 1, col) + jac(b - 1, col) + jac(e - 1, col), 0.0,
+                1e-12);
+  EXPECT_NEAR(rhs[c - 1] + rhs[b - 1] + rhs[e - 1], 0.0, 1e-15);
+}
+
+// ---- MOSFET continuity ---------------------------------------------------
+class MosContinuity : public ::testing::TestWithParam<double> {};
+
+TEST_P(MosContinuity, CurrentIsContinuousAcrossVds) {
+  // Sweep vds through the triode/saturation boundary at the given vgs;
+  // adjacent-point current steps must shrink with the sweep step
+  // (no jumps), and id must be monotonically non-decreasing in vds.
+  const double vgs = GetParam();
+  const auto pm = proc::ProcessModel::cmos12();
+  dev::Mosfet m("M1", 1, 2, 3, 4, pm.nmos(), 50e-6, 2e-6);
+  double prev = -1.0;
+  double max_step = 0.0;
+  const double dv = 1e-3;
+  for (double vds = 0.0; vds <= 2.0; vds += dv) {
+    const auto e = m.evaluate(vds, vgs, 0.0, 0.0);
+    if (prev >= 0.0) {
+      EXPECT_GE(e.id, prev - 1e-12);
+      max_step = std::max(max_step, e.id - prev);
+    }
+    prev = e.id;
+  }
+  // Steps bounded by gds_max * dv (continuity).
+  EXPECT_LT(max_step, 5e-3 * dv * 50.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(GateVoltages, MosContinuity,
+                         ::testing::Values(0.5, 0.8, 1.0, 1.5, 2.0));
+
+// ---- BJT translinearity ---------------------------------------------------
+TEST(BjtProperty, TranslinearLoopIdentity) {
+  // Vbe(I1) + Vbe(I2) = Vbe(I3) + Vbe(I4) whenever I1*I2 = I3*I4.
+  dev::BjtParams p;
+  auto vbe_at = [&](double ic) {
+    // Invert the exponential with the model's own Is at 300.15 K.
+    ckt::Netlist nl;
+    const auto e = nl.node("e");
+    nl.add<dev::Bjt>("Q", ckt::kGround, ckt::kGround, e,
+                     [] {
+                       dev::BjtParams q;
+                       q.polarity = dev::BjtPolarity::kPnp;
+                       return q;
+                     }());
+    nl.add<dev::ISource>("I", ckt::kGround, e, ic);
+    const auto op = an::solve_op(nl);
+    EXPECT_TRUE(op.converged);
+    return op.v(e);
+  };
+  const double v1 = vbe_at(1e-6), v2 = vbe_at(64e-6);
+  const double v3 = vbe_at(8e-6), v4 = vbe_at(8e-6);
+  EXPECT_NEAR(v1 + v2, v3 + v4, 1e-4);
+}
+
+// ---- waveform invariants ----------------------------------------------------
+TEST(WaveformProperty, PulseIsPeriodic) {
+  const auto w =
+      dev::Waveform::pulse(0.0, 1.0, 1e-6, 1e-7, 1e-7, 3e-6, 10e-6);
+  num::Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const double t = rng.uniform(2e-6, 50e-6);
+    EXPECT_NEAR(w.value(t), w.value(t + 10e-6), 1e-12) << t;
+  }
+}
+
+TEST(WaveformProperty, SineMatchesClosedForm) {
+  const auto w = dev::Waveform::sine(0.2, 0.7, 3e3, 1e-4);
+  num::Rng rng(4);
+  for (int i = 0; i < 200; ++i) {
+    const double t = rng.uniform(1e-4, 1e-2);
+    const double expected =
+        0.2 + 0.7 * std::sin(2.0 * M_PI * 3e3 * (t - 1e-4));
+    EXPECT_NEAR(w.value(t), expected, 1e-12);
+  }
+  EXPECT_DOUBLE_EQ(w.value(0.5e-4), 0.2);  // before delay: offset
+}
+
+TEST(WaveformProperty, PwlInterpolatesBetweenBreakpoints) {
+  const auto w = dev::Waveform::pwl({0.0, 1.0, 3.0}, {0.0, 2.0, -2.0});
+  EXPECT_DOUBLE_EQ(w.value(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(w.value(2.0), 0.0);
+  EXPECT_DOUBLE_EQ(w.value(10.0), -2.0);  // clamped
+}
+
+// ---- thermal equilibrium: S_v = 4kT Re(Z) ---------------------------------
+// Build random passive RC one-ports; at every frequency the node noise
+// PSD from the adjoint analysis must equal 4kT times the real part of
+// the driving-point impedance from the AC solver.  This is the
+// fluctuation-dissipation theorem and holds for *any* RC network.
+class ThermalEquilibrium : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThermalEquilibrium, NoiseMatches4kTReZ) {
+  num::Rng rng(static_cast<unsigned>(GetParam()) * 7919 + 13);
+  ckt::Netlist nl;
+  const auto port = nl.node("port");
+  // Random ladder: 4 sections of series R + shunt (R or C).
+  ckt::NodeId prev = port;
+  for (int i = 0; i < 4; ++i) {
+    const auto mid = nl.internal_node("l");
+    nl.add<dev::Resistor>("Rs" + std::to_string(i), prev, mid,
+                          std::pow(10.0, rng.uniform(2.0, 5.0)));
+    if (rng.uniform() < 0.5) {
+      nl.add<dev::Resistor>("Rp" + std::to_string(i), mid, ckt::kGround,
+                            std::pow(10.0, rng.uniform(2.0, 5.0)));
+    } else {
+      nl.add<dev::Capacitor>("Cp" + std::to_string(i), mid, ckt::kGround,
+                             std::pow(10.0, rng.uniform(-11.0, -8.0)));
+    }
+    prev = mid;
+  }
+  // Ensure a DC path at the port.
+  nl.add<dev::Resistor>("Rport", port, ckt::kGround, 10e3);
+
+  ASSERT_TRUE(an::solve_op(nl).converged);
+
+  // Driving-point impedance via a 1 A AC current injection.
+  nl.add<dev::ISource>("Iprobe", ckt::kGround, port,
+                       dev::Waveform::dc(0.0).with_ac(1.0));
+  ASSERT_TRUE(an::solve_op(nl).converged);
+
+  const double t_k = 300.15;
+  for (double f : {10.0, 1e3, 1e5, 1e7}) {
+    const auto ac = an::run_ac(nl, {f});
+    const auto z = ac.v(0, port);  // V/I with I = 1
+    an::NoiseOptions opt;
+    opt.out_p = port;
+    opt.temp_k = t_k;
+    const auto res = an::run_noise(nl, {f}, opt);
+    const double expected = 4.0 * num::kBoltzmann * t_k * z.real();
+    EXPECT_NEAR(res.points[0].s_out, expected, expected * 1e-6)
+        << "f=" << f;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomNetworks, ThermalEquilibrium,
+                         ::testing::Range(0, 8));
+
+// ---- AC reciprocity ----------------------------------------------------------
+TEST(AcProperty, ReciprocityOfPassiveNetwork) {
+  // Transfer impedance of a passive network is symmetric: V(b)/I(a) =
+  // V(a)/I(b).
+  auto build = [](ckt::Netlist& nl) {
+    const auto a = nl.node("a");
+    const auto b = nl.node("b");
+    const auto m = nl.node("m");
+    nl.add<dev::Resistor>("R1", a, m, 1e3);
+    nl.add<dev::Capacitor>("C1", m, ckt::kGround, 1e-9);
+    nl.add<dev::Resistor>("R2", m, b, 2e3);
+    nl.add<dev::Resistor>("R3", b, ckt::kGround, 5e3);
+    nl.add<dev::Resistor>("R4", a, ckt::kGround, 4e3);
+    return std::make_pair(a, b);
+  };
+  std::complex<double> z_ab, z_ba;
+  {
+    ckt::Netlist nl;
+    auto [a, b] = build(nl);
+    nl.add<dev::ISource>("I", ckt::kGround, a,
+                         dev::Waveform::dc(0.0).with_ac(1.0));
+    an::solve_op(nl);
+    z_ab = an::run_ac(nl, {12.3e3}).v(0, b);
+  }
+  {
+    ckt::Netlist nl;
+    auto [a, b] = build(nl);
+    nl.add<dev::ISource>("I", ckt::kGround, b,
+                         dev::Waveform::dc(0.0).with_ac(1.0));
+    an::solve_op(nl);
+    z_ba = an::run_ac(nl, {12.3e3}).v(0, a);
+  }
+  EXPECT_NEAR(std::abs(z_ab - z_ba), 0.0, std::abs(z_ab) * 1e-9);
+}
+
+}  // namespace

@@ -1,0 +1,170 @@
+// MOSFET Level-1 model tests: square law, triode/saturation boundary,
+// polarity symmetry, drain-source exchange, derivative consistency
+// (analytic vs finite difference), temperature and mismatch behaviour.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "devices/mosfet.h"
+#include "process/process.h"
+
+namespace {
+
+using namespace msim;
+
+dev::MosParams nmos_params() {
+  return proc::ProcessModel::cmos12().nmos();
+}
+
+TEST(Mosfet, SquareLawInSaturation) {
+  auto p = nmos_params();
+  p.lambda = 0.0;  // pure square law
+  dev::Mosfet m("M1", 1, 2, 3, 4, p, 100e-6, 5e-6);
+  // vgs = vth + 0.5, vds large.
+  const auto e = m.evaluate(2.5, p.vth0 + 0.5, 0.0, 0.0);
+  const double expected = 0.5 * p.kp * (100.0 / 5.0) * 0.25;
+  EXPECT_TRUE(e.saturated);
+  EXPECT_NEAR(e.id, expected, expected * 0.02);  // softplus tail ~ small
+}
+
+TEST(Mosfet, CutoffLeakageIsTiny) {
+  auto p = nmos_params();
+  dev::Mosfet m("M1", 1, 2, 3, 4, p, 10e-6, 2e-6);
+  const auto e = m.evaluate(2.0, 0.0, 0.0, 0.0);  // vgs = 0 << vth
+  EXPECT_LT(e.id, 1e-12);
+  EXPECT_GT(e.id, 0.0);  // smooth subthreshold tail, not hard zero
+}
+
+TEST(Mosfet, TriodeActsAsResistor) {
+  auto p = nmos_params();
+  p.lambda = 0.0;
+  dev::Mosfet m("M1", 1, 2, 3, 4, p, 100e-6, 2e-6);
+  const double vov = 1.0;
+  const double vds = 0.01;  // deep triode
+  const auto e = m.evaluate(vds, p.vth0 + vov, 0.0, 0.0);
+  EXPECT_FALSE(e.saturated);
+  const double g_expected = p.kp * (100.0 / 2.0) * vov;  // beta*vov
+  EXPECT_NEAR(e.id / vds, g_expected, g_expected * 0.05);
+}
+
+TEST(Mosfet, PmosMirrorsNmos) {
+  auto pn = nmos_params();
+  auto pp = pn;
+  pp.polarity = dev::MosPolarity::kPmos;
+  dev::Mosfet mn("MN", 1, 2, 3, 4, pn, 50e-6, 2e-6);
+  dev::Mosfet mp("MP", 1, 2, 3, 4, pp, 50e-6, 2e-6);
+  const auto en = mn.evaluate(1.5, 1.2, 0.0, 0.0);
+  const auto ep = mp.evaluate(-1.5, -1.2, 0.0, 0.0);
+  EXPECT_NEAR(en.id, -ep.id, std::abs(en.id) * 1e-9);
+  EXPECT_NEAR(en.gm, ep.gm, en.gm * 1e-9);
+  EXPECT_NEAR(en.gds, ep.gds, en.gds * 1e-9);
+}
+
+TEST(Mosfet, DrainSourceExchangeIsAntisymmetric) {
+  auto p = nmos_params();
+  dev::Mosfet m("M1", 1, 2, 3, 4, p, 50e-6, 2e-6);
+  // Symmetric gate drive: swapping d/s must exactly negate the current.
+  const auto fwd = m.evaluate(0.3, 1.5, 0.0, 0.0);
+  const auto rev = m.evaluate(0.0, 1.5, 0.3, 0.0);
+  EXPECT_FALSE(fwd.reversed);
+  EXPECT_TRUE(rev.reversed);
+  EXPECT_NEAR(fwd.id, -rev.id, std::abs(fwd.id) * 1e-9);
+}
+
+// Derivative consistency: analytic gm/gds/gmb vs finite differences,
+// across regions (parameterized property test).
+struct BiasPoint {
+  double vd, vg, vs, vb;
+};
+
+class MosfetDerivatives : public ::testing::TestWithParam<BiasPoint> {};
+
+TEST_P(MosfetDerivatives, MatchFiniteDifference) {
+  auto p = nmos_params();
+  dev::Mosfet m("M1", 1, 2, 3, 4, p, 80e-6, 3e-6);
+  const auto bp = GetParam();
+  const double h = 1e-7;
+  const auto e0 = m.evaluate(bp.vd, bp.vg, bp.vs, bp.vb);
+  const auto eg = m.evaluate(bp.vd, bp.vg + h, bp.vs, bp.vb);
+  const auto ed = m.evaluate(bp.vd + h, bp.vg, bp.vs, bp.vb);
+  const auto eb = m.evaluate(bp.vd, bp.vg, bp.vs, bp.vb + h);
+  const double gm_fd = (eg.id - e0.id) / h;
+  const double gds_fd = (ed.id - e0.id) / h;
+  const double gmb_fd = (eb.id - e0.id) / h;
+  const double tol = std::max(1e-9, std::abs(e0.gm) * 1e-3);
+  EXPECT_NEAR(e0.gm, gm_fd, tol);
+  EXPECT_NEAR(e0.gds, gds_fd, std::max(1e-9, std::abs(e0.gds) * 1e-2));
+  EXPECT_NEAR(e0.gmb, gmb_fd, std::max(1e-9, std::abs(e0.gmb) * 1e-2));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Regions, MosfetDerivatives,
+    ::testing::Values(BiasPoint{2.0, 1.5, 0.0, 0.0},    // saturation
+                      BiasPoint{0.1, 1.8, 0.0, 0.0},    // triode
+                      BiasPoint{1.0, 0.70, 0.0, 0.0},   // near threshold
+                      BiasPoint{1.0, 0.40, 0.0, 0.0},   // subthreshold
+                      BiasPoint{2.0, 1.5, 0.3, -0.5},   // body effect
+                      BiasPoint{-0.2, 1.5, 0.0, 0.0})); // reversed
+
+TEST(Mosfet, BodyEffectRaisesThreshold) {
+  auto p = nmos_params();
+  dev::Mosfet m("M1", 1, 2, 3, 4, p, 50e-6, 2e-6);
+  const auto no_bias = m.evaluate(2.0, 1.2, 0.0, 0.0);
+  const auto rev_bias = m.evaluate(2.0, 1.2, 0.0, -1.0);  // vbs = -1
+  EXPECT_LT(rev_bias.id, no_bias.id);
+}
+
+TEST(Mosfet, TemperatureReducesCurrentInStrongInversion) {
+  // Mobility degradation dominates at high overdrive: current drops
+  // with temperature (the paper's Sec. 2.1 motivates slight-PTAT bias to
+  // compensate exactly this).
+  auto p = nmos_params();
+  dev::Mosfet m("M1", 1, 2, 3, 4, p, 50e-6, 2e-6);
+  m.set_temperature(300.0);
+  const auto cold = m.evaluate(2.0, 2.0, 0.0, 0.0);
+  m.set_temperature(380.0);
+  const auto hot = m.evaluate(2.0, 2.0, 0.0, 0.0);
+  EXPECT_LT(hot.id, cold.id);
+}
+
+TEST(Mosfet, TemperatureIncreasesCurrentNearThreshold) {
+  // Near Vth the threshold drop wins over mobility: the "ZTC" crossover.
+  auto p = nmos_params();
+  dev::Mosfet m("M1", 1, 2, 3, 4, p, 50e-6, 2e-6);
+  m.set_temperature(300.0);
+  const auto cold = m.evaluate(2.0, p.vth0 + 0.05, 0.0, 0.0);
+  m.set_temperature(380.0);
+  const auto hot = m.evaluate(2.0, p.vth0 + 0.05, 0.0, 0.0);
+  EXPECT_GT(hot.id, cold.id);
+}
+
+TEST(Mosfet, MismatchShiftsCurrent) {
+  auto p = nmos_params();
+  dev::Mosfet a("Ma", 1, 2, 3, 4, p, 50e-6, 2e-6);
+  dev::Mosfet b("Mb", 1, 2, 3, 4, p, 50e-6, 2e-6);
+  b.apply_mismatch(+10e-3, 0.0);  // +10 mV threshold
+  const auto ea = a.evaluate(2.0, 1.2, 0.0, 0.0);
+  const auto eb = b.evaluate(2.0, 1.2, 0.0, 0.0);
+  EXPECT_LT(eb.id, ea.id);
+  // gm * dVth first-order prediction.
+  EXPECT_NEAR(ea.id - eb.id, ea.gm * 10e-3, ea.gm * 10e-3 * 0.1);
+}
+
+TEST(Mosfet, PelgromSigmaScalesWithArea) {
+  const auto pm = proc::ProcessModel::cmos12();
+  num::Rng rng(99);
+  // sigma(dvth) for a 4x bigger device should be ~2x smaller.
+  double s_small = 0.0, s_big = 0.0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) {
+    s_small += std::pow(
+        pm.sample_mos_mismatch(rng, true, 10e-6, 2e-6).dvth, 2);
+    s_big += std::pow(
+        pm.sample_mos_mismatch(rng, true, 40e-6, 2e-6).dvth, 2);
+  }
+  s_small = std::sqrt(s_small / n);
+  s_big = std::sqrt(s_big / n);
+  EXPECT_NEAR(s_small / s_big, 2.0, 0.15);
+}
+
+}  // namespace

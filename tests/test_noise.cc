@@ -1,0 +1,198 @@
+// Noise analysis tests with analytic references: kT/R of resistor
+// networks, RC-filtered noise (kT/C total power), amplifier
+// input-referring, MOSFET thermal/flicker corner, temperature scaling.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/ac.h"
+#include "analysis/noise.h"
+#include "analysis/op.h"
+#include "circuit/netlist.h"
+#include "devices/controlled.h"
+#include "devices/mosfet.h"
+#include "devices/passive.h"
+#include "devices/sources.h"
+#include "numeric/units.h"
+#include "process/process.h"
+
+namespace {
+
+using namespace msim;
+using num::kBoltzmann;
+
+constexpr double kT300 = 300.15;
+
+TEST(Noise, SingleResistorGives4kTR) {
+  ckt::Netlist nl;
+  const auto a = nl.node("a");
+  nl.add<dev::Resistor>("R1", a, ckt::kGround, 1e3);
+  // A tiny source impedance is not present: the node only sees R1, so
+  // the full 4kTR appears at the node.
+  ASSERT_TRUE(an::solve_op(nl).converged);
+  an::NoiseOptions opt;
+  opt.out_p = a;
+  opt.temp_k = kT300;
+  const auto r = an::run_noise(nl, {1e3}, opt);
+  EXPECT_NEAR(r.points[0].s_out, 4.0 * kBoltzmann * kT300 * 1e3, 1e-20);
+}
+
+TEST(Noise, ParallelResistorsGiveParallelValue) {
+  ckt::Netlist nl;
+  const auto a = nl.node("a");
+  nl.add<dev::Resistor>("R1", a, ckt::kGround, 2e3);
+  nl.add<dev::Resistor>("R2", a, ckt::kGround, 2e3);
+  ASSERT_TRUE(an::solve_op(nl).converged);
+  an::NoiseOptions opt;
+  opt.out_p = a;
+  opt.temp_k = kT300;
+  const auto r = an::run_noise(nl, {1e3}, opt);
+  EXPECT_NEAR(r.points[0].s_out, 4.0 * kBoltzmann * kT300 * 1e3,
+              1e-20);
+}
+
+TEST(Noise, NoiseScalesWithTemperature) {
+  ckt::Netlist nl;
+  const auto a = nl.node("a");
+  auto* res = nl.add<dev::Resistor>("R1", a, ckt::kGround, 1e3);
+  res->set_tc(0.0);  // keep R fixed so only 4kT scales
+  ASSERT_TRUE(an::solve_op(nl).converged);
+  an::NoiseOptions opt;
+  opt.out_p = a;
+  opt.temp_k = 300.0;
+  const auto r1 = an::run_noise(nl, {1e3}, opt);
+  opt.temp_k = 400.0;
+  const auto r2 = an::run_noise(nl, {1e3}, opt);
+  EXPECT_NEAR(r2.points[0].s_out / r1.points[0].s_out, 400.0 / 300.0,
+              1e-6);
+}
+
+TEST(Noise, RcFilteredTotalPowerIskTOverC) {
+  // Integrated noise power across an RC low-pass is kT/C regardless of R.
+  for (double r_ohm : {1e3, 10e3}) {
+    ckt::Netlist nl;
+    const auto a = nl.node("a");
+    nl.add<dev::Resistor>("R1", a, ckt::kGround, r_ohm);
+    const double c = 1e-9;
+    nl.add<dev::Capacitor>("C1", a, ckt::kGround, c);
+    ASSERT_TRUE(an::solve_op(nl).converged);
+    an::NoiseOptions opt;
+    opt.out_p = a;
+    opt.temp_k = kT300;
+    // Integrate far past the pole.
+    const auto freqs = an::log_frequencies(1.0, 1e12, 40);
+    const auto r = an::run_noise(nl, freqs, opt);
+    const double power = r.integrate_output(1.0, 1e12);
+    const double expected = kBoltzmann * kT300 / c;
+    EXPECT_NEAR(power, expected, expected * 0.02) << "R=" << r_ohm;
+  }
+}
+
+TEST(Noise, InputReferringDividesByGain) {
+  // Ideal x10 amplifier (VCVS) after a noisy 1 kOhm source resistor:
+  // output = 100 * 4kTR, input-referred = 4kTR.
+  ckt::Netlist nl;
+  const auto in = nl.node("in");
+  const auto mid = nl.node("mid");
+  const auto out = nl.node("out");
+  nl.add<dev::VSource>("Vin", in, ckt::kGround,
+                       dev::Waveform::dc(0.0).with_ac(1.0));
+  nl.add<dev::Resistor>("Rs", in, mid, 1e3);
+  nl.add<dev::Vcvs>("E1", out, ckt::kGround, mid, ckt::kGround, 10.0);
+  ASSERT_TRUE(an::solve_op(nl).converged);
+  an::NoiseOptions opt;
+  opt.out_p = out;
+  opt.input_source = "Vin";
+  opt.temp_k = kT300;
+  const auto r = an::run_noise(nl, {1e3}, opt);
+  const double s_r = 4.0 * kBoltzmann * kT300 * 1e3;
+  EXPECT_NEAR(r.points[0].gain_mag, 10.0, 1e-6);
+  EXPECT_NEAR(r.points[0].s_out, 100.0 * s_r, 100.0 * s_r * 1e-6);
+  EXPECT_NEAR(r.points[0].s_in, s_r, s_r * 1e-6);
+}
+
+TEST(Noise, PerSourceBreakdownSumsToTotal) {
+  ckt::Netlist nl;
+  const auto a = nl.node("a");
+  nl.add<dev::Resistor>("R1", a, ckt::kGround, 3e3);
+  nl.add<dev::Resistor>("R2", a, ckt::kGround, 6e3);
+  ASSERT_TRUE(an::solve_op(nl).converged);
+  an::NoiseOptions opt;
+  opt.out_p = a;
+  opt.temp_k = kT300;
+  const auto freqs = an::log_frequencies(10.0, 1e4, 20);
+  const auto r = an::run_noise(nl, freqs, opt);
+  double sum = 0.0;
+  for (const auto& c : r.by_source) sum += c.v2;
+  EXPECT_NEAR(sum, r.integrate_output(10.0, 1e4), sum * 1e-9);
+  // R1 (smaller) should contribute more output noise than R2? Both see
+  // the same node impedance; the larger PSD comes from the smaller R.
+  ASSERT_EQ(r.by_source.size(), 2u);
+  EXPECT_GT(r.by_source[0].v2, r.by_source[1].v2);
+}
+
+TEST(Noise, NoiselessResistorFlagWorks) {
+  ckt::Netlist nl;
+  const auto a = nl.node("a");
+  auto* r1 = nl.add<dev::Resistor>("R1", a, ckt::kGround, 1e3);
+  r1->set_noiseless(true);
+  ASSERT_TRUE(an::solve_op(nl).converged);
+  an::NoiseOptions opt;
+  opt.out_p = a;
+  const auto r = an::run_noise(nl, {1e3}, opt);
+  EXPECT_EQ(r.points[0].s_out, 0.0);
+}
+
+TEST(Noise, MosfetFlickerCornerVisible) {
+  // Common-source stage: input-referred noise must show 1/f at low
+  // frequency and a flat thermal floor at high frequency.
+  ckt::Netlist nl;
+  const auto vdd = nl.node("vdd");
+  const auto g = nl.node("g");
+  const auto d = nl.node("d");
+  const auto pm = proc::ProcessModel::cmos12();
+  nl.add<dev::VSource>("Vdd", vdd, ckt::kGround, 3.0);
+  nl.add<dev::VSource>("Vg", g, ckt::kGround,
+                       dev::Waveform::dc(1.0).with_ac(1.0));
+  auto* rl = nl.add<dev::Resistor>("RL", vdd, d, 10e3);
+  rl->set_noiseless(true);
+  auto* m = nl.add<dev::Mosfet>("M1", d, g, ckt::kGround, ckt::kGround,
+                                pm.nmos(), 100e-6, 2e-6);
+  ASSERT_TRUE(an::solve_op(nl).converged);
+
+  an::NoiseOptions opt;
+  opt.out_p = d;
+  opt.input_source = "Vg";
+  opt.temp_k = kT300;
+  const auto r = an::run_noise(nl, {1.0, 10.0, 1e6}, opt);
+  // 1/f region: 10x frequency -> 10x less PSD.
+  EXPECT_NEAR(r.points[0].s_in / r.points[1].s_in, 10.0, 0.5);
+  // At 1 MHz the input-referred PSD is the thermal floor plus the
+  // residual flicker tail: 4kT*gamma*(gm+gmb)/gm^2 + kf/(Cox W L f).
+  const auto& p = pm.nmos();
+  const double floor_expected =
+      4.0 * kBoltzmann * kT300 * (2.0 / 3.0) / m->op().gm +
+      p.kf / (p.cox * 100e-6 * 2e-6 * 1e6);
+  EXPECT_NEAR(r.points[2].s_in, floor_expected, floor_expected * 0.05);
+}
+
+TEST(Noise, AvgDensityMatchesFlatPsd) {
+  ckt::Netlist nl;
+  const auto in = nl.node("in");
+  const auto mid = nl.node("mid");
+  nl.add<dev::VSource>("Vin", in, ckt::kGround,
+                       dev::Waveform::dc(0.0).with_ac(1.0));
+  nl.add<dev::Resistor>("Rs", in, mid, 1e3);
+  ASSERT_TRUE(an::solve_op(nl).converged);
+  an::NoiseOptions opt;
+  opt.out_p = mid;
+  opt.input_source = "Vin";
+  opt.temp_k = num::celsius_to_kelvin(25.0);
+  const auto freqs = an::log_frequencies(100.0, 10e3, 50);
+  const auto r = an::run_noise(nl, freqs, opt);
+  // Flat 4 nV/rtHz source -> average density equals spot density.
+  EXPECT_NEAR(r.input_referred_avg_density(300.0, 3400.0), 4.06e-9,
+              0.1e-9);
+}
+
+}  // namespace

@@ -1,0 +1,160 @@
+// Unit tests for the numeric substrate: LU solves (real and complex,
+// including transpose solves used by the adjoint noise method), root
+// finding and interpolation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "numeric/interp.h"
+#include "numeric/lu.h"
+#include "numeric/matrix.h"
+#include "numeric/rng.h"
+#include "numeric/rootfind.h"
+#include "numeric/units.h"
+
+namespace {
+
+using msim::num::ComplexLu;
+using msim::num::ComplexMatrix;
+using msim::num::Matrix;
+using msim::num::RealLu;
+using msim::num::RealMatrix;
+using msim::num::RealVector;
+
+TEST(Matrix, IdentityAndMul) {
+  RealMatrix I = RealMatrix::identity(3);
+  RealVector x{1.0, -2.0, 3.0};
+  EXPECT_EQ(I.mul(x), x);
+}
+
+TEST(Matrix, Transpose) {
+  RealMatrix a(2, 3);
+  a(0, 1) = 5.0;
+  a(1, 2) = -7.0;
+  RealMatrix t = a.transpose();
+  EXPECT_DOUBLE_EQ(t(1, 0), 5.0);
+  EXPECT_DOUBLE_EQ(t(2, 1), -7.0);
+}
+
+TEST(Lu, Solves3x3) {
+  RealMatrix a(3, 3);
+  const double vals[3][3] = {{2, 1, -1}, {-3, -1, 2}, {-2, 1, 2}};
+  for (int r = 0; r < 3; ++r)
+    for (int c = 0; c < 3; ++c) a(r, c) = vals[r][c];
+  RealLu lu(a);
+  ASSERT_FALSE(lu.singular());
+  // Known system with solution (2, 3, -1).
+  RealVector x = lu.solve({8.0, -11.0, -3.0});
+  EXPECT_NEAR(x[0], 2.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+  EXPECT_NEAR(x[2], -1.0, 1e-12);
+}
+
+TEST(Lu, DetectsSingular) {
+  RealMatrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(0, 1) = 2.0;
+  a(1, 0) = 2.0;
+  a(1, 1) = 4.0;
+  RealLu lu(a);
+  EXPECT_TRUE(lu.singular());
+}
+
+TEST(Lu, TransposeSolveMatchesExplicitTranspose) {
+  msim::num::Rng rng(42);
+  const std::size_t n = 12;
+  RealMatrix a(n, n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c) a(r, c) = rng.normal();
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += 5.0;  // well conditioned
+
+  RealVector b(n);
+  for (auto& v : b) v = rng.normal();
+
+  RealLu lu(a);
+  ASSERT_FALSE(lu.singular());
+  RealLu lut(a.transpose());
+  const RealVector x1 = lu.solve_transpose(b);
+  const RealVector x2 = lut.solve(b);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x1[i], x2[i], 1e-10);
+}
+
+TEST(Lu, ComplexSolveRoundTrip) {
+  msim::num::Rng rng(7);
+  const std::size_t n = 8;
+  ComplexMatrix a(n, n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c)
+      a(r, c) = {rng.normal(), rng.normal()};
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += 4.0;
+
+  std::vector<std::complex<double>> x_true(n);
+  for (auto& v : x_true) v = {rng.normal(), rng.normal()};
+  const auto b = a.mul(x_true);
+
+  ComplexLu lu(a);
+  ASSERT_FALSE(lu.singular());
+  const auto x = lu.solve(b);
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_LT(std::abs(x[i] - x_true[i]), 1e-10);
+}
+
+TEST(Lu, ComplexTransposeSolveResidual) {
+  msim::num::Rng rng(11);
+  const std::size_t n = 6;
+  ComplexMatrix a(n, n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c)
+      a(r, c) = {rng.normal(), rng.normal()};
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += 3.0;
+
+  std::vector<std::complex<double>> b(n);
+  for (auto& v : b) v = {rng.normal(), rng.normal()};
+
+  ComplexLu lu(a);
+  const auto y = lu.solve_transpose(b);
+  const auto r = a.transpose().mul(y);
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_LT(std::abs(r[i] - b[i]), 1e-9);
+}
+
+TEST(RootFind, BrentFindsCosRoot) {
+  auto res = msim::num::find_root_brent(
+      [](double x) { return std::cos(x); }, 1.0, 2.0);
+  ASSERT_TRUE(res.has_value());
+  EXPECT_TRUE(res->converged);
+  EXPECT_NEAR(res->x, M_PI / 2.0, 1e-10);
+}
+
+TEST(RootFind, BrentRejectsBadBracket) {
+  auto res = msim::num::find_root_brent(
+      [](double x) { return x * x + 1.0; }, -1.0, 1.0);
+  EXPECT_FALSE(res.has_value());
+}
+
+TEST(RootFind, GoldenMinimizesParabola) {
+  const double x = msim::num::minimize_golden(
+      [](double v) { return (v - 0.3) * (v - 0.3); }, -2.0, 2.0);
+  EXPECT_NEAR(x, 0.3, 1e-6);
+}
+
+TEST(Interp, LinearInterpolationAndClamping) {
+  msim::num::PiecewiseLinear f({0.0, 1.0, 2.0}, {0.0, 10.0, 0.0});
+  EXPECT_DOUBLE_EQ(f(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(f(1.5), 5.0);
+  EXPECT_DOUBLE_EQ(f(-3.0), 0.0);   // clamped
+  EXPECT_DOUBLE_EQ(f(10.0), 0.0);   // clamped
+}
+
+TEST(Units, ThermalVoltageAt300K) {
+  EXPECT_NEAR(msim::num::thermal_voltage(300.0), 0.02585, 1e-4);
+}
+
+TEST(Rng, Deterministic) {
+  msim::num::Rng a(123), b(123);
+  for (int i = 0; i < 10; ++i)
+    EXPECT_DOUBLE_EQ(a.normal(), b.normal());
+}
+
+}  // namespace

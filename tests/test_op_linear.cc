@@ -1,0 +1,151 @@
+// Operating-point tests on linear circuits with closed-form solutions:
+// dividers, current sources, controlled sources, supply currents.
+#include <gtest/gtest.h>
+
+#include "analysis/op.h"
+#include "circuit/netlist.h"
+#include "devices/controlled.h"
+#include "devices/mos_switch.h"
+#include "devices/passive.h"
+#include "devices/sources.h"
+
+namespace {
+
+using namespace msim;
+
+TEST(OpLinear, ResistorDivider) {
+  ckt::Netlist nl;
+  const auto vin = nl.node("vin");
+  const auto mid = nl.node("mid");
+  nl.add<dev::VSource>("V1", vin, ckt::kGround, 10.0);
+  nl.add<dev::Resistor>("R1", vin, mid, 6e3);
+  nl.add<dev::Resistor>("R2", mid, ckt::kGround, 4e3);
+  const auto r = an::solve_op(nl);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.v(mid), 4.0, 1e-6);
+}
+
+TEST(OpLinear, VSourceBranchCurrentSignConvention) {
+  // 10 V across 1 kOhm: 10 mA flows out of the source's + terminal, so
+  // the SPICE-convention branch current (into +) is -10 mA.
+  ckt::Netlist nl;
+  const auto vin = nl.node("vin");
+  auto* v1 = nl.add<dev::VSource>("V1", vin, ckt::kGround, 10.0);
+  nl.add<dev::Resistor>("R1", vin, ckt::kGround, 1e3);
+  const auto r = an::solve_op(nl);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(v1->current(r.x), -10e-3, 1e-9);
+}
+
+TEST(OpLinear, CurrentSourceIntoResistor) {
+  // 1 mA from ground into node through the source (p=gnd, n=node):
+  // positive source current flows p->n, into the node, giving +1 V.
+  ckt::Netlist nl;
+  const auto out = nl.node("out");
+  nl.add<dev::ISource>("I1", ckt::kGround, out, 1e-3);
+  nl.add<dev::Resistor>("R1", out, ckt::kGround, 1e3);
+  const auto r = an::solve_op(nl);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.v(out), 1.0, 1e-6);
+}
+
+TEST(OpLinear, VcvsGain) {
+  ckt::Netlist nl;
+  const auto in = nl.node("in");
+  const auto out = nl.node("out");
+  nl.add<dev::VSource>("V1", in, ckt::kGround, 0.5);
+  nl.add<dev::Vcvs>("E1", out, ckt::kGround, in, ckt::kGround, 20.0);
+  nl.add<dev::Resistor>("RL", out, ckt::kGround, 1e3);
+  const auto r = an::solve_op(nl);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.v(out), 10.0, 1e-6);
+}
+
+TEST(OpLinear, VccsIntoLoad) {
+  ckt::Netlist nl;
+  const auto in = nl.node("in");
+  const auto out = nl.node("out");
+  nl.add<dev::VSource>("V1", in, ckt::kGround, 1.0);
+  // gm = 2 mS, current flows out->gnd through the source for +vin.
+  nl.add<dev::Vccs>("G1", out, ckt::kGround, in, ckt::kGround, 2e-3);
+  nl.add<dev::Resistor>("RL", out, ckt::kGround, 1e3);
+  const auto r = an::solve_op(nl);
+  ASSERT_TRUE(r.converged);
+  // i = gm*vin leaves node out => v(out) = -gm*vin*RL = -2 V.
+  EXPECT_NEAR(r.v(out), -2.0, 1e-6);
+}
+
+TEST(OpLinear, CccsMirrorsSenseCurrent) {
+  ckt::Netlist nl;
+  const auto a = nl.node("a");
+  const auto out = nl.node("out");
+  auto* vs = nl.add<dev::VSource>("Vs", a, ckt::kGround, 1.0);
+  nl.add<dev::Resistor>("R1", a, ckt::kGround, 1e3);  // 1 mA in sense
+  nl.add<dev::Cccs>("F1", ckt::kGround, out, vs, 2.0);
+  nl.add<dev::Resistor>("RL", out, ckt::kGround, 1e3);
+  const auto r = an::solve_op(nl);
+  ASSERT_TRUE(r.converged);
+  // Sense current (into +) is -1 mA; F injects gain*i from gnd into out.
+  EXPECT_NEAR(r.v(out), -2.0, 1e-8);
+}
+
+TEST(OpLinear, CcvsTransresistance) {
+  ckt::Netlist nl;
+  const auto a = nl.node("a");
+  const auto out = nl.node("out");
+  auto* vs = nl.add<dev::VSource>("Vs", a, ckt::kGround, 1.0);
+  nl.add<dev::Resistor>("R1", a, ckt::kGround, 1e3);
+  nl.add<dev::Ccvs>("H1", out, ckt::kGround, vs, 5e3);
+  nl.add<dev::Resistor>("RL", out, ckt::kGround, 1e3);
+  const auto r = an::solve_op(nl);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.v(out), -5.0, 1e-8);
+}
+
+TEST(OpLinear, SwitchOnOff) {
+  ckt::Netlist nl;
+  const auto in = nl.node("in");
+  const auto out = nl.node("out");
+  nl.add<dev::VSource>("V1", in, ckt::kGround, 1.0);
+  auto* sw = nl.add<dev::MosSwitch>("S1", in, out, 100.0);
+  nl.add<dev::Resistor>("RL", out, ckt::kGround, 900.0);
+
+  auto r = an::solve_op(nl);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.v(out), 0.0, 1e-6);  // off: R_off divider ~ 0
+
+  sw->set_on(true);
+  r = an::solve_op(nl);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.v(out), 0.9, 1e-6);
+}
+
+TEST(OpLinear, FloatingNodeHandledByGshunt) {
+  ckt::Netlist nl;
+  const auto a = nl.node("a");
+  const auto b = nl.node("b");
+  nl.add<dev::VSource>("V1", a, ckt::kGround, 1.0);
+  nl.add<dev::Capacitor>("C1", a, b, 1e-12);  // b floats in DC
+  const auto r = an::solve_op(nl);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.v(b), 0.0, 1e-6);
+}
+
+TEST(OpLinear, SeriesResistorLadder) {
+  // 10 equal resistors across 10 V: node k sits at k volts.
+  ckt::Netlist nl;
+  const auto top = nl.node("n10");
+  nl.add<dev::VSource>("V1", top, ckt::kGround, 10.0);
+  ckt::NodeId prev = ckt::kGround;
+  for (int k = 1; k <= 10; ++k) {
+    const auto nk = nl.node("n" + std::to_string(k));
+    nl.add<dev::Resistor>("R" + std::to_string(k), nk, prev, 1e3);
+    prev = nk;
+  }
+  const auto r = an::solve_op(nl);
+  ASSERT_TRUE(r.converged);
+  for (int k = 1; k <= 10; ++k)
+    EXPECT_NEAR(r.v(nl, "n" + std::to_string(k)), double(k), 1e-6);
+}
+
+}  // namespace

@@ -1,0 +1,151 @@
+// Operating-point solver robustness: homotopy fallbacks, pathological
+// circuits, initial-guess reuse, and graceful failure reporting.
+#include <gtest/gtest.h>
+
+#include "analysis/op.h"
+#include "analysis/sweep.h"
+#include "core/bias.h"
+#include "circuit/netlist.h"
+#include "devices/bjt.h"
+#include "devices/diode.h"
+#include "devices/mosfet.h"
+#include "devices/passive.h"
+#include "devices/sources.h"
+#include "numeric/units.h"
+#include "process/process.h"
+
+namespace {
+
+using namespace msim;
+
+TEST(OpRobustness, DiodeStackFromColdStart) {
+  // Six series diodes across 4 V: strongly nonlinear, needs limiting.
+  ckt::Netlist nl;
+  const auto top = nl.node("n0");
+  nl.add<dev::VSource>("V1", top, ckt::kGround, 4.0);
+  ckt::NodeId prev = top;
+  for (int i = 0; i < 6; ++i) {
+    const auto next = (i == 5) ? ckt::kGround
+                               : nl.node("n" + std::to_string(i + 1));
+    nl.add<dev::Diode>("D" + std::to_string(i), prev, next,
+                       dev::DiodeParams{});
+    prev = next;
+  }
+  const auto op = an::solve_op(nl);
+  ASSERT_TRUE(op.converged);
+  // Each diode drops ~0.66 V at the resulting small current.
+  EXPECT_NEAR(op.v(nl, "n3"), 4.0 / 2.0, 0.4);
+}
+
+TEST(OpRobustness, CmosLatchHasStableSolution) {
+  // Cross-coupled inverters (bistable): the solver must settle into one
+  // of the valid states, not oscillate forever.
+  ckt::Netlist nl;
+  const auto vdd = nl.node("vdd");
+  const auto a = nl.node("a");
+  const auto b = nl.node("b");
+  const auto pm = proc::ProcessModel::cmos12();
+  nl.add<dev::VSource>("Vdd", vdd, ckt::kGround, 3.0);
+  auto inv = [&](const char* n, ckt::NodeId in, ckt::NodeId out) {
+    nl.add<dev::Mosfet>(std::string("MP") + n, out, in, vdd, vdd,
+                        pm.pmos(), 20e-6, 2e-6);
+    nl.add<dev::Mosfet>(std::string("MN") + n, out, in, ckt::kGround,
+                        ckt::kGround, pm.nmos(), 10e-6, 2e-6);
+  };
+  inv("1", a, b);
+  inv("2", b, a);
+  // Small asymmetry to pick a state.
+  nl.add<dev::Resistor>("Rk", vdd, a, 10e6);
+  const auto op = an::solve_op(nl);
+  ASSERT_TRUE(op.converged);
+  const double va = op.v(a), vb = op.v(b);
+  // One side high, other low (or the metastable point; exclude it).
+  EXPECT_GT(std::abs(va - vb), 2.0);
+}
+
+TEST(OpRobustness, InitialGuessAcceleratesResolve) {
+  ckt::Netlist nl;
+  const auto vdd = nl.node("vdd");
+  const auto g = nl.node("g");
+  const auto d = nl.node("d");
+  const auto pm = proc::ProcessModel::cmos12();
+  nl.add<dev::VSource>("Vdd", vdd, ckt::kGround, 3.0);
+  nl.add<dev::VSource>("Vg", g, ckt::kGround, 1.0);
+  nl.add<dev::Resistor>("RL", vdd, d, 10e3);
+  nl.add<dev::Mosfet>("M1", d, g, ckt::kGround, ckt::kGround, pm.nmos(),
+                      50e-6, 2e-6);
+  const auto op1 = an::solve_op(nl);
+  ASSERT_TRUE(op1.converged);
+  an::OpOptions warm;
+  warm.initial_guess = op1.x;
+  const auto op2 = an::solve_op(nl, warm);
+  ASSERT_TRUE(op2.converged);
+  EXPECT_LE(op2.iterations, op1.iterations);
+  EXPECT_LE(op2.iterations, 3);
+}
+
+TEST(OpRobustness, ContinuationTracksSteepTransferCurve) {
+  // CMOS inverter VTC: the high-gain transition needs continuation.
+  ckt::Netlist nl;
+  const auto vdd = nl.node("vdd");
+  const auto in = nl.node("in");
+  const auto out = nl.node("out");
+  const auto pm = proc::ProcessModel::cmos12();
+  nl.add<dev::VSource>("Vdd", vdd, ckt::kGround, 3.0);
+  auto* vin = nl.add<dev::VSource>("Vin", in, ckt::kGround, 0.0);
+  nl.add<dev::Mosfet>("MP", out, in, vdd, vdd, pm.pmos(), 20e-6, 1.2e-6);
+  nl.add<dev::Mosfet>("MN", out, in, ckt::kGround, ckt::kGround,
+                      pm.nmos(), 10e-6, 1.2e-6);
+  const auto sweep = an::dc_sweep(
+      nl, an::linspace(0.0, 3.0, 61),
+      [&](double v) { vin->set_waveform(dev::Waveform::dc(v)); },
+      an::OpOptions{});
+  double prev = 3.0;
+  for (const auto& pt : sweep) {
+    ASSERT_TRUE(pt.op.converged) << "vin=" << pt.value;
+    const double vo = pt.op.v(out);
+    EXPECT_LE(vo, prev + 1e-6);  // monotone falling VTC
+    prev = vo;
+  }
+  EXPECT_GT(sweep.front().op.v(out), 2.9);
+  EXPECT_LT(sweep.back().op.v(out), 0.1);
+}
+
+TEST(OpRobustness, ReportsFailureNotCrashOnOpenCurrentSource) {
+  // A current source driving only a capacitor has no physical DC
+  // solution (the gshunt-regularized voltage is ~1e9 V, far outside any
+  // reachable range).  The contract is graceful failure: converged =
+  // false, no crash, no exception.
+  ckt::Netlist nl;
+  const auto a = nl.node("a");
+  nl.add<dev::ISource>("I1", ckt::kGround, a, 1e-3);
+  nl.add<dev::Capacitor>("C1", a, ckt::kGround, 1e-9);
+  const auto op = an::solve_op(nl);
+  EXPECT_FALSE(op.converged);
+  // And adding a sane DC path fixes it.
+  nl.add<dev::Resistor>("Rfix", a, ckt::kGround, 1e3);
+  const auto op2 = an::solve_op(nl);
+  ASSERT_TRUE(op2.converged);
+  EXPECT_NEAR(op2.v(a), 1.0, 1e-6);
+}
+
+TEST(OpRobustness, TemperatureExtremes) {
+  // The full bias cell must solve from -40 C to +125 C.
+  ckt::Netlist nl;
+  const auto vdd = nl.node("vdd");
+  const auto vss = nl.node("vss");
+  nl.add<dev::VSource>("Vdd", vdd, ckt::kGround, 1.3);
+  nl.add<dev::VSource>("Vss", vss, ckt::kGround, -1.3);
+  const auto pm = proc::ProcessModel::cmos12();
+  core::BiasCircuit bc =
+      core::build_bias(nl, pm, core::BiasDesign{}, vdd, vss);
+  for (double tc : {-40.0, -20.0, 25.0, 85.0, 125.0}) {
+    an::OpOptions opt;
+    opt.temp_k = num::celsius_to_kelvin(tc);
+    const auto op = an::solve_op(nl, opt);
+    ASSERT_TRUE(op.converged) << tc;
+    EXPECT_GT(bc.i_probe->current(op.x), 5e-6) << tc;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,78 @@
+// Process-model tests: corner behaviour, temperature updates, mismatch
+// statistics, and the derived device parameters.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "process/process.h"
+
+namespace {
+
+using namespace msim;
+using proc::Corner;
+using proc::ProcessModel;
+
+TEST(Process, TypicalParametersAreSane) {
+  const auto pm = ProcessModel::cmos12();
+  EXPECT_NEAR(pm.nmos().vth0, 0.75, 0.01);  // the paper's ~0.7 V process
+  EXPECT_NEAR(pm.pmos().vth0, 0.78, 0.01);
+  EXPECT_GT(pm.nmos().kp, pm.pmos().kp);    // electron vs hole mobility
+  // PMOS flicker much lower than NMOS (why the inputs are PMOS).
+  EXPECT_LT(pm.pmos().kf, 0.2 * pm.nmos().kf);
+}
+
+TEST(Process, CornersShiftThresholdAndCurrentFactor) {
+  const auto tt = ProcessModel::cmos12(Corner::kTT);
+  const auto ss = ProcessModel::cmos12(Corner::kSS);
+  const auto ff = ProcessModel::cmos12(Corner::kFF);
+  EXPECT_GT(ss.nmos().vth0, tt.nmos().vth0);
+  EXPECT_LT(ff.nmos().vth0, tt.nmos().vth0);
+  EXPECT_LT(ss.nmos().kp, tt.nmos().kp);
+  EXPECT_GT(ff.nmos().kp, tt.nmos().kp);
+}
+
+TEST(Process, CrossCornersAreMixed) {
+  const auto sf = ProcessModel::cmos12(Corner::kSF);
+  const auto tt = ProcessModel::cmos12(Corner::kTT);
+  EXPECT_GT(sf.nmos().vth0, tt.nmos().vth0);   // slow N
+  EXPECT_LT(sf.pmos().vth0, tt.pmos().vth0);   // fast P
+}
+
+TEST(Process, VerticalPnpAreaScalesIs) {
+  const auto pm = ProcessModel::cmos12();
+  const auto q1 = pm.vertical_pnp(1.0);
+  const auto q8 = pm.vertical_pnp(8.0);
+  EXPECT_DOUBLE_EQ(q8.area, 8.0 * q1.area);
+  EXPECT_EQ(q1.polarity, dev::BjtPolarity::kPnp);
+}
+
+TEST(Process, MismatchIsZeroMeanWithPelgromSigma) {
+  const auto pm = ProcessModel::cmos12();
+  num::Rng rng(5);
+  const double w = 100e-6, l = 2e-6;
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 8000;
+  for (int i = 0; i < n; ++i) {
+    const double d = pm.sample_mos_mismatch(rng, true, w, l).dvth;
+    sum += d;
+    sum2 += d * d;
+  }
+  const double mean = sum / n;
+  const double sigma = std::sqrt(sum2 / n - mean * mean);
+  const double expected = pm.avt_n() / std::sqrt(w * l);
+  EXPECT_NEAR(mean, 0.0, expected * 0.05);
+  EXPECT_NEAR(sigma, expected, expected * 0.05);
+}
+
+TEST(Process, ResistorMismatchSigma) {
+  const auto pm = ProcessModel::cmos12();
+  num::Rng rng(6);
+  double sum2 = 0.0;
+  const int n = 8000;
+  for (int i = 0; i < n; ++i)
+    sum2 += std::pow(pm.sample_resistor_mismatch(rng), 2);
+  EXPECT_NEAR(std::sqrt(sum2 / n), pm.sigma_r_unit(),
+              pm.sigma_r_unit() * 0.05);
+}
+
+}  // namespace

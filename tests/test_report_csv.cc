@@ -1,0 +1,83 @@
+// Tests for the OP report renderer and the CSV exporter.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "analysis/op.h"
+#include "analysis/op_report.h"
+#include "circuit/netlist.h"
+#include "devices/bjt.h"
+#include "devices/mosfet.h"
+#include "devices/passive.h"
+#include "devices/sources.h"
+#include "process/process.h"
+#include "signal/csv.h"
+
+namespace {
+
+using namespace msim;
+
+TEST(OpReport, ListsNodesDevicesAndRegions) {
+  ckt::Netlist nl;
+  const auto vdd = nl.node("vdd");
+  const auto g = nl.node("g");
+  const auto d = nl.node("d");
+  const auto e = nl.node("e");
+  const auto pm = proc::ProcessModel::cmos12();
+  nl.add<dev::VSource>("Vdd", vdd, ckt::kGround, 3.0);
+  nl.add<dev::VSource>("Vg", g, ckt::kGround, 1.0);
+  nl.add<dev::Resistor>("RL", vdd, d, 10e3);
+  nl.add<dev::Mosfet>("M1", d, g, ckt::kGround, ckt::kGround, pm.nmos(),
+                      50e-6, 2e-6);
+  nl.add<dev::Bjt>("Q1", ckt::kGround, ckt::kGround, e,
+                   pm.vertical_pnp());
+  nl.add<dev::ISource>("Ie", ckt::kGround, e, 10e-6);
+  const auto op = an::solve_op(nl);
+  ASSERT_TRUE(op.converged);
+  const std::string rep = an::op_report(nl, op);
+  EXPECT_NE(rep.find("node voltages:"), std::string::npos);
+  EXPECT_NE(rep.find("M1"), std::string::npos);
+  EXPECT_NE(rep.find("sat"), std::string::npos);
+  EXPECT_NE(rep.find("Q1"), std::string::npos);
+  EXPECT_NE(rep.find("Vdd"), std::string::npos);
+  // Engineering notation shows up (uA-scale drain current).
+  EXPECT_NE(rep.find("uA"), std::string::npos);
+}
+
+TEST(Csv, RendersHeaderAndRows) {
+  sig::CsvTable t;
+  t.columns = {"x", "y"};
+  t.add_row({1.0, 2.5});
+  t.add_row({2.0, -3.125e-9});
+  const std::string s = sig::to_csv(t);
+  EXPECT_EQ(s, "x,y\n1,2.5\n2,-3.125e-09\n");
+}
+
+TEST(Csv, WritesFileRoundTrip) {
+  sig::CsvTable t;
+  t.columns = {"f", "mag"};
+  for (int i = 1; i <= 5; ++i)
+    t.add_row({double(i) * 10.0, 1.0 / i});
+  const std::string path = "/tmp/msim_csv_test.csv";
+  sig::write_csv(path, t);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "f,mag");
+  int lines = 0;
+  std::string line;
+  while (std::getline(in, line)) ++lines;
+  EXPECT_EQ(lines, 5);
+  std::remove(path.c_str());
+}
+
+TEST(Csv, ThrowsOnBadPath) {
+  sig::CsvTable t;
+  t.columns = {"a"};
+  EXPECT_THROW(sig::write_csv("/nonexistent_dir_xyz/file.csv", t),
+               std::runtime_error);
+}
+
+}  // namespace

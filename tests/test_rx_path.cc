@@ -1,0 +1,114 @@
+// Receive-path integration at transistor level (Fig. 1, bottom half):
+// bandgap reference -> string DAC -> programmable attenuator -> class-AB
+// buffer into the 50 ohm earpiece.  Plus the resistor excess-noise model
+// used by the poly strings.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/ac.h"
+#include "analysis/noise.h"
+#include "analysis/op.h"
+#include "circuit/netlist.h"
+#include "core/bandgap.h"
+#include "core/class_ab_driver.h"
+#include "core/rx_attenuator.h"
+#include "core/string_dac.h"
+#include "devices/passive.h"
+#include "devices/sources.h"
+
+namespace {
+
+using namespace msim;
+
+TEST(RxPath, DacToAttenuatorToBufferAtTransistorLevel) {
+  ckt::Netlist nl;
+  const auto vdd = nl.node("vdd");
+  const auto vss = nl.node("vss");
+  nl.add<dev::VSource>("Vdd", vdd, ckt::kGround, 1.5);
+  nl.add<dev::VSource>("Vss", vss, ckt::kGround, -1.5);
+  const auto pm = proc::ProcessModel::cmos12();
+
+  // Reference and DAC (high-impedance string so it doesn't load the
+  // bandgap; silicon would buffer).
+  const auto bg = core::build_bandgap(nl, pm, {}, vdd, vss, ckt::kGround);
+  core::StringDacDesign dd;
+  dd.bits = 5;
+  dd.r_unit = 20e3;
+  auto dac = core::build_string_dac(nl, pm, dd, bg.vref_p, bg.vref_n);
+
+  // Attenuator between DAC and buffer.
+  auto att = core::build_rx_attenuator(nl, pm, {}, dac.outp, dac.outn);
+
+  // Buffer as a unity inverting amplifier driving the earpiece.
+  const auto fb_p = nl.node("fb_p");
+  const auto fb_n = nl.node("fb_n");
+  const auto drv = core::build_class_ab_driver(nl, pm, {}, vdd, vss,
+                                               ckt::kGround, fb_p, fb_n);
+  nl.add<dev::Resistor>("Ra1", att.outp, fb_n, 100e3);
+  nl.add<dev::Resistor>("Rf1", drv.outp, fb_n, 100e3);
+  nl.add<dev::Resistor>("Ra2", att.outn, fb_p, 100e3);
+  nl.add<dev::Resistor>("Rf2", drv.outn, fb_p, 100e3);
+  nl.add<dev::Resistor>("RL", drv.outp, drv.outn, 50.0);
+
+  // Sweep DAC codes at 0 dB attenuation: the earpiece voltage must
+  // track the (inverted) DAC staircase.
+  att.set_code(0);
+  for (int code : {4, 16, 27}) {
+    dac.set_code(code);
+    const auto op = an::solve_op(nl);
+    ASSERT_TRUE(op.converged) << "code " << code;
+    const double v_dac = op.v(dac.outp) - op.v(dac.outn);
+    const double v_ear = op.v(drv.outp) - op.v(drv.outn);
+    EXPECT_NEAR(v_ear, -v_dac, 0.04) << "code " << code;
+  }
+
+  // 12 dB attenuation: the same code lands 4x lower at the earpiece.
+  dac.set_code(27);
+  att.set_code(2);
+  const auto op = an::solve_op(nl);
+  ASSERT_TRUE(op.converged);
+  dac.set_code(27);
+  const double v_dac = op.v(dac.outp) - op.v(dac.outn);
+  const double v_ear = op.v(drv.outp) - op.v(drv.outn);
+  EXPECT_NEAR(v_ear, -v_dac / 3.98, 0.02);
+}
+
+TEST(ResistorExcessNoise, OneOverFUnderBiasOnlyWhenEnabled) {
+  auto run = [](double kf) {
+    ckt::Netlist nl;
+    const auto a = nl.node("a");
+    const auto b = nl.node("b");
+    nl.add<dev::VSource>("V1", a, ckt::kGround, 2.0);
+    auto* r1 = nl.add<dev::Resistor>("R1", a, b, 10e3);
+    nl.add<dev::Resistor>("R2", b, ckt::kGround, 10e3);
+    r1->set_excess_noise_kf(kf);
+    EXPECT_TRUE(an::solve_op(nl).converged);
+    an::NoiseOptions opt;
+    opt.out_p = b;
+    const auto res = an::run_noise(nl, {10.0, 1e3}, opt);
+    return std::make_pair(res.points[0].s_out, res.points[1].s_out);
+  };
+  const auto [lo0, hi0] = run(0.0);
+  EXPECT_NEAR(lo0, hi0, lo0 * 1e-9);  // pure thermal: flat
+  const auto [lo1, hi1] = run(1e-11);
+  EXPECT_GT(lo1, 10.0 * lo0);         // excess noise dominates at 10 Hz
+  // 1/f slope: 100x frequency -> ~100x less excess PSD.
+  EXPECT_NEAR((lo1 - lo0) / (hi1 - hi0), 100.0, 5.0);
+}
+
+TEST(ResistorExcessNoise, SilentWithoutDcBias) {
+  ckt::Netlist nl;
+  const auto a = nl.node("a");
+  auto* r1 = nl.add<dev::Resistor>("R1", a, ckt::kGround, 10e3);
+  r1->set_excess_noise_kf(1e-11);
+  ASSERT_TRUE(an::solve_op(nl).converged);
+  an::NoiseOptions opt;
+  opt.out_p = a;
+  const auto res = an::run_noise(nl, {10.0, 10e3}, opt);
+  // No DC current -> thermal only -> flat.
+  EXPECT_NEAR(res.points[0].s_out, res.points[1].s_out,
+              res.points[0].s_out * 1e-9);
+}
+
+}  // namespace

@@ -1,0 +1,121 @@
+// Signal-processing tests: FFT correctness, Goertzel vs FFT, THD of a
+// synthesized waveform, psophometric weighting anchors.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "signal/fft.h"
+#include "signal/meter.h"
+#include "signal/psophometric.h"
+
+namespace {
+
+using namespace msim::sig;
+
+TEST(Fft, DeltaHasFlatSpectrum) {
+  std::vector<std::complex<double>> x(16, {0.0, 0.0});
+  x[0] = 1.0;
+  fft_inplace(x);
+  for (const auto& v : x) EXPECT_NEAR(std::abs(v), 1.0, 1e-12);
+}
+
+TEST(Fft, RoundTrip) {
+  std::vector<std::complex<double>> x;
+  for (int i = 0; i < 64; ++i)
+    x.push_back({std::sin(0.3 * i), std::cos(0.1 * i)});
+  auto y = x;
+  fft_inplace(y);
+  fft_inplace(y, /*inverse=*/true);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_LT(std::abs(y[i] - x[i]), 1e-12);
+}
+
+TEST(Fft, SineLandsInCorrectBin) {
+  const std::size_t n = 1024;
+  const double dt = 1.0 / 1024.0;  // 1 s capture -> 1 Hz bins
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i)
+    x[i] = 3.0 * std::sin(2.0 * M_PI * 50.0 * i * dt);
+  const auto s = amplitude_spectrum(x, dt);
+  // Bin 50 holds amplitude 3.
+  EXPECT_NEAR(s[50].amplitude, 3.0, 1e-9);
+  EXPECT_NEAR(s[50].freq_hz, 50.0, 1e-9);
+  EXPECT_LT(s[49].amplitude, 1e-9);
+}
+
+TEST(Fft, NextPow2) {
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(1000), 1024u);
+  EXPECT_EQ(next_pow2(1024), 1024u);
+}
+
+TEST(Goertzel, MatchesKnownAmplitudeAndPhase) {
+  const double dt = 1e-5, f = 1e3;
+  std::vector<double> x;
+  for (int i = 0; i < 2000; ++i)  // 20 cycles
+    x.push_back(0.7 * std::sin(2.0 * M_PI * f * i * dt));
+  const auto g = goertzel(x, dt, f);
+  EXPECT_NEAR(std::abs(g), 0.7, 1e-6);
+}
+
+TEST(Harmonics, ThdOfTwoToneWaveform) {
+  // 1.0 fundamental + 0.01 of 2nd + 0.005 of 3rd -> THD = sqrt(1e-4+2.5e-5).
+  const double dt = 1e-5, f0 = 1e3;
+  std::vector<double> x;
+  for (int i = 0; i < 10000; ++i) {
+    const double t = i * dt;
+    x.push_back(std::sin(2.0 * M_PI * f0 * t) +
+                0.01 * std::sin(2.0 * M_PI * 2.0 * f0 * t) +
+                0.005 * std::sin(2.0 * M_PI * 3.0 * f0 * t));
+  }
+  const auto h = measure_harmonics(x, dt, f0);
+  EXPECT_NEAR(h.fundamental_amp, 1.0, 1e-6);
+  EXPECT_NEAR(h.thd, std::sqrt(1e-4 + 2.5e-5), 1e-6);
+  EXPECT_NEAR(h.thd_db, 20.0 * std::log10(h.thd), 1e-9);
+}
+
+TEST(Harmonics, PureSineHasNegligibleThd) {
+  const double dt = 1e-5, f0 = 1e3;
+  std::vector<double> x;
+  for (int i = 0; i < 10000; ++i)
+    x.push_back(std::sin(2.0 * M_PI * f0 * i * dt));
+  const auto h = measure_harmonics(x, dt, f0);
+  EXPECT_LT(h.thd, 1e-9);
+}
+
+TEST(Psophometric, ReferencePointsFromO41Table) {
+  EXPECT_NEAR(psophometric_weight_db(800.0), 0.0, 1e-9);
+  EXPECT_NEAR(psophometric_weight_db(1000.0), 1.0, 1e-9);
+  EXPECT_NEAR(psophometric_weight_db(50.0), -63.0, 1e-9);
+  EXPECT_NEAR(psophometric_weight_db(3000.0), -5.6, 1e-9);
+  // Out-of-table clamps.
+  EXPECT_NEAR(psophometric_weight_db(10.0), -85.0, 1e-9);
+}
+
+TEST(Psophometric, WeightedPowerIsLessThanUnweighted) {
+  auto flat = [](double) { return 1e-16; };
+  const double weighted = weighted_noise_power(flat, 300.0, 3400.0);
+  const double unweighted = 1e-16 * (3400.0 - 300.0);
+  EXPECT_LT(weighted, unweighted);
+  EXPECT_GT(weighted, 0.2 * unweighted);  // voice band mostly passes
+}
+
+TEST(Psophometric, SnrAnchorMatchesHandCalc) {
+  // Flat 5.1 nV/rtHz noise, gain-100 amplified 0.6 Vrms signal at the
+  // output -> psophometric S/N should beat the 86.5 dB spec (weighting
+  // removes band edges; the flat-integration value is the spec floor).
+  auto psd = [](double) { return 5.1e-9 * 5.1e-9 * 100.0 * 100.0; };
+  const double snr = weighted_snr_db(0.6, psd, 300.0, 3400.0);
+  EXPECT_GT(snr, 86.5);
+  EXPECT_LT(snr, 92.0);
+}
+
+TEST(Meter, RmsAndMean) {
+  std::vector<double> x{1.0, -1.0, 1.0, -1.0};
+  EXPECT_DOUBLE_EQ(mean(x), 0.0);
+  EXPECT_DOUBLE_EQ(rms(x), 1.0);
+  std::vector<double> y{2.0, 2.0};
+  EXPECT_DOUBLE_EQ(rms_ac(y), 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,340 @@
+// SPICE-format parser/writer tests: value suffixes, element cards,
+// waveforms, models, subcircuit flattening, analysis directives, writer
+// round-trip and error reporting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/ac.h"
+#include "analysis/op.h"
+#include "analysis/transient.h"
+#include "devices/mosfet.h"
+#include "devices/passive.h"
+#include "devices/sources.h"
+#include "spicefmt/parser.h"
+#include "spicefmt/writer.h"
+
+namespace {
+
+using namespace msim;
+using spice::parse_netlist;
+using spice::parse_value;
+
+TEST(SpiceValue, SiSuffixes) {
+  EXPECT_DOUBLE_EQ(parse_value("1k"), 1e3);
+  EXPECT_DOUBLE_EQ(parse_value("2.2u"), 2.2e-6);
+  EXPECT_DOUBLE_EQ(parse_value("5meg"), 5e6);
+  EXPECT_DOUBLE_EQ(parse_value("10m"), 10e-3);
+  EXPECT_DOUBLE_EQ(parse_value("100n"), 100e-9);
+  EXPECT_DOUBLE_EQ(parse_value("3p"), 3e-12);
+  EXPECT_DOUBLE_EQ(parse_value("1.5f"), 1.5e-15);
+  EXPECT_DOUBLE_EQ(parse_value("2g"), 2e9);
+  EXPECT_DOUBLE_EQ(parse_value("-0.7"), -0.7);
+  EXPECT_DOUBLE_EQ(parse_value("1e-3"), 1e-3);
+  EXPECT_DOUBLE_EQ(parse_value("5v"), 5.0);  // unit tail tolerated
+  EXPECT_THROW(parse_value("abc"), std::runtime_error);
+}
+
+TEST(SpiceParser, DividerOperatingPoint) {
+  const char* src = R"(divider test
+v1 in 0 dc 10
+r1 in mid 6k
+r2 mid 0 4k
+.op
+.end
+)";
+  auto r = parse_netlist(src);
+  EXPECT_EQ(r.title, "divider test");
+  ASSERT_EQ(r.directives.size(), 1u);
+  EXPECT_EQ(r.directives[0].kind, "op");
+  const auto op = an::solve_op(*r.netlist);
+  ASSERT_TRUE(op.converged);
+  EXPECT_NEAR(op.v(*r.netlist, "mid"), 4.0, 1e-6);
+}
+
+TEST(SpiceParser, ContinuationAndComments) {
+  const char* src = R"(title
+* a comment card
+v1 in 0
++ dc 5 ; trailing comment
+r1 in 0 1k
+.end
+)";
+  auto r = parse_netlist(src);
+  auto* v1 = r.netlist->find_as<dev::VSource>("v1");
+  ASSERT_NE(v1, nullptr);
+  EXPECT_DOUBLE_EQ(v1->waveform().dc_value(), 5.0);
+}
+
+TEST(SpiceParser, SinSourceTransient) {
+  const char* src = R"(sine into rc
+v1 in 0 sin(0 1 1k)
+r1 in out 1k
+c1 out 0 100n
+.tran 1u 2m
+.end
+)";
+  auto r = parse_netlist(src);
+  ASSERT_EQ(r.directives.size(), 1u);
+  EXPECT_EQ(r.directives[0].kind, "tran");
+  an::TranOptions t;
+  t.t_stop = 2e-3;
+  t.dt = 2e-6;
+  const auto res = an::run_transient(*r.netlist, t);
+  ASSERT_TRUE(res.ok);
+  const auto out = r.netlist->node("out");
+  double vmax = 0.0;
+  for (const auto& x : res.x)
+    vmax = std::max(vmax, x[static_cast<std::size_t>(out) - 1]);
+  // One pole at 1.59 kHz: the 1 kHz sine passes mostly unattenuated.
+  EXPECT_GT(vmax, 0.7);
+  EXPECT_LT(vmax, 1.0);
+}
+
+TEST(SpiceParser, AcSourceAndControlledSources) {
+  const char* src = R"(vcvs chain
+vin a 0 dc 0 ac 1
+e1 b 0 a 0 4
+g1 0 c b 0 1m
+rl c 0 2k
+.end
+)";
+  auto r = parse_netlist(src);
+  ASSERT_TRUE(an::solve_op(*r.netlist).converged);
+  const auto ac = an::run_ac(*r.netlist, {1e3});
+  const auto c = r.netlist->node("c");
+  // |v(c)| = 4 * 1mS * 2k = 8 (g injects into c with p=0).
+  EXPECT_NEAR(std::abs(ac.v(0, c)), 8.0, 1e-6);
+}
+
+TEST(SpiceParser, MosfetModelCard) {
+  const char* src = R"(common source
+.model mynmos nmos vto=0.75 kp=80u lambda=0.03 gamma=0.8 phi=0.7
+vdd vdd 0 3
+vg g 0 1.0
+rl vdd d 10k
+m1 d g 0 0 mynmos w=100u l=2u
+.end
+)";
+  auto r = parse_netlist(src);
+  auto* m = r.netlist->find_as<dev::Mosfet>("m1");
+  ASSERT_NE(m, nullptr);
+  EXPECT_DOUBLE_EQ(m->width(), 100e-6);
+  EXPECT_DOUBLE_EQ(m->params().vth0, 0.75);
+  const auto op = an::solve_op(*r.netlist);
+  ASSERT_TRUE(op.converged);
+  EXPECT_TRUE(m->op().saturated);
+  EXPECT_GT(m->op().id, 10e-6);
+}
+
+TEST(SpiceParser, BjtAndDiodeModels) {
+  const char* src = R"(junctions
+.model qp pnp is=2e-17 bf=12
+.model d1n d is=1e-15 n=1.0
+i1 0 e 10u
+q1 0 0 e qp area=8
+i2 0 a 1u
+d1 a 0 d1n
+.end
+)";
+  auto r = parse_netlist(src);
+  const auto op = an::solve_op(*r.netlist);
+  ASSERT_TRUE(op.converged);
+  // Diode-connected PNP at 10 uA with 8x area: Vbe ~ 0.6 V.
+  EXPECT_GT(op.v(*r.netlist, "e"), 0.5);
+  EXPECT_LT(op.v(*r.netlist, "e"), 0.75);
+  EXPECT_GT(op.v(*r.netlist, "a"), 0.4);
+}
+
+TEST(SpiceParser, CurrentControlledSources) {
+  const char* src = R"(cccs forward reference
+f1 0 out vsense 2
+rl out 0 1k
+vsense a 0 dc 1
+rs a 0 1k
+.end
+)";
+  auto r = parse_netlist(src);
+  const auto op = an::solve_op(*r.netlist);
+  ASSERT_TRUE(op.converged);
+  // i(vsense) = -1 mA; F injects 2*i from 0 into out.
+  EXPECT_NEAR(op.v(*r.netlist, "out"), -2.0, 1e-6);
+}
+
+TEST(SpiceParser, SubcktFlattening) {
+  const char* src = R"(hierarchy
+.subckt divider top bot mid
+r1 top mid 1k
+r2 mid bot 1k
+.ends
+v1 in 0 dc 8
+xa in 0 m1 divider
+xb m1 0 m2 divider
+.end
+)";
+  auto r = parse_netlist(src);
+  const auto op = an::solve_op(*r.netlist);
+  ASSERT_TRUE(op.converged);
+  // xa divides 8 V; its lower half is loaded by xb (2k to ground):
+  // m1 = 8 * (1k||2k) / (1k + (1k||2k)) = 8 * 0.667k/1.667k = 3.2 V.
+  EXPECT_NEAR(op.v(*r.netlist, "m1"), 3.2, 1e-3);
+  EXPECT_NEAR(op.v(*r.netlist, "m2"), 1.6, 1e-3);
+  // Internal devices got prefixed names.
+  EXPECT_NE(r.netlist->find("xa.r1"), nullptr);
+  EXPECT_NE(r.netlist->find("xb.r2"), nullptr);
+}
+
+TEST(SpiceParser, NestedSubckt) {
+  const char* src = R"(nested
+.subckt unit a b
+r1 a b 1k
+.ends
+.subckt pair x y
+xu1 x m unit
+xu2 m y unit
+.ends
+v1 in 0 dc 2
+xp in 0 pair
+.end
+)";
+  auto r = parse_netlist(src);
+  const auto op = an::solve_op(*r.netlist);
+  ASSERT_TRUE(op.converged);
+  EXPECT_NEAR(op.v(*r.netlist, "xp.m"), 1.0, 1e-6);
+}
+
+TEST(SpiceParser, SwitchCard) {
+  const char* src = R"(switch
+.model s1m sw ron=100 roff=1e12
+v1 in 0 dc 1
+s1 in out s1m on
+rl out 0 900
+.end
+)";
+  auto r = parse_netlist(src);
+  const auto op = an::solve_op(*r.netlist);
+  ASSERT_TRUE(op.converged);
+  EXPECT_NEAR(op.v(*r.netlist, "out"), 0.9, 1e-6);
+}
+
+TEST(SpiceParser, TempDirective) {
+  const char* src = R"(temp
+.temp 85
+r1 a 0 1k
+v1 a 0 1
+.end
+)";
+  auto r = parse_netlist(src);
+  EXPECT_DOUBLE_EQ(r.temp_c, 85.0);
+}
+
+TEST(SpiceParser, ErrorsCarryLineNumbers) {
+  const char* bad = "title\nr1 a 0\n.end\n";  // missing value
+  try {
+    parse_netlist(bad);
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+  EXPECT_THROW(parse_netlist("t\nz1 a 0 1k\n"), std::runtime_error);
+  EXPECT_THROW(parse_netlist("t\nm1 d g s b nomodel w=1u l=1u\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_netlist("t\n.subckt foo a\nr1 a 0 1\n"),
+               std::runtime_error);  // missing .ends
+}
+
+TEST(SpiceWriter, RoundTripPreservesBehaviour) {
+  const char* src = R"(round trip
+.model mn nmos vto=0.75 kp=80u
+vdd vdd 0 3
+vg g 0 dc 1 ac 1
+rl vdd d 10k
+m1 d g 0 0 mn w=100u l=2u
+c1 d 0 1p
+.end
+)";
+  auto r1 = parse_netlist(src);
+  ASSERT_TRUE(an::solve_op(*r1.netlist).converged);
+  const auto d1 = r1.netlist->node("d");
+  const auto ac1 = an::run_ac(*r1.netlist, {1e3});
+  const double g1 = std::abs(ac1.v(0, d1));
+
+  // Serialize and re-parse.
+  const std::string text = spice::write_netlist(*r1.netlist, "rt");
+  auto r2 = parse_netlist(text);
+  ASSERT_TRUE(an::solve_op(*r2.netlist).converged);
+  const auto d2 = r2.netlist->node("d");
+  const auto ac2 = an::run_ac(*r2.netlist, {1e3});
+  EXPECT_NEAR(std::abs(ac2.v(0, d2)), g1, g1 * 1e-6);
+}
+
+}  // namespace
+
+// --- .param and {expression} support (appended suite) ---------------------
+namespace {
+
+using msim::spice::parse_netlist;
+
+TEST(SpiceParams, ParamAndExpressions) {
+  const char* src = R"(params
+.param rbase 1k gain 4
+v1 in 0 dc {gain * 0.5}
+r1 in mid {rbase * 2}
+r2 mid 0 {rbase + rbase}
+.end
+)";
+  auto r = parse_netlist(src);
+  const auto op = msim::an::solve_op(*r.netlist);
+  ASSERT_TRUE(op.converged);
+  // 2 V through equal 2k/2k divider -> 1 V.
+  EXPECT_NEAR(op.v(*r.netlist, "mid"), 1.0, 1e-6);
+}
+
+TEST(SpiceParams, NestedParamReferences) {
+  const char* src = R"(nested params
+.param a 2 b {a * 3} c {(a + b) / 4}
+v1 x 0 dc {c}
+r1 x 0 1k
+.end
+)";
+  auto r = parse_netlist(src);
+  const auto op = msim::an::solve_op(*r.netlist);
+  ASSERT_TRUE(op.converged);
+  EXPECT_NEAR(op.v(*r.netlist, "x"), 2.0, 1e-9);  // (2+6)/4
+}
+
+TEST(SpiceParams, ExpressionsInDeviceKeywords) {
+  const char* src = R"(kw expr
+.param wbase 10u
+.model mn nmos vto=0.75 kp=80u
+vdd vdd 0 3
+vg g 0 1.2
+m1 vdd g 0 0 mn w={wbase * 4} l={wbase / 5}
+.end
+)";
+  auto r = parse_netlist(src);
+  auto* m = r.netlist->find_as<msim::dev::Mosfet>("m1");
+  ASSERT_NE(m, nullptr);
+  EXPECT_NEAR(m->width(), 40e-6, 1e-12);
+  EXPECT_NEAR(m->length(), 2e-6, 1e-12);
+}
+
+TEST(SpiceParams, ErrorsOnUnknownParam) {
+  EXPECT_THROW(parse_netlist("t\nr1 a 0 {nope}\n"), std::runtime_error);
+  EXPECT_THROW(parse_netlist("t\nr1 a 0 {1 +}\n"), std::runtime_error);
+}
+
+TEST(SpiceParams, SiSuffixInsideExpression) {
+  const char* src = R"(suffix
+.param r0 2.2k
+v1 a 0 dc 1
+r1 a 0 {r0 / 2.2}
+.end
+)";
+  auto r = parse_netlist(src);
+  auto* res = r.netlist->find_as<msim::dev::Resistor>("r1");
+  ASSERT_NE(res, nullptr);
+  EXPECT_NEAR(res->resistance(), 1000.0, 1e-9);
+}
+
+}  // namespace

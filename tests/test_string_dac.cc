@@ -1,0 +1,145 @@
+// Resistor-string DAC tests: static linearity, inherent monotonicity
+// under mismatch, complementary differential output, and integration
+// with the bandgap reference.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/op.h"
+#include "circuit/netlist.h"
+#include "core/bandgap.h"
+#include "core/string_dac.h"
+#include "devices/sources.h"
+#include "numeric/rng.h"
+
+namespace {
+
+using namespace msim;
+
+struct Rig {
+  ckt::Netlist nl;
+  core::StringDac dac;
+};
+
+std::unique_ptr<Rig> make_rig(int bits = 6) {
+  auto r = std::make_unique<Rig>();
+  const auto rp = r->nl.node("refp");
+  const auto rn = r->nl.node("refn");
+  r->nl.add<dev::VSource>("Vrp", rp, ckt::kGround, 0.6);
+  r->nl.add<dev::VSource>("Vrn", rn, ckt::kGround, -0.6);
+  const auto pm = proc::ProcessModel::cmos12();
+  core::StringDacDesign d;
+  d.bits = bits;
+  r->dac = core::build_string_dac(r->nl, pm, d, rp, rn);
+  return r;
+}
+
+double out_at(Rig& r, int code) {
+  r.dac.set_code(code);
+  const auto op = an::solve_op(r.nl);
+  EXPECT_TRUE(op.converged);
+  return op.v(r.dac.outp) - op.v(r.dac.outn);
+}
+
+TEST(StringDac, TransferMatchesIdealStaircase) {
+  auto r = make_rig(5);
+  for (int code = 0; code < r->dac.levels(); code += 3) {
+    const double v = out_at(*r, code);
+    const double ideal = core::StringDac::ideal_out(code, 5, 1.2);
+    EXPECT_NEAR(v, ideal, 1e-6) << "code " << code;
+  }
+}
+
+TEST(StringDac, ComplementaryOutputIsSymmetric) {
+  auto r = make_rig(6);
+  const int n = r->dac.levels();
+  for (int code : {0, 7, 25}) {
+    const double v1 = out_at(*r, code);
+    const double v2 = out_at(*r, n - 1 - code);
+    EXPECT_NEAR(v1, -v2, 1e-9);
+  }
+}
+
+TEST(StringDac, EndpointsSpanTheReference) {
+  auto r = make_rig(6);
+  const int n = r->dac.levels();
+  const double lo = out_at(*r, 0);
+  const double hi = out_at(*r, n - 1);
+  EXPECT_NEAR(hi, 1.2 * double(n - 1) / n, 1e-6);
+  EXPECT_NEAR(lo, -1.2 * double(n - 1) / n, 1e-6);
+}
+
+TEST(StringDac, MonotonicUnderMismatch) {
+  // The defining property of a string DAC: mismatch bends the transfer
+  // curve (INL) but can never reverse a step (DNL > -1 LSB guaranteed).
+  const auto pm = proc::ProcessModel::cmos12();
+  num::Rng rng(31);
+  for (int trial = 0; trial < 3; ++trial) {
+    auto r = make_rig(5);
+    num::Rng srng = rng.fork();
+    for (auto* seg : r->dac.segments)
+      seg->apply_relative_error(10.0 *
+                                pm.sample_resistor_mismatch(srng));
+    double prev = -1e9;
+    for (int code = 0; code < r->dac.levels(); ++code) {
+      const double v = out_at(*r, code);
+      EXPECT_GT(v, prev) << "code " << code;
+      prev = v;
+    }
+  }
+}
+
+TEST(StringDac, InlScalesWithMismatch) {
+  const auto pm = proc::ProcessModel::cmos12();
+  auto worst_inl = [&](double scale, unsigned seed) {
+    auto r = make_rig(5);
+    num::Rng rng(seed);
+    for (auto* seg : r->dac.segments)
+      seg->apply_relative_error(scale *
+                                pm.sample_resistor_mismatch(rng));
+    const double lsb = 1.2 / r->dac.levels();
+    double worst = 0.0;
+    for (int code = 0; code < r->dac.levels(); code += 2) {
+      const double v = out_at(*r, code);
+      const double ideal = core::StringDac::ideal_out(code, 5, 1.2);
+      worst = std::max(worst, std::abs(v - ideal) / lsb);
+    }
+    return worst;
+  };
+  const double small = worst_inl(1.0, 77);
+  const double big = worst_inl(20.0, 77);
+  EXPECT_GT(big, 5.0 * small);
+  EXPECT_LT(small, 0.1);  // matched units: far below 1 LSB
+}
+
+TEST(StringDac, RunsFromTheBandgapReference) {
+  // Full Fig-1 wiring: the DAC string hangs between the bandgap's
+  // +-0.6 V outputs.
+  ckt::Netlist nl;
+  const auto vdd = nl.node("vdd");
+  const auto vss = nl.node("vss");
+  nl.add<dev::VSource>("Vdd", vdd, ckt::kGround, 1.3);
+  nl.add<dev::VSource>("Vss", vss, ckt::kGround, -1.3);
+  const auto pm = proc::ProcessModel::cmos12();
+  // Raise the DAC impedance so the string's load does not disturb the
+  // reference outputs (buffering would be used on silicon).
+  const auto bg = core::build_bandgap(nl, pm, {}, vdd, vss, ckt::kGround);
+  core::StringDacDesign dd;
+  dd.bits = 4;
+  dd.r_unit = 50e3;
+  auto dac = core::build_string_dac(nl, pm, dd, bg.vref_p, bg.vref_n);
+  dac.set_code(12);
+  const auto op = an::solve_op(nl);
+  ASSERT_TRUE(op.converged);
+  const double span = op.v(bg.vref_p) - op.v(bg.vref_n);
+  const double expected = core::StringDac::ideal_out(12, 4, span);
+  EXPECT_NEAR(op.v(dac.outp) - op.v(dac.outn), expected, 0.01);
+}
+
+TEST(StringDac, RejectsBadCode) {
+  auto r = make_rig(4);
+  EXPECT_THROW(r->dac.set_code(-1), std::out_of_range);
+  EXPECT_THROW(r->dac.set_code(16), std::out_of_range);
+}
+
+}  // namespace

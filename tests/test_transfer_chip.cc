@@ -1,0 +1,120 @@
+// Transfer-function (.tf) analysis and full-chip assembly tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/ac.h"
+#include "analysis/op.h"
+#include "analysis/transfer.h"
+#include "circuit/netlist.h"
+#include "core/chip.h"
+#include "devices/mosfet.h"
+#include "devices/passive.h"
+#include "devices/sources.h"
+#include "process/process.h"
+
+namespace {
+
+using namespace msim;
+
+TEST(Transfer, DividerGainAndResistances) {
+  ckt::Netlist nl;
+  const auto in = nl.node("in");
+  const auto mid = nl.node("mid");
+  nl.add<dev::VSource>("V1", in, ckt::kGround, 10.0);
+  nl.add<dev::Resistor>("R1", in, mid, 6e3);
+  nl.add<dev::Resistor>("R2", mid, ckt::kGround, 4e3);
+  const auto tf = an::run_tf(nl, "V1", mid, ckt::kGround);
+  ASSERT_TRUE(tf.ok);
+  EXPECT_NEAR(tf.gain, 0.4, 1e-6);
+  EXPECT_NEAR(tf.r_in, 10e3, 1.0);
+  EXPECT_NEAR(tf.r_out, 2.4e3, 1.0);  // R1 || R2
+}
+
+TEST(Transfer, CurrentSourceInput) {
+  ckt::Netlist nl;
+  const auto a = nl.node("a");
+  nl.add<dev::ISource>("I1", ckt::kGround, a, 1e-3);
+  nl.add<dev::Resistor>("R1", a, ckt::kGround, 2e3);
+  const auto tf = an::run_tf(nl, "I1", a, ckt::kGround);
+  ASSERT_TRUE(tf.ok);
+  EXPECT_NEAR(tf.gain, 2e3, 1e-3);  // dV/dI = R
+  EXPECT_NEAR(tf.r_in, 2e3, 1e-3);
+}
+
+TEST(Transfer, CommonSourceMatchesAcAtDc) {
+  ckt::Netlist nl;
+  const auto vdd = nl.node("vdd");
+  const auto g = nl.node("g");
+  const auto d = nl.node("d");
+  const auto pm = proc::ProcessModel::cmos12();
+  nl.add<dev::VSource>("Vdd", vdd, ckt::kGround, 3.0);
+  nl.add<dev::VSource>("Vg", g, ckt::kGround,
+                       dev::Waveform::dc(1.0).with_ac(1.0));
+  nl.add<dev::Resistor>("RL", vdd, d, 10e3);
+  nl.add<dev::Mosfet>("M1", d, g, ckt::kGround, ckt::kGround, pm.nmos(),
+                      50e-6, 2e-6);
+  const auto tf = an::run_tf(nl, "Vg", d, ckt::kGround);
+  ASSERT_TRUE(tf.ok);
+  const auto ac = an::run_ac(nl, {1.0});
+  EXPECT_NEAR(std::abs(tf.gain), std::abs(ac.v(0, d)),
+              std::abs(tf.gain) * 1e-6);
+  // Output resistance ~ RL || ro.
+  EXPECT_LT(tf.r_out, 10e3);
+  EXPECT_GT(tf.r_out, 8e3);
+  EXPECT_FALSE(an::run_tf(nl, "nosuch", d, ckt::kGround).ok);
+}
+
+TEST(Chip, FullFrontEndBiasesInOneSolve) {
+  ckt::Netlist nl;
+  const auto vdd = nl.node("vdd");
+  const auto vss = nl.node("vss");
+  const auto inp = nl.node("mic_p");
+  const auto inn = nl.node("mic_n");
+  nl.add<dev::VSource>("Vdd", vdd, ckt::kGround, 1.3);
+  nl.add<dev::VSource>("Vss", vss, ckt::kGround, -1.3);
+  nl.add<dev::VSource>("Vmicp", inp, ckt::kGround,
+                       dev::Waveform::dc(0.0).with_ac(0.5));
+  nl.add<dev::VSource>("Vmicn", inn, ckt::kGround,
+                       dev::Waveform::dc(0.0).with_ac(-0.5));
+  const auto pm = proc::ProcessModel::cmos12();
+  auto chip =
+      core::build_chip(nl, pm, {}, vdd, vss, ckt::kGround, inp, inn);
+
+  const auto op = an::solve_op(nl);
+  ASSERT_TRUE(op.converged) << op.method;
+
+  // Every block at its design point simultaneously.
+  EXPECT_NEAR(chip.bias.i_probe->current(op.x), 20e-6, 4e-6);
+  EXPECT_NEAR(op.v(chip.bandgap.vref_p), 0.6, 0.06);
+  EXPECT_NEAR(op.v(chip.mic.outp), 0.0, 0.05);
+  EXPECT_NEAR(op.v(chip.mod_amp.outp), 0.0, 0.08);
+  EXPECT_NEAR(op.v(chip.driver.outp), 0.0, 0.1);
+  EXPECT_NEAR(chip.mod_amp.supply_probe->current(op.x), 150e-6, 60e-6);
+
+  // Whole-chip power: the paper's low-power brief (single-digit mA).
+  const double i_total =
+      -nl.find_as<dev::VSource>("Vdd")->current(op.x);
+  EXPECT_LT(i_total, 8e-3);
+  EXPECT_GT(i_total, 4e-3);
+
+  // Transmit gain on the assembled chip.
+  chip.mic.set_gain_code(5);
+  ASSERT_TRUE(an::solve_op(nl).converged);
+  const auto ac = an::run_ac(nl, {1e3});
+  EXPECT_NEAR(
+      an::to_db(std::abs(ac.vdiff(0, chip.mic.outp, chip.mic.outn))),
+      40.0, 0.1);
+
+  // Receive: a DAC step reaches the earpiece inverted at unity.
+  chip.dac.set_code(8);
+  chip.rx_atten.set_code(0);
+  const auto op2 = an::solve_op(nl);
+  ASSERT_TRUE(op2.converged);
+  const double v_dac = op2.v(chip.dac.outp) - op2.v(chip.dac.outn);
+  const double v_ear =
+      op2.v(chip.driver.outp) - op2.v(chip.driver.outn);
+  EXPECT_NEAR(v_ear, -v_dac, 0.03);
+}
+
+}  // namespace

@@ -1,0 +1,210 @@
+// msim_cli: run SPICE-format netlists from the command line.
+//
+//   msim_cli circuit.sp [--probe node1,node2,...]
+//
+// Executes the analysis directives found in the file:
+//   .op                          operating point (all node voltages)
+//   .dc <vsrc> <start> <stop> <step>
+//   .ac dec <pts/dec> <fstart> <fstop>
+//   .tran <step> <stop>
+//   .noise <out_node> <input_src> dec <pts/dec> <fstart> <fstop>
+// Sweep results print as CSV on stdout (columns: sweep variable, then
+// the probed nodes; default probes = every named node up to 8).
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analysis/ac.h"
+#include "analysis/noise.h"
+#include "analysis/op.h"
+#include "analysis/op_report.h"
+#include "analysis/sweep.h"
+#include "analysis/transient.h"
+#include "devices/sources.h"
+#include "numeric/units.h"
+#include "spicefmt/parser.h"
+
+using namespace msim;
+
+namespace {
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == ',') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+std::vector<ckt::NodeId> resolve_probes(ckt::Netlist& nl,
+                                        const std::string& probe_arg) {
+  std::vector<ckt::NodeId> probes;
+  if (!probe_arg.empty()) {
+    for (const auto& name : split_csv(probe_arg))
+      probes.push_back(nl.node(name));
+    return probes;
+  }
+  for (int n = 1; n < nl.node_count() && probes.size() < 8; ++n) {
+    const auto& name = nl.node_name(n);
+    if (name.rfind('_', 0) == 0) continue;  // skip internal nodes
+    probes.push_back(n);
+  }
+  return probes;
+}
+
+void print_probe_header(const ckt::Netlist& nl, const char* x_name,
+                        const std::vector<ckt::NodeId>& probes) {
+  std::printf("%s", x_name);
+  for (auto p : probes) std::printf(",v(%s)", nl.node_name(p).c_str());
+  std::printf("\n");
+}
+
+double arg_num(const spice::AnalysisDirective& d, std::size_t i) {
+  if (i >= d.args.size())
+    throw std::runtime_error("missing argument in ." + d.kind);
+  return spice::parse_value(d.args[i]);
+}
+
+int run(const std::string& path, const std::string& probe_arg) {
+  auto parsed = spice::parse_netlist_file(path);
+  auto& nl = *parsed.netlist;
+  const double temp_k = num::celsius_to_kelvin(parsed.temp_c);
+  const auto probes = resolve_probes(nl, probe_arg);
+
+  if (parsed.directives.empty()) {
+    std::fprintf(stderr, "no analysis directives; running .op\n");
+    parsed.directives.push_back({"op", {}});
+  }
+
+  for (const auto& d : parsed.directives) {
+    std::printf("* .%s", d.kind.c_str());
+    for (const auto& a : d.args) std::printf(" %s", a.c_str());
+    std::printf("  (T = %.1f C)\n", parsed.temp_c);
+
+    an::OpOptions op_opt;
+    op_opt.temp_k = temp_k;
+
+    if (d.kind == "op") {
+      const auto op = an::solve_op(nl, op_opt);
+      if (!op.converged) {
+        std::fprintf(stderr, "operating point did not converge\n");
+        return 1;
+      }
+      std::fputs(an::op_report(nl, op).c_str(), stdout);
+    } else if (d.kind == "dc") {
+      if (d.args.empty())
+        throw std::runtime_error(".dc needs a source name");
+      auto* src = nl.find_as<dev::VSource>(d.args[0]);
+      if (!src)
+        throw std::runtime_error("source not found: " + d.args[0]);
+      const double start = arg_num(d, 1), stop = arg_num(d, 2),
+                   step = arg_num(d, 3);
+      print_probe_header(nl, "v_sweep", probes);
+      std::vector<double> values;
+      for (double v = start; v <= stop + 0.5 * step; v += step)
+        values.push_back(v);
+      const auto sweep = an::dc_sweep(
+          nl, values,
+          [&](double v) { src->set_waveform(dev::Waveform::dc(v)); },
+          op_opt);
+      for (const auto& pt : sweep) {
+        if (!pt.op.converged) continue;
+        std::printf("%g", pt.value);
+        for (auto p : probes) std::printf(",%.6g", pt.op.v(p));
+        std::printf("\n");
+      }
+    } else if (d.kind == "ac") {
+      // .ac dec N fstart fstop
+      const int ppd = static_cast<int>(arg_num(d, 1));
+      const double f1 = arg_num(d, 2), f2 = arg_num(d, 3);
+      if (!an::solve_op(nl, op_opt).converged) return 1;
+      const auto freqs = an::log_frequencies(f1, f2, ppd);
+      const auto ac = an::run_ac(nl, freqs);
+      std::printf("freq");
+      for (auto p : probes)
+        std::printf(",mag(%s),phase_deg(%s)",
+                    nl.node_name(p).c_str(), nl.node_name(p).c_str());
+      std::printf("\n");
+      for (std::size_t i = 0; i < freqs.size(); ++i) {
+        std::printf("%g", freqs[i]);
+        for (auto p : probes) {
+          const auto v = ac.v(i, p);
+          std::printf(",%.6g,%.4g", std::abs(v),
+                      std::arg(v) * 180.0 / M_PI);
+        }
+        std::printf("\n");
+      }
+    } else if (d.kind == "tran") {
+      an::TranOptions t;
+      t.dt = arg_num(d, 0);
+      t.t_stop = arg_num(d, 1);
+      t.temp_k = temp_k;
+      const auto res = an::run_transient(nl, t);
+      if (!res.ok) {
+        std::fprintf(stderr, "transient failed\n");
+        return 1;
+      }
+      print_probe_header(nl, "time", probes);
+      for (std::size_t i = 0; i < res.time.size(); ++i) {
+        std::printf("%g", res.time[i]);
+        for (auto p : probes)
+          std::printf(",%.6g",
+                      p == ckt::kGround ? 0.0 : res.x[i][p - 1]);
+        std::printf("\n");
+      }
+    } else if (d.kind == "noise") {
+      // .noise out_node input_src dec N fstart fstop
+      if (d.args.size() < 6)
+        throw std::runtime_error(
+            ".noise out_node input_src dec N fstart fstop");
+      if (!an::solve_op(nl, op_opt).converged) return 1;
+      an::NoiseOptions nopt;
+      nopt.out_p = nl.node(d.args[0]);
+      nopt.input_source = d.args[1];
+      nopt.temp_k = temp_k;
+      const int ppd = static_cast<int>(arg_num(d, 3));
+      const auto freqs =
+          an::log_frequencies(arg_num(d, 4), arg_num(d, 5), ppd);
+      const auto res = an::run_noise(nl, freqs, nopt);
+      std::printf("freq,onoise_V2_per_Hz,inoise_V_per_rtHz\n");
+      for (const auto& p : res.points)
+        std::printf("%g,%.6g,%.6g\n", p.freq_hz, p.s_out,
+                    std::sqrt(p.s_in));
+    } else {
+      std::fprintf(stderr, "unsupported directive .%s (skipped)\n",
+                   d.kind.c_str());
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path, probe_arg;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--probe") == 0 && i + 1 < argc)
+      probe_arg = argv[++i];
+    else
+      path = argv[i];
+  }
+  if (path.empty()) {
+    std::fprintf(stderr,
+                 "usage: msim_cli <netlist.sp> [--probe n1,n2,...]\n");
+    return 2;
+  }
+  try {
+    return run(path, probe_arg);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
