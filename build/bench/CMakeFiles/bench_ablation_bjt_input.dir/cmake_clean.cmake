@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_bjt_input.dir/bench_ablation_bjt_input.cc.o"
+  "CMakeFiles/bench_ablation_bjt_input.dir/bench_ablation_bjt_input.cc.o.d"
+  "bench_ablation_bjt_input"
+  "bench_ablation_bjt_input.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_bjt_input.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_fd_vs_se.dir/bench_ablation_fd_vs_se.cc.o"
+  "CMakeFiles/bench_ablation_fd_vs_se.dir/bench_ablation_fd_vs_se.cc.o.d"
+  "bench_ablation_fd_vs_se"
+  "bench_ablation_fd_vs_se.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_fd_vs_se.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

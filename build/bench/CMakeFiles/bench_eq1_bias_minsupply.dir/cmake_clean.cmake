@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_eq1_bias_minsupply.dir/bench_eq1_bias_minsupply.cc.o"
+  "CMakeFiles/bench_eq1_bias_minsupply.dir/bench_eq1_bias_minsupply.cc.o.d"
+  "bench_eq1_bias_minsupply"
+  "bench_eq1_bias_minsupply.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_eq1_bias_minsupply.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

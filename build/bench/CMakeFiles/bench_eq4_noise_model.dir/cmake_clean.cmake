@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_eq4_noise_model.dir/bench_eq4_noise_model.cc.o"
+  "CMakeFiles/bench_eq4_noise_model.dir/bench_eq4_noise_model.cc.o.d"
+  "bench_eq4_noise_model"
+  "bench_eq4_noise_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_eq4_noise_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

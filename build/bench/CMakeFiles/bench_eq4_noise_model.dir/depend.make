@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_eq4_noise_model.
+# This may be replaced when dependencies are built.

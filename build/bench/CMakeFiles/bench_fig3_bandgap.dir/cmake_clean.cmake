@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_bandgap.dir/bench_fig3_bandgap.cc.o"
+  "CMakeFiles/bench_fig3_bandgap.dir/bench_fig3_bandgap.cc.o.d"
+  "bench_fig3_bandgap"
+  "bench_fig3_bandgap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_bandgap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_gain_steps.dir/bench_fig5_gain_steps.cc.o"
+  "CMakeFiles/bench_fig5_gain_steps.dir/bench_fig5_gain_steps.cc.o.d"
+  "bench_fig5_gain_steps"
+  "bench_fig5_gain_steps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_gain_steps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_noise_spectrum.dir/bench_fig7_noise_spectrum.cc.o"
+  "CMakeFiles/bench_fig7_noise_spectrum.dir/bench_fig7_noise_spectrum.cc.o.d"
+  "bench_fig7_noise_spectrum"
+  "bench_fig7_noise_spectrum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_noise_spectrum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

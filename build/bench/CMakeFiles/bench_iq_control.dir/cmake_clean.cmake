@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_iq_control.dir/bench_iq_control.cc.o"
+  "CMakeFiles/bench_iq_control.dir/bench_iq_control.cc.o.d"
+  "bench_iq_control"
+  "bench_iq_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_iq_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_micamp.dir/bench_table1_micamp.cc.o"
+  "CMakeFiles/bench_table1_micamp.dir/bench_table1_micamp.cc.o.d"
+  "bench_table1_micamp"
+  "bench_table1_micamp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_micamp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

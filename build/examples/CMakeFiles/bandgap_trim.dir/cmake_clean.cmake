@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bandgap_trim.dir/bandgap_trim.cpp.o"
+  "CMakeFiles/bandgap_trim.dir/bandgap_trim.cpp.o.d"
+  "bandgap_trim"
+  "bandgap_trim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bandgap_trim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

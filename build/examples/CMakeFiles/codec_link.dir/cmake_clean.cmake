@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codec_link.dir/codec_link.cpp.o"
+  "CMakeFiles/codec_link.dir/codec_link.cpp.o.d"
+  "codec_link"
+  "codec_link.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codec_link.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datasheet.dir/datasheet.cpp.o"
+  "CMakeFiles/datasheet.dir/datasheet.cpp.o.d"
+  "datasheet"
+  "datasheet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datasheet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/full_chip.dir/full_chip.cpp.o"
+  "CMakeFiles/full_chip.dir/full_chip.cpp.o.d"
+  "full_chip"
+  "full_chip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/full_chip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/handsfree_gain_control.dir/handsfree_gain_control.cpp.o"
+  "CMakeFiles/handsfree_gain_control.dir/handsfree_gain_control.cpp.o.d"
+  "handsfree_gain_control"
+  "handsfree_gain_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/handsfree_gain_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voice_frontend.dir/voice_frontend.cpp.o"
+  "CMakeFiles/voice_frontend.dir/voice_frontend.cpp.o.d"
+  "voice_frontend"
+  "voice_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voice_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("numeric")
+subdirs("circuit")
+subdirs("devices")
+subdirs("process")
+subdirs("analysis")
+subdirs("signal")
+subdirs("core")
+subdirs("spicefmt")
+subdirs("sdm")

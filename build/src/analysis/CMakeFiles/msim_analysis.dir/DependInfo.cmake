@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/ac.cc" "src/analysis/CMakeFiles/msim_analysis.dir/ac.cc.o" "gcc" "src/analysis/CMakeFiles/msim_analysis.dir/ac.cc.o.d"
+  "/root/repo/src/analysis/mna.cc" "src/analysis/CMakeFiles/msim_analysis.dir/mna.cc.o" "gcc" "src/analysis/CMakeFiles/msim_analysis.dir/mna.cc.o.d"
+  "/root/repo/src/analysis/noise.cc" "src/analysis/CMakeFiles/msim_analysis.dir/noise.cc.o" "gcc" "src/analysis/CMakeFiles/msim_analysis.dir/noise.cc.o.d"
+  "/root/repo/src/analysis/op.cc" "src/analysis/CMakeFiles/msim_analysis.dir/op.cc.o" "gcc" "src/analysis/CMakeFiles/msim_analysis.dir/op.cc.o.d"
+  "/root/repo/src/analysis/op_report.cc" "src/analysis/CMakeFiles/msim_analysis.dir/op_report.cc.o" "gcc" "src/analysis/CMakeFiles/msim_analysis.dir/op_report.cc.o.d"
+  "/root/repo/src/analysis/sensitivity.cc" "src/analysis/CMakeFiles/msim_analysis.dir/sensitivity.cc.o" "gcc" "src/analysis/CMakeFiles/msim_analysis.dir/sensitivity.cc.o.d"
+  "/root/repo/src/analysis/stability.cc" "src/analysis/CMakeFiles/msim_analysis.dir/stability.cc.o" "gcc" "src/analysis/CMakeFiles/msim_analysis.dir/stability.cc.o.d"
+  "/root/repo/src/analysis/sweep.cc" "src/analysis/CMakeFiles/msim_analysis.dir/sweep.cc.o" "gcc" "src/analysis/CMakeFiles/msim_analysis.dir/sweep.cc.o.d"
+  "/root/repo/src/analysis/transfer.cc" "src/analysis/CMakeFiles/msim_analysis.dir/transfer.cc.o" "gcc" "src/analysis/CMakeFiles/msim_analysis.dir/transfer.cc.o.d"
+  "/root/repo/src/analysis/transient.cc" "src/analysis/CMakeFiles/msim_analysis.dir/transient.cc.o" "gcc" "src/analysis/CMakeFiles/msim_analysis.dir/transient.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/circuit/CMakeFiles/msim_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/devices/CMakeFiles/msim_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/msim_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

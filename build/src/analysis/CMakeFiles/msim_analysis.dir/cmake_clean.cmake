@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msim_analysis.dir/ac.cc.o"
+  "CMakeFiles/msim_analysis.dir/ac.cc.o.d"
+  "CMakeFiles/msim_analysis.dir/mna.cc.o"
+  "CMakeFiles/msim_analysis.dir/mna.cc.o.d"
+  "CMakeFiles/msim_analysis.dir/noise.cc.o"
+  "CMakeFiles/msim_analysis.dir/noise.cc.o.d"
+  "CMakeFiles/msim_analysis.dir/op.cc.o"
+  "CMakeFiles/msim_analysis.dir/op.cc.o.d"
+  "CMakeFiles/msim_analysis.dir/op_report.cc.o"
+  "CMakeFiles/msim_analysis.dir/op_report.cc.o.d"
+  "CMakeFiles/msim_analysis.dir/sensitivity.cc.o"
+  "CMakeFiles/msim_analysis.dir/sensitivity.cc.o.d"
+  "CMakeFiles/msim_analysis.dir/stability.cc.o"
+  "CMakeFiles/msim_analysis.dir/stability.cc.o.d"
+  "CMakeFiles/msim_analysis.dir/sweep.cc.o"
+  "CMakeFiles/msim_analysis.dir/sweep.cc.o.d"
+  "CMakeFiles/msim_analysis.dir/transfer.cc.o"
+  "CMakeFiles/msim_analysis.dir/transfer.cc.o.d"
+  "CMakeFiles/msim_analysis.dir/transient.cc.o"
+  "CMakeFiles/msim_analysis.dir/transient.cc.o.d"
+  "libmsim_analysis.a"
+  "libmsim_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msim_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

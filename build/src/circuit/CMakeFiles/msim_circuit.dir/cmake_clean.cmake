@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msim_circuit.dir/netlist.cc.o"
+  "CMakeFiles/msim_circuit.dir/netlist.cc.o.d"
+  "libmsim_circuit.a"
+  "libmsim_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msim_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

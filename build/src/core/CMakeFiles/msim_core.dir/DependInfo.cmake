@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bandgap.cc" "src/core/CMakeFiles/msim_core.dir/bandgap.cc.o" "gcc" "src/core/CMakeFiles/msim_core.dir/bandgap.cc.o.d"
+  "/root/repo/src/core/behav.cc" "src/core/CMakeFiles/msim_core.dir/behav.cc.o" "gcc" "src/core/CMakeFiles/msim_core.dir/behav.cc.o.d"
+  "/root/repo/src/core/bias.cc" "src/core/CMakeFiles/msim_core.dir/bias.cc.o" "gcc" "src/core/CMakeFiles/msim_core.dir/bias.cc.o.d"
+  "/root/repo/src/core/characterize.cc" "src/core/CMakeFiles/msim_core.dir/characterize.cc.o" "gcc" "src/core/CMakeFiles/msim_core.dir/characterize.cc.o.d"
+  "/root/repo/src/core/chip.cc" "src/core/CMakeFiles/msim_core.dir/chip.cc.o" "gcc" "src/core/CMakeFiles/msim_core.dir/chip.cc.o.d"
+  "/root/repo/src/core/class_ab_driver.cc" "src/core/CMakeFiles/msim_core.dir/class_ab_driver.cc.o" "gcc" "src/core/CMakeFiles/msim_core.dir/class_ab_driver.cc.o.d"
+  "/root/repo/src/core/design_equations.cc" "src/core/CMakeFiles/msim_core.dir/design_equations.cc.o" "gcc" "src/core/CMakeFiles/msim_core.dir/design_equations.cc.o.d"
+  "/root/repo/src/core/front_end.cc" "src/core/CMakeFiles/msim_core.dir/front_end.cc.o" "gcc" "src/core/CMakeFiles/msim_core.dir/front_end.cc.o.d"
+  "/root/repo/src/core/mic_amp.cc" "src/core/CMakeFiles/msim_core.dir/mic_amp.cc.o" "gcc" "src/core/CMakeFiles/msim_core.dir/mic_amp.cc.o.d"
+  "/root/repo/src/core/modulator_opamp.cc" "src/core/CMakeFiles/msim_core.dir/modulator_opamp.cc.o" "gcc" "src/core/CMakeFiles/msim_core.dir/modulator_opamp.cc.o.d"
+  "/root/repo/src/core/rx_attenuator.cc" "src/core/CMakeFiles/msim_core.dir/rx_attenuator.cc.o" "gcc" "src/core/CMakeFiles/msim_core.dir/rx_attenuator.cc.o.d"
+  "/root/repo/src/core/string_dac.cc" "src/core/CMakeFiles/msim_core.dir/string_dac.cc.o" "gcc" "src/core/CMakeFiles/msim_core.dir/string_dac.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/msim_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/devices/CMakeFiles/msim_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/msim_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/process/CMakeFiles/msim_process.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/msim_signal.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/msim_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msim_core.dir/bandgap.cc.o"
+  "CMakeFiles/msim_core.dir/bandgap.cc.o.d"
+  "CMakeFiles/msim_core.dir/behav.cc.o"
+  "CMakeFiles/msim_core.dir/behav.cc.o.d"
+  "CMakeFiles/msim_core.dir/bias.cc.o"
+  "CMakeFiles/msim_core.dir/bias.cc.o.d"
+  "CMakeFiles/msim_core.dir/characterize.cc.o"
+  "CMakeFiles/msim_core.dir/characterize.cc.o.d"
+  "CMakeFiles/msim_core.dir/chip.cc.o"
+  "CMakeFiles/msim_core.dir/chip.cc.o.d"
+  "CMakeFiles/msim_core.dir/class_ab_driver.cc.o"
+  "CMakeFiles/msim_core.dir/class_ab_driver.cc.o.d"
+  "CMakeFiles/msim_core.dir/design_equations.cc.o"
+  "CMakeFiles/msim_core.dir/design_equations.cc.o.d"
+  "CMakeFiles/msim_core.dir/front_end.cc.o"
+  "CMakeFiles/msim_core.dir/front_end.cc.o.d"
+  "CMakeFiles/msim_core.dir/mic_amp.cc.o"
+  "CMakeFiles/msim_core.dir/mic_amp.cc.o.d"
+  "CMakeFiles/msim_core.dir/modulator_opamp.cc.o"
+  "CMakeFiles/msim_core.dir/modulator_opamp.cc.o.d"
+  "CMakeFiles/msim_core.dir/rx_attenuator.cc.o"
+  "CMakeFiles/msim_core.dir/rx_attenuator.cc.o.d"
+  "CMakeFiles/msim_core.dir/string_dac.cc.o"
+  "CMakeFiles/msim_core.dir/string_dac.cc.o.d"
+  "libmsim_core.a"
+  "libmsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

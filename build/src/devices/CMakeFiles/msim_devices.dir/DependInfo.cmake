@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/devices/bjt.cc" "src/devices/CMakeFiles/msim_devices.dir/bjt.cc.o" "gcc" "src/devices/CMakeFiles/msim_devices.dir/bjt.cc.o.d"
+  "/root/repo/src/devices/controlled.cc" "src/devices/CMakeFiles/msim_devices.dir/controlled.cc.o" "gcc" "src/devices/CMakeFiles/msim_devices.dir/controlled.cc.o.d"
+  "/root/repo/src/devices/diode.cc" "src/devices/CMakeFiles/msim_devices.dir/diode.cc.o" "gcc" "src/devices/CMakeFiles/msim_devices.dir/diode.cc.o.d"
+  "/root/repo/src/devices/mos_switch.cc" "src/devices/CMakeFiles/msim_devices.dir/mos_switch.cc.o" "gcc" "src/devices/CMakeFiles/msim_devices.dir/mos_switch.cc.o.d"
+  "/root/repo/src/devices/mosfet.cc" "src/devices/CMakeFiles/msim_devices.dir/mosfet.cc.o" "gcc" "src/devices/CMakeFiles/msim_devices.dir/mosfet.cc.o.d"
+  "/root/repo/src/devices/passive.cc" "src/devices/CMakeFiles/msim_devices.dir/passive.cc.o" "gcc" "src/devices/CMakeFiles/msim_devices.dir/passive.cc.o.d"
+  "/root/repo/src/devices/sources.cc" "src/devices/CMakeFiles/msim_devices.dir/sources.cc.o" "gcc" "src/devices/CMakeFiles/msim_devices.dir/sources.cc.o.d"
+  "/root/repo/src/devices/tanh_vccs.cc" "src/devices/CMakeFiles/msim_devices.dir/tanh_vccs.cc.o" "gcc" "src/devices/CMakeFiles/msim_devices.dir/tanh_vccs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/circuit/CMakeFiles/msim_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/msim_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msim_devices.dir/bjt.cc.o"
+  "CMakeFiles/msim_devices.dir/bjt.cc.o.d"
+  "CMakeFiles/msim_devices.dir/controlled.cc.o"
+  "CMakeFiles/msim_devices.dir/controlled.cc.o.d"
+  "CMakeFiles/msim_devices.dir/diode.cc.o"
+  "CMakeFiles/msim_devices.dir/diode.cc.o.d"
+  "CMakeFiles/msim_devices.dir/mos_switch.cc.o"
+  "CMakeFiles/msim_devices.dir/mos_switch.cc.o.d"
+  "CMakeFiles/msim_devices.dir/mosfet.cc.o"
+  "CMakeFiles/msim_devices.dir/mosfet.cc.o.d"
+  "CMakeFiles/msim_devices.dir/passive.cc.o"
+  "CMakeFiles/msim_devices.dir/passive.cc.o.d"
+  "CMakeFiles/msim_devices.dir/sources.cc.o"
+  "CMakeFiles/msim_devices.dir/sources.cc.o.d"
+  "CMakeFiles/msim_devices.dir/tanh_vccs.cc.o"
+  "CMakeFiles/msim_devices.dir/tanh_vccs.cc.o.d"
+  "libmsim_devices.a"
+  "libmsim_devices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msim_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

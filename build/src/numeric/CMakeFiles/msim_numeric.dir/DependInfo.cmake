@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/numeric/interp.cc" "src/numeric/CMakeFiles/msim_numeric.dir/interp.cc.o" "gcc" "src/numeric/CMakeFiles/msim_numeric.dir/interp.cc.o.d"
+  "/root/repo/src/numeric/lu.cc" "src/numeric/CMakeFiles/msim_numeric.dir/lu.cc.o" "gcc" "src/numeric/CMakeFiles/msim_numeric.dir/lu.cc.o.d"
+  "/root/repo/src/numeric/rootfind.cc" "src/numeric/CMakeFiles/msim_numeric.dir/rootfind.cc.o" "gcc" "src/numeric/CMakeFiles/msim_numeric.dir/rootfind.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msim_numeric.dir/interp.cc.o"
+  "CMakeFiles/msim_numeric.dir/interp.cc.o.d"
+  "CMakeFiles/msim_numeric.dir/lu.cc.o"
+  "CMakeFiles/msim_numeric.dir/lu.cc.o.d"
+  "CMakeFiles/msim_numeric.dir/rootfind.cc.o"
+  "CMakeFiles/msim_numeric.dir/rootfind.cc.o.d"
+  "libmsim_numeric.a"
+  "libmsim_numeric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msim_numeric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msim_process.dir/process.cc.o"
+  "CMakeFiles/msim_process.dir/process.cc.o.d"
+  "libmsim_process.a"
+  "libmsim_process.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msim_process.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msim_sdm.dir/sdm.cc.o"
+  "CMakeFiles/msim_sdm.dir/sdm.cc.o.d"
+  "libmsim_sdm.a"
+  "libmsim_sdm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msim_sdm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

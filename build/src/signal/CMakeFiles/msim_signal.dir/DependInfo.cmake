@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/signal/csv.cc" "src/signal/CMakeFiles/msim_signal.dir/csv.cc.o" "gcc" "src/signal/CMakeFiles/msim_signal.dir/csv.cc.o.d"
+  "/root/repo/src/signal/fft.cc" "src/signal/CMakeFiles/msim_signal.dir/fft.cc.o" "gcc" "src/signal/CMakeFiles/msim_signal.dir/fft.cc.o.d"
+  "/root/repo/src/signal/meter.cc" "src/signal/CMakeFiles/msim_signal.dir/meter.cc.o" "gcc" "src/signal/CMakeFiles/msim_signal.dir/meter.cc.o.d"
+  "/root/repo/src/signal/psophometric.cc" "src/signal/CMakeFiles/msim_signal.dir/psophometric.cc.o" "gcc" "src/signal/CMakeFiles/msim_signal.dir/psophometric.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/numeric/CMakeFiles/msim_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

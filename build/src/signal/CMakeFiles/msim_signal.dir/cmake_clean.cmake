@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msim_signal.dir/csv.cc.o"
+  "CMakeFiles/msim_signal.dir/csv.cc.o.d"
+  "CMakeFiles/msim_signal.dir/fft.cc.o"
+  "CMakeFiles/msim_signal.dir/fft.cc.o.d"
+  "CMakeFiles/msim_signal.dir/meter.cc.o"
+  "CMakeFiles/msim_signal.dir/meter.cc.o.d"
+  "CMakeFiles/msim_signal.dir/psophometric.cc.o"
+  "CMakeFiles/msim_signal.dir/psophometric.cc.o.d"
+  "libmsim_signal.a"
+  "libmsim_signal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msim_signal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

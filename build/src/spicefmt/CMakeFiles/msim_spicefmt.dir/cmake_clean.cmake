@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msim_spicefmt.dir/parser.cc.o"
+  "CMakeFiles/msim_spicefmt.dir/parser.cc.o.d"
+  "CMakeFiles/msim_spicefmt.dir/writer.cc.o"
+  "CMakeFiles/msim_spicefmt.dir/writer.cc.o.d"
+  "libmsim_spicefmt.a"
+  "libmsim_spicefmt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msim_spicefmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

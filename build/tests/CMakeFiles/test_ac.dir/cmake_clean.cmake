@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ac.dir/test_ac.cc.o"
+  "CMakeFiles/test_ac.dir/test_ac.cc.o.d"
+  "test_ac"
+  "test_ac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bandgap.dir/test_bandgap.cc.o"
+  "CMakeFiles/test_bandgap.dir/test_bandgap.cc.o.d"
+  "test_bandgap"
+  "test_bandgap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bandgap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_behav_frontend.dir/test_behav_frontend.cc.o"
+  "CMakeFiles/test_behav_frontend.dir/test_behav_frontend.cc.o.d"
+  "test_behav_frontend"
+  "test_behav_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_behav_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

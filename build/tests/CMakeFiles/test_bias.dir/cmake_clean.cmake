@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bias.dir/test_bias.cc.o"
+  "CMakeFiles/test_bias.dir/test_bias.cc.o.d"
+  "test_bias"
+  "test_bias.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bias.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

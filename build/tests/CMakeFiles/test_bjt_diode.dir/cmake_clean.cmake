@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bjt_diode.dir/test_bjt_diode.cc.o"
+  "CMakeFiles/test_bjt_diode.dir/test_bjt_diode.cc.o.d"
+  "test_bjt_diode"
+  "test_bjt_diode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bjt_diode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

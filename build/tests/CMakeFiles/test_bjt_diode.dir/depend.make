@@ -1,0 +1,2 @@
+# Empty dependencies file for test_bjt_diode.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_class_ab.dir/test_class_ab.cc.o"
+  "CMakeFiles/test_class_ab.dir/test_class_ab.cc.o.d"
+  "test_class_ab"
+  "test_class_ab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_class_ab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_design_equations.dir/test_design_equations.cc.o"
+  "CMakeFiles/test_design_equations.dir/test_design_equations.cc.o.d"
+  "test_design_equations"
+  "test_design_equations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_design_equations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

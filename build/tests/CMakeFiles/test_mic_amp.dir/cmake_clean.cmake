@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mic_amp.dir/test_mic_amp.cc.o"
+  "CMakeFiles/test_mic_amp.dir/test_mic_amp.cc.o.d"
+  "test_mic_amp"
+  "test_mic_amp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mic_amp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_modulator_opamp.dir/test_modulator_opamp.cc.o"
+  "CMakeFiles/test_modulator_opamp.dir/test_modulator_opamp.cc.o.d"
+  "test_modulator_opamp"
+  "test_modulator_opamp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_modulator_opamp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

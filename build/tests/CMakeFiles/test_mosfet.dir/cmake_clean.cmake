@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mosfet.dir/test_mosfet.cc.o"
+  "CMakeFiles/test_mosfet.dir/test_mosfet.cc.o.d"
+  "test_mosfet"
+  "test_mosfet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mosfet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

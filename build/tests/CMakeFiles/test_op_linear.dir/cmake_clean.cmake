@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_op_linear.dir/test_op_linear.cc.o"
+  "CMakeFiles/test_op_linear.dir/test_op_linear.cc.o.d"
+  "test_op_linear"
+  "test_op_linear.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_op_linear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

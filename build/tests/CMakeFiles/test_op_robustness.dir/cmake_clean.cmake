@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_op_robustness.dir/test_op_robustness.cc.o"
+  "CMakeFiles/test_op_robustness.dir/test_op_robustness.cc.o.d"
+  "test_op_robustness"
+  "test_op_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_op_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_report_csv.dir/test_report_csv.cc.o"
+  "CMakeFiles/test_report_csv.dir/test_report_csv.cc.o.d"
+  "test_report_csv"
+  "test_report_csv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_report_csv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rx_attenuator.dir/test_rx_attenuator.cc.o"
+  "CMakeFiles/test_rx_attenuator.dir/test_rx_attenuator.cc.o.d"
+  "test_rx_attenuator"
+  "test_rx_attenuator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rx_attenuator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

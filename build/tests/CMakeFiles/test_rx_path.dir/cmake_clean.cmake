@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rx_path.dir/test_rx_path.cc.o"
+  "CMakeFiles/test_rx_path.dir/test_rx_path.cc.o.d"
+  "test_rx_path"
+  "test_rx_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rx_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

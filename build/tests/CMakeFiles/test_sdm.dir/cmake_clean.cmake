@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sdm.dir/test_sdm.cc.o"
+  "CMakeFiles/test_sdm.dir/test_sdm.cc.o.d"
+  "test_sdm"
+  "test_sdm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sdm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

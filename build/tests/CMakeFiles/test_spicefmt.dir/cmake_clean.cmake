@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spicefmt.dir/test_spicefmt.cc.o"
+  "CMakeFiles/test_spicefmt.dir/test_spicefmt.cc.o.d"
+  "test_spicefmt"
+  "test_spicefmt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spicefmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

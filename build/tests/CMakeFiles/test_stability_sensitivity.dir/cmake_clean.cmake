@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stability_sensitivity.dir/test_stability_sensitivity.cc.o"
+  "CMakeFiles/test_stability_sensitivity.dir/test_stability_sensitivity.cc.o.d"
+  "test_stability_sensitivity"
+  "test_stability_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stability_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_string_dac.dir/test_string_dac.cc.o"
+  "CMakeFiles/test_string_dac.dir/test_string_dac.cc.o.d"
+  "test_string_dac"
+  "test_string_dac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_string_dac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_transfer_chip.cc" "tests/CMakeFiles/test_transfer_chip.dir/test_transfer_chip.cc.o" "gcc" "tests/CMakeFiles/test_transfer_chip.dir/test_transfer_chip.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/msim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/msim_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/process/CMakeFiles/msim_process.dir/DependInfo.cmake"
+  "/root/repo/build/src/devices/CMakeFiles/msim_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/msim_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/msim_signal.dir/DependInfo.cmake"
+  "/root/repo/build/src/spicefmt/CMakeFiles/msim_spicefmt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sdm/CMakeFiles/msim_sdm.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/msim_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transfer_chip.dir/test_transfer_chip.cc.o"
+  "CMakeFiles/test_transfer_chip.dir/test_transfer_chip.cc.o.d"
+  "test_transfer_chip"
+  "test_transfer_chip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transfer_chip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transient_adaptive.dir/test_transient_adaptive.cc.o"
+  "CMakeFiles/test_transient_adaptive.dir/test_transient_adaptive.cc.o.d"
+  "test_transient_adaptive"
+  "test_transient_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transient_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
