@@ -21,8 +21,9 @@ std::vector<double> log_frequencies(double f_start_hz, double f_stop_hz,
   return f;
 }
 
-AcResult run_ac(ckt::Netlist& nl, const std::vector<double>& freqs_hz,
-                const AcOptions& opt) {
+AcResult run_ac_diag(ckt::Netlist& nl,
+                     const std::vector<double>& freqs_hz,
+                     const AcOptions& opt) {
   nl.assign_unknowns();
   AcResult r;
   r.freqs_hz = freqs_hz;
@@ -33,11 +34,24 @@ AcResult run_ac(ckt::Netlist& nl, const std::vector<double>& freqs_hz,
   for (double f : freqs_hz) {
     assemble_ac(nl, 2.0 * M_PI * f, opt.gshunt, jac, rhs);
     num::ComplexLu lu(jac);
-    if (lu.singular())
-      throw std::runtime_error("AC matrix singular at f=" +
-                               std::to_string(f));
+    if (lu.singular()) {
+      r.diag.status = SolveStatus::kSingularMatrix;
+      r.diag.stage = "ac";
+      r.diag.unknown = unknown_label(nl, lu.singular_col());
+      r.diag.device = device_touching_unknown(nl, lu.singular_col());
+      r.diag.detail = "f = " + std::to_string(f) + " Hz";
+      return r;
+    }
     r.solutions.push_back(lu.solve(rhs));
   }
+  return r;
+}
+
+AcResult run_ac(ckt::Netlist& nl, const std::vector<double>& freqs_hz,
+                const AcOptions& opt) {
+  AcResult r = run_ac_diag(nl, freqs_hz, opt);
+  if (!r.ok())
+    throw std::runtime_error("AC analysis failed: " + r.diag.message());
   return r;
 }
 

@@ -9,6 +9,7 @@
 #include <complex>
 #include <vector>
 
+#include "analysis/diag.h"
 #include "circuit/netlist.h"
 #include "numeric/matrix.h"
 
@@ -19,8 +20,11 @@ struct AcOptions {
 };
 
 struct AcResult {
+  SolveDiag diag;  // kSingularMatrix names the zero-pivot unknown
   std::vector<double> freqs_hz;
   std::vector<num::ComplexVector> solutions;  // one per frequency
+
+  bool ok() const { return diag.ok(); }
 
   std::complex<double> v(std::size_t freq_idx, ckt::NodeId node) const {
     return node == ckt::kGround ? std::complex<double>{}
@@ -37,6 +41,15 @@ struct AcResult {
 std::vector<double> log_frequencies(double f_start_hz, double f_stop_hz,
                                     int points_per_decade);
 
+// Non-throwing entry point: on a singular MNA matrix the result carries
+// a structured diag (with the zero-pivot unknown and the frequency in
+// detail) and the solutions computed so far.
+AcResult run_ac_diag(ckt::Netlist& nl,
+                     const std::vector<double>& freqs_hz,
+                     const AcOptions& opt = {});
+
+// Historical API: thin wrapper over run_ac_diag() that throws
+// std::runtime_error carrying diag.message() on failure.
 AcResult run_ac(ckt::Netlist& nl, const std::vector<double>& freqs_hz,
                 const AcOptions& opt = {});
 

@@ -1,0 +1,63 @@
+#include "analysis/diag.h"
+
+#include <sstream>
+
+namespace msim::an {
+
+const char* to_string(SolveStatus s) {
+  switch (s) {
+    case SolveStatus::kOk: return "ok";
+    case SolveStatus::kSingularMatrix: return "singular_matrix";
+    case SolveStatus::kNonConvergence: return "non_convergence";
+    case SolveStatus::kNonFinite: return "non_finite";
+    case SolveStatus::kBadTopology: return "bad_topology";
+  }
+  return "unknown";
+}
+
+std::string SolveDiag::message() const {
+  if (ok()) return "ok";
+  std::ostringstream os;
+  os << to_string(status);
+  if (!stage.empty()) os << " [stage " << stage << "]";
+  if (!unknown.empty()) os << " at " << unknown;
+  if (!device.empty()) os << " (device " << device << ")";
+  if (status == SolveStatus::kNonConvergence)
+    os << ", max |dx| = " << residual;
+  if (iterations > 0) os << ", " << iterations << " iterations";
+  if (!detail.empty()) os << ": " << detail;
+  return os.str();
+}
+
+std::string unknown_label(const ckt::Netlist& nl, int idx) {
+  if (idx < 0) return "?";
+  if (idx < nl.node_count() - 1) return "v(" + nl.node_name(idx + 1) + ")";
+  for (const auto& d : nl.devices()) {
+    const int base = d->branch_base();
+    const int count = d->branch_count();
+    if (count > 0 && idx >= base && idx < base + count) {
+      if (count == 1) return "i(" + d->name() + ")";
+      return "i(" + d->name() + "." + std::to_string(idx - base) + ")";
+    }
+  }
+  return "unknown#" + std::to_string(idx);
+}
+
+std::string device_touching_unknown(const ckt::Netlist& nl, int idx) {
+  if (idx < 0) return {};
+  if (idx >= nl.node_count() - 1) {
+    for (const auto& d : nl.devices()) {
+      const int base = d->branch_base();
+      const int count = d->branch_count();
+      if (count > 0 && idx >= base && idx < base + count) return d->name();
+    }
+    return {};
+  }
+  const ckt::NodeId node = idx + 1;
+  for (const auto& d : nl.devices())
+    for (const ckt::NodeId n : d->nodes())
+      if (n == node) return d->name();
+  return {};
+}
+
+}  // namespace msim::an

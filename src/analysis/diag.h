@@ -1,0 +1,62 @@
+// Structured solver diagnostics shared by every analysis entry point.
+//
+// A SolveDiag replaces "converged == false" and bare runtime_error
+// strings with a machine-readable diagnosis: which failure class, which
+// MNA unknown (node voltage or device branch current), which device is
+// implicated, and how far the homotopy ladder got.  Sweeps and the
+// Monte-Carlo harness aggregate these per point/sample so that one bad
+// corner degrades gracefully instead of aborting a whole run.
+#pragma once
+
+#include <string>
+
+#include "circuit/netlist.h"
+
+namespace msim::an {
+
+enum class SolveStatus {
+  kOk = 0,
+  // LU found no usable pivot; `unknown` names the zero-pivot column.
+  kSingularMatrix,
+  // Newton ran out of iterations; `unknown` is the worst-residual
+  // unknown, `residual` the final max |dx|, `stage` the homotopy stage
+  // reached ("newton", "gmin", "source", "tran").
+  kNonConvergence,
+  // A NaN/Inf appeared; `unknown` is the first non-finite entry and
+  // `device` the (first) device stamping onto it.
+  kNonFinite,
+  // The netlist failed the pre-solve lint pass; `detail` carries the
+  // lint report.
+  kBadTopology,
+};
+
+// Short stable identifier ("ok", "singular_matrix", ...).
+const char* to_string(SolveStatus s);
+
+struct SolveDiag {
+  SolveStatus status = SolveStatus::kOk;
+  std::string unknown;  // offending unknown, e.g. "v(out)" or "i(V1)"
+  std::string device;   // implicated device name, when identifiable
+  std::string stage;    // homotopy stage / analysis phase reached
+  double residual = 0.0;  // final max |dx| (kNonConvergence), else 0
+  int iterations = 0;     // Newton iterations spent before giving up
+  std::string detail;     // free-form context (lint report, time point)
+
+  bool ok() const { return status == SolveStatus::kOk; }
+  // One-line human-readable rendering for logs and CLI output.
+  std::string message() const;
+
+  static SolveDiag success() { return {}; }
+};
+
+// Label for MNA unknown index `idx` (post assign_unknowns()): node
+// voltages render as "v(<name>)", device branch currents as
+// "i(<device>)" (with a ".k" suffix for multi-branch devices).
+std::string unknown_label(const ckt::Netlist& nl, int idx);
+
+// Name of a device stamping onto unknown `idx`: the owner for branch
+// unknowns, otherwise the first device with a terminal on that node.
+// Empty string when nothing matches.
+std::string device_touching_unknown(const ckt::Netlist& nl, int idx);
+
+}  // namespace msim::an

@@ -7,15 +7,36 @@
 #include <algorithm>
 #include <cmath>
 #include <functional>
+#include <map>
+#include <string>
 #include <vector>
 
+#include "analysis/diag.h"
 #include "numeric/rng.h"
 
 namespace msim::an {
 
+// One failed Monte-Carlo sample with its structured diagnosis.
+struct McFailure {
+  int sample = 0;   // 0-based sample index
+  SolveDiag diag;
+};
+
 struct McStats {
   std::vector<double> samples;
   int failures = 0;
+  // Structured per-sample diagnostics for every failed trial (empty for
+  // the legacy NaN-signalling trial interface unless the trial supplied
+  // them).
+  std::vector<McFailure> failure_diags;
+
+  // Failure census keyed by status name ("non_convergence": 3, ...).
+  std::map<std::string, int> failure_causes() const {
+    std::map<std::string, int> causes;
+    for (const auto& f : failure_diags)
+      ++causes[to_string(f.diag.status)];
+    return causes;
+  }
 
   double mean() const {
     if (samples.empty()) return 0.0;
@@ -49,22 +70,49 @@ struct McStats {
   }
 };
 
-// `trial` receives a per-sample RNG and returns the measured scalar, or
-// NaN to signal a failed sample (counted separately, excluded from
-// statistics).
-inline McStats monte_carlo(int n_samples, num::Rng& rng,
-                           const std::function<double(num::Rng&)>& trial) {
+// Outcome of one diagnostic-aware Monte-Carlo trial: a value when the
+// underlying solve succeeded, otherwise the solver's SolveDiag.
+struct McTrial {
+  double value = 0.0;
+  SolveDiag diag;
+
+  static McTrial of(double v) { return {v, {}}; }
+  static McTrial failed(SolveDiag d) { return {0.0, std::move(d)}; }
+};
+
+// Diagnostic-aware driver: `trial` receives a per-sample RNG and returns
+// an McTrial; failed samples (diag not ok) are excluded from statistics
+// and recorded with their structured cause in `failure_diags`.
+inline McStats monte_carlo_diag(
+    int n_samples, num::Rng& rng,
+    const std::function<McTrial(num::Rng&)>& trial) {
   McStats st;
   st.samples.reserve(static_cast<std::size_t>(n_samples));
   for (int i = 0; i < n_samples; ++i) {
     num::Rng sample_rng = rng.fork();
-    const double v = trial(sample_rng);
-    if (std::isnan(v))
+    McTrial t = trial(sample_rng);
+    if (!t.diag.ok() || std::isnan(t.value)) {
       ++st.failures;
-    else
-      st.samples.push_back(v);
+      if (t.diag.ok()) {  // NaN with no diagnosis attached
+        t.diag.status = SolveStatus::kNonFinite;
+        t.diag.detail = "trial returned NaN";
+      }
+      st.failure_diags.push_back({i, std::move(t.diag)});
+    } else {
+      st.samples.push_back(t.value);
+    }
   }
   return st;
+}
+
+// Historical API, kept as a thin wrapper: `trial` returns the measured
+// scalar, or NaN to signal a failed sample (counted separately, excluded
+// from statistics).
+inline McStats monte_carlo(int n_samples, num::Rng& rng,
+                           const std::function<double(num::Rng&)>& trial) {
+  return monte_carlo_diag(n_samples, rng, [&](num::Rng& srng) {
+    return McTrial::of(trial(srng));
+  });
 }
 
 }  // namespace msim::an

@@ -70,11 +70,17 @@ double NoiseResult::input_referred_avg_density(double f1_hz,
   return rms / std::sqrt(f2_hz - f1_hz);
 }
 
-NoiseResult run_noise(ckt::Netlist& nl, const std::vector<double>& freqs_hz,
-                      const NoiseOptions& opt) {
+NoiseResult run_noise_diag(ckt::Netlist& nl,
+                           const std::vector<double>& freqs_hz,
+                           const NoiseOptions& opt) {
+  NoiseResult early;
+  if (opt.out_p == ckt::kGround && opt.out_n == ckt::kGround) {
+    early.diag.status = SolveStatus::kBadTopology;
+    early.diag.stage = "noise";
+    early.diag.detail = "noise analysis needs an output node";
+    return early;
+  }
   nl.assign_unknowns();
-  if (opt.out_p == ckt::kGround && opt.out_n == ckt::kGround)
-    throw std::invalid_argument("noise analysis needs an output node");
 
   // Collect all noise sources at the saved operating point.
   std::vector<ckt::NoiseSource> sources;
@@ -99,9 +105,14 @@ NoiseResult run_noise(ckt::Netlist& nl, const std::vector<double>& freqs_hz,
     const double f = freqs_hz[k];
     assemble_ac(nl, 2.0 * M_PI * f, opt.gshunt, jac, rhs);
     num::ComplexLu lu(jac);
-    if (lu.singular())
-      throw std::runtime_error("noise: singular MNA at f=" +
-                               std::to_string(f));
+    if (lu.singular()) {
+      r.diag.status = SolveStatus::kSingularMatrix;
+      r.diag.stage = "noise";
+      r.diag.unknown = unknown_label(nl, lu.singular_col());
+      r.diag.device = device_touching_unknown(nl, lu.singular_col());
+      r.diag.detail = "f = " + std::to_string(f) + " Hz";
+      return r;
+    }
 
     NoisePoint pt;
     pt.freq_hz = f;
@@ -143,6 +154,14 @@ NoiseResult run_noise(ckt::Netlist& nl, const std::vector<double>& freqs_hz,
       pt.s_in = s_out / (pt.gain_mag * pt.gain_mag);
     r.points.push_back(pt);
   }
+  return r;
+}
+
+NoiseResult run_noise(ckt::Netlist& nl, const std::vector<double>& freqs_hz,
+                      const NoiseOptions& opt) {
+  NoiseResult r = run_noise_diag(nl, freqs_hz, opt);
+  if (!r.ok())
+    throw std::runtime_error("noise analysis failed: " + r.diag.message());
   return r;
 }
 

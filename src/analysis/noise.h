@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/diag.h"
 #include "circuit/netlist.h"
 
 namespace msim::an {
@@ -42,9 +43,15 @@ struct NoiseContribution {
 };
 
 struct NoiseResult {
+  // Structured failure diagnosis: kBadTopology when no output node was
+  // given, kSingularMatrix (with the zero-pivot unknown) when the MNA
+  // factorization fails at some frequency.
+  SolveDiag diag;
   std::vector<NoisePoint> points;
   // Per-source integrated output power over the analysed grid.
   std::vector<NoiseContribution> by_source;
+
+  bool ok() const { return diag.ok(); }
 
   // Integrated output noise power [V^2] over [f1, f2] (trapezoidal on the
   // analysed grid, clipped to it).
@@ -55,6 +62,14 @@ struct NoiseResult {
   double input_referred_avg_density(double f1_hz, double f2_hz) const;
 };
 
+// Non-throwing entry point: failures are reported through result.diag
+// (points computed before the failure are retained).
+NoiseResult run_noise_diag(ckt::Netlist& nl,
+                           const std::vector<double>& freqs_hz,
+                           const NoiseOptions& opt);
+
+// Historical API: thin wrapper over run_noise_diag() that throws
+// std::runtime_error carrying diag.message() on failure.
 NoiseResult run_noise(ckt::Netlist& nl, const std::vector<double>& freqs_hz,
                       const NoiseOptions& opt);
 

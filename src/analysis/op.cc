@@ -2,32 +2,41 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "analysis/mna.h"
+#include "circuit/lint.h"
 #include "numeric/lu.h"
 
 namespace msim::an {
 namespace {
 
+// Why one damped-Newton attempt stopped, with enough context to build a
+// SolveDiag: the failing unknown index and the final worst update.
+struct NewtonOutcome {
+  bool ok = false;
+  SolveStatus fail = SolveStatus::kNonConvergence;
+  int bad_unknown = -1;   // zero-pivot column / worst-|dx| / first NaN
+  double max_dx = 0.0;    // final worst unclamped update magnitude
+};
+
 // One damped-Newton solve at fixed homotopy parameters.  Reuses `x` as
 // the starting point and leaves the final iterate in it.
-// One damped-Newton solve; retries internally with progressively tighter
-// damping (max_step / 3, / 10) because high-loop-gain circuits can limit-
-// cycle under loose damping yet converge quickly under tight damping.
-bool newton_solve_damped(const ckt::Netlist& nl, const AssembleParams& p,
-                         const OpOptions& opt, num::RealVector& x,
-                         int& iters);
-
 bool newton_solve(const ckt::Netlist& nl, const AssembleParams& p,
-                  const OpOptions& opt, num::RealVector& x, int& iters) {
+                  const OpOptions& opt, num::RealVector& x, int& iters,
+                  NewtonOutcome& out) {
   num::RealMatrix jac;
   num::RealVector rhs;
-  int stall = 0;
+  out = NewtonOutcome{};
   for (int it = 0; it < opt.max_iterations; ++it) {
     ++iters;
     assemble_real(nl, x, p, jac, rhs);
     num::RealLu lu(jac);
-    if (lu.singular()) return false;
+    if (lu.singular()) {
+      out.fail = SolveStatus::kSingularMatrix;
+      out.bad_unknown = lu.singular_col();
+      return false;
+    }
     const num::RealVector x_new = lu.solve(rhs);
 
     // Damping: clamp each unknown's update to max_step individually.
@@ -35,29 +44,46 @@ bool newton_solve(const ckt::Netlist& nl, const AssembleParams& p,
     // independent subcircuits decoupled: a block taking large steps does
     // not stall another block that is already converging.
     bool converged = true;
+    out.max_dx = 0.0;
+    out.bad_unknown = -1;
     for (std::size_t i = 0; i < x.size(); ++i) {
+      if (!std::isfinite(x_new[i])) {
+        out.fail = SolveStatus::kNonFinite;
+        out.bad_unknown = static_cast<int>(i);
+        return false;
+      }
       double dx = x_new[i] - x[i];
       if (std::abs(dx) > opt.vtol + opt.reltol * std::abs(x_new[i]))
         converged = false;
+      if (std::abs(dx) > out.max_dx) {
+        out.max_dx = std::abs(dx);
+        out.bad_unknown = static_cast<int>(i);
+      }
       if (dx > opt.max_step) dx = opt.max_step;
       if (dx < -opt.max_step) dx = -opt.max_step;
       x[i] += dx;
     }
-    if (converged) return true;
-    (void)stall;
+    if (converged) {
+      out.ok = true;
+      return true;
+    }
   }
+  out.fail = SolveStatus::kNonConvergence;
   return false;
 }
 
+// One damped-Newton solve; retries internally with progressively tighter
+// damping (max_step / 3, / 10) because high-loop-gain circuits can limit-
+// cycle under loose damping yet converge quickly under tight damping.
 bool newton_solve_damped(const ckt::Netlist& nl, const AssembleParams& p,
                          const OpOptions& opt, num::RealVector& x,
-                         int& iters) {
+                         int& iters, NewtonOutcome& out) {
   const num::RealVector x0 = x;
   for (double factor : {1.0, 3.0, 10.0}) {
     OpOptions o = opt;
     o.max_step = opt.max_step / factor;
     o.initial_guess.clear();
-    if (newton_solve(nl, p, o, x, iters)) return true;
+    if (newton_solve(nl, p, o, x, iters, out)) return true;
     x = x0;  // restart each attempt from the same point
   }
   return false;
@@ -68,18 +94,53 @@ void finalize(ckt::Netlist& nl, const OpOptions& opt, OpResult& r) {
   for (const auto& d : nl.devices()) d->save_op(r.x, opt.temp_k);
 }
 
+// Fills r.diag from the outcome of the homotopy stage that failed last.
+void fill_failure_diag(const ckt::Netlist& nl, const NewtonOutcome& out,
+                       const std::string& stage, OpResult& r) {
+  r.diag.status = out.fail;
+  r.diag.stage = stage;
+  r.diag.iterations = r.iterations;
+  r.diag.residual = out.max_dx;
+  if (out.bad_unknown >= 0) {
+    r.diag.unknown = unknown_label(nl, out.bad_unknown);
+    r.diag.device = device_touching_unknown(nl, out.bad_unknown);
+  }
+}
+
 }  // namespace
 
 double OpResult::v(const ckt::Netlist& nl, std::string_view node) const {
-  const ckt::NodeId id = const_cast<ckt::Netlist&>(nl).node(node);
+  const ckt::NodeId id = nl.find_node(node);
+  if (id == ckt::kInvalidNode ||
+      static_cast<std::size_t>(id) > x.size())
+    return std::numeric_limits<double>::quiet_NaN();
   return v(id);
 }
 
 OpResult solve_op(ckt::Netlist& nl, const OpOptions& opt) {
+  OpResult r;
+
+  // Pre-solve structural lint: catch the topologies that would otherwise
+  // surface as unexplained singular matrices or garbage solutions.
+  if (opt.lint) {
+    const auto issues = ckt::lint(nl);
+    const bool fatal =
+        ckt::lint_has_errors(issues) ||
+        (opt.lint_strict && !issues.empty());
+    if (fatal) {
+      const auto& first = issues.front();
+      r.diag.status = SolveStatus::kBadTopology;
+      r.diag.stage = "lint";
+      if (!first.node.empty()) r.diag.unknown = "v(" + first.node + ")";
+      r.diag.device = first.device;
+      r.diag.detail = ckt::lint_report(issues);
+      return r;
+    }
+  }
+
   nl.assign_unknowns();
   for (const auto& d : nl.devices()) d->set_temperature(opt.temp_k);
 
-  OpResult r;
   r.x.assign(static_cast<std::size_t>(nl.unknown_count()), 0.0);
   if (!opt.initial_guess.empty() &&
       opt.initial_guess.size() == r.x.size()) {
@@ -91,14 +152,22 @@ OpResult solve_op(ckt::Netlist& nl, const OpOptions& opt) {
   p.temp_k = opt.temp_k;
   p.gshunt = opt.gshunt;
 
+  NewtonOutcome out;
+
   // 1. Plain Newton at final gmin.
   p.gmin = opt.gmin;
   num::RealVector x = r.x;
-  if (newton_solve_damped(nl, p, opt, x, r.iterations)) {
+  if (newton_solve_damped(nl, p, opt, x, r.iterations, out)) {
     r.x = std::move(x);
     r.converged = true;
     r.method = "newton";
     finalize(nl, opt, r);
+    return r;
+  }
+  // A structurally singular matrix will not be cured by homotopy: the
+  // zero pivot is topological, so diagnose it immediately.
+  if (out.fail == SolveStatus::kSingularMatrix) {
+    fill_failure_diag(nl, out, "newton", r);
     return r;
   }
 
@@ -108,10 +177,11 @@ OpResult solve_op(ckt::Netlist& nl, const OpOptions& opt) {
     for (double gmin = g0; gmin >= opt.gmin * 0.99;
          gmin *= 0.31622776601683794) {
       p.gmin = std::max(gmin, opt.gmin);
-      if (!newton_solve_damped(nl, p, opt, xx, r.iterations)) return false;
+      if (!newton_solve_damped(nl, p, opt, xx, r.iterations, out))
+        return false;
     }
     p.gmin = opt.gmin;
-    return newton_solve_damped(nl, p, opt, xx, r.iterations);
+    return newton_solve_damped(nl, p, opt, xx, r.iterations, out);
   };
 
   // 2. gmin stepping: converge with a large junction shunt, then relax.
@@ -124,6 +194,7 @@ OpResult solve_op(ckt::Netlist& nl, const OpOptions& opt) {
     finalize(nl, opt, r);
     return r;
   }
+  NewtonOutcome gmin_out = out;
 
   // 3. Source stepping at elevated gmin, then a gmin ladder at full
   // sources.
@@ -132,7 +203,7 @@ OpResult solve_op(ckt::Netlist& nl, const OpOptions& opt) {
   bool ok = true;
   for (int i = 1; i <= 20; ++i) {
     p.source_scale = i / 20.0;
-    if (!newton_solve_damped(nl, p, opt, x, r.iterations)) {
+    if (!newton_solve_damped(nl, p, opt, x, r.iterations, out)) {
       ok = false;
       break;
     }
@@ -148,7 +219,11 @@ OpResult solve_op(ckt::Netlist& nl, const OpOptions& opt) {
     }
   }
 
-  r.converged = false;
+  // All homotopies exhausted.  Prefer the diagnosis from the final
+  // source-stepping stage; fall back to the gmin-ladder outcome when
+  // source stepping never produced one.
+  fill_failure_diag(nl, out.bad_unknown >= 0 ? out : gmin_out,
+                    ok ? "source+gmin" : "source", r);
   return r;
 }
 

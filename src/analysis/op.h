@@ -4,6 +4,7 @@
 
 #include <string>
 
+#include "analysis/diag.h"
 #include "circuit/netlist.h"
 #include "numeric/matrix.h"
 
@@ -18,6 +19,12 @@ struct OpOptions {
   double gmin = 1e-12;      // final junction gmin
   double gshunt = 1e-12;
   num::RealVector initial_guess;  // optional (size 0 -> zeros)
+  // Pre-solve netlist lint: structural errors (duplicate device names,
+  // ideal-voltage-source loops) fail fast with kBadTopology before any
+  // matrix is assembled.  lint_strict escalates warnings (floating
+  // nodes, dangling terminals) to kBadTopology as well.
+  bool lint = true;
+  bool lint_strict = false;
 };
 
 struct OpResult {
@@ -25,13 +32,16 @@ struct OpResult {
   bool converged = false;
   int iterations = 0;
   std::string method;  // "newton" | "gmin" | "source"
+  SolveDiag diag;      // structured failure diagnosis (ok() on success)
 
+  // Voltage of a named node; quiet NaN when the name does not exist.
   double v(const ckt::Netlist& nl, std::string_view node) const;
   double v(ckt::NodeId n) const { return n == 0 ? 0.0 : x[n - 1]; }
 };
 
 // Solves the DC operating point and, on success, calls save_op() on all
-// devices so that AC / noise analyses can follow immediately.
+// devices so that AC / noise analyses can follow immediately.  Never
+// throws on solver failure: inspect result.diag for the cause.
 OpResult solve_op(ckt::Netlist& nl, const OpOptions& opt = {});
 
 }  // namespace msim::an

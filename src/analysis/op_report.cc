@@ -42,6 +42,13 @@ std::string op_report(const ckt::Netlist& nl, const OpResult& op) {
   std::ostringstream os;
   char line[160];
 
+  if (!op.converged) {
+    os << "operating point FAILED: " << op.diag.message() << "\n";
+    return os.str();
+  }
+  os << "solved by " << (op.method.empty() ? "newton" : op.method)
+     << " homotopy in " << op.iterations << " iterations\n";
+
   os << "node voltages:\n";
   for (int n = 1; n < nl.node_count(); ++n) {
     std::snprintf(line, sizeof line, "  %-24s %s\n",

@@ -11,7 +11,9 @@
 namespace msim::an {
 
 // Renders the solved operating point.  Devices must hold saved OPs
-// (solve_op() does this on success).
+// (solve_op() does this on success).  For a failed solve, renders the
+// structured SolveDiag (cause, offending unknown/device, stage) instead
+// of the bias tables.
 std::string op_report(const ckt::Netlist& nl, const OpResult& op);
 
 }  // namespace msim::an

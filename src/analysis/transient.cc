@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 
 #include "analysis/mna.h"
 #include "analysis/op.h"
@@ -10,35 +11,85 @@
 namespace msim::an {
 namespace {
 
-bool newton_step(const ckt::Netlist& nl, const AssembleParams& p,
-                 const TranOptions& opt, num::RealVector& x) {
+// Outcome of one implicit-step Newton solve, with the context needed to
+// diagnose a persistent failure.
+struct StepOutcome {
+  bool ok = false;
+  SolveStatus fail = SolveStatus::kNonConvergence;
+  int bad_unknown = -1;  // zero-pivot column / worst-|dx| / first NaN
+  double max_dx = 0.0;
+  int iterations = 0;
+};
+
+StepOutcome newton_step(const ckt::Netlist& nl, const AssembleParams& p,
+                        const TranOptions& opt, num::RealVector& x) {
   num::RealMatrix jac;
   num::RealVector rhs;
+  StepOutcome out;
   for (int it = 0; it < opt.max_newton; ++it) {
+    ++out.iterations;
     assemble_real(nl, x, p, jac, rhs);
     num::RealLu lu(jac);
-    if (lu.singular()) return false;
+    if (lu.singular()) {
+      out.fail = SolveStatus::kSingularMatrix;
+      out.bad_unknown = lu.singular_col();
+      return out;
+    }
     const num::RealVector x_new = lu.solve(rhs);
 
     double max_dx = 0.0;
-    for (std::size_t i = 0; i < x.size(); ++i)
-      max_dx = std::max(max_dx, std::abs(x_new[i] - x[i]));
-    const double scale =
-        max_dx > opt.max_step ? opt.max_step / max_dx : 1.0;
-
+    int worst = -1;
     bool converged = true;
     for (std::size_t i = 0; i < x.size(); ++i) {
-      const double dx = x_new[i] - x[i];
-      if (std::abs(dx) > opt.vtol + opt.reltol * std::abs(x_new[i]))
+      if (!std::isfinite(x_new[i])) {
+        out.fail = SolveStatus::kNonFinite;
+        out.bad_unknown = static_cast<int>(i);
+        return out;
+      }
+      const double adx = std::abs(x_new[i] - x[i]);
+      if (adx > max_dx) {
+        max_dx = adx;
+        worst = static_cast<int>(i);
+      }
+      if (adx > opt.vtol + opt.reltol * std::abs(x_new[i]))
         converged = false;
-      x[i] += scale * dx;
     }
-    if (converged && scale == 1.0) return true;
+    out.max_dx = max_dx;
+    out.bad_unknown = worst;
+
+    // The unclamped update already satisfies the tolerance: accept it
+    // as-is.  (Requiring the step clamp to be inactive here would reject
+    // a converged solution reached exactly at the clamp boundary.)
+    if (converged) {
+      x = x_new;
+      out.ok = true;
+      return out;
+    }
+
+    const double scale =
+        max_dx > opt.max_step ? opt.max_step / max_dx : 1.0;
+    for (std::size_t i = 0; i < x.size(); ++i)
+      x[i] += scale * (x_new[i] - x[i]);
   }
-  return false;
+  out.fail = SolveStatus::kNonConvergence;
+  return out;
 }
 
 }  // namespace
+
+std::string TranTelemetry::summary() const {
+  std::ostringstream os;
+  os << "transient telemetry:\n"
+     << "  op method            " << (op_method.empty() ? "-" : op_method)
+     << " (" << op_iterations << " iterations)\n"
+     << "  accepted steps       " << accepted_steps << "\n"
+     << "  rejected (newton)    " << rejected_newton << "\n"
+     << "  rejected (nonfinite) " << rejected_nonfinite << "\n"
+     << "  rejected (lte)       " << rejected_lte << "\n"
+     << "  newton iterations    " << newton_iterations << "\n"
+     << "  min dt attempted     " << min_dt_used << " s\n";
+  return os.str();
+}
 
 std::vector<double> TranResult::node_wave(ckt::NodeId n) const {
   std::vector<double> w;
@@ -83,6 +134,23 @@ double lte_estimate(const std::vector<double>& ts,
   return worst;
 }
 
+// Fills a kNonConvergence/kSingular/kNonFinite diag for a step that the
+// recovery logic could not push past even at the smallest dt.
+void fill_step_diag(const ckt::Netlist& nl, const StepOutcome& out,
+                    double t, double dt, TranResult& r) {
+  r.diag.status = out.fail;
+  r.diag.stage = "tran";
+  r.diag.residual = out.max_dx;
+  r.diag.iterations = out.iterations;
+  if (out.bad_unknown >= 0) {
+    r.diag.unknown = unknown_label(nl, out.bad_unknown);
+    r.diag.device = device_touching_unknown(nl, out.bad_unknown);
+  }
+  std::ostringstream os;
+  os << "step rejected at t = " << t << " s, dt = " << dt << " s";
+  r.diag.detail = os.str();
+}
+
 }  // namespace
 
 TranResult run_transient(ckt::Netlist& nl, const TranOptions& opt) {
@@ -93,7 +161,14 @@ TranResult run_transient(ckt::Netlist& nl, const TranOptions& opt) {
   op_opt.gmin = opt.gmin;
   op_opt.gshunt = opt.gshunt;
   const OpResult op = solve_op(nl, op_opt);
-  if (!op.converged) return r;
+  if (!op.converged) {
+    r.diag = op.diag;
+    r.diag.stage = "op:" + (op.diag.stage.empty() ? std::string("newton")
+                                                  : op.diag.stage);
+    return r;
+  }
+  r.telemetry.op_method = op.method;
+  r.telemetry.op_iterations = op.iterations;
 
   for (const auto& d : nl.devices()) d->begin_transient(op.x);
 
@@ -111,24 +186,46 @@ TranResult run_transient(ckt::Netlist& nl, const TranOptions& opt) {
     r.x.push_back(x);
   }
 
+  auto& tel = r.telemetry;
+  auto note_dt = [&tel](double dt) {
+    if (tel.min_dt_used == 0.0 || dt < tel.min_dt_used)
+      tel.min_dt_used = dt;
+  };
+  auto note_reject = [&tel](const StepOutcome& out) {
+    if (out.fail == SolveStatus::kNonFinite)
+      ++tel.rejected_nonfinite;
+    else
+      ++tel.rejected_newton;
+  };
+
   if (!opt.adaptive) {
     // Fixed base step (exactly reproducible sampling for FFT work);
-    // Newton failures trigger transparent sub-stepping to the boundary.
+    // Newton failures trigger transparent sub-stepping to the boundary,
+    // restarting each retry from the last accepted checkpoint `x`.
     while (t < opt.t_stop - 0.5 * opt.dt) {
       double dt = opt.dt;
       const double t_target = std::min(t + opt.dt, opt.t_stop);
       int halvings = 0;
       while (t < t_target - 1e-18) {
         dt = std::min(dt, t_target - t);
+        note_dt(dt);
         num::RealVector x_try = x;
         p.time = t + dt;
         p.dt = dt;
-        if (newton_step(nl, p, opt, x_try)) {
+        const StepOutcome out = newton_step(nl, p, opt, x_try);
+        tel.newton_iterations += out.iterations;
+        if (out.ok) {
           for (const auto& d : nl.devices()) d->accept_step(x_try, dt);
           x = std::move(x_try);
           t += dt;
+          ++tel.accepted_steps;
         } else {
-          if (++halvings > opt.max_halvings) return r;
+          note_reject(out);
+          if (++halvings > opt.max_halvings ||
+              0.5 * dt < opt.dt_min) {
+            fill_step_diag(nl, out, t, dt, r);
+            return r;
+          }
           dt *= 0.5;
         }
       }
@@ -151,21 +248,35 @@ TranResult run_transient(ckt::Netlist& nl, const TranOptions& opt) {
   int rejections = 0;
   while (t < opt.t_stop * (1.0 - 1e-12)) {
     dt = std::min(dt, opt.t_stop - t);
+    note_dt(dt);
     num::RealVector x_try = x;
     p.time = t + dt;
     p.dt = dt;
-    bool ok = newton_step(nl, p, opt, x_try);
+    const StepOutcome out = newton_step(nl, p, opt, x_try);
+    tel.newton_iterations += out.iterations;
     double err = 0.0;
-    if (ok) err = lte_estimate(hist_t, hist_x, t + dt, x_try, dt);
-    if (!ok || (err > opt.lte_tol && dt > opt.dt_min * 1.01)) {
+    if (out.ok) err = lte_estimate(hist_t, hist_x, t + dt, x_try, dt);
+    if (!out.ok || (err > opt.lte_tol && dt > opt.dt_min * 1.01)) {
+      if (out.ok)
+        ++tel.rejected_lte;
+      else
+        note_reject(out);
       dt = std::max(0.5 * dt, opt.dt_min);
-      if (++rejections > 60 + opt.max_halvings * 8) return r;
+      if (++rejections > 60 + opt.max_halvings * 8) {
+        fill_step_diag(nl, out, t, dt, r);
+        if (out.ok) {  // the limiter was LTE, not Newton
+          r.diag.status = SolveStatus::kNonConvergence;
+          r.diag.detail += " (LTE above tolerance at dt_min)";
+        }
+        return r;
+      }
       continue;
     }
     rejections = 0;
     for (const auto& d : nl.devices()) d->accept_step(x_try, dt);
     x = std::move(x_try);
     t += dt;
+    ++tel.accepted_steps;
     hist_t.push_back(t);
     hist_x.push_back(x);
     if (hist_t.size() > 4) {

@@ -5,11 +5,20 @@
 // fixed base step makes the FFT post-processing in the distortion benches
 // trivially coherent (dt is chosen as an integer divisor of the signal
 // period).
+//
+// Recovery contract: a step whose Newton iteration fails or produces a
+// non-finite state is rejected, dt is halved down to dt_min, and the
+// solve restarts from the last accepted checkpoint (device integration
+// state only advances on accepted steps).  Every rejection is counted in
+// TranTelemetry; a run that still cannot advance reports a structured
+// SolveDiag instead of silently returning a truncated waveform.
 #pragma once
 
 #include <functional>
+#include <string>
 #include <vector>
 
+#include "analysis/diag.h"
 #include "circuit/netlist.h"
 #include "numeric/matrix.h"
 
@@ -41,8 +50,29 @@ struct TranOptions {
   double lte_tol = 100e-6;
 };
 
+// Step-rejection and effort accounting for one transient run.
+struct TranTelemetry {
+  long accepted_steps = 0;
+  long rejected_newton = 0;     // failure-driven dt cuts (Newton stalled)
+  long rejected_nonfinite = 0;  // NaN/Inf state rejections
+  long rejected_lte = 0;        // LTE-driven dt cuts (adaptive only)
+  long newton_iterations = 0;   // total Newton iterations over the run
+  double min_dt_used = 0.0;     // smallest dt ever attempted (0 = none)
+  // Initial operating point: homotopy method and iteration count.
+  std::string op_method;
+  int op_iterations = 0;
+
+  long rejected_total() const {
+    return rejected_newton + rejected_nonfinite + rejected_lte;
+  }
+  // Multi-line human-readable summary (CLI / log output).
+  std::string summary() const;
+};
+
 struct TranResult {
   bool ok = false;
+  SolveDiag diag;           // structured failure diagnosis (ok() if ok)
+  TranTelemetry telemetry;  // step accounting, also filled on success
   std::vector<double> time;
   std::vector<num::RealVector> x;
 
@@ -52,7 +82,8 @@ struct TranResult {
   std::vector<double> diff_wave(ckt::NodeId p, ckt::NodeId n) const;
 };
 
-// Runs a transient from the DC operating point at t = 0.
+// Runs a transient from the DC operating point at t = 0.  Never throws
+// on solver failure: inspect result.diag.
 TranResult run_transient(ckt::Netlist& nl, const TranOptions& opt);
 
 }  // namespace msim::an

@@ -1,0 +1,159 @@
+#include "circuit/lint.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+namespace msim::ckt {
+namespace {
+
+// Minimal union-find over dense node ids.
+class UnionFind {
+ public:
+  explicit UnionFind(int n) : parent_(static_cast<std::size_t>(n)) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  int find(int a) {
+    while (parent_[a] != a) {
+      parent_[a] = parent_[parent_[a]];
+      a = parent_[a];
+    }
+    return a;
+  }
+  // Returns false when a and b were already connected.
+  bool unite(int a, int b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    parent_[b] = a;
+    return true;
+  }
+
+ private:
+  std::vector<int> parent_;
+};
+
+// Node pairs a device connects with a DC conduction path.  Gate and
+// pure current-source terminals are deliberately excluded: they carry
+// no DC conductance between their own nodes.
+std::vector<std::pair<NodeId, NodeId>> conduction_edges(const Device& d) {
+  const auto& n = d.nodes();
+  const std::string_view t = d.type();
+  if (t == "resistor" || t == "vsource" || t == "inductor" ||
+      t == "switch" || t == "diode")
+    return {{n[0], n[1]}};
+  if (t == "vcvs" || t == "ccvs") return {{n[0], n[1]}};
+  if (t == "bjt")  // c b e: all junction-coupled
+    return {{n[0], n[1]}, {n[1], n[2]}};
+  if (t == "mosfet")  // d g s b: channel d-s plus bulk junctions
+    return {{n[0], n[2]}, {n[3], n[0]}, {n[3], n[2]}};
+  return {};
+}
+
+// True for branches that pin an exact voltage between their terminals;
+// a cycle of these is structurally singular in DC.
+bool is_hard_voltage_branch(const Device& d) {
+  const std::string_view t = d.type();
+  return t == "vsource" || t == "inductor";
+}
+
+}  // namespace
+
+const char* to_string(LintKind k) {
+  switch (k) {
+    case LintKind::kDuplicateName: return "duplicate_name";
+    case LintKind::kVoltageLoop: return "voltage_loop";
+    case LintKind::kFloatingNode: return "floating_node";
+    case LintKind::kDanglingTerminal: return "dangling_terminal";
+    case LintKind::kNoDevices: return "no_devices";
+  }
+  return "unknown";
+}
+
+std::vector<LintIssue> lint(const Netlist& nl) {
+  std::vector<LintIssue> errors, warnings;
+
+  if (nl.devices().empty()) {
+    errors.push_back({LintKind::kNoDevices, LintSeverity::kError, "", "",
+                      "netlist contains no devices"});
+    return errors;
+  }
+
+  // Duplicate device names.
+  std::map<std::string, int> name_count;
+  for (const auto& d : nl.devices()) ++name_count[d->name()];
+  for (const auto& [name, count] : name_count) {
+    if (count > 1)
+      errors.push_back({LintKind::kDuplicateName, LintSeverity::kError, "",
+                        name,
+                        "device name '" + name + "' used " +
+                            std::to_string(count) + " times"});
+  }
+
+  // Loops of ideal voltage branches (parallel V sources, V/L cycles).
+  UnionFind hard(nl.node_count());
+  for (const auto& d : nl.devices()) {
+    if (!is_hard_voltage_branch(*d)) continue;
+    const auto& n = d->nodes();
+    if (n[0] == n[1] || !hard.unite(n[0], n[1]))
+      errors.push_back({LintKind::kVoltageLoop, LintSeverity::kError,
+                        nl.node_name(n[0]), d->name(),
+                        "voltage branch '" + d->name() +
+                            "' closes a loop of ideal voltage sources"});
+  }
+
+  // Terminal reference counts and the DC conduction graph.
+  std::vector<int> refs(static_cast<std::size_t>(nl.node_count()), 0);
+  std::vector<std::string> first_dev(
+      static_cast<std::size_t>(nl.node_count()));
+  UnionFind cond(nl.node_count());
+  for (const auto& d : nl.devices()) {
+    for (const NodeId n : d->nodes()) {
+      ++refs[static_cast<std::size_t>(n)];
+      if (first_dev[static_cast<std::size_t>(n)].empty())
+        first_dev[static_cast<std::size_t>(n)] = d->name();
+    }
+    for (const auto& [a, b] : conduction_edges(*d)) cond.unite(a, b);
+  }
+
+  const int ground_root = cond.find(kGround);
+  for (NodeId n = 1; n < nl.node_count(); ++n) {
+    const auto& name = nl.node_name(n);
+    if (refs[static_cast<std::size_t>(n)] == 1)
+      warnings.push_back({LintKind::kDanglingTerminal,
+                          LintSeverity::kWarning, name,
+                          first_dev[static_cast<std::size_t>(n)],
+                          "node '" + name +
+                              "' is referenced by a single terminal (" +
+                              first_dev[static_cast<std::size_t>(n)] +
+                              ")"});
+    if (cond.find(n) != ground_root)
+      warnings.push_back({LintKind::kFloatingNode, LintSeverity::kWarning,
+                          name, first_dev[static_cast<std::size_t>(n)],
+                          "node '" + name +
+                              "' has no DC conduction path to ground"});
+  }
+
+  errors.insert(errors.end(), warnings.begin(), warnings.end());
+  return errors;
+}
+
+bool lint_has_errors(const std::vector<LintIssue>& issues) {
+  return std::any_of(issues.begin(), issues.end(), [](const LintIssue& i) {
+    return i.severity == LintSeverity::kError;
+  });
+}
+
+std::string lint_report(const std::vector<LintIssue>& issues) {
+  std::string out;
+  for (const auto& i : issues) {
+    out += i.severity == LintSeverity::kError ? "error: " : "warning: ";
+    out += to_string(i.kind);
+    out += ": ";
+    out += i.message;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace msim::ckt

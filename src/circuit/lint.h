@@ -1,0 +1,52 @@
+// Pre-solve netlist lint: structural checks that catch the classic
+// "silently singular" topologies before any matrix is assembled.
+//
+// Checks:
+//  * duplicate device names (error) — the name index silently shadows,
+//    so .find() and controlled-source references become ambiguous;
+//  * loops of ideal voltage branches (error) — parallel V sources or a
+//    V/L/E/H cycle makes the MNA matrix structurally singular;
+//  * floating nodes (warning) — no DC conduction path to ground, so the
+//    node voltage is fixed only by the gshunt regularization;
+//  * dangling terminals (warning) — a node referenced by exactly one
+//    device terminal;
+//  * empty netlist (error).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "circuit/netlist.h"
+
+namespace msim::ckt {
+
+enum class LintKind {
+  kDuplicateName,
+  kVoltageLoop,
+  kFloatingNode,
+  kDanglingTerminal,
+  kNoDevices,
+};
+
+enum class LintSeverity { kWarning, kError };
+
+struct LintIssue {
+  LintKind kind;
+  LintSeverity severity;
+  std::string node;     // offending node name, when node-scoped
+  std::string device;   // offending device name, when device-scoped
+  std::string message;  // human-readable one-liner
+};
+
+// Short stable identifier ("duplicate_name", "voltage_loop", ...).
+const char* to_string(LintKind k);
+
+// Runs all checks; issues are ordered errors-first.
+std::vector<LintIssue> lint(const Netlist& nl);
+
+bool lint_has_errors(const std::vector<LintIssue>& issues);
+
+// Multi-line report, one issue per line; empty string when clean.
+std::string lint_report(const std::vector<LintIssue>& issues);
+
+}  // namespace msim::ckt

@@ -28,6 +28,11 @@ bool Netlist::has_node(std::string_view name) const {
   return by_name_.count(std::string(name)) != 0;
 }
 
+NodeId Netlist::find_node(std::string_view name) const {
+  const auto it = by_name_.find(std::string(name));
+  return it == by_name_.end() ? kInvalidNode : it->second;
+}
+
 const std::string& Netlist::node_name(NodeId id) const {
   return names_.at(static_cast<std::size_t>(id));
 }

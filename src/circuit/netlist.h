@@ -24,6 +24,9 @@ class Netlist {
   NodeId internal_node(std::string_view hint = "n");
 
   bool has_node(std::string_view name) const;
+  // Const lookup: the id of an existing node, or kInvalidNode when the
+  // name was never used (no node is created).
+  NodeId find_node(std::string_view name) const;
   const std::string& node_name(NodeId id) const;
   // Total node count including ground.
   int node_count() const { return static_cast<int>(names_.size()); }

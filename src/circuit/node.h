@@ -7,5 +7,7 @@ namespace msim::ckt {
 // index of node k (k > 0) is k - 1; branch-current unknowns follow.
 using NodeId = int;
 inline constexpr NodeId kGround = 0;
+// Sentinel returned by const lookups for names that were never created.
+inline constexpr NodeId kInvalidNode = -1;
 
 }  // namespace msim::ckt

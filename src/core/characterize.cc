@@ -125,7 +125,7 @@ MicAmpDatasheet characterize_mic_amp(const MicAmpDesign& d,
   {
     num::Rng rng(seed);
     const auto stats =
-        an::monte_carlo(mc_samples, rng, [&](num::Rng& srng) {
+        an::monte_carlo_diag(mc_samples, rng, [&](num::Rng& srng) {
           auto b2 = mic_bench(d, pm);
           for (const auto& dv : b2->nl.devices()) {
             auto* m = dynamic_cast<dev::Mosfet*>(dv.get());
@@ -138,13 +138,14 @@ MicAmpDatasheet characterize_mic_amp(const MicAmpDesign& d,
           }
           b2->mic.set_gain_code(gain_code);
           const auto op2 = an::solve_op(b2->nl);
-          if (!op2.converged)
-            return std::numeric_limits<double>::quiet_NaN();
+          if (!op2.converged) return an::McTrial::failed(op2.diag);
           const double out_dc =
               op2.v(b2->mic.outp) - op2.v(b2->mic.outn);
-          return out_dc / std::pow(10.0, ds.gain_db / 20.0);
+          return an::McTrial::of(out_dc /
+                                 std::pow(10.0, ds.gain_db / 20.0));
         });
     ds.offset_sigma_mv = stats.stddev() * 1e3;
+    ds.mc_failure_causes = stats.failure_causes();
   }
 
   ds.valid = true;

@@ -5,6 +5,9 @@
 // tracking of design changes.
 #pragma once
 
+#include <map>
+#include <string>
+
 #include "core/class_ab_driver.h"
 #include "core/mic_amp.h"
 #include "process/process.h"
@@ -23,6 +26,9 @@ struct MicAmpDatasheet {
   double thd_db = 0.0;           // at 0.2 Vp output, 1 kHz
   double iq_ma = 0.0;
   double offset_sigma_mv = 0.0;  // input-referred, from mismatch MC
+  // Monte-Carlo failure census: SolveDiag status name -> sample count
+  // (empty when every mismatch sample solved).
+  std::map<std::string, int> mc_failure_causes;
 };
 
 MicAmpDatasheet characterize_mic_amp(const MicAmpDesign& d,

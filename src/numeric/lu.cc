@@ -21,6 +21,7 @@ void Lu<T>::factor(const Matrix<T>& a) {
   perm_.resize(n);
   for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
   singular_ = false;
+  singular_col_ = -1;
   min_pivot_ = n ? 1e300 : 0.0;
 
   for (std::size_t k = 0; k < n; ++k) {
@@ -36,6 +37,7 @@ void Lu<T>::factor(const Matrix<T>& a) {
     }
     if (best < kPivotFloor) {
       singular_ = true;
+      singular_col_ = static_cast<int>(k);
       min_pivot_ = 0.0;
       return;
     }

@@ -26,6 +26,8 @@ class Lu {
   void factor(const Matrix<T>& a);
 
   bool singular() const { return singular_; }
+  // Column (unknown index) whose pivot search failed; -1 when !singular().
+  int singular_col() const { return singular_col_; }
   std::size_t size() const { return lu_.rows(); }
 
   // Solves A x = b.  Requires !singular().
@@ -41,6 +43,7 @@ class Lu {
   Matrix<T> lu_;
   std::vector<std::size_t> perm_;  // row permutation: lu_ row i came from perm_[i]
   bool singular_ = false;
+  int singular_col_ = -1;
   double min_pivot_ = 0.0;
 };
 

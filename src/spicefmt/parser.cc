@@ -24,6 +24,16 @@ namespace {
                            std::to_string(line) + ": " + msg);
 }
 
+// parse_value with the source line attached to the error, matching the
+// other parse diagnostics.
+double parse_value_at(const std::string& tok, int line) {
+  try {
+    return parse_value(tok);
+  } catch (const std::exception& e) {
+    fail(line, e.what());
+  }
+}
+
 std::string lower(std::string s) {
   std::transform(s.begin(), s.end(), s.begin(),
                  [](unsigned char c) { return std::tolower(c); });
@@ -329,7 +339,7 @@ class Builder {
       ExprEval ev(params_);
       return ev.eval(tok.substr(1, tok.size() - 2), line);
     }
-    return parse_value(tok);
+    return parse_value_at(tok, line);
   }
 
   ckt::NodeId node(const std::string& name, const std::string& prefix,
@@ -419,7 +429,7 @@ class Builder {
     if (head[0] == '.') {
       if (head == ".end") return;
       if (head == ".temp") {
-        if (toks.size() > 1) result_.temp_c = parse_value(toks[1]);
+        if (toks.size() > 1) result_.temp_c = parse_value_at(toks[1], c.line);
         return;
       }
       AnalysisDirective d;
@@ -538,6 +548,8 @@ class Builder {
 
   void emit_fh(const FhCard& p) {
     auto toks = tokenize(p.card.text);
+    if (toks.size() < 4)
+      fail(p.card.line, toks[0] + " needs n+ n- vsense gain");
     auto& nl = *result_.netlist;
     const std::string name = p.prefix + toks[0];
     const auto np = node(toks[1], p.prefix, p.port_map);
@@ -547,7 +559,8 @@ class Builder {
     if (!sense) sense = nl.find_as<dev::VSource>(toks[3]);
     if (!sense)
       fail(p.card.line, "controlling source " + toks[3] + " not found");
-    const double gain = parse_value(toks[4]);
+    if (toks.size() < 5) fail(p.card.line, "missing gain on " + toks[0]);
+    const double gain = parse_value_at(toks[4], p.card.line);
     if (toks[0][0] == 'f')
       nl.add<dev::Cccs>(name, np, nn, sense, gain);
     else

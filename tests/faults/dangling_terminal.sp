@@ -1,0 +1,6 @@
+* fault: node "stub" is referenced by a single terminal only
+v1 a 0 dc 1
+r1 a 0 1k
+r2 a stub 10k
+.op
+.end

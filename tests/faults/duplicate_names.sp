@@ -1,0 +1,6 @@
+* fault: two devices share the name r1 (ambiguous name index)
+v1 a 0 dc 1
+r1 a b 1k
+r1 b 0 2k
+.op
+.end

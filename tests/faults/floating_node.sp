@@ -1,0 +1,8 @@
+* fault: node "float" has no DC conduction path to ground
+v1 a 0 dc 1
+r1 a b 1k
+r2 b 0 1k
+c1 float b 1n
+i1 0 float dc 1u
+.op
+.end

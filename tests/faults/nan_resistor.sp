@@ -1,0 +1,6 @@
+* fault: zero-ohm resistor stamps an infinite conductance (NaN producer)
+v1 a 0 dc 1
+r1 a b 0
+r2 b 0 1k
+.op
+.end

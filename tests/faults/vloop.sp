@@ -1,0 +1,6 @@
+* fault: two ideal voltage sources in parallel (structurally singular)
+v1 a 0 dc 5
+v2 a 0 dc 3
+r1 a 0 1k
+.op
+.end

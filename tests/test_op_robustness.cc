@@ -1,10 +1,17 @@
 // Operating-point solver robustness: homotopy fallbacks, pathological
-// circuits, initial-guess reuse, and graceful failure reporting.
+// circuits, initial-guess reuse, and structured failure diagnostics
+// (SolveDiag) exercised through the fault-injection netlists under
+// tests/faults/.
 #include <gtest/gtest.h>
 
+#include "analysis/ac.h"
+#include "analysis/montecarlo.h"
+#include "analysis/noise.h"
 #include "analysis/op.h"
 #include "analysis/sweep.h"
+#include "analysis/transient.h"
 #include "core/bias.h"
+#include "circuit/lint.h"
 #include "circuit/netlist.h"
 #include "devices/bjt.h"
 #include "devices/diode.h"
@@ -13,10 +20,15 @@
 #include "devices/sources.h"
 #include "numeric/units.h"
 #include "process/process.h"
+#include "spicefmt/parser.h"
 
 namespace {
 
 using namespace msim;
+
+std::string fault_path(const char* name) {
+  return std::string(MSIM_TEST_DIR) + "/faults/" + name;
+}
 
 TEST(OpRobustness, DiodeStackFromColdStart) {
   // Six series diodes across 4 V: strongly nonlinear, needs limiting.
@@ -109,6 +121,223 @@ TEST(OpRobustness, ContinuationTracksSteepTransferCurve) {
   }
   EXPECT_GT(sweep.front().op.v(out), 2.9);
   EXPECT_LT(sweep.back().op.v(out), 0.1);
+}
+
+// ---- fault injection: structured diagnostics ------------------------
+
+TEST(FaultInjection, ParallelVsourcesSingularMatrixNamesUnknown) {
+  auto parsed = spice::parse_netlist_file(fault_path("vloop.sp"));
+  an::OpOptions opt;
+  opt.lint = false;  // reach the matrix to exercise the LU diagnosis
+  const auto op = an::solve_op(*parsed.netlist, opt);
+  EXPECT_FALSE(op.converged);
+  EXPECT_EQ(op.diag.status, an::SolveStatus::kSingularMatrix);
+  EXPECT_EQ(op.diag.unknown, "i(v2)");
+  EXPECT_EQ(op.diag.device, "v2");
+  EXPECT_EQ(op.diag.stage, "newton");
+}
+
+TEST(FaultInjection, ParallelVsourcesCaughtByLintBeforeAssembly) {
+  auto parsed = spice::parse_netlist_file(fault_path("vloop.sp"));
+  const auto issues = ckt::lint(*parsed.netlist);
+  ASSERT_TRUE(ckt::lint_has_errors(issues));
+  EXPECT_EQ(issues.front().kind, ckt::LintKind::kVoltageLoop);
+  EXPECT_EQ(issues.front().device, "v2");
+
+  const auto op = an::solve_op(*parsed.netlist);  // lint on by default
+  EXPECT_FALSE(op.converged);
+  EXPECT_EQ(op.diag.status, an::SolveStatus::kBadTopology);
+  EXPECT_EQ(op.diag.stage, "lint");
+  EXPECT_NE(op.diag.detail.find("voltage_loop"), std::string::npos);
+}
+
+TEST(FaultInjection, FloatingNodeNamedByLintAndByNonConvergence) {
+  auto parsed = spice::parse_netlist_file(fault_path("floating_node.sp"));
+  const auto issues = ckt::lint(*parsed.netlist);
+  ASSERT_FALSE(ckt::lint_has_errors(issues));  // warning, not error
+  bool found = false;
+  for (const auto& i : issues)
+    if (i.kind == ckt::LintKind::kFloatingNode && i.node == "float")
+      found = true;
+  EXPECT_TRUE(found);
+
+  // Strict lint escalates the warning to a structured topology failure.
+  an::OpOptions strict;
+  strict.lint_strict = true;
+  const auto op_strict = an::solve_op(*parsed.netlist, strict);
+  EXPECT_FALSE(op_strict.converged);
+  EXPECT_EQ(op_strict.diag.status, an::SolveStatus::kBadTopology);
+  EXPECT_NE(op_strict.diag.detail.find("float"), std::string::npos);
+
+  // Default (permissive) solve fails to converge chasing the
+  // gshunt-regularized megavolt node, and names exactly that node.
+  const auto op = an::solve_op(*parsed.netlist);
+  EXPECT_FALSE(op.converged);
+  EXPECT_EQ(op.diag.status, an::SolveStatus::kNonConvergence);
+  EXPECT_EQ(op.diag.unknown, "v(float)");
+  EXPECT_GT(op.diag.residual, 0.0);
+  EXPECT_GT(op.diag.iterations, 0);
+}
+
+TEST(FaultInjection, ZeroOhmResistorProducesNonFiniteDiag) {
+  auto parsed = spice::parse_netlist_file(fault_path("nan_resistor.sp"));
+  const auto op = an::solve_op(*parsed.netlist);
+  EXPECT_FALSE(op.converged);
+  EXPECT_EQ(op.diag.status, an::SolveStatus::kNonFinite);
+  EXPECT_EQ(op.diag.unknown, "v(a)");
+  EXPECT_FALSE(op.diag.device.empty());
+}
+
+TEST(FaultInjection, DuplicateDeviceNamesAreATopologyError) {
+  auto parsed =
+      spice::parse_netlist_file(fault_path("duplicate_names.sp"));
+  const auto op = an::solve_op(*parsed.netlist);
+  EXPECT_FALSE(op.converged);
+  EXPECT_EQ(op.diag.status, an::SolveStatus::kBadTopology);
+  EXPECT_EQ(op.diag.device, "r1");
+  EXPECT_NE(op.diag.detail.find("duplicate_name"), std::string::npos);
+}
+
+TEST(FaultInjection, DanglingTerminalWarnsButStillSolves) {
+  auto parsed =
+      spice::parse_netlist_file(fault_path("dangling_terminal.sp"));
+  const auto issues = ckt::lint(*parsed.netlist);
+  ASSERT_FALSE(ckt::lint_has_errors(issues));
+  bool found = false;
+  for (const auto& i : issues)
+    if (i.kind == ckt::LintKind::kDanglingTerminal && i.node == "stub")
+      found = true;
+  EXPECT_TRUE(found);
+
+  const auto op = an::solve_op(*parsed.netlist);
+  ASSERT_TRUE(op.converged);
+  EXPECT_NEAR(op.v(*parsed.netlist, "stub"), 1.0, 1e-6);
+}
+
+TEST(FaultInjection, AcSingularMatrixReportsDiagInsteadOfThrow) {
+  ckt::Netlist nl;
+  const auto a = nl.node("a");
+  nl.add<dev::VSource>("V1", a, ckt::kGround,
+                       dev::Waveform::dc(1.0).with_ac(1.0));
+  nl.add<dev::VSource>("V2", a, ckt::kGround, 1.0);
+  nl.add<dev::Resistor>("R1", a, ckt::kGround, 1e3);
+  const auto ac = an::run_ac_diag(nl, {1e3});
+  EXPECT_FALSE(ac.ok());
+  EXPECT_EQ(ac.diag.status, an::SolveStatus::kSingularMatrix);
+  EXPECT_EQ(ac.diag.unknown, "i(V2)");
+  EXPECT_EQ(ac.diag.stage, "ac");
+  // The historical API still throws, carrying the structured message.
+  EXPECT_THROW(an::run_ac(nl, {1e3}), std::runtime_error);
+}
+
+TEST(FaultInjection, NoiseWithoutOutputNodeIsBadTopology) {
+  ckt::Netlist nl;
+  nl.add<dev::Resistor>("R1", nl.node("a"), ckt::kGround, 1e3);
+  const auto res = an::run_noise_diag(nl, {1e3}, an::NoiseOptions{});
+  EXPECT_FALSE(res.ok());
+  EXPECT_EQ(res.diag.status, an::SolveStatus::kBadTopology);
+}
+
+TEST(FaultInjection, MonteCarloCollectsPerSampleDiagnostics) {
+  num::Rng rng(7);
+  int k = 0;
+  const auto stats =
+      an::monte_carlo_diag(6, rng, [&](num::Rng&) -> an::McTrial {
+        if (++k % 2 == 0) {
+          an::SolveDiag d;
+          d.status = an::SolveStatus::kNonConvergence;
+          d.unknown = "v(x)";
+          return an::McTrial::failed(d);
+        }
+        return an::McTrial::of(1.0);
+      });
+  EXPECT_EQ(stats.samples.size(), 3u);
+  EXPECT_EQ(stats.failures, 3);
+  ASSERT_EQ(stats.failure_diags.size(), 3u);
+  EXPECT_EQ(stats.failure_diags[0].sample, 1);
+  EXPECT_EQ(stats.failure_diags[0].diag.unknown, "v(x)");
+  const auto causes = stats.failure_causes();
+  EXPECT_EQ(causes.at("non_convergence"), 3);
+}
+
+// ---- transient step rejection and recovery --------------------------
+
+TEST(TranRecovery, AdaptiveRunRejectsThenRecovers) {
+  // RC driven by a fast sine, started with a deliberately huge dt: the
+  // LTE controller must reject, shrink, and still finish the run.
+  ckt::Netlist nl;
+  const auto in = nl.node("in");
+  const auto out = nl.node("out");
+  nl.add<dev::VSource>("Vin", in, ckt::kGround,
+                       dev::Waveform::sine(0.0, 1.0, 10e3));
+  nl.add<dev::Resistor>("R1", in, out, 1e3);
+  nl.add<dev::Capacitor>("C1", out, ckt::kGround, 10e-9);
+  an::TranOptions t;
+  t.adaptive = true;
+  t.t_stop = 200e-6;
+  t.dt = 50e-6;  // far above what the 10 kHz sine tolerates
+  t.dt_min = 1e-9;
+  t.lte_tol = 20e-6;
+  const auto r = an::run_transient(nl, t);
+  ASSERT_TRUE(r.ok) << r.diag.message();
+  EXPECT_GT(r.telemetry.rejected_lte, 0);
+  EXPECT_GT(r.telemetry.accepted_steps, 0);
+  EXPECT_GT(r.telemetry.newton_iterations, 0);
+  EXPECT_LT(r.telemetry.min_dt_used, t.dt);
+  EXPECT_EQ(r.telemetry.op_method, "newton");
+  EXPECT_NEAR(r.time.back(), t.t_stop, 1e-9);
+}
+
+TEST(TranRecovery, FixedStepHalvesThroughNewtonFailure) {
+  // Diode rectifier with a starved Newton budget: full-dt steps across
+  // the steep conduction edge fail, the halving recovery must finish
+  // the run anyway and account for every rejection.
+  ckt::Netlist nl;
+  const auto in = nl.node("in");
+  const auto out = nl.node("out");
+  nl.add<dev::VSource>("Vin", in, ckt::kGround,
+                       dev::Waveform::sine(0.0, 2.0, 1e3));
+  nl.add<dev::Diode>("D1", in, out, dev::DiodeParams{});
+  nl.add<dev::Resistor>("RL", out, ckt::kGround, 1e4);
+  nl.add<dev::Capacitor>("CL", out, ckt::kGround, 1e-9);
+  an::TranOptions t;
+  t.t_stop = 1e-3;
+  t.dt = 25e-6;
+  t.max_newton = 4;     // starve Newton at full dt
+  t.max_step = 0.05;
+  const auto r = an::run_transient(nl, t);
+  ASSERT_TRUE(r.ok) << r.diag.message();
+  EXPECT_GT(r.telemetry.rejected_newton, 0);
+  EXPECT_LT(r.telemetry.min_dt_used, t.dt);
+  // The recorded grid still lands on the fixed base step boundaries.
+  EXPECT_NEAR(r.time.back(), t.t_stop, 1e-12);
+}
+
+TEST(TranRecovery, UnrecoverableStepReportsStructuredDiag) {
+  // A pulse edge too steep for the starved Newton budget at any dt:
+  // recovery must give up with a kNonConvergence diag at stage "tran",
+  // not crash or silently truncate.
+  ckt::Netlist nl;
+  const auto in = nl.node("in");
+  const auto out = nl.node("out");
+  nl.add<dev::VSource>("Vin", in, ckt::kGround,
+                       dev::Waveform::pulse(0.0, 3.0, 10e-6, 1e-12,
+                                            1e-12, 50e-6, 100e-6));
+  nl.add<dev::Resistor>("R1", in, out, 1e3);
+  nl.add<dev::Capacitor>("C1", out, ckt::kGround, 1e-9);
+  an::TranOptions t;
+  t.t_stop = 100e-6;
+  t.dt = 5e-6;
+  t.max_newton = 1;    // cannot absorb the 3 V jump with max_step 0.01
+  t.max_step = 0.01;
+  t.max_halvings = 4;
+  const auto r = an::run_transient(nl, t);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.diag.status, an::SolveStatus::kNonConvergence);
+  EXPECT_EQ(r.diag.stage, "tran");
+  EXPECT_FALSE(r.diag.unknown.empty());
+  EXPECT_NE(r.diag.detail.find("step rejected"), std::string::npos);
+  EXPECT_GT(r.telemetry.rejected_newton, 0);
 }
 
 TEST(OpRobustness, ReportsFailureNotCrashOnOpenCurrentSource) {

@@ -236,6 +236,14 @@ TEST(SpiceParser, ErrorsCarryLineNumbers) {
   } catch (const std::runtime_error& e) {
     EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
   }
+  try {
+    parse_netlist("t\nr1 a 0 1k\nr2 a 0 bogus\n.end\n");
+    FAIL() << "expected bad-number error";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("bad number"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+  }
   EXPECT_THROW(parse_netlist("t\nz1 a 0 1k\n"), std::runtime_error);
   EXPECT_THROW(parse_netlist("t\nm1 d g s b nomodel w=1u l=1u\n"),
                std::runtime_error);

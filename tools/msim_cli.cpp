@@ -1,6 +1,7 @@
 // msim_cli: run SPICE-format netlists from the command line.
 //
-//   msim_cli circuit.sp [--probe node1,node2,...]
+//   msim_cli circuit.sp [--probe node1,node2,...] [--lint-only]
+//                       [--no-telemetry]
 //
 // Executes the analysis directives found in the file:
 //   .op                          operating point (all node voltages)
@@ -10,6 +11,12 @@
 //   .noise <out_node> <input_src> dec <pts/dec> <fstart> <fstop>
 // Sweep results print as CSV on stdout (columns: sweep variable, then
 // the probed nodes; default probes = every named node up to 8).
+//
+// Every run starts with a netlist lint pass: warnings (floating nodes,
+// dangling terminals) go to stderr, errors (duplicate device names,
+// voltage-source loops) abort with exit code 3.  Solver failures print
+// the structured SolveDiag (cause, offending node/device, homotopy
+// stage); transients additionally print step-rejection telemetry.
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -21,6 +28,7 @@
 #include "analysis/op_report.h"
 #include "analysis/sweep.h"
 #include "analysis/transient.h"
+#include "circuit/lint.h"
 #include "devices/sources.h"
 #include "numeric/units.h"
 #include "spicefmt/parser.h"
@@ -48,8 +56,15 @@ std::vector<ckt::NodeId> resolve_probes(ckt::Netlist& nl,
                                         const std::string& probe_arg) {
   std::vector<ckt::NodeId> probes;
   if (!probe_arg.empty()) {
-    for (const auto& name : split_csv(probe_arg))
-      probes.push_back(nl.node(name));
+    for (const auto& name : split_csv(probe_arg)) {
+      const ckt::NodeId n = nl.find_node(name);
+      if (n == ckt::kInvalidNode) {
+        std::fprintf(stderr, "warning: probe node '%s' not in netlist; ignored\n",
+                     name.c_str());
+        continue;
+      }
+      probes.push_back(n);
+    }
     return probes;
   }
   for (int n = 1; n < nl.node_count() && probes.size() < 8; ++n) {
@@ -73,11 +88,22 @@ double arg_num(const spice::AnalysisDirective& d, std::size_t i) {
   return spice::parse_value(d.args[i]);
 }
 
-int run(const std::string& path, const std::string& probe_arg) {
+int run(const std::string& path, const std::string& probe_arg,
+        bool lint_only, bool telemetry) {
   auto parsed = spice::parse_netlist_file(path);
   auto& nl = *parsed.netlist;
   const double temp_k = num::celsius_to_kelvin(parsed.temp_c);
   const auto probes = resolve_probes(nl, probe_arg);
+
+  // Pre-analysis structural lint: surface every issue, abort on errors.
+  const auto issues = ckt::lint(nl);
+  if (!issues.empty())
+    std::fputs(ckt::lint_report(issues).c_str(), stderr);
+  if (ckt::lint_has_errors(issues)) {
+    std::fprintf(stderr, "netlist lint failed; not simulating\n");
+    return 3;
+  }
+  if (lint_only) return issues.empty() ? 0 : 1;
 
   if (parsed.directives.empty()) {
     std::fprintf(stderr, "no analysis directives; running .op\n");
@@ -95,7 +121,8 @@ int run(const std::string& path, const std::string& probe_arg) {
     if (d.kind == "op") {
       const auto op = an::solve_op(nl, op_opt);
       if (!op.converged) {
-        std::fprintf(stderr, "operating point did not converge\n");
+        std::fprintf(stderr, "operating point failed: %s\n",
+                     op.diag.message().c_str());
         return 1;
       }
       std::fputs(an::op_report(nl, op).c_str(), stdout);
@@ -116,7 +143,11 @@ int run(const std::string& path, const std::string& probe_arg) {
           [&](double v) { src->set_waveform(dev::Waveform::dc(v)); },
           op_opt);
       for (const auto& pt : sweep) {
-        if (!pt.op.converged) continue;
+        if (!pt.op.converged) {
+          std::fprintf(stderr, "sweep point %g failed: %s\n", pt.value,
+                       pt.op.diag.message().c_str());
+          continue;
+        }
         std::printf("%g", pt.value);
         for (auto p : probes) std::printf(",%.6g", pt.op.v(p));
         std::printf("\n");
@@ -125,9 +156,19 @@ int run(const std::string& path, const std::string& probe_arg) {
       // .ac dec N fstart fstop
       const int ppd = static_cast<int>(arg_num(d, 1));
       const double f1 = arg_num(d, 2), f2 = arg_num(d, 3);
-      if (!an::solve_op(nl, op_opt).converged) return 1;
+      const auto op = an::solve_op(nl, op_opt);
+      if (!op.converged) {
+        std::fprintf(stderr, "operating point failed: %s\n",
+                     op.diag.message().c_str());
+        return 1;
+      }
       const auto freqs = an::log_frequencies(f1, f2, ppd);
-      const auto ac = an::run_ac(nl, freqs);
+      const auto ac = an::run_ac_diag(nl, freqs);
+      if (!ac.ok()) {
+        std::fprintf(stderr, "ac analysis failed: %s\n",
+                     ac.diag.message().c_str());
+        return 1;
+      }
       std::printf("freq");
       for (auto p : probes)
         std::printf(",mag(%s),phase_deg(%s)",
@@ -148,8 +189,11 @@ int run(const std::string& path, const std::string& probe_arg) {
       t.t_stop = arg_num(d, 1);
       t.temp_k = temp_k;
       const auto res = an::run_transient(nl, t);
+      if (telemetry)
+        std::fputs(res.telemetry.summary().c_str(), stderr);
       if (!res.ok) {
-        std::fprintf(stderr, "transient failed\n");
+        std::fprintf(stderr, "transient failed: %s\n",
+                     res.diag.message().c_str());
         return 1;
       }
       print_probe_header(nl, "time", probes);
@@ -165,7 +209,12 @@ int run(const std::string& path, const std::string& probe_arg) {
       if (d.args.size() < 6)
         throw std::runtime_error(
             ".noise out_node input_src dec N fstart fstop");
-      if (!an::solve_op(nl, op_opt).converged) return 1;
+      const auto op = an::solve_op(nl, op_opt);
+      if (!op.converged) {
+        std::fprintf(stderr, "operating point failed: %s\n",
+                     op.diag.message().c_str());
+        return 1;
+      }
       an::NoiseOptions nopt;
       nopt.out_p = nl.node(d.args[0]);
       nopt.input_source = d.args[1];
@@ -173,7 +222,12 @@ int run(const std::string& path, const std::string& probe_arg) {
       const int ppd = static_cast<int>(arg_num(d, 3));
       const auto freqs =
           an::log_frequencies(arg_num(d, 4), arg_num(d, 5), ppd);
-      const auto res = an::run_noise(nl, freqs, nopt);
+      const auto res = an::run_noise_diag(nl, freqs, nopt);
+      if (!res.ok()) {
+        std::fprintf(stderr, "noise analysis failed: %s\n",
+                     res.diag.message().c_str());
+        return 1;
+      }
       std::printf("freq,onoise_V2_per_Hz,inoise_V_per_rtHz\n");
       for (const auto& p : res.points)
         std::printf("%g,%.6g,%.6g\n", p.freq_hz, p.s_out,
@@ -190,19 +244,25 @@ int run(const std::string& path, const std::string& probe_arg) {
 
 int main(int argc, char** argv) {
   std::string path, probe_arg;
+  bool lint_only = false, telemetry = true;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--probe") == 0 && i + 1 < argc)
       probe_arg = argv[++i];
+    else if (std::strcmp(argv[i], "--lint-only") == 0)
+      lint_only = true;
+    else if (std::strcmp(argv[i], "--no-telemetry") == 0)
+      telemetry = false;
     else
       path = argv[i];
   }
   if (path.empty()) {
     std::fprintf(stderr,
-                 "usage: msim_cli <netlist.sp> [--probe n1,n2,...]\n");
+                 "usage: msim_cli <netlist.sp> [--probe n1,n2,...] "
+                 "[--lint-only] [--no-telemetry]\n");
     return 2;
   }
   try {
-    return run(path, probe_arg);
+    return run(path, probe_arg, lint_only, telemetry);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
