@@ -1,22 +1,389 @@
-// E12 - engine micro-benchmarks (google-benchmark): the kernels every
-// experiment above is built on.
+// E12 - engine performance harness.
+//
+// Default mode runs the timed end-to-end comparison of the linear-solver
+// engines on the paper's workhorse experiment -- a 200-sample mic-amp
+// gain-accuracy Monte-Carlo -- plus a full AC grid, and writes the
+// results as BENCH_engine.json (path = argv[1], default ./BENCH_engine
+// .json).  Reported per configuration: wall time, linear solves per
+// second, and speedup vs. the dense-serial baseline.  The harness also
+// asserts the parallel determinism contract: the Monte-Carlo statistics
+// must be bit-identical at 1, 2 and 8 threads.
+//
+//   --gbench [...]   run the historical google-benchmark micro kernels
+//                    instead (remaining args go to the library).
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
 #include <benchmark/benchmark.h>
 
 #include "analysis/ac.h"
+#include "analysis/montecarlo.h"
 #include "analysis/noise.h"
 #include "analysis/op.h"
 #include "analysis/transient.h"
+#include "bench_util.h"
 #include "circuit/netlist.h"
 #include "core/mic_amp.h"
 #include "devices/passive.h"
 #include "devices/sources.h"
 #include "numeric/lu.h"
 #include "numeric/rng.h"
+#include "numeric/sparse.h"
 #include "process/process.h"
 
 namespace {
 
 using namespace msim;
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+      .count();
+}
+
+// ------------------------------------------------------------ timed runs
+
+struct McRun {
+  std::string name;
+  double wall_ms = 0.0;
+  long solves = 0;  // linear factor+solve count (Newton iters + AC points)
+  an::McStats stats;
+};
+
+// The mic-amp gain-accuracy Monte-Carlo from the paper's Table 1 row
+// (dAcl): perturb both resistor strings with the process mismatch sigma,
+// re-solve OP + one AC point, measure the closed-loop gain in dB.
+//
+// Every sample rebuilds the netlist (same topology, new values), so the
+// samples adopt the nominal build's solver cache: the sparse pattern and
+// symbolic factorization are computed once, up front and serially, and
+// shared read-only by every sample at every thread count.
+McRun run_mc(const std::string& name, int samples, an::SolverKind solver,
+             int threads, int repeats) {
+  const auto pm = proc::ProcessModel::cmos12();
+
+  // Warm the nominal solver cache once (outside the timed region: this
+  // is setup an application does once per topology).
+  auto nominal = bench::make_mic_rig();
+  nominal->mic.set_gain_code(5);
+  {
+    an::OpOptions oo;
+    oo.solver = solver;
+    (void)an::solve_op(nominal->nl, oo);
+  }
+
+  McRun run;
+  run.name = name;
+  run.wall_ms = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < repeats; ++rep) {
+    num::Rng rng(77);
+    std::atomic<long> solves{0};
+    an::McOptions mo;
+    mo.threads = threads;
+    const auto t0 = Clock::now();
+    auto stats = an::monte_carlo(
+        samples, rng,
+        [&](num::Rng& srng) {
+          auto r = bench::make_mic_rig();
+          for (auto* seg : r->mic.string_segments_p)
+            seg->apply_relative_error(pm.sample_resistor_mismatch(srng));
+          for (auto* seg : r->mic.string_segments_n)
+            seg->apply_relative_error(pm.sample_resistor_mismatch(srng));
+          r->mic.set_gain_code(5);
+          r->nl.adopt_solver_cache(nominal->nl);
+          an::OpOptions oo;
+          oo.solver = solver;
+          const auto op = an::solve_op(r->nl, oo);
+          if (!op.converged)
+            return std::numeric_limits<double>::quiet_NaN();
+          solves.fetch_add(op.iterations, std::memory_order_relaxed);
+          an::AcOptions ao;
+          ao.solver = solver;
+          const auto ac = an::run_ac(r->nl, {1e3}, ao);
+          solves.fetch_add(1, std::memory_order_relaxed);
+          return an::to_db(std::abs(ac.vdiff(0, r->mic.outp, r->mic.outn)));
+        },
+        mo);
+    const double wall = ms_since(t0);
+    if (wall < run.wall_ms) run.wall_ms = wall;  // best of `repeats`
+    run.solves = solves.load();
+    run.stats = std::move(stats);
+  }
+  return run;
+}
+
+// Chip-scale Monte-Carlo: the full transistor-level front end (~170
+// unknowns), every resistor on the die perturbed by the process
+// mismatch sigma, one operating point per sample, measuring the total
+// quiescent supply current.  This is the regime the sparse engine is
+// built for: dense LU is O(n^3) per Newton iteration while the chip
+// Jacobian carries only a handful of entries per row.
+McRun run_chip_mc(const std::string& name, int samples,
+                  an::SolverKind solver, int threads, int repeats) {
+  const auto pm = proc::ProcessModel::cmos12();
+
+  auto nominal = bench::make_chip_rig();
+  {
+    an::OpOptions oo;
+    oo.solver = solver;
+    (void)an::solve_op(nominal->nl, oo);
+  }
+
+  McRun run;
+  run.name = name;
+  run.wall_ms = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < repeats; ++rep) {
+    num::Rng rng(123);
+    std::atomic<long> solves{0};
+    an::McOptions mo;
+    mo.threads = threads;
+    const auto t0 = Clock::now();
+    auto stats = an::monte_carlo(
+        samples, rng,
+        [&](num::Rng& srng) {
+          auto r = bench::make_chip_rig();
+          for (const auto& d : r->nl.devices())
+            if (auto* res = dynamic_cast<dev::Resistor*>(d.get()))
+              res->apply_relative_error(pm.sample_resistor_mismatch(srng));
+          r->nl.adopt_solver_cache(nominal->nl);
+          an::OpOptions oo;
+          oo.solver = solver;
+          const auto op = an::solve_op(r->nl, oo);
+          if (!op.converged)
+            return std::numeric_limits<double>::quiet_NaN();
+          solves.fetch_add(op.iterations, std::memory_order_relaxed);
+          // Total quiescent current drawn from the positive rail.
+          return op.x[static_cast<std::size_t>(r->vdd_src->branch_base())];
+        },
+        mo);
+    const double wall = ms_since(t0);
+    if (wall < run.wall_ms) run.wall_ms = wall;
+    run.solves = solves.load();
+    run.stats = std::move(stats);
+  }
+  return run;
+}
+
+struct AcRun {
+  std::string name;
+  double wall_ms = 0.0;
+  std::size_t points = 0;
+};
+
+AcRun run_ac_grid(const std::string& name, bench::MicRig& rig,
+                  const std::vector<double>& freqs, an::SolverKind solver,
+                  int threads, int repeats) {
+  AcRun run;
+  run.name = name;
+  run.points = freqs.size();
+  run.wall_ms = std::numeric_limits<double>::infinity();
+  an::AcOptions ao;
+  ao.solver = solver;
+  ao.threads = threads;
+  for (int rep = 0; rep < repeats; ++rep) {
+    const auto t0 = Clock::now();
+    const auto r = an::run_ac(rig.nl, freqs, ao);
+    const double wall = ms_since(t0);
+    if (r.solutions.size() != freqs.size()) {
+      std::fprintf(stderr, "ac grid '%s' incomplete\n", name.c_str());
+      std::exit(1);
+    }
+    if (wall < run.wall_ms) run.wall_ms = wall;
+  }
+  return run;
+}
+
+bool stats_identical(const an::McStats& a, const an::McStats& b) {
+  return a.samples == b.samples && a.failures == b.failures &&
+         a.mean() == b.mean() && a.stddev() == b.stddev() &&
+         a.min() == b.min() && a.max() == b.max();
+}
+
+// Physical agreement between engines, to a relative tolerance (pivot
+// order differs, so bitwise equality is not expected).
+bool stats_agree(const an::McStats& a, const an::McStats& b, double rtol) {
+  const auto close = [rtol](double u, double v) {
+    return std::abs(u - v) <=
+           rtol * std::max({std::abs(u), std::abs(v), 1e-30});
+  };
+  return close(a.mean(), b.mean()) && close(a.stddev(), b.stddev());
+}
+
+// ---------------------------------------------------------- JSON output
+
+void json_mc(std::FILE* f, const McRun& r, const char* metric,
+             double base_ms, bool last) {
+  std::fprintf(
+      f,
+      "    {\"name\": \"%s\", \"metric\": \"%s\", \"wall_ms\": %.3f, "
+      "\"solves\": %ld, "
+      "\"solves_per_sec\": %.1f, \"samples_per_sec\": %.1f, "
+      "\"speedup_vs_dense_serial\": %.3f, \"failures\": %d, "
+      "\"mean\": %.17g, \"stddev\": %.17g, \"min\": %.17g, "
+      "\"max\": %.17g}%s\n",
+      r.name.c_str(), metric, r.wall_ms, r.solves,
+      1e3 * static_cast<double>(r.solves) / r.wall_ms,
+      1e3 * static_cast<double>(r.stats.samples.size()) / r.wall_ms,
+      base_ms / r.wall_ms, r.stats.failures, r.stats.mean(),
+      r.stats.stddev(), r.stats.min(), r.stats.max(), last ? "" : ",");
+}
+
+void json_ac(std::FILE* f, const AcRun& r, double base_ms, bool last) {
+  std::fprintf(f,
+               "    {\"name\": \"%s\", \"wall_ms\": %.3f, \"points\": %zu, "
+               "\"solves_per_sec\": %.1f, "
+               "\"speedup_vs_dense_serial\": %.3f}%s\n",
+               r.name.c_str(), r.wall_ms, r.points,
+               1e3 * static_cast<double>(r.points) / r.wall_ms,
+               base_ms / r.wall_ms, last ? "" : ",");
+}
+
+int run_harness(const char* out_path) {
+  constexpr int kSamples = 200;
+  constexpr int kRepeats = 3;
+  constexpr int kChipSamples = 20;
+
+  std::printf("engine harness: %d-sample mic-amp gain-accuracy MC "
+              "(best of %d)\n",
+              kSamples, kRepeats);
+
+  const auto dense = run_mc("dense-serial", kSamples,
+                            an::SolverKind::kDense, 1, kRepeats);
+  const auto sparse1 = run_mc("sparse-serial", kSamples,
+                              an::SolverKind::kSparse, 1, kRepeats);
+  const auto sparse2 = run_mc("sparse-2t", kSamples,
+                              an::SolverKind::kSparse, 2, kRepeats);
+  const auto sparse8 = run_mc("sparse-8t", kSamples,
+                              an::SolverKind::kSparse, 8, kRepeats);
+
+  for (const McRun* r : {&dense, &sparse1, &sparse2, &sparse8})
+    std::printf("  %-14s %8.1f ms  %8.0f solves/s  speedup %5.2fx\n",
+                r->name.c_str(), r->wall_ms,
+                1e3 * static_cast<double>(r->solves) / r->wall_ms,
+                dense.wall_ms / r->wall_ms);
+
+  // Determinism contract: identical statistics at every thread count.
+  const bool deterministic = stats_identical(sparse1.stats, sparse2.stats) &&
+                             stats_identical(sparse1.stats, sparse8.stats);
+  // The engines must agree physically (not bitwise: pivot order differs).
+  const bool engines_agree =
+      std::abs(dense.stats.mean() - sparse1.stats.mean()) < 1e-6 &&
+      std::abs(dense.stats.stddev() - sparse1.stats.stddev()) < 1e-6;
+  std::printf("  stats bit-identical across 1/2/8 threads: %s\n",
+              deterministic ? "yes" : "NO");
+  std::printf("  dense/sparse stats agree (<1e-6 dB): %s\n",
+              engines_agree ? "yes" : "NO");
+
+  // AC grid: 6 decades, 20 points/decade, on one nominal rig.
+  auto rig = bench::make_mic_rig();
+  {
+    an::OpOptions oo;
+    const auto op = an::solve_op(rig->nl, oo);
+    if (!op.converged) {
+      std::fprintf(stderr, "nominal mic-amp OP failed\n");
+      return 1;
+    }
+  }
+  const auto freqs = an::log_frequencies(10.0, 10e6, 20);
+  const auto ac_dense = run_ac_grid("dense-serial", *rig, freqs,
+                                    an::SolverKind::kDense, 1, kRepeats);
+  const auto ac_sparse1 = run_ac_grid("sparse-serial", *rig, freqs,
+                                      an::SolverKind::kSparse, 1, kRepeats);
+  const auto ac_sparse8 = run_ac_grid("sparse-8t", *rig, freqs,
+                                      an::SolverKind::kSparse, 8, kRepeats);
+  std::printf("engine harness: AC grid, %zu points\n", freqs.size());
+  for (const AcRun* r : {&ac_dense, &ac_sparse1, &ac_sparse8})
+    std::printf("  %-14s %8.1f ms  %8.0f solves/s  speedup %5.2fx\n",
+                r->name.c_str(), r->wall_ms,
+                1e3 * static_cast<double>(r->points) / r->wall_ms,
+                ac_dense.wall_ms / r->wall_ms);
+
+  // Chip-scale MC: full front end, every resistor perturbed.  Dense is
+  // ~O(n^3) per Newton iteration here, so one repeat is plenty for it.
+  std::printf("engine harness: %d-sample full-chip quiescent-current MC\n",
+              kChipSamples);
+  const auto chip_dense = run_chip_mc("dense-serial", kChipSamples,
+                                      an::SolverKind::kDense, 1, 1);
+  const auto chip_sparse1 = run_chip_mc("sparse-serial", kChipSamples,
+                                        an::SolverKind::kSparse, 1, 2);
+  const auto chip_sparse8 = run_chip_mc("sparse-8t", kChipSamples,
+                                        an::SolverKind::kSparse, 8, 2);
+  for (const McRun* r : {&chip_dense, &chip_sparse1, &chip_sparse8})
+    std::printf("  %-14s %8.1f ms  %8.0f solves/s  speedup %5.2fx\n",
+                r->name.c_str(), r->wall_ms,
+                1e3 * static_cast<double>(r->solves) / r->wall_ms,
+                chip_dense.wall_ms / r->wall_ms);
+  const bool chip_deterministic =
+      stats_identical(chip_sparse1.stats, chip_sparse8.stats);
+  const bool chip_agree =
+      stats_agree(chip_dense.stats, chip_sparse1.stats, 1e-6);
+  std::printf("  stats bit-identical across 1/8 threads: %s\n",
+              chip_deterministic ? "yes" : "NO");
+  std::printf("  dense/sparse stats agree (rtol 1e-6): %s\n",
+              chip_agree ? "yes" : "NO");
+
+  const double mic_speedup =
+      dense.wall_ms /
+      std::min({sparse1.wall_ms, sparse2.wall_ms, sparse8.wall_ms});
+  const double chip_speedup =
+      chip_dense.wall_ms /
+      std::min(chip_sparse1.wall_ms, chip_sparse8.wall_ms);
+  const double best_speedup = std::max(mic_speedup, chip_speedup);
+
+  std::FILE* f = std::fopen(out_path, "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", out_path);
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"benchmark\": \"engine_harness\",\n");
+  std::fprintf(f, "  \"mic_samples\": %d,\n", kSamples);
+  std::fprintf(f, "  \"chip_samples\": %d,\n", kChipSamples);
+  std::fprintf(f, "  \"repeats\": %d,\n", kRepeats);
+  std::fprintf(f, "  \"mc_configs\": [\n");
+  json_mc(f, dense, "gain_db", dense.wall_ms, false);
+  json_mc(f, sparse1, "gain_db", dense.wall_ms, false);
+  json_mc(f, sparse2, "gain_db", dense.wall_ms, false);
+  json_mc(f, sparse8, "gain_db", dense.wall_ms, true);
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"chip_mc_configs\": [\n");
+  json_mc(f, chip_dense, "iq_amps", chip_dense.wall_ms, false);
+  json_mc(f, chip_sparse1, "iq_amps", chip_dense.wall_ms, false);
+  json_mc(f, chip_sparse8, "iq_amps", chip_dense.wall_ms, true);
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"ac_grid_configs\": [\n");
+  json_ac(f, ac_dense, ac_dense.wall_ms, false);
+  json_ac(f, ac_sparse1, ac_dense.wall_ms, false);
+  json_ac(f, ac_sparse8, ac_dense.wall_ms, true);
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"stats_bit_identical_across_threads\": %s,\n",
+               (deterministic && chip_deterministic) ? "true" : "false");
+  std::fprintf(f, "  \"dense_sparse_stats_agree\": %s,\n",
+               (engines_agree && chip_agree) ? "true" : "false");
+  std::fprintf(f, "  \"mic_mc_speedup_vs_dense_serial\": %.3f,\n",
+               mic_speedup);
+  std::fprintf(f, "  \"chip_mc_speedup_vs_dense_serial\": %.3f,\n",
+               chip_speedup);
+  std::fprintf(f, "  \"best_mc_speedup_vs_dense_serial\": %.3f\n",
+               best_speedup);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s (best MC speedup %.2fx)\n", out_path, best_speedup);
+
+  return (deterministic && engines_agree && chip_deterministic &&
+          chip_agree)
+             ? 0
+             : 1;
+}
+
+// ----------------------------------------------- google-benchmark micro
 
 void BM_LuFactorSolve(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
@@ -54,22 +421,28 @@ struct MicFixture {
 
 void BM_MicAmpOperatingPoint(benchmark::State& state) {
   MicFixture f;
+  an::OpOptions oo;
+  oo.solver = state.range(0) ? an::SolverKind::kSparse
+                             : an::SolverKind::kDense;
   for (auto _ : state) {
-    auto op = an::solve_op(f.nl);
+    auto op = an::solve_op(f.nl, oo);
     benchmark::DoNotOptimize(op.converged);
   }
 }
-BENCHMARK(BM_MicAmpOperatingPoint);
+BENCHMARK(BM_MicAmpOperatingPoint)->Arg(0)->Arg(1);
 
 void BM_MicAmpAcPoint(benchmark::State& state) {
   MicFixture f;
   an::solve_op(f.nl);
+  an::AcOptions ao;
+  ao.solver = state.range(0) ? an::SolverKind::kSparse
+                             : an::SolverKind::kDense;
   for (auto _ : state) {
-    auto r = an::run_ac(f.nl, {1e3});
+    auto r = an::run_ac(f.nl, {1e3}, ao);
     benchmark::DoNotOptimize(r.solutions.size());
   }
 }
-BENCHMARK(BM_MicAmpAcPoint);
+BENCHMARK(BM_MicAmpAcPoint)->Arg(0)->Arg(1);
 
 void BM_MicAmpNoisePoint(benchmark::State& state) {
   MicFixture f;
@@ -123,4 +496,17 @@ BENCHMARK(BM_RcTransient10k);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--gbench") == 0) {
+    int bargc = argc - 1;
+    std::vector<char*> bargv;
+    bargv.push_back(argv[0]);
+    for (int i = 2; i < argc; ++i) bargv.push_back(argv[i]);
+    benchmark::Initialize(&bargc, bargv.data());
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+  }
+  const char* out = argc > 1 ? argv[1] : "BENCH_engine.json";
+  return run_harness(out);
+}

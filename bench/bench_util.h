@@ -15,6 +15,7 @@
 #include "circuit/netlist.h"
 #include "core/bandgap.h"
 #include "core/bias.h"
+#include "core/chip.h"
 #include "core/class_ab_driver.h"
 #include "core/mic_amp.h"
 #include "devices/passive.h"
@@ -68,6 +69,32 @@ inline std::unique_ptr<MicRig> make_mic_rig(
       "Vinn", inn, ckt::kGround, dev::Waveform::dc(0.0).with_ac(-0.5));
   r->mic = core::build_mic_amp(r->nl, pm, d, nvdd, nvss, ckt::kGround,
                                inp, inn);
+  return r;
+}
+
+// Full-chip rig: the whole Figure 1 front end between +-1.3 V rails
+// with externally driven microphone terminals (~170 MNA unknowns).
+struct ChipRig {
+  ckt::Netlist nl;
+  dev::VSource* vdd_src = nullptr;
+  dev::VSource* vss_src = nullptr;
+  core::Chip chip;
+};
+
+inline std::unique_ptr<ChipRig> make_chip_rig(
+    const core::ChipDesign& d = {},
+    const proc::ProcessModel& pm = proc::ProcessModel::cmos12()) {
+  auto r = std::make_unique<ChipRig>();
+  const auto nvdd = r->nl.node("vdd");
+  const auto nvss = r->nl.node("vss");
+  const auto inp = r->nl.node("inp");
+  const auto inn = r->nl.node("inn");
+  r->vdd_src = r->nl.add<dev::VSource>("Vdd", nvdd, ckt::kGround, 1.3);
+  r->vss_src = r->nl.add<dev::VSource>("Vss", nvss, ckt::kGround, -1.3);
+  r->nl.add<dev::VSource>("Vinp", inp, ckt::kGround, 0.0);
+  r->nl.add<dev::VSource>("Vinn", inn, ckt::kGround, 0.0);
+  r->chip = core::build_chip(r->nl, pm, d, nvdd, nvss, ckt::kGround, inp,
+                             inn);
   return r;
 }
 

@@ -1,12 +1,24 @@
 #include "analysis/ac.h"
 
+#include <algorithm>
 #include <cmath>
+#include <iterator>
 #include <stdexcept>
 
 #include "analysis/mna.h"
-#include "numeric/lu.h"
+#include "core/parallel.h"
 
 namespace msim::an {
+namespace {
+
+// First failure inside one frequency chunk.
+struct ChunkFailure {
+  std::size_t index = static_cast<std::size_t>(-1);  // global freq index
+  int singular_col = -1;
+  double freq_hz = 0.0;
+};
+
+}  // namespace
 
 std::vector<double> log_frequencies(double f_start_hz, double f_stop_hz,
                                     int points_per_decade) {
@@ -27,22 +39,54 @@ AcResult run_ac_diag(ckt::Netlist& nl,
   nl.assign_unknowns();
   AcResult r;
   r.freqs_hz = freqs_hz;
-  r.solutions.reserve(freqs_hz.size());
 
-  num::ComplexMatrix jac;
-  num::ComplexVector rhs;
-  for (double f : freqs_hz) {
-    assemble_ac(nl, 2.0 * M_PI * f, opt.gshunt, jac, rhs);
-    num::ComplexLu lu(jac);
-    if (lu.singular()) {
-      r.diag.status = SolveStatus::kSingularMatrix;
-      r.diag.stage = "ac";
-      r.diag.unknown = unknown_label(nl, lu.singular_col());
-      r.diag.device = device_touching_unknown(nl, lu.singular_col());
-      r.diag.detail = "f = " + std::to_string(f) + " Hz";
-      return r;
-    }
-    r.solutions.push_back(lu.solve(rhs));
+  const std::size_t nf = freqs_hz.size();
+  int threads = opt.threads == 0 ? core::default_thread_count()
+                                 : std::max(1, opt.threads);
+  const std::size_t nchunks =
+      std::min<std::size_t>(static_cast<std::size_t>(threads), nf ? nf : 1);
+
+  // Each chunk owns one ComplexSystem (symbolic LU reused within the
+  // chunk) and writes only its own solution slots and failure record,
+  // so the outcome is identical at any thread count.
+  std::vector<num::ComplexVector> sols(nf);
+  std::vector<ChunkFailure> fails(nchunks);
+
+  core::parallel_for(
+      static_cast<int>(nchunks), nchunks, [&](std::size_t c) {
+        const std::size_t lo = nf * c / nchunks;
+        const std::size_t hi = nf * (c + 1) / nchunks;
+        if (lo >= hi) return;
+        ComplexSystem sys;
+        sys.init(nl, opt.solver);
+        for (std::size_t i = lo; i < hi; ++i) {
+          sys.assemble(nl, 2.0 * M_PI * freqs_hz[i], opt.gshunt);
+          if (!sys.factor()) {
+            fails[c] = {i, sys.singular_col(), freqs_hz[i]};
+            return;  // later points of this chunk would be discarded
+          }
+          sys.solve(sols[i]);
+        }
+      });
+
+  // Serial semantics: the lowest failing frequency index wins and the
+  // result keeps exactly the solutions before it.
+  const ChunkFailure* first = nullptr;
+  for (const auto& f : fails)
+    if (f.index != static_cast<std::size_t>(-1) &&
+        (!first || f.index < first->index))
+      first = &f;
+
+  const std::size_t keep = first ? first->index : nf;
+  r.solutions.assign(std::make_move_iterator(sols.begin()),
+                     std::make_move_iterator(sols.begin() +
+                                             static_cast<std::ptrdiff_t>(keep)));
+  if (first) {
+    r.diag.status = SolveStatus::kSingularMatrix;
+    r.diag.stage = "ac";
+    r.diag.unknown = unknown_label(nl, first->singular_col);
+    r.diag.device = device_touching_unknown(nl, first->singular_col);
+    r.diag.detail = "f = " + std::to_string(first->freq_hz) + " Hz";
   }
   return r;
 }

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "analysis/diag.h"
+#include "analysis/mna.h"
 #include "circuit/netlist.h"
 #include "numeric/matrix.h"
 
@@ -17,6 +18,13 @@ namespace msim::an {
 
 struct AcOptions {
   double gshunt = 1e-12;
+  // Linear-solver engine for the complex systems.
+  SolverKind solver = SolverKind::kSparse;
+  // Worker threads for the frequency grid: 1 = serial, 0 = auto
+  // (MSIM_THREADS / hardware concurrency).  The grid is split into
+  // contiguous chunks, one workspace per chunk, so results are
+  // bit-identical to the serial sweep at any thread count.
+  int threads = 1;
 };
 
 struct AcResult {

@@ -1,6 +1,35 @@
 #include "analysis/mna.h"
 
 namespace msim::an {
+namespace {
+
+// Applies the common stamp-context setup and device loop for the
+// large-signal system; `Jac` is either RealMatrix or RealSparseMatrix.
+template <typename Jac>
+void stamp_real(const ckt::Netlist& nl, const num::RealVector& x,
+                const AssembleParams& p, Jac& jac, num::RealVector& rhs) {
+  ckt::StampContext ctx(p.mode, x, jac, rhs);
+  ctx.time = p.time;
+  ctx.dt = p.dt;
+  ctx.temp_k = p.temp_k;
+  ctx.gmin = p.gmin;
+  ctx.use_trapezoidal = p.use_trapezoidal;
+  ctx.source_scale = p.source_scale;
+  for (const auto& d : nl.devices()) d->stamp(ctx);
+}
+
+}  // namespace
+
+num::SparsityPattern mna_pattern(const ckt::Netlist& nl) {
+  num::SparsityPattern pat(nl.unknown_count());
+  for (const auto& d : nl.devices()) d->declare_stamps(pat);
+  // The gshunt guard stamps every node diagonal; registering those
+  // positions here keeps the dense and sparse paths structurally
+  // identical (a capacitor-only node is regularized on both).
+  const int nodes = nl.node_count() - 1;
+  for (int i = 0; i < nodes; ++i) pat.add(i, i);
+  return pat;
+}
 
 void assemble_real(const ckt::Netlist& nl, const num::RealVector& x,
                    const AssembleParams& p, num::RealMatrix& jac,
@@ -10,20 +39,24 @@ void assemble_real(const ckt::Netlist& nl, const num::RealVector& x,
   jac.fill(0.0);
   rhs.assign(n, 0.0);
 
-  ckt::StampContext ctx(p.mode, x, jac, rhs);
-  ctx.time = p.time;
-  ctx.dt = p.dt;
-  ctx.temp_k = p.temp_k;
-  ctx.gmin = p.gmin;
-  ctx.use_trapezoidal = p.use_trapezoidal;
-  ctx.source_scale = p.source_scale;
-
-  for (const auto& d : nl.devices()) d->stamp(ctx);
+  stamp_real(nl, x, p, jac, rhs);
 
   // Weak shunts from every node voltage to ground keep matrices regular
   // in the presence of floating gates / capacitor-only nodes.
   const int nodes = nl.node_count() - 1;
   for (int i = 0; i < nodes; ++i) jac(i, i) += p.gshunt;
+}
+
+void assemble_real(const ckt::Netlist& nl, const num::RealVector& x,
+                   const AssembleParams& p, num::RealSparseMatrix& jac,
+                   num::RealVector& rhs) {
+  jac.clear_values();
+  rhs.assign(static_cast<std::size_t>(nl.unknown_count()), 0.0);
+
+  stamp_real(nl, x, p, jac, rhs);
+
+  const int nodes = nl.node_count() - 1;
+  for (int i = 0; i < nodes; ++i) jac.add(i, i, p.gshunt);
 }
 
 void assemble_ac(const ckt::Netlist& nl, double omega, double gshunt,
@@ -38,6 +71,194 @@ void assemble_ac(const ckt::Netlist& nl, double omega, double gshunt,
 
   const int nodes = nl.node_count() - 1;
   for (int i = 0; i < nodes; ++i) jac(i, i) += gshunt;
+}
+
+void assemble_ac(const ckt::Netlist& nl, double omega, double gshunt,
+                 num::ComplexSparseMatrix& jac, num::ComplexVector& rhs) {
+  jac.clear_values();
+  rhs.assign(static_cast<std::size_t>(nl.unknown_count()), {0.0, 0.0});
+
+  ckt::AcStampContext ctx(omega, jac, rhs);
+  for (const auto& d : nl.devices()) d->stamp_ac(ctx);
+
+  const int nodes = nl.node_count() - 1;
+  for (int i = 0; i < nodes; ++i) jac.add(i, i, gshunt);
+}
+
+void RealSystem::init(const ckt::Netlist& nl, SolverKind kind) {
+  const int n = nl.unknown_count();
+  const std::size_t ndev = nl.devices().size();
+  if (kind == kind_ && n == n_ && ndev == devices_) return;
+  kind_ = kind;
+  n_ = n;
+  devices_ = ndev;
+  base_valid_ = false;
+  if (kind_ == SolverKind::kSparse) {
+    // Share the CSR skeleton and (when already known) the symbolic
+    // analysis through the netlist's cache; the first factor() of the
+    // first system over this netlist pays for both, everyone else
+    // copies structure.
+    auto& cache = nl.solver_cache();
+    if (!cache.skeleton || cache.unknowns != n || cache.devices != ndev) {
+      cache.unknowns = n;
+      cache.devices = ndev;
+      cache.symbolic.reset();
+      cache.skeleton =
+          std::make_shared<const num::RealSparseMatrix>(mna_pattern(nl));
+    }
+    cache_ = &cache;
+    sjac_ = *cache.skeleton;
+    slu_.reset();
+    exported_serial_ = -1;
+    if (cache.symbolic) {
+      slu_.adopt_symbolic(*cache.symbolic);
+      exported_serial_ = slu_.symbolic_serial();
+    }
+    linear_.clear();
+    nonlinear_.clear();
+    for (const auto& d : nl.devices())
+      (d->is_nonlinear() ? nonlinear_ : linear_).push_back(d.get());
+  } else {
+    cache_ = nullptr;
+    djac_.resize(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
+  }
+}
+
+void RealSystem::assemble(const ckt::Netlist& nl, const num::RealVector& x,
+                          const AssembleParams& p) {
+  if (kind_ != SolverKind::kSparse) {
+    assemble_real(nl, x, p, djac_, rhs_);
+    return;
+  }
+  if (!base_valid_ || !(p == base_p_)) {
+    // Stamp every x-independent device (and the gshunt guard) once for
+    // this parameter set; Newton iterations below only restore it.
+    sjac_.clear_values();
+    base_rhs_.assign(static_cast<std::size_t>(n_), 0.0);
+    ckt::StampContext ctx(p.mode, x, sjac_, base_rhs_);
+    ctx.time = p.time;
+    ctx.dt = p.dt;
+    ctx.temp_k = p.temp_k;
+    ctx.gmin = p.gmin;
+    ctx.use_trapezoidal = p.use_trapezoidal;
+    ctx.source_scale = p.source_scale;
+    for (const ckt::Device* d : linear_) d->stamp(ctx);
+    const int nodes = nl.node_count() - 1;
+    for (int i = 0; i < nodes; ++i) sjac_.add(i, i, p.gshunt);
+    base_vals_ = sjac_.values();
+    base_p_ = p;
+    base_valid_ = true;
+  } else {
+    sjac_.values() = base_vals_;
+  }
+  rhs_ = base_rhs_;
+  ckt::StampContext ctx(p.mode, x, sjac_, rhs_);
+  ctx.time = p.time;
+  ctx.dt = p.dt;
+  ctx.temp_k = p.temp_k;
+  ctx.gmin = p.gmin;
+  ctx.use_trapezoidal = p.use_trapezoidal;
+  ctx.source_scale = p.source_scale;
+  for (const ckt::Device* d : nonlinear_) d->stamp(ctx);
+}
+
+bool RealSystem::factor() {
+  if (kind_ == SolverKind::kSparse) {
+    slu_.factor(sjac_);
+    if (slu_.singular()) return false;
+    // A fresh analysis ran (first factor, or a pivot-floor re-analysis):
+    // publish it so the netlist's other systems can adopt it.
+    if (cache_ && slu_.symbolic_serial() != exported_serial_) {
+      cache_->symbolic = slu_.export_symbolic();
+      exported_serial_ = slu_.symbolic_serial();
+    }
+    return true;
+  }
+  dlu_.factor(djac_);
+  return !dlu_.singular();
+}
+
+int RealSystem::singular_col() const {
+  return kind_ == SolverKind::kSparse ? slu_.singular_col()
+                                      : dlu_.singular_col();
+}
+
+double RealSystem::min_pivot() const {
+  return kind_ == SolverKind::kSparse ? slu_.min_pivot() : dlu_.min_pivot();
+}
+
+void RealSystem::solve(num::RealVector& x) {
+  if (kind_ == SolverKind::kSparse)
+    slu_.solve(rhs_, x);
+  else
+    dlu_.solve(rhs_, x);
+}
+
+void ComplexSystem::init(const ckt::Netlist& nl, SolverKind kind) {
+  const int n = nl.unknown_count();
+  const std::size_t ndev = nl.devices().size();
+  if (kind == kind_ && n == n_ && ndev == devices_) return;
+  kind_ = kind;
+  n_ = n;
+  devices_ = ndev;
+  if (kind_ == SolverKind::kSparse) {
+    // Adopt the structural work already done by the large-signal system
+    // (the usual case: AC/noise run after solve_op).  Never writes the
+    // cache: parallel frequency chunks init concurrently and must stay
+    // read-only.
+    const auto& cache = nl.solver_cache();
+    slu_.reset();
+    if (cache.skeleton && cache.unknowns == n && cache.devices == ndev) {
+      sjac_ = num::ComplexSparseMatrix(*cache.skeleton);
+      if (cache.symbolic) slu_.adopt_symbolic(*cache.symbolic);
+    } else {
+      sjac_ = num::ComplexSparseMatrix(
+          num::RealSparseMatrix(mna_pattern(nl)));
+    }
+  } else {
+    djac_.resize(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
+  }
+}
+
+void ComplexSystem::assemble(const ckt::Netlist& nl, double omega,
+                             double gshunt) {
+  if (kind_ == SolverKind::kSparse)
+    assemble_ac(nl, omega, gshunt, sjac_, rhs_);
+  else
+    assemble_ac(nl, omega, gshunt, djac_, rhs_);
+}
+
+bool ComplexSystem::factor() {
+  if (kind_ == SolverKind::kSparse) {
+    slu_.factor(sjac_);
+    return !slu_.singular();
+  }
+  dlu_.factor(djac_);
+  return !dlu_.singular();
+}
+
+int ComplexSystem::singular_col() const {
+  return kind_ == SolverKind::kSparse ? slu_.singular_col()
+                                      : dlu_.singular_col();
+}
+
+double ComplexSystem::min_pivot() const {
+  return kind_ == SolverKind::kSparse ? slu_.min_pivot() : dlu_.min_pivot();
+}
+
+void ComplexSystem::solve(num::ComplexVector& x) {
+  if (kind_ == SolverKind::kSparse)
+    slu_.solve(rhs_, x);
+  else
+    dlu_.solve(rhs_, x);
+}
+
+void ComplexSystem::solve_transpose(const num::ComplexVector& b,
+                                    num::ComplexVector& x) {
+  if (kind_ == SolverKind::kSparse)
+    slu_.solve_transpose(b, x);
+  else
+    dlu_.solve_transpose(b, x);
 }
 
 }  // namespace msim::an

@@ -1,10 +1,29 @@
 // MNA system assembly shared by all analyses.
+//
+// Two assembly targets exist for each system:
+//   dense  - the historical Matrix path: fill(0) + stamp, O(n^2) per
+//            assembly, dense O(n^3) LU.  Robust fallback.
+//   sparse - a fixed SparsityPattern captured once per netlist from
+//            Device::declare_stamps(); re-assembly clears and rewrites
+//            only the nonzeros, and SparseLu caches its pivot order and
+//            fill pattern across factorizations (Newton iterations,
+//            transient steps, AC/noise frequency points).
+//
+// RealSystem / ComplexSystem bundle matrix + factorization + buffers so
+// the Newton and frequency loops allocate nothing per iteration.
 #pragma once
 
 #include "circuit/netlist.h"
+#include "numeric/lu.h"
 #include "numeric/matrix.h"
+#include "numeric/sparse.h"
 
 namespace msim::an {
+
+// Linear-solver selection knob carried by the analysis options.
+// kSparse is the default engine; kDense keeps the historical dense path
+// (useful as a fallback and as the reference in equivalence tests).
+enum class SolverKind { kDense, kSparse };
 
 // Parameters controlling one large-signal assembly pass.
 struct AssembleParams {
@@ -16,17 +35,116 @@ struct AssembleParams {
   double gshunt = 1e-12;   // node-to-ground shunt (floating-node guard)
   double source_scale = 1.0;
   bool use_trapezoidal = true;
+
+  // Two parameter sets stamping identically for x-independent devices
+  // compare equal; RealSystem keys its cached linear base image on this.
+  bool operator==(const AssembleParams&) const = default;
 };
+
+// Stamp-position envelope of the netlist: every device's declared
+// positions plus the node-diagonal gshunt entries (registered here so
+// lint-passing but capacitor-only-node netlists stay regular in sparse
+// mode exactly as they do in dense mode).  Requires assign_unknowns().
+num::SparsityPattern mna_pattern(const ckt::Netlist& nl);
 
 // Builds jac/rhs (sized n x n / n) for the Newton system jac*x_next = rhs
 // linearized around candidate `x`.
 void assemble_real(const ckt::Netlist& nl, const num::RealVector& x,
                    const AssembleParams& p, num::RealMatrix& jac,
                    num::RealVector& rhs);
+// Sparse target: jac must have been built from mna_pattern(nl).
+void assemble_real(const ckt::Netlist& nl, const num::RealVector& x,
+                   const AssembleParams& p, num::RealSparseMatrix& jac,
+                   num::RealVector& rhs);
 
 // Builds the complex small-signal system at angular frequency omega.
 // Devices must have a saved operating point (save_op()).
 void assemble_ac(const ckt::Netlist& nl, double omega, double gshunt,
                  num::ComplexMatrix& jac, num::ComplexVector& rhs);
+void assemble_ac(const ckt::Netlist& nl, double omega, double gshunt,
+                 num::ComplexSparseMatrix& jac, num::ComplexVector& rhs);
+
+// Reusable workspace for the large-signal Newton systems: one matrix
+// (dense or sparse by SolverKind), one factorization whose symbolic
+// analysis persists across factor() calls, and the rhs buffer.
+//
+// The sparse path additionally
+//   - shares pattern + symbolic analysis through the netlist's
+//     num::SolverCache (so AC/noise systems over the same netlist skip
+//     their own Markowitz analysis), and
+//   - caches a "linear base" image: all x-independent devices (plus
+//     gshunt) are stamped once per AssembleParams set, and each Newton
+//     iteration restores that image and restamps only the nonlinear
+//     devices.
+class RealSystem {
+ public:
+  // Builds the workspace for `nl` (after assign_unknowns()).  Safe to
+  // call again; rebuilds only when the netlist shape changed.
+  void init(const ckt::Netlist& nl, SolverKind kind);
+
+  void assemble(const ckt::Netlist& nl, const num::RealVector& x,
+                const AssembleParams& p);
+  // Factors the assembled matrix; false when singular.
+  bool factor();
+  int singular_col() const;
+  double min_pivot() const;
+  // Solves into `x` using the assembled rhs.  Requires factor() == true.
+  void solve(num::RealVector& x);
+
+  // Drops the cached linear base image (next assemble restamps every
+  // device).  Call when device-internal state changed without a change
+  // of AssembleParams (the transient loop does this every step).
+  void invalidate_base() { base_valid_ = false; }
+
+  num::RealVector& rhs() { return rhs_; }
+  SolverKind kind() const { return kind_; }
+
+ private:
+  SolverKind kind_ = SolverKind::kSparse;
+  int n_ = -1;
+  std::size_t devices_ = 0;
+  num::RealMatrix djac_;
+  num::RealLu dlu_;
+  num::RealSparseMatrix sjac_;
+  num::RealSparseLu slu_;
+  num::RealVector rhs_;
+  // Netlist-owned structural cache (sparse path); symbolic exported to
+  // it after every fresh analysis.
+  num::SolverCache* cache_ = nullptr;
+  int exported_serial_ = -1;
+  // Linear base image (sparse path).
+  std::vector<const ckt::Device*> linear_, nonlinear_;
+  bool base_valid_ = false;
+  AssembleParams base_p_;
+  std::vector<double> base_vals_;
+  num::RealVector base_rhs_;
+};
+
+// Reusable workspace for the small-signal complex systems (AC, noise).
+class ComplexSystem {
+ public:
+  void init(const ckt::Netlist& nl, SolverKind kind);
+
+  void assemble(const ckt::Netlist& nl, double omega, double gshunt);
+  bool factor();
+  int singular_col() const;
+  double min_pivot() const;
+  void solve(num::ComplexVector& x);
+  // Adjoint solve A^T x = b (noise analysis).
+  void solve_transpose(const num::ComplexVector& b, num::ComplexVector& x);
+
+  num::ComplexVector& rhs() { return rhs_; }
+  SolverKind kind() const { return kind_; }
+
+ private:
+  SolverKind kind_ = SolverKind::kSparse;
+  int n_ = -1;
+  std::size_t devices_ = 0;
+  num::ComplexMatrix djac_;
+  num::ComplexLu dlu_;
+  num::ComplexSparseMatrix sjac_;
+  num::ComplexSparseLu slu_;
+  num::ComplexVector rhs_;
+};
 
 }  // namespace msim::an

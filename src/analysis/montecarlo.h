@@ -6,15 +6,26 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "analysis/diag.h"
+#include "core/parallel.h"
 #include "numeric/rng.h"
 
 namespace msim::an {
+
+struct McOptions {
+  // Worker threads for the sample loop: 1 = serial, 0 = auto
+  // (MSIM_THREADS / hardware concurrency).  Statistics are bit-identical
+  // at any thread count: every sample's RNG stream is pre-derived from
+  // the root Rng before the loop starts, each sample writes only its own
+  // result slot, and the reduction runs sequentially in sample order.
+  int threads = 1;
+};
 
 // One failed Monte-Carlo sample with its structured diagnosis.
 struct McFailure {
@@ -82,15 +93,35 @@ struct McTrial {
 
 // Diagnostic-aware driver: `trial` receives a per-sample RNG and returns
 // an McTrial; failed samples (diag not ok) are excluded from statistics
-// and recorded with their structured cause in `failure_diags`.
+// and recorded with their structured cause in `failure_diags` (sorted by
+// sample index).
+//
+// Sample i's RNG seed is pre-derived from the root Rng before any trial
+// runs -- the i-th derive_seed() draw, exactly the stream the historical
+// fork()-per-iteration loop produced -- so the trial values do not
+// depend on execution order and the parallel executor reproduces the
+// serial statistics bit-for-bit.
 inline McStats monte_carlo_diag(
     int n_samples, num::Rng& rng,
-    const std::function<McTrial(num::Rng&)>& trial) {
+    const std::function<McTrial(num::Rng&)>& trial,
+    const McOptions& opt = {}) {
+  std::vector<std::uint64_t> seeds;
+  seeds.reserve(static_cast<std::size_t>(n_samples));
+  for (int i = 0; i < n_samples; ++i) seeds.push_back(rng.derive_seed());
+
+  std::vector<McTrial> trials(static_cast<std::size_t>(n_samples));
+  core::parallel_for(opt.threads, static_cast<std::size_t>(n_samples),
+                     [&](std::size_t i) {
+                       num::Rng sample_rng(seeds[i]);
+                       trials[i] = trial(sample_rng);
+                     });
+
+  // Sequential reduction in sample order keeps `samples` ordered and
+  // `failure_diags` sorted by sample index.
   McStats st;
   st.samples.reserve(static_cast<std::size_t>(n_samples));
   for (int i = 0; i < n_samples; ++i) {
-    num::Rng sample_rng = rng.fork();
-    McTrial t = trial(sample_rng);
+    McTrial& t = trials[static_cast<std::size_t>(i)];
     if (!t.diag.ok() || std::isnan(t.value)) {
       ++st.failures;
       if (t.diag.ok()) {  // NaN with no diagnosis attached
@@ -109,10 +140,11 @@ inline McStats monte_carlo_diag(
 // scalar, or NaN to signal a failed sample (counted separately, excluded
 // from statistics).
 inline McStats monte_carlo(int n_samples, num::Rng& rng,
-                           const std::function<double(num::Rng&)>& trial) {
-  return monte_carlo_diag(n_samples, rng, [&](num::Rng& srng) {
-    return McTrial::of(trial(srng));
-  });
+                           const std::function<double(num::Rng&)>& trial,
+                           const McOptions& opt = {}) {
+  return monte_carlo_diag(
+      n_samples, rng,
+      [&](num::Rng& srng) { return McTrial::of(trial(srng)); }, opt);
 }
 
 }  // namespace msim::an

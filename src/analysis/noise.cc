@@ -5,10 +5,19 @@
 #include <stdexcept>
 
 #include "analysis/mna.h"
-#include "numeric/lu.h"
+#include "core/parallel.h"
 
 namespace msim::an {
 namespace {
+
+// Everything one frequency point produces: the public NoisePoint plus
+// the per-source output contributions the integration pass consumes.
+struct PointData {
+  NoisePoint pt;
+  std::vector<double> contribs;  // one entry per noise source
+  bool failed = false;
+  int singular_col = -1;
+};
 
 // Trapezoidal integral of y(f) over [f1, f2] where y is tabulated on the
 // (sorted) grid `f`; linear interpolation at clipped endpoints.
@@ -88,71 +97,100 @@ NoiseResult run_noise_diag(ckt::Netlist& nl,
     d->append_noise_sources(sources, opt.temp_k);
 
   NoiseResult r;
-  r.points.reserve(freqs_hz.size());
   r.by_source.resize(sources.size());
   for (std::size_t j = 0; j < sources.size(); ++j)
     r.by_source[j].label = sources[j].label;
 
-  // Per-source running PSD for trapezoidal per-source integration.
-  std::vector<double> psd_prev(sources.size(), 0.0);
-  double f_prev = 0.0;
-
-  num::ComplexMatrix jac;
-  num::ComplexVector rhs;
   const std::size_t n = static_cast<std::size_t>(nl.unknown_count());
+  const std::size_t nf = freqs_hz.size();
+  int threads = opt.threads == 0 ? core::default_thread_count()
+                                 : std::max(1, opt.threads);
+  const std::size_t nchunks =
+      std::min<std::size_t>(static_cast<std::size_t>(threads), nf ? nf : 1);
 
-  for (std::size_t k = 0; k < freqs_hz.size(); ++k) {
-    const double f = freqs_hz[k];
-    assemble_ac(nl, 2.0 * M_PI * f, opt.gshunt, jac, rhs);
-    num::ComplexLu lu(jac);
-    if (lu.singular()) {
+  // Phase 1: the per-frequency solves (factor + forward + adjoint) are
+  // independent; split the grid into contiguous chunks, one ComplexSystem
+  // per chunk, each point writing only its own PointData slot.
+  std::vector<PointData> pts(nf);
+  core::parallel_for(
+      static_cast<int>(nchunks), nchunks, [&](std::size_t c) {
+        const std::size_t lo = nf * c / nchunks;
+        const std::size_t hi = nf * (c + 1) / nchunks;
+        if (lo >= hi) return;
+        ComplexSystem sys;
+        sys.init(nl, opt.solver);
+        num::ComplexVector x, y, e;
+        for (std::size_t k = lo; k < hi; ++k) {
+          const double f = freqs_hz[k];
+          PointData& pd = pts[k];
+          sys.assemble(nl, 2.0 * M_PI * f, opt.gshunt);
+          if (!sys.factor()) {
+            pd.failed = true;
+            pd.singular_col = sys.singular_col();
+            return;  // later points of this chunk would be discarded
+          }
+
+          pd.pt.freq_hz = f;
+
+          // Forward solve for the signal gain (input-referring).
+          if (!opt.input_source.empty()) {
+            sys.solve(x);
+            auto v = [&](ckt::NodeId nd) {
+              return nd == ckt::kGround ? std::complex<double>{} : x[nd - 1];
+            };
+            pd.pt.gain_mag = std::abs(v(opt.out_p) - v(opt.out_n));
+          }
+
+          // Adjoint solve: A^T y = e_out.
+          e.assign(n, {0.0, 0.0});
+          if (opt.out_p != ckt::kGround) e[opt.out_p - 1] += 1.0;
+          if (opt.out_n != ckt::kGround) e[opt.out_n - 1] -= 1.0;
+          sys.solve_transpose(e, y);
+
+          auto yv = [&](ckt::NodeId nd) {
+            return nd == ckt::kGround ? std::complex<double>{} : y[nd - 1];
+          };
+
+          pd.contribs.resize(sources.size());
+          double s_out = 0.0;
+          for (std::size_t j = 0; j < sources.size(); ++j) {
+            const auto& src = sources[j];
+            const double z2 = std::norm(yv(src.p) - yv(src.n));
+            const double contrib = z2 * src.psd(f);
+            pd.contribs[j] = contrib;
+            s_out += contrib;
+          }
+          pd.pt.s_out = s_out;
+          if (pd.pt.gain_mag > 0.0)
+            pd.pt.s_in = s_out / (pd.pt.gain_mag * pd.pt.gain_mag);
+        }
+      });
+
+  // Lowest failing frequency index wins (matches the serial analysis);
+  // everything before it is kept.
+  std::size_t keep = nf;
+  for (std::size_t k = 0; k < nf; ++k)
+    if (pts[k].failed) {
+      keep = k;
       r.diag.status = SolveStatus::kSingularMatrix;
       r.diag.stage = "noise";
-      r.diag.unknown = unknown_label(nl, lu.singular_col());
-      r.diag.device = device_touching_unknown(nl, lu.singular_col());
-      r.diag.detail = "f = " + std::to_string(f) + " Hz";
-      return r;
+      r.diag.unknown = unknown_label(nl, pts[k].singular_col);
+      r.diag.device = device_touching_unknown(nl, pts[k].singular_col);
+      r.diag.detail = "f = " + std::to_string(freqs_hz[k]) + " Hz";
+      break;
     }
 
-    NoisePoint pt;
-    pt.freq_hz = f;
-
-    // Forward solve for the signal gain (input-referring).
-    if (!opt.input_source.empty()) {
-      const num::ComplexVector x = lu.solve(rhs);
-      auto v = [&](ckt::NodeId nd) {
-        return nd == ckt::kGround ? std::complex<double>{} : x[nd - 1];
-      };
-      pt.gain_mag = std::abs(v(opt.out_p) - v(opt.out_n));
+  // Phase 2: sequential trapezoidal integration over the kept prefix --
+  // identical accumulation order to the serial analysis.
+  r.points.reserve(keep);
+  for (std::size_t k = 0; k < keep; ++k) {
+    if (k > 0) {
+      const double df = freqs_hz[k] - freqs_hz[k - 1];
+      for (std::size_t j = 0; j < sources.size(); ++j)
+        r.by_source[j].v2 +=
+            0.5 * (pts[k - 1].contribs[j] + pts[k].contribs[j]) * df;
     }
-
-    // Adjoint solve: A^T y = e_out.
-    num::ComplexVector e(n, {0.0, 0.0});
-    if (opt.out_p != ckt::kGround) e[opt.out_p - 1] += 1.0;
-    if (opt.out_n != ckt::kGround) e[opt.out_n - 1] -= 1.0;
-    const num::ComplexVector y = lu.solve_transpose(e);
-
-    auto yv = [&](ckt::NodeId nd) {
-      return nd == ckt::kGround ? std::complex<double>{} : y[nd - 1];
-    };
-
-    double s_out = 0.0;
-    for (std::size_t j = 0; j < sources.size(); ++j) {
-      const auto& src = sources[j];
-      const double z2 = std::norm(yv(src.p) - yv(src.n));
-      const double contrib = z2 * src.psd(f);
-      s_out += contrib;
-      // Per-source trapezoidal integration across the grid.
-      if (k > 0)
-        r.by_source[j].v2 += 0.5 * (psd_prev[j] + contrib) * (f - f_prev);
-      psd_prev[j] = contrib;
-    }
-    f_prev = f;
-
-    pt.s_out = s_out;
-    if (pt.gain_mag > 0.0)
-      pt.s_in = s_out / (pt.gain_mag * pt.gain_mag);
-    r.points.push_back(pt);
+    r.points.push_back(pts[k].pt);
   }
   return r;
 }

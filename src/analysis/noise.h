@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "analysis/diag.h"
+#include "analysis/mna.h"
 #include "circuit/netlist.h"
 
 namespace msim::an {
@@ -28,6 +29,13 @@ struct NoiseOptions {
   std::string input_source;
   double temp_k = 300.15;
   double gshunt = 1e-12;
+  // Linear-solver engine for the complex systems.
+  SolverKind solver = SolverKind::kSparse;
+  // Worker threads for the frequency grid (1 = serial, 0 = auto).  The
+  // per-point solves parallelize over contiguous chunks; the trapezoidal
+  // integration runs as a sequential pass afterwards, so results are
+  // bit-identical to the serial analysis at any thread count.
+  int threads = 1;
 };
 
 struct NoisePoint {

@@ -6,7 +6,6 @@
 
 #include "analysis/mna.h"
 #include "circuit/lint.h"
-#include "numeric/lu.h"
 
 namespace msim::an {
 namespace {
@@ -20,24 +19,32 @@ struct NewtonOutcome {
   double max_dx = 0.0;    // final worst unclamped update magnitude
 };
 
+// Buffers shared by every Newton attempt of one solve_op call: the
+// matrix + factorization workspace (whose sparse symbolic analysis is
+// computed once and replayed by all later factorizations) and the
+// solution buffer.  Hoisting them out of newton_solve removes every
+// per-iteration allocation from the hot path.
+struct NewtonWorkspace {
+  RealSystem sys;
+  num::RealVector x_new;
+};
+
 // One damped-Newton solve at fixed homotopy parameters.  Reuses `x` as
 // the starting point and leaves the final iterate in it.
 bool newton_solve(const ckt::Netlist& nl, const AssembleParams& p,
-                  const OpOptions& opt, num::RealVector& x, int& iters,
-                  NewtonOutcome& out) {
-  num::RealMatrix jac;
-  num::RealVector rhs;
+                  const OpOptions& opt, NewtonWorkspace& ws,
+                  num::RealVector& x, int& iters, NewtonOutcome& out) {
   out = NewtonOutcome{};
   for (int it = 0; it < opt.max_iterations; ++it) {
     ++iters;
-    assemble_real(nl, x, p, jac, rhs);
-    num::RealLu lu(jac);
-    if (lu.singular()) {
+    ws.sys.assemble(nl, x, p);
+    if (!ws.sys.factor()) {
       out.fail = SolveStatus::kSingularMatrix;
-      out.bad_unknown = lu.singular_col();
+      out.bad_unknown = ws.sys.singular_col();
       return false;
     }
-    const num::RealVector x_new = lu.solve(rhs);
+    ws.sys.solve(ws.x_new);
+    const num::RealVector& x_new = ws.x_new;
 
     // Damping: clamp each unknown's update to max_step individually.
     // Per-component clamping (rather than a global scale) keeps
@@ -76,14 +83,15 @@ bool newton_solve(const ckt::Netlist& nl, const AssembleParams& p,
 // damping (max_step / 3, / 10) because high-loop-gain circuits can limit-
 // cycle under loose damping yet converge quickly under tight damping.
 bool newton_solve_damped(const ckt::Netlist& nl, const AssembleParams& p,
-                         const OpOptions& opt, num::RealVector& x,
-                         int& iters, NewtonOutcome& out) {
+                         const OpOptions& opt, NewtonWorkspace& ws,
+                         num::RealVector& x, int& iters,
+                         NewtonOutcome& out) {
   const num::RealVector x0 = x;
   for (double factor : {1.0, 3.0, 10.0}) {
     OpOptions o = opt;
     o.max_step = opt.max_step / factor;
     o.initial_guess.clear();
-    if (newton_solve(nl, p, o, x, iters, out)) return true;
+    if (newton_solve(nl, p, o, ws, x, iters, out)) return true;
     x = x0;  // restart each attempt from the same point
   }
   return false;
@@ -153,11 +161,13 @@ OpResult solve_op(ckt::Netlist& nl, const OpOptions& opt) {
   p.gshunt = opt.gshunt;
 
   NewtonOutcome out;
+  NewtonWorkspace ws;
+  ws.sys.init(nl, opt.solver);
 
   // 1. Plain Newton at final gmin.
   p.gmin = opt.gmin;
   num::RealVector x = r.x;
-  if (newton_solve_damped(nl, p, opt, x, r.iterations, out)) {
+  if (newton_solve_damped(nl, p, opt, ws, x, r.iterations, out)) {
     r.x = std::move(x);
     r.converged = true;
     r.method = "newton";
@@ -177,11 +187,11 @@ OpResult solve_op(ckt::Netlist& nl, const OpOptions& opt) {
     for (double gmin = g0; gmin >= opt.gmin * 0.99;
          gmin *= 0.31622776601683794) {
       p.gmin = std::max(gmin, opt.gmin);
-      if (!newton_solve_damped(nl, p, opt, xx, r.iterations, out))
+      if (!newton_solve_damped(nl, p, opt, ws, xx, r.iterations, out))
         return false;
     }
     p.gmin = opt.gmin;
-    return newton_solve_damped(nl, p, opt, xx, r.iterations, out);
+    return newton_solve_damped(nl, p, opt, ws, xx, r.iterations, out);
   };
 
   // 2. gmin stepping: converge with a large junction shunt, then relax.
@@ -203,7 +213,7 @@ OpResult solve_op(ckt::Netlist& nl, const OpOptions& opt) {
   bool ok = true;
   for (int i = 1; i <= 20; ++i) {
     p.source_scale = i / 20.0;
-    if (!newton_solve_damped(nl, p, opt, x, r.iterations, out)) {
+    if (!newton_solve_damped(nl, p, opt, ws, x, r.iterations, out)) {
       ok = false;
       break;
     }

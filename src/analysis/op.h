@@ -5,6 +5,7 @@
 #include <string>
 
 #include "analysis/diag.h"
+#include "analysis/mna.h"
 #include "circuit/netlist.h"
 #include "numeric/matrix.h"
 
@@ -25,6 +26,10 @@ struct OpOptions {
   // nodes, dangling terminals) to kBadTopology as well.
   bool lint = true;
   bool lint_strict = false;
+  // Linear-solver engine.  kSparse assembles into the fixed stamp
+  // pattern and reuses the cached symbolic LU across all Newton
+  // iterations and homotopy stages; kDense is the historical fallback.
+  SolverKind solver = SolverKind::kSparse;
 };
 
 struct OpResult {

@@ -1,5 +1,7 @@
 #include "analysis/sweep.h"
 
+#include "core/parallel.h"
+
 namespace msim::an {
 
 std::vector<double> linspace(double lo, double hi, int n) {
@@ -44,6 +46,17 @@ std::vector<SweepPoint> temperature_sweep(ckt::Netlist& nl,
     if (pt.op.converged) opt.initial_guess = pt.op.x;
     out.push_back(std::move(pt));
   }
+  return out;
+}
+
+std::vector<SweepPoint> parallel_sweep(
+    const std::vector<double>& values,
+    const std::function<OpResult(double)>& solve_point, int threads) {
+  std::vector<SweepPoint> out(values.size());
+  core::parallel_for(threads, values.size(), [&](std::size_t i) {
+    out[i].value = values[i];
+    out[i].op = solve_point(values[i]);
+  });
   return out;
 }
 

@@ -6,7 +6,6 @@
 
 #include "analysis/mna.h"
 #include "analysis/op.h"
-#include "numeric/lu.h"
 
 namespace msim::an {
 namespace {
@@ -21,21 +20,32 @@ struct StepOutcome {
   int iterations = 0;
 };
 
+// Matrix workspace + solution buffer shared by every Newton iteration
+// of every time step; the sparse symbolic analysis is computed on the
+// first factorization and replayed by all later ones.
+struct StepWorkspace {
+  RealSystem sys;
+  num::RealVector x_new;
+};
+
 StepOutcome newton_step(const ckt::Netlist& nl, const AssembleParams& p,
-                        const TranOptions& opt, num::RealVector& x) {
-  num::RealMatrix jac;
-  num::RealVector rhs;
+                        const TranOptions& opt, StepWorkspace& ws,
+                        num::RealVector& x) {
   StepOutcome out;
+  // Dynamic devices carry integration history that changes on every
+  // accepted step without showing up in AssembleParams; restamp the
+  // linear base image each step.
+  ws.sys.invalidate_base();
   for (int it = 0; it < opt.max_newton; ++it) {
     ++out.iterations;
-    assemble_real(nl, x, p, jac, rhs);
-    num::RealLu lu(jac);
-    if (lu.singular()) {
+    ws.sys.assemble(nl, x, p);
+    if (!ws.sys.factor()) {
       out.fail = SolveStatus::kSingularMatrix;
-      out.bad_unknown = lu.singular_col();
+      out.bad_unknown = ws.sys.singular_col();
       return out;
     }
-    const num::RealVector x_new = lu.solve(rhs);
+    ws.sys.solve(ws.x_new);
+    const num::RealVector& x_new = ws.x_new;
 
     double max_dx = 0.0;
     int worst = -1;
@@ -160,6 +170,7 @@ TranResult run_transient(ckt::Netlist& nl, const TranOptions& opt) {
   op_opt.temp_k = opt.temp_k;
   op_opt.gmin = opt.gmin;
   op_opt.gshunt = opt.gshunt;
+  op_opt.solver = opt.solver;
   const OpResult op = solve_op(nl, op_opt);
   if (!op.converged) {
     r.diag = op.diag;
@@ -178,6 +189,9 @@ TranResult run_transient(ckt::Netlist& nl, const TranOptions& opt) {
   p.gmin = opt.gmin;
   p.gshunt = opt.gshunt;
   p.use_trapezoidal = opt.use_trapezoidal;
+
+  StepWorkspace ws;
+  ws.sys.init(nl, opt.solver);
 
   num::RealVector x = op.x;
   double t = 0.0;
@@ -212,7 +226,7 @@ TranResult run_transient(ckt::Netlist& nl, const TranOptions& opt) {
         num::RealVector x_try = x;
         p.time = t + dt;
         p.dt = dt;
-        const StepOutcome out = newton_step(nl, p, opt, x_try);
+        const StepOutcome out = newton_step(nl, p, opt, ws, x_try);
         tel.newton_iterations += out.iterations;
         if (out.ok) {
           for (const auto& d : nl.devices()) d->accept_step(x_try, dt);
@@ -252,7 +266,7 @@ TranResult run_transient(ckt::Netlist& nl, const TranOptions& opt) {
     num::RealVector x_try = x;
     p.time = t + dt;
     p.dt = dt;
-    const StepOutcome out = newton_step(nl, p, opt, x_try);
+    const StepOutcome out = newton_step(nl, p, opt, ws, x_try);
     tel.newton_iterations += out.iterations;
     double err = 0.0;
     if (out.ok) err = lte_estimate(hist_t, hist_x, t + dt, x_try, dt);

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "analysis/diag.h"
+#include "analysis/mna.h"
 #include "circuit/netlist.h"
 #include "numeric/matrix.h"
 
@@ -48,6 +49,10 @@ struct TranOptions {
   double dt_min = 1e-12;
   double dt_max = 0.0;        // 0 -> 50x the base dt
   double lte_tol = 100e-6;
+
+  // Linear-solver engine: the sparse path reuses one cached symbolic LU
+  // across every Newton iteration of every time step.
+  SolverKind solver = SolverKind::kSparse;
 };
 
 // Step-rejection and effort accounting for one transient run.

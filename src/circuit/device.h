@@ -1,6 +1,13 @@
 // Device interface: every circuit element implements MNA stamping for the
 // large-signal (DC / transient) system, small-signal AC stamping around a
 // saved operating point, and enumeration of its physical noise sources.
+//
+// Stamping is target-agnostic: the same stamp()/stamp_ac() code writes
+// into either the dense Matrix or the fixed-pattern SparseMatrix the
+// analysis selected.  For the sparse path, declare_stamps() registers a
+// device's possible Jacobian positions once per netlist; the default
+// registers the full envelope (every pair of the device's own unknowns),
+// which is correct for any stamp a device can legally make.
 #pragma once
 
 #include <functional>
@@ -10,6 +17,7 @@
 
 #include "circuit/node.h"
 #include "numeric/matrix.h"
+#include "numeric/sparse.h"
 
 namespace msim::ckt {
 
@@ -26,7 +34,10 @@ class StampContext {
  public:
   StampContext(AnalysisMode mode, const num::RealVector& x,
                num::RealMatrix& jac, num::RealVector& rhs)
-      : mode_(mode), x_(x), jac_(jac), rhs_(rhs) {}
+      : mode_(mode), x_(x), dense_(&jac), rhs_(rhs) {}
+  StampContext(AnalysisMode mode, const num::RealVector& x,
+               num::RealSparseMatrix& jac, num::RealVector& rhs)
+      : mode_(mode), x_(x), sparse_(&jac), rhs_(rhs) {}
 
   AnalysisMode mode() const { return mode_; }
   double time = 0.0;    // current transient time (s); 0 for DC
@@ -43,15 +54,18 @@ class StampContext {
   std::size_t size() const { return x_.size(); }
 
   void add_jac(int row_unknown, int col_unknown, double g) {
-    jac_(row_unknown, col_unknown) += g;
+    if (dense_)
+      (*dense_)(row_unknown, col_unknown) += g;
+    else
+      sparse_->add(row_unknown, col_unknown, g);
   }
   // Conductance stamp between two *nodes* (either may be ground).
   void add_conductance(NodeId p, NodeId n, double g) {
-    if (p != kGround) jac_(p - 1, p - 1) += g;
-    if (n != kGround) jac_(n - 1, n - 1) += g;
+    if (p != kGround) add_jac(p - 1, p - 1, g);
+    if (n != kGround) add_jac(n - 1, n - 1, g);
     if (p != kGround && n != kGround) {
-      jac_(p - 1, n - 1) -= g;
-      jac_(n - 1, p - 1) -= g;
+      add_jac(p - 1, n - 1, -g);
+      add_jac(n - 1, p - 1, -g);
     }
   }
   // RHS current `i` injected INTO node `n` (ground entries dropped).
@@ -61,16 +75,17 @@ class StampContext {
   void add_rhs(int row_unknown, double v) { rhs_[row_unknown] += v; }
   // Jacobian stamp with a node on the row and an arbitrary unknown column.
   void add_node_jac(NodeId row, int col_unknown, double g) {
-    if (row != kGround) jac_(row - 1, col_unknown) += g;
+    if (row != kGround) add_jac(row - 1, col_unknown, g);
   }
   void add_branch_jac(int row_unknown, NodeId col, double g) {
-    if (col != kGround) jac_(row_unknown, col - 1) += g;
+    if (col != kGround) add_jac(row_unknown, col - 1, g);
   }
 
  private:
   AnalysisMode mode_;
   const num::RealVector& x_;
-  num::RealMatrix& jac_;
+  num::RealMatrix* dense_ = nullptr;
+  num::RealSparseMatrix* sparse_ = nullptr;
   num::RealVector& rhs_;
 };
 
@@ -79,37 +94,43 @@ class AcStampContext {
  public:
   AcStampContext(double omega, num::ComplexMatrix& jac,
                  num::ComplexVector& rhs)
-      : omega_(omega), jac_(jac), rhs_(rhs) {}
+      : omega_(omega), dense_(&jac), rhs_(rhs) {}
+  AcStampContext(double omega, num::ComplexSparseMatrix& jac,
+                 num::ComplexVector& rhs)
+      : omega_(omega), sparse_(&jac), rhs_(rhs) {}
 
   double omega() const { return omega_; }
 
+  void add_jac(int row, int col, std::complex<double> v) {
+    if (dense_)
+      (*dense_)(row, col) += v;
+    else
+      sparse_->add(row, col, v);
+  }
   void add_admittance(NodeId p, NodeId n, std::complex<double> y) {
-    if (p != kGround) jac_(p - 1, p - 1) += y;
-    if (n != kGround) jac_(n - 1, n - 1) += y;
+    if (p != kGround) add_jac(p - 1, p - 1, y);
+    if (n != kGround) add_jac(n - 1, n - 1, y);
     if (p != kGround && n != kGround) {
-      jac_(p - 1, n - 1) -= y;
-      jac_(n - 1, p - 1) -= y;
+      add_jac(p - 1, n - 1, -y);
+      add_jac(n - 1, p - 1, -y);
     }
   }
   // Transconductance stamp: current gm*(v(cp)-v(cn)) flowing p -> n.
   void add_transconductance(NodeId p, NodeId n, NodeId cp, NodeId cn,
                             std::complex<double> gm) {
     auto at = [&](NodeId r, NodeId c, std::complex<double> v) {
-      if (r != kGround && c != kGround) jac_(r - 1, c - 1) += v;
+      if (r != kGround && c != kGround) add_jac(r - 1, c - 1, v);
     };
     at(p, cp, gm);
     at(p, cn, -gm);
     at(n, cp, -gm);
     at(n, cn, gm);
   }
-  void add_jac(int row, int col, std::complex<double> v) {
-    jac_(row, col) += v;
-  }
   void add_node_jac(NodeId row, int col, std::complex<double> v) {
-    if (row != kGround) jac_(row - 1, col) += v;
+    if (row != kGround) add_jac(row - 1, col, v);
   }
   void add_branch_jac(int row, NodeId col, std::complex<double> v) {
-    if (col != kGround) jac_(row, col - 1) += v;
+    if (col != kGround) add_jac(row, col - 1, v);
   }
   void add_current_into(NodeId n, std::complex<double> i) {
     if (n != kGround) rhs_[n - 1] += i;
@@ -118,7 +139,8 @@ class AcStampContext {
 
  private:
   double omega_;
-  num::ComplexMatrix& jac_;
+  num::ComplexMatrix* dense_ = nullptr;
+  num::ComplexSparseMatrix* sparse_ = nullptr;
   num::ComplexVector& rhs_;
 };
 
@@ -152,8 +174,31 @@ class Device {
   int branch_base() const { return branch_base_; }
   void set_branch_base(int b) { branch_base_ = b; }
 
+  // Registers every Jacobian position this device may ever stamp (any
+  // analysis mode).  Called once per netlist to build the sparse
+  // pattern; requires branch bases assigned.  The default registers the
+  // dense envelope over the device's own unknowns -- tiny for real
+  // devices (<= 4 nodes + branches) and always a superset of the actual
+  // stamp set, because stamps only ever touch the device's own nodes
+  // and branch block.
+  virtual void declare_stamps(num::SparsityPattern& pat) const {
+    std::vector<int> u;
+    u.reserve(nodes_.size() + static_cast<std::size_t>(branch_count()));
+    for (NodeId n : nodes_)
+      if (n != kGround) u.push_back(n - 1);
+    for (int b = 0; b < branch_count(); ++b) u.push_back(branch_base_ + b);
+    for (int r : u)
+      for (int c : u) pat.add(r, c);
+  }
+
   // Large-signal stamping (DC operating point and transient).
   virtual void stamp(StampContext& ctx) const = 0;
+
+  // True when stamp() depends on the candidate solution (reads ctx.v()
+  // or ctx.unknown()).  Devices whose stamps are fixed for one set of
+  // AssembleParams are stamped once per Newton solve into a cached base
+  // image instead of once per iteration.
+  virtual bool is_nonlinear() const { return false; }
 
   // Called when a transient step is accepted, with the accepted solution;
   // dynamic devices update their integration history here.

@@ -60,6 +60,22 @@ class Netlist {
   // The MNA unknown index of a node voltage (node must not be ground).
   static int node_unknown(NodeId n) { return n - 1; }
 
+  // Sparse-engine structural cache (see num::SolverCache): filled in by
+  // the analysis layer so every system over this netlist shares one
+  // pattern build and one symbolic factorization.  Mutable because it
+  // is derived state, not circuit content.
+  num::SolverCache& solver_cache() const { return solver_cache_; }
+
+  // Copies another same-topology netlist's solver cache -- cheap, just
+  // shared pointers to immutable structure.  Monte-Carlo samples cloned
+  // from a nominal build adopt its pattern and symbolic factorization
+  // instead of re-analyzing per sample; the cache validity stamp and
+  // SparseLu's pivot-floor guard make a stale adoption degrade to one
+  // local re-analysis, never to a wrong result.
+  void adopt_solver_cache(const Netlist& other) {
+    solver_cache_ = other.solver_cache_;
+  }
+
  private:
   std::vector<std::string> names_;  // index = NodeId
   std::unordered_map<std::string, NodeId> by_name_;
@@ -67,6 +83,7 @@ class Netlist {
   std::unordered_map<std::string, std::size_t> index_;
   int unknown_count_ = 0;
   int anon_counter_ = 0;
+  mutable num::SolverCache solver_cache_;
 };
 
 }  // namespace msim::ckt

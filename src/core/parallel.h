@@ -1,0 +1,67 @@
+// Fixed-size thread pool with a deterministic parallel-for.
+//
+// Determinism contract: parallel_for(threads, n, fn) runs fn(i) exactly
+// once for every i in [0, n), and fn(i) must write only to state owned
+// by index i (its own result slot, its own workspace).  Under that
+// contract the outcome is bit-identical for any thread count, including
+// serial execution -- scheduling only decides *when* each index runs,
+// never *what* it computes.  The Monte-Carlo, AC, noise and sweep
+// executors in src/analysis are all built on this contract.
+//
+// Exceptions thrown by fn are captured; the first one captured wins and
+// is rethrown on the caller's thread after all workers finish (remaining
+// indices are skipped).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace msim::core {
+
+// Worker count used when a caller passes threads = 0 ("auto"): the
+// MSIM_THREADS environment variable when set (clamped to >= 1),
+// otherwise std::thread::hardware_concurrency().
+int default_thread_count();
+
+// Runs fn(i) for i in [0, n).
+//   threads <= 1 : serial in the calling thread (no pool involvement).
+//   threads == 0 : default_thread_count() workers.
+//   threads >= 2 : at most `threads` workers (calling thread included).
+void parallel_for(int threads, std::size_t n,
+                  const std::function<void(std::size_t)>& fn);
+
+// The process-wide pool behind parallel_for.  Workers are started
+// lazily (the pool grows to the largest worker count ever requested, up
+// to a hard cap) and live for the process lifetime.  Only one
+// parallel_for runs at a time -- a second caller blocks until the first
+// finishes; the analyses never nest parallel sections.
+class ThreadPool {
+ public:
+  static ThreadPool& global();
+
+  // Runs fn over [0, n) using at most max_workers - 1 pool threads plus
+  // the calling thread.  Blocks until every index has run; rethrows the
+  // first captured exception.
+  void run(std::size_t n, int max_workers,
+           const std::function<void(std::size_t)>& fn);
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+ private:
+  ThreadPool();
+  void worker_loop();
+  void ensure_workers(int count);
+
+  struct Job;
+  struct Impl;
+  std::vector<std::thread> workers_;
+  Impl* impl_;  // never freed before the workers join in ~ThreadPool
+};
+
+}  // namespace msim::core

@@ -58,6 +58,13 @@ Cccs::Cccs(std::string name, ckt::NodeId p, ckt::NodeId n,
            const VSource* sense, double gain)
     : Device(std::move(name), {p, n}), sense_(sense), gain_(gain) {}
 
+void Cccs::declare_stamps(num::SparsityPattern& pat) const {
+  Device::declare_stamps(pat);
+  const int is = sense_->branch_base();
+  if (nodes_[0] != ckt::kGround) pat.add(nodes_[0] - 1, is);
+  if (nodes_[1] != ckt::kGround) pat.add(nodes_[1] - 1, is);
+}
+
 void Cccs::stamp(ckt::StampContext& ctx) const {
   const int is = sense_->branch_base();
   ctx.add_node_jac(nodes_[0], is, gain_);
@@ -75,6 +82,11 @@ void Cccs::stamp_ac(ckt::AcStampContext& ctx) const {
 Ccvs::Ccvs(std::string name, ckt::NodeId p, ckt::NodeId n,
            const VSource* sense, double transresistance)
     : Device(std::move(name), {p, n}), sense_(sense), r_(transresistance) {}
+
+void Ccvs::declare_stamps(num::SparsityPattern& pat) const {
+  Device::declare_stamps(pat);
+  pat.add(branch_base_, sense_->branch_base());
+}
 
 void Ccvs::stamp(ckt::StampContext& ctx) const {
   const int ib = branch_base_;

@@ -52,6 +52,10 @@ class Cccs : public ckt::Device {
 
   std::string_view type() const override { return "cccs"; }
 
+  // Stamps reference the sensing source's branch column, which lies
+  // outside this device's own unknowns.
+  void declare_stamps(num::SparsityPattern& pat) const override;
+
   void stamp(ckt::StampContext& ctx) const override;
   void stamp_ac(ckt::AcStampContext& ctx) const override;
 
@@ -68,6 +72,9 @@ class Ccvs : public ckt::Device {
 
   std::string_view type() const override { return "ccvs"; }
   int branch_count() const override { return 1; }
+
+  // The branch row also stamps the sensing source's branch column.
+  void declare_stamps(num::SparsityPattern& pat) const override;
 
   void stamp(ckt::StampContext& ctx) const override;
   void stamp_ac(ckt::AcStampContext& ctx) const override;

@@ -37,6 +37,7 @@ class MosSwitch : public ckt::Device {
 
   void stamp(ckt::StampContext& ctx) const override;
   void stamp_ac(ckt::AcStampContext& ctx) const override;
+  bool is_nonlinear() const override { return true; }
   void append_noise_sources(std::vector<ckt::NoiseSource>& out,
                             double temp_k) const override;
 

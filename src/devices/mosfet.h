@@ -68,6 +68,7 @@ class Mosfet : public ckt::Device {
   void stamp(ckt::StampContext& ctx) const override;
   void save_op(const num::RealVector& x, double temp_k) override;
   void stamp_ac(ckt::AcStampContext& ctx) const override;
+  bool is_nonlinear() const override { return true; }
   void append_noise_sources(std::vector<ckt::NoiseSource>& out,
                             double temp_k) const override;
   void set_temperature(double temp_k) override;

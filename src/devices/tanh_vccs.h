@@ -23,6 +23,7 @@ class TanhVccs : public ckt::Device {
   void stamp(ckt::StampContext& ctx) const override;
   void save_op(const num::RealVector& x, double temp_k) override;
   void stamp_ac(ckt::AcStampContext& ctx) const override;
+  bool is_nonlinear() const override { return true; }
 
  private:
   double current(double vc, double& slope) const;

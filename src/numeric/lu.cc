@@ -62,33 +62,37 @@ void Lu<T>::factor(const Matrix<T>& a) {
 }
 
 template <typename T>
-std::vector<T> Lu<T>::solve(const std::vector<T>& b) const {
+void Lu<T>::solve(const std::vector<T>& b, std::vector<T>& x) const {
   const std::size_t n = lu_.rows();
-  std::vector<T> x(n);
+  std::vector<T>& y = scratch_;
+  y.resize(n);
   // Apply permutation: y = P b.
-  for (std::size_t i = 0; i < n; ++i) x[i] = b[perm_[i]];
+  for (std::size_t i = 0; i < n; ++i) y[i] = b[perm_[i]];
   // Forward substitution with unit-diagonal L.
   for (std::size_t i = 0; i < n; ++i) {
     const T* r = lu_.row(i);
-    T acc = x[i];
-    for (std::size_t j = 0; j < i; ++j) acc -= r[j] * x[j];
-    x[i] = acc;
+    T acc = y[i];
+    for (std::size_t j = 0; j < i; ++j) acc -= r[j] * y[j];
+    y[i] = acc;
   }
   // Back substitution with U.
   for (std::size_t ii = n; ii-- > 0;) {
     const T* r = lu_.row(ii);
-    T acc = x[ii];
-    for (std::size_t j = ii + 1; j < n; ++j) acc -= r[j] * x[j];
-    x[ii] = acc / r[ii];
+    T acc = y[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= r[j] * y[j];
+    y[ii] = acc / r[ii];
   }
-  return x;
+  x.resize(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = y[i];
 }
 
 template <typename T>
-std::vector<T> Lu<T>::solve_transpose(const std::vector<T>& b) const {
+void Lu<T>::solve_transpose(const std::vector<T>& b,
+                            std::vector<T>& x) const {
   // A = P^T L U  =>  A^T x = U^T L^T P x = b.
   const std::size_t n = lu_.rows();
-  std::vector<T> v(b);
+  std::vector<T>& v = scratch_;
+  v.assign(b.begin(), b.end());
   // Forward substitution with U^T (lower triangular, non-unit diagonal).
   for (std::size_t i = 0; i < n; ++i) {
     T acc = v[i];
@@ -102,9 +106,8 @@ std::vector<T> Lu<T>::solve_transpose(const std::vector<T>& b) const {
     v[ii] = acc;
   }
   // Undo permutation: x = P^T v.
-  std::vector<T> x(n);
+  x.resize(n);
   for (std::size_t i = 0; i < n; ++i) x[perm_[i]] = v[i];
-  return x;
 }
 
 template class Lu<double>;

@@ -31,10 +31,23 @@ class Lu {
   std::size_t size() const { return lu_.rows(); }
 
   // Solves A x = b.  Requires !singular().
-  std::vector<T> solve(const std::vector<T>& b) const;
+  std::vector<T> solve(const std::vector<T>& b) const {
+    std::vector<T> x;
+    solve(b, x);
+    return x;
+  }
+  // Allocation-free overload for hot loops (Newton iterations reuse the
+  // same x buffer).  `x` may alias `b`.
+  void solve(const std::vector<T>& b, std::vector<T>& x) const;
 
   // Solves A^T x = b (transpose solve; used by the adjoint noise method).
-  std::vector<T> solve_transpose(const std::vector<T>& b) const;
+  std::vector<T> solve_transpose(const std::vector<T>& b) const {
+    std::vector<T> x;
+    solve_transpose(b, x);
+    return x;
+  }
+  // In-place overload; `x` may alias `b`.
+  void solve_transpose(const std::vector<T>& b, std::vector<T>& x) const;
 
   // Magnitude of the smallest pivot seen; a cheap conditioning indicator.
   double min_pivot() const { return min_pivot_; }
@@ -42,6 +55,9 @@ class Lu {
  private:
   Matrix<T> lu_;
   std::vector<std::size_t> perm_;  // row permutation: lu_ row i came from perm_[i]
+  // Substitution buffer reused by the in-place solves (a single Lu must
+  // therefore not be shared across threads).
+  mutable std::vector<T> scratch_;
   bool singular_ = false;
   int singular_col_ = -1;
   double min_pivot_ = 0.0;

@@ -23,8 +23,14 @@ class Rng {
 
   std::uint64_t next_u64() { return engine_(); }
 
+  // Seed of the next independent derived stream.  Pre-deriving a batch
+  // of these (one per Monte-Carlo sample, up front) makes each sample's
+  // stream a pure function of (root seed, sample index) -- the basis of
+  // the parallel executor's determinism.
+  std::uint64_t derive_seed() { return engine_() ^ 0x9e3779b97f4a7c15ull; }
+
   // Derives an independent stream (for per-sample device seeding).
-  Rng fork() { return Rng(engine_() ^ 0x9e3779b97f4a7c15ull); }
+  Rng fork() { return Rng(derive_seed()); }
 
  private:
   std::mt19937_64 engine_;

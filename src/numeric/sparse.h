@@ -1,0 +1,273 @@
+// Sparse MNA matrices and a structure-caching sparse LU.
+//
+// Circuit Jacobians are extremely sparse (a handful of entries per row)
+// and, crucially, their sparsity pattern is fixed for the lifetime of a
+// netlist: every Newton iteration, transient step, AC and noise
+// frequency point re-assembles the same nonzero positions with new
+// values.  The classes here exploit that:
+//
+//   SparsityPattern  - coordinate list of (row, col) stamp positions,
+//                      captured once per netlist from the devices.
+//   SparseMatrix<T>  - CSR storage over a fixed pattern; re-assembly
+//                      clears and rewrites only the nnz values instead
+//                      of an O(n^2) dense fill.
+//   SparseLu<T>      - LU with Markowitz threshold pivoting.  The first
+//                      factor() chooses a fill-minimizing pivot order
+//                      and computes the fill pattern symbolically; every
+//                      later factor() of a same-pattern matrix replays
+//                      that structure numerically (no pivot search, no
+//                      allocation).  A pivot that collapses below the
+//                      floor triggers one automatic re-analysis.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <complex>
+#include <cstddef>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "numeric/matrix.h"
+
+namespace msim::num {
+
+// Coordinate-list collector for the stamp positions of one netlist.
+// Duplicates are fine; SparseMatrix dedupes when it builds the CSR.
+class SparsityPattern {
+ public:
+  explicit SparsityPattern(int n = 0) : n_(n) {}
+
+  int dim() const { return n_; }
+  void add(int row, int col) {
+    assert(row >= 0 && row < n_ && col >= 0 && col < n_);
+    entries_.emplace_back(row, col);
+  }
+  const std::vector<std::pair<int, int>>& entries() const {
+    return entries_;
+  }
+
+ private:
+  int n_ = 0;
+  std::vector<std::pair<int, int>> entries_;
+};
+
+template <typename T>
+class SparseMatrix {
+ public:
+  SparseMatrix() = default;
+
+  explicit SparseMatrix(const SparsityPattern& p) : n_(p.dim()) {
+    // Counting sort by row, then sort + dedupe each (short) row: cheaper
+    // than one global sort of the duplicate-heavy coordinate list.
+    const auto& e = p.entries();
+    row_ptr_.assign(static_cast<std::size_t>(n_) + 1, 0);
+    for (const auto& [r, c] : e) ++row_ptr_[static_cast<std::size_t>(r) + 1];
+    for (int i = 0; i < n_; ++i)
+      row_ptr_[static_cast<std::size_t>(i) + 1] +=
+          row_ptr_[static_cast<std::size_t>(i)];
+    cols_.resize(e.size());
+    std::vector<int> fill(row_ptr_.begin(), row_ptr_.end() - 1);
+    for (const auto& [r, c] : e)
+      cols_[static_cast<std::size_t>(fill[static_cast<std::size_t>(r)]++)] = c;
+    std::size_t w = 0;
+    int prev_end = 0;
+    for (int i = 0; i < n_; ++i) {
+      auto lo = cols_.begin() + prev_end;
+      auto hi = cols_.begin() + row_ptr_[static_cast<std::size_t>(i) + 1];
+      std::sort(lo, hi);
+      prev_end = row_ptr_[static_cast<std::size_t>(i) + 1];
+      row_ptr_[static_cast<std::size_t>(i)] = static_cast<int>(w);
+      for (auto it = lo; it != hi; ++it)
+        if (it == lo || *it != *(it - 1)) cols_[w++] = *it;
+    }
+    row_ptr_[static_cast<std::size_t>(n_)] = static_cast<int>(w);
+    cols_.resize(w);
+    vals_.assign(cols_.size(), T{});
+  }
+
+  // Same structure as `o`, zero values (e.g. the complex AC matrix from
+  // the real pattern).
+  template <typename U>
+  explicit SparseMatrix(const SparseMatrix<U>& o)
+      : n_(o.n_), row_ptr_(o.row_ptr_), cols_(o.cols_) {
+    vals_.assign(cols_.size(), T{});
+  }
+
+  int rows() const { return n_; }
+  int nnz() const { return static_cast<int>(cols_.size()); }
+  bool empty() const { return n_ == 0; }
+
+  void clear_values() { std::fill(vals_.begin(), vals_.end(), T{}); }
+
+  // Accumulates into an existing pattern position.  Stamping a position
+  // that was never declared is a programming error in the device's
+  // declare_stamps() and is reported loudly.
+  void add(int r, int c, T v) {
+    const int* base = cols_.data();
+    const int* lo = base + row_ptr_[static_cast<std::size_t>(r)];
+    const int* hi = base + row_ptr_[static_cast<std::size_t>(r) + 1];
+    const int* it = std::lower_bound(lo, hi, c);
+    if (it == hi || *it != c)
+      throw std::logic_error(
+          "SparseMatrix::add: position outside declared pattern");
+    vals_[static_cast<std::size_t>(it - base)] += v;
+  }
+
+  // Value at (r, c); zero when the position is not in the pattern.
+  T at(int r, int c) const {
+    const int* base = cols_.data();
+    const int* lo = base + row_ptr_[static_cast<std::size_t>(r)];
+    const int* hi = base + row_ptr_[static_cast<std::size_t>(r) + 1];
+    const int* it = std::lower_bound(lo, hi, c);
+    return (it == hi || *it != c) ? T{}
+                                  : vals_[static_cast<std::size_t>(it - base)];
+  }
+
+  Matrix<T> to_dense() const {
+    Matrix<T> m(static_cast<std::size_t>(n_), static_cast<std::size_t>(n_));
+    for (int r = 0; r < n_; ++r)
+      for (int k = row_ptr_[static_cast<std::size_t>(r)];
+           k < row_ptr_[static_cast<std::size_t>(r) + 1]; ++k)
+        m(static_cast<std::size_t>(r),
+          static_cast<std::size_t>(cols_[static_cast<std::size_t>(k)])) =
+            vals_[static_cast<std::size_t>(k)];
+    return m;
+  }
+
+  const std::vector<int>& row_ptr() const { return row_ptr_; }
+  const std::vector<int>& cols() const { return cols_; }
+  const std::vector<T>& values() const { return vals_; }
+  std::vector<T>& values() { return vals_; }
+
+ private:
+  int n_ = 0;
+  std::vector<int> row_ptr_;  // size n+1
+  std::vector<int> cols_;     // sorted within each row
+  std::vector<T> vals_;
+
+  template <typename U>
+  friend class SparseMatrix;
+};
+
+// The value-type-independent half of a SparseLu: pivot order and fill
+// structure.  Exported once and adopted by other factorizations of
+// same-pattern matrices (the complex AC system adopts the real Newton
+// system's analysis, MC workers adopt a shared one) so the Markowitz
+// analysis runs once per structure instead of once per SparseLu.
+struct SparseSymbolic {
+  int n = 0;
+  int pattern_nnz = -1;
+  std::vector<int> rowperm, colperm, qinv;
+  std::vector<int> l_ptr, l_cols;
+  std::vector<int> u_ptr, u_cols;
+};
+
+// Per-netlist cache of the sparse engine's structural work (owned by
+// ckt::Netlist, populated by the analysis layer): the CSR skeleton of
+// the MNA pattern and the symbolic factorization.  Real Newton, complex
+// AC and noise systems over the same netlist all share one pattern
+// build and one analysis.  Writes happen only on the serial
+// large-signal path; parallel frequency workers are read-only.
+struct SolverCache {
+  int unknowns = -1;        // unknown count the entries were built for
+  std::size_t devices = 0;  // device count ditto (staleness guard)
+  std::shared_ptr<const SparseMatrix<double>> skeleton;
+  std::shared_ptr<const SparseSymbolic> symbolic;
+};
+
+// Sparse LU with cached symbolic analysis.
+//
+// factor() on a matrix whose (n, nnz) matches the cached analysis runs
+// the fast numeric refactorization: identical pivot order, identical
+// fill pattern, no allocation.  The first call (or a pivot-floor
+// violation, or a structure change) runs the full Markowitz analysis.
+//
+// Diagnostics mirror num::Lu: singular() / singular_col() name the
+// unknown whose pivot search failed, min_pivot() is the smallest pivot
+// magnitude of the last successful factorization.
+template <typename T>
+class SparseLu {
+ public:
+  SparseLu() = default;
+
+  void factor(const SparseMatrix<T>& a);
+
+  bool singular() const { return singular_; }
+  int singular_col() const { return singular_col_; }
+  double min_pivot() const { return min_pivot_; }
+  std::size_t size() const { return static_cast<std::size_t>(n_); }
+  // True once a pivot order + fill pattern is cached.
+  bool has_symbolic() const { return symbolic_ok_; }
+  // Drops the cached analysis (next factor() re-pivots from scratch).
+  void reset() { symbolic_ok_ = false; }
+  // Fill-in count of the cached factors (L strictly-lower + U).
+  int factor_nnz() const {
+    return static_cast<int>(l_cols_.size() + u_cols_.size());
+  }
+
+  // Copies the current analysis out for sharing; requires has_symbolic().
+  std::shared_ptr<const SparseSymbolic> export_symbolic() const;
+  // Installs a previously exported analysis; the next factor() of a
+  // matching-structure matrix refactors directly.  The pivot-floor check
+  // still guards the replay, so an analysis made for different values
+  // degrades to one automatic re-analysis, never to a wrong result.
+  void adopt_symbolic(const SparseSymbolic& s);
+  // Bumped by every fresh analyze()/adopt_symbolic(); lets an owner spot
+  // a re-analysis and re-export.
+  int symbolic_serial() const { return serial_; }
+
+  // Solves A x = b.  Requires !singular().  `x` must not alias `b`.
+  void solve(const std::vector<T>& b, std::vector<T>& x) const;
+  std::vector<T> solve(const std::vector<T>& b) const {
+    std::vector<T> x;
+    solve(b, x);
+    return x;
+  }
+
+  // Solves A^T x = b (adjoint noise analysis).  `x` may alias `b`.
+  void solve_transpose(const std::vector<T>& b, std::vector<T>& x) const;
+  std::vector<T> solve_transpose(const std::vector<T>& b) const {
+    std::vector<T> x;
+    solve_transpose(b, x);
+    return x;
+  }
+
+ private:
+  // Full analysis: Markowitz threshold pivoting on the values of `a`,
+  // then a boolean elimination with the chosen order to get the fill
+  // pattern, then a numeric refactor.  Returns false when singular.
+  bool analyze(const SparseMatrix<T>& a);
+  // Numeric replay along the cached structure.  Returns false when a
+  // pivot falls below the floor (caller re-analyzes).
+  bool refactor(const SparseMatrix<T>& a);
+
+  int n_ = 0;
+  int pattern_nnz_ = -1;  // nnz of the matrix the analysis was built for
+  bool symbolic_ok_ = false;
+  int serial_ = 0;
+  bool singular_ = false;
+  int singular_col_ = -1;
+  double min_pivot_ = 0.0;
+
+  std::vector<int> rowperm_;  // step k eliminates original row rowperm_[k]
+  std::vector<int> colperm_;  // ... on original column colperm_[k]
+  std::vector<int> qinv_;     // original col -> permuted position
+  // L (strictly lower, unit diagonal) and U (upper, diagonal first in
+  // each row) in permuted coordinates, row-compressed.
+  std::vector<int> l_ptr_, l_cols_;
+  std::vector<int> u_ptr_, u_cols_;
+  std::vector<T> l_vals_, u_vals_;
+  // Dense scatter row for refactor and solves.  Solves are logically
+  // const but reuse this buffer, so a single SparseLu must not be
+  // shared across threads (each parallel worker owns its own).
+  mutable std::vector<T> work_;
+};
+
+using RealSparseMatrix = SparseMatrix<double>;
+using ComplexSparseMatrix = SparseMatrix<std::complex<double>>;
+using RealSparseLu = SparseLu<double>;
+using ComplexSparseLu = SparseLu<std::complex<double>>;
+
+}  // namespace msim::num

@@ -1,0 +1,405 @@
+// Sparse engine tests: SparseLu vs dense Lu agreement on random
+// matrices (values, transpose solves, singular-column diagnosis,
+// min_pivot), symbolic export/adoption, the per-netlist solver cache,
+// and full dense-vs-sparse agreement of OP/AC/noise on the paper's
+// circuits and the fault-injection netlists.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include "analysis/ac.h"
+#include "analysis/noise.h"
+#include "analysis/op.h"
+#include "bench_util.h"
+#include "circuit/netlist.h"
+#include "core/bandgap.h"
+#include "devices/passive.h"
+#include "devices/sources.h"
+#include "numeric/lu.h"
+#include "numeric/rng.h"
+#include "numeric/sparse.h"
+#include "spicefmt/parser.h"
+
+namespace {
+
+using namespace msim;
+
+std::string fault_path(const char* name) {
+  return std::string(MSIM_TEST_DIR) + "/faults/" + name;
+}
+
+// Random diagonally-dominant sparse matrix: the diagonal plus about
+// `extra_per_row` off-diagonal entries per row.
+template <typename T>
+num::SparseMatrix<T> random_sparse(int n, int extra_per_row,
+                                   num::Rng& rng) {
+  num::SparsityPattern pat(n);
+  for (int i = 0; i < n; ++i) pat.add(i, i);
+  std::vector<std::pair<int, int>> off;
+  for (int i = 0; i < n; ++i)
+    for (int k = 0; k < extra_per_row; ++k) {
+      const int j = static_cast<int>(rng.uniform(0.0, double(n)));
+      if (j != i && j < n) {
+        pat.add(i, j);
+        off.emplace_back(i, j);
+      }
+    }
+  num::SparseMatrix<T> a(pat);
+  for (int i = 0; i < n; ++i) {
+    if constexpr (std::is_same_v<T, double>)
+      a.add(i, i, 4.0 + std::abs(rng.normal()));
+    else
+      a.add(i, i, T(4.0 + std::abs(rng.normal()), rng.normal()));
+  }
+  for (const auto& [i, j] : off) {
+    if constexpr (std::is_same_v<T, double>)
+      a.add(i, j, rng.normal());
+    else
+      a.add(i, j, T(rng.normal(), rng.normal()));
+  }
+  return a;
+}
+
+template <typename T>
+std::vector<T> random_rhs(int n, num::Rng& rng) {
+  std::vector<T> b(static_cast<std::size_t>(n));
+  for (auto& v : b) {
+    if constexpr (std::is_same_v<T, double>)
+      v = rng.normal();
+    else
+      v = T(rng.normal(), rng.normal());
+  }
+  return b;
+}
+
+// ---- SparseLu vs dense Lu on random matrices ------------------------
+
+TEST(SparseLu, RandomMatricesMatchDense) {
+  num::Rng rng(42);
+  for (int n : {3, 8, 25, 60}) {
+    const auto a = random_sparse<double>(n, 4, rng);
+    const auto b = random_rhs<double>(n, rng);
+
+    num::RealLu dense(a.to_dense());
+    ASSERT_FALSE(dense.singular()) << "n = " << n;
+    num::RealSparseLu sparse;
+    sparse.factor(a);
+    ASSERT_FALSE(sparse.singular()) << "n = " << n;
+    EXPECT_TRUE(sparse.has_symbolic());
+
+    const auto xd = dense.solve(b);
+    const auto xs = sparse.solve(b);
+    const auto td = dense.solve_transpose(b);
+    const auto ts = sparse.solve_transpose(b);
+    for (int i = 0; i < n; ++i) {
+      EXPECT_NEAR(xs[i], xd[i], 1e-9 * (1.0 + std::abs(xd[i])))
+          << "n = " << n << " i = " << i;
+      EXPECT_NEAR(ts[i], td[i], 1e-9 * (1.0 + std::abs(td[i])))
+          << "n = " << n << " i = " << i;
+    }
+  }
+}
+
+TEST(SparseLu, ComplexMatricesMatchDense) {
+  using C = std::complex<double>;
+  num::Rng rng(7);
+  for (int n : {5, 30}) {
+    const auto a = random_sparse<C>(n, 3, rng);
+    const auto b = random_rhs<C>(n, rng);
+
+    num::ComplexLu dense(a.to_dense());
+    ASSERT_FALSE(dense.singular());
+    num::ComplexSparseLu sparse;
+    sparse.factor(a);
+    ASSERT_FALSE(sparse.singular());
+
+    const auto xd = dense.solve(b);
+    const auto xs = sparse.solve(b);
+    const auto td = dense.solve_transpose(b);
+    const auto ts = sparse.solve_transpose(b);
+    for (int i = 0; i < n; ++i) {
+      EXPECT_LT(std::abs(xs[i] - xd[i]), 1e-9 * (1.0 + std::abs(xd[i])));
+      EXPECT_LT(std::abs(ts[i] - td[i]), 1e-9 * (1.0 + std::abs(td[i])));
+    }
+  }
+}
+
+TEST(SparseLu, RefactorWithNewValuesMatchesDense) {
+  // Same pattern, new values: the second factor() takes the cached
+  // symbolic path (no re-analysis) and must still match dense exactly.
+  num::Rng rng(11);
+  auto a = random_sparse<double>(40, 4, rng);
+  num::RealSparseLu sparse;
+  sparse.factor(a);
+  ASSERT_FALSE(sparse.singular());
+  const int serial = sparse.symbolic_serial();
+
+  // Perturb every value in place (pattern unchanged).
+  for (auto& v : a.values()) v *= 1.0 + 0.01 * rng.normal();
+  sparse.factor(a);
+  ASSERT_FALSE(sparse.singular());
+  EXPECT_EQ(sparse.symbolic_serial(), serial) << "unexpected re-analysis";
+
+  num::RealLu dense(a.to_dense());
+  const auto b = random_rhs<double>(40, rng);
+  const auto xd = dense.solve(b);
+  const auto xs = sparse.solve(b);
+  for (int i = 0; i < 40; ++i)
+    EXPECT_NEAR(xs[i], xd[i], 1e-9 * (1.0 + std::abs(xd[i])));
+}
+
+TEST(SparseLu, SingularColumnDiagnosisMatchesDense) {
+  // Zero an entire column of a well-conditioned matrix: both engines
+  // must report singular and name that exact column.
+  num::Rng rng(3);
+  const int n = 12, dead = 5;
+  num::SparsityPattern pat(n);
+  for (int i = 0; i < n; ++i) pat.add(i, i);
+  num::RealSparseMatrix a(pat);
+  for (int i = 0; i < n; ++i)
+    if (i != dead) a.add(i, i, 2.0 + std::abs(rng.normal()));
+
+  num::RealLu dense(a.to_dense());
+  num::RealSparseLu sparse;
+  sparse.factor(a);
+  EXPECT_TRUE(dense.singular());
+  EXPECT_TRUE(sparse.singular());
+  EXPECT_EQ(dense.singular_col(), dead);
+  EXPECT_EQ(sparse.singular_col(), dead);
+}
+
+TEST(SparseLu, MinPivotOnDiagonalMatrix) {
+  // On a diagonal matrix the pivots are the diagonal itself, so both
+  // engines must report the same smallest magnitude.
+  num::SparsityPattern pat(3);
+  for (int i = 0; i < 3; ++i) pat.add(i, i);
+  num::RealSparseMatrix a(pat);
+  a.add(0, 0, 4.0);
+  a.add(1, 1, 0.5);
+  a.add(2, 2, 8.0);
+
+  num::RealLu dense(a.to_dense());
+  num::RealSparseLu sparse;
+  sparse.factor(a);
+  ASSERT_FALSE(sparse.singular());
+  EXPECT_DOUBLE_EQ(sparse.min_pivot(), 0.5);
+  EXPECT_DOUBLE_EQ(dense.min_pivot(), 0.5);
+}
+
+// ---- symbolic export / adoption -------------------------------------
+
+TEST(SparseLu, AdoptedSymbolicReproducesFromScratchFactorization) {
+  num::Rng rng(17);
+  const auto a = random_sparse<double>(50, 4, rng);
+  const auto b = random_rhs<double>(50, rng);
+
+  num::RealSparseLu first;
+  first.factor(a);
+  ASSERT_FALSE(first.singular());
+  const auto sym = first.export_symbolic();
+  ASSERT_TRUE(sym);
+
+  num::RealSparseLu second;
+  second.adopt_symbolic(*sym);
+  EXPECT_TRUE(second.has_symbolic());
+  second.factor(a);  // must take the refactor path, not re-analyze
+  ASSERT_FALSE(second.singular());
+
+  const auto x1 = first.solve(b);
+  const auto x2 = second.solve(b);
+  for (int i = 0; i < 50; ++i)
+    EXPECT_EQ(x1[i], x2[i]) << "adopted analysis diverged at " << i;
+}
+
+TEST(SparseLu, StaleAdoptionFallsBackToReanalysis) {
+  // Adopt an analysis built for a *different* pattern: factor() must
+  // notice (nnz mismatch) and re-analyze instead of producing garbage.
+  num::Rng rng(23);
+  const auto a = random_sparse<double>(20, 2, rng);
+  const auto other = random_sparse<double>(20, 5, rng);
+
+  num::RealSparseLu donor;
+  donor.factor(other);
+  ASSERT_FALSE(donor.singular());
+
+  num::RealSparseLu lu;
+  lu.adopt_symbolic(*donor.export_symbolic());
+  const int adopted_serial = lu.symbolic_serial();
+  lu.factor(a);
+  ASSERT_FALSE(lu.singular());
+  EXPECT_NE(lu.symbolic_serial(), adopted_serial) << "no re-analysis ran";
+
+  num::RealLu dense(a.to_dense());
+  const auto b = random_rhs<double>(20, rng);
+  const auto xd = dense.solve(b);
+  const auto xs = lu.solve(b);
+  for (int i = 0; i < 20; ++i)
+    EXPECT_NEAR(xs[i], xd[i], 1e-9 * (1.0 + std::abs(xd[i])));
+}
+
+TEST(SolverCache, AdoptedNetlistCacheGivesIdenticalOpSolution) {
+  // Monte-Carlo idiom: a sample netlist adopts the nominal build's
+  // solver cache; the solution must be bit-identical to a cold solve.
+  auto nominal = bench::make_mic_rig();
+  an::OpOptions oo;
+  oo.solver = an::SolverKind::kSparse;
+  const auto warm = an::solve_op(nominal->nl, oo);
+  ASSERT_TRUE(warm.converged);
+  ASSERT_TRUE(nominal->nl.solver_cache().symbolic);
+
+  auto cold = bench::make_mic_rig();
+  const auto op_cold = an::solve_op(cold->nl, oo);
+  ASSERT_TRUE(op_cold.converged);
+
+  auto adopted = bench::make_mic_rig();
+  adopted->nl.adopt_solver_cache(nominal->nl);
+  const auto op_adopted = an::solve_op(adopted->nl, oo);
+  ASSERT_TRUE(op_adopted.converged);
+
+  ASSERT_EQ(op_cold.x.size(), op_adopted.x.size());
+  for (std::size_t i = 0; i < op_cold.x.size(); ++i)
+    EXPECT_EQ(op_cold.x[i], op_adopted.x[i]) << "unknown " << i;
+}
+
+// ---- dense vs sparse on whole analyses ------------------------------
+
+void expect_ops_agree(const an::OpResult& d, const an::OpResult& s,
+                      double tol) {
+  ASSERT_EQ(d.converged, s.converged);
+  if (!d.converged) return;
+  ASSERT_EQ(d.x.size(), s.x.size());
+  for (std::size_t i = 0; i < d.x.size(); ++i)
+    EXPECT_NEAR(s.x[i], d.x[i], tol * (1.0 + std::abs(d.x[i])))
+        << "unknown " << i;
+}
+
+TEST(EngineAgreement, FaultNetlistsAgreeAcrossEngines) {
+  // Every fault-injection netlist must fail (or solve) the same way on
+  // both engines: same converged flag, same structured status.
+  const char* files[] = {"vloop.sp", "floating_node.sp",
+                         "nan_resistor.sp", "duplicate_names.sp",
+                         "dangling_terminal.sp"};
+  for (const char* f : files) {
+    auto parsed = spice::parse_netlist_file(fault_path(f));
+    ASSERT_TRUE(parsed.netlist) << f;
+    an::OpOptions dense_opt;
+    dense_opt.lint = false;  // reach the matrix on both paths
+    dense_opt.solver = an::SolverKind::kDense;
+    an::OpOptions sparse_opt = dense_opt;
+    sparse_opt.solver = an::SolverKind::kSparse;
+    const auto d = an::solve_op(*parsed.netlist, dense_opt);
+    const auto s = an::solve_op(*parsed.netlist, sparse_opt);
+    EXPECT_EQ(d.converged, s.converged) << f;
+    EXPECT_EQ(d.diag.status, s.diag.status) << f;
+    if (d.converged && s.converged) expect_ops_agree(d, s, 1e-6);
+  }
+}
+
+TEST(EngineAgreement, MicAmpOpAcNoiseAgree) {
+  auto rig = bench::make_mic_rig();
+  an::OpOptions od;
+  od.solver = an::SolverKind::kDense;
+  an::OpOptions os;
+  os.solver = an::SolverKind::kSparse;
+
+  const auto opd = an::solve_op(rig->nl, od);
+  const auto ops = an::solve_op(rig->nl, os);
+  ASSERT_TRUE(opd.converged);
+  expect_ops_agree(opd, ops, 1e-6);
+
+  const auto freqs = an::log_frequencies(10.0, 10e6, 3);
+  an::AcOptions ad;
+  ad.solver = an::SolverKind::kDense;
+  an::AcOptions as;
+  as.solver = an::SolverKind::kSparse;
+  const auto acd = an::run_ac(rig->nl, freqs, ad);
+  const auto acs = an::run_ac(rig->nl, freqs, as);
+  ASSERT_EQ(acd.solutions.size(), freqs.size());
+  ASSERT_EQ(acs.solutions.size(), freqs.size());
+  for (std::size_t k = 0; k < freqs.size(); ++k) {
+    const auto gd = acd.vdiff(k, rig->mic.outp, rig->mic.outn);
+    const auto gs = acs.vdiff(k, rig->mic.outp, rig->mic.outn);
+    EXPECT_LT(std::abs(gd - gs), 1e-6 * (1.0 + std::abs(gd)))
+        << "f = " << freqs[k];
+  }
+
+  an::NoiseOptions nd;
+  nd.out_p = rig->mic.outp;
+  nd.out_n = rig->mic.outn;
+  nd.input_source = "Vinp";
+  nd.solver = an::SolverKind::kDense;
+  an::NoiseOptions ns = nd;
+  ns.solver = an::SolverKind::kSparse;
+  const auto noised = an::run_noise(rig->nl, {1e2, 1e3, 1e4}, nd);
+  const auto noises = an::run_noise(rig->nl, {1e2, 1e3, 1e4}, ns);
+  ASSERT_EQ(noised.points.size(), noises.points.size());
+  for (std::size_t k = 0; k < noised.points.size(); ++k) {
+    const auto& pd = noised.points[k];
+    const auto& ps = noises.points[k];
+    EXPECT_LT(std::abs(ps.s_out - pd.s_out), 1e-6 * pd.s_out);
+    EXPECT_LT(std::abs(ps.s_in - pd.s_in), 1e-6 * pd.s_in);
+    EXPECT_LT(std::abs(ps.gain_mag - pd.gain_mag), 1e-6 * pd.gain_mag);
+  }
+}
+
+TEST(EngineAgreement, BandgapOpAgrees) {
+  ckt::Netlist nl;
+  const auto nvdd = nl.node("vdd");
+  const auto nvss = nl.node("vss");
+  nl.add<dev::VSource>("Vdd", nvdd, ckt::kGround, 1.3);
+  nl.add<dev::VSource>("Vss", nvss, ckt::kGround, -1.3);
+  const auto pm = proc::ProcessModel::cmos12();
+  (void)core::build_bandgap(nl, pm, {}, nvdd, nvss, ckt::kGround);
+
+  an::OpOptions od;
+  od.solver = an::SolverKind::kDense;
+  an::OpOptions os;
+  os.solver = an::SolverKind::kSparse;
+  const auto d = an::solve_op(nl, od);
+  const auto s = an::solve_op(nl, os);
+  ASSERT_TRUE(d.converged);
+  expect_ops_agree(d, s, 1e-6);
+}
+
+TEST(EngineAgreement, ClassAbDriverOpAgrees) {
+  auto rig = bench::make_drv_rig();
+  an::OpOptions od;
+  od.solver = an::SolverKind::kDense;
+  an::OpOptions os;
+  os.solver = an::SolverKind::kSparse;
+  const auto d = an::solve_op(rig->nl, od);
+  const auto s = an::solve_op(rig->nl, os);
+  ASSERT_TRUE(d.converged);
+  expect_ops_agree(d, s, 1e-6);
+}
+
+TEST(EngineAgreement, GshuntAndGminIdenticalAcrossEngines) {
+  // A capacitor-only node survives DC solely through the gshunt guard;
+  // both engines must regularize it identically (the sparse pattern
+  // registers every node diagonal for exactly this reason).
+  ckt::Netlist nl;
+  const auto in = nl.node("in");
+  const auto mid = nl.node("mid");
+  nl.add<dev::VSource>("V1", in, ckt::kGround, 1.0);
+  nl.add<dev::Resistor>("R1", in, mid, 1e3);
+  nl.add<dev::Capacitor>("C1", mid, ckt::kGround, 1e-9);
+
+  for (double gshunt : {1e-12, 1e-9}) {
+    an::OpOptions od;
+    od.solver = an::SolverKind::kDense;
+    od.gshunt = gshunt;
+    od.gmin = 1e-9;
+    an::OpOptions os = od;
+    os.solver = an::SolverKind::kSparse;
+    const auto d = an::solve_op(nl, od);
+    const auto s = an::solve_op(nl, os);
+    ASSERT_TRUE(d.converged);
+    ASSERT_TRUE(s.converged);
+    for (std::size_t i = 0; i < d.x.size(); ++i)
+      EXPECT_NEAR(s.x[i], d.x[i], 1e-9 * (1.0 + std::abs(d.x[i])));
+  }
+}
+
+}  // namespace

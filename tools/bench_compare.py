@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_engine.json snapshots and fail on regressions.
+
+Usage:
+    tools/bench_compare.py BASELINE.json CANDIDATE.json [--threshold 0.15]
+
+For every configuration present in both files (matched by section and
+name) the candidate's wall time may not exceed the baseline's by more
+than the threshold (default 15%).  The determinism and engine-agreement
+contract flags must also still hold in the candidate.  Exit status is 0
+when everything passes, 1 otherwise -- suitable for CI gating.
+
+Wall-clock timings are noisy; the harness already reports best-of-N,
+and the 15% margin absorbs ordinary scheduler jitter.  Treat a failure
+as "investigate", not necessarily "revert".
+"""
+
+import argparse
+import json
+import sys
+
+SECTIONS = ("mc_configs", "chip_mc_configs", "ac_grid_configs")
+CONTRACT_FLAGS = (
+    "stats_bit_identical_across_threads",
+    "dense_sparse_stats_agree",
+)
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"error: cannot read {path}: {e}")
+
+
+def by_name(section):
+    return {cfg["name"]: cfg for cfg in section}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument(
+        "--threshold",
+        type=float,
+        default=0.15,
+        help="allowed fractional wall-time regression (default 0.15)",
+    )
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cand = load(args.candidate)
+
+    failures = []
+    compared = 0
+    for section in SECTIONS:
+        b = by_name(base.get(section, []))
+        c = by_name(cand.get(section, []))
+        for name in sorted(b.keys() & c.keys()):
+            old = b[name]["wall_ms"]
+            new = c[name]["wall_ms"]
+            ratio = new / old if old > 0 else float("inf")
+            compared += 1
+            marker = "ok"
+            if ratio > 1.0 + args.threshold:
+                marker = "REGRESSION"
+                failures.append(f"{section}/{name}: {old:.1f} ms -> "
+                                f"{new:.1f} ms ({ratio:.2f}x)")
+            print(f"  {section}/{name:<24} {old:9.1f} ms -> {new:9.1f} ms "
+                  f"({ratio:5.2f}x) [{marker}]")
+        for name in sorted(b.keys() - c.keys()):
+            failures.append(f"{section}/{name}: missing from candidate")
+
+    for flag in CONTRACT_FLAGS:
+        if flag in base and not cand.get(flag, False):
+            failures.append(f"contract flag {flag} no longer true")
+
+    if "best_mc_speedup_vs_dense_serial" in cand:
+        print(f"  best MC speedup: "
+              f"{base.get('best_mc_speedup_vs_dense_serial', 0):.2f}x -> "
+              f"{cand['best_mc_speedup_vs_dense_serial']:.2f}x")
+
+    if compared == 0:
+        failures.append("no comparable configurations found")
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} issue(s):", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"\nOK: {compared} configurations within "
+          f"{100 * args.threshold:.0f}% of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
