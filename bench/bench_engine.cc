@@ -25,6 +25,7 @@
 
 #include "analysis/ac.h"
 #include "analysis/montecarlo.h"
+#include "analysis/structural.h"
 #include "analysis/noise.h"
 #include "analysis/op.h"
 #include "analysis/transient.h"
@@ -200,6 +201,48 @@ AcRun run_ac_grid(const std::string& name, bench::MicRig& rig,
   return run;
 }
 
+// Cost of the mandatory structural pre-pass (lint + structural-rank
+// matching) relative to a whole MC scenario.  The first solve on a
+// topology pays the full analysis; every later sample that adopts the
+// nominal solver cache re-validates with one fingerprint comparison.
+struct PrepassRun {
+  std::string name;
+  double cold_ms = 0.0;    // one uncached full lint + structural run
+  double cached_ms = 0.0;  // per-call cost with a warm verdict cache
+  double added_fraction = 0.0;  // share of the MC scenario wall time
+};
+
+PrepassRun run_prepass(const std::string& name, ckt::Netlist& nl,
+                       int samples, double scenario_wall_ms) {
+  PrepassRun run;
+  run.name = name;
+
+  an::PreflightOptions cold;
+  cold.use_cache = false;
+  run.cold_ms = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < 5; ++rep) {
+    const auto t0 = Clock::now();
+    if (!an::preflight(nl, cold).ok()) {
+      std::fprintf(stderr, "prepass '%s': nominal rig failed lint\n",
+                   name.c_str());
+      std::exit(1);
+    }
+    run.cold_ms = std::min(run.cold_ms, ms_since(t0));
+  }
+
+  (void)an::preflight(nl);  // warm the verdict cache
+  constexpr int kCalls = 1000;
+  const auto t0 = Clock::now();
+  for (int i = 0; i < kCalls; ++i) (void)an::preflight(nl);
+  run.cached_ms = ms_since(t0) / kCalls;
+
+  // The MC scenario pays one cold run (the nominal build) plus a cached
+  // re-validation per adopted sample.
+  run.added_fraction =
+      (run.cold_ms + run.cached_ms * (samples - 1)) / scenario_wall_ms;
+  return run;
+}
+
 bool stats_identical(const an::McStats& a, const an::McStats& b) {
   return a.samples == b.samples && a.failures == b.failures &&
          a.mean() == b.mean() && a.stddev() == b.stddev() &&
@@ -329,6 +372,19 @@ int run_harness(const char* out_path) {
   std::printf("  dense/sparse stats agree (rtol 1e-6): %s\n",
               chip_agree ? "yes" : "NO");
 
+  // Structural pre-pass overhead vs. the sparse-serial MC scenarios.
+  auto chip_rig = bench::make_chip_rig();
+  const auto pre_mic =
+      run_prepass("mic", rig->nl, kSamples, sparse1.wall_ms);
+  const auto pre_chip = run_prepass("chip", chip_rig->nl, kChipSamples,
+                                    chip_sparse1.wall_ms);
+  std::printf("engine harness: structural pre-pass overhead\n");
+  for (const PrepassRun* r : {&pre_mic, &pre_chip})
+    std::printf("  %-14s cold %7.3f ms  cached %8.5f ms/call  "
+                "added %6.3f%% of MC wall\n",
+                r->name.c_str(), r->cold_ms, r->cached_ms,
+                100.0 * r->added_fraction);
+
   const double mic_speedup =
       dense.wall_ms /
       std::min({sparse1.wall_ms, sparse2.wall_ms, sparse8.wall_ms});
@@ -362,6 +418,18 @@ int run_harness(const char* out_path) {
   json_ac(f, ac_dense, ac_dense.wall_ms, false);
   json_ac(f, ac_sparse1, ac_dense.wall_ms, false);
   json_ac(f, ac_sparse8, ac_dense.wall_ms, true);
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"structural_prepass\": [\n");
+  for (const PrepassRun* r : {&pre_mic, &pre_chip})
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"cold_ms\": %.4f, "
+                 "\"cached_per_call_ms\": %.6f, \"samples\": %d, "
+                 "\"scenario_wall_ms\": %.3f, "
+                 "\"added_fraction\": %.6f}%s\n",
+                 r->name.c_str(), r->cold_ms, r->cached_ms,
+                 r == &pre_mic ? kSamples : kChipSamples,
+                 r == &pre_mic ? sparse1.wall_ms : chip_sparse1.wall_ms,
+                 r->added_fraction, r == &pre_chip ? "" : ",");
   std::fprintf(f, "  ],\n");
   std::fprintf(f, "  \"stats_bit_identical_across_threads\": %s,\n",
                (deterministic && chip_deterministic) ? "true" : "false");

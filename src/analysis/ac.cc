@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "analysis/mna.h"
+#include "analysis/structural.h"
 #include "core/parallel.h"
 
 namespace msim::an {
@@ -36,9 +37,16 @@ std::vector<double> log_frequencies(double f_start_hz, double f_stop_hz,
 AcResult run_ac_diag(ckt::Netlist& nl,
                      const std::vector<double>& freqs_hz,
                      const AcOptions& opt) {
-  nl.assign_unknowns();
   AcResult r;
   r.freqs_hz = freqs_hz;
+  if (opt.lint) {
+    SolveDiag pre = preflight(nl);
+    if (!pre.ok()) {
+      r.diag = std::move(pre);
+      return r;
+    }
+  }
+  nl.assign_unknowns();
 
   const std::size_t nf = freqs_hz.size();
   int threads = opt.threads == 0 ? core::default_thread_count()

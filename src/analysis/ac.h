@@ -18,6 +18,11 @@ namespace msim::an {
 
 struct AcOptions {
   double gshunt = 1e-12;
+  // Mandatory-by-default static pre-pass (an::preflight): structural
+  // errors fail fast with kBadTopology (stage "lint") before any
+  // complex system is assembled.  Cached clean verdicts make this a
+  // hash lookup when solve_op already vetted the same netlist.
+  bool lint = true;
   // Linear-solver engine for the complex systems.
   SolverKind solver = SolverKind::kSparse;
   // Worker threads for the frequency grid: 1 = serial, 0 = auto

@@ -1,7 +1,14 @@
 #include "analysis/mna.h"
 
+#include <atomic>
+#include <stdexcept>
+
+#include "analysis/structural.h"
+
 namespace msim::an {
 namespace {
+
+std::atomic<long> g_factor_calls{0};
 
 // Applies the common stamp-context setup and device loop for the
 // large-signal system; `Jac` is either RealMatrix or RealSparseMatrix.
@@ -19,6 +26,10 @@ void stamp_real(const ckt::Netlist& nl, const num::RealVector& x,
 }
 
 }  // namespace
+
+long factor_call_count() {
+  return g_factor_calls.load(std::memory_order_relaxed);
+}
 
 num::SparsityPattern mna_pattern(const ckt::Netlist& nl) {
   num::SparsityPattern pat(nl.unknown_count());
@@ -100,6 +111,15 @@ void RealSystem::init(const ckt::Netlist& nl, SolverKind kind) {
     // copies structure.
     auto& cache = nl.solver_cache();
     if (!cache.skeleton || cache.unknowns != n || cache.devices != ndev) {
+#ifndef NDEBUG
+      // Debug builds verify the stamp contract whenever a fresh pattern
+      // is built: an out-of-pattern write would silently corrupt this
+      // CSR skeleton for every later system sharing the cache.
+      const auto violations = check_stamp_contracts(nl);
+      if (!violations.empty())
+        throw std::logic_error("stamp contract violation: " +
+                               violations.front().message);
+#endif
       cache.unknowns = n;
       cache.devices = ndev;
       cache.symbolic.reset();
@@ -163,6 +183,7 @@ void RealSystem::assemble(const ckt::Netlist& nl, const num::RealVector& x,
 }
 
 bool RealSystem::factor() {
+  g_factor_calls.fetch_add(1, std::memory_order_relaxed);
   if (kind_ == SolverKind::kSparse) {
     slu_.factor(sjac_);
     if (slu_.singular()) return false;
@@ -229,6 +250,7 @@ void ComplexSystem::assemble(const ckt::Netlist& nl, double omega,
 }
 
 bool ComplexSystem::factor() {
+  g_factor_calls.fetch_add(1, std::memory_order_relaxed);
   if (kind_ == SolverKind::kSparse) {
     slu_.factor(sjac_);
     return !slu_.singular();

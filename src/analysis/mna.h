@@ -41,6 +41,11 @@ struct AssembleParams {
   bool operator==(const AssembleParams&) const = default;
 };
 
+// Process-wide count of LU factorization attempts (dense + sparse,
+// real + complex).  Tests assert on deltas to prove the static
+// pre-pass rejects bad topologies *before* any factorization runs.
+long factor_call_count();
+
 // Stamp-position envelope of the netlist: every device's declared
 // positions plus the node-diagonal gshunt entries (registered here so
 // lint-passing but capacitor-only-node netlists stay regular in sparse

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "analysis/mna.h"
+#include "analysis/structural.h"
 #include "core/parallel.h"
 
 namespace msim::an {
@@ -88,6 +89,14 @@ NoiseResult run_noise_diag(ckt::Netlist& nl,
     early.diag.stage = "noise";
     early.diag.detail = "noise analysis needs an output node";
     return early;
+  }
+  if (opt.lint) {
+    SolveDiag pre = preflight(nl);
+    if (!pre.ok()) {
+      NoiseResult bad;
+      bad.diag = std::move(pre);
+      return bad;
+    }
   }
   nl.assign_unknowns();
 

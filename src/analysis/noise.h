@@ -29,6 +29,9 @@ struct NoiseOptions {
   std::string input_source;
   double temp_k = 300.15;
   double gshunt = 1e-12;
+  // Mandatory-by-default static pre-pass (an::preflight), as in
+  // AcOptions: structural errors return kBadTopology at stage "lint".
+  bool lint = true;
   // Linear-solver engine for the complex systems.
   SolverKind solver = SolverKind::kSparse;
   // Worker threads for the frequency grid (1 = serial, 0 = auto).  The

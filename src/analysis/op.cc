@@ -5,7 +5,7 @@
 #include <limits>
 
 #include "analysis/mna.h"
-#include "circuit/lint.h"
+#include "analysis/structural.h"
 
 namespace msim::an {
 namespace {
@@ -128,20 +128,17 @@ double OpResult::v(const ckt::Netlist& nl, std::string_view node) const {
 OpResult solve_op(ckt::Netlist& nl, const OpOptions& opt) {
   OpResult r;
 
-  // Pre-solve structural lint: catch the topologies that would otherwise
-  // surface as unexplained singular matrices or garbage solutions.
+  // Mandatory static pre-pass: lint + structural-rank analysis catch
+  // the topologies that would otherwise surface as unexplained singular
+  // matrices or garbage solutions, before any factorization runs.
+  // Clean verdicts are cached on the netlist (see an::preflight), so
+  // repeated solves and Monte-Carlo samples pay one hash, not one pass.
   if (opt.lint) {
-    const auto issues = ckt::lint(nl);
-    const bool fatal =
-        ckt::lint_has_errors(issues) ||
-        (opt.lint_strict && !issues.empty());
-    if (fatal) {
-      const auto& first = issues.front();
-      r.diag.status = SolveStatus::kBadTopology;
-      r.diag.stage = "lint";
-      if (!first.node.empty()) r.diag.unknown = "v(" + first.node + ")";
-      r.diag.device = first.device;
-      r.diag.detail = ckt::lint_report(issues);
+    PreflightOptions pre;
+    pre.strict = opt.lint_strict;
+    SolveDiag diag = preflight(nl, pre);
+    if (!diag.ok()) {
+      r.diag = std::move(diag);
       return r;
     }
   }

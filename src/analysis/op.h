@@ -20,10 +20,12 @@ struct OpOptions {
   double gmin = 1e-12;      // final junction gmin
   double gshunt = 1e-12;
   num::RealVector initial_guess;  // optional (size 0 -> zeros)
-  // Pre-solve netlist lint: structural errors (duplicate device names,
-  // ideal-voltage-source loops) fail fast with kBadTopology before any
-  // matrix is assembled.  lint_strict escalates warnings (floating
-  // nodes, dangling terminals) to kBadTopology as well.
+  // Pre-solve static pass (an::preflight): lint plus structural-rank
+  // analysis.  Errors (duplicate device names, ideal-voltage-source
+  // loops, structural singularity, stamp-contract breaches) fail fast
+  // with kBadTopology before any matrix is assembled or factored.
+  // lint_strict escalates warnings (floating nodes, current-source
+  // cutsets, dangling terminals) to kBadTopology as well.
   bool lint = true;
   bool lint_strict = false;
   // Linear-solver engine.  kSparse assembles into the fixed stamp

@@ -170,6 +170,8 @@ TranResult run_transient(ckt::Netlist& nl, const TranOptions& opt) {
   op_opt.temp_k = opt.temp_k;
   op_opt.gmin = opt.gmin;
   op_opt.gshunt = opt.gshunt;
+  op_opt.lint = opt.lint;
+  op_opt.lint_strict = opt.lint_strict;
   op_opt.solver = opt.solver;
   const OpResult op = solve_op(nl, op_opt);
   if (!op.converged) {

@@ -36,6 +36,12 @@ struct TranOptions {
   double gmin = 1e-12;
   double gshunt = 1e-12;
   bool use_trapezoidal = true;
+  // Static pre-pass selection forwarded to the initial solve_op (the
+  // transient itself reuses the DC structural verdict: the dynamic
+  // stamp pattern is a superset of the DC one, so a DC-clean topology
+  // can not become structurally singular in transient).
+  bool lint = true;
+  bool lint_strict = false;
   int max_halvings = 12;      // dt reduction attempts on Newton failure
   bool record = true;         // store full solution waveforms
   // Skip storing points before this time (settling removal).

@@ -26,6 +26,17 @@ enum class AnalysisMode {
   kTransient,  // dynamic elements use companion models
 };
 
+// Recording target for the static-analysis layer: captures every
+// Jacobian position a stamp call actually writes, without touching any
+// matrix.  Deliberately performs no bounds checks so that out-of-range
+// writes are *recorded* and reported by the stamp-contract checker
+// instead of asserting mid-stamp.
+struct StampRecord {
+  std::vector<std::pair<int, int>> entries;  // (row, col) in call order
+  void add(int row, int col) { entries.emplace_back(row, col); }
+  void clear() { entries.clear(); }
+};
+
 // Context handed to Device::stamp().  The Newton iteration solves
 //   jac * x_next = rhs
 // so nonlinear devices stamp their Norton linearization around the
@@ -38,6 +49,11 @@ class StampContext {
   StampContext(AnalysisMode mode, const num::RealVector& x,
                num::RealSparseMatrix& jac, num::RealVector& rhs)
       : mode_(mode), x_(x), sparse_(&jac), rhs_(rhs) {}
+  // Recording target: Jacobian writes are captured as positions only
+  // (the stamp-contract checker and structural analyzer consume them).
+  StampContext(AnalysisMode mode, const num::RealVector& x,
+               StampRecord& record, num::RealVector& rhs)
+      : mode_(mode), x_(x), record_(&record), rhs_(rhs) {}
 
   AnalysisMode mode() const { return mode_; }
   double time = 0.0;    // current transient time (s); 0 for DC
@@ -54,10 +70,12 @@ class StampContext {
   std::size_t size() const { return x_.size(); }
 
   void add_jac(int row_unknown, int col_unknown, double g) {
-    if (dense_)
+    if (sparse_)
+      sparse_->add(row_unknown, col_unknown, g);
+    else if (dense_)
       (*dense_)(row_unknown, col_unknown) += g;
     else
-      sparse_->add(row_unknown, col_unknown, g);
+      record_->add(row_unknown, col_unknown);
   }
   // Conductance stamp between two *nodes* (either may be ground).
   void add_conductance(NodeId p, NodeId n, double g) {
@@ -86,6 +104,7 @@ class StampContext {
   const num::RealVector& x_;
   num::RealMatrix* dense_ = nullptr;
   num::RealSparseMatrix* sparse_ = nullptr;
+  StampRecord* record_ = nullptr;
   num::RealVector& rhs_;
 };
 
@@ -98,14 +117,18 @@ class AcStampContext {
   AcStampContext(double omega, num::ComplexSparseMatrix& jac,
                  num::ComplexVector& rhs)
       : omega_(omega), sparse_(&jac), rhs_(rhs) {}
+  AcStampContext(double omega, StampRecord& record, num::ComplexVector& rhs)
+      : omega_(omega), record_(&record), rhs_(rhs) {}
 
   double omega() const { return omega_; }
 
   void add_jac(int row, int col, std::complex<double> v) {
-    if (dense_)
+    if (sparse_)
+      sparse_->add(row, col, v);
+    else if (dense_)
       (*dense_)(row, col) += v;
     else
-      sparse_->add(row, col, v);
+      record_->add(row, col);
   }
   void add_admittance(NodeId p, NodeId n, std::complex<double> y) {
     if (p != kGround) add_jac(p - 1, p - 1, y);
@@ -141,6 +164,7 @@ class AcStampContext {
   double omega_;
   num::ComplexMatrix* dense_ = nullptr;
   num::ComplexSparseMatrix* sparse_ = nullptr;
+  StampRecord* record_ = nullptr;
   num::ComplexVector& rhs_;
 };
 
@@ -166,6 +190,12 @@ class Device {
   const std::string& name() const { return name_; }
   const std::vector<NodeId>& nodes() const { return nodes_; }
   virtual std::string_view type() const = 0;
+
+  // Source location of the defining card when the device came from the
+  // SPICE parser (1-based line number; 0 for programmatic netlists).
+  // Lint diagnostics carry it so CLI users can jump to the bad card.
+  int source_line() const { return source_line_; }
+  void set_source_line(int line) { source_line_ = line; }
 
   // Number of extra branch-current unknowns this device introduces.
   virtual int branch_count() const { return 0; }
@@ -223,6 +253,7 @@ class Device {
   std::string name_;
   std::vector<NodeId> nodes_;
   int branch_base_ = -1;
+  int source_line_ = 0;
 };
 
 }  // namespace msim::ckt

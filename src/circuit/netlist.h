@@ -1,6 +1,7 @@
 // Netlist: owns nodes and devices, assigns MNA unknown indices.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -12,6 +13,16 @@
 #include "circuit/node.h"
 
 namespace msim::ckt {
+
+// Cached outcome of the static pre-pass (lint + structural analysis)
+// for one topology.  `fingerprint` hashes structure only -- device
+// types, names, terminal nodes, branch counts -- never values, so a
+// Monte-Carlo sample perturbing parameters keeps the nominal verdict.
+struct StructuralVerdict {
+  std::uint64_t fingerprint = 0;
+  bool valid = false;  // a pre-pass ran and stored its outcome
+  bool clean = false;  // the pass reported zero issues
+};
 
 class Netlist {
  public:
@@ -38,6 +49,7 @@ class Netlist {
     D* raw = dev.get();
     index_[raw->name()] = devices_.size();
     devices_.push_back(std::move(dev));
+    ++structure_rev_;
     return raw;
   }
 
@@ -74,7 +86,17 @@ class Netlist {
   // local re-analysis, never to a wrong result.
   void adopt_solver_cache(const Netlist& other) {
     solver_cache_ = other.solver_cache_;
+    verdict_ = other.verdict_;
   }
+
+  // Structure-only hash consumed by the static pre-pass cache: two
+  // netlists with the same devices (type, name, terminals, branch
+  // counts) over the same node table hash equal regardless of values.
+  std::uint64_t topology_fingerprint() const;
+
+  // Cached static pre-pass verdict (see an::preflight).  Mutable for
+  // the same reason as solver_cache(): derived state, not content.
+  StructuralVerdict& structural_verdict() const { return verdict_; }
 
  private:
   std::vector<std::string> names_;  // index = NodeId
@@ -83,7 +105,17 @@ class Netlist {
   std::unordered_map<std::string, std::size_t> index_;
   int unknown_count_ = 0;
   int anon_counter_ = 0;
+  // Bumped on every structural mutation (new node, new device); lets
+  // assign_unknowns() and topology_fingerprint() short-circuit on an
+  // unchanged netlist.  That keeps the per-sample pre-pass cost in a
+  // Monte-Carlo loop at one cached hash compare (<1% of scenario wall
+  // time -- asserted by the structural_prepass benchmark section).
+  std::uint64_t structure_rev_ = 1;
+  mutable std::uint64_t fingerprint_rev_ = 0;
+  mutable std::uint64_t fingerprint_ = 0;
+  std::uint64_t assigned_rev_ = 0;
   mutable num::SolverCache solver_cache_;
+  mutable StructuralVerdict verdict_;
 };
 
 }  // namespace msim::ckt

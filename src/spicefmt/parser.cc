@@ -421,6 +421,19 @@ class Builder {
     if (toks.empty()) return;
     const std::string& head = toks[0];
     auto& nl = *result_.netlist;
+    // Tag every device this card creates with its source line (subckt
+    // expansion recurses, so only still-untagged devices are ours).
+    const std::size_t first_new = nl.devices().size();
+    struct LineTagger {
+      ckt::Netlist& nl;
+      std::size_t from;
+      int line;
+      ~LineTagger() {
+        for (std::size_t i = from; i < nl.devices().size(); ++i)
+          if (nl.devices()[i]->source_line() == 0)
+            nl.devices()[i]->set_source_line(line);
+      }
+    } tagger{nl, first_new, c.line};
 
     if (head.rfind("*title*", 0) == 0) {
       result_.title = c.text.substr(8);
@@ -561,10 +574,12 @@ class Builder {
       fail(p.card.line, "controlling source " + toks[3] + " not found");
     if (toks.size() < 5) fail(p.card.line, "missing gain on " + toks[0]);
     const double gain = parse_value_at(toks[4], p.card.line);
+    ckt::Device* d;
     if (toks[0][0] == 'f')
-      nl.add<dev::Cccs>(name, np, nn, sense, gain);
+      d = nl.add<dev::Cccs>(name, np, nn, sense, gain);
     else
-      nl.add<dev::Ccvs>(name, np, nn, sense, gain);
+      d = nl.add<dev::Ccvs>(name, np, nn, sense, gain);
+    d->set_source_line(p.card.line);
   }
 
   const ModelCard& model(const std::string& name, const char* expect,

@@ -1,0 +1,7 @@
+* fault: node "mid" is reachable only through current sources (IS cutset)
+v1 a 0 dc 1
+r1 a 0 1k
+i1 a mid dc 1u
+i2 mid 0 dc 1u
+.op
+.end

@@ -1,0 +1,6 @@
+* fault: inductor shorts an ideal voltage source in DC (V/L loop)
+v1 a 0 dc 1
+l1 a 0 1m
+r1 a 0 1k
+.op
+.end

@@ -96,8 +96,9 @@ TEST(ModOpamp, UnityFollowerSettles) {
   // After the 2 us step plus 1.5 us, outp must be within 1 % of 0.1 V.
   const auto w = res.node_wave(amp.outp);
   for (std::size_t i = 0; i < res.time.size(); ++i) {
-    if (res.time[i] > 3.5e-6)
+    if (res.time[i] > 3.5e-6) {
       EXPECT_NEAR(w[i], 0.1, 0.003) << "t=" << res.time[i];
+    }
   }
 }
 

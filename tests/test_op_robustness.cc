@@ -221,7 +221,19 @@ TEST(FaultInjection, AcSingularMatrixReportsDiagInsteadOfThrow) {
                        dev::Waveform::dc(1.0).with_ac(1.0));
   nl.add<dev::VSource>("V2", a, ckt::kGround, 1.0);
   nl.add<dev::Resistor>("R1", a, ckt::kGround, 1e3);
-  const auto ac = an::run_ac_diag(nl, {1e3});
+
+  // Default path: the static pre-pass rejects the V-loop before any
+  // complex system is assembled.
+  const auto pre = an::run_ac_diag(nl, {1e3});
+  EXPECT_FALSE(pre.ok());
+  EXPECT_EQ(pre.diag.status, an::SolveStatus::kBadTopology);
+  EXPECT_EQ(pre.diag.stage, "lint");
+
+  // With the pre-pass off, the factorization itself still produces the
+  // structured zero-pivot diagnosis (LU-diagnosis coverage).
+  an::AcOptions no_lint;
+  no_lint.lint = false;
+  const auto ac = an::run_ac_diag(nl, {1e3}, no_lint);
   EXPECT_FALSE(ac.ok());
   EXPECT_EQ(ac.diag.status, an::SolveStatus::kSingularMatrix);
   EXPECT_EQ(ac.diag.unknown, "i(V2)");

@@ -7,8 +7,12 @@ Usage:
 For every configuration present in both files (matched by section and
 name) the candidate's wall time may not exceed the baseline's by more
 than the threshold (default 15%).  The determinism and engine-agreement
-contract flags must also still hold in the candidate.  Exit status is 0
-when everything passes, 1 otherwise -- suitable for CI gating.
+contract flags must also still hold in the candidate, and the
+structural pre-pass must stay cheap: every `structural_prepass` entry
+in the candidate must report an `added_fraction` below
+--prepass-threshold (default 0.01, i.e. <1% of its MC scenario's wall
+time).  Exit status is 0 when everything passes, 1 otherwise --
+suitable for CI gating.
 
 Wall-clock timings are noisy; the harness already reports best-of-N,
 and the 15% margin absorbs ordinary scheduler jitter.  Treat a failure
@@ -48,6 +52,13 @@ def main():
         default=0.15,
         help="allowed fractional wall-time regression (default 0.15)",
     )
+    ap.add_argument(
+        "--prepass-threshold",
+        type=float,
+        default=0.01,
+        help="max structural pre-pass share of MC scenario wall time "
+        "(default 0.01)",
+    )
     args = ap.parse_args()
 
     base = load(args.baseline)
@@ -72,6 +83,25 @@ def main():
                   f"({ratio:5.2f}x) [{marker}]")
         for name in sorted(b.keys() - c.keys()):
             failures.append(f"{section}/{name}: missing from candidate")
+
+    # The structural pre-pass is judged absolutely (against the scenario
+    # it rides on), not against the baseline: it must stay in the noise.
+    for cfg in cand.get("structural_prepass", []):
+        frac = cfg.get("added_fraction")
+        name = cfg.get("name", "?")
+        if frac is None:
+            failures.append(f"structural_prepass/{name}: "
+                            f"missing added_fraction")
+            continue
+        marker = "ok"
+        if frac >= args.prepass_threshold:
+            marker = "TOO EXPENSIVE"
+            failures.append(
+                f"structural_prepass/{name}: adds {100 * frac:.2f}% of "
+                f"scenario wall time "
+                f"(limit {100 * args.prepass_threshold:.2f}%)")
+        print(f"  structural_prepass/{name:<16} adds {100 * frac:6.3f}% "
+              f"of MC wall [{marker}]")
 
     for flag in CONTRACT_FLAGS:
         if flag in base and not cand.get(flag, False):

@@ -1,6 +1,8 @@
 // msim_cli: run SPICE-format netlists from the command line.
 //
 //   msim_cli circuit.sp [--probe node1,node2,...] [--lint-only]
+//                       [--lint] [--lint-strict]
+//                       [--lint-disable pass1,pass2,...]
 //                       [--no-telemetry]
 //
 // Executes the analysis directives found in the file:
@@ -12,11 +14,16 @@
 // Sweep results print as CSV on stdout (columns: sweep variable, then
 // the probed nodes; default probes = every named node up to 8).
 //
-// Every run starts with a netlist lint pass: warnings (floating nodes,
-// dangling terminals) go to stderr, errors (duplicate device names,
-// voltage-source loops) abort with exit code 3.  Solver failures print
-// the structured SolveDiag (cause, offending node/device, homotopy
-// stage); transients additionally print step-rejection telemetry.
+// Every run starts with the static pre-pass (lint + structural MNA
+// analysis): warnings (floating nodes, current-source cutsets, dangling
+// terminals) go to stderr, errors (duplicate device names,
+// voltage-source loops, structural singularity) abort with exit code 3.
+// `--lint` prints the machine-readable JSON report to stdout and exits
+// (0 clean / 1 warnings / 3 errors); `--lint-only` is the historical
+// human-readable equivalent.  `--lint-disable` skips named passes and
+// `--lint-strict` treats warnings as fatal.  Solver failures print the
+// structured SolveDiag (cause, offending node/device, homotopy stage);
+// transients additionally print step-rejection telemetry.
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -26,6 +33,7 @@
 #include "analysis/noise.h"
 #include "analysis/op.h"
 #include "analysis/op_report.h"
+#include "analysis/structural.h"
 #include "analysis/sweep.h"
 #include "analysis/transient.h"
 #include "circuit/lint.h"
@@ -88,22 +96,42 @@ double arg_num(const spice::AnalysisDirective& d, std::size_t i) {
   return spice::parse_value(d.args[i]);
 }
 
-int run(const std::string& path, const std::string& probe_arg,
-        bool lint_only, bool telemetry) {
-  auto parsed = spice::parse_netlist_file(path);
+struct CliOptions {
+  std::string path;
+  std::string probe_arg;
+  bool lint_only = false;   // human-readable report, then exit
+  bool lint_json = false;   // JSON report, then exit
+  bool lint_strict = false;
+  bool telemetry = true;
+  std::vector<std::string> lint_disable;
+};
+
+int run(const CliOptions& cli) {
+  auto parsed = spice::parse_netlist_file(cli.path);
   auto& nl = *parsed.netlist;
   const double temp_k = num::celsius_to_kelvin(parsed.temp_c);
-  const auto probes = resolve_probes(nl, probe_arg);
+  const auto probes = resolve_probes(nl, cli.probe_arg);
 
-  // Pre-analysis structural lint: surface every issue, abort on errors.
-  const auto issues = ckt::lint(nl);
+  // Static pre-pass: all registered passes (including the analysis
+  // layer's structural-rank check), every issue surfaced, errors abort.
+  an::register_analysis_lint_passes();
+  if (!nl.devices().empty()) nl.assign_unknowns();
+  ckt::LintOptions lint_opt;
+  lint_opt.disable = cli.lint_disable;
+  const auto issues = ckt::lint(nl, lint_opt);
+  if (cli.lint_json) {
+    std::printf("%s\n", ckt::lint_json(issues).c_str());
+    if (ckt::lint_has_errors(issues)) return 3;
+    return issues.empty() ? 0 : (cli.lint_strict ? 3 : 1);
+  }
   if (!issues.empty())
     std::fputs(ckt::lint_report(issues).c_str(), stderr);
-  if (ckt::lint_has_errors(issues)) {
+  if (ckt::lint_has_errors(issues) ||
+      (cli.lint_strict && !issues.empty())) {
     std::fprintf(stderr, "netlist lint failed; not simulating\n");
     return 3;
   }
-  if (lint_only) return issues.empty() ? 0 : 1;
+  if (cli.lint_only) return issues.empty() ? 0 : 1;
 
   if (parsed.directives.empty()) {
     std::fprintf(stderr, "no analysis directives; running .op\n");
@@ -189,7 +217,7 @@ int run(const std::string& path, const std::string& probe_arg,
       t.t_stop = arg_num(d, 1);
       t.temp_k = temp_k;
       const auto res = an::run_transient(nl, t);
-      if (telemetry)
+      if (cli.telemetry)
         std::fputs(res.telemetry.summary().c_str(), stderr);
       if (!res.ok) {
         std::fprintf(stderr, "transient failed: %s\n",
@@ -243,26 +271,32 @@ int run(const std::string& path, const std::string& probe_arg,
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string path, probe_arg;
-  bool lint_only = false, telemetry = true;
+  CliOptions cli;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--probe") == 0 && i + 1 < argc)
-      probe_arg = argv[++i];
+      cli.probe_arg = argv[++i];
     else if (std::strcmp(argv[i], "--lint-only") == 0)
-      lint_only = true;
+      cli.lint_only = true;
+    else if (std::strcmp(argv[i], "--lint") == 0)
+      cli.lint_json = true;
+    else if (std::strcmp(argv[i], "--lint-strict") == 0)
+      cli.lint_strict = true;
+    else if (std::strcmp(argv[i], "--lint-disable") == 0 && i + 1 < argc)
+      cli.lint_disable = split_csv(argv[++i]);
     else if (std::strcmp(argv[i], "--no-telemetry") == 0)
-      telemetry = false;
+      cli.telemetry = false;
     else
-      path = argv[i];
+      cli.path = argv[i];
   }
-  if (path.empty()) {
+  if (cli.path.empty()) {
     std::fprintf(stderr,
                  "usage: msim_cli <netlist.sp> [--probe n1,n2,...] "
-                 "[--lint-only] [--no-telemetry]\n");
+                 "[--lint] [--lint-only] [--lint-strict] "
+                 "[--lint-disable p1,p2,...] [--no-telemetry]\n");
     return 2;
   }
   try {
-    return run(path, probe_arg, lint_only, telemetry);
+    return run(cli);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
