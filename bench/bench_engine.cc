@@ -9,6 +9,10 @@
 // asserts the parallel determinism contract: the Monte-Carlo statistics
 // must be bit-identical at 1, 2 and 8 threads.
 //
+//   --smoke          shrink every scenario (sample counts, repeats,
+//                    transient spans) so the whole harness plus all of
+//                    its correctness gates finishes in seconds; used by
+//                    the bench_smoke ctest.
 //   --gbench [...]   run the historical google-benchmark micro kernels
 //                    instead (remaining args go to the library).
 #include <algorithm>
@@ -17,6 +21,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <functional>
 #include <limits>
 #include <string>
 #include <vector>
@@ -243,6 +248,73 @@ PrepassRun run_prepass(const std::string& name, ckt::Netlist& nl,
   return run;
 }
 
+// ------------------------------------------------- transient fast path
+
+// One timed transient case, run twice: full Newton (factor every
+// iteration, fast path off) vs. the default policy (modified-Newton
+// factorization reuse + linear fast path).  Only the run_transient call
+// is timed; rig construction and the initial OP stay outside.
+struct TranOnce {
+  an::TranResult res;
+  double tran_ms = 0.0;
+  std::vector<double> wave;
+};
+
+struct TranRun {
+  std::string name;
+  double full_ms = 0.0;  // factor-every-iteration baseline
+  double fast_ms = 0.0;  // reuse + linear fast path
+  long full_factors = 0;
+  long factor_count = 0;
+  long reuse_count = 0;
+  bool linear_fast_path = false;
+  bool agree = false;  // waveforms match across the two policies
+  double speedup() const { return full_ms / fast_ms; }
+};
+
+TranRun run_tran(const std::string& name, int repeats,
+                 const std::function<TranOnce(bool fast)>& once) {
+  TranRun run;
+  run.name = name;
+  run.full_ms = std::numeric_limits<double>::infinity();
+  run.fast_ms = std::numeric_limits<double>::infinity();
+  std::vector<double> wf, wm;
+  for (int rep = 0; rep < repeats; ++rep) {
+    auto full = once(false);
+    if (!full.res.ok) {
+      std::fprintf(stderr, "transient '%s' (full Newton) failed\n",
+                   name.c_str());
+      std::exit(1);
+    }
+    if (full.tran_ms < run.full_ms) {
+      run.full_ms = full.tran_ms;
+      run.full_factors = full.res.telemetry.factor_count;
+      wf = std::move(full.wave);
+    }
+    auto fast = once(true);
+    if (!fast.res.ok) {
+      std::fprintf(stderr, "transient '%s' (fast path) failed\n",
+                   name.c_str());
+      std::exit(1);
+    }
+    if (fast.tran_ms < run.fast_ms) {
+      run.fast_ms = fast.tran_ms;
+      run.factor_count = fast.res.telemetry.factor_count;
+      run.reuse_count = fast.res.telemetry.reuse_count;
+      run.linear_fast_path = fast.res.telemetry.linear_fast_path_used;
+      wm = std::move(fast.wave);
+    }
+  }
+  double maxd = std::numeric_limits<double>::infinity();
+  if (wf.size() == wm.size() && !wf.empty()) {
+    maxd = 0.0;
+    for (std::size_t i = 0; i < wf.size(); ++i)
+      maxd = std::max(maxd, std::abs(wf[i] - wm[i]));
+  }
+  run.agree = maxd < 1e-4;
+  return run;
+}
+
 bool stats_identical(const an::McStats& a, const an::McStats& b) {
   return a.samples == b.samples && a.failures == b.failures &&
          a.mean() == b.mean() && a.stddev() == b.stddev() &&
@@ -288,10 +360,28 @@ void json_ac(std::FILE* f, const AcRun& r, double base_ms, bool last) {
                base_ms / r.wall_ms, last ? "" : ",");
 }
 
-int run_harness(const char* out_path) {
-  constexpr int kSamples = 200;
-  constexpr int kRepeats = 3;
-  constexpr int kChipSamples = 20;
+void json_tran(std::FILE* f, const TranRun& r, bool last) {
+  std::fprintf(f,
+               "    {\"name\": \"%s\", \"wall_ms\": %.3f, "
+               "\"full_newton_ms\": %.3f, "
+               "\"fast_ms\": %.3f, \"speedup_vs_full_newton\": %.3f, "
+               "\"full_factor_count\": %ld, \"factor_count\": %ld, "
+               "\"reuse_count\": %ld, \"linear_fast_path\": %s, "
+               "\"waveforms_agree\": %s}%s\n",
+               r.name.c_str(), r.fast_ms, r.full_ms, r.fast_ms,
+               r.speedup(),
+               r.full_factors, r.factor_count, r.reuse_count,
+               r.linear_fast_path ? "true" : "false",
+               r.agree ? "true" : "false", last ? "" : ",");
+}
+
+int run_harness(const char* out_path, bool smoke) {
+  // Smoke mode (bench_smoke ctest) shrinks every scenario so the whole
+  // harness -- including all correctness gates -- finishes in seconds.
+  const int kSamples = smoke ? 20 : 200;
+  const int kRepeats = smoke ? 1 : 3;
+  const int kChipSamples = smoke ? 2 : 20;
+  const double tran_scale = smoke ? 0.2 : 1.0;
 
   std::printf("engine harness: %d-sample mic-amp gain-accuracy MC "
               "(best of %d)\n",
@@ -385,6 +475,102 @@ int run_harness(const char* out_path) {
                 r->name.c_str(), r->cold_ms, r->cached_ms,
                 100.0 * r->added_fraction);
 
+  // Transient hot path: factor-every-iteration full Newton vs. the
+  // default modified-Newton reuse + linear fast path, on the paper's
+  // waveform workloads.
+  const auto tran_mic = run_tran(
+      "micamp-tone", kRepeats, [&](bool fast) {
+        auto r = bench::make_mic_rig();
+        r->vinp->set_waveform(dev::Waveform::sine(0.0, 1e-3, 1e3));
+        r->vinn->set_waveform(dev::Waveform::sine(0.0, -1e-3, 1e3));
+        r->mic.set_gain_code(5);
+        an::TranOptions t;
+        t.t_stop = 1e-3 * tran_scale;
+        t.dt = 2e-6;
+        t.reuse_factorization = fast;
+        t.linear_fast_path = fast;
+        TranOnce o;
+        const auto t0 = Clock::now();
+        o.res = an::run_transient(r->nl, t);
+        o.tran_ms = ms_since(t0);
+        if (o.res.ok) o.wave = o.res.diff_wave(r->mic.outp, r->mic.outn);
+        return o;
+      });
+  const auto tran_drv = run_tran(
+      "buffer-hd", kRepeats, [&](bool fast) {
+        auto r = bench::make_drv_rig();
+        r->vsp->set_waveform(dev::Waveform::sine(0.0, 0.3, 1e3));
+        r->vsn->set_waveform(dev::Waveform::sine(0.0, -0.3, 1e3));
+        an::TranOptions t;
+        t.t_stop = 2e-3 * tran_scale;
+        t.dt = 1e-6;
+        t.reuse_factorization = fast;
+        t.linear_fast_path = fast;
+        TranOnce o;
+        const auto t0 = Clock::now();
+        o.res = an::run_transient(r->nl, t);
+        o.tran_ms = ms_since(t0);
+        if (o.res.ok) o.wave = o.res.diff_wave(r->drv.outp, r->drv.outn);
+        return o;
+      });
+  // Chip-scale settling run (~170 unknowns): here a factorization costs
+  // several device-evaluation sweeps, the regime where the stale
+  // preconditioner genuinely pays.
+  const auto tran_chip = run_tran(
+      "chip-settle", kRepeats, [&](bool fast) {
+        auto r = bench::make_chip_rig();
+        r->nl.find_as<dev::VSource>("Vinp")->set_waveform(
+            dev::Waveform::sine(0.0, 1e-3, 1e3));
+        r->nl.find_as<dev::VSource>("Vinn")->set_waveform(
+            dev::Waveform::sine(0.0, -1e-3, 1e3));
+        an::TranOptions t;
+        t.t_stop = 0.4e-3 * tran_scale;
+        t.dt = 2e-6;
+        t.reuse_factorization = fast;
+        t.linear_fast_path = fast;
+        TranOnce o;
+        const auto t0 = Clock::now();
+        o.res = an::run_transient(r->nl, t);
+        o.tran_ms = ms_since(t0);
+        if (o.res.ok)
+          o.wave = o.res.diff_wave(r->chip.driver.outp,
+                                   r->chip.driver.outn);
+        return o;
+      });
+  const auto tran_rc = run_tran(
+      "linear-rc", kRepeats, [&](bool fast) {
+        ckt::Netlist nl;
+        const auto in = nl.node("in");
+        const auto out = nl.node("out");
+        nl.add<dev::VSource>("V1", in, ckt::kGround,
+                             dev::Waveform::sine(0.0, 1.0, 1e3));
+        nl.add<dev::Resistor>("R1", in, out, 1e3);
+        nl.add<dev::Capacitor>("C1", out, ckt::kGround, 100e-9);
+        an::TranOptions t;
+        t.t_stop = 10e-3 * tran_scale;
+        t.dt = 1e-6;
+        t.reuse_factorization = fast;
+        t.linear_fast_path = fast;
+        TranOnce o;
+        const auto t0 = Clock::now();
+        o.res = an::run_transient(nl, t);
+        o.tran_ms = ms_since(t0);
+        if (o.res.ok) o.wave = o.res.node_wave(out);
+        return o;
+      });
+  std::printf("engine harness: transient fast path (best of %d)\n",
+              kRepeats);
+  bool tran_agree = true;
+  for (const TranRun* r : {&tran_mic, &tran_drv, &tran_chip, &tran_rc}) {
+    std::printf("  %-14s full %8.1f ms  fast %8.1f ms  speedup %5.2fx  "
+                "factors %ld->%ld (reused %ld)%s  agree %s\n",
+                r->name.c_str(), r->full_ms, r->fast_ms, r->speedup(),
+                r->full_factors, r->factor_count, r->reuse_count,
+                r->linear_fast_path ? "  [linear]" : "",
+                r->agree ? "yes" : "NO");
+    tran_agree = tran_agree && r->agree;
+  }
+
   const double mic_speedup =
       dense.wall_ms /
       std::min({sparse1.wall_ms, sparse2.wall_ms, sparse8.wall_ms});
@@ -431,6 +617,12 @@ int run_harness(const char* out_path) {
                  r == &pre_mic ? sparse1.wall_ms : chip_sparse1.wall_ms,
                  r->added_fraction, r == &pre_chip ? "" : ",");
   std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"transient_configs\": [\n");
+  json_tran(f, tran_mic, false);
+  json_tran(f, tran_drv, false);
+  json_tran(f, tran_chip, false);
+  json_tran(f, tran_rc, true);
+  std::fprintf(f, "  ],\n");
   std::fprintf(f, "  \"stats_bit_identical_across_threads\": %s,\n",
                (deterministic && chip_deterministic) ? "true" : "false");
   std::fprintf(f, "  \"dense_sparse_stats_agree\": %s,\n",
@@ -446,7 +638,7 @@ int run_harness(const char* out_path) {
   std::printf("wrote %s (best MC speedup %.2fx)\n", out_path, best_speedup);
 
   return (deterministic && engines_agree && chip_deterministic &&
-          chip_agree)
+          chip_agree && tran_agree)
              ? 0
              : 1;
 }
@@ -575,6 +767,13 @@ int main(int argc, char** argv) {
     benchmark::Shutdown();
     return 0;
   }
-  const char* out = argc > 1 ? argv[1] : "BENCH_engine.json";
-  return run_harness(out);
+  bool smoke = false;
+  const char* out = "BENCH_engine.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0)
+      smoke = true;
+    else
+      out = argv[i];
+  }
+  return run_harness(out, smoke);
 }

@@ -56,8 +56,11 @@ AcResult run_ac_diag(ckt::Netlist& nl,
 
   // Each chunk owns one ComplexSystem (symbolic LU reused within the
   // chunk) and writes only its own solution slots and failure record,
-  // so the outcome is identical at any thread count.
+  // so the outcome is identical at any thread count.  Solution slots
+  // are pre-sized here so the grid loop itself allocates nothing.
   std::vector<num::ComplexVector> sols(nf);
+  const std::size_t nun = static_cast<std::size_t>(nl.unknown_count());
+  for (auto& s : sols) s.resize(nun);
   std::vector<ChunkFailure> fails(nchunks);
 
   core::parallel_for(

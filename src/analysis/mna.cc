@@ -131,17 +131,17 @@ void RealSystem::init(const ckt::Netlist& nl, SolverKind kind) {
     slu_.reset();
     exported_serial_ = -1;
     if (cache.symbolic) {
-      slu_.adopt_symbolic(*cache.symbolic);
+      slu_.adopt_symbolic(cache.symbolic);
       exported_serial_ = slu_.symbolic_serial();
     }
-    linear_.clear();
-    nonlinear_.clear();
-    for (const auto& d : nl.devices())
-      (d->is_nonlinear() ? nonlinear_ : linear_).push_back(d.get());
   } else {
     cache_ = nullptr;
     djac_.resize(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
   }
+  linear_.clear();
+  nonlinear_.clear();
+  for (const auto& d : nl.devices())
+    (d->is_nonlinear() ? nonlinear_ : linear_).push_back(d.get());
 }
 
 void RealSystem::assemble(const ckt::Netlist& nl, const num::RealVector& x,
@@ -182,7 +182,24 @@ void RealSystem::assemble(const ckt::Netlist& nl, const num::RealVector& x,
   for (const ckt::Device* d : nonlinear_) d->stamp(ctx);
 }
 
-bool RealSystem::factor() {
+void RealSystem::assemble_rhs_only(const ckt::Netlist& nl,
+                                   const num::RealVector& x,
+                                   const AssembleParams& p) {
+  rhs_.assign(static_cast<std::size_t>(n_), 0.0);
+  ckt::StampContext ctx(p.mode, x, rhs_);
+  ctx.time = p.time;
+  ctx.dt = p.dt;
+  ctx.temp_k = p.temp_k;
+  ctx.gmin = p.gmin;
+  ctx.use_trapezoidal = p.use_trapezoidal;
+  ctx.source_scale = p.source_scale;
+  for (const auto& d : nl.devices()) d->stamp(ctx);
+  // gshunt is Jacobian-only; nothing to add on the rhs.
+}
+
+bool RealSystem::factor(const char* reason) {
+  ++stats_.factor_count;
+  ++stats_.refactor_reasons[reason];
   g_factor_calls.fetch_add(1, std::memory_order_relaxed);
   if (kind_ == SolverKind::kSparse) {
     slu_.factor(sjac_);
@@ -215,6 +232,30 @@ void RealSystem::solve(num::RealVector& x) {
     dlu_.solve(rhs_, x);
 }
 
+void RealSystem::solve_modified(const num::RealVector& x,
+                                num::RealVector& x_new) {
+  const std::size_t n = static_cast<std::size_t>(n_);
+  // Residual of the Norton form: r = rhs - A x (fresh values, stale LU).
+  if (kind_ == SolverKind::kSparse) {
+    sjac_.multiply(x, res_);
+  } else {
+    res_.assign(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      double acc = 0.0;
+      for (std::size_t j = 0; j < n; ++j) acc += djac_(i, j) * x[j];
+      res_[i] = acc;
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) res_[i] = rhs_[i] - res_[i];
+  if (kind_ == SolverKind::kSparse)
+    slu_.solve(res_, dx_);
+  else
+    dlu_.solve(res_, dx_);
+  x_new.resize(n);
+  for (std::size_t i = 0; i < n; ++i) x_new[i] = x[i] + dx_[i];
+  ++stats_.reuse_count;
+}
+
 void ComplexSystem::init(const ckt::Netlist& nl, SolverKind kind) {
   const int n = nl.unknown_count();
   const std::size_t ndev = nl.devices().size();
@@ -231,7 +272,7 @@ void ComplexSystem::init(const ckt::Netlist& nl, SolverKind kind) {
     slu_.reset();
     if (cache.skeleton && cache.unknowns == n && cache.devices == ndev) {
       sjac_ = num::ComplexSparseMatrix(*cache.skeleton);
-      if (cache.symbolic) slu_.adopt_symbolic(*cache.symbolic);
+      if (cache.symbolic) slu_.adopt_symbolic(cache.symbolic);
     } else {
       sjac_ = num::ComplexSparseMatrix(
           num::RealSparseMatrix(mna_pattern(nl)));

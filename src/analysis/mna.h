@@ -13,6 +13,9 @@
 // the Newton and frequency loops allocate nothing per iteration.
 #pragma once
 
+#include <map>
+#include <string>
+
 #include "circuit/netlist.h"
 #include "numeric/lu.h"
 #include "numeric/matrix.h"
@@ -45,6 +48,22 @@ struct AssembleParams {
 // real + complex).  Tests assert on deltas to prove the static
 // pre-pass rejects bad topologies *before* any factorization runs.
 long factor_call_count();
+
+// Factorization-reuse telemetry kept by one RealSystem.  The modified
+// Newton loop solves against a stale factorization whenever it can;
+// every fresh factorization records why it was needed so the refactor
+// policy is observable (TranTelemetry, op_report, msim_cli --tran-stats).
+struct FactorStats {
+  long factor_count = 0;  // fresh numeric factorizations
+  long reuse_count = 0;   // solves against a reused (stale) factorization
+  std::map<std::string, long> refactor_reasons;
+
+  void merge(const FactorStats& o) {
+    factor_count += o.factor_count;
+    reuse_count += o.reuse_count;
+    for (const auto& [k, v] : o.refactor_reasons) refactor_reasons[k] += v;
+  }
+};
 
 // Stamp-position envelope of the netlist: every device's declared
 // positions plus the node-diagonal gshunt entries (registered here so
@@ -89,12 +108,39 @@ class RealSystem {
 
   void assemble(const ckt::Netlist& nl, const num::RealVector& x,
                 const AssembleParams& p);
-  // Factors the assembled matrix; false when singular.
-  bool factor();
+  // Stamps only the RHS for the current candidate/params; the matrix
+  // (and its factorization) are left untouched.  The linear fast path
+  // uses this to advance time-dependent sources against one
+  // factorization for a whole constant-dt run.
+  void assemble_rhs_only(const ckt::Netlist& nl, const num::RealVector& x,
+                         const AssembleParams& p);
+  // Factors the assembled matrix; false when singular.  `reason` tags
+  // the factorization in stats() ("initial", "dt_change",
+  // "slow_convergence", ...); the default covers plain full-Newton use.
+  bool factor(const char* reason = "full_newton");
   int singular_col() const;
   double min_pivot() const;
   // Solves into `x` using the assembled rhs.  Requires factor() == true.
   void solve(num::RealVector& x);
+  // Modified-Newton update against a STALE factorization: with the
+  // freshly assembled jac/rhs linearized at `x`, computes
+  //   x_new = x + J0^{-1} (rhs - jac * x)
+  // where J0 is whatever factor() last factored.  Exact Newton when the
+  // factorization is fresh; a fixed-point refinement otherwise.
+  // Requires a prior successful factor().  `x_new` must not alias `x`.
+  void solve_modified(const num::RealVector& x, num::RealVector& x_new);
+
+  // True when the netlist this system was init'ed for has no nonlinear
+  // devices (linear fast-path eligibility).
+  bool all_linear() const { return nonlinear_.empty(); }
+
+  // Factorization-reuse telemetry since the last reset_stats().
+  const FactorStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = FactorStats{}; }
+  // Records one reuse of the current factorization for callers that
+  // solve() directly against it (the linear fast path; solve_modified
+  // records its own).
+  void note_reuse() { ++stats_.reuse_count; }
 
   // Drops the cached linear base image (next assemble restamps every
   // device).  Call when device-internal state changed without a change
@@ -117,12 +163,17 @@ class RealSystem {
   // it after every fresh analysis.
   num::SolverCache* cache_ = nullptr;
   int exported_serial_ = -1;
-  // Linear base image (sparse path).
+  // Linear/nonlinear device split (both paths; feeds the sparse base
+  // image and all_linear()).
   std::vector<const ckt::Device*> linear_, nonlinear_;
+  // Linear base image (sparse path).
   bool base_valid_ = false;
   AssembleParams base_p_;
   std::vector<double> base_vals_;
   num::RealVector base_rhs_;
+  // Modified-Newton scratch (solve_modified forbids aliasing b with x).
+  num::RealVector res_, dx_;
+  FactorStats stats_;
 };
 
 // Reusable workspace for the small-signal complex systems (AC, noise).

@@ -11,11 +11,12 @@
 namespace msim::an {
 namespace {
 
-// Everything one frequency point produces: the public NoisePoint plus
-// the per-source output contributions the integration pass consumes.
+// Everything one frequency point produces: the public NoisePoint plus a
+// failure marker.  The per-source output contributions live in one flat
+// grid-wide buffer (point k, source j at k * nsrc + j) so the grid loop
+// performs no per-point allocation.
 struct PointData {
   NoisePoint pt;
-  std::vector<double> contribs;  // one entry per noise source
   bool failed = false;
   int singular_col = -1;
 };
@@ -119,8 +120,11 @@ NoiseResult run_noise_diag(ckt::Netlist& nl,
 
   // Phase 1: the per-frequency solves (factor + forward + adjoint) are
   // independent; split the grid into contiguous chunks, one ComplexSystem
-  // per chunk, each point writing only its own PointData slot.
+  // per chunk, each point writing only its own PointData slot and its own
+  // stripe of the flat contribution buffer.
+  const std::size_t nsrc = sources.size();
   std::vector<PointData> pts(nf);
+  std::vector<double> contribs(nf * nsrc, 0.0);
   core::parallel_for(
       static_cast<int>(nchunks), nchunks, [&](std::size_t c) {
         const std::size_t lo = nf * c / nchunks;
@@ -160,13 +164,13 @@ NoiseResult run_noise_diag(ckt::Netlist& nl,
             return nd == ckt::kGround ? std::complex<double>{} : y[nd - 1];
           };
 
-          pd.contribs.resize(sources.size());
+          double* row = contribs.data() + k * nsrc;
           double s_out = 0.0;
-          for (std::size_t j = 0; j < sources.size(); ++j) {
+          for (std::size_t j = 0; j < nsrc; ++j) {
             const auto& src = sources[j];
             const double z2 = std::norm(yv(src.p) - yv(src.n));
             const double contrib = z2 * src.psd(f);
-            pd.contribs[j] = contrib;
+            row[j] = contrib;
             s_out += contrib;
           }
           pd.pt.s_out = s_out;
@@ -195,9 +199,10 @@ NoiseResult run_noise_diag(ckt::Netlist& nl,
   for (std::size_t k = 0; k < keep; ++k) {
     if (k > 0) {
       const double df = freqs_hz[k] - freqs_hz[k - 1];
-      for (std::size_t j = 0; j < sources.size(); ++j)
-        r.by_source[j].v2 +=
-            0.5 * (pts[k - 1].contribs[j] + pts[k].contribs[j]) * df;
+      const double* prev = contribs.data() + (k - 1) * nsrc;
+      const double* cur = contribs.data() + k * nsrc;
+      for (std::size_t j = 0; j < nsrc; ++j)
+        r.by_source[j].v2 += 0.5 * (prev[j] + cur[j]) * df;
     }
     r.points.push_back(pts[k].pt);
   }

@@ -160,6 +160,12 @@ OpResult solve_op(ckt::Netlist& nl, const OpOptions& opt) {
   NewtonOutcome out;
   NewtonWorkspace ws;
   ws.sys.init(nl, opt.solver);
+  // Copies the workspace's factorization telemetry into the result on
+  // every exit path below.
+  auto finish = [&]() -> OpResult& {
+    r.solver_stats = ws.sys.stats();
+    return r;
+  };
 
   // 1. Plain Newton at final gmin.
   p.gmin = opt.gmin;
@@ -169,13 +175,13 @@ OpResult solve_op(ckt::Netlist& nl, const OpOptions& opt) {
     r.converged = true;
     r.method = "newton";
     finalize(nl, opt, r);
-    return r;
+    return finish();
   }
   // A structurally singular matrix will not be cured by homotopy: the
   // zero pivot is topological, so diagnose it immediately.
   if (out.fail == SolveStatus::kSingularMatrix) {
     fill_failure_diag(nl, out, "newton", r);
-    return r;
+    return finish();
   }
 
   // Shared helper: relax gmin from `g0` down to the target in half-decade
@@ -199,7 +205,7 @@ OpResult solve_op(ckt::Netlist& nl, const OpOptions& opt) {
     r.converged = true;
     r.method = "gmin";
     finalize(nl, opt, r);
-    return r;
+    return finish();
   }
   NewtonOutcome gmin_out = out;
 
@@ -222,7 +228,7 @@ OpResult solve_op(ckt::Netlist& nl, const OpOptions& opt) {
       r.converged = true;
       r.method = "source";
       finalize(nl, opt, r);
-      return r;
+      return finish();
     }
   }
 
@@ -231,7 +237,7 @@ OpResult solve_op(ckt::Netlist& nl, const OpOptions& opt) {
   // source stepping never produced one.
   fill_failure_diag(nl, out.bad_unknown >= 0 ? out : gmin_out,
                     ok ? "source+gmin" : "source", r);
-  return r;
+  return finish();
 }
 
 }  // namespace msim::an

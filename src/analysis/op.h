@@ -40,6 +40,8 @@ struct OpResult {
   int iterations = 0;
   std::string method;  // "newton" | "gmin" | "source"
   SolveDiag diag;      // structured failure diagnosis (ok() on success)
+  // Factorization telemetry over the whole solve (all homotopy stages).
+  FactorStats solver_stats;
 
   // Voltage of a named node; quiet NaN when the name does not exist.
   double v(const ckt::Netlist& nl, std::string_view node) const;

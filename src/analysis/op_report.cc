@@ -48,6 +48,10 @@ std::string op_report(const ckt::Netlist& nl, const OpResult& op) {
   }
   os << "solved by " << (op.method.empty() ? "newton" : op.method)
      << " homotopy in " << op.iterations << " iterations\n";
+  if (op.solver_stats.factor_count > 0) {
+    os << "factorizations: " << op.solver_stats.factor_count << " (reused "
+       << op.solver_stats.reuse_count << ")\n";
+  }
 
   os << "node voltages:\n";
   for (int n = 1; n < nl.node_count(); ++n) {

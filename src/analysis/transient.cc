@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "analysis/mna.h"
 #include "analysis/op.h"
+#include "core/parallel.h"
 
 namespace msim::an {
 namespace {
@@ -22,11 +24,62 @@ struct StepOutcome {
 
 // Matrix workspace + solution buffer shared by every Newton iteration
 // of every time step; the sparse symbolic analysis is computed on the
-// first factorization and replayed by all later ones.
+// first factorization and replayed by all later ones.  have_factor /
+// factor_dt persist ACROSS time steps: they describe the numeric
+// factorization currently held by `sys`, which modified Newton keeps
+// reusing from one step to the next as long as dt is unchanged.
 struct StepWorkspace {
   RealSystem sys;
   num::RealVector x_new;
+  bool have_factor = false;
+  double factor_dt = -1.0;
+  // Reuse-profitability controller state (see reuse_veto): running
+  // iterations-per-converged-step averages for the two policies and the
+  // accepted-step counter that drives the probe schedule.
+  long ctrl_step = 0;
+  double ema_full = -1.0;
+  double ema_stale = -1.0;
 };
+
+// A stale preconditioner trades factorizations for extra (linearly
+// converging) Newton iterations, and on stamp-dominated circuits an
+// iteration costs several times a factorization, so reuse can lose
+// outright when the operating point moves fast (class-AB output stages
+// under large swing).  The controller measures both policies on the
+// live run -- a few full-Newton steps, a few stale steps, then a probe
+// pair every kProbePeriod accepted steps -- and vetoes reuse while the
+// stale policy costs more than kFactorWorthIters extra iterations per
+// step (the measured worth of one saved factorization).  The schedule
+// depends only on the accepted-step count, so runs stay deterministic.
+constexpr long kProbeWidth = 4;
+constexpr long kProbePeriod = 256;
+constexpr double kFactorWorthIters = 0.5;
+
+const char* reuse_veto(const StepWorkspace& ws) {
+  const long s = ws.ctrl_step;
+  if (s < kProbeWidth) return "probe";       // measure full Newton
+  if (s < 2 * kProbeWidth) return nullptr;   // measure stale
+  const long phase = s % kProbePeriod;
+  if (phase == 0) return "probe";            // keep both averages live
+  if (phase == 1) return nullptr;
+  if (ws.ema_stale > ws.ema_full + kFactorWorthIters)
+    return "not_profitable";
+  return nullptr;
+}
+
+void record_step_cost(StepWorkspace& ws, bool used_stale, int iters) {
+  double& ema = used_stale ? ws.ema_stale : ws.ema_full;
+  ema = ema < 0.0 ? iters : 0.8 * ema + 0.2 * iters;
+  ++ws.ctrl_step;
+}
+
+// The fixed-dt loop recomputes each step as `t_target - t`, so the
+// nominal dt jitters by an ulp of t from step to step.  Treat those as
+// the same step size: for modified Newton the factorization is only a
+// preconditioner, so an ulp-stale J changes nothing about correctness.
+bool same_dt(double a, double b) {
+  return std::abs(a - b) <= 1e-9 * std::abs(b);
+}
 
 StepOutcome newton_step(const ckt::Netlist& nl, const AssembleParams& p,
                         const TranOptions& opt, StepWorkspace& ws,
@@ -36,25 +89,50 @@ StepOutcome newton_step(const ckt::Netlist& nl, const AssembleParams& p,
   // accepted step without showing up in AssembleParams; restamp the
   // linear base image each step.
   ws.sys.invalidate_base();
+  // Modified Newton: iterate against the factorization left behind by
+  // an earlier iteration or time step while it keeps contracting.
+  // `fresh_reason` doubles as the force-fresh latch: once set, the rest
+  // of this step runs full Newton (every iteration factors), which is
+  // exactly the historical worst-case behavior.
+  const char* fresh_reason =
+      opt.reuse_factorization ? reuse_veto(ws) : "full_newton";
+  double prev_dx = std::numeric_limits<double>::infinity();
+  int stale_iters = 0;
   for (int it = 0; it < opt.max_newton; ++it) {
     ++out.iterations;
     ws.sys.assemble(nl, x, p);
-    if (!ws.sys.factor()) {
-      out.fail = SolveStatus::kSingularMatrix;
-      out.bad_unknown = ws.sys.singular_col();
-      return out;
+    const bool use_stale = fresh_reason == nullptr && ws.have_factor &&
+                           same_dt(p.dt, ws.factor_dt);
+    if (use_stale) {
+      // x_new = x + J0^{-1} (rhs - A x): the residual uses the fresh
+      // assembly, only the preconditioner J0 is stale.
+      ws.sys.solve_modified(x, ws.x_new);
+      ++stale_iters;
+    } else {
+      const char* reason = fresh_reason  ? fresh_reason
+                           : !ws.have_factor ? "initial"
+                                             : "dt_change";
+      if (!ws.sys.factor(reason)) {
+        ws.have_factor = false;
+        out.fail = SolveStatus::kSingularMatrix;
+        out.bad_unknown = ws.sys.singular_col();
+        return out;
+      }
+      ws.have_factor = true;
+      ws.factor_dt = p.dt;
+      ws.sys.solve(ws.x_new);
     }
-    ws.sys.solve(ws.x_new);
     const num::RealVector& x_new = ws.x_new;
 
     double max_dx = 0.0;
     int worst = -1;
     bool converged = true;
+    bool finite = true;
     for (std::size_t i = 0; i < x.size(); ++i) {
       if (!std::isfinite(x_new[i])) {
-        out.fail = SolveStatus::kNonFinite;
-        out.bad_unknown = static_cast<int>(i);
-        return out;
+        finite = false;
+        worst = static_cast<int>(i);
+        break;
       }
       const double adx = std::abs(x_new[i] - x[i]);
       if (adx > max_dx) {
@@ -63,6 +141,18 @@ StepOutcome newton_step(const ckt::Netlist& nl, const AssembleParams& p,
       }
       if (adx > opt.vtol + opt.reltol * std::abs(x_new[i]))
         converged = false;
+    }
+    if (!finite) {
+      if (use_stale) {
+        // The stale preconditioner may be the culprit: redo this
+        // candidate with a fresh factorization before rejecting the
+        // step (x is unchanged, so the retry is exact full Newton).
+        fresh_reason = "stale_nonfinite";
+        continue;
+      }
+      out.fail = SolveStatus::kNonFinite;
+      out.bad_unknown = worst;
+      return out;
     }
     out.max_dx = max_dx;
     out.bad_unknown = worst;
@@ -73,15 +163,68 @@ StepOutcome newton_step(const ckt::Netlist& nl, const AssembleParams& p,
     if (converged) {
       x = x_new;
       out.ok = true;
+      if (opt.reuse_factorization)
+        record_step_cost(ws, stale_iters > 0, out.iterations);
       return out;
     }
 
+    // Contraction watchdog: a stale solve that fails to halve the
+    // update (or has had a generous number of cheap tries) stops paying
+    // for itself -- switch to full Newton for the rest of the step.
+    if (use_stale &&
+        (max_dx > 0.5 * prev_dx + opt.vtol || stale_iters > 8))
+      fresh_reason = "slow_convergence";
+
+    prev_dx = max_dx;
     const double scale =
         max_dx > opt.max_step ? opt.max_step / max_dx : 1.0;
     for (std::size_t i = 0; i < x.size(); ++i)
       x[i] += scale * (x_new[i] - x[i]);
   }
   out.fail = SolveStatus::kNonConvergence;
+  return out;
+}
+
+// One implicit step of a purely linear circuit: the Newton system is
+// x-independent, so a single solve is exact.  The factorization is
+// reused for the whole run; only dt changes (sub-step halving, a
+// shortened final step) force a refactorization, and only the RHS is
+// restamped in the steady constant-dt case.
+StepOutcome linear_step(const ckt::Netlist& nl, const AssembleParams& p,
+                        const TranOptions& opt, StepWorkspace& ws,
+                        num::RealVector& x) {
+  (void)opt;
+  StepOutcome out;
+  ++out.iterations;
+  if (ws.have_factor && same_dt(p.dt, ws.factor_dt)) {
+    // Snap to the factored dt so the RHS companion terms stay exactly
+    // consistent with the held factorization.
+    AssembleParams ps = p;
+    ps.dt = ws.factor_dt;
+    ws.sys.assemble_rhs_only(nl, x, ps);
+    ws.sys.note_reuse();
+  } else {
+    ws.sys.invalidate_base();
+    ws.sys.assemble(nl, x, p);
+    if (!ws.sys.factor(ws.have_factor ? "dt_change" : "initial")) {
+      ws.have_factor = false;
+      out.fail = SolveStatus::kSingularMatrix;
+      out.bad_unknown = ws.sys.singular_col();
+      return out;
+    }
+    ws.have_factor = true;
+    ws.factor_dt = p.dt;
+  }
+  ws.sys.solve(ws.x_new);
+  for (std::size_t i = 0; i < ws.x_new.size(); ++i) {
+    if (!std::isfinite(ws.x_new[i])) {
+      out.fail = SolveStatus::kNonFinite;
+      out.bad_unknown = static_cast<int>(i);
+      return out;
+    }
+  }
+  x = ws.x_new;
+  out.ok = true;
   return out;
 }
 
@@ -97,7 +240,34 @@ std::string TranTelemetry::summary() const {
      << "  rejected (nonfinite) " << rejected_nonfinite << "\n"
      << "  rejected (lte)       " << rejected_lte << "\n"
      << "  newton iterations    " << newton_iterations << "\n"
-     << "  min dt attempted     " << min_dt_used << " s\n";
+     << "  factorizations       " << factor_count << " (reused "
+     << reuse_count << (linear_fast_path_used ? ", linear fast path" : "")
+     << ")\n";
+  if (!refactor_reasons.empty()) {
+    os << "  refactor reasons    ";
+    for (const auto& [k, v] : refactor_reasons) os << " " << k << "=" << v;
+    os << "\n";
+  }
+  os << "  min dt attempted     " << min_dt_used << " s\n";
+  return os.str();
+}
+
+std::string TranTelemetry::reuse_stats_json() const {
+  std::ostringstream os;
+  os << "{\"factor_count\": " << factor_count
+     << ", \"reuse_count\": " << reuse_count
+     << ", \"newton_iterations\": " << newton_iterations
+     << ", \"accepted_steps\": " << accepted_steps
+     << ", \"linear_fast_path\": "
+     << (linear_fast_path_used ? "true" : "false")
+     << ", \"refactor_reasons\": {";
+  bool first = true;
+  for (const auto& [k, v] : refactor_reasons) {
+    if (!first) os << ", ";
+    first = false;
+    os << "\"" << k << "\": " << v;
+  }
+  os << "}}";
   return os.str();
 }
 
@@ -161,9 +331,10 @@ void fill_step_diag(const ckt::Netlist& nl, const StepOutcome& out,
   r.diag.detail = os.str();
 }
 
-}  // namespace
-
-TranResult run_transient(ckt::Netlist& nl, const TranOptions& opt) {
+// Body of run_transient; the workspace lives in the caller so the
+// factorization stats reach the telemetry on every return path.
+TranResult run_transient_inner(ckt::Netlist& nl, const TranOptions& opt,
+                               StepWorkspace& ws) {
   TranResult r;
 
   OpOptions op_opt;
@@ -192,8 +363,14 @@ TranResult run_transient(ckt::Netlist& nl, const TranOptions& opt) {
   p.gshunt = opt.gshunt;
   p.use_trapezoidal = opt.use_trapezoidal;
 
-  StepWorkspace ws;
   ws.sys.init(nl, opt.solver);
+  // Linear fast path: no nonlinear devices means the implicit step is a
+  // single exact solve, and the factorization survives the whole
+  // constant-dt run (fixed-step mode only; adaptive runs change dt on
+  // nearly every step, which is what the factorization is keyed on).
+  const bool linear =
+      opt.linear_fast_path && !opt.adaptive && ws.sys.all_linear();
+  r.telemetry.linear_fast_path_used = linear;
 
   num::RealVector x = op.x;
   double t = 0.0;
@@ -228,7 +405,9 @@ TranResult run_transient(ckt::Netlist& nl, const TranOptions& opt) {
         num::RealVector x_try = x;
         p.time = t + dt;
         p.dt = dt;
-        const StepOutcome out = newton_step(nl, p, opt, ws, x_try);
+        const StepOutcome out = linear
+                                    ? linear_step(nl, p, opt, ws, x_try)
+                                    : newton_step(nl, p, opt, ws, x_try);
         tel.newton_iterations += out.iterations;
         if (out.ok) {
           for (const auto& d : nl.devices()) d->accept_step(x_try, dt);
@@ -311,6 +490,37 @@ TranResult run_transient(ckt::Netlist& nl, const TranOptions& opt) {
   }
   r.ok = true;
   return r;
+}
+
+}  // namespace
+
+TranResult run_transient(ckt::Netlist& nl, const TranOptions& opt) {
+  StepWorkspace ws;
+  TranResult r = run_transient_inner(nl, opt, ws);
+  const FactorStats& fs = ws.sys.stats();
+  r.telemetry.factor_count = fs.factor_count;
+  r.telemetry.reuse_count = fs.reuse_count;
+  r.telemetry.refactor_reasons = fs.refactor_reasons;
+  return r;
+}
+
+std::vector<TranResult> run_transient_sweep(
+    std::size_t n,
+    const std::function<void(std::size_t, ckt::Netlist&, TranOptions&)>&
+        configure,
+    const TranSweepOptions& opt) {
+  std::vector<TranResult> results(n);
+  // Each case owns its netlist, workspace and result slot; the chunked
+  // schedule only decides when a case runs, never what it computes, so
+  // the output is bit-identical for any thread count / chunk size.
+  core::parallel_for_chunked(
+      opt.threads, n, opt.chunk, [&](std::size_t i) {
+        ckt::Netlist nl;
+        TranOptions topt;
+        configure(i, nl, topt);
+        results[i] = run_transient(nl, topt);
+      });
+  return results;
 }
 
 }  // namespace msim::an

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -59,6 +60,19 @@ struct TranOptions {
   // Linear-solver engine: the sparse path reuses one cached symbolic LU
   // across every Newton iteration of every time step.
   SolverKind solver = SolverKind::kSparse;
+
+  // Modified Newton: keep solving against the numeric factorization
+  // from an earlier iteration/step while it still contracts, paying for
+  // a fresh one only on dt changes, slow convergence, or non-finite
+  // updates.  The stale factorization only preconditions the update
+  // (the residual always uses the freshly assembled system), so the
+  // converged solution satisfies the same tolerances as full Newton.
+  // Disable to force a factorization on every iteration (A/B baseline).
+  bool reuse_factorization = true;
+  // When the netlist has no nonlinear devices the implicit step is a
+  // plain linear solve: stamp only the RHS and reuse one factorization
+  // for the whole constant-dt run (fixed-step mode only).
+  bool linear_fast_path = true;
 };
 
 // Step-rejection and effort accounting for one transient run.
@@ -72,12 +86,22 @@ struct TranTelemetry {
   // Initial operating point: homotopy method and iteration count.
   std::string op_method;
   int op_iterations = 0;
+  // Factorization-reuse telemetry (modified Newton / linear fast path):
+  // fresh numeric factorizations, solves against a reused one, and why
+  // each fresh factorization was needed.
+  long factor_count = 0;
+  long reuse_count = 0;
+  std::map<std::string, long> refactor_reasons;
+  bool linear_fast_path_used = false;
 
   long rejected_total() const {
     return rejected_newton + rejected_nonfinite + rejected_lte;
   }
   // Multi-line human-readable summary (CLI / log output).
   std::string summary() const;
+  // One-line JSON object with the factorization-reuse fields
+  // (msim_cli --tran-stats).
+  std::string reuse_stats_json() const;
 };
 
 struct TranResult {
@@ -96,5 +120,24 @@ struct TranResult {
 // Runs a transient from the DC operating point at t = 0.  Never throws
 // on solver failure: inspect result.diag.
 TranResult run_transient(ckt::Netlist& nl, const TranOptions& opt);
+
+// Batched waveform sweeps (gain steps, amplitude sweeps for HD curves,
+// MC samples): runs `n` independent transients with one netlist and one
+// workspace per run.
+struct TranSweepOptions {
+  int threads = 1;        // 0 = auto, 1 = serial, >= 2 = pool workers
+  std::size_t chunk = 0;  // runs per scheduling block; 0 = auto
+};
+
+// Runs case i by calling configure(i, nl, opt) on a fresh netlist and
+// default options, then run_transient on the result.  Deterministic-
+// ordering contract: case i's result depends only on i (configure must
+// not mutate shared state), so the returned vector is bit-identical for
+// any thread count or chunk size.
+std::vector<TranResult> run_transient_sweep(
+    std::size_t n,
+    const std::function<void(std::size_t, ckt::Netlist&, TranOptions&)>&
+        configure,
+    const TranSweepOptions& opt = {});
 
 }  // namespace msim::an

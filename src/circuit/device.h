@@ -54,6 +54,12 @@ class StampContext {
   StampContext(AnalysisMode mode, const num::RealVector& x,
                StampRecord& record, num::RealVector& rhs)
       : mode_(mode), x_(x), record_(&record), rhs_(rhs) {}
+  // RHS-only target: Jacobian writes are discarded.  The linear fast
+  // path re-stamps time-dependent sources against a factorization that
+  // is still valid, so only the rhs needs fresh values.
+  StampContext(AnalysisMode mode, const num::RealVector& x,
+               num::RealVector& rhs)
+      : mode_(mode), x_(x), rhs_(rhs) {}
 
   AnalysisMode mode() const { return mode_; }
   double time = 0.0;    // current transient time (s); 0 for DC
@@ -74,7 +80,7 @@ class StampContext {
       sparse_->add(row_unknown, col_unknown, g);
     else if (dense_)
       (*dense_)(row_unknown, col_unknown) += g;
-    else
+    else if (record_)
       record_->add(row_unknown, col_unknown);
   }
   // Conductance stamp between two *nodes* (either may be ground).

@@ -1,5 +1,6 @@
 #include "core/parallel.h"
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
@@ -141,6 +142,29 @@ void parallel_for(int threads, std::size_t n,
     return;
   }
   ThreadPool::global().run(n, threads, fn);
+}
+
+std::size_t default_chunk(int threads, std::size_t n) {
+  if (threads <= 0) threads = default_thread_count();
+  return std::max<std::size_t>(
+      1, n / (8 * static_cast<std::size_t>(threads)));
+}
+
+void parallel_for_chunked(int threads, std::size_t n, std::size_t chunk,
+                          const std::function<void(std::size_t)>& fn) {
+  if (threads == 0) threads = default_thread_count();
+  if (chunk == 0) chunk = default_chunk(threads, n);
+  if (threads <= 1 || n <= 1 || chunk >= n) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  const std::size_t blocks = (n + chunk - 1) / chunk;
+  const std::function<void(std::size_t)> block_fn = [&](std::size_t b) {
+    const std::size_t lo = b * chunk;
+    const std::size_t hi = std::min(n, lo + chunk);
+    for (std::size_t i = lo; i < hi; ++i) fn(i);
+  };
+  ThreadPool::global().run(blocks, threads, block_fn);
 }
 
 }  // namespace msim::core

@@ -32,6 +32,23 @@ int default_thread_count();
 void parallel_for(int threads, std::size_t n,
                   const std::function<void(std::size_t)>& fn);
 
+// Scheduling-granularity heuristic for parallel_for_chunked: about 8
+// chunks per worker, so work-stealing can still balance uneven task
+// costs while the per-chunk pool handoff (an atomic fetch_add plus a
+// std::function call through a pointer) amortizes over the chunk body.
+std::size_t default_chunk(int threads, std::size_t n);
+
+// Chunked parallel_for: indices are handed to the pool in contiguous
+// blocks of `chunk` (0 = default_chunk) and run in ascending order
+// within each block.  Same determinism contract and exception behavior
+// as parallel_for -- scheduling granularity never changes what any
+// index computes.  Use this when fn(i) is too cheap to amortize a
+// per-index handoff (MC samples, sweep cases); with one index per
+// microsecond-scale task the handoff traffic alone can make 8 threads
+// slower than serial.
+void parallel_for_chunked(int threads, std::size_t n, std::size_t chunk,
+                          const std::function<void(std::size_t)>& fn);
+
 // The process-wide pool behind parallel_for.  Workers are started
 // lazily (the pool grows to the largest worker count ever requested, up
 // to a hard cap) and live for the process lifetime.  Only one

@@ -27,7 +27,7 @@ void SparseLu<T>::factor(const SparseMatrix<T>& a) {
   singular_col_ = -1;
 
   const bool same_structure =
-      symbolic_ok_ && a.rows() == n_ && a.nnz() == pattern_nnz_;
+      sym_ && a.rows() == sym_->n && a.nnz() == sym_->pattern_nnz;
   if (same_structure && refactor(a)) return;
 
   if (!analyze(a)) {
@@ -54,10 +54,14 @@ void SparseLu<T>::factor(const SparseMatrix<T>& a) {
 template <typename T>
 bool SparseLu<T>::analyze(const SparseMatrix<T>& a) {
   n_ = a.rows();
-  pattern_nnz_ = a.nnz();
-  symbolic_ok_ = false;
-  rowperm_.assign(static_cast<std::size_t>(n_), -1);
-  colperm_.assign(static_cast<std::size_t>(n_), -1);
+  sym_.reset();
+  // Built locally, then frozen into an immutable shared SparseSymbolic
+  // on success so adopters can share it without copying.
+  std::vector<int> rowperm_(static_cast<std::size_t>(n_), -1);
+  std::vector<int> colperm_(static_cast<std::size_t>(n_), -1);
+  std::vector<int> qinv_;
+  std::vector<int> l_ptr_, l_cols_;
+  std::vector<int> u_ptr_, u_cols_;
 
   // Working rows: active entries as sorted (col, value) lists.
   std::vector<std::vector<std::pair<int, T>>> rows(
@@ -227,44 +231,31 @@ bool SparseLu<T>::analyze(const SparseMatrix<T>& a) {
         fill[static_cast<std::size_t>(pinv[static_cast<std::size_t>(r)])]++)] =
         step;
 
-  l_vals_.assign(l_cols_.size(), T{});
-  u_vals_.assign(u_cols_.size(), T{});
+  auto s = std::make_shared<SparseSymbolic>();
+  s->n = n_;
+  s->pattern_nnz = a.nnz();
+  s->rowperm = std::move(rowperm_);
+  s->colperm = std::move(colperm_);
+  s->qinv = std::move(qinv_);
+  s->l_ptr = std::move(l_ptr_);
+  s->l_cols = std::move(l_cols_);
+  s->u_ptr = std::move(u_ptr_);
+  s->u_cols = std::move(u_cols_);
+  sym_ = std::move(s);
+  l_vals_.assign(sym_->l_cols.size(), T{});
+  u_vals_.assign(sym_->u_cols.size(), T{});
   work_.assign(static_cast<std::size_t>(n_), T{});
-  symbolic_ok_ = true;
   ++serial_;
   return true;
 }
 
 template <typename T>
-std::shared_ptr<const SparseSymbolic> SparseLu<T>::export_symbolic() const {
-  auto s = std::make_shared<SparseSymbolic>();
-  s->n = n_;
-  s->pattern_nnz = pattern_nnz_;
-  s->rowperm = rowperm_;
-  s->colperm = colperm_;
-  s->qinv = qinv_;
-  s->l_ptr = l_ptr_;
-  s->l_cols = l_cols_;
-  s->u_ptr = u_ptr_;
-  s->u_cols = u_cols_;
-  return s;
-}
-
-template <typename T>
-void SparseLu<T>::adopt_symbolic(const SparseSymbolic& s) {
-  n_ = s.n;
-  pattern_nnz_ = s.pattern_nnz;
-  rowperm_ = s.rowperm;
-  colperm_ = s.colperm;
-  qinv_ = s.qinv;
-  l_ptr_ = s.l_ptr;
-  l_cols_ = s.l_cols;
-  u_ptr_ = s.u_ptr;
-  u_cols_ = s.u_cols;
-  l_vals_.assign(l_cols_.size(), T{});
-  u_vals_.assign(u_cols_.size(), T{});
+void SparseLu<T>::adopt_symbolic(std::shared_ptr<const SparseSymbolic> s) {
+  sym_ = std::move(s);
+  n_ = sym_->n;
+  l_vals_.assign(sym_->l_cols.size(), T{});
+  u_vals_.assign(sym_->u_cols.size(), T{});
   work_.assign(static_cast<std::size_t>(n_), T{});
-  symbolic_ok_ = true;
   ++serial_;
 }
 
@@ -277,6 +268,13 @@ bool SparseLu<T>::refactor(const SparseMatrix<T>& a) {
   const auto& rp = a.row_ptr();
   const auto& cs = a.cols();
   const auto& vs = a.values();
+  const auto& rowperm_ = sym_->rowperm;
+  const auto& colperm_ = sym_->colperm;
+  const auto& qinv_ = sym_->qinv;
+  const auto& l_ptr_ = sym_->l_ptr;
+  const auto& l_cols_ = sym_->l_cols;
+  const auto& u_ptr_ = sym_->u_ptr;
+  const auto& u_cols_ = sym_->u_cols;
   min_pivot_ = n_ ? 1e300 : 0.0;
 
   for (int i = 0; i < n_; ++i) {
@@ -331,6 +329,12 @@ template <typename T>
 void SparseLu<T>::solve(const std::vector<T>& b, std::vector<T>& x) const {
   // P A Q = L U  =>  solve L U y = P b, then x = Q y.
   const std::size_t n = static_cast<std::size_t>(n_);
+  const auto& rowperm_ = sym_->rowperm;
+  const auto& colperm_ = sym_->colperm;
+  const auto& l_ptr_ = sym_->l_ptr;
+  const auto& l_cols_ = sym_->l_cols;
+  const auto& u_ptr_ = sym_->u_ptr;
+  const auto& u_cols_ = sym_->u_cols;
   std::vector<T>& y = work_;
   for (std::size_t i = 0; i < n; ++i) y[i] = b[static_cast<std::size_t>(
       rowperm_[i])];
@@ -361,6 +365,12 @@ void SparseLu<T>::solve_transpose(const std::vector<T>& b,
                                   std::vector<T>& x) const {
   // A = P^T L U Q^T  =>  A^T x = b  <=>  U^T L^T (P x) = Q^T b.
   const std::size_t n = static_cast<std::size_t>(n_);
+  const auto& rowperm_ = sym_->rowperm;
+  const auto& colperm_ = sym_->colperm;
+  const auto& l_ptr_ = sym_->l_ptr;
+  const auto& l_cols_ = sym_->l_cols;
+  const auto& u_ptr_ = sym_->u_ptr;
+  const auto& u_cols_ = sym_->u_cols;
   std::vector<T>& v = work_;
   for (std::size_t j = 0; j < n; ++j) v[j] = b[static_cast<std::size_t>(
       colperm_[j])];

@@ -115,6 +115,20 @@ class SparseMatrix {
     vals_[static_cast<std::size_t>(it - base)] += v;
   }
 
+  // y = A * x (sized to rows()).  Used by the modified-Newton residual
+  // (r = rhs - A x with fresh values but a stale factorization).
+  void multiply(const std::vector<T>& x, std::vector<T>& y) const {
+    y.assign(static_cast<std::size_t>(n_), T{});
+    for (int r = 0; r < n_; ++r) {
+      T acc{};
+      for (int k = row_ptr_[static_cast<std::size_t>(r)];
+           k < row_ptr_[static_cast<std::size_t>(r) + 1]; ++k)
+        acc += vals_[static_cast<std::size_t>(k)] *
+               x[static_cast<std::size_t>(cols_[static_cast<std::size_t>(k)])];
+      y[static_cast<std::size_t>(r)] = acc;
+    }
+  }
+
   // Value at (r, c); zero when the position is not in the pattern.
   T at(int r, int c) const {
     const int* base = cols_.data();
@@ -199,21 +213,29 @@ class SparseLu {
   double min_pivot() const { return min_pivot_; }
   std::size_t size() const { return static_cast<std::size_t>(n_); }
   // True once a pivot order + fill pattern is cached.
-  bool has_symbolic() const { return symbolic_ok_; }
+  bool has_symbolic() const { return sym_ != nullptr; }
   // Drops the cached analysis (next factor() re-pivots from scratch).
-  void reset() { symbolic_ok_ = false; }
+  void reset() { sym_.reset(); }
   // Fill-in count of the cached factors (L strictly-lower + U).
   int factor_nnz() const {
-    return static_cast<int>(l_cols_.size() + u_cols_.size());
+    return sym_ ? static_cast<int>(sym_->l_cols.size() + sym_->u_cols.size())
+                : 0;
   }
 
-  // Copies the current analysis out for sharing; requires has_symbolic().
-  std::shared_ptr<const SparseSymbolic> export_symbolic() const;
+  // Shares the current analysis (no copy); requires has_symbolic().
+  std::shared_ptr<const SparseSymbolic> export_symbolic() const {
+    return sym_;
+  }
   // Installs a previously exported analysis; the next factor() of a
   // matching-structure matrix refactors directly.  The pivot-floor check
   // still guards the replay, so an analysis made for different values
   // degrades to one automatic re-analysis, never to a wrong result.
-  void adopt_symbolic(const SparseSymbolic& s);
+  // The shared_ptr overload shares the structure; the const& overload
+  // (kept for callers holding a bare struct) copies it once.
+  void adopt_symbolic(std::shared_ptr<const SparseSymbolic> s);
+  void adopt_symbolic(const SparseSymbolic& s) {
+    adopt_symbolic(std::make_shared<const SparseSymbolic>(s));
+  }
   // Bumped by every fresh analyze()/adopt_symbolic(); lets an owner spot
   // a re-analysis and re-export.
   int symbolic_serial() const { return serial_; }
@@ -244,20 +266,18 @@ class SparseLu {
   bool refactor(const SparseMatrix<T>& a);
 
   int n_ = 0;
-  int pattern_nnz_ = -1;  // nnz of the matrix the analysis was built for
-  bool symbolic_ok_ = false;
   int serial_ = 0;
   bool singular_ = false;
   int singular_col_ = -1;
   double min_pivot_ = 0.0;
 
-  std::vector<int> rowperm_;  // step k eliminates original row rowperm_[k]
-  std::vector<int> colperm_;  // ... on original column colperm_[k]
-  std::vector<int> qinv_;     // original col -> permuted position
+  // Immutable shared structure: pivot order (rowperm/colperm/qinv) plus
   // L (strictly lower, unit diagonal) and U (upper, diagonal first in
-  // each row) in permuted coordinates, row-compressed.
-  std::vector<int> l_ptr_, l_cols_;
-  std::vector<int> u_ptr_, u_cols_;
+  // each row) fill patterns in permuted coordinates, row-compressed.
+  // Many SparseLu instances over the same pattern (MC samples, AC grid
+  // chunks, the complex system next to the real one) point at ONE
+  // SparseSymbolic; only the numeric payload below is per-instance.
+  std::shared_ptr<const SparseSymbolic> sym_;
   std::vector<T> l_vals_, u_vals_;
   // Dense scatter row for refactor and solves.  Solves are logically
   // const but reuse this buffer, so a single SparseLu must not be

@@ -343,6 +343,10 @@ TEST(TranRecovery, UnrecoverableStepReportsStructuredDiag) {
   t.max_newton = 1;    // cannot absorb the 3 V jump with max_step 0.01
   t.max_step = 0.01;
   t.max_halvings = 4;
+  // This RC netlist is linear, and the linear fast path would solve the
+  // pulse edge exactly in one step; force the damped-Newton path, whose
+  // give-up diagnostics are under test here.
+  t.linear_fast_path = false;
   const auto r = an::run_transient(nl, t);
   EXPECT_FALSE(r.ok);
   EXPECT_EQ(r.diag.status, an::SolveStatus::kNonConvergence);

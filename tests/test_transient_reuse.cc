@@ -1,0 +1,150 @@
+// Transient factorization-reuse tests: modified Newton vs. full Newton
+// on the class-AB buffer, the linear fast path's one-factorization
+// contract, and the determinism of run_transient_sweep across thread
+// counts.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "analysis/transient.h"
+#include "bench_util.h"
+#include "circuit/netlist.h"
+#include "devices/passive.h"
+#include "devices/sources.h"
+
+namespace {
+
+using namespace msim;
+
+// Modified Newton only preconditions the update with a stale
+// factorization -- the residual is always freshly assembled -- so the
+// converged waveform must match full Newton to solver tolerance, while
+// factoring far less often.
+TEST(TransientReuse, ModifiedNewtonMatchesFullNewtonOnClassAbBuffer) {
+  const double vp = 0.3, f0 = 1e3;
+
+  auto full = bench::make_drv_rig();
+  full->vsp->set_waveform(dev::Waveform::sine(0.0, vp, f0));
+  full->vsn->set_waveform(dev::Waveform::sine(0.0, -vp, f0));
+  an::TranOptions t;
+  t.t_stop = 1e-3;
+  t.dt = 2e-6;
+  t.reuse_factorization = false;
+  const auto rf = an::run_transient(full->nl, t);
+  ASSERT_TRUE(rf.ok);
+  const auto wf = rf.diff_wave(full->drv.outp, full->drv.outn);
+
+  auto mod = bench::make_drv_rig();
+  mod->vsp->set_waveform(dev::Waveform::sine(0.0, vp, f0));
+  mod->vsn->set_waveform(dev::Waveform::sine(0.0, -vp, f0));
+  t.reuse_factorization = true;
+  const auto rm = an::run_transient(mod->nl, t);
+  ASSERT_TRUE(rm.ok);
+  const auto wm = rm.diff_wave(mod->drv.outp, mod->drv.outn);
+
+  ASSERT_EQ(wf.size(), wm.size());
+  for (std::size_t i = 0; i < wf.size(); ++i)
+    EXPECT_NEAR(wm[i], wf[i], 1e-5) << "t = " << rm.time[i];
+
+  // The policy must actually reuse: fewer factorizations than Newton
+  // iterations, and a non-trivial reuse count.
+  EXPECT_GT(rm.telemetry.reuse_count, 0);
+  EXPECT_LT(rm.telemetry.factor_count, rm.telemetry.newton_iterations);
+  // Full Newton factors on every iteration and reuses never.
+  EXPECT_EQ(rf.telemetry.reuse_count, 0);
+  EXPECT_EQ(rf.telemetry.factor_count, rf.telemetry.newton_iterations);
+  // The JSON view must mention both counters.
+  const auto js = rm.telemetry.reuse_stats_json();
+  EXPECT_NE(js.find("\"factor_count\""), std::string::npos);
+  EXPECT_NE(js.find("\"reuse_count\""), std::string::npos);
+}
+
+// A purely linear circuit at constant dt needs exactly one numeric
+// factorization for the whole run; every step after the first is an
+// RHS restamp plus a back-substitution.
+TEST(TransientReuse, LinearFastPathFactorsExactlyOnce) {
+  auto build = [](ckt::Netlist& nl) {
+    const auto in = nl.node("in");
+    const auto out = nl.node("out");
+    nl.add<dev::VSource>("V1", in, ckt::kGround,
+                         dev::Waveform::sine(0.0, 1.0, 1e3));
+    nl.add<dev::Resistor>("R1", in, out, 1e3);
+    nl.add<dev::Capacitor>("C1", out, ckt::kGround, 100e-9);
+    return out;
+  };
+
+  ckt::Netlist nl;
+  const auto out = build(nl);
+  an::TranOptions t;
+  t.t_stop = 2e-3;
+  t.dt = 1e-6;
+  const auto r = an::run_transient(nl, t);
+  ASSERT_TRUE(r.ok);
+  EXPECT_TRUE(r.telemetry.linear_fast_path_used);
+  // One factorization for the transient loop (the initial OP solve
+  // keeps its own counter inside OpResult, not here).
+  EXPECT_EQ(r.telemetry.factor_count, 1);
+  EXPECT_EQ(r.telemetry.reuse_count, r.telemetry.accepted_steps - 1);
+
+  // The fast path must agree with the general Newton path exactly to
+  // solver tolerance on the same circuit.
+  ckt::Netlist nl2;
+  const auto out2 = build(nl2);
+  an::TranOptions t2 = t;
+  t2.linear_fast_path = false;
+  t2.reuse_factorization = false;
+  const auto r2 = an::run_transient(nl2, t2);
+  ASSERT_TRUE(r2.ok);
+  EXPECT_FALSE(r2.telemetry.linear_fast_path_used);
+  const auto w = r.node_wave(out);
+  const auto w2 = r2.node_wave(out2);
+  ASSERT_EQ(w.size(), w2.size());
+  for (std::size_t i = 0; i < w.size(); ++i)
+    EXPECT_NEAR(w[i], w2[i], 1e-9) << "t = " << r.time[i];
+}
+
+// Sweep determinism contract: case i depends only on i, so the batched
+// executor must return bit-identical waveforms at any thread count and
+// chunk size.
+TEST(TransientReuse, SweepBitIdenticalAcrossThreadCounts) {
+  constexpr std::size_t kCases = 6;
+  auto configure = [](std::size_t i, ckt::Netlist& nl,
+                      an::TranOptions& t) {
+    const auto in = nl.node("in");
+    const auto out = nl.node("out");
+    nl.add<dev::VSource>(
+        "V1", in, ckt::kGround,
+        dev::Waveform::sine(0.0, 0.25 * static_cast<double>(i + 1), 1e3));
+    nl.add<dev::Resistor>("R1", in, out,
+                          1e3 * static_cast<double>(i + 1));
+    nl.add<dev::Capacitor>("C1", out, ckt::kGround, 100e-9);
+    t.t_stop = 1e-3;
+    t.dt = 2e-6;
+  };
+
+  an::TranSweepOptions serial;
+  serial.threads = 1;
+  const auto base = an::run_transient_sweep(kCases, configure, serial);
+  ASSERT_EQ(base.size(), kCases);
+  for (const auto& r : base) ASSERT_TRUE(r.ok);
+
+  for (int threads : {2, 8}) {
+    an::TranSweepOptions par;
+    par.threads = threads;
+    par.chunk = 1;  // force per-case scheduling across workers
+    const auto got = an::run_transient_sweep(kCases, configure, par);
+    ASSERT_EQ(got.size(), kCases);
+    for (std::size_t i = 0; i < kCases; ++i) {
+      ASSERT_TRUE(got[i].ok) << "threads=" << threads << " case " << i;
+      ASSERT_EQ(got[i].time.size(), base[i].time.size());
+      ASSERT_EQ(got[i].x.size(), base[i].x.size());
+      for (std::size_t k = 0; k < base[i].x.size(); ++k)
+        for (std::size_t u = 0; u < base[i].x[k].size(); ++u)
+          EXPECT_EQ(got[i].x[k][u], base[i].x[k][u])
+              << "threads=" << threads << " case " << i << " step " << k;
+    }
+  }
+}
+
+}  // namespace

@@ -23,7 +23,8 @@ import argparse
 import json
 import sys
 
-SECTIONS = ("mc_configs", "chip_mc_configs", "ac_grid_configs")
+SECTIONS = ("mc_configs", "chip_mc_configs", "ac_grid_configs",
+            "transient_configs")
 CONTRACT_FLAGS = (
     "stats_bit_identical_across_threads",
     "dense_sparse_stats_agree",
@@ -51,6 +52,15 @@ def main():
         type=float,
         default=0.15,
         help="allowed fractional wall-time regression (default 0.15)",
+    )
+    ap.add_argument(
+        "--tran-threshold",
+        type=float,
+        default=0.9,
+        help="min transient speedup_vs_full_newton the candidate must "
+        "keep on every transient_configs entry (default 0.9: the reuse "
+        "controller guarantees parity on stamp-dominated circuits, and "
+        "0.1 absorbs wall-clock noise around 1.0x)",
     )
     ap.add_argument(
         "--prepass-threshold",
@@ -102,6 +112,31 @@ def main():
                 f"(limit {100 * args.prepass_threshold:.2f}%)")
         print(f"  structural_prepass/{name:<16} adds {100 * frac:6.3f}% "
               f"of MC wall [{marker}]")
+
+    # Transient fast-path gate, judged absolutely on the candidate: the
+    # modified-Newton / linear-fast-path policy must keep beating the
+    # factor-every-iteration baseline, and the two policies' waveforms
+    # must still agree.
+    for cfg in cand.get("transient_configs", []):
+        name = cfg.get("name", "?")
+        speedup = cfg.get("speedup_vs_full_newton")
+        if speedup is None:
+            failures.append(f"transient_configs/{name}: "
+                            f"missing speedup_vs_full_newton")
+            continue
+        marker = "ok"
+        if speedup < args.tran_threshold:
+            marker = "TOO SLOW"
+            failures.append(
+                f"transient_configs/{name}: fast path only "
+                f"{speedup:.2f}x vs full Newton "
+                f"(limit {args.tran_threshold:.2f}x)")
+        if not cfg.get("waveforms_agree", False):
+            marker = "DISAGREE"
+            failures.append(f"transient_configs/{name}: fast-path and "
+                            f"full-Newton waveforms disagree")
+        print(f"  transient_configs/{name:<18} speedup "
+              f"{speedup:5.2f}x vs full Newton [{marker}]")
 
     for flag in CONTRACT_FLAGS:
         if flag in base and not cand.get(flag, False):

@@ -3,7 +3,7 @@
 //   msim_cli circuit.sp [--probe node1,node2,...] [--lint-only]
 //                       [--lint] [--lint-strict]
 //                       [--lint-disable pass1,pass2,...]
-//                       [--no-telemetry]
+//                       [--no-telemetry] [--tran-stats]
 //
 // Executes the analysis directives found in the file:
 //   .op                          operating point (all node voltages)
@@ -103,6 +103,7 @@ struct CliOptions {
   bool lint_json = false;   // JSON report, then exit
   bool lint_strict = false;
   bool telemetry = true;
+  bool tran_stats = false;  // factorization-reuse telemetry as JSON
   std::vector<std::string> lint_disable;
 };
 
@@ -219,6 +220,8 @@ int run(const CliOptions& cli) {
       const auto res = an::run_transient(nl, t);
       if (cli.telemetry)
         std::fputs(res.telemetry.summary().c_str(), stderr);
+      if (cli.tran_stats)
+        std::printf("%s\n", res.telemetry.reuse_stats_json().c_str());
       if (!res.ok) {
         std::fprintf(stderr, "transient failed: %s\n",
                      res.diag.message().c_str());
@@ -285,6 +288,8 @@ int main(int argc, char** argv) {
       cli.lint_disable = split_csv(argv[++i]);
     else if (std::strcmp(argv[i], "--no-telemetry") == 0)
       cli.telemetry = false;
+    else if (std::strcmp(argv[i], "--tran-stats") == 0)
+      cli.tran_stats = true;
     else
       cli.path = argv[i];
   }
@@ -292,7 +297,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: msim_cli <netlist.sp> [--probe n1,n2,...] "
                  "[--lint] [--lint-only] [--lint-strict] "
-                 "[--lint-disable p1,p2,...] [--no-telemetry]\n");
+                 "[--lint-disable p1,p2,...] [--no-telemetry] "
+                 "[--tran-stats]\n");
     return 2;
   }
   try {
