@@ -7,7 +7,10 @@
 // .json).  Reported per configuration: wall time, linear solves per
 // second, and speedup vs. the dense-serial baseline.  The harness also
 // asserts the parallel determinism contract: the Monte-Carlo statistics
-// must be bit-identical at 1, 2 and 8 threads.
+// must be bit-identical at 1, 2 and 8 threads.  The assembly_configs
+// section micro-benchmarks sparse re-assembly under the searched /
+// slot-cached / batched modes and gates on the slot modes replaying
+// with zero pattern binary searches.
 //
 //   --smoke          shrink every scenario (sample counts, repeats,
 //                    transient spans) so the whole harness plus all of
@@ -29,6 +32,7 @@
 #include <benchmark/benchmark.h>
 
 #include "analysis/ac.h"
+#include "analysis/mna.h"
 #include "analysis/montecarlo.h"
 #include "analysis/structural.h"
 #include "analysis/noise.h"
@@ -268,6 +272,11 @@ struct TranRun {
   long factor_count = 0;
   long reuse_count = 0;
   bool linear_fast_path = false;
+  // Solver wall-time breakdown of the fast run (TranTelemetry): where
+  // the remaining time goes once factorization reuse is on.
+  long stamp_ns = 0;
+  long factor_ns = 0;
+  long solve_ns = 0;
   bool agree = false;  // waveforms match across the two policies
   double speedup() const { return full_ms / fast_ms; }
 };
@@ -302,6 +311,9 @@ TranRun run_tran(const std::string& name, int repeats,
       run.factor_count = fast.res.telemetry.factor_count;
       run.reuse_count = fast.res.telemetry.reuse_count;
       run.linear_fast_path = fast.res.telemetry.linear_fast_path_used;
+      run.stamp_ns = fast.res.telemetry.stamp_ns;
+      run.factor_ns = fast.res.telemetry.factor_ns;
+      run.solve_ns = fast.res.telemetry.solve_ns;
       wm = std::move(fast.wave);
     }
   }
@@ -312,6 +324,84 @@ TranRun run_tran(const std::string& name, int repeats,
       maxd = std::max(maxd, std::abs(wf[i] - wm[i]));
   }
   run.agree = maxd < 1e-4;
+  return run;
+}
+
+// ------------------------------------------------- assembly micro-bench
+//
+// Repeated full re-assembly of the sparse Newton system -- exactly what
+// every accepted transient step pays (invalidate_base + assemble) --
+// under the three assembly modes:
+//   searched     legacy path: every jac write binary-searches the CSR
+//                row (set_assembly_modes(false, false))
+//   slot-cached  cached value-index replay, per-device virtual stamp
+//   batched      slot replay + devirtualized per-class device loops
+// `lookups` counts pattern binary searches per assembly (via
+// num::sparse_search_count()); the slot modes must replay at zero.
+struct AsmRun {
+  std::string name;
+  int unknowns = 0;
+  int iters = 0;
+  double searched_ms = 0.0;
+  double slot_ms = 0.0;
+  double batched_ms = 0.0;
+  long searched_lookups = 0;  // per assembly
+  long slot_lookups = 0;
+  long batched_lookups = 0;
+  double slot_speedup() const { return searched_ms / slot_ms; }
+  double batched_speedup() const { return searched_ms / batched_ms; }
+};
+
+AsmRun run_assembly(const std::string& name, ckt::Netlist& nl, int iters,
+                    int repeats) {
+  an::OpOptions oo;
+  const auto op = an::solve_op(nl, oo);
+  if (!op.converged) {
+    std::fprintf(stderr, "assembly '%s': operating point failed\n",
+                 name.c_str());
+    std::exit(1);
+  }
+  // Transient-mode params: reactive companions stamp too, matching the
+  // hot path the slot cache is built for.
+  an::AssembleParams p;
+  p.mode = ckt::AnalysisMode::kTransient;
+  p.dt = 1e-6;
+
+  AsmRun run;
+  run.name = name;
+  run.unknowns = static_cast<int>(op.x.size());
+  run.iters = iters;
+
+  an::RealSystem sys;
+  const auto time_mode = [&](bool slots, bool batches, long* lookups) {
+    sys.init(nl, an::SolverKind::kSparse);
+    sys.set_assembly_modes(slots, batches);
+    // Warm-up assembly: records the slot tables / rebuilds the base
+    // image (the one-time cost an application pays per topology).
+    sys.invalidate_base();
+    sys.assemble(nl, op.x, p);
+    const long s0 = num::sparse_search_count();
+    const auto t0 = Clock::now();
+    for (int i = 0; i < iters; ++i) {
+      sys.invalidate_base();  // what every accepted tran step does
+      sys.assemble(nl, op.x, p);
+    }
+    const double wall = ms_since(t0);
+    *lookups = (num::sparse_search_count() - s0) / iters;
+    return wall;
+  };
+
+  run.searched_ms = std::numeric_limits<double>::infinity();
+  run.slot_ms = std::numeric_limits<double>::infinity();
+  run.batched_ms = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < repeats; ++rep) {
+    run.searched_ms = std::min(
+        run.searched_ms, time_mode(false, false, &run.searched_lookups));
+    run.slot_ms =
+        std::min(run.slot_ms, time_mode(true, false, &run.slot_lookups));
+    run.batched_ms = std::min(run.batched_ms,
+                              time_mode(true, true, &run.batched_lookups));
+  }
   return run;
 }
 
@@ -367,12 +457,39 @@ void json_tran(std::FILE* f, const TranRun& r, bool last) {
                "\"fast_ms\": %.3f, \"speedup_vs_full_newton\": %.3f, "
                "\"full_factor_count\": %ld, \"factor_count\": %ld, "
                "\"reuse_count\": %ld, \"linear_fast_path\": %s, "
+               "\"stamp_ns\": %ld, \"factor_ns\": %ld, "
+               "\"solve_ns\": %ld, "
                "\"waveforms_agree\": %s}%s\n",
                r.name.c_str(), r.fast_ms, r.full_ms, r.fast_ms,
                r.speedup(),
                r.full_factors, r.factor_count, r.reuse_count,
                r.linear_fast_path ? "true" : "false",
+               r.stamp_ns, r.factor_ns, r.solve_ns,
                r.agree ? "true" : "false", last ? "" : ",");
+}
+
+// One row per circuit x assembly mode, mirroring the mc_configs shape
+// (bench_compare.py walks sections by name + wall_ms).  `lookups_per
+// _assembly` is the pattern-binary-search count per full re-assembly;
+// the slot modes must hold it at zero after warm-up.
+void json_asm_mode(std::FILE* f, const AsmRun& r, const char* mode,
+                   double wall_ms, long lookups, bool last) {
+  std::fprintf(f,
+               "    {\"name\": \"%s-%s\", \"unknowns\": %d, "
+               "\"iters\": %d, \"wall_ms\": %.3f, "
+               "\"assemblies_per_sec\": %.0f, "
+               "\"lookups_per_assembly\": %ld, "
+               "\"speedup_vs_searched\": %.3f}%s\n",
+               r.name.c_str(), mode, r.unknowns, r.iters, wall_ms,
+               1e3 * r.iters / wall_ms, lookups, r.searched_ms / wall_ms,
+               last ? "" : ",");
+}
+
+void json_asm(std::FILE* f, const AsmRun& r, bool last) {
+  json_asm_mode(f, r, "searched", r.searched_ms, r.searched_lookups,
+                false);
+  json_asm_mode(f, r, "slot", r.slot_ms, r.slot_lookups, false);
+  json_asm_mode(f, r, "batched", r.batched_ms, r.batched_lookups, last);
 }
 
 int run_harness(const char* out_path, bool smoke) {
@@ -571,6 +688,37 @@ int run_harness(const char* out_path, bool smoke) {
     tran_agree = tran_agree && r->agree;
   }
 
+  // Assembly modes: repeated sparse re-assembly under the searched /
+  // slot-cached / batched paths.  Zero lookups in the slot modes is a
+  // correctness gate (the whole point of the cache), checked in
+  // test_assembly too; here it is reported so regressions show up in
+  // the JSON diff.
+  const int kAsmIters = smoke ? 100 : 2000;
+  auto asm_mic_rig = bench::make_mic_rig();
+  asm_mic_rig->mic.set_gain_code(5);
+  auto asm_chip_rig = bench::make_chip_rig();
+  const auto asm_mic =
+      run_assembly("mic", asm_mic_rig->nl, kAsmIters, kRepeats);
+  const auto asm_chip =
+      run_assembly("chip", asm_chip_rig->nl, kAsmIters, kRepeats);
+  std::printf("engine harness: assembly modes, %d re-assemblies "
+              "(best of %d)\n",
+              kAsmIters, kRepeats);
+  bool asm_zero_lookups = true;
+  for (const AsmRun* r : {&asm_mic, &asm_chip}) {
+    std::printf("  %-5s (n=%3d)  searched %7.2f ms (%ld lookups/asm)  "
+                "slot %7.2f ms (%.2fx, %ld)  batched %7.2f ms (%.2fx, "
+                "%ld)\n",
+                r->name.c_str(), r->unknowns, r->searched_ms,
+                r->searched_lookups, r->slot_ms, r->slot_speedup(),
+                r->slot_lookups, r->batched_ms, r->batched_speedup(),
+                r->batched_lookups);
+    asm_zero_lookups = asm_zero_lookups && r->slot_lookups == 0 &&
+                       r->batched_lookups == 0;
+  }
+  std::printf("  slot modes replay with zero pattern searches: %s\n",
+              asm_zero_lookups ? "yes" : "NO");
+
   const double mic_speedup =
       dense.wall_ms /
       std::min({sparse1.wall_ms, sparse2.wall_ms, sparse8.wall_ms});
@@ -623,6 +771,12 @@ int run_harness(const char* out_path, bool smoke) {
   json_tran(f, tran_chip, false);
   json_tran(f, tran_rc, true);
   std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"assembly_configs\": [\n");
+  json_asm(f, asm_mic, false);
+  json_asm(f, asm_chip, true);
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"assembly_zero_lookups\": %s,\n",
+               asm_zero_lookups ? "true" : "false");
   std::fprintf(f, "  \"stats_bit_identical_across_threads\": %s,\n",
                (deterministic && chip_deterministic) ? "true" : "false");
   std::fprintf(f, "  \"dense_sparse_stats_agree\": %s,\n",
@@ -638,7 +792,7 @@ int run_harness(const char* out_path, bool smoke) {
   std::printf("wrote %s (best MC speedup %.2fx)\n", out_path, best_speedup);
 
   return (deterministic && engines_agree && chip_deterministic &&
-          chip_agree && tran_agree)
+          chip_agree && tran_agree && asm_zero_lookups)
              ? 0
              : 1;
 }

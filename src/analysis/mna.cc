@@ -1,14 +1,108 @@
 #include "analysis/mna.h"
 
 #include <atomic>
+#include <chrono>
 #include <stdexcept>
 
 #include "analysis/structural.h"
+#include "devices/bjt.h"
+#include "devices/controlled.h"
+#include "devices/diode.h"
+#include "devices/mos_switch.h"
+#include "devices/mosfet.h"
+#include "devices/passive.h"
+#include "devices/sources.h"
+#include "devices/tanh_vccs.h"
 
 namespace msim::an {
 namespace {
 
 std::atomic<long> g_factor_calls{0};
+
+using Clock = std::chrono::steady_clock;
+
+long ns_since(Clock::time_point t0) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                              t0)
+      .count();
+}
+
+// Sampling policy for the stamp/factor/solve breakdown.  The first
+// kExactCalls of each phase are timed exactly -- that covers operating
+// points and the symbolic-analysis factor, whose cost would be
+// overstated by scaling, and guarantees non-zero telemetry for any run
+// that assembles at all.  Past the warm-up, one call in kSamplePeriod
+// is timed and its duration scaled by the period; the period is prime
+// so samples do not alias with iterations-per-step patterns in the
+// transient loop.
+constexpr long kExactCalls = 32;
+constexpr long kSamplePeriod = 97;
+
+// Concrete device classes with a batched stamp loop.  kOtherKind runs
+// make the plain per-device virtual calls (heterogeneous/behavioral
+// fallback).  The hierarchy is flat (every device derives directly from
+// ckt::Device), so the dynamic_cast chain below is order-independent.
+enum BatchKind : int {
+  kOtherKind = 0,
+  kResistorKind,
+  kCapacitorKind,
+  kInductorKind,
+  kMosfetKind,
+  kDiodeKind,
+  kBjtKind,
+  kVSourceKind,
+  kISourceKind,
+  kVcvsKind,
+  kVccsKind,
+  kCccsKind,
+  kCcvsKind,
+  kTanhVccsKind,
+  kMosSwitchKind,
+};
+
+int batch_kind(const ckt::Device* d) {
+  if (dynamic_cast<const dev::Resistor*>(d)) return kResistorKind;
+  if (dynamic_cast<const dev::Capacitor*>(d)) return kCapacitorKind;
+  if (dynamic_cast<const dev::Inductor*>(d)) return kInductorKind;
+  if (dynamic_cast<const dev::Mosfet*>(d)) return kMosfetKind;
+  if (dynamic_cast<const dev::Diode*>(d)) return kDiodeKind;
+  if (dynamic_cast<const dev::Bjt*>(d)) return kBjtKind;
+  if (dynamic_cast<const dev::VSource*>(d)) return kVSourceKind;
+  if (dynamic_cast<const dev::ISource*>(d)) return kISourceKind;
+  if (dynamic_cast<const dev::Vcvs*>(d)) return kVcvsKind;
+  if (dynamic_cast<const dev::Vccs*>(d)) return kVccsKind;
+  if (dynamic_cast<const dev::Cccs*>(d)) return kCccsKind;
+  if (dynamic_cast<const dev::Ccvs*>(d)) return kCcvsKind;
+  if (dynamic_cast<const dev::TanhVccs*>(d)) return kTanhVccsKind;
+  if (dynamic_cast<const dev::MosSwitch*>(d)) return kMosSwitchKind;
+  return kOtherKind;
+}
+
+// One tight loop per concrete class: the virtual dispatch is hoisted
+// out of the device loop and (with stamp() marked final) the calls
+// devirtualize inside each device TU.  Segmentation preserved the
+// original stamp order, so this is bit-identical to the plain loop.
+void stamp_run(int kind, const ckt::Device* const* devs, std::size_t n,
+               ckt::StampContext& ctx) {
+  switch (kind) {
+    case kResistorKind: dev::Resistor::stamp_batch(devs, n, ctx); break;
+    case kCapacitorKind: dev::Capacitor::stamp_batch(devs, n, ctx); break;
+    case kInductorKind: dev::Inductor::stamp_batch(devs, n, ctx); break;
+    case kMosfetKind: dev::Mosfet::stamp_batch(devs, n, ctx); break;
+    case kDiodeKind: dev::Diode::stamp_batch(devs, n, ctx); break;
+    case kBjtKind: dev::Bjt::stamp_batch(devs, n, ctx); break;
+    case kVSourceKind: dev::VSource::stamp_batch(devs, n, ctx); break;
+    case kISourceKind: dev::ISource::stamp_batch(devs, n, ctx); break;
+    case kVcvsKind: dev::Vcvs::stamp_batch(devs, n, ctx); break;
+    case kVccsKind: dev::Vccs::stamp_batch(devs, n, ctx); break;
+    case kCccsKind: dev::Cccs::stamp_batch(devs, n, ctx); break;
+    case kCcvsKind: dev::Ccvs::stamp_batch(devs, n, ctx); break;
+    case kTanhVccsKind: dev::TanhVccs::stamp_batch(devs, n, ctx); break;
+    case kMosSwitchKind: dev::MosSwitch::stamp_batch(devs, n, ctx); break;
+    default:
+      for (std::size_t i = 0; i < n; ++i) devs[i]->stamp(ctx);
+  }
+}
 
 // Applies the common stamp-context setup and device loop for the
 // large-signal system; `Jac` is either RealMatrix or RealSparseMatrix.
@@ -23,6 +117,26 @@ void stamp_real(const ckt::Netlist& nl, const num::RealVector& x,
   ctx.use_trapezoidal = p.use_trapezoidal;
   ctx.source_scale = p.source_scale;
   for (const auto& d : nl.devices()) d->stamp(ctx);
+}
+
+// Adds the gshunt guard to every node diagonal of a sparse matrix.
+// When the netlist's solver cache carries resolved diagonal slots for
+// this structure the loop is n direct writes; otherwise it falls back
+// to n binary-searched add() calls (cold cache, foreign matrix).
+template <typename T>
+void add_gshunt_diag(const ckt::Netlist& nl, num::SparseMatrix<T>& jac,
+                     double gshunt) {
+  const int nodes = nl.node_count() - 1;
+  const auto& cache = nl.solver_cache();
+  const num::StampSlotTables* t = cache.slots.get();
+  if (t && cache.structure_rev == nl.structure_revision() &&
+      t->nnz == jac.nnz() && static_cast<int>(t->diag.size()) == nodes) {
+    auto& vals = jac.values();
+    for (int i = 0; i < nodes; ++i)
+      vals[static_cast<std::size_t>(t->diag[i])] += gshunt;
+    return;
+  }
+  for (int i = 0; i < nodes; ++i) jac.add(i, i, T{gshunt});
 }
 
 }  // namespace
@@ -46,8 +160,12 @@ void assemble_real(const ckt::Netlist& nl, const num::RealVector& x,
                    const AssembleParams& p, num::RealMatrix& jac,
                    num::RealVector& rhs) {
   const std::size_t n = static_cast<std::size_t>(nl.unknown_count());
-  if (jac.rows() != n) jac.resize(n, n);
-  jac.fill(0.0);
+  // resize() zero-initializes; fill() only when the shape already fits
+  // (avoids writing the n^2 buffer twice on the sizing call).
+  if (jac.rows() != n)
+    jac.resize(n, n);
+  else
+    jac.fill(0.0);
   rhs.assign(n, 0.0);
 
   stamp_real(nl, x, p, jac, rhs);
@@ -66,15 +184,18 @@ void assemble_real(const ckt::Netlist& nl, const num::RealVector& x,
 
   stamp_real(nl, x, p, jac, rhs);
 
-  const int nodes = nl.node_count() - 1;
-  for (int i = 0; i < nodes; ++i) jac.add(i, i, p.gshunt);
+  add_gshunt_diag(nl, jac, p.gshunt);
 }
 
 void assemble_ac(const ckt::Netlist& nl, double omega, double gshunt,
                  num::ComplexMatrix& jac, num::ComplexVector& rhs) {
   const std::size_t n = static_cast<std::size_t>(nl.unknown_count());
-  if (jac.rows() != n) jac.resize(n, n);
-  jac.fill({0.0, 0.0});
+  // Size once, then only fill: every AC/noise frequency point lands
+  // here, and resize() + fill() wrote the n^2 buffer twice per point.
+  if (jac.rows() != n)
+    jac.resize(n, n);
+  else
+    jac.fill({0.0, 0.0});
   rhs.assign(n, {0.0, 0.0});
 
   ckt::AcStampContext ctx(omega, jac, rhs);
@@ -92,25 +213,34 @@ void assemble_ac(const ckt::Netlist& nl, double omega, double gshunt,
   ckt::AcStampContext ctx(omega, jac, rhs);
   for (const auto& d : nl.devices()) d->stamp_ac(ctx);
 
-  const int nodes = nl.node_count() - 1;
-  for (int i = 0; i < nodes; ++i) jac.add(i, i, gshunt);
+  add_gshunt_diag(nl, jac, gshunt);
 }
 
 void RealSystem::init(const ckt::Netlist& nl, SolverKind kind) {
   const int n = nl.unknown_count();
   const std::size_t ndev = nl.devices().size();
-  if (kind == kind_ && n == n_ && ndev == devices_) return;
+  const std::uint64_t rev = nl.structure_revision();
+  // The structure revision catches topology edits that keep the unknown
+  // and device counts unchanged (swap one device for another): a cached
+  // slot table replayed over the wrong structure would be caught write
+  // by write, but re-keying here avoids ever entering that path.
+  if (kind == kind_ && n == n_ && ndev == devices_ && rev == structure_rev_)
+    return;
   kind_ = kind;
   n_ = n;
   devices_ = ndev;
+  structure_rev_ = rev;
   base_valid_ = false;
+  slots_shared_.reset();
+  slots_own_.reset();
   if (kind_ == SolverKind::kSparse) {
     // Share the CSR skeleton and (when already known) the symbolic
     // analysis through the netlist's cache; the first factor() of the
     // first system over this netlist pays for both, everyone else
     // copies structure.
     auto& cache = nl.solver_cache();
-    if (!cache.skeleton || cache.unknowns != n || cache.devices != ndev) {
+    if (!cache.skeleton || cache.unknowns != n || cache.devices != ndev ||
+        cache.structure_rev != rev) {
 #ifndef NDEBUG
       // Debug builds verify the stamp contract whenever a fresh pattern
       // is built: an out-of-pattern write would silently corrupt this
@@ -122,7 +252,9 @@ void RealSystem::init(const ckt::Netlist& nl, SolverKind kind) {
 #endif
       cache.unknowns = n;
       cache.devices = ndev;
+      cache.structure_rev = rev;
       cache.symbolic.reset();
+      cache.slots.reset();
       cache.skeleton =
           std::make_shared<const num::RealSparseMatrix>(mna_pattern(nl));
     }
@@ -134,6 +266,30 @@ void RealSystem::init(const ckt::Netlist& nl, SolverKind kind) {
       slu_.adopt_symbolic(cache.symbolic);
       exported_serial_ = slu_.symbolic_serial();
     }
+    // Stamp-slot tables: adopt the cache's immutable snapshot when it
+    // matches this skeleton (the MC-sample fast path: the nominal
+    // build's resolve is inherited and replayed from the very first
+    // assembly).  Otherwise start a fresh table with the node-diagonal
+    // slots resolved up front and publish it, so even the free
+    // assemble_* functions stop searching the gshunt diagonal.
+    if (cache.slots && cache.slots->skeleton == cache.skeleton.get() &&
+        cache.slots->nnz == sjac_.nnz()) {
+      slots_shared_ = cache.slots;
+    } else {
+      const int nodes = nl.node_count() - 1;
+      auto t = std::make_shared<num::StampSlotTables>();
+      t->skeleton = cache.skeleton.get();
+      t->nnz = sjac_.nnz();
+      t->diag.resize(static_cast<std::size_t>(nodes));
+      bool all_found = true;
+      for (int i = 0; i < nodes; ++i) {
+        t->diag[static_cast<std::size_t>(i)] = sjac_.find_index(i, i);
+        if (t->diag[static_cast<std::size_t>(i)] < 0) all_found = false;
+      }
+      if (!all_found) t->diag.clear();  // never true: mna_pattern adds them
+      slots_own_ = std::move(t);
+      publish_slots();
+    }
   } else {
     cache_ = nullptr;
     djac_.resize(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
@@ -142,12 +298,145 @@ void RealSystem::init(const ckt::Netlist& nl, SolverKind kind) {
   nonlinear_.clear();
   for (const auto& d : nl.devices())
     (d->is_nonlinear() ? nonlinear_ : linear_).push_back(d.get());
+  // Segment each pass into maximal same-concrete-class runs (stamp
+  // order untouched) for the batched loops.
+  auto segment = [](const std::vector<const ckt::Device*>& devs) {
+    std::vector<BatchRun> runs;
+    for (std::size_t i = 0; i < devs.size();) {
+      const int kind = batch_kind(devs[i]);
+      std::size_t j = i + 1;
+      while (j < devs.size() && batch_kind(devs[j]) == kind) ++j;
+      runs.push_back({kind, static_cast<int>(i), static_cast<int>(j)});
+      i = j;
+    }
+    return runs;
+  };
+  linear_runs_ = segment(linear_);
+  nonlinear_runs_ = segment(nonlinear_);
+}
+
+num::StampSlotPass* RealSystem::own_pass(bool newton_pass,
+                                         ckt::AnalysisMode mode) {
+  num::StampSlotTables& t = *slots_own_;
+  if (mode == ckt::AnalysisMode::kDcOp)
+    return newton_pass ? &t.newton_dcop : &t.base_dcop;
+  return newton_pass ? &t.newton_tran : &t.base_tran;
+}
+
+const num::StampSlotPass* RealSystem::replay_pass(
+    bool newton_pass, ckt::AnalysisMode mode) const {
+  const num::StampSlotTables* t =
+      slots_own_ ? slots_own_.get() : slots_shared_.get();
+  if (!t) return nullptr;
+  const num::StampSlotPass* p = nullptr;
+  if (mode == ckt::AnalysisMode::kDcOp)
+    p = newton_pass ? &t->newton_dcop : &t->base_dcop;
+  else
+    p = newton_pass ? &t->newton_tran : &t->base_tran;
+  return p->recorded ? p : nullptr;
+}
+
+void RealSystem::ensure_own_slots() {
+  if (slots_own_) return;
+  // Copy-on-write: never mutate the cache's snapshot (MC workers may be
+  // replaying it concurrently from their own adopted shared_ptr).
+  slots_own_ = slots_shared_
+                   ? std::make_shared<num::StampSlotTables>(*slots_shared_)
+                   : std::make_shared<num::StampSlotTables>();
+  slots_shared_.reset();
+}
+
+void RealSystem::publish_slots() {
+  if (cache_ && slots_own_)
+    cache_->slots = std::make_shared<const num::StampSlotTables>(*slots_own_);
+}
+
+void RealSystem::stamp_pass(const std::vector<const ckt::Device*>& devs,
+                            const std::vector<BatchRun>& runs,
+                            bool newton_pass, ckt::StampContext& ctx,
+                            ckt::AnalysisMode mode) {
+  if (devs.empty()) return;
+  if (kind_ == SolverKind::kSparse && use_slots_) {
+    const num::StampSlotPass* rp = replay_pass(newton_pass, mode);
+    if (rp && rp->windows.size() == devs.size()) {
+      bool ok = true;
+      if (use_batches_) {
+        // Windows of a run are contiguous in the slot array; arm the
+        // whole span once per run.
+        for (const BatchRun& run : runs) {
+          const int b = rp->windows[static_cast<std::size_t>(run.begin)].first;
+          const int e =
+              rp->windows[static_cast<std::size_t>(run.end - 1)].second;
+          ctx.arm_slot_replay(rp->slots.data() + b, e - b);
+          stamp_run(run.kind, devs.data() + run.begin,
+                    static_cast<std::size_t>(run.end - run.begin), ctx);
+          if (!ctx.finish_slot_replay()) ok = false;
+        }
+      } else {
+        for (std::size_t i = 0; i < devs.size(); ++i) {
+          const auto [b, e] = rp->windows[i];
+          ctx.arm_slot_replay(rp->slots.data() + b, e - b);
+          devs[i]->stamp(ctx);
+          if (!ctx.finish_slot_replay()) ok = false;
+        }
+      }
+      if (!ok) {
+        // A device emitted writes its table does not predict (a gmin or
+        // mode-dependent branch flipped).  The matrix above is still
+        // correct -- mismatched writes fell back to the searched path --
+        // but schedule a re-record so the next assembly is fast again.
+        ensure_own_slots();
+        own_pass(newton_pass, mode)->recorded = false;
+      }
+      return;
+    }
+    // Record: one searched assembly that resolves every write into its
+    // CSR value index, with per-device windows for later replay.
+    ensure_own_slots();
+    num::StampSlotPass* pass = own_pass(newton_pass, mode);
+    pass->slots.clear();
+    pass->windows.clear();
+    pass->windows.reserve(devs.size());
+    ctx.arm_slot_record(&pass->slots);
+    for (const ckt::Device* d : devs) {
+      const int b = static_cast<int>(pass->slots.size());
+      d->stamp(ctx);
+      pass->windows.emplace_back(b, static_cast<int>(pass->slots.size()));
+    }
+    ctx.disarm_slots();
+    pass->recorded = true;
+    publish_slots();
+    return;
+  }
+  // Legacy searched path (dense target, or slots disabled): still
+  // batched when enabled -- batching and slot replay are independent.
+  if (use_batches_) {
+    for (const BatchRun& run : runs)
+      stamp_run(run.kind, devs.data() + run.begin,
+                static_cast<std::size_t>(run.end - run.begin), ctx);
+  } else {
+    for (const ckt::Device* d : devs) d->stamp(ctx);
+  }
+}
+
+void RealSystem::PhaseClock::begin() {
+  const long i = calls++;
+  weight = i < kExactCalls
+               ? 1
+               : ((i - kExactCalls) % kSamplePeriod == 0 ? kSamplePeriod : 0);
+  if (weight != 0) t0 = Clock::now();
+}
+
+long RealSystem::PhaseClock::end_ns() const {
+  return weight != 0 ? weight * ns_since(t0) : 0;
 }
 
 void RealSystem::assemble(const ckt::Netlist& nl, const num::RealVector& x,
                           const AssembleParams& p) {
+  stamp_clock_.begin();
   if (kind_ != SolverKind::kSparse) {
     assemble_real(nl, x, p, djac_, rhs_);
+    stats_.stamp_ns += stamp_clock_.end_ns();
     return;
   }
   if (!base_valid_ || !(p == base_p_)) {
@@ -162,9 +451,17 @@ void RealSystem::assemble(const ckt::Netlist& nl, const num::RealVector& x,
     ctx.gmin = p.gmin;
     ctx.use_trapezoidal = p.use_trapezoidal;
     ctx.source_scale = p.source_scale;
-    for (const ckt::Device* d : linear_) d->stamp(ctx);
+    stamp_pass(linear_, linear_runs_, /*newton_pass=*/false, ctx, p.mode);
     const int nodes = nl.node_count() - 1;
-    for (int i = 0; i < nodes; ++i) sjac_.add(i, i, p.gshunt);
+    const num::StampSlotTables* t =
+        slots_own_ ? slots_own_.get() : slots_shared_.get();
+    if (use_slots_ && t && static_cast<int>(t->diag.size()) == nodes) {
+      auto& vals = sjac_.values();
+      for (int i = 0; i < nodes; ++i)
+        vals[static_cast<std::size_t>(t->diag[i])] += p.gshunt;
+    } else {
+      for (int i = 0; i < nodes; ++i) sjac_.add(i, i, p.gshunt);
+    }
     base_vals_ = sjac_.values();
     base_p_ = p;
     base_valid_ = true;
@@ -179,12 +476,14 @@ void RealSystem::assemble(const ckt::Netlist& nl, const num::RealVector& x,
   ctx.gmin = p.gmin;
   ctx.use_trapezoidal = p.use_trapezoidal;
   ctx.source_scale = p.source_scale;
-  for (const ckt::Device* d : nonlinear_) d->stamp(ctx);
+  stamp_pass(nonlinear_, nonlinear_runs_, /*newton_pass=*/true, ctx, p.mode);
+  stats_.stamp_ns += stamp_clock_.end_ns();
 }
 
 void RealSystem::assemble_rhs_only(const ckt::Netlist& nl,
                                    const num::RealVector& x,
                                    const AssembleParams& p) {
+  stamp_clock_.begin();
   rhs_.assign(static_cast<std::size_t>(n_), 0.0);
   ckt::StampContext ctx(p.mode, x, rhs_);
   ctx.time = p.time;
@@ -195,14 +494,17 @@ void RealSystem::assemble_rhs_only(const ckt::Netlist& nl,
   ctx.source_scale = p.source_scale;
   for (const auto& d : nl.devices()) d->stamp(ctx);
   // gshunt is Jacobian-only; nothing to add on the rhs.
+  stats_.stamp_ns += stamp_clock_.end_ns();
 }
 
 bool RealSystem::factor(const char* reason) {
   ++stats_.factor_count;
   ++stats_.refactor_reasons[reason];
   g_factor_calls.fetch_add(1, std::memory_order_relaxed);
+  factor_clock_.begin();
   if (kind_ == SolverKind::kSparse) {
     slu_.factor(sjac_);
+    stats_.factor_ns += factor_clock_.end_ns();
     if (slu_.singular()) return false;
     // A fresh analysis ran (first factor, or a pivot-floor re-analysis):
     // publish it so the netlist's other systems can adopt it.
@@ -213,6 +515,7 @@ bool RealSystem::factor(const char* reason) {
     return true;
   }
   dlu_.factor(djac_);
+  stats_.factor_ns += factor_clock_.end_ns();
   return !dlu_.singular();
 }
 
@@ -226,14 +529,17 @@ double RealSystem::min_pivot() const {
 }
 
 void RealSystem::solve(num::RealVector& x) {
+  solve_clock_.begin();
   if (kind_ == SolverKind::kSparse)
     slu_.solve(rhs_, x);
   else
     dlu_.solve(rhs_, x);
+  stats_.solve_ns += solve_clock_.end_ns();
 }
 
 void RealSystem::solve_modified(const num::RealVector& x,
                                 num::RealVector& x_new) {
+  solve_clock_.begin();
   const std::size_t n = static_cast<std::size_t>(n_);
   // Residual of the Norton form: r = rhs - A x (fresh values, stale LU).
   if (kind_ == SolverKind::kSparse) {
@@ -254,6 +560,7 @@ void RealSystem::solve_modified(const num::RealVector& x,
   x_new.resize(n);
   for (std::size_t i = 0; i < n; ++i) x_new[i] = x[i] + dx_[i];
   ++stats_.reuse_count;
+  stats_.solve_ns += solve_clock_.end_ns();
 }
 
 void ComplexSystem::init(const ckt::Netlist& nl, SolverKind kind) {
@@ -263,6 +570,8 @@ void ComplexSystem::init(const ckt::Netlist& nl, SolverKind kind) {
   kind_ = kind;
   n_ = n;
   devices_ = ndev;
+  ac_pass_ = num::StampSlotPass{};
+  ac_diag_.clear();
   if (kind_ == SolverKind::kSparse) {
     // Adopt the structural work already done by the large-signal system
     // (the usual case: AC/noise run after solve_op).  Never writes the
@@ -277,6 +586,19 @@ void ComplexSystem::init(const ckt::Netlist& nl, SolverKind kind) {
       sjac_ = num::ComplexSparseMatrix(
           num::RealSparseMatrix(mna_pattern(nl)));
     }
+    // Node-diagonal slots for the gshunt loop.  The stamp-slot pass
+    // itself is recorded lazily by the first assemble(): stamp_ac
+    // positions are frequency-independent, so one recording serves the
+    // whole grid chunk.
+    const int nodes = nl.node_count() - 1;
+    ac_diag_.resize(static_cast<std::size_t>(nodes));
+    for (int i = 0; i < nodes; ++i) {
+      ac_diag_[static_cast<std::size_t>(i)] = sjac_.find_index(i, i);
+      if (ac_diag_[static_cast<std::size_t>(i)] < 0) {
+        ac_diag_.clear();
+        break;
+      }
+    }
   } else {
     djac_.resize(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
   }
@@ -284,10 +606,45 @@ void ComplexSystem::init(const ckt::Netlist& nl, SolverKind kind) {
 
 void ComplexSystem::assemble(const ckt::Netlist& nl, double omega,
                              double gshunt) {
-  if (kind_ == SolverKind::kSparse)
-    assemble_ac(nl, omega, gshunt, sjac_, rhs_);
-  else
+  if (kind_ != SolverKind::kSparse) {
     assemble_ac(nl, omega, gshunt, djac_, rhs_);
+    return;
+  }
+  sjac_.clear_values();
+  rhs_.assign(static_cast<std::size_t>(n_), {0.0, 0.0});
+  ckt::AcStampContext ctx(omega, sjac_, rhs_);
+  const auto& devs = nl.devices();
+  if (ac_pass_.recorded && ac_pass_.windows.size() == devs.size()) {
+    bool ok = true;
+    for (std::size_t i = 0; i < devs.size(); ++i) {
+      const auto [b, e] = ac_pass_.windows[i];
+      ctx.arm_slot_replay(ac_pass_.slots.data() + b, e - b);
+      devs[i]->stamp_ac(ctx);
+      if (!ctx.finish_slot_replay()) ok = false;
+    }
+    if (!ok) ac_pass_.recorded = false;  // re-record on the next point
+  } else {
+    ac_pass_.slots.clear();
+    ac_pass_.windows.clear();
+    ac_pass_.windows.reserve(devs.size());
+    ctx.arm_slot_record(&ac_pass_.slots);
+    for (const auto& d : devs) {
+      const int b = static_cast<int>(ac_pass_.slots.size());
+      d->stamp_ac(ctx);
+      ac_pass_.windows.emplace_back(b,
+                                    static_cast<int>(ac_pass_.slots.size()));
+    }
+    ac_pass_.recorded = true;
+  }
+  const int nodes = nl.node_count() - 1;
+  if (static_cast<int>(ac_diag_.size()) == nodes) {
+    auto& vals = sjac_.values();
+    for (int i = 0; i < nodes; ++i)
+      vals[static_cast<std::size_t>(
+          ac_diag_[static_cast<std::size_t>(i)])] += gshunt;
+  } else {
+    for (int i = 0; i < nodes; ++i) sjac_.add(i, i, gshunt);
+  }
 }
 
 bool ComplexSystem::factor() {

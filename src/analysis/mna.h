@@ -13,6 +13,7 @@
 // the Newton and frequency loops allocate nothing per iteration.
 #pragma once
 
+#include <chrono>
 #include <map>
 #include <string>
 
@@ -57,11 +58,23 @@ struct FactorStats {
   long factor_count = 0;  // fresh numeric factorizations
   long reuse_count = 0;   // solves against a reused (stale) factorization
   std::map<std::string, long> refactor_reasons;
+  // Wall-clock breakdown of where the solver spends its time
+  // (steady_clock nanoseconds): device evaluation + matrix/rhs assembly,
+  // numeric factorization, and substitution/residual work.  Makes
+  // "assembly-dominated vs factor-dominated" an observable instead of an
+  // inference (op_report, TranTelemetry, msim_cli --tran-stats,
+  // bench_compare.py).
+  long stamp_ns = 0;
+  long factor_ns = 0;
+  long solve_ns = 0;
 
   void merge(const FactorStats& o) {
     factor_count += o.factor_count;
     reuse_count += o.reuse_count;
     for (const auto& [k, v] : o.refactor_reasons) refactor_reasons[k] += v;
+    stamp_ns += o.stamp_ns;
+    factor_ns += o.factor_ns;
+    solve_ns += o.solve_ns;
   }
 };
 
@@ -147,13 +160,55 @@ class RealSystem {
   // of AssembleParams (the transient loop does this every step).
   void invalidate_base() { base_valid_ = false; }
 
+  // Assembly acceleration knobs (sparse path; the A/B handles behind
+  // the bench harness's assembly_configs section).  `use_slots` replays
+  // cached CSR value indices instead of binary-searching every write;
+  // `use_batches` stamps homogeneous device runs through one
+  // devirtualized loop per concrete class.  Both default on; turning
+  // them off restores the searched per-device-virtual legacy path,
+  // which doubles as the test oracle.  Changing modes invalidates the
+  // cached base image (the stamp ORDER of the base pass may differ
+  // between the batched and free-function paths only in telemetry, not
+  // values, but staying conservative costs one restamp).
+  void set_assembly_modes(bool use_slots, bool use_batches) {
+    if (use_slots != use_slots_ || use_batches != use_batches_)
+      base_valid_ = false;
+    use_slots_ = use_slots;
+    use_batches_ = use_batches;
+  }
+  bool slots_enabled() const { return use_slots_; }
+  bool batches_enabled() const { return use_batches_; }
+
   num::RealVector& rhs() { return rhs_; }
   SolverKind kind() const { return kind_; }
+  // Read-only view of the assembled sparse Jacobian (valid after
+  // assemble() in kSparse mode; the batched-vs-legacy oracle tests
+  // compare its value array bit-for-bit across assembly modes).
+  const num::RealSparseMatrix& sparse_jac() const { return sjac_; }
 
  private:
+  // A maximal run of consecutive same-concrete-class devices inside
+  // linear_ or nonlinear_ (segmentation preserves stamp order exactly,
+  // so batched assembly is bit-identical to the per-device loop).
+  struct BatchRun {
+    int kind = 0;  // BatchKind (mna.cc); 0 = heterogeneous/virtual
+    int begin = 0;
+    int end = 0;
+  };
+
+  void stamp_pass(const std::vector<const ckt::Device*>& devs,
+                  const std::vector<BatchRun>& runs, bool newton_pass,
+                  ckt::StampContext& ctx, ckt::AnalysisMode mode);
+  num::StampSlotPass* own_pass(bool newton_pass, ckt::AnalysisMode mode);
+  const num::StampSlotPass* replay_pass(bool newton_pass,
+                                        ckt::AnalysisMode mode) const;
+  void ensure_own_slots();
+  void publish_slots();
+
   SolverKind kind_ = SolverKind::kSparse;
   int n_ = -1;
   std::size_t devices_ = 0;
+  std::uint64_t structure_rev_ = 0;  // netlist revision init() ran for
   num::RealMatrix djac_;
   num::RealLu dlu_;
   num::RealSparseMatrix sjac_;
@@ -166,6 +221,17 @@ class RealSystem {
   // Linear/nonlinear device split (both paths; feeds the sparse base
   // image and all_linear()).
   std::vector<const ckt::Device*> linear_, nonlinear_;
+  std::vector<BatchRun> linear_runs_, nonlinear_runs_;
+  // Stamp-slot tables: `slots_shared_` is an immutable snapshot adopted
+  // from the netlist cache (MC samples inherit the nominal build's
+  // resolve); `slots_own_` is this system's private mutable copy,
+  // created lazily when a pass must be (re)recorded.  Published back to
+  // the cache as a fresh const snapshot after every new recording, so
+  // the cache never aliases mutable state.
+  std::shared_ptr<const num::StampSlotTables> slots_shared_;
+  std::shared_ptr<num::StampSlotTables> slots_own_;
+  bool use_slots_ = true;
+  bool use_batches_ = true;
   // Linear base image (sparse path).
   bool base_valid_ = false;
   AssembleParams base_p_;
@@ -174,6 +240,21 @@ class RealSystem {
   // Modified-Newton scratch (solve_modified forbids aliasing b with x).
   num::RealVector res_, dx_;
   FactorStats stats_;
+  // Sampled phase timer behind the stamp/factor/solve breakdown: the
+  // first calls of a phase are timed exactly, later ones 1-in-N with
+  // the measured duration scaled by N (mna.cc).  A clock read costs
+  // ~30 ns on this class of host -- exact per-call timing measurably
+  // slowed tiny systems (the 3-unknown linear-rc bench), while the
+  // sampled estimate converges on exactly the homogeneous hot loops
+  // where the breakdown matters.
+  struct PhaseClock {
+    long calls = 0;
+    long weight = 0;  // 0 = untimed call, else ns multiplier
+    std::chrono::steady_clock::time_point t0;
+    void begin();
+    long end_ns() const;
+  };
+  PhaseClock stamp_clock_, factor_clock_, solve_clock_;
 };
 
 // Reusable workspace for the small-signal complex systems (AC, noise).
@@ -191,6 +272,8 @@ class ComplexSystem {
 
   num::ComplexVector& rhs() { return rhs_; }
   SolverKind kind() const { return kind_; }
+  // Read-only view of the assembled sparse system (tests).
+  const num::ComplexSparseMatrix& sparse_jac() const { return sjac_; }
 
  private:
   SolverKind kind_ = SolverKind::kSparse;
@@ -201,6 +284,14 @@ class ComplexSystem {
   num::ComplexSparseMatrix sjac_;
   num::ComplexSparseLu slu_;
   num::ComplexVector rhs_;
+  // Purely LOCAL stamp-slot state (sparse path): the first assemble
+  // records every stamp_ac write and the node-diagonal slots; later
+  // frequency points replay with zero searches.  Never shared through
+  // the netlist cache -- parallel AC/noise chunk workers init and
+  // assemble concurrently, and the cache is read-only off the serial
+  // path.
+  num::StampSlotPass ac_pass_;
+  std::vector<int> ac_diag_;
 };
 
 }  // namespace msim::an

@@ -52,6 +52,17 @@ std::string op_report(const ckt::Netlist& nl, const OpResult& op) {
     os << "factorizations: " << op.solver_stats.factor_count << " (reused "
        << op.solver_stats.reuse_count << ")\n";
   }
+  if (op.solver_stats.stamp_ns + op.solver_stats.factor_ns +
+          op.solver_stats.solve_ns >
+      0) {
+    std::snprintf(line, sizeof line,
+                  "solver time: stamp %.3g ms, factor %.3g ms, solve "
+                  "%.3g ms\n",
+                  op.solver_stats.stamp_ns / 1e6,
+                  op.solver_stats.factor_ns / 1e6,
+                  op.solver_stats.solve_ns / 1e6);
+    os << line;
+  }
 
   os << "node voltages:\n";
   for (int n = 1; n < nl.node_count(); ++n) {

@@ -248,6 +248,11 @@ std::string TranTelemetry::summary() const {
     for (const auto& [k, v] : refactor_reasons) os << " " << k << "=" << v;
     os << "\n";
   }
+  if (stamp_ns + factor_ns + solve_ns > 0) {
+    os << "  solver time          stamp " << stamp_ns / 1000000.0
+       << " ms, factor " << factor_ns / 1000000.0 << " ms, solve "
+       << solve_ns / 1000000.0 << " ms\n";
+  }
   os << "  min dt attempted     " << min_dt_used << " s\n";
   return os.str();
 }
@@ -260,7 +265,8 @@ std::string TranTelemetry::reuse_stats_json() const {
      << ", \"accepted_steps\": " << accepted_steps
      << ", \"linear_fast_path\": "
      << (linear_fast_path_used ? "true" : "false")
-     << ", \"refactor_reasons\": {";
+     << ", \"stamp_ns\": " << stamp_ns << ", \"factor_ns\": " << factor_ns
+     << ", \"solve_ns\": " << solve_ns << ", \"refactor_reasons\": {";
   bool first = true;
   for (const auto& [k, v] : refactor_reasons) {
     if (!first) os << ", ";
@@ -501,6 +507,9 @@ TranResult run_transient(ckt::Netlist& nl, const TranOptions& opt) {
   r.telemetry.factor_count = fs.factor_count;
   r.telemetry.reuse_count = fs.reuse_count;
   r.telemetry.refactor_reasons = fs.refactor_reasons;
+  r.telemetry.stamp_ns = fs.stamp_ns;
+  r.telemetry.factor_ns = fs.factor_ns;
+  r.telemetry.solve_ns = fs.solve_ns;
   return r;
 }
 

@@ -93,6 +93,14 @@ struct TranTelemetry {
   long reuse_count = 0;
   std::map<std::string, long> refactor_reasons;
   bool linear_fast_path_used = false;
+  // Wall-clock breakdown (steady_clock ns) of the solver hot path:
+  // device evaluation + assembly vs numeric factorization vs
+  // substitution/residual work.  Copied from the RealSystem's
+  // FactorStats; the stamp share is what the zero-search slot cache and
+  // batched device loops attack.
+  long stamp_ns = 0;
+  long factor_ns = 0;
+  long solve_ns = 0;
 
   long rejected_total() const {
     return rejected_newton + rejected_nonfinite + rejected_lte;

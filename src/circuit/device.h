@@ -76,12 +76,74 @@ class StampContext {
   std::size_t size() const { return x_.size(); }
 
   void add_jac(int row_unknown, int col_unknown, double g) {
-    if (sparse_)
+    if (sparse_) {
+      if (replay_) {
+        if (replay_cursor_ < replay_n_) {
+          const num::StampSlot& s = replay_[replay_cursor_];
+          if (s.row == row_unknown && s.col == col_unknown) {
+            svals_[static_cast<std::size_t>(s.idx)] += g;
+            ++replay_cursor_;
+            return;
+          }
+        }
+        // The device emitted a write its slot window does not predict
+        // (gmin toggling, a mode-dependent branch): fall back to the
+        // searched path for this write and let the caller re-record.
+        replay_ok_ = false;
+        sparse_->add(row_unknown, col_unknown, g);
+        return;
+      }
+      if (slot_record_) {
+        const int idx = sparse_->add_at(row_unknown, col_unknown);
+        sparse_->values()[static_cast<std::size_t>(idx)] += g;
+        slot_record_->push_back({row_unknown, col_unknown, idx});
+        return;
+      }
       sparse_->add(row_unknown, col_unknown, g);
-    else if (dense_)
+    } else if (dense_)
       (*dense_)(row_unknown, col_unknown) += g;
     else if (record_)
       record_->add(row_unknown, col_unknown);
+  }
+
+  // --- Stamp-slot recording / replay (sparse target only) -------------
+  // Recording rides a normal assembly: every Jacobian write resolves
+  // its CSR value index once (searched) and appends a StampSlot.  A
+  // replay validates each incoming (row, col) against the recorded
+  // sequence and writes values()[idx] directly -- zero searches.  A
+  // write the table does not predict degrades that single write to the
+  // searched path and marks the replay failed (finish_slot_replay()
+  // returns false) so the caller schedules a re-record; the assembled
+  // matrix is correct either way.  No-ops on dense/record/rhs-only
+  // targets.
+  void arm_slot_record(std::vector<num::StampSlot>* out) {
+    if (sparse_) slot_record_ = out;
+  }
+  void arm_slot_replay(const num::StampSlot* slots, int n) {
+    if (!sparse_) return;
+    replay_ = slots;
+    replay_n_ = n;
+    replay_cursor_ = 0;
+    replay_ok_ = true;
+    svals_ = sparse_->values().data();
+  }
+  // Ends the current replay window; true when every write matched.  A
+  // device emitting a strict PREFIX of its recorded sequence is a match
+  // (the missing trailing writes simply contribute nothing).
+  bool finish_slot_replay() {
+    const bool ok = replay_ok_;
+    replay_ = nullptr;
+    replay_n_ = 0;
+    replay_cursor_ = 0;
+    replay_ok_ = true;
+    return ok;
+  }
+  void disarm_slots() {
+    slot_record_ = nullptr;
+    replay_ = nullptr;
+    replay_n_ = 0;
+    replay_cursor_ = 0;
+    replay_ok_ = true;
   }
   // Conductance stamp between two *nodes* (either may be ground).
   void add_conductance(NodeId p, NodeId n, double g) {
@@ -112,6 +174,13 @@ class StampContext {
   num::RealSparseMatrix* sparse_ = nullptr;
   StampRecord* record_ = nullptr;
   num::RealVector& rhs_;
+  // Slot machinery (see arm_slot_record / arm_slot_replay above).
+  std::vector<num::StampSlot>* slot_record_ = nullptr;
+  const num::StampSlot* replay_ = nullptr;
+  double* svals_ = nullptr;  // sparse_->values().data() during replay
+  int replay_n_ = 0;
+  int replay_cursor_ = 0;
+  bool replay_ok_ = true;
 };
 
 // Context for small-signal complex stamping at angular frequency omega.
@@ -129,12 +198,55 @@ class AcStampContext {
   double omega() const { return omega_; }
 
   void add_jac(int row, int col, std::complex<double> v) {
-    if (sparse_)
+    if (sparse_) {
+      if (replay_) {
+        if (replay_cursor_ < replay_n_) {
+          const num::StampSlot& s = replay_[replay_cursor_];
+          if (s.row == row && s.col == col) {
+            svals_[static_cast<std::size_t>(s.idx)] += v;
+            ++replay_cursor_;
+            return;
+          }
+        }
+        replay_ok_ = false;
+        sparse_->add(row, col, v);
+        return;
+      }
+      if (slot_record_) {
+        const int idx = sparse_->add_at(row, col);
+        sparse_->values()[static_cast<std::size_t>(idx)] += v;
+        slot_record_->push_back({row, col, idx});
+        return;
+      }
       sparse_->add(row, col, v);
-    else if (dense_)
+    } else if (dense_)
       (*dense_)(row, col) += v;
     else
       record_->add(row, col);
+  }
+
+  // Slot recording / replay: same contract as StampContext (sparse
+  // target only; a mismatched write degrades to the searched path).
+  // AC stamps are frequency-dependent in VALUE but not in POSITION, so
+  // the per-frequency loop records once and replays every later point.
+  void arm_slot_record(std::vector<num::StampSlot>* out) {
+    if (sparse_) slot_record_ = out;
+  }
+  void arm_slot_replay(const num::StampSlot* slots, int n) {
+    if (!sparse_) return;
+    replay_ = slots;
+    replay_n_ = n;
+    replay_cursor_ = 0;
+    replay_ok_ = true;
+    svals_ = sparse_->values().data();
+  }
+  bool finish_slot_replay() {
+    const bool ok = replay_ok_;
+    replay_ = nullptr;
+    replay_n_ = 0;
+    replay_cursor_ = 0;
+    replay_ok_ = true;
+    return ok;
   }
   void add_admittance(NodeId p, NodeId n, std::complex<double> y) {
     if (p != kGround) add_jac(p - 1, p - 1, y);
@@ -172,6 +284,12 @@ class AcStampContext {
   num::ComplexSparseMatrix* sparse_ = nullptr;
   StampRecord* record_ = nullptr;
   num::ComplexVector& rhs_;
+  std::vector<num::StampSlot>* slot_record_ = nullptr;
+  const num::StampSlot* replay_ = nullptr;
+  std::complex<double>* svals_ = nullptr;
+  int replay_n_ = 0;
+  int replay_cursor_ = 0;
+  bool replay_ok_ = true;
 };
 
 // A physical noise generator: a current source of spectral density

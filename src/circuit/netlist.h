@@ -72,6 +72,14 @@ class Netlist {
   // The MNA unknown index of a node voltage (node must not be ground).
   static int node_unknown(NodeId n) { return n - 1; }
 
+  // Monotonic structural revision: bumped on every topology mutation
+  // (new node, new device).  Derived caches -- assign_unknowns, the
+  // topology fingerprint, the solver cache's stamp-slot tables -- key
+  // their validity on it, so editing a netlist after a cached run
+  // forces a fresh pattern/slot build instead of replaying stale
+  // indices.
+  std::uint64_t structure_revision() const { return structure_rev_; }
+
   // Sparse-engine structural cache (see num::SolverCache): filled in by
   // the analysis layer so every system over this netlist shares one
   // pattern build and one symbolic factorization.  Mutable because it
@@ -86,6 +94,11 @@ class Netlist {
   // local re-analysis, never to a wrong result.
   void adopt_solver_cache(const Netlist& other) {
     solver_cache_ = other.solver_cache_;
+    // Re-stamp the adopted cache with THIS netlist's revision: the
+    // clone was built by replaying the same topology (same entry
+    // sequence, possibly different revision count), and a later edit
+    // to this netlist must invalidate the adopted entries too.
+    solver_cache_.structure_rev = structure_rev_;
     verdict_ = other.verdict_;
   }
 

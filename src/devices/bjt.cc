@@ -175,4 +175,13 @@ void Bjt::append_noise_sources(std::vector<ckt::NoiseSource>& out,
                  }});
 }
 
+
+void Bjt::stamp_batch(const ckt::Device* const* devs, std::size_t n,
+                      ckt::StampContext& ctx) {
+  // Every element of the run is a Bjt (RealSystem segments by
+  // concrete class), so the qualified call devirtualizes the loop.
+  for (std::size_t i = 0; i < n; ++i)
+    static_cast<const Bjt*>(devs[i])->Bjt::stamp(ctx);
+}
+
 }  // namespace msim::dev

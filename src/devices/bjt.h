@@ -49,7 +49,11 @@ class Bjt : public ckt::Device {
   const BjtParams& params() const { return p_; }
   const BjtOp& op() const { return op_; }
 
-  void stamp(ckt::StampContext& ctx) const override;
+  void stamp(ckt::StampContext& ctx) const final;
+  // Stamps a run of devices that are all of this concrete class
+  // (one devirtualized loop; see RealSystem batched assembly).
+  static void stamp_batch(const ckt::Device* const* devs,
+                          std::size_t n, ckt::StampContext& ctx);
   void save_op(const num::RealVector& x, double temp_k) override;
   void stamp_ac(ckt::AcStampContext& ctx) const override;
   bool is_nonlinear() const override { return true; }

@@ -108,4 +108,37 @@ void Ccvs::stamp_ac(ckt::AcStampContext& ctx) const {
   ctx.add_jac(ib, is, {-r_, 0.0});
 }
 
+
+void Vcvs::stamp_batch(const ckt::Device* const* devs, std::size_t n,
+                       ckt::StampContext& ctx) {
+  // Every element of the run is a Vcvs (RealSystem segments by
+  // concrete class), so the qualified call devirtualizes the loop.
+  for (std::size_t i = 0; i < n; ++i)
+    static_cast<const Vcvs*>(devs[i])->Vcvs::stamp(ctx);
+}
+
+void Vccs::stamp_batch(const ckt::Device* const* devs, std::size_t n,
+                       ckt::StampContext& ctx) {
+  // Every element of the run is a Vccs (RealSystem segments by
+  // concrete class), so the qualified call devirtualizes the loop.
+  for (std::size_t i = 0; i < n; ++i)
+    static_cast<const Vccs*>(devs[i])->Vccs::stamp(ctx);
+}
+
+void Cccs::stamp_batch(const ckt::Device* const* devs, std::size_t n,
+                       ckt::StampContext& ctx) {
+  // Every element of the run is a Cccs (RealSystem segments by
+  // concrete class), so the qualified call devirtualizes the loop.
+  for (std::size_t i = 0; i < n; ++i)
+    static_cast<const Cccs*>(devs[i])->Cccs::stamp(ctx);
+}
+
+void Ccvs::stamp_batch(const ckt::Device* const* devs, std::size_t n,
+                       ckt::StampContext& ctx) {
+  // Every element of the run is a Ccvs (RealSystem segments by
+  // concrete class), so the qualified call devirtualizes the loop.
+  for (std::size_t i = 0; i < n; ++i)
+    static_cast<const Ccvs*>(devs[i])->Ccvs::stamp(ctx);
+}
+
 }  // namespace msim::dev

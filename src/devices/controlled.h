@@ -20,7 +20,11 @@ class Vcvs : public ckt::Device {
   double gain() const { return gain_; }
   void set_gain(double g) { gain_ = g; }
 
-  void stamp(ckt::StampContext& ctx) const override;
+  void stamp(ckt::StampContext& ctx) const final;
+  // Stamps a run of devices that are all of this concrete class
+  // (one devirtualized loop; see RealSystem batched assembly).
+  static void stamp_batch(const ckt::Device* const* devs,
+                          std::size_t n, ckt::StampContext& ctx);
   void stamp_ac(ckt::AcStampContext& ctx) const override;
 
  private:
@@ -37,7 +41,11 @@ class Vccs : public ckt::Device {
   double gm() const { return gm_; }
   void set_gm(double g) { gm_ = g; }
 
-  void stamp(ckt::StampContext& ctx) const override;
+  void stamp(ckt::StampContext& ctx) const final;
+  // Stamps a run of devices that are all of this concrete class
+  // (one devirtualized loop; see RealSystem batched assembly).
+  static void stamp_batch(const ckt::Device* const* devs,
+                          std::size_t n, ckt::StampContext& ctx);
   void stamp_ac(ckt::AcStampContext& ctx) const override;
 
  private:
@@ -56,7 +64,11 @@ class Cccs : public ckt::Device {
   // outside this device's own unknowns.
   void declare_stamps(num::SparsityPattern& pat) const override;
 
-  void stamp(ckt::StampContext& ctx) const override;
+  void stamp(ckt::StampContext& ctx) const final;
+  // Stamps a run of devices that are all of this concrete class
+  // (one devirtualized loop; see RealSystem batched assembly).
+  static void stamp_batch(const ckt::Device* const* devs,
+                          std::size_t n, ckt::StampContext& ctx);
   void stamp_ac(ckt::AcStampContext& ctx) const override;
 
  private:
@@ -76,7 +88,11 @@ class Ccvs : public ckt::Device {
   // The branch row also stamps the sensing source's branch column.
   void declare_stamps(num::SparsityPattern& pat) const override;
 
-  void stamp(ckt::StampContext& ctx) const override;
+  void stamp(ckt::StampContext& ctx) const final;
+  // Stamps a run of devices that are all of this concrete class
+  // (one devirtualized loop; see RealSystem batched assembly).
+  static void stamp_batch(const ckt::Device* const* devs,
+                          std::size_t n, ckt::StampContext& ctx);
   void stamp_ac(ckt::AcStampContext& ctx) const override;
 
  private:

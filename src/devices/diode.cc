@@ -67,4 +67,13 @@ void Diode::append_noise_sources(std::vector<ckt::NoiseSource>& out,
   }
 }
 
+
+void Diode::stamp_batch(const ckt::Device* const* devs, std::size_t n,
+                        ckt::StampContext& ctx) {
+  // Every element of the run is a Diode (RealSystem segments by
+  // concrete class), so the qualified call devirtualizes the loop.
+  for (std::size_t i = 0; i < n; ++i)
+    static_cast<const Diode*>(devs[i])->Diode::stamp(ctx);
+}
+
 }  // namespace msim::dev

@@ -34,4 +34,13 @@ void MosSwitch::append_noise_sources(std::vector<ckt::NoiseSource>& out,
                  [psd](double) { return psd; }});
 }
 
+
+void MosSwitch::stamp_batch(const ckt::Device* const* devs, std::size_t n,
+                            ckt::StampContext& ctx) {
+  // Every element of the run is a MosSwitch (RealSystem segments by
+  // concrete class), so the qualified call devirtualizes the loop.
+  for (std::size_t i = 0; i < n; ++i)
+    static_cast<const MosSwitch*>(devs[i])->MosSwitch::stamp(ctx);
+}
+
 }  // namespace msim::dev

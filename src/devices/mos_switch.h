@@ -35,7 +35,11 @@ class MosSwitch : public ckt::Device {
   void clear_clock() { clock_.reset(); }
   bool is_clocked() const { return clock_.has_value(); }
 
-  void stamp(ckt::StampContext& ctx) const override;
+  void stamp(ckt::StampContext& ctx) const final;
+  // Stamps a run of devices that are all of this concrete class
+  // (one devirtualized loop; see RealSystem batched assembly).
+  static void stamp_batch(const ckt::Device* const* devs,
+                          std::size_t n, ckt::StampContext& ctx);
   void stamp_ac(ckt::AcStampContext& ctx) const override;
   bool is_nonlinear() const override { return true; }
   void append_noise_sources(std::vector<ckt::NoiseSource>& out,

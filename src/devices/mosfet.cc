@@ -107,13 +107,8 @@ Mosfet::Eval Mosfet::evaluate(double vd, double vg, double vs,
   return e;
 }
 
-void Mosfet::stamp(ckt::StampContext& ctx) const {
-  const double vd = ctx.v(nodes_[kD]);
-  const double vg = ctx.v(nodes_[kG]);
-  const double vs = ctx.v(nodes_[kS]);
-  const double vb = ctx.v(nodes_[kB]);
-  const Eval e = evaluate(vd, vg, vs, vb);
-
+void Mosfet::stamp_eval(const Eval& e, double vd, double vg, double vs,
+                        double vb, ckt::StampContext& ctx) const {
   // Norton linearization: i_d = id0 + gm dvgs + gds dvds + gmb dvbs.
   const double vgs = vg - vs, vds = vd - vs, vbs = vb - vs;
   const double ieq = e.id - e.gm * vgs - e.gds * vds - e.gmb * vbs;
@@ -137,6 +132,43 @@ void Mosfet::stamp(ckt::StampContext& ctx) const {
 
   // gmin shunt keeps floating drains solvable during homotopy.
   if (ctx.gmin > 0.0) ctx.add_conductance(d, s, ctx.gmin);
+}
+
+void Mosfet::stamp(ckt::StampContext& ctx) const {
+  const double vd = ctx.v(nodes_[kD]);
+  const double vg = ctx.v(nodes_[kG]);
+  const double vs = ctx.v(nodes_[kS]);
+  const double vb = ctx.v(nodes_[kB]);
+  stamp_eval(evaluate(vd, vg, vs, vb), vd, vg, vs, vb, ctx);
+}
+
+void Mosfet::stamp_batch(const ckt::Device* const* devs, std::size_t n,
+                         ckt::StampContext& ctx) {
+  // Structure-of-arrays staging: gather every run member's terminal
+  // voltages, evaluate the softplus/CLM model math over plain arrays in
+  // one tight loop, then emit the stamps in device order.  The emitted
+  // write sequence is exactly the per-device loop's, so the assembled
+  // matrix is bit-identical to the virtual fallback path.
+  thread_local std::vector<double> vd, vg, vs, vb;
+  thread_local std::vector<Eval> evals;
+  vd.resize(n);
+  vg.resize(n);
+  vs.resize(n);
+  vb.resize(n);
+  evals.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto* m = static_cast<const Mosfet*>(devs[i]);
+    vd[i] = ctx.v(m->nodes_[kD]);
+    vg[i] = ctx.v(m->nodes_[kG]);
+    vs[i] = ctx.v(m->nodes_[kS]);
+    vb[i] = ctx.v(m->nodes_[kB]);
+  }
+  for (std::size_t i = 0; i < n; ++i)
+    evals[i] = static_cast<const Mosfet*>(devs[i])->evaluate(vd[i], vg[i],
+                                                             vs[i], vb[i]);
+  for (std::size_t i = 0; i < n; ++i)
+    static_cast<const Mosfet*>(devs[i])->stamp_eval(evals[i], vd[i], vg[i],
+                                                    vs[i], vb[i], ctx);
 }
 
 void Mosfet::save_op(const num::RealVector& x, double temp_k) {

@@ -65,7 +65,11 @@ class Mosfet : public ckt::Device {
   // Monte-Carlo mismatch: threshold shift [V] and relative beta error.
   void apply_mismatch(double dvth, double dbeta_rel);
 
-  void stamp(ckt::StampContext& ctx) const override;
+  void stamp(ckt::StampContext& ctx) const final;
+  // Stamps a run of devices that are all of this concrete class
+  // (one devirtualized loop; see RealSystem batched assembly).
+  static void stamp_batch(const ckt::Device* const* devs,
+                          std::size_t n, ckt::StampContext& ctx);
   void save_op(const num::RealVector& x, double temp_k) override;
   void stamp_ac(ckt::AcStampContext& ctx) const override;
   bool is_nonlinear() const override { return true; }
@@ -87,6 +91,10 @@ class Mosfet : public ckt::Device {
  private:
   // Canonical (NMOS-oriented, vds >= 0) model evaluation.
   Eval evaluate_canonical(double vgs, double vds, double vbs) const;
+  // Emits the Norton stamps for an already-computed evaluation (the
+  // write half of stamp(); stamp_batch stages evaluations separately).
+  void stamp_eval(const Eval& e, double vd, double vg, double vs, double vb,
+                  ckt::StampContext& ctx) const;
 
   MosParams p_;
   double w_, l_;

@@ -157,4 +157,29 @@ void Inductor::accept_step(const num::RealVector& x, double dt) {
   (void)dt;
 }
 
+
+void Resistor::stamp_batch(const ckt::Device* const* devs, std::size_t n,
+                           ckt::StampContext& ctx) {
+  // Every element of the run is a Resistor (RealSystem segments by
+  // concrete class), so the qualified call devirtualizes the loop.
+  for (std::size_t i = 0; i < n; ++i)
+    static_cast<const Resistor*>(devs[i])->Resistor::stamp(ctx);
+}
+
+void Capacitor::stamp_batch(const ckt::Device* const* devs, std::size_t n,
+                            ckt::StampContext& ctx) {
+  // Every element of the run is a Capacitor (RealSystem segments by
+  // concrete class), so the qualified call devirtualizes the loop.
+  for (std::size_t i = 0; i < n; ++i)
+    static_cast<const Capacitor*>(devs[i])->Capacitor::stamp(ctx);
+}
+
+void Inductor::stamp_batch(const ckt::Device* const* devs, std::size_t n,
+                           ckt::StampContext& ctx) {
+  // Every element of the run is an Inductor (RealSystem segments by
+  // concrete class), so the qualified call devirtualizes the loop.
+  for (std::size_t i = 0; i < n; ++i)
+    static_cast<const Inductor*>(devs[i])->Inductor::stamp(ctx);
+}
+
 }  // namespace msim::dev

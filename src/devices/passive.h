@@ -26,7 +26,11 @@ class Resistor : public ckt::Device {
   // resistors exhibit this under DC bias; zero (default) disables it.
   void set_excess_noise_kf(double kf) { kf_excess_ = kf; }
 
-  void stamp(ckt::StampContext& ctx) const override;
+  void stamp(ckt::StampContext& ctx) const final;
+  // Stamps a run of devices that are all of this concrete class
+  // (one devirtualized loop; see RealSystem batched assembly).
+  static void stamp_batch(const ckt::Device* const* devs,
+                          std::size_t n, ckt::StampContext& ctx);
   void stamp_ac(ckt::AcStampContext& ctx) const override;
   void save_op(const num::RealVector& x, double temp_k) override;
   void append_noise_sources(std::vector<ckt::NoiseSource>& out,
@@ -55,7 +59,11 @@ class Capacitor : public ckt::Device {
   double capacitance() const { return c_; }
   void set_capacitance(double f) { c_ = f; }
 
-  void stamp(ckt::StampContext& ctx) const override;
+  void stamp(ckt::StampContext& ctx) const final;
+  // Stamps a run of devices that are all of this concrete class
+  // (one devirtualized loop; see RealSystem batched assembly).
+  static void stamp_batch(const ckt::Device* const* devs,
+                          std::size_t n, ckt::StampContext& ctx);
   void stamp_ac(ckt::AcStampContext& ctx) const override;
   void begin_transient(const num::RealVector& x_op) override;
   void accept_step(const num::RealVector& x, double dt) override;
@@ -77,7 +85,11 @@ class Inductor : public ckt::Device {
 
   double inductance() const { return l_; }
 
-  void stamp(ckt::StampContext& ctx) const override;
+  void stamp(ckt::StampContext& ctx) const final;
+  // Stamps a run of devices that are all of this concrete class
+  // (one devirtualized loop; see RealSystem batched assembly).
+  static void stamp_batch(const ckt::Device* const* devs,
+                          std::size_t n, ckt::StampContext& ctx);
   void stamp_ac(ckt::AcStampContext& ctx) const override;
   void begin_transient(const num::RealVector& x_op) override;
   void accept_step(const num::RealVector& x, double dt) override;

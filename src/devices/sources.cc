@@ -61,4 +61,21 @@ void ISource::stamp_ac(ckt::AcStampContext& ctx) const {
   ctx.add_current_into(nodes_[1], i);
 }
 
+
+void VSource::stamp_batch(const ckt::Device* const* devs, std::size_t n,
+                          ckt::StampContext& ctx) {
+  // Every element of the run is a VSource (RealSystem segments by
+  // concrete class), so the qualified call devirtualizes the loop.
+  for (std::size_t i = 0; i < n; ++i)
+    static_cast<const VSource*>(devs[i])->VSource::stamp(ctx);
+}
+
+void ISource::stamp_batch(const ckt::Device* const* devs, std::size_t n,
+                          ckt::StampContext& ctx) {
+  // Every element of the run is an ISource (RealSystem segments by
+  // concrete class), so the qualified call devirtualizes the loop.
+  for (std::size_t i = 0; i < n; ++i)
+    static_cast<const ISource*>(devs[i])->ISource::stamp(ctx);
+}
+
 }  // namespace msim::dev

@@ -26,7 +26,11 @@ class VSource : public ckt::Device {
   // Branch current from the solution vector of any real analysis.
   double current(const num::RealVector& x) const { return x[branch_base_]; }
 
-  void stamp(ckt::StampContext& ctx) const override;
+  void stamp(ckt::StampContext& ctx) const final;
+  // Stamps a run of devices that are all of this concrete class
+  // (one devirtualized loop; see RealSystem batched assembly).
+  static void stamp_batch(const ckt::Device* const* devs,
+                          std::size_t n, ckt::StampContext& ctx);
   void stamp_ac(ckt::AcStampContext& ctx) const override;
 
  private:
@@ -43,7 +47,11 @@ class ISource : public ckt::Device {
   const Waveform& waveform() const { return wave_; }
   void set_waveform(Waveform w) { wave_ = std::move(w); }
 
-  void stamp(ckt::StampContext& ctx) const override;
+  void stamp(ckt::StampContext& ctx) const final;
+  // Stamps a run of devices that are all of this concrete class
+  // (one devirtualized loop; see RealSystem batched assembly).
+  static void stamp_batch(const ckt::Device* const* devs,
+                          std::size_t n, ckt::StampContext& ctx);
   void stamp_ac(ckt::AcStampContext& ctx) const override;
 
  private:

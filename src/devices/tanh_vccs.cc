@@ -50,4 +50,13 @@ void TanhVccs::stamp_ac(ckt::AcStampContext& ctx) const {
                            {gm_op_, 0.0});
 }
 
+
+void TanhVccs::stamp_batch(const ckt::Device* const* devs, std::size_t n,
+                           ckt::StampContext& ctx) {
+  // Every element of the run is a TanhVccs (RealSystem segments by
+  // concrete class), so the qualified call devirtualizes the loop.
+  for (std::size_t i = 0; i < n; ++i)
+    static_cast<const TanhVccs*>(devs[i])->TanhVccs::stamp(ctx);
+}
+
 }  // namespace msim::dev

@@ -1,9 +1,25 @@
 #include "numeric/sparse.h"
 
+#include <atomic>
 #include <cmath>
 #include <limits>
 
 namespace msim::num {
+
+namespace {
+std::atomic<long> g_sparse_searches{0};
+}  // namespace
+
+namespace detail {
+void note_sparse_search() noexcept {
+  g_sparse_searches.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace detail
+
+long sparse_search_count() noexcept {
+  return g_sparse_searches.load(std::memory_order_relaxed);
+}
+
 namespace {
 
 double magnitude(double v) { return std::abs(v); }

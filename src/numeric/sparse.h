@@ -24,6 +24,7 @@
 #include <cassert>
 #include <complex>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <stdexcept>
 #include <utility>
@@ -32,6 +33,18 @@
 #include "numeric/matrix.h"
 
 namespace msim::num {
+
+namespace detail {
+// Process-wide census of CSR position searches (lower_bound walks in
+// SparseMatrix::add / at / find_index).  The slot-cached assembly path
+// is contractually search-free after warm-up; tests pin that by
+// diffing this counter around a re-assembly (same idiom as
+// an::factor_call_count).
+void note_sparse_search() noexcept;
+}  // namespace detail
+
+// Total CSR binary searches performed by this process.
+long sparse_search_count() noexcept;
 
 // Coordinate-list collector for the stamp positions of one netlist.
 // Duplicates are fine; SparseMatrix dedupes when it builds the CSR.
@@ -105,6 +118,15 @@ class SparseMatrix {
   // that was never declared is a programming error in the device's
   // declare_stamps() and is reported loudly.
   void add(int r, int c, T v) {
+    vals_[static_cast<std::size_t>(add_at(r, c))] += v;
+  }
+
+  // Searched position resolve: the flat index into values() of (r, c).
+  // The slot recorder uses this to resolve a device's stamp sequence
+  // into direct CSR indices once; replays then write values()[idx] with
+  // no search at all.
+  int add_at(int r, int c) const {
+    detail::note_sparse_search();
     const int* base = cols_.data();
     const int* lo = base + row_ptr_[static_cast<std::size_t>(r)];
     const int* hi = base + row_ptr_[static_cast<std::size_t>(r) + 1];
@@ -112,7 +134,18 @@ class SparseMatrix {
     if (it == hi || *it != c)
       throw std::logic_error(
           "SparseMatrix::add: position outside declared pattern");
-    vals_[static_cast<std::size_t>(it - base)] += v;
+    return static_cast<int>(it - base);
+  }
+
+  // Flat values() index of (r, c), or -1 when the position is not in
+  // the pattern (used to pre-resolve the gshunt diagonal slots).
+  int find_index(int r, int c) const {
+    detail::note_sparse_search();
+    const int* base = cols_.data();
+    const int* lo = base + row_ptr_[static_cast<std::size_t>(r)];
+    const int* hi = base + row_ptr_[static_cast<std::size_t>(r) + 1];
+    const int* it = std::lower_bound(lo, hi, c);
+    return (it == hi || *it != c) ? -1 : static_cast<int>(it - base);
   }
 
   // y = A * x (sized to rows()).  Used by the modified-Newton residual
@@ -131,6 +164,7 @@ class SparseMatrix {
 
   // Value at (r, c); zero when the position is not in the pattern.
   T at(int r, int c) const {
+    detail::note_sparse_search();
     const int* base = cols_.data();
     const int* lo = base + row_ptr_[static_cast<std::size_t>(r)];
     const int* hi = base + row_ptr_[static_cast<std::size_t>(r) + 1];
@@ -178,17 +212,60 @@ struct SparseSymbolic {
   std::vector<int> u_ptr, u_cols;
 };
 
+// One resolved stamp write: the (row, col) the device asked for and the
+// flat values() index it lands on.  row/col are kept so a replay can
+// validate each write against what the device emits *this* time — a
+// device whose write sequence changed (gmin toggling, mode change)
+// falls back to the searched path and triggers a re-record, so a stale
+// table degrades to one slow assembly, never to a wrong matrix.
+struct StampSlot {
+  int row = -1;
+  int col = -1;
+  int idx = -1;
+};
+
+// The resolved write sequence of one assembly pass (all devices the
+// pass stamps, in stamp order) plus per-device [begin, end) windows
+// into it.
+struct StampSlotPass {
+  std::vector<StampSlot> slots;
+  std::vector<std::pair<int, int>> windows;
+  bool recorded = false;
+};
+
+// Per-netlist slot tables, cached alongside the symbolic LU.  The real
+// Newton system stamps linear and nonlinear devices in separate passes
+// whose write sequences differ between DC OP and transient (dynamic
+// devices early-return at DC, sources stamp different values), so each
+// (pass, mode) pair gets its own table.  `diag` holds the node-diagonal
+// values() indices for the gshunt regularization loop.  The tables are
+// valid only for matrices sharing the identified CSR skeleton
+// (pointer + nnz): the complex AC/noise matrices are built *from* that
+// skeleton (same row_ptr/cols), so real indices apply there verbatim.
+struct StampSlotTables {
+  const void* skeleton = nullptr;  // identity of the CSR the idx refer to
+  int nnz = 0;
+  StampSlotPass base_dcop, base_tran;      // linear devices
+  StampSlotPass newton_dcop, newton_tran;  // nonlinear devices
+  std::vector<int> diag;                   // node rows only
+};
+
 // Per-netlist cache of the sparse engine's structural work (owned by
 // ckt::Netlist, populated by the analysis layer): the CSR skeleton of
-// the MNA pattern and the symbolic factorization.  Real Newton, complex
-// AC and noise systems over the same netlist all share one pattern
-// build and one analysis.  Writes happen only on the serial
-// large-signal path; parallel frequency workers are read-only.
+// the MNA pattern, the symbolic factorization, and the resolved stamp
+// slots.  Real Newton, complex AC and noise systems over the same
+// netlist all share one pattern build, one analysis and one slot
+// resolve.  Writes happen only on the serial large-signal path;
+// parallel frequency workers are read-only.
 struct SolverCache {
   int unknowns = -1;        // unknown count the entries were built for
   std::size_t devices = 0;  // device count ditto (staleness guard)
+  // Netlist::structure_revision() the entries were built under; a
+  // topology edit bumps the revision and invalidates everything here.
+  std::uint64_t structure_rev = 0;
   std::shared_ptr<const SparseMatrix<double>> skeleton;
   std::shared_ptr<const SparseSymbolic> symbolic;
+  std::shared_ptr<const StampSlotTables> slots;
 };
 
 // Sparse LU with cached symbolic analysis.

@@ -1,0 +1,275 @@
+// Assembly-engine tests: the stamp-slot cache (zero pattern searches
+// after warm-up, for the real dcop/transient passes, the complex AC
+// system, and Monte-Carlo cache adoption), slot invalidation on
+// topology edits, batched-vs-legacy bit-identity under every assembly
+// mode, and the stamp/factor/solve telemetry breakdown.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <string>
+
+#include "analysis/mna.h"
+#include "analysis/op.h"
+#include "analysis/op_report.h"
+#include "analysis/transient.h"
+#include "bench_util.h"
+#include "circuit/netlist.h"
+#include "devices/passive.h"
+#include "devices/sources.h"
+#include "numeric/sparse.h"
+
+namespace {
+
+using namespace msim;
+
+// Bitwise comparison that treats NaN == NaN (fault netlists stamp NaN
+// conductances; "bit-for-bit" must still hold through them).
+void expect_bits_equal(const std::vector<double>& a,
+                       const std::vector<double>& b, const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  if (!a.empty()) {
+    EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(double)),
+              0)
+        << what;
+  }
+}
+
+// ---- zero searches after warm-up ------------------------------------
+
+TEST(AssemblySlots, RealSystemReplaysWithZeroSearches) {
+  auto rig = bench::make_mic_rig();
+  rig->mic.set_gain_code(5);
+  an::OpOptions oo;
+  oo.solver = an::SolverKind::kSparse;
+  const auto op = an::solve_op(rig->nl, oo);
+  ASSERT_TRUE(op.converged);
+
+  an::RealSystem sys;
+  sys.init(rig->nl, an::SolverKind::kSparse);
+  for (const auto mode :
+       {ckt::AnalysisMode::kDcOp, ckt::AnalysisMode::kTransient}) {
+    an::AssembleParams p;
+    p.mode = mode;
+    p.dt = 1e-6;
+    // Warm-up records the slot tables for this (pass, mode) pair.
+    sys.invalidate_base();
+    sys.assemble(rig->nl, op.x, p);
+    // Replay: a full re-assembly (base restamp included, as in the
+    // transient hot loop) must not touch the pattern binary search.
+    sys.invalidate_base();
+    const long s0 = num::sparse_search_count();
+    sys.assemble(rig->nl, op.x, p);
+    EXPECT_EQ(num::sparse_search_count() - s0, 0)
+        << "mode " << static_cast<int>(mode);
+  }
+}
+
+TEST(AssemblySlots, ComplexSystemReplaysAcrossFrequencies) {
+  auto rig = bench::make_mic_rig();
+  an::OpOptions oo;
+  oo.solver = an::SolverKind::kSparse;
+  const auto op = an::solve_op(rig->nl, oo);
+  ASSERT_TRUE(op.converged);  // save_op ran: stamp_ac is well-defined
+
+  an::ComplexSystem sys;
+  sys.init(rig->nl, an::SolverKind::kSparse);
+  sys.assemble(rig->nl, 2.0 * M_PI * 1e3, 1e-12);  // records
+  const long s0 = num::sparse_search_count();
+  sys.assemble(rig->nl, 2.0 * M_PI * 1e4, 1e-12);  // replays
+  sys.assemble(rig->nl, 2.0 * M_PI * 1e5, 1e-12);
+  EXPECT_EQ(num::sparse_search_count() - s0, 0);
+}
+
+TEST(AssemblySlots, AdoptedCacheReplaysFromTheFirstAssembly) {
+  // Monte-Carlo idiom: the nominal build resolves the slot tables once;
+  // a sample that adopts its solver cache must replay immediately --
+  // zero pattern searches even on its very first assembly.
+  auto nominal = bench::make_mic_rig();
+  an::OpOptions oo;
+  oo.solver = an::SolverKind::kSparse;
+  const auto op = an::solve_op(nominal->nl, oo);
+  ASSERT_TRUE(op.converged);
+
+  auto sample = bench::make_mic_rig();
+  sample->nl.adopt_solver_cache(nominal->nl);
+  sample->nl.assign_unknowns();
+  an::RealSystem sys;
+  sys.init(sample->nl, an::SolverKind::kSparse);
+
+  an::AssembleParams p;  // kDcOp: the pass the nominal solve recorded
+  const num::RealVector x0(op.x.size(), 0.0);
+  const long s0 = num::sparse_search_count();
+  sys.assemble(sample->nl, x0, p);
+  EXPECT_EQ(num::sparse_search_count() - s0, 0);
+}
+
+// ---- invalidation on topology edits ---------------------------------
+
+TEST(AssemblySlots, TopologyEditInvalidatesSlotsAndMatchesFreshBuild) {
+  // Solve once (caches pattern, symbolic, and slot tables), then edit
+  // the topology.  The next init must notice the structure-revision
+  // bump, rebuild everything, and stamp exactly what a from-scratch
+  // netlist of the edited topology stamps.
+  auto edited = bench::make_mic_rig();
+  an::OpOptions oo;
+  oo.solver = an::SolverKind::kSparse;
+  ASSERT_TRUE(an::solve_op(edited->nl, oo).converged);
+  const auto rev_before = edited->nl.structure_revision();
+
+  auto grow = [](bench::MicRig& r) {
+    r.nl.add<dev::Resistor>("Rextra", r.nl.node("inp"), ckt::kGround,
+                            1e6);
+    r.nl.assign_unknowns();
+  };
+  grow(*edited);
+  EXPECT_NE(edited->nl.structure_revision(), rev_before);
+
+  auto fresh = bench::make_mic_rig();  // never solved: no stale cache
+  grow(*fresh);
+
+  an::AssembleParams p;
+  p.mode = ckt::AnalysisMode::kTransient;
+  p.dt = 1e-6;
+  const num::RealVector x0(
+      static_cast<std::size_t>(edited->nl.unknown_count()), 0.0);
+
+  an::RealSystem se, sf;
+  se.init(edited->nl, an::SolverKind::kSparse);
+  sf.init(fresh->nl, an::SolverKind::kSparse);
+  se.assemble(edited->nl, x0, p);
+  sf.assemble(fresh->nl, x0, p);
+
+  expect_bits_equal(se.sparse_jac().values(), sf.sparse_jac().values(),
+                    "jac after topology edit");
+  ASSERT_EQ(se.rhs().size(), sf.rhs().size());
+  for (std::size_t i = 0; i < se.rhs().size(); ++i)
+    EXPECT_EQ(se.rhs()[i], sf.rhs()[i]) << "rhs " << i;
+
+  // The rebuilt tables are re-keyed to the edited netlist's revision
+  // and replay cleanly again.
+  EXPECT_EQ(edited->nl.solver_cache().structure_rev,
+            edited->nl.structure_revision());
+  se.invalidate_base();
+  const long s0 = num::sparse_search_count();
+  se.assemble(edited->nl, x0, p);
+  EXPECT_EQ(num::sparse_search_count() - s0, 0);
+}
+
+// ---- batched vs legacy bit-identity ---------------------------------
+
+// Assembles one freshly built rig in the given mode after an identical
+// solve history, so device-internal limiting state matches exactly
+// across modes and the stamped images are comparable bit-for-bit.
+struct Snapshot {
+  std::vector<double> vals;
+  num::RealVector rhs;
+};
+
+template <typename MakeRig>
+Snapshot assemble_in_mode(const MakeRig& make, bool slots, bool batches,
+                          ckt::AnalysisMode mode) {
+  auto rig = make();
+  an::OpOptions oo;
+  oo.solver = an::SolverKind::kSparse;
+  const auto op = an::solve_op(rig->nl, oo);
+  EXPECT_TRUE(op.converged);
+
+  an::RealSystem sys;
+  sys.init(rig->nl, an::SolverKind::kSparse);
+  sys.set_assembly_modes(slots, batches);
+  an::AssembleParams p;
+  p.mode = mode;
+  p.dt = 1e-6;
+  sys.assemble(rig->nl, op.x, p);
+  return {sys.sparse_jac().values(), sys.rhs()};
+}
+
+template <typename MakeRig>
+void expect_modes_identical(const MakeRig& make, ckt::AnalysisMode mode,
+                            const char* what) {
+  const auto legacy = assemble_in_mode(make, false, false, mode);
+  const auto slot = assemble_in_mode(make, true, false, mode);
+  const auto batched = assemble_in_mode(make, true, true, mode);
+  expect_bits_equal(legacy.vals, slot.vals, what);
+  expect_bits_equal(legacy.vals, batched.vals, what);
+  ASSERT_EQ(legacy.rhs.size(), slot.rhs.size());
+  ASSERT_EQ(legacy.rhs.size(), batched.rhs.size());
+  for (std::size_t i = 0; i < legacy.rhs.size(); ++i) {
+    EXPECT_EQ(legacy.rhs[i], slot.rhs[i]) << what << " rhs " << i;
+    EXPECT_EQ(legacy.rhs[i], batched.rhs[i]) << what << " rhs " << i;
+  }
+}
+
+TEST(AssemblyBatching, MicAmpBitIdenticalAcrossModes) {
+  const auto make = [] {
+    auto r = bench::make_mic_rig();
+    r->mic.set_gain_code(5);
+    return r;
+  };
+  expect_modes_identical(make, ckt::AnalysisMode::kDcOp, "mic dcop");
+  expect_modes_identical(make, ckt::AnalysisMode::kTransient, "mic tran");
+}
+
+TEST(AssemblyBatching, ChipBitIdenticalAcrossModes) {
+  const auto make = [] { return bench::make_chip_rig(); };
+  expect_modes_identical(make, ckt::AnalysisMode::kDcOp, "chip dcop");
+  expect_modes_identical(make, ckt::AnalysisMode::kTransient,
+                         "chip tran");
+}
+
+TEST(AssemblyBatching, LegacyModeStillSearches) {
+  // The oracle must actually be the searched path: with both knobs off
+  // a re-assembly keeps paying pattern lookups (otherwise the zero-
+  // search assertions above would be vacuous).
+  auto rig = bench::make_mic_rig();
+  an::OpOptions oo;
+  oo.solver = an::SolverKind::kSparse;
+  const auto op = an::solve_op(rig->nl, oo);
+  ASSERT_TRUE(op.converged);
+
+  an::RealSystem sys;
+  sys.init(rig->nl, an::SolverKind::kSparse);
+  sys.set_assembly_modes(false, false);
+  an::AssembleParams p;
+  sys.assemble(rig->nl, op.x, p);
+  sys.invalidate_base();
+  const long s0 = num::sparse_search_count();
+  sys.assemble(rig->nl, op.x, p);
+  EXPECT_GT(num::sparse_search_count() - s0, 0);
+}
+
+// ---- telemetry breakdown --------------------------------------------
+
+TEST(AssemblyTelemetry, TransientReportsTimeBreakdown) {
+  auto rig = bench::make_mic_rig();
+  rig->vinp->set_waveform(dev::Waveform::sine(0.0, 1e-3, 1e3));
+  rig->vinn->set_waveform(dev::Waveform::sine(0.0, -1e-3, 1e3));
+  an::TranOptions t;
+  t.t_stop = 50e-6;
+  t.dt = 1e-6;
+  const auto res = an::run_transient(rig->nl, t);
+  ASSERT_TRUE(res.ok);
+  EXPECT_GT(res.telemetry.stamp_ns, 0);
+  EXPECT_GT(res.telemetry.factor_ns, 0);
+  EXPECT_GT(res.telemetry.solve_ns, 0);
+  const auto json = res.telemetry.reuse_stats_json();
+  EXPECT_NE(json.find("\"stamp_ns\""), std::string::npos);
+  EXPECT_NE(json.find("\"factor_ns\""), std::string::npos);
+  EXPECT_NE(json.find("\"solve_ns\""), std::string::npos);
+  const auto text = res.telemetry.summary();
+  EXPECT_NE(text.find("solver time"), std::string::npos);
+}
+
+TEST(AssemblyTelemetry, OpReportIncludesSolverTime) {
+  auto rig = bench::make_mic_rig();
+  an::OpOptions oo;
+  oo.solver = an::SolverKind::kSparse;
+  const auto op = an::solve_op(rig->nl, oo);
+  ASSERT_TRUE(op.converged);
+  EXPECT_GT(op.solver_stats.stamp_ns, 0);
+  const auto report = an::op_report(rig->nl, op);
+  EXPECT_NE(report.find("solver time:"), std::string::npos);
+}
+
+}  // namespace

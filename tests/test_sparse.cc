@@ -7,9 +7,11 @@
 
 #include <cmath>
 #include <complex>
+#include <cstring>
 #include <vector>
 
 #include "analysis/ac.h"
+#include "analysis/mna.h"
 #include "analysis/noise.h"
 #include "analysis/op.h"
 #include "bench_util.h"
@@ -399,6 +401,104 @@ TEST(EngineAgreement, GshuntAndGminIdenticalAcrossEngines) {
     ASSERT_TRUE(s.converged);
     for (std::size_t i = 0; i < d.x.size(); ++i)
       EXPECT_NEAR(s.x[i], d.x[i], 1e-9 * (1.0 + std::abs(d.x[i])));
+  }
+}
+
+// ---- assembly-mode oracle on the fault netlists ---------------------
+
+// NaN-safe bitwise equality: nan_resistor.sp stamps NaN conductances,
+// and the batched path must reproduce even those bit-for-bit.
+void expect_same_bits(double a, double b, const std::string& msg) {
+  EXPECT_EQ(std::memcmp(&a, &b, sizeof a), 0) << msg;
+}
+
+TEST(EngineAgreement, FaultNetlistsBatchedStampMatchesLegacy) {
+  // The slot-replay + batched assembly must write exactly the image the
+  // searched per-device-virtual legacy path writes, even on the
+  // pathological fault-injection netlists.
+  const char* files[] = {"vloop.sp", "floating_node.sp",
+                         "nan_resistor.sp", "duplicate_names.sp",
+                         "dangling_terminal.sp"};
+  for (const char* f : files) {
+    auto p1 = spice::parse_netlist_file(fault_path(f));
+    auto p2 = spice::parse_netlist_file(fault_path(f));
+    ASSERT_TRUE(p1.netlist && p2.netlist) << f;
+    auto& legacy_nl = *p1.netlist;
+    auto& fast_nl = *p2.netlist;
+    if (legacy_nl.devices().empty()) continue;
+    legacy_nl.assign_unknowns();
+    fast_nl.assign_unknowns();
+    const int n = legacy_nl.unknown_count();
+    if (n == 0) continue;
+
+    an::AssembleParams p;
+    const num::RealVector x(static_cast<std::size_t>(n), 0.0);
+
+    an::RealSystem legacy;
+    legacy.init(legacy_nl, an::SolverKind::kSparse);
+    legacy.set_assembly_modes(false, false);
+    legacy.assemble(legacy_nl, x, p);
+
+    an::RealSystem fast;
+    fast.init(fast_nl, an::SolverKind::kSparse);
+    fast.set_assembly_modes(true, true);
+    fast.assemble(fast_nl, x, p);
+
+    const auto& lv = legacy.sparse_jac().values();
+    const auto& fv = fast.sparse_jac().values();
+    ASSERT_EQ(lv.size(), fv.size()) << f;
+    for (std::size_t i = 0; i < lv.size(); ++i)
+      expect_same_bits(lv[i], fv[i],
+                       std::string(f) + " value " + std::to_string(i));
+    ASSERT_EQ(legacy.rhs().size(), fast.rhs().size()) << f;
+    for (std::size_t i = 0; i < legacy.rhs().size(); ++i)
+      expect_same_bits(legacy.rhs()[i], fast.rhs()[i],
+                       std::string(f) + " rhs " + std::to_string(i));
+
+    // After the recording warm-up the fast path replays search-free,
+    // fault netlist or not.
+    fast.invalidate_base();
+    const long s0 = num::sparse_search_count();
+    fast.assemble(fast_nl, x, p);
+    EXPECT_EQ(num::sparse_search_count() - s0, 0) << f;
+  }
+}
+
+TEST(EngineAgreement, FaultNetlistsDenseSparseAssembliesAgree) {
+  // The dense and sparse free assembly functions must produce the same
+  // matrix entry-for-entry (same device order, same arithmetic), with
+  // off-pattern dense entries exactly zero.
+  const char* files[] = {"vloop.sp", "floating_node.sp",
+                         "nan_resistor.sp", "duplicate_names.sp",
+                         "dangling_terminal.sp"};
+  for (const char* f : files) {
+    auto parsed = spice::parse_netlist_file(fault_path(f));
+    ASSERT_TRUE(parsed.netlist) << f;
+    auto& nl = *parsed.netlist;
+    if (nl.devices().empty()) continue;
+    nl.assign_unknowns();
+    const int n = nl.unknown_count();
+    if (n == 0) continue;
+
+    an::AssembleParams p;
+    const num::RealVector x(static_cast<std::size_t>(n), 0.0);
+    num::RealMatrix dj;
+    num::RealVector dr;
+    an::assemble_real(nl, x, p, dj, dr);
+    num::RealSparseMatrix sj(an::mna_pattern(nl));
+    num::RealVector sr;
+    an::assemble_real(nl, x, p, sj, sr);
+
+    const auto sd = sj.to_dense();
+    for (int r = 0; r < n; ++r)
+      for (int c = 0; c < n; ++c)
+        expect_same_bits(dj(r, c), sd(r, c),
+                         std::string(f) + " (" + std::to_string(r) +
+                             "," + std::to_string(c) + ")");
+    ASSERT_EQ(dr.size(), sr.size()) << f;
+    for (std::size_t i = 0; i < dr.size(); ++i)
+      expect_same_bits(dr[i], sr[i],
+                       std::string(f) + " rhs " + std::to_string(i));
   }
 }
 

@@ -24,7 +24,7 @@ import json
 import sys
 
 SECTIONS = ("mc_configs", "chip_mc_configs", "ac_grid_configs",
-            "transient_configs")
+            "transient_configs", "assembly_configs")
 CONTRACT_FLAGS = (
     "stats_bit_identical_across_threads",
     "dense_sparse_stats_agree",
@@ -61,6 +61,15 @@ def main():
         "keep on every transient_configs entry (default 0.9: the reuse "
         "controller guarantees parity on stamp-dominated circuits, and "
         "0.1 absorbs wall-clock noise around 1.0x)",
+    )
+    ap.add_argument(
+        "--stamp-threshold",
+        type=float,
+        default=1.3,
+        help="min assembly speedup_vs_searched the candidate must keep "
+        "on every batched assembly_configs entry (default 1.3: the slot "
+        "replay + devirtualized batches must stay clearly ahead of the "
+        "binary-searched legacy path)",
     )
     ap.add_argument(
         "--prepass-threshold",
@@ -137,6 +146,35 @@ def main():
                             f"full-Newton waveforms disagree")
         print(f"  transient_configs/{name:<18} speedup "
               f"{speedup:5.2f}x vs full Newton [{marker}]")
+
+    # Assembly-mode gate, judged absolutely on the candidate: every
+    # batched entry must keep its speedup over the binary-searched
+    # legacy path, and the slot-replay modes must stamp with zero
+    # pattern searches (the zero-search contract the slot cache exists
+    # to provide).
+    for cfg in cand.get("assembly_configs", []):
+        name = cfg.get("name", "?")
+        marker = "ok"
+        if name.endswith("-batched"):
+            speedup = cfg.get("speedup_vs_searched")
+            if speedup is None:
+                failures.append(f"assembly_configs/{name}: "
+                                f"missing speedup_vs_searched")
+                continue
+            if speedup < args.stamp_threshold:
+                marker = "TOO SLOW"
+                failures.append(
+                    f"assembly_configs/{name}: batched assembly only "
+                    f"{speedup:.2f}x vs searched "
+                    f"(limit {args.stamp_threshold:.2f}x)")
+            print(f"  assembly_configs/{name:<18} speedup "
+                  f"{speedup:5.2f}x vs searched [{marker}]")
+        if (not name.endswith("-searched")
+                and cfg.get("lookups_per_assembly", 0) != 0):
+            failures.append(
+                f"assembly_configs/{name}: "
+                f"{cfg['lookups_per_assembly']} pattern searches per "
+                f"assembly (slot replay must need zero)")
 
     for flag in CONTRACT_FLAGS:
         if flag in base and not cand.get(flag, False):

@@ -24,6 +24,9 @@
 // `--lint-strict` treats warnings as fatal.  Solver failures print the
 // structured SolveDiag (cause, offending node/device, homotopy stage);
 // transients additionally print step-rejection telemetry.
+// `--tran-stats` prints the factorization-reuse census plus the
+// stamp_ns / factor_ns / solve_ns wall-time breakdown as one JSON line
+// (where does solver time go: assembly, factorization, or solves).
 #include <cstdio>
 #include <cstring>
 #include <string>
