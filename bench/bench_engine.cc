@@ -40,6 +40,7 @@
 #include "analysis/transient.h"
 #include "bench_util.h"
 #include "circuit/netlist.h"
+#include "core/budget.h"
 #include "core/mic_amp.h"
 #include "devices/passive.h"
 #include "devices/sources.h"
@@ -688,6 +689,80 @@ int run_harness(const char* out_path, bool smoke) {
     tran_agree = tran_agree && r->agree;
   }
 
+  // Budget-check overhead: the cooperative-cancellation polls in the
+  // transient hot loops cost one null test per site with no budget
+  // attached, and a few relaxed atomic loads plus a clock read when an
+  // armed-but-idle one rides along.  Both must stay in the noise --
+  // tools/bench_compare.py gates overhead_fraction below 1% absolutely.
+  struct BudgetRun {
+    std::string name;
+    double plain_ms = std::numeric_limits<double>::infinity();
+    double budgeted_ms = std::numeric_limits<double>::infinity();
+    bool agree = false;
+    double overhead_fraction() const {
+      return plain_ms > 0.0 ? budgeted_ms / plain_ms - 1.0 : 0.0;
+    }
+  };
+  const auto run_budget_overhead =
+      [&](const std::string& name,
+          const std::function<an::TranResult(core::RunBudget*)>& once) {
+        BudgetRun br;
+        br.name = name;
+        an::TranResult plain, budgeted;
+        // One extra repeat absorbs first-run warm-up; best-of keeps the
+        // paired comparison fair on a noisy host.
+        for (int rep = 0; rep < kRepeats + 1; ++rep) {
+          auto t0 = Clock::now();
+          plain = once(nullptr);
+          br.plain_ms = std::min(br.plain_ms, ms_since(t0));
+          // Every limit armed (so each poll does its full work, clock
+          // read included) but far too large to ever trip.
+          core::RunBudget budget(1e15);
+          budget.max_newton_iterations = std::numeric_limits<long>::max();
+          budget.max_steps = std::numeric_limits<long>::max();
+          t0 = Clock::now();
+          budgeted = once(&budget);
+          br.budgeted_ms = std::min(br.budgeted_ms, ms_since(t0));
+        }
+        br.agree = plain.ok && budgeted.ok && !plain.x.empty() &&
+                   plain.x.back() == budgeted.x.back();
+        return br;
+      };
+  const auto bud_chip =
+      run_budget_overhead("chip-settle", [&](core::RunBudget* b) {
+        auto r = bench::make_chip_rig();
+        r->nl.find_as<dev::VSource>("Vinp")->set_waveform(
+            dev::Waveform::sine(0.0, 1e-3, 1e3));
+        r->nl.find_as<dev::VSource>("Vinn")->set_waveform(
+            dev::Waveform::sine(0.0, -1e-3, 1e3));
+        an::TranOptions t;
+        t.t_stop = 0.4e-3 * tran_scale;
+        t.dt = 2e-6;
+        t.budget = b;
+        return an::run_transient(r->nl, t);
+      });
+  const auto bud_drv =
+      run_budget_overhead("buffer-hd", [&](core::RunBudget* b) {
+        auto r = bench::make_drv_rig();
+        r->vsp->set_waveform(dev::Waveform::sine(0.0, 0.3, 1e3));
+        r->vsn->set_waveform(dev::Waveform::sine(0.0, -0.3, 1e3));
+        an::TranOptions t;
+        t.t_stop = 2e-3 * tran_scale;
+        t.dt = 1e-6;
+        t.budget = b;
+        return an::run_transient(r->nl, t);
+      });
+  std::printf("engine harness: budget-check overhead (best of %d)\n",
+              kRepeats + 1);
+  bool budget_agree = true;
+  for (const BudgetRun* r : {&bud_chip, &bud_drv}) {
+    std::printf("  %-14s plain %8.1f ms  budgeted %8.1f ms  "
+                "overhead %+6.2f%%  agree %s\n",
+                r->name.c_str(), r->plain_ms, r->budgeted_ms,
+                100.0 * r->overhead_fraction(), r->agree ? "yes" : "NO");
+    budget_agree = budget_agree && r->agree;
+  }
+
   // Assembly modes: repeated sparse re-assembly under the searched /
   // slot-cached / batched paths.  Zero lookups in the slot modes is a
   // correctness gate (the whole point of the cache), checked in
@@ -771,6 +846,17 @@ int run_harness(const char* out_path, bool smoke) {
   json_tran(f, tran_chip, false);
   json_tran(f, tran_rc, true);
   std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"budget_overhead\": [\n");
+  for (const BudgetRun* r : {&bud_chip, &bud_drv})
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"wall_ms\": %.3f, "
+                 "\"plain_ms\": %.3f, \"budgeted_ms\": %.3f, "
+                 "\"overhead_fraction\": %.6f, "
+                 "\"waveforms_agree\": %s}%s\n",
+                 r->name.c_str(), r->budgeted_ms, r->plain_ms,
+                 r->budgeted_ms, r->overhead_fraction(),
+                 r->agree ? "true" : "false", r == &bud_drv ? "" : ",");
+  std::fprintf(f, "  ],\n");
   std::fprintf(f, "  \"assembly_configs\": [\n");
   json_asm(f, asm_mic, false);
   json_asm(f, asm_chip, true);
@@ -792,7 +878,7 @@ int run_harness(const char* out_path, bool smoke) {
   std::printf("wrote %s (best MC speedup %.2fx)\n", out_path, best_speedup);
 
   return (deterministic && engines_agree && chip_deterministic &&
-          chip_agree && tran_agree && asm_zero_lookups)
+          chip_agree && tran_agree && asm_zero_lookups && budget_agree)
              ? 0
              : 1;
 }

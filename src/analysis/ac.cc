@@ -17,6 +17,7 @@ struct ChunkFailure {
   std::size_t index = static_cast<std::size_t>(-1);  // global freq index
   int singular_col = -1;
   double freq_hz = 0.0;
+  SolveStatus status = SolveStatus::kSingularMatrix;
 };
 
 }  // namespace
@@ -62,23 +63,48 @@ AcResult run_ac_diag(ckt::Netlist& nl,
   const std::size_t nun = static_cast<std::size_t>(nl.unknown_count());
   for (auto& s : sols) s.resize(nun);
   std::vector<ChunkFailure> fails(nchunks);
+  // Budget pre-fill: a chunk the budget prevents from ever starting must
+  // still surface as "grid truncated at its first frequency" rather than
+  // as a prefix of all-zero solutions.
+  if (opt.budget) {
+    for (std::size_t c = 0; c < nchunks; ++c) {
+      const std::size_t lo = nf * c / nchunks;
+      if (lo < nf)
+        fails[c] = {lo, -1, freqs_hz[lo], SolveStatus::kBudgetExceeded};
+    }
+  }
 
   core::parallel_for(
-      static_cast<int>(nchunks), nchunks, [&](std::size_t c) {
+      static_cast<int>(nchunks), nchunks,
+      [&](std::size_t c) {
         const std::size_t lo = nf * c / nchunks;
         const std::size_t hi = nf * (c + 1) / nchunks;
         if (lo >= hi) return;
         ComplexSystem sys;
         sys.init(nl, opt.solver);
         for (std::size_t i = lo; i < hi; ++i) {
+          if (opt.budget) {
+            const core::StopReason stop = opt.budget->stop_reason();
+            if (stop != core::StopReason::kNone) {
+              fails[c] = {i, -1, freqs_hz[i],
+                          stop == core::StopReason::kCancelled
+                              ? SolveStatus::kCancelled
+                              : SolveStatus::kBudgetExceeded};
+              return;
+            }
+            opt.budget->note_step();
+          }
           sys.assemble(nl, 2.0 * M_PI * freqs_hz[i], opt.gshunt);
           if (!sys.factor()) {
-            fails[c] = {i, sys.singular_col(), freqs_hz[i]};
+            fails[c] = {i, sys.singular_col(), freqs_hz[i],
+                        SolveStatus::kSingularMatrix};
             return;  // later points of this chunk would be discarded
           }
           sys.solve(sols[i]);
         }
-      });
+        fails[c] = ChunkFailure{};  // chunk completed: clear the marker
+      },
+      opt.budget);
 
   // Serial semantics: the lowest failing frequency index wins and the
   // result keeps exactly the solutions before it.
@@ -93,11 +119,23 @@ AcResult run_ac_diag(ckt::Netlist& nl,
                      std::make_move_iterator(sols.begin() +
                                              static_cast<std::ptrdiff_t>(keep)));
   if (first) {
-    r.diag.status = SolveStatus::kSingularMatrix;
-    r.diag.stage = "ac";
-    r.diag.unknown = unknown_label(nl, first->singular_col);
-    r.diag.device = device_touching_unknown(nl, first->singular_col);
-    r.diag.detail = "f = " + std::to_string(first->freq_hz) + " Hz";
+    if (is_budget_stop(first->status)) {
+      r.truncated = true;
+      const core::StopReason reason =
+          opt.budget ? opt.budget->stop_reason()
+                     : core::StopReason::kDeadline;
+      r.diag = budget_stop_diag(
+          reason, "ac",
+          "grid truncated at f = " + std::to_string(first->freq_hz) +
+              " Hz (" + std::to_string(keep) + " of " +
+              std::to_string(nf) + " points solved)");
+    } else {
+      r.diag.status = first->status;
+      r.diag.stage = "ac";
+      r.diag.unknown = unknown_label(nl, first->singular_col);
+      r.diag.device = device_touching_unknown(nl, first->singular_col);
+      r.diag.detail = "f = " + std::to_string(first->freq_hz) + " Hz";
+    }
   }
   return r;
 }

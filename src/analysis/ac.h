@@ -30,12 +30,22 @@ struct AcOptions {
   // contiguous chunks, one workspace per chunk, so results are
   // bit-identical to the serial sweep at any thread count.
   int threads = 1;
+  // Optional run budget / cancel hook, polled once per frequency point
+  // (in every chunk worker).  On expiry the result keeps the solved
+  // prefix of the grid with `truncated = true` and a structured
+  // kBudgetExceeded / kCancelled diag naming the first unsolved
+  // frequency -- a partial result, never an exception.  Null =
+  // unlimited.
+  core::RunBudget* budget = nullptr;
 };
 
 struct AcResult {
   SolveDiag diag;  // kSingularMatrix names the zero-pivot unknown
   std::vector<double> freqs_hz;
   std::vector<num::ComplexVector> solutions;  // one per frequency
+  // Budget / cancel partial-result flag: `solutions` holds the grid
+  // prefix solved before the cut (freqs_hz keeps the full request).
+  bool truncated = false;
 
   bool ok() const { return diag.ok(); }
 

@@ -11,6 +11,8 @@ const char* to_string(SolveStatus s) {
     case SolveStatus::kNonConvergence: return "non_convergence";
     case SolveStatus::kNonFinite: return "non_finite";
     case SolveStatus::kBadTopology: return "bad_topology";
+    case SolveStatus::kBudgetExceeded: return "budget_exceeded";
+    case SolveStatus::kCancelled: return "cancelled";
   }
   return "unknown";
 }
@@ -27,6 +29,20 @@ std::string SolveDiag::message() const {
   if (iterations > 0) os << ", " << iterations << " iterations";
   if (!detail.empty()) os << ": " << detail;
   return os.str();
+}
+
+SolveDiag budget_stop_diag(core::StopReason reason, std::string stage,
+                           std::string detail) {
+  SolveDiag d;
+  d.status = reason == core::StopReason::kCancelled
+                 ? SolveStatus::kCancelled
+                 : SolveStatus::kBudgetExceeded;
+  d.stage = std::move(stage);
+  if (detail.empty())
+    d.detail = std::string("stopped: ") + core::to_string(reason);
+  else
+    d.detail = std::move(detail);
+  return d;
 }
 
 std::string unknown_label(const ckt::Netlist& nl, int idx) {

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "circuit/netlist.h"
+#include "core/budget.h"
 
 namespace msim::an {
 
@@ -28,7 +29,22 @@ enum class SolveStatus {
   // The netlist failed the pre-solve lint pass; `detail` carries the
   // lint report.
   kBadTopology,
+  // A core::RunBudget limit (wall deadline, Newton-iteration or step
+  // cap) expired; the analysis returned a structured partial result
+  // (see docs/robustness.md).  `detail` says which limit and where the
+  // run was cut.
+  kBudgetExceeded,
+  // A core::CancelToken fired; same partial-result contract as
+  // kBudgetExceeded.
+  kCancelled,
 };
+
+// True for the cooperative-stop statuses: the run was cut short by a
+// budget or cancel request rather than by a numerical failure, and the
+// result carries a valid prefix (see docs/robustness.md).
+inline bool is_budget_stop(SolveStatus s) {
+  return s == SolveStatus::kBudgetExceeded || s == SolveStatus::kCancelled;
+}
 
 // Short stable identifier ("ok", "singular_matrix", ...).
 const char* to_string(SolveStatus s);
@@ -48,6 +64,12 @@ struct SolveDiag {
 
   static SolveDiag success() { return {}; }
 };
+
+// Standard diagnosis for a cooperative stop: kCancelled for a fired
+// CancelToken, kBudgetExceeded for every budget limit, with the stop
+// reason ("deadline", "iterations", "steps") recorded in `detail`.
+SolveDiag budget_stop_diag(core::StopReason reason, std::string stage,
+                           std::string detail = {});
 
 // Label for MNA unknown index `idx` (post assign_unknowns()): node
 // voltages render as "v(<name>)", device branch currents as

@@ -2,9 +2,12 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "analysis/structural.h"
+#include "core/faultpoint.h"
 #include "devices/bjt.h"
 #include "devices/controlled.h"
 #include "devices/diode.h"
@@ -477,6 +480,12 @@ void RealSystem::assemble(const ckt::Netlist& nl, const num::RealVector& x,
   ctx.use_trapezoidal = p.use_trapezoidal;
   ctx.source_scale = p.source_scale;
   stamp_pass(nonlinear_, nonlinear_runs_, /*newton_pass=*/true, ctx, p.mode);
+  // Fault-injection site: a device evaluation producing NaN surfaces in
+  // the assembled system exactly like a real model-evaluation blow-up
+  // (the Newton loop must reject the candidate as kNonFinite and
+  // recover, never accept or crash).
+  if (MSIM_FAULTPOINT("device_eval_nan") && !rhs_.empty())
+    rhs_[0] = std::numeric_limits<double>::quiet_NaN();
   stats_.stamp_ns += stamp_clock_.end_ns();
 }
 
@@ -501,6 +510,11 @@ bool RealSystem::factor(const char* reason) {
   ++stats_.factor_count;
   ++stats_.refactor_reasons[reason];
   g_factor_calls.fetch_add(1, std::memory_order_relaxed);
+  // Fault-injection site: a forced numeric-factorization failure, seen
+  // by callers exactly like a singular matrix (recovery paths: Newton
+  // homotopy escalation, transient step diagnosis, AC/noise keep-prefix,
+  // and the stale-LU invalidation contract in the transient workspace).
+  if (MSIM_FAULTPOINT("sparse_factor_fail")) return false;
   factor_clock_.begin();
   if (kind_ == SolverKind::kSparse) {
     slu_.factor(sjac_);
@@ -528,12 +542,90 @@ double RealSystem::min_pivot() const {
   return kind_ == SolverKind::kSparse ? slu_.min_pivot() : dlu_.min_pivot();
 }
 
+double RealSystem::condition_estimate() const {
+  return kind_ == SolverKind::kSparse ? slu_.condition_estimate() : 0.0;
+}
+
+double RealSystem::pivot_growth() const {
+  return kind_ == SolverKind::kSparse ? slu_.pivot_growth() : 0.0;
+}
+
+namespace {
+
+// Condition-estimate threshold past which a solve is cheap insurance:
+// with cond(A) >= 1e12 a double solve can have lost most of its
+// significant digits, so the residual check (one mat-vec) is worth its
+// cost.  Well-conditioned systems -- all of them, in a healthy run --
+// never pay more than the two-load estimate itself.
+constexpr double kCondCheckThreshold = 1e12;
+
+}  // namespace
+
 void RealSystem::solve(num::RealVector& x) {
   solve_clock_.begin();
-  if (kind_ == SolverKind::kSparse)
-    slu_.solve(rhs_, x);
-  else
+  if (kind_ != SolverKind::kSparse) {
     dlu_.solve(rhs_, x);
+    stats_.solve_ns += solve_clock_.end_ns();
+    return;
+  }
+  slu_.solve(rhs_, x);
+
+  // Numerical-health monitor: on an ill-conditioned factorization (or
+  // under the deterministic "solve_perturb" fault), verify the residual
+  // and run one round of iterative refinement with the cached LU.  If
+  // the refined solution still fails the check, the factorization
+  // itself is no longer trustworthy (stale modified-Newton LU, pivot
+  // growth): force a fresh one and re-solve.
+  bool force_check = false;
+  if (MSIM_FAULTPOINT("solve_perturb") && !x.empty()) {
+    x[0] += 1e3;  // deterministically corrupt the solution
+    force_check = true;
+  }
+  if (force_check || slu_.condition_estimate() > kCondCheckThreshold) {
+    const std::size_t n = static_cast<std::size_t>(n_);
+    double rhs_inf = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      rhs_inf = std::max(rhs_inf, std::abs(rhs_[i]));
+    double x_inf = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      x_inf = std::max(x_inf, std::abs(x[i]));
+    double a_max = 0.0;
+    for (double v : sjac_.values())
+      a_max = std::max(a_max, std::abs(v));
+    // Backward-error scale ||A||_max * ||x||_inf + ||rhs||_inf; the
+    // tolerance admits ~1e-9 relative residual before intervening.
+    const double tol = 1e-9 * (a_max * x_inf + rhs_inf) + 1e-300;
+    auto residual_inf = [&]() {
+      sjac_.multiply(x, res_);
+      double rinf = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        res_[i] = rhs_[i] - res_[i];
+        if (std::isnan(res_[i])) return std::numeric_limits<double>::max();
+        rinf = std::max(rinf, std::abs(res_[i]));
+      }
+      return rinf;
+    };
+    if (residual_inf() > tol) {
+      // One refinement round: the correction reuses the cached LU
+      // (res_ already holds rhs - A x).
+      slu_.solve(res_, dx_);
+      for (std::size_t i = 0; i < n; ++i) x[i] += dx_[i];
+      ++stats_.refine_count;
+      if (MSIM_FAULTPOINT("refine_perturb") && !x.empty())
+        x[0] += 1e3;  // force the refinement to "fail" deterministically
+      if (residual_inf() > tol) {
+        // Refinement could not rescue the cached LU: refactor the
+        // freshly assembled matrix and solve against it.
+        stats_.solve_ns += solve_clock_.end_ns();
+        if (factor("iterative_refinement")) {
+          solve_clock_.begin();
+          slu_.solve(rhs_, x);
+          stats_.solve_ns += solve_clock_.end_ns();
+        }
+        return;
+      }
+    }
+  }
   stats_.solve_ns += solve_clock_.end_ns();
 }
 

@@ -67,6 +67,12 @@ struct FactorStats {
   long stamp_ns = 0;
   long factor_ns = 0;
   long solve_ns = 0;
+  // Numerical-health monitor: iterative-refinement rounds run by
+  // RealSystem::solve after a failed residual check on an ill-
+  // conditioned factorization.  A refinement that still fails forces a
+  // fresh factorization, tagged "iterative_refinement" in
+  // refactor_reasons.
+  long refine_count = 0;
 
   void merge(const FactorStats& o) {
     factor_count += o.factor_count;
@@ -75,6 +81,7 @@ struct FactorStats {
     stamp_ns += o.stamp_ns;
     factor_ns += o.factor_ns;
     solve_ns += o.solve_ns;
+    refine_count += o.refine_count;
   }
 };
 
@@ -133,6 +140,14 @@ class RealSystem {
   bool factor(const char* reason = "full_newton");
   int singular_col() const;
   double min_pivot() const;
+  // Numerical-health probes of the last sparse factorization (0.0 in
+  // dense mode or before any factor()): a cheap condition-number lower
+  // bound from the cached LU's U-diagonal extremes, and the pivot
+  // growth max|U_ii| / max|A_ij|.  solve() uses the condition estimate
+  // to gate a residual check + one round of iterative refinement (see
+  // FactorStats::refine_count).
+  double condition_estimate() const;
+  double pivot_growth() const;
   // Solves into `x` using the assembled rhs.  Requires factor() == true.
   void solve(num::RealVector& x);
   // Modified-Newton update against a STALE factorization: with the

@@ -8,11 +8,13 @@
 #include <cmath>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "analysis/diag.h"
+#include "core/faultpoint.h"
 #include "core/parallel.h"
 #include "numeric/rng.h"
 
@@ -30,6 +32,12 @@ struct McOptions {
   // handoff each; chunking restores scaling without touching the
   // deterministic contract.
   std::size_t chunk = 0;
+  // Optional run budget / cancel hook, polled once per sample.  Samples
+  // the budget prevented from running are reported as structured
+  // kBudgetExceeded failures ("deadline_exceeded" in the detail), while
+  // statistics cover exactly the samples that completed -- a partial
+  // result, never an exception.  Null = unlimited.
+  core::RunBudget* budget = nullptr;
 };
 
 // One failed Monte-Carlo sample with its structured diagnosis.
@@ -115,12 +123,35 @@ inline McStats monte_carlo_diag(
   for (int i = 0; i < n_samples; ++i) seeds.push_back(rng.derive_seed());
 
   std::vector<McTrial> trials(static_cast<std::size_t>(n_samples));
-  core::parallel_for_chunked(opt.threads,
-                             static_cast<std::size_t>(n_samples), opt.chunk,
-                             [&](std::size_t i) {
-                               num::Rng sample_rng(seeds[i]);
-                               trials[i] = trial(sample_rng);
-                             });
+  // Pre-fill every slot with a budget-skip marker: when the budget
+  // expires, workers stop claiming samples and the untouched slots must
+  // reduce to structured failures rather than silent value-0 samples.
+  if (opt.budget) {
+    for (auto& t : trials)
+      t = McTrial::failed(budget_stop_diag(
+          core::StopReason::kNone, "montecarlo",
+          "sample skipped: deadline_exceeded (budget expired before "
+          "this sample ran)"));
+  }
+  core::parallel_for_chunked(
+      opt.threads, static_cast<std::size_t>(n_samples), opt.chunk,
+      [&](std::size_t i) {
+        if (opt.budget) {
+          const core::StopReason stop = opt.budget->stop_reason();
+          if (stop != core::StopReason::kNone) return;  // keep the marker
+          opt.budget->note_step();
+        }
+        num::Rng sample_rng(seeds[i]);
+        McTrial t = trial(sample_rng);
+        // Deterministic poison: fault-injection site addressed by sample
+        // index, exercising the partial-failure recovery path (one NaN
+        // sample among N -> N-1 good stats + one structured diag).
+        if (MSIM_FAULTPOINT_AT("mc_sample_nan",
+                               static_cast<long long>(i)))
+          t = McTrial::of(std::numeric_limits<double>::quiet_NaN());
+        trials[i] = t;
+      },
+      opt.budget);
 
   // Sequential reduction in sample order keeps `samples` ordered and
   // `failure_diags` sorted by sample index.

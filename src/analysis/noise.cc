@@ -19,6 +19,7 @@ struct PointData {
   NoisePoint pt;
   bool failed = false;
   int singular_col = -1;
+  SolveStatus status = SolveStatus::kSingularMatrix;
 };
 
 // Trapezoidal integral of y(f) over [f1, f2] where y is tabulated on the
@@ -124,9 +125,22 @@ NoiseResult run_noise_diag(ckt::Netlist& nl,
   // stripe of the flat contribution buffer.
   const std::size_t nsrc = sources.size();
   std::vector<PointData> pts(nf);
+  // Budget pre-fill: chunks the budget stops from starting must read as
+  // budget-truncated at their first point, not as silent zero points.
+  if (opt.budget) {
+    for (std::size_t c = 0; c < nchunks; ++c) {
+      const std::size_t lo = nf * c / nchunks;
+      const std::size_t hi = nf * (c + 1) / nchunks;
+      if (lo < hi) {
+        pts[lo].failed = true;
+        pts[lo].status = SolveStatus::kBudgetExceeded;
+      }
+    }
+  }
   std::vector<double> contribs(nf * nsrc, 0.0);
   core::parallel_for(
-      static_cast<int>(nchunks), nchunks, [&](std::size_t c) {
+      static_cast<int>(nchunks), nchunks,
+      [&](std::size_t c) {
         const std::size_t lo = nf * c / nchunks;
         const std::size_t hi = nf * (c + 1) / nchunks;
         if (lo >= hi) return;
@@ -136,9 +150,22 @@ NoiseResult run_noise_diag(ckt::Netlist& nl,
         for (std::size_t k = lo; k < hi; ++k) {
           const double f = freqs_hz[k];
           PointData& pd = pts[k];
+          if (opt.budget) {
+            const core::StopReason stop = opt.budget->stop_reason();
+            if (stop != core::StopReason::kNone) {
+              pd.failed = true;
+              pd.status = stop == core::StopReason::kCancelled
+                              ? SolveStatus::kCancelled
+                              : SolveStatus::kBudgetExceeded;
+              return;
+            }
+            opt.budget->note_step();
+            pd.failed = false;  // clear any chunk-start marker
+          }
           sys.assemble(nl, 2.0 * M_PI * f, opt.gshunt);
           if (!sys.factor()) {
             pd.failed = true;
+            pd.status = SolveStatus::kSingularMatrix;
             pd.singular_col = sys.singular_col();
             return;  // later points of this chunk would be discarded
           }
@@ -177,7 +204,8 @@ NoiseResult run_noise_diag(ckt::Netlist& nl,
           if (pd.pt.gain_mag > 0.0)
             pd.pt.s_in = s_out / (pd.pt.gain_mag * pd.pt.gain_mag);
         }
-      });
+      },
+      opt.budget);
 
   // Lowest failing frequency index wins (matches the serial analysis);
   // everything before it is kept.
@@ -185,11 +213,23 @@ NoiseResult run_noise_diag(ckt::Netlist& nl,
   for (std::size_t k = 0; k < nf; ++k)
     if (pts[k].failed) {
       keep = k;
-      r.diag.status = SolveStatus::kSingularMatrix;
-      r.diag.stage = "noise";
-      r.diag.unknown = unknown_label(nl, pts[k].singular_col);
-      r.diag.device = device_touching_unknown(nl, pts[k].singular_col);
-      r.diag.detail = "f = " + std::to_string(freqs_hz[k]) + " Hz";
+      if (is_budget_stop(pts[k].status)) {
+        r.truncated = true;
+        const core::StopReason reason =
+            opt.budget ? opt.budget->stop_reason()
+                       : core::StopReason::kDeadline;
+        r.diag = budget_stop_diag(
+            reason, "noise",
+            "grid truncated at f = " + std::to_string(freqs_hz[k]) +
+                " Hz (" + std::to_string(keep) + " of " +
+                std::to_string(nf) + " points solved)");
+      } else {
+        r.diag.status = pts[k].status;
+        r.diag.stage = "noise";
+        r.diag.unknown = unknown_label(nl, pts[k].singular_col);
+        r.diag.device = device_touching_unknown(nl, pts[k].singular_col);
+        r.diag.detail = "f = " + std::to_string(freqs_hz[k]) + " Hz";
+      }
       break;
     }
 

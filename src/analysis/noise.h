@@ -39,6 +39,11 @@ struct NoiseOptions {
   // integration runs as a sequential pass afterwards, so results are
   // bit-identical to the serial analysis at any thread count.
   int threads = 1;
+  // Optional run budget / cancel hook, polled once per frequency point.
+  // On expiry the result keeps the solved grid prefix (points and
+  // per-source integrals over it) with `truncated = true` and a
+  // structured kBudgetExceeded / kCancelled diag.  Null = unlimited.
+  core::RunBudget* budget = nullptr;
 };
 
 struct NoisePoint {
@@ -61,6 +66,9 @@ struct NoiseResult {
   std::vector<NoisePoint> points;
   // Per-source integrated output power over the analysed grid.
   std::vector<NoiseContribution> by_source;
+  // Budget / cancel partial-result flag: `points` (and the integrals)
+  // cover the grid prefix solved before the cut.
+  bool truncated = false;
 
   bool ok() const { return diag.ok(); }
 

@@ -36,6 +36,16 @@ bool newton_solve(const ckt::Netlist& nl, const AssembleParams& p,
                   num::RealVector& x, int& iters, NewtonOutcome& out) {
   out = NewtonOutcome{};
   for (int it = 0; it < opt.max_iterations; ++it) {
+    if (opt.budget) {
+      opt.budget->note_newton_iteration();
+      const core::StopReason stop = opt.budget->stop_reason();
+      if (stop != core::StopReason::kNone) {
+        out.fail = stop == core::StopReason::kCancelled
+                       ? SolveStatus::kCancelled
+                       : SolveStatus::kBudgetExceeded;
+        return false;
+      }
+    }
     ++iters;
     ws.sys.assemble(nl, x, p);
     if (!ws.sys.factor()) {
@@ -92,6 +102,9 @@ bool newton_solve_damped(const ckt::Netlist& nl, const AssembleParams& p,
     o.max_step = opt.max_step / factor;
     o.initial_guess.clear();
     if (newton_solve(nl, p, o, ws, x, iters, out)) return true;
+    // A budget stop is not a convergence problem: retrying with tighter
+    // damping would only burn more of an already-exhausted budget.
+    if (is_budget_stop(out.fail)) return false;
     x = x0;  // restart each attempt from the same point
   }
   return false;
@@ -113,6 +126,9 @@ void fill_failure_diag(const ckt::Netlist& nl, const NewtonOutcome& out,
     r.diag.unknown = unknown_label(nl, out.bad_unknown);
     r.diag.device = device_touching_unknown(nl, out.bad_unknown);
   }
+  if (is_budget_stop(out.fail))
+    r.diag.detail = "run budget exhausted mid-homotopy; partial iterate "
+                    "discarded (DC has no checkpoint to keep)";
 }
 
 }  // namespace
@@ -178,8 +194,11 @@ OpResult solve_op(ckt::Netlist& nl, const OpOptions& opt) {
     return finish();
   }
   // A structurally singular matrix will not be cured by homotopy: the
-  // zero pivot is topological, so diagnose it immediately.
-  if (out.fail == SolveStatus::kSingularMatrix) {
+  // zero pivot is topological, so diagnose it immediately.  A budget
+  // stop likewise: the homotopy ladder would only spend budget that is
+  // already gone.
+  if (out.fail == SolveStatus::kSingularMatrix ||
+      is_budget_stop(out.fail)) {
     fill_failure_diag(nl, out, "newton", r);
     return finish();
   }
@@ -208,6 +227,10 @@ OpResult solve_op(ckt::Netlist& nl, const OpOptions& opt) {
     return finish();
   }
   NewtonOutcome gmin_out = out;
+  if (is_budget_stop(out.fail)) {
+    fill_failure_diag(nl, out, "gmin", r);
+    return finish();
+  }
 
   // 3. Source stepping at elevated gmin, then a gmin ladder at full
   // sources.

@@ -32,6 +32,12 @@ struct OpOptions {
   // pattern and reuses the cached symbolic LU across all Newton
   // iterations and homotopy stages; kDense is the historical fallback.
   SolverKind solver = SolverKind::kSparse;
+  // Optional run budget / cancel hook, polled once per Newton iteration
+  // (all homotopy stages).  On expiry the solve stops with a
+  // kBudgetExceeded / kCancelled diag instead of running the remaining
+  // iterations or homotopy stages; the budget is shared (not owned) and
+  // may be polled concurrently by other analyses.  Null = unlimited.
+  core::RunBudget* budget = nullptr;
 };
 
 struct OpResult {

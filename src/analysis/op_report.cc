@@ -52,6 +52,14 @@ std::string op_report(const ckt::Netlist& nl, const OpResult& op) {
     os << "factorizations: " << op.solver_stats.factor_count << " (reused "
        << op.solver_stats.reuse_count << ")\n";
   }
+  if (op.solver_stats.refine_count > 0) {
+    os << "iterative refinement: " << op.solver_stats.refine_count
+       << " rounds (forced refactors: "
+       << (op.solver_stats.refactor_reasons.count("iterative_refinement")
+               ? op.solver_stats.refactor_reasons.at("iterative_refinement")
+               : 0)
+       << ")\n";
+  }
   if (op.solver_stats.stamp_ns + op.solver_stats.factor_ns +
           op.solver_stats.solve_ns >
       0) {

@@ -16,6 +16,21 @@ std::vector<double> linspace(double lo, double hi, int n) {
   return v;
 }
 
+namespace {
+
+// Structured "point not run" marker for sweep points the budget stopped
+// before they started.
+OpResult budget_skipped_point(const core::RunBudget& budget,
+                              const char* stage) {
+  OpResult op;
+  op.diag = budget_stop_diag(budget.stop_reason(), stage,
+                             "point not run: sweep budget exhausted "
+                             "before this point started");
+  return op;
+}
+
+}  // namespace
+
 std::vector<SweepPoint> dc_sweep(ckt::Netlist& nl,
                                  const std::vector<double>& values,
                                  const std::function<void(double)>& apply,
@@ -23,11 +38,15 @@ std::vector<SweepPoint> dc_sweep(ckt::Netlist& nl,
   std::vector<SweepPoint> out;
   out.reserve(values.size());
   for (double v : values) {
-    apply(v);
     SweepPoint pt;
     pt.value = v;
-    pt.op = solve_op(nl, opt);
-    if (pt.op.converged) opt.initial_guess = pt.op.x;  // continuation
+    if (opt.budget && opt.budget->exhausted()) {
+      pt.op = budget_skipped_point(*opt.budget, "dc_sweep");
+    } else {
+      apply(v);
+      pt.op = solve_op(nl, opt);
+      if (pt.op.converged) opt.initial_guess = pt.op.x;  // continuation
+    }
     out.push_back(std::move(pt));
   }
   return out;
@@ -42,8 +61,12 @@ std::vector<SweepPoint> temperature_sweep(ckt::Netlist& nl,
     opt.temp_k = t;
     SweepPoint pt;
     pt.value = t;
-    pt.op = solve_op(nl, opt);
-    if (pt.op.converged) opt.initial_guess = pt.op.x;
+    if (opt.budget && opt.budget->exhausted()) {
+      pt.op = budget_skipped_point(*opt.budget, "temperature_sweep");
+    } else {
+      pt.op = solve_op(nl, opt);
+      if (pt.op.converged) opt.initial_guess = pt.op.x;
+    }
     out.push_back(std::move(pt));
   }
   return out;
@@ -51,12 +74,26 @@ std::vector<SweepPoint> temperature_sweep(ckt::Netlist& nl,
 
 std::vector<SweepPoint> parallel_sweep(
     const std::vector<double>& values,
-    const std::function<OpResult(double)>& solve_point, int threads) {
+    const std::function<OpResult(double)>& solve_point, int threads,
+    core::RunBudget* budget) {
   std::vector<SweepPoint> out(values.size());
-  core::parallel_for(threads, values.size(), [&](std::size_t i) {
-    out[i].value = values[i];
-    out[i].op = solve_point(values[i]);
-  });
+  // Pre-fill the skip markers: workers stop claiming points once the
+  // budget expires, and untouched slots must read as structured budget
+  // diags, not default-constructed (non-converged, diag-less) results.
+  if (budget) {
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out[i].value = values[i];
+      out[i].op = budget_skipped_point(*budget, "parallel_sweep");
+    }
+  }
+  core::parallel_for(
+      threads, values.size(),
+      [&](std::size_t i) {
+        if (budget && budget->exhausted()) return;  // keep the marker
+        out[i].value = values[i];
+        out[i].op = solve_point(values[i]);
+      },
+      budget);
   return out;
 }
 

@@ -19,6 +19,13 @@ struct SweepPoint {
 // Sweeps an arbitrary knob: `apply` mutates the netlist for each value
 // (e.g. sets a source voltage); each point starts Newton from the
 // previous solution, which tracks the curve through high-gain regions.
+//
+// Budget contract (opt.budget): the shared budget is polled before each
+// point and forwarded into every solve_op.  Once it expires the solved
+// prefix is kept and every remaining point carries a structured
+// kBudgetExceeded / kCancelled diag ("point not run") -- a partial
+// result, never an exception.  The same applies to temperature_sweep
+// and parallel_sweep below.
 std::vector<SweepPoint> dc_sweep(ckt::Netlist& nl,
                                  const std::vector<double>& values,
                                  const std::function<void(double)>& apply,
@@ -41,7 +48,8 @@ std::vector<SweepPoint> temperature_sweep(ckt::Netlist& nl,
 // independent grids (corners, temperatures of independently built rigs).
 std::vector<SweepPoint> parallel_sweep(
     const std::vector<double>& values,
-    const std::function<OpResult(double)>& solve_point, int threads = 0);
+    const std::function<OpResult(double)>& solve_point, int threads = 0,
+    core::RunBudget* budget = nullptr);
 
 // Uniform grid helper.
 std::vector<double> linspace(double lo, double hi, int n);

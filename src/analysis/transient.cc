@@ -7,6 +7,7 @@
 
 #include "analysis/mna.h"
 #include "analysis/op.h"
+#include "core/faultpoint.h"
 #include "core/parallel.h"
 
 namespace msim::an {
@@ -89,6 +90,16 @@ StepOutcome newton_step(const ckt::Netlist& nl, const AssembleParams& p,
   // accepted step without showing up in AssembleParams; restamp the
   // linear base image each step.
   ws.sys.invalidate_base();
+  // Budget abort inside an iteration leaves `sys` holding whatever the
+  // last (possibly interrupted) factor() produced; the held numeric LU
+  // must not be presented as reusable to the next step.
+  auto budget_stop = [&](core::StopReason stop) {
+    ws.have_factor = false;
+    out.fail = stop == core::StopReason::kCancelled
+                   ? SolveStatus::kCancelled
+                   : SolveStatus::kBudgetExceeded;
+    return out;
+  };
   // Modified Newton: iterate against the factorization left behind by
   // an earlier iteration or time step while it keeps contracting.
   // `fresh_reason` doubles as the force-fresh latch: once set, the rest
@@ -99,6 +110,11 @@ StepOutcome newton_step(const ckt::Netlist& nl, const AssembleParams& p,
   double prev_dx = std::numeric_limits<double>::infinity();
   int stale_iters = 0;
   for (int it = 0; it < opt.max_newton; ++it) {
+    if (opt.budget) {
+      opt.budget->note_newton_iteration();
+      const core::StopReason stop = opt.budget->stop_reason();
+      if (stop != core::StopReason::kNone) return budget_stop(stop);
+    }
     ++out.iterations;
     ws.sys.assemble(nl, x, p);
     const bool use_stale = fresh_reason == nullptr && ws.have_factor &&
@@ -254,6 +270,10 @@ std::string TranTelemetry::summary() const {
        << solve_ns / 1000000.0 << " ms\n";
   }
   os << "  min dt attempted     " << min_dt_used << " s\n";
+  if (refine_count > 0)
+    os << "  iterative refinement " << refine_count << " rounds\n";
+  if (budget_truncated)
+    os << "  budget truncated     yes (" << budget_stop << ")\n";
   return os.str();
 }
 
@@ -266,7 +286,11 @@ std::string TranTelemetry::reuse_stats_json() const {
      << ", \"linear_fast_path\": "
      << (linear_fast_path_used ? "true" : "false")
      << ", \"stamp_ns\": " << stamp_ns << ", \"factor_ns\": " << factor_ns
-     << ", \"solve_ns\": " << solve_ns << ", \"refactor_reasons\": {";
+     << ", \"solve_ns\": " << solve_ns
+     << ", \"refine_count\": " << refine_count
+     << ", \"budget_truncated\": " << (budget_truncated ? "true" : "false")
+     << ", \"budget_stop\": \"" << budget_stop << "\""
+     << ", \"refactor_reasons\": {";
   bool first = true;
   for (const auto& [k, v] : refactor_reasons) {
     if (!first) os << ", ";
@@ -350,11 +374,16 @@ TranResult run_transient_inner(ckt::Netlist& nl, const TranOptions& opt,
   op_opt.lint = opt.lint;
   op_opt.lint_strict = opt.lint_strict;
   op_opt.solver = opt.solver;
+  op_opt.budget = opt.budget;
   const OpResult op = solve_op(nl, op_opt);
   if (!op.converged) {
     r.diag = op.diag;
     r.diag.stage = "op:" + (op.diag.stage.empty() ? std::string("newton")
                                                   : op.diag.stage);
+    if (is_budget_stop(op.diag.status) && opt.budget) {
+      r.telemetry.budget_truncated = true;
+      r.telemetry.budget_stop = core::to_string(opt.budget->stop_reason());
+    }
     return r;
   }
   r.telemetry.op_method = op.method;
@@ -396,12 +425,38 @@ TranResult run_transient_inner(ckt::Netlist& nl, const TranOptions& opt,
     else
       ++tel.rejected_newton;
   };
+  // Partial-result exit for budget expiry / cancellation: keep the
+  // waveform recorded so far, expose the last-accepted state as a
+  // restart checkpoint, and diagnose the cut instead of throwing.
+  auto truncate = [&](core::StopReason reason) -> TranResult& {
+    r.truncated = true;
+    r.t_checkpoint = t;
+    r.x_checkpoint = x;
+    tel.budget_truncated = true;
+    tel.budget_stop = core::to_string(reason);
+    std::ostringstream os;
+    os << "truncated at t = " << t << " s after " << tel.accepted_steps
+       << " accepted steps (" << core::to_string(reason) << ")";
+    r.diag = budget_stop_diag(reason, "tran", os.str());
+    return r;
+  };
+  // Deterministic wall-clock skew injection: lets tests drive the
+  // deadline path without sleeping (see docs/robustness.md).
+  auto skew_faultpoint = [&]() {
+    if (opt.budget && MSIM_FAULTPOINT("slow_step_skew"))
+      opt.budget->add_skew_ms(opt.budget->max_wall_ms + 1.0);
+  };
 
   if (!opt.adaptive) {
     // Fixed base step (exactly reproducible sampling for FFT work);
     // Newton failures trigger transparent sub-stepping to the boundary,
     // restarting each retry from the last accepted checkpoint `x`.
     while (t < opt.t_stop - 0.5 * opt.dt) {
+      if (opt.budget) {
+        skew_faultpoint();
+        const core::StopReason stop = opt.budget->stop_reason();
+        if (stop != core::StopReason::kNone) return truncate(stop);
+      }
       double dt = opt.dt;
       const double t_target = std::min(t + opt.dt, opt.t_stop);
       int halvings = 0;
@@ -420,6 +475,12 @@ TranResult run_transient_inner(ckt::Netlist& nl, const TranOptions& opt,
           x = std::move(x_try);
           t += dt;
           ++tel.accepted_steps;
+          if (opt.budget) opt.budget->note_step();
+        } else if (is_budget_stop(out.fail)) {
+          // The budget ran out mid-step; the candidate is discarded and
+          // the last accepted state becomes the checkpoint.
+          return truncate(opt.budget ? opt.budget->stop_reason()
+                                     : core::StopReason::kDeadline);
         } else {
           note_reject(out);
           if (++halvings > opt.max_halvings ||
@@ -448,6 +509,11 @@ TranResult run_transient_inner(ckt::Netlist& nl, const TranOptions& opt,
   double dt = opt.dt;
   int rejections = 0;
   while (t < opt.t_stop * (1.0 - 1e-12)) {
+    if (opt.budget) {
+      skew_faultpoint();
+      const core::StopReason stop = opt.budget->stop_reason();
+      if (stop != core::StopReason::kNone) return truncate(stop);
+    }
     dt = std::min(dt, opt.t_stop - t);
     note_dt(dt);
     num::RealVector x_try = x;
@@ -455,6 +521,9 @@ TranResult run_transient_inner(ckt::Netlist& nl, const TranOptions& opt,
     p.dt = dt;
     const StepOutcome out = newton_step(nl, p, opt, ws, x_try);
     tel.newton_iterations += out.iterations;
+    if (is_budget_stop(out.fail))
+      return truncate(opt.budget ? opt.budget->stop_reason()
+                                 : core::StopReason::kDeadline);
     double err = 0.0;
     if (out.ok) err = lte_estimate(hist_t, hist_x, t + dt, x_try, dt);
     if (!out.ok || (err > opt.lte_tol && dt > opt.dt_min * 1.01)) {
@@ -478,6 +547,7 @@ TranResult run_transient_inner(ckt::Netlist& nl, const TranOptions& opt,
     x = std::move(x_try);
     t += dt;
     ++tel.accepted_steps;
+    if (opt.budget) opt.budget->note_step();
     hist_t.push_back(t);
     hist_x.push_back(x);
     if (hist_t.size() > 4) {
@@ -510,6 +580,7 @@ TranResult run_transient(ckt::Netlist& nl, const TranOptions& opt) {
   r.telemetry.stamp_ns = fs.stamp_ns;
   r.telemetry.factor_ns = fs.factor_ns;
   r.telemetry.solve_ns = fs.solve_ns;
+  r.telemetry.refine_count = fs.refine_count;
   return r;
 }
 
@@ -519,16 +590,28 @@ std::vector<TranResult> run_transient_sweep(
         configure,
     const TranSweepOptions& opt) {
   std::vector<TranResult> results(n);
+  // Pre-fill every slot with a "case not run" marker: when the shared
+  // budget expires, workers stop claiming cases and the untouched slots
+  // must still read as structured budget diags, not empty successes.
+  if (opt.budget) {
+    for (auto& r : results)
+      r.diag = budget_stop_diag(core::StopReason::kNone, "tran_sweep",
+                                "case not run: sweep budget exhausted "
+                                "before this case started");
+  }
   // Each case owns its netlist, workspace and result slot; the chunked
   // schedule only decides when a case runs, never what it computes, so
   // the output is bit-identical for any thread count / chunk size.
   core::parallel_for_chunked(
-      opt.threads, n, opt.chunk, [&](std::size_t i) {
+      opt.threads, n, opt.chunk,
+      [&](std::size_t i) {
         ckt::Netlist nl;
         TranOptions topt;
         configure(i, nl, topt);
+        topt.budget = opt.budget;
         results[i] = run_transient(nl, topt);
-      });
+      },
+      opt.budget);
   return results;
 }
 

@@ -73,6 +73,13 @@ struct TranOptions {
   // plain linear solve: stamp only the RHS and reuse one factorization
   // for the whole constant-dt run (fixed-step mode only).
   bool linear_fast_path = true;
+
+  // Optional run budget / cancel hook, polled at timestep and Newton-
+  // iteration granularity (and forwarded to the initial solve_op).  On
+  // expiry the run returns the waveform accepted so far with
+  // `truncated = true` plus the last-accepted checkpoint state -- a
+  // structured partial result, never an exception.  Null = unlimited.
+  core::RunBudget* budget = nullptr;
 };
 
 // Step-rejection and effort accounting for one transient run.
@@ -101,6 +108,13 @@ struct TranTelemetry {
   long stamp_ns = 0;
   long factor_ns = 0;
   long solve_ns = 0;
+  // Robustness accounting: whether a RunBudget / CancelToken cut the
+  // run short (and which limit: "deadline", "iterations", "steps",
+  // "cancelled"), plus the numerical-health monitor's iterative-
+  // refinement rounds (see RealSystem::solve).
+  bool budget_truncated = false;
+  std::string budget_stop;
+  long refine_count = 0;
 
   long rejected_total() const {
     return rejected_newton + rejected_nonfinite + rejected_lte;
@@ -118,6 +132,14 @@ struct TranResult {
   TranTelemetry telemetry;  // step accounting, also filled on success
   std::vector<double> time;
   std::vector<num::RealVector> x;
+  // Partial-result contract (budget / cancel): when a RunBudget expires
+  // mid-run, `ok` stays false, `truncated` is true, `time`/`x` hold the
+  // recorded waveform up to the cut, and the checkpoint below is the
+  // last ACCEPTED state (which may be ahead of the last recorded point
+  // when record_after skipped it) -- a restart handle, not an error.
+  bool truncated = false;
+  double t_checkpoint = 0.0;
+  num::RealVector x_checkpoint;
 
   // Waveform of one node voltage.
   std::vector<double> node_wave(ckt::NodeId n) const;
@@ -135,6 +157,12 @@ TranResult run_transient(ckt::Netlist& nl, const TranOptions& opt);
 struct TranSweepOptions {
   int threads = 1;        // 0 = auto, 1 = serial, >= 2 = pool workers
   std::size_t chunk = 0;  // runs per scheduling block; 0 = auto
+  // Shared budget over the whole sweep: forwarded into every case's
+  // TranOptions AND checked by the parallel_for workers, so an expiry
+  // both truncates in-flight cases and stops new ones starting.  Cases
+  // never started are returned with a kBudgetExceeded "case not run"
+  // diag.  Null = unlimited.
+  core::RunBudget* budget = nullptr;
 };
 
 // Runs case i by calling configure(i, nl, opt) on a fresh netlist and

@@ -13,6 +13,7 @@
 #include <functional>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "circuit/node.h"
@@ -372,6 +373,14 @@ class Device {
 
   // Re-evaluates temperature-dependent parameters.
   virtual void set_temperature(double /*temp_k*/) {}
+
+  // Named numeric parameters for value-level lint checks (the
+  // "finite_params" pass rejects NaN/Inf before they can poison a
+  // factorization).  Devices expose their user-settable values; the
+  // default (no parameters) opts legacy/behavioral devices out.
+  virtual std::vector<std::pair<std::string, double>> param_values() const {
+    return {};
+  }
 
  protected:
   std::string name_;

@@ -1,10 +1,12 @@
 #include "circuit/lint.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <map>
 #include <mutex>
 #include <numeric>
+#include <sstream>
 #include <utility>
 
 namespace msim::ckt {
@@ -161,6 +163,24 @@ void pass_connectivity(const Netlist& nl, std::vector<LintIssue>& out) {
   }
 }
 
+// A NaN or Inf parameter value (a "nan" token in a SPICE card, a bad
+// expression upstream) stamps straight into the MNA matrix and either
+// poisons the factorization or, worse, silently produces a garbage
+// solution.  Reject it here with the parser's source line while the
+// value is still attributable to a device parameter.
+void pass_finite_params(const Netlist& nl, std::vector<LintIssue>& out) {
+  for (const auto& d : nl.devices()) {
+    for (const auto& [param, value] : d->param_values()) {
+      if (std::isfinite(value)) continue;
+      std::ostringstream os;
+      os << "device '" << d->name() << "' parameter '" << param
+         << "' is " << value;
+      out.push_back({LintKind::kNonFiniteParam, LintSeverity::kError, "",
+                     d->name(), os.str(), d->source_line(), ""});
+    }
+  }
+}
+
 }  // namespace
 
 struct LintRegistry::Impl {
@@ -183,6 +203,10 @@ LintRegistry::LintRegistry() : impl_(new Impl) {
                            "floating nodes, current-source cutsets and "
                            "dangling terminals",
                            true, pass_connectivity});
+  impl_->passes.push_back({"finite_params",
+                           "device parameter values must be finite "
+                           "(no NaN / Inf)",
+                           true, pass_finite_params});
 }
 
 LintRegistry::~LintRegistry() { delete impl_; }
@@ -218,6 +242,7 @@ const char* to_string(LintKind k) {
     case LintKind::kCurrentCutset: return "current_cutset";
     case LintKind::kStructuralSingular: return "structural_singular";
     case LintKind::kStampContract: return "stamp_contract";
+    case LintKind::kNonFiniteParam: return "non_finite_param";
   }
   return "unknown";
 }

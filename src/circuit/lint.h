@@ -40,6 +40,7 @@ enum class LintKind {
   kCurrentCutset,        // island connected only through current sources
   kStructuralSingular,   // MNA structural rank deficiency (analysis pass)
   kStampContract,        // device wrote outside its declared pattern
+  kNonFiniteParam,       // NaN/Inf device parameter value
 };
 
 enum class LintSeverity { kWarning, kError };

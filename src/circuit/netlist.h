@@ -11,6 +11,7 @@
 
 #include "circuit/device.h"
 #include "circuit/node.h"
+#include "core/faultpoint.h"
 
 namespace msim::ckt {
 
@@ -93,6 +94,12 @@ class Netlist {
   // SparseLu's pivot-floor guard make a stale adoption degrade to one
   // local re-analysis, never to a wrong result.
   void adopt_solver_cache(const Netlist& other) {
+    // Fault-injection site: a failed adoption (e.g. allocation failure
+    // copying the cache's shared handles) must degrade to the
+    // no-cache path -- the sample re-analyzes locally and produces the
+    // identical result, only slower.  Skipping the copy exercises
+    // exactly that recovery.
+    if (MSIM_FAULTPOINT("cache_adopt_fail")) return;
     solver_cache_ = other.solver_cache_;
     // Re-stamp the adopted cache with THIS netlist's revision: the
     // clone was built by replaying the same topology (same entry

@@ -1,0 +1,144 @@
+// Run budgets and cooperative cancellation.
+//
+// A RunBudget bounds one logical run (an analysis call, a batch of MC
+// samples, a CLI invocation) by wall-clock deadline, total Newton
+// iterations, and total "steps" (transient timesteps, MC samples,
+// AC/noise frequency points -- whatever the analysis advances by).  A
+// CancelToken is an atomic flag a controlling thread flips to stop the
+// run from outside.  Both are *cooperative*: the analyses poll
+// stop_reason() at their natural granularity (Newton iteration,
+// timestep, sample, frequency point, parallel_for index) and return a
+// structured PARTIAL result -- never an exception -- when the budget is
+// exhausted (see docs/robustness.md for the per-analysis contract).
+//
+// Cost contract: with no budget attached the analyses pay one null
+// pointer test per check site; with a budget attached each check is a
+// few relaxed atomic loads plus (for wall deadlines) one steady_clock
+// read, ~30 ns on this class of host.  bench_engine's budget_overhead
+// section holds the armed-but-idle overhead under 1% on the transient
+// benches (gated by tools/bench_compare.py).
+//
+// Sharing: one RunBudget may be polled and advanced from many threads
+// at once (parallel MC samples, AC chunk workers); all counters are
+// relaxed atomics.  The deadline anchor latches on the first poll, so a
+// budget constructed ahead of time does not burn wall clock until the
+// run actually starts.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace msim::core {
+
+// Cooperative cancel flag.  request() is safe from any thread, any
+// number of times; cancelled() is a relaxed load.
+class CancelToken {
+ public:
+  void request() { flag_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const { return flag_.load(std::memory_order_relaxed); }
+  void reset() { flag_.store(false, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+// Why a budgeted run must stop (kNone = keep going).
+enum class StopReason {
+  kNone = 0,
+  kCancelled,   // CancelToken fired
+  kDeadline,    // wall-clock budget exhausted
+  kIterations,  // Newton-iteration cap reached
+  kSteps,       // step/sample/frequency-point cap reached
+};
+
+// Short stable identifier ("deadline", "iterations", ...).
+inline const char* to_string(StopReason r) {
+  switch (r) {
+    case StopReason::kNone: return "none";
+    case StopReason::kCancelled: return "cancelled";
+    case StopReason::kDeadline: return "deadline";
+    case StopReason::kIterations: return "iterations";
+    case StopReason::kSteps: return "steps";
+  }
+  return "unknown";
+}
+
+class RunBudget {
+ public:
+  RunBudget() = default;
+  explicit RunBudget(double wall_ms) : max_wall_ms(wall_ms) {}
+
+  RunBudget(const RunBudget&) = delete;
+  RunBudget& operator=(const RunBudget&) = delete;
+
+  // Limits; 0 (or null) disables the corresponding check.
+  double max_wall_ms = 0.0;        // wall-clock deadline
+  long max_newton_iterations = 0;  // total Newton iterations
+  long max_steps = 0;              // timesteps / samples / grid points
+  const CancelToken* cancel = nullptr;
+
+  // Accounting hooks the analyses call as work is performed.
+  void note_newton_iteration() {
+    iterations_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void note_step() { steps_.fetch_add(1, std::memory_order_relaxed); }
+
+  long iterations_used() const {
+    return iterations_.load(std::memory_order_relaxed);
+  }
+  long steps_used() const { return steps_.load(std::memory_order_relaxed); }
+
+  // The cheap checks first (cancel flag, counters); the clock read only
+  // happens when a wall deadline is actually set.
+  StopReason stop_reason() const {
+    if (cancel && cancel->cancelled()) return StopReason::kCancelled;
+    if (max_newton_iterations > 0 &&
+        iterations_used() >= max_newton_iterations)
+      return StopReason::kIterations;
+    if (max_steps > 0 && steps_used() >= max_steps)
+      return StopReason::kSteps;
+    if (max_wall_ms > 0.0 && elapsed_ms() >= max_wall_ms)
+      return StopReason::kDeadline;
+    return StopReason::kNone;
+  }
+  bool exhausted() const { return stop_reason() != StopReason::kNone; }
+
+  // Wall time since the first poll, plus any injected skew.  The anchor
+  // latches on first use so pre-built budgets do not tick early.
+  double elapsed_ms() const {
+    const long long now = now_ns();
+    long long t0 = t0_ns_.load(std::memory_order_relaxed);
+    if (t0 == 0) {
+      long long expected = 0;
+      t0_ns_.compare_exchange_strong(expected, now,
+                                     std::memory_order_relaxed);
+      t0 = t0_ns_.load(std::memory_order_relaxed);
+    }
+    return (static_cast<double>(now - t0) +
+            static_cast<double>(skew_ns_.load(std::memory_order_relaxed))) /
+           1e6;
+  }
+
+  // Deterministic wall-clock skew for tests and the slow_step_skew
+  // faultpoint: makes "the deadline passed" reproducible without
+  // sleeping.
+  void add_skew_ms(double ms) {
+    skew_ns_.fetch_add(static_cast<long long>(ms * 1e6),
+                       std::memory_order_relaxed);
+  }
+
+ private:
+  static long long now_ns() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  mutable std::atomic<long> iterations_{0};
+  mutable std::atomic<long> steps_{0};
+  mutable std::atomic<long long> skew_ns_{0};
+  mutable std::atomic<long long> t0_ns_{0};  // 0 = not started yet
+};
+
+}  // namespace msim::core

@@ -1,0 +1,126 @@
+// msim::faultpoint -- deterministic fault-injection registry.
+//
+// A faultpoint is a named site compiled into a recovery path ("what if
+// this factorization fails?", "what if a device evaluates to NaN?").
+// Tests arm a site by name; the instrumented code asks fires() and
+// takes the failure branch when armed.  Addressing is deterministic:
+//
+//   * count-based: arm(site, fires, skips) trips on hits
+//     skips+1 .. skips+fires of the site in *call order* -- exact for
+//     serial code paths;
+//   * index-based: arm(site, fires, 0, match) trips only when the
+//     caller passes that index (MC sample number, frequency index),
+//     which stays deterministic even when hits race across worker
+//     threads.
+//
+// Compile gating: sites are built only when MSIM_FAULTPOINTS is
+// defined (the default build defines it; configure with
+// -DMSIM_FAULTPOINTS=OFF for a production binary).  When off, the
+// MSIM_FAULTPOINT macros are the literal constant `false` -- zero code,
+// zero data.  When on but nothing armed, a site costs one relaxed
+// atomic load.
+//
+// Header-only on purpose: the sites live in msim_circuit and
+// msim_numeric as well as msim_analysis, and a header keeps the
+// registry free of link-dependency knots (function-local statics in
+// inline functions are shared process-wide).
+#pragma once
+
+#if defined(MSIM_FAULTPOINTS)
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace msim::core::faultpoint {
+
+struct Site {
+  long skips = 0;        // hits to let pass before tripping
+  long fires = 0;        // trips remaining (site disarms at 0)
+  long long match = -1;  // -1 = any index, else trip only on this index
+  long trips = 0;        // total trips since arm()
+};
+
+namespace detail {
+
+inline std::atomic<int>& armed_count() {
+  static std::atomic<int> n{0};
+  return n;
+}
+inline std::mutex& mu() {
+  static std::mutex m;
+  return m;
+}
+inline std::map<std::string, Site>& sites() {
+  static std::map<std::string, Site> s;
+  return s;
+}
+
+}  // namespace detail
+
+// Arms `site` to trip on its next `fires` qualifying hits (after
+// `skips` non-qualifying ones).  `match` restricts tripping to hits
+// whose caller-supplied index equals it.  Re-arming replaces the state.
+inline void arm(const std::string& site, long fires = 1, long skips = 0,
+                long long match = -1) {
+  std::lock_guard<std::mutex> g(detail::mu());
+  auto [it, inserted] = detail::sites().insert_or_assign(
+      site, Site{skips, fires, match, 0});
+  (void)it;
+  if (inserted)
+    detail::armed_count().fetch_add(1, std::memory_order_relaxed);
+}
+
+inline void disarm(const std::string& site) {
+  std::lock_guard<std::mutex> g(detail::mu());
+  if (detail::sites().erase(site))
+    detail::armed_count().fetch_sub(1, std::memory_order_relaxed);
+}
+
+inline void disarm_all() {
+  std::lock_guard<std::mutex> g(detail::mu());
+  detail::armed_count().fetch_sub(
+      static_cast<int>(detail::sites().size()), std::memory_order_relaxed);
+  detail::sites().clear();
+}
+
+// Trips recorded for `site` since it was last armed (0 if never armed).
+inline long trip_count(const std::string& site) {
+  std::lock_guard<std::mutex> g(detail::mu());
+  const auto it = detail::sites().find(site);
+  return it == detail::sites().end() ? 0 : it->second.trips;
+}
+
+// The instrumented-code side: true when the armed state says this hit
+// must fail.  Fast path (nothing armed anywhere) is one relaxed load.
+inline bool fires(const char* site, long long index = -1) {
+  if (detail::armed_count().load(std::memory_order_relaxed) == 0)
+    return false;
+  std::lock_guard<std::mutex> g(detail::mu());
+  const auto it = detail::sites().find(site);
+  if (it == detail::sites().end()) return false;
+  Site& s = it->second;
+  if (s.match >= 0 && index != s.match) return false;
+  if (s.skips > 0) {
+    --s.skips;
+    return false;
+  }
+  if (s.fires <= 0) return false;
+  --s.fires;
+  ++s.trips;
+  return true;
+}
+
+}  // namespace msim::core::faultpoint
+
+#define MSIM_FAULTPOINT(site) (::msim::core::faultpoint::fires(site))
+#define MSIM_FAULTPOINT_AT(site, idx) \
+  (::msim::core::faultpoint::fires(site, (idx)))
+
+#else  // !MSIM_FAULTPOINTS
+
+#define MSIM_FAULTPOINT(site) (false)
+#define MSIM_FAULTPOINT_AT(site, idx) (false)
+
+#endif

@@ -36,12 +36,14 @@ struct ThreadPool::Job {
   std::atomic<std::size_t> next{0};
   std::atomic<int> slots{0};  // pool workers still allowed to join
   std::atomic<bool> abort{false};
+  const RunBudget* budget = nullptr;  // cooperative cancel, may be null
   std::exception_ptr error;
   std::mutex err_mu;
 
   void work() {
     for (;;) {
       if (abort.load(std::memory_order_relaxed)) return;
+      if (budget && budget->exhausted()) return;
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return;
       try {
@@ -109,13 +111,15 @@ void ThreadPool::worker_loop() {
 }
 
 void ThreadPool::run(std::size_t n, int max_workers,
-                     const std::function<void(std::size_t)>& fn) {
+                     const std::function<void(std::size_t)>& fn,
+                     const RunBudget* budget) {
   std::lock_guard<std::mutex> submit(impl_->submit_mu);
   ensure_workers(max_workers - 1);
 
   auto j = std::make_shared<Job>();
   j->fn = &fn;
   j->n = n;
+  j->budget = budget;
   j->slots.store(max_workers - 1, std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lk(impl_->mu);
@@ -135,13 +139,17 @@ void ThreadPool::run(std::size_t n, int max_workers,
 }
 
 void parallel_for(int threads, std::size_t n,
-                  const std::function<void(std::size_t)>& fn) {
+                  const std::function<void(std::size_t)>& fn,
+                  const RunBudget* budget) {
   if (threads == 0) threads = default_thread_count();
   if (threads <= 1 || n <= 1) {
-    for (std::size_t i = 0; i < n; ++i) fn(i);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (budget && budget->exhausted()) return;
+      fn(i);
+    }
     return;
   }
-  ThreadPool::global().run(n, threads, fn);
+  ThreadPool::global().run(n, threads, fn, budget);
 }
 
 std::size_t default_chunk(int threads, std::size_t n) {
@@ -151,11 +159,15 @@ std::size_t default_chunk(int threads, std::size_t n) {
 }
 
 void parallel_for_chunked(int threads, std::size_t n, std::size_t chunk,
-                          const std::function<void(std::size_t)>& fn) {
+                          const std::function<void(std::size_t)>& fn,
+                          const RunBudget* budget) {
   if (threads == 0) threads = default_thread_count();
   if (chunk == 0) chunk = default_chunk(threads, n);
   if (threads <= 1 || n <= 1 || chunk >= n) {
-    for (std::size_t i = 0; i < n; ++i) fn(i);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (budget && budget->exhausted()) return;
+      fn(i);
+    }
     return;
   }
   const std::size_t blocks = (n + chunk - 1) / chunk;
@@ -164,7 +176,7 @@ void parallel_for_chunked(int threads, std::size_t n, std::size_t chunk,
     const std::size_t hi = std::min(n, lo + chunk);
     for (std::size_t i = lo; i < hi; ++i) fn(i);
   };
-  ThreadPool::global().run(blocks, threads, block_fn);
+  ThreadPool::global().run(blocks, threads, block_fn, budget);
 }
 
 }  // namespace msim::core

@@ -18,6 +18,8 @@
 #include <thread>
 #include <vector>
 
+#include "core/budget.h"
+
 namespace msim::core {
 
 // Worker count used when a caller passes threads = 0 ("auto"): the
@@ -29,8 +31,17 @@ int default_thread_count();
 //   threads <= 1 : serial in the calling thread (no pool involvement).
 //   threads == 0 : default_thread_count() workers.
 //   threads >= 2 : at most `threads` workers (calling thread included).
+//
+// Cooperative cancellation: with a non-null `budget`, every worker
+// re-checks budget->exhausted() before claiming another index (another
+// chunk for parallel_for_chunked) and stops claiming once it trips.
+// Indices already running finish normally; indices never claimed are
+// simply not run -- callers that must distinguish "not run" from "ran"
+// pre-fill their result slots with a skip marker before the loop (the
+// MC harness and the transient sweep do exactly this).
 void parallel_for(int threads, std::size_t n,
-                  const std::function<void(std::size_t)>& fn);
+                  const std::function<void(std::size_t)>& fn,
+                  const RunBudget* budget = nullptr);
 
 // Scheduling-granularity heuristic for parallel_for_chunked: about 8
 // chunks per worker, so work-stealing can still balance uneven task
@@ -47,7 +58,8 @@ std::size_t default_chunk(int threads, std::size_t n);
 // microsecond-scale task the handoff traffic alone can make 8 threads
 // slower than serial.
 void parallel_for_chunked(int threads, std::size_t n, std::size_t chunk,
-                          const std::function<void(std::size_t)>& fn);
+                          const std::function<void(std::size_t)>& fn,
+                          const RunBudget* budget = nullptr);
 
 // The process-wide pool behind parallel_for.  Workers are started
 // lazily (the pool grows to the largest worker count ever requested, up
@@ -60,9 +72,11 @@ class ThreadPool {
 
   // Runs fn over [0, n) using at most max_workers - 1 pool threads plus
   // the calling thread.  Blocks until every index has run; rethrows the
-  // first captured exception.
+  // first captured exception.  A non-null budget stops workers claiming
+  // further indices once it reports exhausted().
   void run(std::size_t n, int max_workers,
-           const std::function<void(std::size_t)>& fn);
+           const std::function<void(std::size_t)>& fn,
+           const RunBudget* budget = nullptr);
 
   int size() const { return static_cast<int>(workers_.size()); }
 

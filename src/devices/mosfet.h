@@ -76,6 +76,10 @@ class Mosfet : public ckt::Device {
   void append_noise_sources(std::vector<ckt::NoiseSource>& out,
                             double temp_k) const override;
   void set_temperature(double temp_k) override;
+  std::vector<std::pair<std::string, double>> param_values() const override {
+    return {{"w", w_},         {"l", l_},          {"vth0", p_.vth0},
+            {"kp", p_.kp},     {"lambda", p_.lambda}};
+  }
 
   // Evaluates the large-signal model at given *external* terminal
   // voltages; exposed for unit tests and the design-equation module.

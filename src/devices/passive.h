@@ -36,6 +36,9 @@ class Resistor : public ckt::Device {
   void append_noise_sources(std::vector<ckt::NoiseSource>& out,
                             double temp_k) const override;
   void set_temperature(double temp_k) override;
+  std::vector<std::pair<std::string, double>> param_values() const override {
+    return {{"resistance", r_nom_}};
+  }
 
  private:
   void update();
@@ -67,6 +70,9 @@ class Capacitor : public ckt::Device {
   void stamp_ac(ckt::AcStampContext& ctx) const override;
   void begin_transient(const num::RealVector& x_op) override;
   void accept_step(const num::RealVector& x, double dt) override;
+  std::vector<std::pair<std::string, double>> param_values() const override {
+    return {{"capacitance", c_}};
+  }
 
  private:
   double branch_voltage(const num::RealVector& x) const;
@@ -93,6 +99,9 @@ class Inductor : public ckt::Device {
   void stamp_ac(ckt::AcStampContext& ctx) const override;
   void begin_transient(const num::RealVector& x_op) override;
   void accept_step(const num::RealVector& x, double dt) override;
+  std::vector<std::pair<std::string, double>> param_values() const override {
+    return {{"inductance", l_}};
+  }
 
  private:
   double l_;

@@ -32,6 +32,9 @@ class VSource : public ckt::Device {
   static void stamp_batch(const ckt::Device* const* devs,
                           std::size_t n, ckt::StampContext& ctx);
   void stamp_ac(ckt::AcStampContext& ctx) const override;
+  std::vector<std::pair<std::string, double>> param_values() const override {
+    return {{"dc", wave_.dc_value()}, {"ac_mag", wave_.ac_mag()}};
+  }
 
  private:
   Waveform wave_;
@@ -53,6 +56,9 @@ class ISource : public ckt::Device {
   static void stamp_batch(const ckt::Device* const* devs,
                           std::size_t n, ckt::StampContext& ctx);
   void stamp_ac(ckt::AcStampContext& ctx) const override;
+  std::vector<std::pair<std::string, double>> param_values() const override {
+    return {{"dc", wave_.dc_value()}, {"ac_mag", wave_.ac_mag()}};
+  }
 
  private:
   Waveform wave_;

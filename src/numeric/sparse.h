@@ -288,6 +288,20 @@ class SparseLu {
   bool singular() const { return singular_; }
   int singular_col() const { return singular_col_; }
   double min_pivot() const { return min_pivot_; }
+  double max_pivot() const { return max_pivot_; }
+  // Numerical-health probes over the last successful factorization.
+  // Pivot growth max|U_ii| / max|A_ij| >> 1 means elimination amplified
+  // the input values (threshold pivoting admitted a bad pivot); the
+  // diagonal ratio max|U_ii| / min|U_ii| is a free lower bound on the
+  // condition number (the true cond(A) can only be larger).  Both cost
+  // nothing beyond two running maxima -- cheap enough to gate the
+  // residual check in RealSystem::solve on every solve.
+  double pivot_growth() const {
+    return a_max_ > 0.0 ? max_pivot_ / a_max_ : 0.0;
+  }
+  double condition_estimate() const {
+    return min_pivot_ > 0.0 ? max_pivot_ / min_pivot_ : 0.0;
+  }
   std::size_t size() const { return static_cast<std::size_t>(n_); }
   // True once a pivot order + fill pattern is cached.
   bool has_symbolic() const { return sym_ != nullptr; }
@@ -347,6 +361,8 @@ class SparseLu {
   bool singular_ = false;
   int singular_col_ = -1;
   double min_pivot_ = 0.0;
+  double max_pivot_ = 0.0;
+  double a_max_ = 0.0;  // largest |A_ij| of the last factored matrix
 
   // Immutable shared structure: pivot order (rowperm/colperm/qinv) plus
   // L (strictly lower, unit diagonal) and U (upper, diagonal first in

@@ -1,0 +1,6 @@
+* fault: literal NaN resistance (bad expression upstream of the card)
+v1 a 0 dc 1
+r1 a b nan
+r2 b 0 1k
+.op
+.end

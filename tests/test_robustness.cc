@@ -1,0 +1,557 @@
+// Run budgets, cooperative cancellation, and fault-injection recovery.
+//
+// Every analysis honors a RunBudget by returning a structured PARTIAL
+// result (never an exception): transient keeps the accepted waveform
+// plus a restart checkpoint, MC keeps per-sample diagnostics for the
+// samples the budget skipped, AC/noise keep the solved grid prefix,
+// sweeps mark the points that never ran.  The faultpoint tests walk the
+// recovery paths that only fire when something actually breaks: failed
+// factorizations, NaN device evaluations, failed cache adoption, and
+// the sparse solver's iterative-refinement health monitor.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "analysis/ac.h"
+#include "analysis/montecarlo.h"
+#include "analysis/noise.h"
+#include "analysis/op.h"
+#include "analysis/sweep.h"
+#include "analysis/transient.h"
+#include "circuit/lint.h"
+#include "circuit/netlist.h"
+#include "core/budget.h"
+#include "core/faultpoint.h"
+#include "devices/diode.h"
+#include "devices/passive.h"
+#include "devices/sources.h"
+#include "numeric/rng.h"
+#include "spicefmt/parser.h"
+
+namespace {
+
+using namespace msim;
+
+std::string fault_path(const char* name) {
+  return std::string(MSIM_TEST_DIR) + "/faults/" + name;
+}
+
+// Series diode stack: nonlinear enough that Newton needs several
+// iterations, so iteration-cap budgets can expire mid-solve.
+void build_diode_stack(ckt::Netlist& nl) {
+  const auto top = nl.node("n0");
+  nl.add<dev::VSource>("V1", top, ckt::kGround, 3.0);
+  ckt::NodeId prev = top;
+  for (int i = 0; i < 4; ++i) {
+    const auto next = (i == 3) ? ckt::kGround
+                               : nl.node("n" + std::to_string(i + 1));
+    nl.add<dev::Diode>("D" + std::to_string(i), prev, next,
+                       dev::DiodeParams{});
+    prev = next;
+  }
+}
+
+// RC low-pass driven by a sine: linear, cheap, many transient steps.
+void build_rc(ckt::Netlist& nl) {
+  const auto in = nl.node("in");
+  const auto out = nl.node("out");
+  nl.add<dev::VSource>("Vin", in, ckt::kGround,
+                       dev::Waveform::sine(0.0, 1.0, 10e3));
+  nl.add<dev::Resistor>("R1", in, out, 1e3);
+  nl.add<dev::Capacitor>("C1", out, ckt::kGround, 10e-9);
+}
+
+// ---- run budgets: structured partial results ------------------------
+
+TEST(Budget, OpIterationCapReportsBudgetExceeded) {
+  ckt::Netlist nl;
+  build_diode_stack(nl);
+  core::RunBudget budget;
+  budget.max_newton_iterations = 2;
+  an::OpOptions opt;
+  opt.budget = &budget;
+  const auto op = an::solve_op(nl, opt);
+  EXPECT_FALSE(op.converged);
+  EXPECT_EQ(op.diag.status, an::SolveStatus::kBudgetExceeded);
+  EXPECT_FALSE(op.diag.detail.empty());
+  EXPECT_GE(budget.iterations_used(), 2);
+}
+
+TEST(Budget, OpCancelTokenReportsCancelled) {
+  ckt::Netlist nl;
+  build_diode_stack(nl);
+  core::CancelToken cancel;
+  cancel.request();
+  core::RunBudget budget;
+  budget.cancel = &cancel;
+  an::OpOptions opt;
+  opt.budget = &budget;
+  const auto op = an::solve_op(nl, opt);
+  EXPECT_FALSE(op.converged);
+  EXPECT_EQ(op.diag.status, an::SolveStatus::kCancelled);
+}
+
+TEST(Budget, TransientStepCapKeepsWaveformAndCheckpoint) {
+  ckt::Netlist nl;
+  build_rc(nl);
+  core::RunBudget budget;
+  budget.max_steps = 10;
+  an::TranOptions t;
+  t.t_stop = 100e-6;
+  t.dt = 1e-6;  // would need 100 steps
+  t.budget = &budget;
+  const auto r = an::run_transient(nl, t);
+  EXPECT_FALSE(r.ok);
+  ASSERT_TRUE(r.truncated);
+  EXPECT_EQ(r.telemetry.accepted_steps, 10);
+  EXPECT_TRUE(r.telemetry.budget_truncated);
+  EXPECT_EQ(r.telemetry.budget_stop, "steps");
+  EXPECT_EQ(r.diag.status, an::SolveStatus::kBudgetExceeded);
+  EXPECT_EQ(r.diag.stage, "tran");
+  EXPECT_NE(r.diag.detail.find("truncated at t"), std::string::npos);
+  // The waveform up to the cut is kept, and the checkpoint is the last
+  // accepted state (a restart handle).
+  ASSERT_FALSE(r.time.empty());
+  EXPECT_NEAR(r.t_checkpoint, r.time.back(), 1e-15);
+  ASSERT_FALSE(r.x.empty());
+  EXPECT_EQ(r.x_checkpoint.size(), r.x.back().size());
+  for (std::size_t i = 0; i < r.x_checkpoint.size(); ++i)
+    EXPECT_EQ(r.x_checkpoint[i], r.x.back()[i]);
+}
+
+TEST(Budget, TransientCancelBeforeOpIsStructured) {
+  ckt::Netlist nl;
+  build_rc(nl);
+  core::CancelToken cancel;
+  cancel.request();
+  core::RunBudget budget;
+  budget.cancel = &cancel;
+  an::TranOptions t;
+  t.t_stop = 10e-6;
+  t.dt = 1e-6;
+  t.budget = &budget;
+  const auto r = an::run_transient(nl, t);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.diag.status, an::SolveStatus::kCancelled);
+  EXPECT_TRUE(r.telemetry.budget_truncated);
+  EXPECT_EQ(r.telemetry.budget_stop, "cancelled");
+}
+
+TEST(Budget, AdaptiveTransientHonorsStepCap) {
+  ckt::Netlist nl;
+  build_rc(nl);
+  core::RunBudget budget;
+  budget.max_steps = 6;
+  an::TranOptions t;
+  t.adaptive = true;
+  t.t_stop = 200e-6;
+  t.dt = 1e-6;
+  t.budget = &budget;
+  const auto r = an::run_transient(nl, t);
+  ASSERT_TRUE(r.truncated);
+  EXPECT_EQ(r.telemetry.accepted_steps, 6);
+  EXPECT_EQ(r.telemetry.budget_stop, "steps");
+  EXPECT_LT(r.t_checkpoint, t.t_stop);
+}
+
+TEST(Budget, MonteCarloBudgetSkipsAreStructuredFailures) {
+  core::RunBudget budget;
+  budget.max_steps = 4;
+  an::McOptions opt;
+  opt.threads = 1;
+  opt.budget = &budget;
+  num::Rng rng(11);
+  const auto st = an::monte_carlo_diag(
+      10, rng,
+      [](num::Rng& r) { return an::McTrial::of(r.normal(0.0, 1.0)); },
+      opt);
+  EXPECT_EQ(st.samples.size(), 4u);
+  EXPECT_EQ(st.failures, 6);
+  ASSERT_EQ(st.failure_diags.size(), 6u);
+  for (const auto& f : st.failure_diags) {
+    EXPECT_EQ(f.diag.status, an::SolveStatus::kBudgetExceeded);
+    EXPECT_NE(f.diag.detail.find("deadline_exceeded"), std::string::npos);
+  }
+  EXPECT_EQ(st.failure_causes().at("budget_exceeded"), 6);
+}
+
+TEST(Budget, MonteCarloParallelWorkersStopClaiming) {
+  // With racing workers the exact cut point is not deterministic, but
+  // the structural contract holds: every sample is either a good value
+  // or a structured budget failure, and at least one of each exists.
+  core::RunBudget budget;
+  budget.max_steps = 3;
+  an::McOptions opt;
+  opt.threads = 4;
+  opt.chunk = 1;
+  opt.budget = &budget;
+  num::Rng rng(11);
+  const auto st = an::monte_carlo_diag(
+      32, rng,
+      [](num::Rng& r) { return an::McTrial::of(r.normal(0.0, 1.0)); },
+      opt);
+  EXPECT_EQ(st.samples.size() + st.failure_diags.size(), 32u);
+  EXPECT_GE(st.samples.size(), 3u);
+  EXPECT_GE(st.failures, 1);
+  for (const auto& f : st.failure_diags)
+    EXPECT_EQ(f.diag.status, an::SolveStatus::kBudgetExceeded);
+}
+
+TEST(Budget, AcGridKeepsSolvedPrefix) {
+  ckt::Netlist nl;
+  const auto in = nl.node("in");
+  const auto out = nl.node("out");
+  nl.add<dev::VSource>("V1", in, ckt::kGround,
+                       dev::Waveform::dc(0.0).with_ac(1.0));
+  nl.add<dev::Resistor>("R1", in, out, 1e3);
+  nl.add<dev::Capacitor>("C1", out, ckt::kGround, 1e-9);
+  const auto freqs = an::log_frequencies(10.0, 1e6, 2);
+  ASSERT_GT(freqs.size(), 5u);
+  core::RunBudget budget;
+  budget.max_steps = 5;
+  an::AcOptions opt;
+  opt.budget = &budget;
+  const auto ac = an::run_ac_diag(nl, freqs, opt);
+  EXPECT_FALSE(ac.ok());
+  ASSERT_TRUE(ac.truncated);
+  EXPECT_EQ(ac.solutions.size(), 5u);
+  EXPECT_EQ(ac.diag.status, an::SolveStatus::kBudgetExceeded);
+  EXPECT_EQ(ac.diag.stage, "ac");
+  EXPECT_NE(ac.diag.detail.find("truncated"), std::string::npos);
+  // The kept prefix is the real solution: DC-adjacent point has unity
+  // transfer through the RC.
+  EXPECT_NEAR(std::abs(ac.v(0, out)), 1.0, 1e-3);
+}
+
+TEST(Budget, NoiseGridKeepsSolvedPrefix) {
+  ckt::Netlist nl;
+  const auto in = nl.node("in");
+  const auto out = nl.node("out");
+  nl.add<dev::VSource>("V1", in, ckt::kGround,
+                       dev::Waveform::dc(0.0).with_ac(1.0));
+  nl.add<dev::Resistor>("R1", in, out, 10e3);
+  nl.add<dev::Resistor>("R2", out, ckt::kGround, 10e3);
+  an::NoiseOptions nopt;
+  nopt.out_p = out;
+  nopt.input_source = "V1";
+  core::RunBudget budget;
+  budget.max_steps = 4;
+  nopt.budget = &budget;
+  const auto freqs = an::log_frequencies(10.0, 1e5, 2);
+  ASSERT_GT(freqs.size(), 4u);
+  const auto res = an::run_noise_diag(nl, freqs, nopt);
+  EXPECT_FALSE(res.ok());
+  ASSERT_TRUE(res.truncated);
+  EXPECT_EQ(res.points.size(), 4u);
+  EXPECT_EQ(res.diag.status, an::SolveStatus::kBudgetExceeded);
+  EXPECT_EQ(res.diag.stage, "noise");
+  for (const auto& p : res.points) {
+    EXPECT_TRUE(std::isfinite(p.s_out));
+    EXPECT_GT(p.s_out, 0.0);
+  }
+}
+
+TEST(Budget, DcSweepMarksPointsNotRun) {
+  ckt::Netlist nl;
+  build_diode_stack(nl);
+  auto* src = nl.find_as<dev::VSource>("V1");
+  ASSERT_NE(src, nullptr);
+  core::RunBudget budget;
+  budget.max_newton_iterations = 1;
+  an::OpOptions opt;
+  opt.budget = &budget;
+  const auto sweep = an::dc_sweep(
+      nl, {1.0, 2.0, 3.0},
+      [&](double v) { src->set_waveform(dev::Waveform::dc(v)); }, opt);
+  ASSERT_EQ(sweep.size(), 3u);
+  // Point 0 started and was cut mid-Newton; points 1..2 never ran.
+  EXPECT_FALSE(sweep[0].op.converged);
+  EXPECT_EQ(sweep[0].op.diag.status, an::SolveStatus::kBudgetExceeded);
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    EXPECT_EQ(sweep[i].op.diag.status,
+              an::SolveStatus::kBudgetExceeded);
+    EXPECT_NE(sweep[i].op.diag.detail.find("point not run"),
+              std::string::npos);
+  }
+}
+
+TEST(Budget, TransientSweepMarksCasesNotRun) {
+  core::RunBudget budget;
+  budget.max_steps = 5;
+  an::TranSweepOptions sopt;
+  sopt.threads = 1;
+  sopt.budget = &budget;
+  const auto results = an::run_transient_sweep(
+      4,
+      [](std::size_t, ckt::Netlist& nl, an::TranOptions& t) {
+        build_rc(nl);
+        t.t_stop = 20e-6;
+        t.dt = 1e-6;
+      },
+      sopt);
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_TRUE(results[0].truncated);
+  EXPECT_EQ(results[0].telemetry.accepted_steps, 5);
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    EXPECT_FALSE(results[i].ok);
+    EXPECT_TRUE(an::is_budget_stop(results[i].diag.status));
+    EXPECT_NE(results[i].diag.detail.find("case not run"),
+              std::string::npos);
+  }
+}
+
+// ---- lint: non-finite device parameters -----------------------------
+
+TEST(Lint, NonFiniteParamRejectedWithSourceLine) {
+  auto parsed = spice::parse_netlist_file(fault_path("nan_param.sp"));
+  const auto issues = ckt::lint(*parsed.netlist);
+  ASSERT_TRUE(ckt::lint_has_errors(issues));
+  bool found = false;
+  for (const auto& i : issues) {
+    if (i.kind != ckt::LintKind::kNonFiniteParam) continue;
+    found = true;
+    EXPECT_EQ(i.severity, ckt::LintSeverity::kError);
+    EXPECT_EQ(i.device, "r1");
+    EXPECT_EQ(i.line, 3);  // the `r1 a b nan` card
+  }
+  EXPECT_TRUE(found);
+
+  // The default preflight turns the lint error into a structured
+  // topology failure before any matrix is assembled.
+  const auto op = an::solve_op(*parsed.netlist);
+  EXPECT_FALSE(op.converged);
+  EXPECT_EQ(op.diag.status, an::SolveStatus::kBadTopology);
+  EXPECT_NE(op.diag.detail.find("non_finite_param"), std::string::npos);
+}
+
+#if defined(MSIM_FAULTPOINTS)
+
+// ---- deterministic fault injection ----------------------------------
+
+namespace fp = core::faultpoint;
+
+// Disarms every site on scope exit so a failing assertion cannot leak
+// armed faults into later tests.
+struct FaultGuard {
+  FaultGuard() { fp::disarm_all(); }
+  ~FaultGuard() { fp::disarm_all(); }
+};
+
+TEST(FaultPoint, SlowStepSkewDrivesDeadlineDeterministically) {
+  FaultGuard guard;
+  ckt::Netlist nl;
+  build_rc(nl);
+  core::RunBudget budget(1e9);  // would never expire on its own
+  an::TranOptions t;
+  t.t_stop = 100e-6;
+  t.dt = 1e-6;
+  t.budget = &budget;
+  // Skip the first 3 loop-top polls, then inject enough clock skew to
+  // blow the deadline: exactly 3 steps are accepted, reproducibly,
+  // without the test ever sleeping.
+  fp::arm("slow_step_skew", 1, 3);
+  const auto r = an::run_transient(nl, t);
+  EXPECT_EQ(fp::trip_count("slow_step_skew"), 1);
+  ASSERT_TRUE(r.truncated);
+  EXPECT_EQ(r.telemetry.accepted_steps, 3);
+  EXPECT_EQ(r.telemetry.budget_stop, "deadline");
+  EXPECT_EQ(r.diag.status, an::SolveStatus::kBudgetExceeded);
+}
+
+TEST(FaultPoint, MonteCarloPoisonedSampleThreadInvariant) {
+  // One injected-NaN sample among 8: statistics over the other 7, one
+  // structured kNonFinite diag, bit-identical at 1, 2, and 8 threads.
+  FaultGuard guard;
+  std::vector<std::vector<double>> per_thread_samples;
+  for (int threads : {1, 2, 8}) {
+    fp::arm("mc_sample_nan", /*fires=*/1, /*skips=*/0, /*match=*/3);
+    an::McOptions opt;
+    opt.threads = threads;
+    num::Rng rng(42);
+    const auto st = an::monte_carlo_diag(
+        8, rng,
+        [](num::Rng& r) { return an::McTrial::of(r.normal(0.0, 1.0)); },
+        opt);
+    EXPECT_EQ(fp::trip_count("mc_sample_nan"), 1) << threads;
+    ASSERT_EQ(st.samples.size(), 7u) << threads;
+    EXPECT_EQ(st.failures, 1) << threads;
+    ASSERT_EQ(st.failure_diags.size(), 1u) << threads;
+    EXPECT_EQ(st.failure_diags[0].sample, 3) << threads;
+    EXPECT_EQ(st.failure_diags[0].diag.status,
+              an::SolveStatus::kNonFinite)
+        << threads;
+    per_thread_samples.push_back(st.samples);
+    fp::disarm_all();
+  }
+  // Bit-identical statistics at every thread count.
+  for (std::size_t k = 1; k < per_thread_samples.size(); ++k) {
+    ASSERT_EQ(per_thread_samples[k].size(), per_thread_samples[0].size());
+    for (std::size_t i = 0; i < per_thread_samples[0].size(); ++i)
+      EXPECT_EQ(per_thread_samples[k][i], per_thread_samples[0][i]);
+  }
+}
+
+TEST(FaultPoint, TransientFactorizationFailureRecoversViaHomotopy) {
+  // A single forced factor() failure looks like a singular matrix; the
+  // op solver's fallback ladder retries and still lands on the exact
+  // divider solution instead of crashing or reusing the stale LU.
+  FaultGuard guard;
+  ckt::Netlist nl;
+  const auto a = nl.node("a");
+  nl.add<dev::VSource>("V1", a, ckt::kGround, 1.0);
+  nl.add<dev::Resistor>("R1", a, ckt::kGround, 1e3);
+  fp::arm("sparse_factor_fail", 1);
+  const auto op = an::solve_op(nl);
+  EXPECT_EQ(fp::trip_count("sparse_factor_fail"), 1);
+  ASSERT_TRUE(op.converged) << op.diag.message();
+  EXPECT_NEAR(op.v(a), 1.0, 1e-12);
+
+  // A persistent failure (every factor attempt) is not recoverable and
+  // must surface as a structured singular-matrix diagnosis.
+  fp::arm("sparse_factor_fail", 1000000);
+  const auto bad = an::solve_op(nl);
+  fp::disarm_all();
+  EXPECT_FALSE(bad.converged);
+  EXPECT_EQ(bad.diag.status, an::SolveStatus::kSingularMatrix);
+}
+
+TEST(FaultPoint, FailedFactorizationInTransientInvalidatesAndRecovers) {
+  // A failed factor() leaves the PREVIOUS numeric LU inside the solver;
+  // newton_step must mark it non-reusable and re-factor, not silently
+  // solve against the stale one.  The run recovers through the standard
+  // step-halving path and finishes with the same waveform.
+  FaultGuard guard;
+  auto build = [](ckt::Netlist& nl) {
+    const auto in = nl.node("in");
+    const auto out = nl.node("out");
+    nl.add<dev::VSource>("Vin", in, ckt::kGround,
+                         dev::Waveform::sine(0.0, 2.0, 1e3));
+    nl.add<dev::Diode>("D1", in, out, dev::DiodeParams{});
+    nl.add<dev::Resistor>("RL", out, ckt::kGround, 1e4);
+    nl.add<dev::Capacitor>("CL", out, ckt::kGround, 1e-9);
+  };
+  an::TranOptions t;
+  t.t_stop = 200e-6;
+  t.dt = 5e-6;
+
+  ckt::Netlist ref_nl;
+  build(ref_nl);
+  const auto ref = an::run_transient(ref_nl, t);
+  ASSERT_TRUE(ref.ok) << ref.diag.message();
+
+  // The op phase factors a deterministic number of times; skip exactly
+  // those hits so the trip lands on the transient's first factor.
+  ckt::Netlist count_nl;
+  build(count_nl);
+  const long op_factors =
+      an::solve_op(count_nl).solver_stats.factor_count;
+  ASSERT_GT(op_factors, 0);
+
+  ckt::Netlist nl;
+  build(nl);
+  fp::arm("sparse_factor_fail", 1, op_factors);
+  const auto r = an::run_transient(nl, t);
+  EXPECT_EQ(fp::trip_count("sparse_factor_fail"), 1);
+  ASSERT_TRUE(r.ok) << r.diag.message();
+  // The failure was observed and recovered from: a rejection, a dt cut,
+  // and a re-factorization (never a stale-LU reuse masquerading as ok).
+  EXPECT_GE(r.telemetry.rejected_newton, 1);
+  EXPECT_LT(r.telemetry.min_dt_used, t.dt);
+  ASSERT_EQ(r.time.size(), ref.time.size());
+  EXPECT_NEAR(r.x.back()[0], ref.x.back()[0], 1e-3);
+}
+
+TEST(FaultPoint, DeviceEvalNanIsRejectedAndRecovered) {
+  // One poisoned assembly: the Newton update goes non-finite, the
+  // solver rejects it and retries cleanly instead of propagating NaN
+  // into the solution.
+  FaultGuard guard;
+  ckt::Netlist nl;
+  build_diode_stack(nl);
+  fp::arm("device_eval_nan", 1);
+  const auto op = an::solve_op(nl);
+  EXPECT_EQ(fp::trip_count("device_eval_nan"), 1);
+  ASSERT_TRUE(op.converged) << op.diag.message();
+  for (std::size_t i = 0; i < op.x.size(); ++i)
+    EXPECT_TRUE(std::isfinite(op.x[i]));
+}
+
+TEST(FaultPoint, CacheAdoptFailureDegradesToLocalAnalysis) {
+  FaultGuard guard;
+  auto build = [](ckt::Netlist& nl) {
+    const auto a = nl.node("a");
+    const auto b = nl.node("b");
+    nl.add<dev::VSource>("V1", a, ckt::kGround, 2.0);
+    nl.add<dev::Resistor>("R1", a, b, 1e3);
+    nl.add<dev::Resistor>("R2", b, ckt::kGround, 1e3);
+  };
+  ckt::Netlist donor;
+  build(donor);
+  ASSERT_TRUE(an::solve_op(donor).converged);  // warm the donor's cache
+
+  ckt::Netlist with_cache;
+  build(with_cache);
+  with_cache.adopt_solver_cache(donor);
+  const auto op_cached = an::solve_op(with_cache);
+  ASSERT_TRUE(op_cached.converged);
+
+  ckt::Netlist degraded;
+  build(degraded);
+  fp::arm("cache_adopt_fail", 1);
+  degraded.adopt_solver_cache(donor);  // adoption silently fails
+  EXPECT_EQ(fp::trip_count("cache_adopt_fail"), 1);
+  const auto op_local = an::solve_op(degraded);
+  ASSERT_TRUE(op_local.converged);
+  // Identical result either way; the fallback only costs time.
+  ASSERT_EQ(op_local.x.size(), op_cached.x.size());
+  for (std::size_t i = 0; i < op_local.x.size(); ++i)
+    EXPECT_EQ(op_local.x[i], op_cached.x[i]);
+}
+
+// ---- numerical-health monitor ---------------------------------------
+
+TEST(HealthMonitor, IterativeRefinementRepairsPerturbedSolve) {
+  FaultGuard guard;
+  ckt::Netlist nl;
+  const auto a = nl.node("a");
+  const auto b = nl.node("b");
+  nl.add<dev::VSource>("V1", a, ckt::kGround, 2.0);
+  nl.add<dev::Resistor>("R1", a, b, 1e3);
+  nl.add<dev::Resistor>("R2", b, ckt::kGround, 1e3);
+  fp::arm("solve_perturb", 1);
+  const auto op = an::solve_op(nl);
+  EXPECT_EQ(fp::trip_count("solve_perturb"), 1);
+  ASSERT_TRUE(op.converged) << op.diag.message();
+  // The residual check caught the perturbed solution and one round of
+  // refinement repaired it; the answer is the clean divider voltage.
+  EXPECT_GE(op.solver_stats.refine_count, 1);
+  EXPECT_NEAR(op.v(b), 1.0, 1e-9);
+}
+
+TEST(HealthMonitor, RefinementFailureForcesRefactor) {
+  FaultGuard guard;
+  ckt::Netlist nl;
+  const auto a = nl.node("a");
+  const auto b = nl.node("b");
+  nl.add<dev::VSource>("V1", a, ckt::kGround, 2.0);
+  nl.add<dev::Resistor>("R1", a, b, 1e3);
+  nl.add<dev::Resistor>("R2", b, ckt::kGround, 1e3);
+  // Poison the direct solve AND the refined solve: the monitor must
+  // escalate to a forced refactorization and a clean re-solve.
+  fp::arm("solve_perturb", 1);
+  fp::arm("refine_perturb", 1);
+  const auto op = an::solve_op(nl);
+  ASSERT_TRUE(op.converged) << op.diag.message();
+  EXPECT_GE(op.solver_stats.refine_count, 1);
+  const auto it =
+      op.solver_stats.refactor_reasons.find("iterative_refinement");
+  ASSERT_NE(it, op.solver_stats.refactor_reasons.end());
+  EXPECT_GE(it->second, 1L);
+  EXPECT_NEAR(op.v(b), 1.0, 1e-9);
+}
+
+#endif  // MSIM_FAULTPOINTS
+
+}  // namespace

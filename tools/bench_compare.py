@@ -24,7 +24,7 @@ import json
 import sys
 
 SECTIONS = ("mc_configs", "chip_mc_configs", "ac_grid_configs",
-            "transient_configs", "assembly_configs")
+            "transient_configs", "budget_overhead", "assembly_configs")
 CONTRACT_FLAGS = (
     "stats_bit_identical_across_threads",
     "dense_sparse_stats_agree",
@@ -70,6 +70,14 @@ def main():
         "on every batched assembly_configs entry (default 1.3: the slot "
         "replay + devirtualized batches must stay clearly ahead of the "
         "binary-searched legacy path)",
+    )
+    ap.add_argument(
+        "--budget-threshold",
+        type=float,
+        default=0.01,
+        help="max fractional slowdown an armed-but-idle RunBudget may "
+        "add to the transient benches (default 0.01: the cooperative "
+        "cancellation polls must stay under 1%%)",
     )
     ap.add_argument(
         "--prepass-threshold",
@@ -121,6 +129,31 @@ def main():
                 f"(limit {100 * args.prepass_threshold:.2f}%)")
         print(f"  structural_prepass/{name:<16} adds {100 * frac:6.3f}% "
               f"of MC wall [{marker}]")
+
+    # Budget-overhead gate, judged absolutely on the candidate: an
+    # armed-but-idle RunBudget (cancellation polls only, never expiring)
+    # must cost under --budget-threshold of the plain run, and the
+    # budgeted waveform must be bit-identical to the unbudgeted one.
+    for cfg in cand.get("budget_overhead", []):
+        name = cfg.get("name", "?")
+        frac = cfg.get("overhead_fraction")
+        if frac is None:
+            failures.append(f"budget_overhead/{name}: "
+                            f"missing overhead_fraction")
+            continue
+        marker = "ok"
+        if frac >= args.budget_threshold:
+            marker = "TOO EXPENSIVE"
+            failures.append(
+                f"budget_overhead/{name}: armed-but-idle budget adds "
+                f"{100 * frac:.2f}% wall time "
+                f"(limit {100 * args.budget_threshold:.2f}%)")
+        if not cfg.get("waveforms_agree", False):
+            marker = "DISAGREE"
+            failures.append(f"budget_overhead/{name}: budgeted and "
+                            f"plain waveforms disagree")
+        print(f"  budget_overhead/{name:<18} adds {100 * frac:6.3f}% "
+              f"wall time [{marker}]")
 
     # Transient fast-path gate, judged absolutely on the candidate: the
     # modified-Newton / linear-fast-path policy must keep beating the

@@ -27,10 +27,17 @@
 // `--tran-stats` prints the factorization-reuse census plus the
 // stamp_ns / factor_ns / solve_ns wall-time breakdown as one JSON line
 // (where does solver time go: assembly, factorization, or solves).
+// `--budget-ms N` runs every analysis under a shared wall-clock
+// RunBudget: on expiry the analysis returns its structured partial
+// result (truncated waveform / solved grid prefix) and the CLI reports
+// the cut on stderr with exit code 4 instead of hanging.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
+
+#include "core/budget.h"
 
 #include "analysis/ac.h"
 #include "analysis/noise.h"
@@ -107,6 +114,7 @@ struct CliOptions {
   bool lint_strict = false;
   bool telemetry = true;
   bool tran_stats = false;  // factorization-reuse telemetry as JSON
+  double budget_ms = 0.0;   // shared wall-clock budget (0 = unlimited)
   std::vector<std::string> lint_disable;
 };
 
@@ -142,6 +150,11 @@ int run(const CliOptions& cli) {
     parsed.directives.push_back({"op", {}});
   }
 
+  // One shared budget across every directive of the run: the wall-clock
+  // limit bounds the whole invocation, not each analysis separately.
+  core::RunBudget budget(cli.budget_ms);
+  core::RunBudget* budget_p = cli.budget_ms > 0.0 ? &budget : nullptr;
+
   for (const auto& d : parsed.directives) {
     std::printf("* .%s", d.kind.c_str());
     for (const auto& a : d.args) std::printf(" %s", a.c_str());
@@ -149,6 +162,7 @@ int run(const CliOptions& cli) {
 
     an::OpOptions op_opt;
     op_opt.temp_k = temp_k;
+    op_opt.budget = budget_p;
 
     if (d.kind == "op") {
       const auto op = an::solve_op(nl, op_opt);
@@ -195,8 +209,10 @@ int run(const CliOptions& cli) {
         return 1;
       }
       const auto freqs = an::log_frequencies(f1, f2, ppd);
-      const auto ac = an::run_ac_diag(nl, freqs);
-      if (!ac.ok()) {
+      an::AcOptions aopt;
+      aopt.budget = budget_p;
+      const auto ac = an::run_ac_diag(nl, freqs, aopt);
+      if (!ac.ok() && !ac.truncated) {
         std::fprintf(stderr, "ac analysis failed: %s\n",
                      ac.diag.message().c_str());
         return 1;
@@ -206,7 +222,7 @@ int run(const CliOptions& cli) {
         std::printf(",mag(%s),phase_deg(%s)",
                     nl.node_name(p).c_str(), nl.node_name(p).c_str());
       std::printf("\n");
-      for (std::size_t i = 0; i < freqs.size(); ++i) {
+      for (std::size_t i = 0; i < ac.solutions.size(); ++i) {
         std::printf("%g", freqs[i]);
         for (auto p : probes) {
           const auto v = ac.v(i, p);
@@ -215,17 +231,23 @@ int run(const CliOptions& cli) {
         }
         std::printf("\n");
       }
+      if (ac.truncated) {
+        std::fprintf(stderr, "ac grid truncated: %s\n",
+                     ac.diag.message().c_str());
+        return 4;
+      }
     } else if (d.kind == "tran") {
       an::TranOptions t;
       t.dt = arg_num(d, 0);
       t.t_stop = arg_num(d, 1);
       t.temp_k = temp_k;
+      t.budget = budget_p;
       const auto res = an::run_transient(nl, t);
       if (cli.telemetry)
         std::fputs(res.telemetry.summary().c_str(), stderr);
       if (cli.tran_stats)
         std::printf("%s\n", res.telemetry.reuse_stats_json().c_str());
-      if (!res.ok) {
+      if (!res.ok && !res.truncated) {
         std::fprintf(stderr, "transient failed: %s\n",
                      res.diag.message().c_str());
         return 1;
@@ -237,6 +259,11 @@ int run(const CliOptions& cli) {
           std::printf(",%.6g",
                       p == ckt::kGround ? 0.0 : res.x[i][p - 1]);
         std::printf("\n");
+      }
+      if (res.truncated) {
+        std::fprintf(stderr, "transient truncated: %s\n",
+                     res.diag.message().c_str());
+        return 4;
       }
     } else if (d.kind == "noise") {
       // .noise out_node input_src dec N fstart fstop
@@ -253,11 +280,12 @@ int run(const CliOptions& cli) {
       nopt.out_p = nl.node(d.args[0]);
       nopt.input_source = d.args[1];
       nopt.temp_k = temp_k;
+      nopt.budget = budget_p;
       const int ppd = static_cast<int>(arg_num(d, 3));
       const auto freqs =
           an::log_frequencies(arg_num(d, 4), arg_num(d, 5), ppd);
       const auto res = an::run_noise_diag(nl, freqs, nopt);
-      if (!res.ok()) {
+      if (!res.ok() && !res.truncated) {
         std::fprintf(stderr, "noise analysis failed: %s\n",
                      res.diag.message().c_str());
         return 1;
@@ -266,6 +294,11 @@ int run(const CliOptions& cli) {
       for (const auto& p : res.points)
         std::printf("%g,%.6g,%.6g\n", p.freq_hz, p.s_out,
                     std::sqrt(p.s_in));
+      if (res.truncated) {
+        std::fprintf(stderr, "noise grid truncated: %s\n",
+                     res.diag.message().c_str());
+        return 4;
+      }
     } else {
       std::fprintf(stderr, "unsupported directive .%s (skipped)\n",
                    d.kind.c_str());
@@ -293,6 +326,8 @@ int main(int argc, char** argv) {
       cli.telemetry = false;
     else if (std::strcmp(argv[i], "--tran-stats") == 0)
       cli.tran_stats = true;
+    else if (std::strcmp(argv[i], "--budget-ms") == 0 && i + 1 < argc)
+      cli.budget_ms = std::atof(argv[++i]);
     else
       cli.path = argv[i];
   }
@@ -301,7 +336,7 @@ int main(int argc, char** argv) {
                  "usage: msim_cli <netlist.sp> [--probe n1,n2,...] "
                  "[--lint] [--lint-only] [--lint-strict] "
                  "[--lint-disable p1,p2,...] [--no-telemetry] "
-                 "[--tran-stats]\n");
+                 "[--tran-stats] [--budget-ms N]\n");
     return 2;
   }
   try {

@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
 # Static checks over src/: clang-tidy with the curated .clang-tidy set,
-# warnings promoted to errors.  Intended as a CI gate:
+# warnings promoted to errors, plus the fault-injection test suites
+# under an AddressSanitizer + UBSan build (the recovery paths those
+# tests walk -- failed factorizations, budget aborts, NaN injection --
+# are exactly where lifetime bugs hide).  Intended as a CI gate:
 #
 #   tools/run_static_checks.sh [build-dir]
 #
@@ -10,11 +13,43 @@
 # When clang-tidy is not installed the script prints a notice and exits
 # 0 so that environments without the LLVM toolchain (the minimal CI
 # image, contributor laptops) are not hard-blocked; install clang-tidy
-# (>= 14) to make the gate effective.
+# (>= 14) to make the gate effective.  The sanitizer pass likewise
+# degrades to a notice when cmake/ctest or a sanitizer-capable compiler
+# is unavailable.
 set -u
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
+
+# ---- sanitized fault-injection suites --------------------------------
+# Build the robustness suites with -fsanitize=address,undefined in a
+# dedicated build tree and run them via ctest.  Only the two fault
+# suites run here: they deliberately drive every recovery path, so they
+# give the sanitizers the best coverage per second.
+run_sanitized_faults() {
+  local san_dir="$repo_root/build-asan-ubsan"
+  if ! command -v cmake >/dev/null 2>&1 || ! command -v ctest >/dev/null 2>&1; then
+    echo "run_static_checks: cmake/ctest not found; skipping sanitized fault suites" >&2
+    return 0
+  fi
+  echo "run_static_checks: building fault suites with asan+ubsan in $san_dir" >&2
+  cmake -B "$san_dir" -S "$repo_root" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
+        -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined" \
+        >/dev/null 2>&1 || {
+    echo "run_static_checks: sanitized configure failed; skipping (compiler without asan/ubsan?)" >&2
+    return 0
+  }
+  cmake --build "$san_dir" -j "$(nproc 2>/dev/null || echo 2)" \
+        --target test_robustness test_op_robustness >/dev/null || return 1
+  (cd "$san_dir" && ctest --output-on-failure \
+        -R '^(test_robustness|test_op_robustness)$') || return 1
+  echo "run_static_checks: sanitized fault suites clean" >&2
+  return 0
+}
+
+run_sanitized_faults || exit 1
 
 tidy="${CLANG_TIDY:-clang-tidy}"
 if ! command -v "$tidy" >/dev/null 2>&1; then
