@@ -22,7 +22,9 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <functional>
 #include <limits>
@@ -73,22 +75,20 @@ struct McRun {
 // re-solve OP + one AC point, measure the closed-loop gain in dB.
 //
 // Every sample rebuilds the netlist (same topology, new values), so the
-// samples adopt the nominal build's solver cache: the sparse pattern and
-// symbolic factorization are computed once, up front and serially, and
-// shared read-only by every sample at every thread count.
+// scenario runs through monte_carlo_shared: sample 0 primes the solver
+// cache (sparse pattern, symbolic LU, stamp slots) and every later
+// sample adopts it after one fingerprint comparison -- the structural
+// hoist is the driver's job now, not the trial lambda's.
 McRun run_mc(const std::string& name, int samples, an::SolverKind solver,
              int threads, int repeats) {
   const auto pm = proc::ProcessModel::cmos12();
 
-  // Warm the nominal solver cache once (outside the timed region: this
-  // is setup an application does once per topology).
+  // Node ids are topology-stable across rebuilds (identical build
+  // order), so the measure lambda can reuse the nominal rig's outputs.
   auto nominal = bench::make_mic_rig();
   nominal->mic.set_gain_code(5);
-  {
-    an::OpOptions oo;
-    oo.solver = solver;
-    (void)an::solve_op(nominal->nl, oo);
-  }
+  const auto outp = nominal->mic.outp;
+  const auto outn = nominal->mic.outn;
 
   McRun run;
   run.name = name;
@@ -99,27 +99,28 @@ McRun run_mc(const std::string& name, int samples, an::SolverKind solver,
     an::McOptions mo;
     mo.threads = threads;
     const auto t0 = Clock::now();
-    auto stats = an::monte_carlo(
+    auto stats = an::monte_carlo_shared(
         samples, rng,
-        [&](num::Rng& srng) {
-          auto r = bench::make_mic_rig();
-          for (auto* seg : r->mic.string_segments_p)
+        [&](num::Rng& srng, ckt::Netlist& nl) {
+          auto parts = bench::build_mic_into(nl);
+          for (auto* seg : parts.mic.string_segments_p)
             seg->apply_relative_error(pm.sample_resistor_mismatch(srng));
-          for (auto* seg : r->mic.string_segments_n)
+          for (auto* seg : parts.mic.string_segments_n)
             seg->apply_relative_error(pm.sample_resistor_mismatch(srng));
-          r->mic.set_gain_code(5);
-          r->nl.adopt_solver_cache(nominal->nl);
+          parts.mic.set_gain_code(5);
+        },
+        [&](ckt::Netlist& nl) {
           an::OpOptions oo;
           oo.solver = solver;
-          const auto op = an::solve_op(r->nl, oo);
-          if (!op.converged)
-            return std::numeric_limits<double>::quiet_NaN();
+          const auto op = an::solve_op(nl, oo);
+          if (!op.converged) return an::McTrial::failed(op.diag);
           solves.fetch_add(op.iterations, std::memory_order_relaxed);
           an::AcOptions ao;
           ao.solver = solver;
-          const auto ac = an::run_ac(r->nl, {1e3}, ao);
+          const auto ac = an::run_ac(nl, {1e3}, ao);
           solves.fetch_add(1, std::memory_order_relaxed);
-          return an::to_db(std::abs(ac.vdiff(0, r->mic.outp, r->mic.outn)));
+          return an::McTrial::of(
+              an::to_db(std::abs(ac.vdiff(0, outp, outn))));
         },
         mo);
     const double wall = ms_since(t0);
@@ -140,12 +141,13 @@ McRun run_chip_mc(const std::string& name, int samples,
                   an::SolverKind solver, int threads, int repeats) {
   const auto pm = proc::ProcessModel::cmos12();
 
+  // Branch unknowns are topology-stable too: capture the positive
+  // rail's branch index once from a nominal build (branch bases only
+  // exist after unknown assignment).
   auto nominal = bench::make_chip_rig();
-  {
-    an::OpOptions oo;
-    oo.solver = solver;
-    (void)an::solve_op(nominal->nl, oo);
-  }
+  nominal->nl.assign_unknowns();
+  const auto iq_idx =
+      static_cast<std::size_t>(nominal->vdd_src->branch_base());
 
   McRun run;
   run.name = name;
@@ -156,22 +158,22 @@ McRun run_chip_mc(const std::string& name, int samples,
     an::McOptions mo;
     mo.threads = threads;
     const auto t0 = Clock::now();
-    auto stats = an::monte_carlo(
+    auto stats = an::monte_carlo_shared(
         samples, rng,
-        [&](num::Rng& srng) {
-          auto r = bench::make_chip_rig();
-          for (const auto& d : r->nl.devices())
+        [&](num::Rng& srng, ckt::Netlist& nl) {
+          (void)bench::build_chip_into(nl);
+          for (const auto& d : nl.devices())
             if (auto* res = dynamic_cast<dev::Resistor*>(d.get()))
               res->apply_relative_error(pm.sample_resistor_mismatch(srng));
-          r->nl.adopt_solver_cache(nominal->nl);
+        },
+        [&](ckt::Netlist& nl) {
           an::OpOptions oo;
           oo.solver = solver;
-          const auto op = an::solve_op(r->nl, oo);
-          if (!op.converged)
-            return std::numeric_limits<double>::quiet_NaN();
+          const auto op = an::solve_op(nl, oo);
+          if (!op.converged) return an::McTrial::failed(op.diag);
           solves.fetch_add(op.iterations, std::memory_order_relaxed);
           // Total quiescent current drawn from the positive rail.
-          return op.x[static_cast<std::size_t>(r->vdd_src->branch_base())];
+          return an::McTrial::of(op.x[iq_idx]);
         },
         mo);
     const double wall = ms_since(t0);
@@ -422,6 +424,78 @@ bool stats_agree(const an::McStats& a, const an::McStats& b, double rtol) {
   return close(a.mean(), b.mean()) && close(a.stddev(), b.stddev());
 }
 
+// --------------------------------------------- ensemble transient MC
+
+// One MC-transient scenario run through run_transient_ensemble, either
+// as the per-sample baseline (force_per_sample: run_transient per lane
+// with the hoisted cache share) or as the lockstep SoA engine.  The
+// metric is a per-sample scalar pulled from each recorded waveform so
+// the two modes can be checked for numerical agreement sample by
+// sample, not just in aggregate.
+struct EnsRun {
+  std::string name;
+  double wall_ms = std::numeric_limits<double>::infinity();
+  int samples = 0;
+  int threads = 1;
+  int lane_width = 0;
+  bool used_ensemble = false;
+  std::string fallback_reason;
+  long splits = 0;
+  long rejoins = 0;
+  double samples_per_sec = 0.0;
+  std::vector<double> finals;  // per-sample metric, index-stable
+  bool all_ok = true;
+};
+
+EnsRun run_ens(
+    const std::string& name, int samples, int threads, int lane_width,
+    bool force_per_sample, int repeats,
+    const std::function<void(std::size_t, ckt::Netlist&,
+                             an::TranOptions&)>& configure,
+    const std::function<double(const an::TranResult&)>& metric) {
+  EnsRun run;
+  run.name = name;
+  run.samples = samples;
+  run.threads = threads;
+  run.lane_width = lane_width;
+  for (int rep = 0; rep < repeats; ++rep) {
+    an::TranEnsembleOptions eo;
+    eo.threads = threads;
+    eo.lane_width = lane_width;
+    eo.force_per_sample = force_per_sample;
+    const auto t0 = Clock::now();
+    const auto res = an::run_transient_ensemble(
+        static_cast<std::size_t>(samples), configure, eo);
+    const double wall = ms_since(t0);
+    if (wall < run.wall_ms) {
+      run.wall_ms = wall;
+      run.used_ensemble = res.ensemble.used_ensemble;
+      run.fallback_reason = res.ensemble.fallback_reason;
+      run.splits = res.ensemble.cohort_splits;
+      run.rejoins = res.ensemble.cohort_rejoins;
+      run.finals.clear();
+      run.all_ok = true;
+      for (const auto& r : res.results) {
+        run.all_ok = run.all_ok && r.ok;
+        run.finals.push_back(
+            r.ok ? metric(r) : std::numeric_limits<double>::quiet_NaN());
+      }
+    }
+  }
+  run.samples_per_sec =
+      1e3 * static_cast<double>(samples) / run.wall_ms;  // best-of
+  return run;
+}
+
+// Per-sample numerical agreement between two modes of the same scenario
+// (NaN from a failed sample never agrees).
+bool finals_agree(const EnsRun& a, const EnsRun& b, double atol) {
+  if (a.finals.size() != b.finals.size() || a.finals.empty()) return false;
+  for (std::size_t i = 0; i < a.finals.size(); ++i)
+    if (!(std::abs(a.finals[i] - b.finals[i]) <= atol)) return false;
+  return true;
+}
+
 // ---------------------------------------------------------- JSON output
 
 void json_mc(std::FILE* f, const McRun& r, const char* metric,
@@ -449,6 +523,22 @@ void json_ac(std::FILE* f, const AcRun& r, double base_ms, bool last) {
                r.name.c_str(), r.wall_ms, r.points,
                1e3 * static_cast<double>(r.points) / r.wall_ms,
                base_ms / r.wall_ms, last ? "" : ",");
+}
+
+void json_ens(std::FILE* f, const EnsRun& r, const EnsRun& base,
+              bool agree, bool last) {
+  std::fprintf(f,
+               "    {\"name\": \"%s\", \"wall_ms\": %.3f, "
+               "\"samples\": %d, \"threads\": %d, \"lane_width\": %d, "
+               "\"samples_per_sec\": %.2f, \"used_ensemble\": %s, "
+               "\"cohort_splits\": %ld, \"cohort_rejoins\": %ld, "
+               "\"speedup_vs_per_sample\": %.3f, "
+               "\"finals_agree\": %s}%s\n",
+               r.name.c_str(), r.wall_ms, r.samples, r.threads,
+               r.lane_width, r.samples_per_sec,
+               r.used_ensemble ? "true" : "false", r.splits, r.rejoins,
+               base.wall_ms / r.wall_ms, agree ? "true" : "false",
+               last ? "" : ",");
 }
 
 void json_tran(std::FILE* f, const TranRun& r, bool last) {
@@ -493,7 +583,8 @@ void json_asm(std::FILE* f, const AsmRun& r, bool last) {
   json_asm_mode(f, r, "batched", r.batched_ms, r.batched_lookups, last);
 }
 
-int run_harness(const char* out_path, bool smoke) {
+int run_harness(const char* out_path, bool smoke, int mc_samples,
+                int ens_threads) {
   // Smoke mode (bench_smoke ctest) shrinks every scenario so the whole
   // harness -- including all correctness gates -- finishes in seconds.
   const int kSamples = smoke ? 20 : 200;
@@ -689,6 +780,94 @@ int run_harness(const char* out_path, bool smoke) {
     tran_agree = tran_agree && r->agree;
   }
 
+  // Lockstep ensemble MC transient: the same perturbed-sample workload
+  // twice, per-sample baseline (force_per_sample, hoisted cache share)
+  // vs the SoA lockstep engine, gated on per-sample agreement of the
+  // final differential output.  record_after keeps only the last couple
+  // of points so recording stays off the timed hot path.
+  const auto pm_ens = proc::ProcessModel::cmos12();
+  const int kEnsMic = mc_samples > 0 ? mc_samples : (smoke ? 8 : 32);
+  const int kEnsChip = mc_samples > 0 ? mc_samples : (smoke ? 4 : 16);
+  const int kEnsThreads = ens_threads > 0 ? ens_threads : 8;
+  const auto conf_mic_ens = [&](std::size_t i, ckt::Netlist& nl,
+                                an::TranOptions& t) {
+    auto parts = bench::build_mic_into(nl);
+    num::Rng srng(1000 + 17 * static_cast<std::uint64_t>(i));
+    for (auto* seg : parts.mic.string_segments_p)
+      seg->apply_relative_error(pm_ens.sample_resistor_mismatch(srng));
+    for (auto* seg : parts.mic.string_segments_n)
+      seg->apply_relative_error(pm_ens.sample_resistor_mismatch(srng));
+    parts.mic.set_gain_code(5);
+    parts.vinp->set_waveform(dev::Waveform::sine(0.0, 1e-3, 1e3));
+    parts.vinn->set_waveform(dev::Waveform::sine(0.0, -1e-3, 1e3));
+    t.t_stop = 0.5e-3 * tran_scale;
+    t.dt = 2e-6;
+    t.record_after = t.t_stop - 1.5 * t.dt;
+  };
+  const auto mic_outp = rig->mic.outp;
+  const auto mic_outn = rig->mic.outn;
+  const auto mic_final = [&](const an::TranResult& r) {
+    const auto w = r.diff_wave(mic_outp, mic_outn);
+    return w.empty() ? std::numeric_limits<double>::quiet_NaN() : w.back();
+  };
+  const auto conf_chip_ens = [&](std::size_t i, ckt::Netlist& nl,
+                                 an::TranOptions& t) {
+    auto parts = bench::build_chip_into(nl);
+    num::Rng srng(2000 + 31 * static_cast<std::uint64_t>(i));
+    for (const auto& d : nl.devices())
+      if (auto* res = dynamic_cast<dev::Resistor*>(d.get()))
+        res->apply_relative_error(pm_ens.sample_resistor_mismatch(srng));
+    parts.vinp->set_waveform(dev::Waveform::sine(0.0, 1e-3, 1e3));
+    parts.vinn->set_waveform(dev::Waveform::sine(0.0, -1e-3, 1e3));
+    t.t_stop = 0.4e-3 * tran_scale;
+    t.dt = 2e-6;
+    t.record_after = t.t_stop - 1.5 * t.dt;
+  };
+  const auto chip_outp = chip_rig->chip.driver.outp;
+  const auto chip_outn = chip_rig->chip.driver.outn;
+  const auto chip_final = [&](const an::TranResult& r) {
+    const auto w = r.diff_wave(chip_outp, chip_outn);
+    return w.empty() ? std::numeric_limits<double>::quiet_NaN() : w.back();
+  };
+  std::printf("engine harness: ensemble MC transient, mic %d / chip %d "
+              "samples, %d threads (best of %d)\n",
+              kEnsMic, kEnsChip, kEnsThreads, kRepeats);
+  const auto ens_mic_ps =
+      run_ens("mic-per-sample", kEnsMic, kEnsThreads, 8, true, kRepeats,
+              conf_mic_ens, mic_final);
+  const auto ens_mic_w4 =
+      run_ens("mic-ensemble-w4", kEnsMic, kEnsThreads, 4, false, kRepeats,
+              conf_mic_ens, mic_final);
+  const auto ens_mic_w8 =
+      run_ens("mic-ensemble-w8", kEnsMic, kEnsThreads, 8, false, kRepeats,
+              conf_mic_ens, mic_final);
+  const auto ens_chip_ps =
+      run_ens("chip-per-sample", kEnsChip, kEnsThreads, 8, true,
+              std::min(kRepeats, 2), conf_chip_ens, chip_final);
+  const auto ens_chip_w8 =
+      run_ens("chip-ensemble-w8", kEnsChip, kEnsThreads, 8, false,
+              std::min(kRepeats, 2), conf_chip_ens, chip_final);
+  const double mic_ens_speedup =
+      ens_mic_ps.wall_ms / std::min(ens_mic_w4.wall_ms, ens_mic_w8.wall_ms);
+  const double chip_ens_speedup = ens_chip_ps.wall_ms / ens_chip_w8.wall_ms;
+  bool ens_ok = true;
+  for (const EnsRun* r : {&ens_mic_ps, &ens_mic_w4, &ens_mic_w8,
+                          &ens_chip_ps, &ens_chip_w8}) {
+    const EnsRun* base =
+        r->name[0] == 'm' ? &ens_mic_ps : &ens_chip_ps;
+    const bool agree = finals_agree(*r, *base, 1e-5);
+    std::printf("  %-15s %8.1f ms  %7.1f samples/s  %s  splits %ld  "
+                "rejoins %ld  agree %s\n",
+                r->name.c_str(), r->wall_ms, r->samples_per_sec,
+                r->used_ensemble ? "lockstep  " : "per-sample",
+                r->splits, r->rejoins, agree ? "yes" : "NO");
+    ens_ok = ens_ok && r->all_ok && agree &&
+             (r == base || r->used_ensemble);
+  }
+  std::printf("  mic ensemble speedup %5.2fx  chip ensemble speedup "
+              "%5.2fx  (all agree: %s)\n",
+              mic_ens_speedup, chip_ens_speedup, ens_ok ? "yes" : "NO");
+
   // Budget-check overhead: the cooperative-cancellation polls in the
   // transient hot loops cost one null test per site with no budget
   // attached, and a few relaxed atomic loads plus a clock read when an
@@ -846,6 +1025,18 @@ int run_harness(const char* out_path, bool smoke) {
   json_tran(f, tran_chip, false);
   json_tran(f, tran_rc, true);
   std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"ensemble_configs\": [\n");
+  json_ens(f, ens_mic_ps, ens_mic_ps,
+           finals_agree(ens_mic_ps, ens_mic_ps, 1e-5), false);
+  json_ens(f, ens_mic_w4, ens_mic_ps,
+           finals_agree(ens_mic_w4, ens_mic_ps, 1e-5), false);
+  json_ens(f, ens_mic_w8, ens_mic_ps,
+           finals_agree(ens_mic_w8, ens_mic_ps, 1e-5), false);
+  json_ens(f, ens_chip_ps, ens_chip_ps,
+           finals_agree(ens_chip_ps, ens_chip_ps, 1e-5), false);
+  json_ens(f, ens_chip_w8, ens_chip_ps,
+           finals_agree(ens_chip_w8, ens_chip_ps, 1e-5), true);
+  std::fprintf(f, "  ],\n");
   std::fprintf(f, "  \"budget_overhead\": [\n");
   for (const BudgetRun* r : {&bud_chip, &bud_drv})
     std::fprintf(f,
@@ -871,14 +1062,20 @@ int run_harness(const char* out_path, bool smoke) {
                mic_speedup);
   std::fprintf(f, "  \"chip_mc_speedup_vs_dense_serial\": %.3f,\n",
                chip_speedup);
-  std::fprintf(f, "  \"best_mc_speedup_vs_dense_serial\": %.3f\n",
+  std::fprintf(f, "  \"best_mc_speedup_vs_dense_serial\": %.3f,\n",
                best_speedup);
+  std::fprintf(f, "  \"mic_ensemble_speedup_vs_per_sample\": %.3f,\n",
+               mic_ens_speedup);
+  std::fprintf(f, "  \"chip_ensemble_speedup_vs_per_sample\": %.3f\n",
+               chip_ens_speedup);
   std::fprintf(f, "}\n");
   std::fclose(f);
-  std::printf("wrote %s (best MC speedup %.2fx)\n", out_path, best_speedup);
+  std::printf("wrote %s (best MC speedup %.2fx, chip ensemble %.2fx)\n",
+              out_path, best_speedup, chip_ens_speedup);
 
   return (deterministic && engines_agree && chip_deterministic &&
-          chip_agree && tran_agree && asm_zero_lookups && budget_agree)
+          chip_agree && tran_agree && asm_zero_lookups && budget_agree &&
+          ens_ok)
              ? 0
              : 1;
 }
@@ -1008,12 +1205,18 @@ int main(int argc, char** argv) {
     return 0;
   }
   bool smoke = false;
+  int mc_samples = 0;   // 0 = scenario defaults
+  int ens_threads = 0;  // 0 = harness default (8)
   const char* out = "BENCH_engine.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0)
       smoke = true;
+    else if (std::strcmp(argv[i], "--mc-samples") == 0 && i + 1 < argc)
+      mc_samples = std::atoi(argv[++i]);
+    else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
+      ens_threads = std::atoi(argv[++i]);
     else
       out = argv[i];
   }
-  return run_harness(out, smoke);
+  return run_harness(out, smoke, mc_samples, ens_threads);
 }

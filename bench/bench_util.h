@@ -43,6 +43,36 @@ inline std::string fmt(const char* f, double v) {
   return buf;
 }
 
+// Microphone-amplifier rig parts: device handles into a caller-owned
+// netlist, so MC drivers that hand out the netlist themselves
+// (monte_carlo_shared, run_transient_ensemble) can reuse the builder.
+struct MicParts {
+  dev::VSource* vdd_src = nullptr;
+  dev::VSource* vss_src = nullptr;
+  dev::VSource* vinp = nullptr;
+  dev::VSource* vinn = nullptr;
+  core::MicAmp mic;
+};
+
+inline MicParts build_mic_into(
+    ckt::Netlist& nl, const core::MicAmpDesign& d = {},
+    const proc::ProcessModel& pm = proc::ProcessModel::cmos12()) {
+  MicParts r;
+  const auto nvdd = nl.node("vdd");
+  const auto nvss = nl.node("vss");
+  const auto inp = nl.node("inp");
+  const auto inn = nl.node("inn");
+  r.vdd_src = nl.add<dev::VSource>("Vdd", nvdd, ckt::kGround, 1.3);
+  r.vss_src = nl.add<dev::VSource>("Vss", nvss, ckt::kGround, -1.3);
+  r.vinp = nl.add<dev::VSource>("Vinp", inp, ckt::kGround,
+                                dev::Waveform::dc(0.0).with_ac(0.5));
+  r.vinn = nl.add<dev::VSource>("Vinn", inn, ckt::kGround,
+                                dev::Waveform::dc(0.0).with_ac(-0.5));
+  r.mic =
+      core::build_mic_amp(nl, pm, d, nvdd, nvss, ckt::kGround, inp, inn);
+  return r;
+}
+
 // Microphone-amplifier rig: +-1.3 V rails, differential input sources.
 struct MicRig {
   ckt::Netlist nl;
@@ -57,18 +87,39 @@ inline std::unique_ptr<MicRig> make_mic_rig(
     const core::MicAmpDesign& d = {},
     const proc::ProcessModel& pm = proc::ProcessModel::cmos12()) {
   auto r = std::make_unique<MicRig>();
-  const auto nvdd = r->nl.node("vdd");
-  const auto nvss = r->nl.node("vss");
-  const auto inp = r->nl.node("inp");
-  const auto inn = r->nl.node("inn");
-  r->vdd_src = r->nl.add<dev::VSource>("Vdd", nvdd, ckt::kGround, 1.3);
-  r->vss_src = r->nl.add<dev::VSource>("Vss", nvss, ckt::kGround, -1.3);
-  r->vinp = r->nl.add<dev::VSource>(
-      "Vinp", inp, ckt::kGround, dev::Waveform::dc(0.0).with_ac(0.5));
-  r->vinn = r->nl.add<dev::VSource>(
-      "Vinn", inn, ckt::kGround, dev::Waveform::dc(0.0).with_ac(-0.5));
-  r->mic = core::build_mic_amp(r->nl, pm, d, nvdd, nvss, ckt::kGround,
-                               inp, inn);
+  MicParts parts = build_mic_into(r->nl, d, pm);
+  r->vdd_src = parts.vdd_src;
+  r->vss_src = parts.vss_src;
+  r->vinp = parts.vinp;
+  r->vinn = parts.vinn;
+  r->mic = parts.mic;
+  return r;
+}
+
+// Full-chip rig parts into a caller-owned netlist (externally driven
+// microphone terminals, DC inputs -- set waveforms on Vinp/Vinn).
+struct ChipParts {
+  dev::VSource* vdd_src = nullptr;
+  dev::VSource* vss_src = nullptr;
+  dev::VSource* vinp = nullptr;
+  dev::VSource* vinn = nullptr;
+  core::Chip chip;
+};
+
+inline ChipParts build_chip_into(
+    ckt::Netlist& nl, const core::ChipDesign& d = {},
+    const proc::ProcessModel& pm = proc::ProcessModel::cmos12()) {
+  ChipParts r;
+  const auto nvdd = nl.node("vdd");
+  const auto nvss = nl.node("vss");
+  const auto inp = nl.node("inp");
+  const auto inn = nl.node("inn");
+  r.vdd_src = nl.add<dev::VSource>("Vdd", nvdd, ckt::kGround, 1.3);
+  r.vss_src = nl.add<dev::VSource>("Vss", nvss, ckt::kGround, -1.3);
+  r.vinp = nl.add<dev::VSource>("Vinp", inp, ckt::kGround, 0.0);
+  r.vinn = nl.add<dev::VSource>("Vinn", inn, ckt::kGround, 0.0);
+  r.chip =
+      core::build_chip(nl, pm, d, nvdd, nvss, ckt::kGround, inp, inn);
   return r;
 }
 
@@ -85,16 +136,10 @@ inline std::unique_ptr<ChipRig> make_chip_rig(
     const core::ChipDesign& d = {},
     const proc::ProcessModel& pm = proc::ProcessModel::cmos12()) {
   auto r = std::make_unique<ChipRig>();
-  const auto nvdd = r->nl.node("vdd");
-  const auto nvss = r->nl.node("vss");
-  const auto inp = r->nl.node("inp");
-  const auto inn = r->nl.node("inn");
-  r->vdd_src = r->nl.add<dev::VSource>("Vdd", nvdd, ckt::kGround, 1.3);
-  r->vss_src = r->nl.add<dev::VSource>("Vss", nvss, ckt::kGround, -1.3);
-  r->nl.add<dev::VSource>("Vinp", inp, ckt::kGround, 0.0);
-  r->nl.add<dev::VSource>("Vinn", inn, ckt::kGround, 0.0);
-  r->chip = core::build_chip(r->nl, pm, d, nvdd, nvss, ckt::kGround, inp,
-                             inn);
+  ChipParts parts = build_chip_into(r->nl, d, pm);
+  r->vdd_src = parts.vdd_src;
+  r->vss_src = parts.vss_src;
+  r->chip = parts.chip;
   return r;
 }
 

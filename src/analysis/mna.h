@@ -15,7 +15,9 @@
 
 #include <chrono>
 #include <map>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "circuit/netlist.h"
 #include "numeric/lu.h"
@@ -270,6 +272,71 @@ class RealSystem {
     long end_ns() const;
   };
   PhaseClock stamp_clock_, factor_clock_, solve_clock_;
+};
+
+// Lockstep Monte-Carlo assembly across N same-topology netlists
+// ("lanes").  All lanes share one CSR skeleton, one stamp-slot table
+// and one symbolic LU analysis; the Jacobian values live in a
+// lane-blocked num::EnsembleValues array (slot index -> N adjacent
+// lane values), so one slot-table replay writes all N matrices and the
+// per-class stamp_lanes() kernels run the device model math
+// device-outer / lane-inner.  Factorizations stay per-lane numeric
+// (gather lane, refactor along the shared symbolic structure), and the
+// modified-Newton update solves against each lane's stale LU with a
+// strided residual multiply.  Sparse only; the caller (the ensemble
+// transient driver) falls back to per-sample RealSystem runs whenever
+// init() refuses the lane set.
+class EnsembleSystem {
+ public:
+  EnsembleSystem();
+  ~EnsembleSystem();
+  EnsembleSystem(EnsembleSystem&&) noexcept;
+  EnsembleSystem& operator=(EnsembleSystem&&) noexcept;
+
+  // Builds the shared structure for the lane set.  All lanes need the
+  // same unknown count and topology fingerprint (MC clones of one
+  // netlist); returns false when they disagree (caller falls back to
+  // the per-sample path).  Adopts skeleton/symbolic/slots from lane
+  // 0's solver cache when present.
+  bool init(const std::vector<ckt::Netlist*>& lanes);
+
+  int lanes() const;
+  int unknowns() const;
+
+  // Drops the cached per-lane linear base images for the given lanes
+  // (device integration history advanced; the transient loop calls
+  // this once per attempted step for the stepping cohort).
+  void invalidate_lanes(const int* lane_ids, int n);
+
+  // Assembles jac+rhs for every lane in active[0..nactive): per-lane
+  // linear base restamp/restore plus one lane-major nonlinear pass
+  // through the stamp_lanes kernels.  xs/x sizing is per-lane (index
+  // by lane id).  One sampled stamp-clock tick per call, not per lane.
+  void assemble(const int* active, int nactive,
+                const std::vector<num::RealVector>& xs,
+                const AssembleParams& p);
+
+  // Factor/solve phase of one cohort Newton iteration: lanes flagged
+  // fresh[i] get a numeric refactor (tagged reasons[i]) and a direct
+  // solve; stale lanes get the modified-Newton update
+  // x_new = x + J0^{-1}(rhs - A x) against their last factorization.
+  // ok[i] (pre-set true by the caller) turns false on a singular or
+  // fault-injected factorization.  One sampled clock tick per phase
+  // per call.
+  void update(const int* active, int nactive, const bool* fresh,
+              const char* const* reasons,
+              const std::vector<num::RealVector>& xs,
+              std::vector<num::RealVector>& x_new, bool* ok);
+
+  // Unknown whose pivot failed in lane `lane`'s last factor attempt.
+  int lane_singular_col(int lane) const;
+
+  // Aggregate factor/reuse/phase-time telemetry across all lanes.
+  const FactorStats& stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
 };
 
 // Reusable workspace for the small-signal complex systems (AC, noise).

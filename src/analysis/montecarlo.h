@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "analysis/diag.h"
+#include "circuit/netlist.h"
 #include "core/faultpoint.h"
 #include "core/parallel.h"
 #include "numeric/rng.h"
@@ -104,6 +105,32 @@ struct McTrial {
   static McTrial failed(SolveDiag d) { return {0.0, std::move(d)}; }
 };
 
+namespace detail {
+
+// Sequential reduction in sample order: keeps `samples` ordered and
+// `failure_diags` sorted by sample index regardless of which thread ran
+// which trial.
+inline McStats mc_reduce(std::vector<McTrial>& trials) {
+  McStats st;
+  st.samples.reserve(trials.size());
+  for (std::size_t i = 0; i < trials.size(); ++i) {
+    McTrial& t = trials[i];
+    if (!t.diag.ok() || std::isnan(t.value)) {
+      ++st.failures;
+      if (t.diag.ok()) {  // NaN with no diagnosis attached
+        t.diag.status = SolveStatus::kNonFinite;
+        t.diag.detail = "trial returned NaN";
+      }
+      st.failure_diags.push_back({static_cast<int>(i), std::move(t.diag)});
+    } else {
+      st.samples.push_back(t.value);
+    }
+  }
+  return st;
+}
+
+}  // namespace detail
+
 // Diagnostic-aware driver: `trial` receives a per-sample RNG and returns
 // an McTrial; failed samples (diag not ok) are excluded from statistics
 // and recorded with their structured cause in `failure_diags` (sorted by
@@ -153,24 +180,80 @@ inline McStats monte_carlo_diag(
       },
       opt.budget);
 
-  // Sequential reduction in sample order keeps `samples` ordered and
-  // `failure_diags` sorted by sample index.
-  McStats st;
-  st.samples.reserve(static_cast<std::size_t>(n_samples));
-  for (int i = 0; i < n_samples; ++i) {
-    McTrial& t = trials[static_cast<std::size_t>(i)];
-    if (!t.diag.ok() || std::isnan(t.value)) {
-      ++st.failures;
-      if (t.diag.ok()) {  // NaN with no diagnosis attached
-        t.diag.status = SolveStatus::kNonFinite;
-        t.diag.detail = "trial returned NaN";
-      }
-      st.failure_diags.push_back({i, std::move(t.diag)});
-    } else {
-      st.samples.push_back(t.value);
-    }
+  return detail::mc_reduce(trials);
+}
+
+// Structure-shared Monte-Carlo: the trial is split into `build` (derive
+// sample i's perturbed netlist from its RNG stream) and `measure`
+// (solve it, return the scalar / diagnosis) so the driver can hoist the
+// structural analysis out of the per-sample work.  Sample 0 runs first,
+// serially, priming its netlist's solver cache (sparsity pattern,
+// symbolic LU, stamp slots); every later sample whose topology
+// fingerprint matches adopts that cache instead of re-deriving it.
+// Monte-Carlo perturbations move parameter VALUES, never topology, so
+// in practice every sample shares.  Same determinism, budget-marker and
+// mc_sample_nan fault-injection contracts as monte_carlo_diag; the
+// adopted cache is always sample 0's regardless of scheduling, so
+// statistics stay bit-identical at any thread count.
+inline McStats monte_carlo_shared(
+    int n_samples, num::Rng& rng,
+    const std::function<void(num::Rng&, ckt::Netlist&)>& build,
+    const std::function<McTrial(ckt::Netlist&)>& measure,
+    const McOptions& opt = {}) {
+  std::vector<std::uint64_t> seeds;
+  seeds.reserve(static_cast<std::size_t>(n_samples));
+  for (int i = 0; i < n_samples; ++i) seeds.push_back(rng.derive_seed());
+
+  std::vector<McTrial> trials(static_cast<std::size_t>(n_samples));
+  if (opt.budget) {
+    for (auto& t : trials)
+      t = McTrial::failed(budget_stop_diag(
+          core::StopReason::kNone, "montecarlo",
+          "sample skipped: deadline_exceeded (budget expired before "
+          "this sample ran)"));
   }
-  return st;
+
+  auto run_sample = [&](std::size_t i, ckt::Netlist& nl) {
+    McTrial t = measure(nl);
+    if (MSIM_FAULTPOINT_AT("mc_sample_nan", static_cast<long long>(i)))
+      t = McTrial::of(std::numeric_limits<double>::quiet_NaN());
+    trials[i] = t;
+  };
+
+  ckt::Netlist nl0;
+  std::uint64_t fp0 = 0;
+  bool have0 = false;
+  if (n_samples > 0 &&
+      (!opt.budget ||
+       opt.budget->stop_reason() == core::StopReason::kNone)) {
+    if (opt.budget) opt.budget->note_step();
+    num::Rng r0(seeds[0]);
+    build(r0, nl0);
+    fp0 = nl0.topology_fingerprint();
+    run_sample(0, nl0);
+    have0 = true;
+  }
+  const std::size_t rest =
+      static_cast<std::size_t>(n_samples) - (have0 ? 1 : 0);
+  core::parallel_for_chunked(
+      opt.threads, rest, opt.chunk,
+      [&](std::size_t j) {
+        const std::size_t i = j + (have0 ? 1 : 0);
+        if (opt.budget) {
+          const core::StopReason stop = opt.budget->stop_reason();
+          if (stop != core::StopReason::kNone) return;  // keep the marker
+          opt.budget->note_step();
+        }
+        num::Rng sample_rng(seeds[i]);
+        ckt::Netlist nl;
+        build(sample_rng, nl);
+        if (have0 && nl.topology_fingerprint() == fp0)
+          nl.adopt_solver_cache(nl0);
+        run_sample(i, nl);
+      },
+      opt.budget);
+
+  return detail::mc_reduce(trials);
 }
 
 // Historical API, kept as a thin wrapper: `trial` returns the measured

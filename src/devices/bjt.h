@@ -54,6 +54,10 @@ class Bjt : public ckt::Device {
   // (one devirtualized loop; see RealSystem batched assembly).
   static void stamp_batch(const ckt::Device* const* devs,
                           std::size_t n, ckt::StampContext& ctx);
+  // Lockstep ensemble kernel: device-outer / lane-inner Ebers-Moll
+  // evaluation in lane tiles (see an::EnsembleSystem).  Returns false
+  // when any lane's slot replay mismatched.
+  static bool stamp_lanes(const ckt::EnsembleRun& r);
   void save_op(const num::RealVector& x, double temp_k) override;
   void stamp_ac(ckt::AcStampContext& ctx) const override;
   bool is_nonlinear() const override { return true; }
@@ -68,6 +72,11 @@ class Bjt : public ckt::Device {
     double dib_dvbe, dib_dvbc;
   };
   Eval evaluate_canonical(double vbe, double vbc) const;
+  // Emits the Jacobian/Norton stamps for an already-computed canonical
+  // evaluation at limited voltages (the write half of stamp(); the
+  // ensemble kernel stages evaluations separately).
+  void stamp_eval(const Eval& e, double vbe, double vbc,
+                  ckt::StampContext& ctx) const;
 
   BjtParams p_;
   double temp_k_ = 300.15;

@@ -32,6 +32,10 @@ class Diode : public ckt::Device {
   // (one devirtualized loop; see RealSystem batched assembly).
   static void stamp_batch(const ckt::Device* const* devs,
                           std::size_t n, ckt::StampContext& ctx);
+  // Lockstep ensemble kernel: device-outer / lane-inner junction math
+  // in lane tiles (see an::EnsembleSystem).  Returns false when any
+  // lane's slot replay mismatched.
+  static bool stamp_lanes(const ckt::EnsembleRun& r);
   void save_op(const num::RealVector& x, double temp_k) override;
   void stamp_ac(ckt::AcStampContext& ctx) const override;
   bool is_nonlinear() const override { return true; }

@@ -70,6 +70,11 @@ class Mosfet : public ckt::Device {
   // (one devirtualized loop; see RealSystem batched assembly).
   static void stamp_batch(const ckt::Device* const* devs,
                           std::size_t n, ckt::StampContext& ctx);
+  // Lockstep ensemble kernel: stamps the run across every lane of an
+  // ensemble assembly, device-outer / lane-inner with the model math
+  // unrolled four lanes wide (see an::EnsembleSystem).  Returns false
+  // when any lane's slot replay mismatched (caller re-records).
+  static bool stamp_lanes(const ckt::EnsembleRun& r);
   void save_op(const num::RealVector& x, double temp_k) override;
   void stamp_ac(ckt::AcStampContext& ctx) const override;
   bool is_nonlinear() const override { return true; }

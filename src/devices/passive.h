@@ -31,6 +31,9 @@ class Resistor : public ckt::Device {
   // (one devirtualized loop; see RealSystem batched assembly).
   static void stamp_batch(const ckt::Device* const* devs,
                           std::size_t n, ckt::StampContext& ctx);
+  // Lockstep ensemble kernel: device-outer / lane-inner conductance
+  // stamps, writing all lanes of one CSR slot as an adjacent run.
+  static bool stamp_lanes(const ckt::EnsembleRun& r);
   void stamp_ac(ckt::AcStampContext& ctx) const override;
   void save_op(const num::RealVector& x, double temp_k) override;
   void append_noise_sources(std::vector<ckt::NoiseSource>& out,
@@ -67,6 +70,9 @@ class Capacitor : public ckt::Device {
   // (one devirtualized loop; see RealSystem batched assembly).
   static void stamp_batch(const ckt::Device* const* devs,
                           std::size_t n, ckt::StampContext& ctx);
+  // Lockstep ensemble kernel: device-outer / lane-inner companion
+  // stamps against each lane's own integration history.
+  static bool stamp_lanes(const ckt::EnsembleRun& r);
   void stamp_ac(ckt::AcStampContext& ctx) const override;
   void begin_transient(const num::RealVector& x_op) override;
   void accept_step(const num::RealVector& x, double dt) override;

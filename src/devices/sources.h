@@ -31,6 +31,9 @@ class VSource : public ckt::Device {
   // (one devirtualized loop; see RealSystem batched assembly).
   static void stamp_batch(const ckt::Device* const* devs,
                           std::size_t n, ckt::StampContext& ctx);
+  // Lockstep ensemble kernel, device-outer / lane-inner (each lane's
+  // context carries its own time; see an::EnsembleSystem).
+  static bool stamp_lanes(const ckt::EnsembleRun& r);
   void stamp_ac(ckt::AcStampContext& ctx) const override;
   std::vector<std::pair<std::string, double>> param_values() const override {
     return {{"dc", wave_.dc_value()}, {"ac_mag", wave_.ac_mag()}};
@@ -55,6 +58,9 @@ class ISource : public ckt::Device {
   // (one devirtualized loop; see RealSystem batched assembly).
   static void stamp_batch(const ckt::Device* const* devs,
                           std::size_t n, ckt::StampContext& ctx);
+  // Lockstep ensemble kernel, device-outer / lane-inner (each lane's
+  // context carries its own time; see an::EnsembleSystem).
+  static bool stamp_lanes(const ckt::EnsembleRun& r);
   void stamp_ac(ckt::AcStampContext& ctx) const override;
   std::vector<std::pair<std::string, double>> param_values() const override {
     return {{"dc", wave_.dc_value()}, {"ac_mag", wave_.ac_mag()}};

@@ -31,6 +31,12 @@
 // RunBudget: on expiry the analysis returns its structured partial
 // result (truncated waveform / solved grid prefix) and the CLI reports
 // the cut on stderr with exit code 4 instead of hanging.
+// `--ensemble N` runs each .tran as an N-lane lockstep ensemble (N
+// identical copies of the deck advanced together through
+// run_transient_ensemble): a quick way to exercise and benchmark the
+// SoA engine on any input; lane 0's waveform is reported, the ensemble
+// telemetry (blocks, cohorts, samples/s) goes to stderr and rides the
+// --tran-stats JSON.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -115,6 +121,7 @@ struct CliOptions {
   bool telemetry = true;
   bool tran_stats = false;  // factorization-reuse telemetry as JSON
   double budget_ms = 0.0;   // shared wall-clock budget (0 = unlimited)
+  int ensemble = 1;         // .tran lanes (> 1 = lockstep ensemble)
   std::vector<std::string> lint_disable;
 };
 
@@ -242,7 +249,35 @@ int run(const CliOptions& cli) {
       t.t_stop = arg_num(d, 1);
       t.temp_k = temp_k;
       t.budget = budget_p;
-      const auto res = an::run_transient(nl, t);
+      an::TranResult res;
+      if (cli.ensemble > 1) {
+        an::TranEnsembleOptions eo;
+        eo.budget = budget_p;
+        auto er = an::run_transient_ensemble(
+            static_cast<std::size_t>(cli.ensemble),
+            [&](std::size_t, ckt::Netlist& snl, an::TranOptions& st) {
+              auto sample = spice::parse_netlist_file(cli.path);
+              snl = std::move(*sample.netlist);
+              st.dt = t.dt;
+              st.t_stop = t.t_stop;
+              st.temp_k = t.temp_k;
+            },
+            eo);
+        const auto& et = er.ensemble;
+        const std::string mode =
+            et.used_ensemble
+                ? "lockstep"
+                : "per-sample (" + et.fallback_reason + ")";
+        std::fprintf(stderr,
+                     "ensemble: %zu lanes, %d blocks (width %d), %s, "
+                     "%ld splits, %ld rejoins, %.1f samples/s\n",
+                     et.samples, et.blocks, et.lane_width, mode.c_str(),
+                     et.cohort_splits, et.cohort_rejoins,
+                     et.samples_per_sec);
+        res = std::move(er.results[0]);
+      } else {
+        res = an::run_transient(nl, t);
+      }
       if (cli.telemetry)
         std::fputs(res.telemetry.summary().c_str(), stderr);
       if (cli.tran_stats)
@@ -328,6 +363,8 @@ int main(int argc, char** argv) {
       cli.tran_stats = true;
     else if (std::strcmp(argv[i], "--budget-ms") == 0 && i + 1 < argc)
       cli.budget_ms = std::atof(argv[++i]);
+    else if (std::strcmp(argv[i], "--ensemble") == 0 && i + 1 < argc)
+      cli.ensemble = std::atoi(argv[++i]);
     else
       cli.path = argv[i];
   }
@@ -336,7 +373,7 @@ int main(int argc, char** argv) {
                  "usage: msim_cli <netlist.sp> [--probe n1,n2,...] "
                  "[--lint] [--lint-only] [--lint-strict] "
                  "[--lint-disable p1,p2,...] [--no-telemetry] "
-                 "[--tran-stats] [--budget-ms N]\n");
+                 "[--tran-stats] [--budget-ms N] [--ensemble N]\n");
     return 2;
   }
   try {

@@ -23,9 +23,10 @@ build_dir="${1:-$repo_root/build}"
 
 # ---- sanitized fault-injection suites --------------------------------
 # Build the robustness suites with -fsanitize=address,undefined in a
-# dedicated build tree and run them via ctest.  Only the two fault
-# suites run here: they deliberately drive every recovery path, so they
-# give the sanitizers the best coverage per second.
+# dedicated build tree and run them via ctest.  Only the fault-driving
+# suites run here: they deliberately walk every recovery path (failed
+# factorizations, budget aborts, NaN injection, ensemble lane faults),
+# so they give the sanitizers the best coverage per second.
 run_sanitized_faults() {
   local san_dir="$repo_root/build-asan-ubsan"
   if ! command -v cmake >/dev/null 2>&1 || ! command -v ctest >/dev/null 2>&1; then
@@ -42,9 +43,10 @@ run_sanitized_faults() {
     return 0
   }
   cmake --build "$san_dir" -j "$(nproc 2>/dev/null || echo 2)" \
-        --target test_robustness test_op_robustness >/dev/null || return 1
+        --target test_robustness test_op_robustness test_ensemble \
+        >/dev/null || return 1
   (cd "$san_dir" && ctest --output-on-failure \
-        -R '^(test_robustness|test_op_robustness)$') || return 1
+        -R '^(test_robustness|test_op_robustness|test_ensemble)$') || return 1
   echo "run_static_checks: sanitized fault suites clean" >&2
   return 0
 }
