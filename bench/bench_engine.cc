@@ -36,6 +36,7 @@
 #include "analysis/ac.h"
 #include "analysis/mna.h"
 #include "analysis/montecarlo.h"
+#include "analysis/range.h"
 #include "analysis/structural.h"
 #include "analysis/noise.h"
 #include "analysis/op.h"
@@ -252,6 +253,37 @@ PrepassRun run_prepass(const std::string& name, ckt::Netlist& nl,
   // re-validation per adopted sample.
   run.added_fraction =
       (run.cold_ms + run.cached_ms * (samples - 1)) / scenario_wall_ms;
+  return run;
+}
+
+// Cost of the value-range interval pre-pass in isolation.  The armed
+// lint passes already ride the preflight verdict cache (measured by
+// run_prepass above); this row prices the raw interval fixed point +
+// conditioning forecast, paid once per topology by the nominal solve.
+struct RangePrepassRun {
+  std::string name;
+  double analysis_ms = 0.0;     // one full range_analysis call
+  double added_fraction = 0.0;  // share of the MC scenario wall time
+};
+
+RangePrepassRun run_range_prepass(const std::string& name,
+                                  ckt::Netlist& nl,
+                                  double scenario_wall_ms) {
+  RangePrepassRun run;
+  run.name = name;
+  nl.assign_unknowns();
+  run.analysis_ms = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < 5; ++rep) {
+    const auto t0 = Clock::now();
+    const auto rr = an::range_analysis(nl);
+    if (rr.unknowns == 0 || !rr.rail_violations.empty()) {
+      std::fprintf(stderr, "range prepass '%s': rig failed the pass\n",
+                   name.c_str());
+      std::exit(1);
+    }
+    run.analysis_ms = std::min(run.analysis_ms, ms_since(t0));
+  }
+  run.added_fraction = run.analysis_ms / scenario_wall_ms;
   return run;
 }
 
@@ -684,6 +716,17 @@ int run_harness(const char* out_path, bool smoke, int mc_samples,
                 r->name.c_str(), r->cold_ms, r->cached_ms,
                 100.0 * r->added_fraction);
 
+  // Value-range interval pre-pass, isolated from the lint plumbing.
+  const auto range_mic =
+      run_range_prepass("mic-range", rig->nl, sparse1.wall_ms);
+  const auto range_chip = run_range_prepass("chip-range", chip_rig->nl,
+                                            chip_sparse1.wall_ms);
+  std::printf("engine harness: value-range pre-pass overhead\n");
+  for (const RangePrepassRun* r : {&range_mic, &range_chip})
+    std::printf("  %-14s analysis %7.3f ms  added %6.3f%% of MC wall\n",
+                r->name.c_str(), r->analysis_ms,
+                100.0 * r->added_fraction);
+
   // Transient hot path: factor-every-iteration full Newton vs. the
   // default modified-Newton reuse + linear fast path, on the paper's
   // waveform workloads.
@@ -1018,6 +1061,16 @@ int run_harness(const char* out_path, bool smoke, int mc_samples,
                  r == &pre_mic ? kSamples : kChipSamples,
                  r == &pre_mic ? sparse1.wall_ms : chip_sparse1.wall_ms,
                  r->added_fraction, r == &pre_chip ? "" : ",");
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"range_prepass\": [\n");
+  for (const RangePrepassRun* r : {&range_mic, &range_chip})
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"analysis_ms\": %.4f, "
+                 "\"scenario_wall_ms\": %.3f, "
+                 "\"added_fraction\": %.6f}%s\n",
+                 r->name.c_str(), r->analysis_ms,
+                 r == &range_mic ? sparse1.wall_ms : chip_sparse1.wall_ms,
+                 r->added_fraction, r == &range_chip ? "" : ",");
   std::fprintf(f, "  ],\n");
   std::fprintf(f, "  \"transient_configs\": [\n");
   json_tran(f, tran_mic, false);

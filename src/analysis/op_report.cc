@@ -1,8 +1,11 @@
 #include "analysis/op_report.h"
 
+#include <algorithm>
+
 #include <cstdio>
 #include <sstream>
 
+#include "analysis/range.h"
 #include "devices/bjt.h"
 #include "devices/diode.h"
 #include "devices/mosfet.h"
@@ -129,6 +132,23 @@ std::string op_report(const ckt::Netlist& nl, const OpResult& op) {
     std::snprintf(line, sizeof line, "  %-20s %s\n", v->name().c_str(),
                   eng(v->current(op.x), "A").c_str());
     os << line;
+  }
+
+  // Static headroom: the interval pre-pass bounds hold for every
+  // quasi-static source excursion and switch code, so they complement
+  // the single-point voltages above with worst-case rail margins.
+  const RangeReport rr = range_analysis(nl, {});
+  if (rr.supply_bounded && !rr.headroom.empty()) {
+    os << "static value-range (worst case over sources and switch codes):\n";
+    const std::size_t show = std::min<std::size_t>(rr.headroom.size(), 6);
+    for (std::size_t i = 0; i < show; ++i) {
+      const auto& h = rr.headroom[i];
+      std::snprintf(line, sizeof line, "  %-24s [%s, %s] headroom %s\n",
+                    h.node.c_str(), eng(h.bound.lo, "V").c_str(),
+                    eng(h.bound.hi, "V").c_str(),
+                    eng(h.headroom, "V").c_str());
+      os << line;
+    }
   }
   return os.str();
 }

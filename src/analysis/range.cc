@@ -1,0 +1,412 @@
+#include "analysis/range.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <mutex>
+#include <utility>
+
+#include "analysis/diag.h"
+#include "analysis/mna.h"
+#include "circuit/device.h"
+#include "circuit/lint.h"
+#include "circuit/range.h"
+
+namespace msim::an {
+namespace {
+
+bool unknowns_assigned(const ckt::Netlist& nl) {
+  int expected = nl.node_count() - 1;
+  for (const auto& d : nl.devices()) expected += d->branch_count();
+  return expected > 0 && nl.unknown_count() == expected;
+}
+
+bool is_supply_name(const std::string& name) {
+  std::string s;
+  s.reserve(name.size());
+  for (char c : name)
+    s += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  for (const char* p : {"vdd", "vcc", "vss", "vee", "vsup"})
+    if (s.rfind(p, 0) == 0) return true;
+  return false;
+}
+
+// The hull-rule graph, built once from the structure recorded on the
+// first sweep.  A node is eligible exactly when EVERY device touching
+// it declared either a conductive branch or a zero-DC-current terminal
+// there -- the premise of the resistive-network maximum principle.  A
+// single undeclared (injecting) terminal disqualifies the node.
+struct HullGraph {
+  std::vector<char> eligible;                  // by NodeId
+  std::vector<std::vector<ckt::NodeId>> nbrs;  // declared-edge neighbours
+};
+
+HullGraph build_hull_graph(const ckt::Netlist& nl,
+                           const ckt::RangeContext& ctx) {
+  const std::size_t nc = static_cast<std::size_t>(nl.node_count());
+  HullGraph g;
+  g.eligible.assign(nc, 1);
+  g.nbrs.assign(nc, {});
+  g.eligible[ckt::kGround] = 0;
+
+  std::vector<std::pair<const ckt::Device*, ckt::NodeId>> declared;
+  for (const auto& e : ctx.edges()) {
+    declared.emplace_back(e.dev, e.p);
+    declared.emplace_back(e.dev, e.n);
+    if (e.p != ckt::kGround)
+      g.nbrs[static_cast<std::size_t>(e.p)].push_back(e.n);
+    if (e.n != ckt::kGround)
+      g.nbrs[static_cast<std::size_t>(e.n)].push_back(e.p);
+  }
+  for (const auto& z : ctx.no_current()) declared.emplace_back(z.dev, z.node);
+  std::sort(declared.begin(), declared.end());
+
+  for (const auto& d : nl.devices())
+    for (ckt::NodeId n : d->nodes())
+      if (n != ckt::kGround &&
+          !std::binary_search(declared.begin(), declared.end(),
+                              std::make_pair(
+                                  static_cast<const ckt::Device*>(d.get()),
+                                  n)))
+        g.eligible[static_cast<std::size_t>(n)] = 0;
+  return g;
+}
+
+// Maximum principle: an eligible node's voltage is confined to the hull
+// of its declared neighbours and ground (the assembler's gshunt tie
+// means an isolated-but-eligible node rests at 0).
+void apply_hull(const HullGraph& g, ckt::RangeContext& ctx) {
+  for (std::size_t n = 1; n < g.eligible.size(); ++n) {
+    if (!g.eligible[n]) continue;
+    num::Interval b = num::Interval::point(0.0);
+    for (ckt::NodeId m : g.nbrs[n]) b = num::hull(b, ctx.v(m));
+    ctx.meet_v(static_cast<ckt::NodeId>(n), b);
+  }
+}
+
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+RangeReport range_analysis(const ckt::Netlist& nl, const RangeOptions& opt) {
+  RangeReport rep;
+  if (!unknowns_assigned(nl)) return rep;
+  const int n = nl.unknown_count();
+  const int node_rows = nl.node_count() - 1;
+  rep.unknowns = n;
+
+  ckt::RangeContext ctx(node_rows, n);
+  ctx.temp_k = opt.temp_k;
+
+  // Monotone fixed-point sweep with a truncation widening: meets only
+  // shrink intervals, so stopping at the cap leaves a sound (merely
+  // looser) over-approximation.
+  HullGraph g;
+  for (int sweep = 0; sweep < std::max(1, opt.max_sweeps); ++sweep) {
+    ctx.begin_sweep(/*record_structure=*/sweep == 0);
+    for (const auto& d : nl.devices()) d->range_eval(ctx);
+    if (sweep == 0) g = build_hull_graph(nl, ctx);
+    apply_hull(g, ctx);
+    ++rep.sweeps;
+    if (!ctx.changed()) {
+      rep.converged = true;
+      break;
+    }
+  }
+  ctx.begin_verdict_pass();
+  for (const auto& d : nl.devices()) d->range_eval(ctx);
+
+  rep.bounds = ctx.intervals();
+
+  // Supply hull: every bounded supply-named (or overridden) node plus
+  // ground.  Without one bounded supply node no rail or headroom claim
+  // is made at all -- silence is the sound default.
+  auto is_supply = [&](const std::string& name) {
+    if (!opt.supply_nodes.empty())
+      return std::find(opt.supply_nodes.begin(), opt.supply_nodes.end(),
+                       name) != opt.supply_nodes.end();
+    return is_supply_name(name);
+  };
+  num::Interval hull_iv = num::Interval::point(0.0);
+  for (int node = 1; node <= node_rows; ++node) {
+    const std::string& nm = nl.node_name(node);
+    if (!is_supply(nm)) continue;
+    const num::Interval iv = rep.bounds[static_cast<std::size_t>(node - 1)];
+    if (!iv.bounded()) continue;
+    hull_iv = num::hull(hull_iv, iv);
+    rep.supply_names.push_back(nm);
+    rep.supply_bounded = true;
+  }
+  rep.supply_hull = hull_iv;
+
+  if (rep.supply_bounded) {
+    // Strict outside-ness with an epsilon: probe sources pin nodes
+    // exactly onto a rail, and a bound merely touching the rail is
+    // normal operation, never a violation.
+    const double eps = 1e-9 * std::max(1.0, rep.supply_hull.mag());
+    const double lo_rail = rep.supply_hull.lo - opt.rail_margin - eps;
+    const double hi_rail = rep.supply_hull.hi + opt.rail_margin + eps;
+    for (int node = 1; node <= node_rows; ++node) {
+      const num::Interval iv = rep.bounds[static_cast<std::size_t>(node - 1)];
+      const bool above = iv.lo > hi_rail;
+      const bool below = iv.hi < lo_rail;
+      if (!above && !below) continue;
+      RangeRailViolation v;
+      v.node = nl.node_name(node);
+      v.bound = iv;
+      v.device = device_touching_unknown(nl, node - 1);
+      char buf[192];
+      std::snprintf(buf, sizeof(buf),
+                    "node '%s' is provably confined to [%.4g, %.4g] V, "
+                    "entirely %s the supply range [%.4g, %.4g] V",
+                    v.node.c_str(), iv.lo, iv.hi, above ? "above" : "below",
+                    rep.supply_hull.lo - opt.rail_margin,
+                    rep.supply_hull.hi + opt.rail_margin);
+      v.message = buf;
+      rep.rail_violations.push_back(std::move(v));
+    }
+    for (int node = 1; node <= node_rows; ++node) {
+      const num::Interval iv = rep.bounds[static_cast<std::size_t>(node - 1)];
+      if (!iv.bounded()) continue;
+      RangeNodeBound nb;
+      nb.node = nl.node_name(node);
+      nb.bound = iv;
+      nb.headroom = std::min(iv.lo - rep.supply_hull.lo,
+                             rep.supply_hull.hi - iv.hi);
+      rep.headroom.push_back(std::move(nb));
+    }
+    std::stable_sort(rep.headroom.begin(), rep.headroom.end(),
+                     [](const RangeNodeBound& a, const RangeNodeBound& b) {
+                       return a.headroom < b.headroom;
+                     });
+  }
+
+  for (const auto& d : ctx.dead())
+    rep.dead_devices.push_back({d.dev->name(), std::string(d.dev->type()),
+                                d.reason, d.dev->source_line()});
+  for (const auto& c : ctx.currents())
+    rep.currents.push_back({c.dev->name(), c.amps});
+
+  if (opt.with_conditioning) {
+    // One dense assembly at the bound midpoints (a feasible-ish point;
+    // mid() is finite even for top intervals).  Each row's magnitude is
+    // scaled by its columns' voltage spans, and the max/min spread over
+    // rows forecasts the condition of the factorization the solver is
+    // about to attempt.
+    num::RealVector x(static_cast<std::size_t>(n), 0.0);
+    for (int i = 0; i < n; ++i)
+      x[static_cast<std::size_t>(i)] =
+          rep.bounds[static_cast<std::size_t>(i)].mid();
+    num::RealMatrix jac;
+    num::RealVector rhs;
+    AssembleParams p;
+    p.temp_k = opt.temp_k;
+    assemble_real(nl, x, p, jac, rhs);
+
+    double vmax = 1.0;
+    for (const auto& iv : rep.bounds)
+      if (iv.bounded()) vmax = std::max(vmax, iv.mag());
+    if (rep.supply_bounded) vmax = std::max(vmax, rep.supply_hull.mag());
+    const double vfloor = 1e-6 * vmax;
+    std::vector<double> vscale(static_cast<std::size_t>(n), 1.0);
+    for (int i = 0; i < n; ++i) {
+      const num::Interval iv = rep.bounds[static_cast<std::size_t>(i)];
+      if (iv.bounded())
+        vscale[static_cast<std::size_t>(i)] = std::max(iv.mag(), vfloor);
+      else if (i < node_rows && rep.supply_bounded)
+        vscale[static_cast<std::size_t>(i)] =
+            std::max(rep.supply_hull.mag(), vfloor);
+      else
+        vscale[static_cast<std::size_t>(i)] = std::max(1.0, vfloor);
+    }
+    // Entries at or below the guard-conductance scale (gshunt, gmin,
+    // off-switch leakage) are excluded: rows held up only by guards are
+    // deliberately regularized, not ill-conditioned circuit equations.
+    const double guard = 10.0 * p.gshunt;
+    double rmax = 0.0;
+    double rmin = std::numeric_limits<double>::infinity();
+    for (int r = 0; r < n; ++r) {
+      double m = 0.0;
+      for (int c = 0; c < n; ++c) {
+        const double a = std::abs(jac(static_cast<std::size_t>(r),
+                                      static_cast<std::size_t>(c)));
+        if (a <= guard) continue;
+        m = std::max(m, a * vscale[static_cast<std::size_t>(c)]);
+      }
+      if (m == 0.0) continue;
+      rmax = std::max(rmax, m);
+      rmin = std::min(rmin, m);
+    }
+    if (rmax > 0.0 && std::isfinite(rmin) && rmin > 0.0) {
+      rep.cond_available = true;
+      rep.cond_forecast = rmax / rmin;
+    }
+  }
+  return rep;
+}
+
+std::string range_json(const RangeReport& r) {
+  std::string out = "{\"unknowns\":" + std::to_string(r.unknowns) +
+                    ",\"sweeps\":" + std::to_string(r.sweeps) +
+                    ",\"converged\":" + (r.converged ? "true" : "false");
+  out += ",\"supply\":{\"bounded\":";
+  out += r.supply_bounded ? "true" : "false";
+  out += ",\"lo\":" + fmt(r.supply_hull.lo) +
+         ",\"hi\":" + fmt(r.supply_hull.hi) + ",\"nodes\":[";
+  for (std::size_t i = 0; i < r.supply_names.size(); ++i) {
+    if (i) out += ',';
+    out += '"' + json_escape(r.supply_names[i]) + '"';
+  }
+  out += "]}";
+  out += ",\"headroom\":[";
+  for (std::size_t i = 0; i < r.headroom.size(); ++i) {
+    const auto& h = r.headroom[i];
+    if (i) out += ',';
+    out += "{\"node\":\"" + json_escape(h.node) +
+           "\",\"lo\":" + fmt(h.bound.lo) + ",\"hi\":" + fmt(h.bound.hi) +
+           ",\"headroom\":" + fmt(h.headroom) + "}";
+  }
+  out += "]";
+  out += ",\"rail_violations\":[";
+  for (std::size_t i = 0; i < r.rail_violations.size(); ++i) {
+    const auto& v = r.rail_violations[i];
+    if (i) out += ',';
+    out += "{\"node\":\"" + json_escape(v.node) +
+           "\",\"lo\":" + fmt(v.bound.lo) + ",\"hi\":" + fmt(v.bound.hi) +
+           ",\"device\":\"" + json_escape(v.device) + "\",\"message\":\"" +
+           json_escape(v.message) + "\"}";
+  }
+  out += "]";
+  out += ",\"dead_devices\":[";
+  for (std::size_t i = 0; i < r.dead_devices.size(); ++i) {
+    const auto& d = r.dead_devices[i];
+    if (i) out += ',';
+    out += "{\"device\":\"" + json_escape(d.device) + "\",\"type\":\"" +
+           json_escape(d.type) + "\",\"reason\":\"" + json_escape(d.reason) +
+           "\",\"line\":" + std::to_string(d.line) + "}";
+  }
+  out += "]";
+  out += ",\"currents\":[";
+  std::size_t emitted = 0;
+  for (const auto& c : r.currents) {
+    if (!c.amps.bounded()) continue;
+    if (emitted++) out += ',';
+    out += "{\"device\":\"" + json_escape(c.device) +
+           "\",\"lo\":" + fmt(c.amps.lo) + ",\"hi\":" + fmt(c.amps.hi) + "}";
+  }
+  out += "]";
+  out += ",\"conditioning\":{\"available\":";
+  out += r.cond_available ? "true" : "false";
+  out += ",\"forecast\":" + fmt(r.cond_forecast) + "}}";
+  return out;
+}
+
+std::string range_text(const RangeReport& r) {
+  std::string out = "value-range: " + std::to_string(r.unknowns) +
+                    " unknowns, " + std::to_string(r.sweeps) + " sweeps" +
+                    (r.converged ? "" : " (sweep cap)") + "\n";
+  if (r.supply_bounded) {
+    out += "  supply hull [" + fmt(r.supply_hull.lo) + ", " +
+           fmt(r.supply_hull.hi) + "] V";
+    if (!r.supply_names.empty()) {
+      out += " (";
+      for (std::size_t i = 0; i < r.supply_names.size(); ++i) {
+        if (i) out += ", ";
+        out += r.supply_names[i];
+      }
+      out += ")";
+    }
+    out += "\n";
+    const std::size_t show = std::min<std::size_t>(r.headroom.size(), 4);
+    for (std::size_t i = 0; i < show; ++i) {
+      const auto& h = r.headroom[i];
+      out += "  headroom " + fmt(h.headroom) + " V: " + h.node + " in [" +
+             fmt(h.bound.lo) + ", " + fmt(h.bound.hi) + "] V\n";
+    }
+  } else {
+    out += "  no bounded supply node; rail/headroom checks skipped\n";
+  }
+  for (const auto& v : r.rail_violations)
+    out += "  RAIL VIOLATION: " + v.message + "\n";
+  for (const auto& d : r.dead_devices)
+    out += "  dead device '" + d.device + "' (" + d.type + "): " + d.reason +
+           "\n";
+  if (r.cond_available)
+    out += "  conditioning forecast " + fmt(r.cond_forecast) + "\n";
+  return out;
+}
+
+void register_range_lint_passes() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    // One pass, three issue kinds: the interval fixed point is shared,
+    // so the preflight pays range_analysis exactly once, and users mute
+    // individual rules by kind ("rail_violation", "dead_device",
+    // "conditioning_forecast") like the connectivity pass's rules.
+    ckt::LintPass pass;
+    pass.name = "value_range";
+    pass.description =
+        "interval value-range analysis: node voltages provably confined "
+        "outside the supply rails (across every switch code), devices "
+        "that provably never conduct, and an interval-scaled row-spread "
+        "conditioning forecast";
+    pass.default_enabled = true;
+    pass.run = [](const ckt::Netlist& nl, std::vector<ckt::LintIssue>& out) {
+      const RangeOptions opt;
+      const RangeReport rep = range_analysis(nl, opt);
+      for (const auto& v : rep.rail_violations) {
+        const ckt::Device* dev = nl.find(v.device);
+        out.push_back({ckt::LintKind::kRailViolation,
+                       ckt::LintSeverity::kError, v.node, v.device, v.message,
+                       dev ? dev->source_line() : 0, ""});
+      }
+      for (const auto& d : rep.dead_devices)
+        out.push_back({ckt::LintKind::kDeadDevice, ckt::LintSeverity::kWarning,
+                       "", d.device,
+                       "device '" + d.device + "' (" + d.type +
+                           ") is provably off: " + d.reason,
+                       d.line, ""});
+      if (rep.cond_available && rep.cond_forecast >= opt.cond_threshold) {
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      "interval-scaled row magnitudes spread over %.3g "
+                      "(threshold %.3g): the MNA factorization is likely "
+                      "ill-conditioned at any feasible operating point",
+                      rep.cond_forecast, opt.cond_threshold);
+        out.push_back({ckt::LintKind::kConditioning,
+                       ckt::LintSeverity::kWarning, "", "", buf, 0, ""});
+      }
+    };
+    ckt::LintRegistry::instance().add(std::move(pass));
+  });
+}
+
+}  // namespace msim::an

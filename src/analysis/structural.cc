@@ -1,5 +1,7 @@
 #include "analysis/structural.h"
 
+#include "analysis/range.h"
+
 #include <algorithm>
 #include <atomic>
 #include <mutex>
@@ -348,6 +350,11 @@ void register_analysis_lint_passes() {
       }
     };
     ckt::LintRegistry::instance().add(std::move(contract));
+
+    // The value-range pass ("value_range": rail / dead-device /
+    // conditioning rules) lives in analysis/range.cc; registering it
+    // here makes every preflight arm it alongside the structural passes.
+    register_range_lint_passes();
   });
 }
 

@@ -22,6 +22,8 @@
 
 namespace msim::ckt {
 
+class RangeContext;  // circuit/range.h (value-range static analysis)
+
 enum class AnalysisMode {
   kDcOp,       // capacitors open, inductors short (via 0 V branch)
   kTransient,  // dynamic elements use companion models
@@ -391,6 +393,16 @@ class Device {
     for (int r : u)
       for (int c : u) pat.add(r, c);
   }
+
+  // Interval transfer function for the value-range static analysis
+  // (an::range_analysis): narrow the node/unknown intervals in `ctx`
+  // with whatever this device's constitutive relation proves, declare
+  // conductive-branch / zero-DC-current structure, and report dead-
+  // device or branch-current facts on the verdict pass.  The default
+  // declares nothing, which conservatively disqualifies the device's
+  // nodes from the hull rule (sound for any device).  See
+  // circuit/range.h for the contract.
+  virtual void range_eval(RangeContext& /*ctx*/) const {}
 
   // Large-signal stamping (DC operating point and transient).
   virtual void stamp(StampContext& ctx) const = 0;

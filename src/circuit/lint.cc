@@ -243,6 +243,9 @@ const char* to_string(LintKind k) {
     case LintKind::kStructuralSingular: return "structural_singular";
     case LintKind::kStampContract: return "stamp_contract";
     case LintKind::kNonFiniteParam: return "non_finite_param";
+    case LintKind::kRailViolation: return "rail_violation";
+    case LintKind::kDeadDevice: return "dead_device";
+    case LintKind::kConditioning: return "conditioning_forecast";
   }
   return "unknown";
 }

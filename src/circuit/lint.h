@@ -41,6 +41,9 @@ enum class LintKind {
   kStructuralSingular,   // MNA structural rank deficiency (analysis pass)
   kStampContract,        // device wrote outside its declared pattern
   kNonFiniteParam,       // NaN/Inf device parameter value
+  kRailViolation,        // node bound provably outside supply +- margin
+  kDeadDevice,           // device provably never conducts (range pass)
+  kConditioning,         // interval-scaled row spread forecasts >= 1e12
 };
 
 enum class LintSeverity { kWarning, kError };

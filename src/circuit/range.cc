@@ -1,0 +1,33 @@
+#include "circuit/range.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace msim::ckt {
+
+void RangeContext::meet_unknown(int idx, const num::Interval& iv) {
+  if (idx < 0 || idx >= size()) return;
+  num::Interval& cur = x_[static_cast<std::size_t>(idx)];
+  num::Interval next = num::intersect(cur, iv);
+  if (next.lo > next.hi) {
+    // Rounding-scale inversions collapse to the crossing point; a real
+    // contradiction (disjoint by more than rounding slack) is refused.
+    const double slack =
+        1e-9 * std::max(1.0, std::max(std::abs(next.lo),
+                                      std::abs(next.hi)));
+    if (next.lo - next.hi > slack) return;
+    next = num::Interval::point(0.5 * (next.lo + next.hi));
+  }
+  // Narrowing below this threshold does not count as progress, which is
+  // what terminates the fixed-point sweep on cyclic constraints.
+  const double tol =
+      1e-12 + 1e-9 * std::min(std::abs(cur.lo) < 1e300 ? std::abs(cur.lo)
+                                                       : 0.0,
+                              std::abs(cur.hi) < 1e300 ? std::abs(cur.hi)
+                                                       : 0.0);
+  if (next.lo > cur.lo + tol || next.hi < cur.hi - tol) changed_ = true;
+  if (next.lo > cur.lo) cur.lo = next.lo;
+  if (next.hi < cur.hi) cur.hi = next.hi;
+}
+
+}  // namespace msim::ckt

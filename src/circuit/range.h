@@ -1,0 +1,150 @@
+// Interval environment for the value-range static analysis.
+//
+// an::range_analysis hands a RangeContext to every device's
+// range_eval() hook, repeatedly, until the per-unknown intervals reach
+// a fixed point.  A device may
+//
+//  * read node-voltage / unknown intervals (v(), unknown()),
+//  * narrow them with facts its constitutive relation proves
+//    (meet_v(), meet_unknown()) -- meets only ever shrink an interval,
+//    so any sweep prefix is a sound over-approximation, and a meet
+//    that would empty an interval (inconsistent netlist) is refused
+//    rather than propagated;
+//  * declare value-independent structure on the first sweep:
+//    declare_branch() marks a resistive two-terminal connection and
+//    declare_no_dc_current() marks a terminal that injects no DC
+//    current into its node (MOS gate/bulk, capacitor plates, sense
+//    terminals).  The driver's hull rule bounds a node by the convex
+//    hull of its neighbours (plus ground, for the gshunt tie) exactly
+//    when EVERY device touching the node declared one of the two --
+//    the resistive-network maximum principle;
+//  * report verdict facts on the final pass (verdict_pass() == true):
+//    note_dead() for a device that provably never conducts and
+//    note_current() for provable branch-current bounds.
+//
+// All bounds are for the DC (operating-point) abstraction -- the same
+// one preflight's structural pass records -- with source waveforms
+// widened to their min/max hull, so the bounds also cover any
+// quasi-static source excursion.  See docs/static_analysis.md.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "circuit/node.h"
+#include "numeric/interval.h"
+
+namespace msim::ckt {
+
+class Device;
+
+// A declared resistive two-terminal connection (hull-rule edge).
+struct RangeEdge {
+  const Device* dev = nullptr;
+  NodeId p = kGround;
+  NodeId n = kGround;
+};
+
+// A declared zero-DC-current terminal.
+struct RangeNoCurrent {
+  const Device* dev = nullptr;
+  NodeId node = kGround;
+};
+
+// A guaranteed-off device reported on the verdict pass.
+struct RangeDeadDevice {
+  const Device* dev = nullptr;
+  std::string reason;
+};
+
+// Provable branch-current bounds reported on the verdict pass.
+struct RangeDeviceCurrent {
+  const Device* dev = nullptr;
+  num::Interval amps;
+};
+
+class RangeContext {
+ public:
+  RangeContext(int node_rows, int unknown_count)
+      : node_rows_(node_rows),
+        x_(static_cast<std::size_t>(unknown_count)) {}
+
+  double temp_k = 300.15;
+
+  int node_rows() const { return node_rows_; }
+  int size() const { return static_cast<int>(x_.size()); }
+
+  // Interval of a node voltage (ground -> the point [0, 0]).
+  num::Interval v(NodeId n) const {
+    return n == kGround ? num::Interval::point(0.0)
+                        : x_[static_cast<std::size_t>(n - 1)];
+  }
+  num::Interval unknown(int idx) const {
+    return x_[static_cast<std::size_t>(idx)];
+  }
+
+  void meet_v(NodeId n, const num::Interval& iv) {
+    if (n != kGround) meet_unknown(n - 1, iv);
+  }
+  // Intersects unknown `idx` with `iv`.  Refused when the result would
+  // be empty beyond rounding slack: an inconsistent netlist (e.g. two
+  // sources pinning one node to different values) must not let the
+  // interpreter derive "impossible" and then claim arbitrary verdicts;
+  // keeping the old interval stays a superset of the feasible set.
+  void meet_unknown(int idx, const num::Interval& iv);
+
+  // --- first-sweep structural declarations ---------------------------
+  // No-ops outside the structure-recording sweep; devices call them
+  // unconditionally from range_eval().
+  void declare_branch(const Device* d, NodeId p, NodeId n) {
+    if (structure_pass_) edges_.push_back({d, p, n});
+  }
+  void declare_no_dc_current(const Device* d, NodeId n) {
+    if (structure_pass_) no_current_.push_back({d, n});
+  }
+
+  // --- verdict pass ---------------------------------------------------
+  bool verdict_pass() const { return verdict_pass_; }
+  void note_dead(const Device* d, std::string reason) {
+    if (verdict_pass_) dead_.push_back({d, std::move(reason)});
+  }
+  void note_current(const Device* d, const num::Interval& amps) {
+    if (verdict_pass_) currents_.push_back({d, amps});
+  }
+
+  // --- driver interface (an::range_analysis) --------------------------
+  void begin_sweep(bool record_structure) {
+    structure_pass_ = record_structure;
+    verdict_pass_ = false;
+    changed_ = false;
+  }
+  void begin_verdict_pass() {
+    structure_pass_ = false;
+    verdict_pass_ = true;
+    changed_ = false;
+  }
+  bool changed() const { return changed_; }
+
+  const std::vector<num::Interval>& intervals() const { return x_; }
+  const std::vector<RangeEdge>& edges() const { return edges_; }
+  const std::vector<RangeNoCurrent>& no_current() const {
+    return no_current_;
+  }
+  const std::vector<RangeDeadDevice>& dead() const { return dead_; }
+  const std::vector<RangeDeviceCurrent>& currents() const {
+    return currents_;
+  }
+
+ private:
+  int node_rows_;
+  std::vector<num::Interval> x_;
+  std::vector<RangeEdge> edges_;
+  std::vector<RangeNoCurrent> no_current_;
+  std::vector<RangeDeadDevice> dead_;
+  std::vector<RangeDeviceCurrent> currents_;
+  bool structure_pass_ = false;
+  bool verdict_pass_ = false;
+  bool changed_ = false;
+};
+
+}  // namespace msim::ckt

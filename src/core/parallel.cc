@@ -20,6 +20,9 @@ constexpr int kMaxPoolWorkers = 64;
 
 int default_thread_count() {
   static const int n = [] {
+    // Read once, under the static-local guard, before any pool thread
+    // exists; nothing in the process mutates the environment.
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
     if (const char* env = std::getenv("MSIM_THREADS")) {
       const int v = std::atoi(env);
       if (v >= 1) return v;

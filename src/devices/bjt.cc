@@ -1,7 +1,9 @@
 #include "devices/bjt.h"
 
 #include <cmath>
+#include <cstdio>
 
+#include "circuit/range.h"
 #include "devices/junction.h"
 #include "numeric/units.h"
 
@@ -241,6 +243,32 @@ bool Bjt::stamp_lanes(const ckt::EnsembleRun& r) {
     }
   }
   return ok;
+}
+
+
+void Bjt::range_eval(ckt::RangeContext& ctx) const {
+  if (!ctx.verdict_pass()) return;
+  const ckt::NodeId c = nodes_[kC], b = nodes_[kB], e = nodes_[kE];
+  const double sign = p_.polarity == BjtPolarity::kNpn ? 1.0 : -1.0;
+  const num::Interval vbe_c = num::scale(ctx.v(b) - ctx.v(e), sign);
+  const num::Interval vbc_c = num::scale(ctx.v(b) - ctx.v(c), sign);
+  if (vbe_c.hi < 0.0 && vbc_c.hi < 0.0) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "both junctions reverse-biased: V_BE <= %.4g V, "
+                  "V_BC <= %.4g V",
+                  vbe_c.hi, vbc_c.hi);
+    ctx.note_dead(this, buf);
+  }
+  // The Early-effect clamp q_early = max(1 - vbc/vaf, 0.1) breaks
+  // coordinate-wise monotonicity over wide vbc boxes, so collector-
+  // current bounds are only claimed when both junction voltages are
+  // pinned to points (evaluation is then exact, not a corner bound).
+  if (vbe_c.bounded() && vbc_c.bounded() && vbe_c.width() == 0.0 &&
+      vbc_c.width() == 0.0) {
+    const Eval ev = evaluate_canonical(vbe_c.lo, vbc_c.lo);
+    ctx.note_current(this, num::Interval::point(sign * ev.ic));
+  }
 }
 
 }  // namespace msim::dev

@@ -58,6 +58,10 @@ class Bjt : public ckt::Device {
   // evaluation in lane tiles (see an::EnsembleSystem).  Returns false
   // when any lane's slot replay mismatched.
   static bool stamp_lanes(const ckt::EnsembleRun& r);
+  // Interval transfer: collector-current bounds from corner evaluation
+  // (Ebers-Moll is monotone up in vbe, down in vbc) and a dead verdict
+  // when both junctions are provably reverse-biased.
+  void range_eval(ckt::RangeContext& ctx) const override;
   void save_op(const num::RealVector& x, double temp_k) override;
   void stamp_ac(ckt::AcStampContext& ctx) const override;
   bool is_nonlinear() const override { return true; }

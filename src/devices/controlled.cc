@@ -1,5 +1,7 @@
 #include "devices/controlled.h"
 
+#include "circuit/range.h"
+
 namespace msim::dev {
 
 // ------------------------------------------------------------------- Vcvs
@@ -139,6 +141,49 @@ void Ccvs::stamp_batch(const ckt::Device* const* devs, std::size_t n,
   // concrete class), so the qualified call devirtualizes the loop.
   for (std::size_t i = 0; i < n; ++i)
     static_cast<const Ccvs*>(devs[i])->Ccvs::stamp(ctx);
+}
+
+
+void Vcvs::range_eval(ckt::RangeContext& ctx) const {
+  const ckt::NodeId p = nodes_[0], n = nodes_[1], cp = nodes_[2],
+                    cn = nodes_[3];
+  // Sense terminals draw no current -- unless a sense node doubles as
+  // an output terminal of this same source (self-referential wiring,
+  // where the node does carry the branch current).
+  if (cp != p && cp != n) ctx.declare_no_dc_current(this, cp);
+  if (cn != p && cn != n) ctx.declare_no_dc_current(this, cn);
+  const num::Interval vc = num::scale(ctx.v(cp) - ctx.v(cn), gain_);
+  ctx.meet_v(p, ctx.v(n) + vc);
+  ctx.meet_v(n, ctx.v(p) - vc);
+}
+
+void Vccs::range_eval(ckt::RangeContext& ctx) const {
+  const ckt::NodeId p = nodes_[0], n = nodes_[1], cp = nodes_[2],
+                    cn = nodes_[3];
+  if (cp != p && cp != n) ctx.declare_no_dc_current(this, cp);
+  if (cn != p && cn != n) ctx.declare_no_dc_current(this, cn);
+  if (ctx.verdict_pass()) {
+    const num::Interval vc = ctx.v(cp) - ctx.v(cn);
+    if (vc.bounded()) ctx.note_current(this, num::scale(vc, gm_));
+  }
+}
+
+void Cccs::range_eval(ckt::RangeContext& ctx) const {
+  if (!ctx.verdict_pass() || sense_ == nullptr) return;
+  const int bb = sense_->branch_base();
+  if (bb < 0 || bb >= ctx.size()) return;
+  const num::Interval is = ctx.unknown(bb);
+  if (is.bounded()) ctx.note_current(this, num::scale(is, gain_));
+}
+
+void Ccvs::range_eval(ckt::RangeContext& ctx) const {
+  if (sense_ == nullptr) return;
+  const int bb = sense_->branch_base();
+  if (bb < 0 || bb >= ctx.size()) return;
+  const ckt::NodeId p = nodes_[0], n = nodes_[1];
+  const num::Interval vr = num::scale(ctx.unknown(bb), r_);
+  ctx.meet_v(p, ctx.v(n) + vr);
+  ctx.meet_v(n, ctx.v(p) - vr);
 }
 
 }  // namespace msim::dev

@@ -25,6 +25,9 @@ class Vcvs : public ckt::Device {
   // (one devirtualized loop; see RealSystem batched assembly).
   static void stamp_batch(const ckt::Device* const* devs,
                           std::size_t n, ckt::StampContext& ctx);
+  // Interval transfer: v(p) = v(n) + gain * v(cp, cn); sense terminals
+  // carry no current.
+  void range_eval(ckt::RangeContext& ctx) const override;
   void stamp_ac(ckt::AcStampContext& ctx) const override;
 
  private:
@@ -46,6 +49,9 @@ class Vccs : public ckt::Device {
   // (one devirtualized loop; see RealSystem batched assembly).
   static void stamp_batch(const ckt::Device* const* devs,
                           std::size_t n, ckt::StampContext& ctx);
+  // Interval transfer: sense terminals carry no current; injected
+  // current bounded by gm * v(cp, cn) when the control is bounded.
+  void range_eval(ckt::RangeContext& ctx) const override;
   void stamp_ac(ckt::AcStampContext& ctx) const override;
 
  private:
@@ -69,6 +75,9 @@ class Cccs : public ckt::Device {
   // (one devirtualized loop; see RealSystem batched assembly).
   static void stamp_batch(const ckt::Device* const* devs,
                           std::size_t n, ckt::StampContext& ctx);
+  // Interval transfer: injected current bounded by gain * the sense
+  // branch's interval (usually unbounded; then no claim).
+  void range_eval(ckt::RangeContext& ctx) const override;
   void stamp_ac(ckt::AcStampContext& ctx) const override;
 
  private:
@@ -93,6 +102,9 @@ class Ccvs : public ckt::Device {
   // (one devirtualized loop; see RealSystem batched assembly).
   static void stamp_batch(const ckt::Device* const* devs,
                           std::size_t n, ckt::StampContext& ctx);
+  // Interval transfer: v(p) = v(n) + r * i(sense) when the sense branch
+  // interval is bounded.
+  void range_eval(ckt::RangeContext& ctx) const override;
   void stamp_ac(ckt::AcStampContext& ctx) const override;
 
  private:

@@ -1,7 +1,9 @@
 #include "devices/diode.h"
 
 #include <cmath>
+#include <cstdio>
 
+#include "circuit/range.h"
 #include "devices/junction.h"
 #include "numeric/units.h"
 
@@ -114,6 +116,26 @@ bool Diode::stamp_lanes(const ckt::EnsembleRun& r) {
     }
   }
   return ok;
+}
+
+
+void Diode::range_eval(ckt::RangeContext& ctx) const {
+  if (!ctx.verdict_pass()) return;
+  const num::Interval v = ctx.v(nodes_[0]) - ctx.v(nodes_[1]);
+  if (v.hi < 0.0) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "junction never forward-biased: V_AK <= %.4g V", v.hi);
+    ctx.note_dead(this, buf);
+  }
+  if (v.bounded()) {
+    // I(V) is monotone increasing, so the endpoints bound the current
+    // exactly (limited_exp matches what stamp() evaluates).
+    const double nvt = p_.n * num::thermal_voltage(ctx.temp_k);
+    const double ilo = is_eff_ * (limited_exp(v.lo / nvt).value - 1.0);
+    const double ihi = is_eff_ * (limited_exp(v.hi / nvt).value - 1.0);
+    ctx.note_current(this, num::Interval::bounds(ilo, ihi));
+  }
 }
 
 }  // namespace msim::dev

@@ -36,6 +36,9 @@ class Diode : public ckt::Device {
   // in lane tiles (see an::EnsembleSystem).  Returns false when any
   // lane's slot replay mismatched.
   static bool stamp_lanes(const ckt::EnsembleRun& r);
+  // Interval transfer: monotone junction I(V) bounds via limited_exp,
+  // plus the never-forward-biased dead verdict.
+  void range_eval(ckt::RangeContext& ctx) const override;
   void save_op(const num::RealVector& x, double temp_k) override;
   void stamp_ac(ckt::AcStampContext& ctx) const override;
   bool is_nonlinear() const override { return true; }

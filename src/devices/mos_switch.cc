@@ -1,5 +1,6 @@
 #include "devices/mos_switch.h"
 
+#include "circuit/range.h"
 #include "numeric/units.h"
 
 namespace msim::dev {
@@ -41,6 +42,20 @@ void MosSwitch::stamp_batch(const ckt::Device* const* devs, std::size_t n,
   // concrete class), so the qualified call devirtualizes the loop.
   for (std::size_t i = 0; i < n; ++i)
     static_cast<const MosSwitch*>(devs[i])->MosSwitch::stamp(ctx);
+}
+
+
+void MosSwitch::range_eval(ckt::RangeContext& ctx) const {
+  // Resistance lies in [r_on, r_off] no matter what the digital code or
+  // clock does, so this one declaration covers every PGA gain setting.
+  const ckt::NodeId p = nodes_[0], n = nodes_[1];
+  ctx.declare_branch(this, p, n);
+  if (ctx.verdict_pass() && r_on_ > 0.0 && r_off_ > 0.0) {
+    const num::Interval dv = ctx.v(p) - ctx.v(n);
+    if (dv.bounded())
+      ctx.note_current(this, num::mul(dv, num::Interval::bounds(
+                                              1.0 / r_off_, 1.0 / r_on_)));
+  }
 }
 
 }  // namespace msim::dev

@@ -40,6 +40,10 @@ class MosSwitch : public ckt::Device {
   // (one devirtualized loop; see RealSystem batched assembly).
   static void stamp_batch(const ckt::Device* const* devs,
                           std::size_t n, ckt::StampContext& ctx);
+  // Interval transfer: resistance in [r_on, r_off] regardless of the
+  // control state, i.e. the on/off union over every digital code (the
+  // PGA gain-code sweep collapses to one analysis).
+  void range_eval(ckt::RangeContext& ctx) const override;
   void stamp_ac(ckt::AcStampContext& ctx) const override;
   bool is_nonlinear() const override { return true; }
   void append_noise_sources(std::vector<ckt::NoiseSource>& out,

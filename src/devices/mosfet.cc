@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <limits>
 
+#include "circuit/range.h"
 #include "devices/junction.h"
 #include "numeric/units.h"
 
@@ -278,6 +281,62 @@ void Mosfet::append_noise_sources(std::vector<ckt::NoiseSource>& out,
   out.push_back({name_ + ".flicker", d, s, [kf_num, af, gm2](double f) {
                    return gm2 * kf_num / std::pow(f, af);
                  }});
+}
+
+
+void Mosfet::range_eval(ckt::RangeContext& ctx) const {
+  const ckt::NodeId d = nodes_[kD], g = nodes_[kG], s = nodes_[kS],
+                    b = nodes_[kB];
+  // The Level-1 model injects current only at drain and source
+  // (stamp_eval writes no gate or bulk rows), so gate and bulk are
+  // zero-DC-current terminals -- unless tied to a current-carrying
+  // terminal of this same device (diode-connected wiring).
+  if (g != d && g != s) ctx.declare_no_dc_current(this, g);
+  if (b != d && b != s) ctx.declare_no_dc_current(this, b);
+  if (!ctx.verdict_pass()) return;
+
+  const double sign = p_.polarity == MosPolarity::kNmos ? 1.0 : -1.0;
+  const num::Interval vgs_c = num::scale(ctx.v(g) - ctx.v(s), sign);
+  const num::Interval vgd_c = num::scale(ctx.v(g) - ctx.v(d), sign);
+  // V_TH minimized over the feasible body bias: forward body bias
+  // lowers the threshold, and the sqrt argument floors at zero exactly
+  // as evaluate_canonical() floors it, so an unbounded bulk still
+  // yields the finite minimum vth_eff - gamma * sqrt(phi).
+  const double vbs_hi = std::max(num::scale(ctx.v(b) - ctx.v(s), sign).hi,
+                                 num::scale(ctx.v(b) - ctx.v(d), sign).hi);
+  const double sphi = std::sqrt(std::max(p_.phi, 0.0));
+  const double vth_min =
+      vth_eff_ + p_.gamma * (std::sqrt(std::max(p_.phi - vbs_hi, 0.0)) - sphi);
+  // Guaranteed off: neither channel orientation reaches the threshold
+  // anywhere in the voltage box.  A few-nkT/q guard band keeps the
+  // softplus subthreshold tail negligible as well.
+  const double guard = 6.0 * p_.n_sub * num::thermal_voltage(ctx.temp_k);
+  const double vgs_best = std::max(vgs_c.hi, vgd_c.hi);
+  if (std::isfinite(vgs_best) && vgs_best < vth_min - guard) {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "channel never turns on: max V_GS <= %.4g V, "
+                  "V_TH >= %.4g V over the voltage bounds",
+                  vgs_best, vth_min);
+    ctx.note_dead(this, buf);
+  }
+
+  // Drain-current bounds by corner enumeration: the model is
+  // coordinate-wise monotone in each terminal voltage (including
+  // through the drain/source-reversal fold), so the 16 corners of a
+  // bounded voltage box attain the exact extrema.
+  const num::Interval ivd = ctx.v(d), ivg = ctx.v(g), ivs = ctx.v(s),
+                      ivb = ctx.v(b);
+  if (ivd.bounded() && ivg.bounded() && ivs.bounded() && ivb.bounded()) {
+    double lo = std::numeric_limits<double>::infinity(), hi = -lo;
+    for (int m = 0; m < 16; ++m) {
+      const Eval e = evaluate(m & 1 ? ivd.hi : ivd.lo, m & 2 ? ivg.hi : ivg.lo,
+                              m & 4 ? ivs.hi : ivs.lo, m & 8 ? ivb.hi : ivb.lo);
+      lo = std::min(lo, e.id);
+      hi = std::max(hi, e.id);
+    }
+    ctx.note_current(this, {lo, hi});
+  }
 }
 
 }  // namespace msim::dev

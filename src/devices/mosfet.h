@@ -75,6 +75,14 @@ class Mosfet : public ckt::Device {
   // unrolled four lanes wide (see an::EnsembleSystem).  Returns false
   // when any lane's slot replay mismatched (caller re-records).
   static bool stamp_lanes(const ckt::EnsembleRun& r);
+  // Interval transfer: gate/bulk are zero-DC-current terminals (the
+  // Level-1 model injects current only at drain and source), the
+  // guaranteed-off verdict fires when neither channel orientation can
+  // reach V_GS > V_TH over the voltage box (V_TH minimized over the
+  // feasible body bias), and drain-current bounds come from corner
+  // enumeration of evaluate() -- exact because the model is
+  // coordinate-wise monotone in each terminal voltage.
+  void range_eval(ckt::RangeContext& ctx) const override;
   void save_op(const num::RealVector& x, double temp_k) override;
   void stamp_ac(ckt::AcStampContext& ctx) const override;
   bool is_nonlinear() const override { return true; }

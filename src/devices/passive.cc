@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "circuit/range.h"
+
 #include "numeric/units.h"
 
 namespace msim::dev {
@@ -213,6 +215,31 @@ bool Capacitor::stamp_lanes(const ckt::EnsembleRun& r) {
     }
   }
   return ok;
+}
+
+
+void Resistor::range_eval(ckt::RangeContext& ctx) const {
+  const ckt::NodeId p = nodes_[0], n = nodes_[1];
+  ctx.declare_branch(this, p, n);
+  if (ctx.verdict_pass() && r_eff_ > 0.0) {
+    const num::Interval dv = ctx.v(p) - ctx.v(n);
+    if (dv.bounded()) ctx.note_current(this, num::scale(dv, 1.0 / r_eff_));
+  }
+}
+
+void Capacitor::range_eval(ckt::RangeContext& ctx) const {
+  // Open in the DC abstraction: neither plate sinks DC current.
+  ctx.declare_no_dc_current(this, nodes_[0]);
+  ctx.declare_no_dc_current(this, nodes_[1]);
+}
+
+void Inductor::range_eval(ckt::RangeContext& ctx) const {
+  // DC short: both terminals share one potential, and the winding
+  // conducts (hull-rule edge).
+  const ckt::NodeId p = nodes_[0], n = nodes_[1];
+  ctx.declare_branch(this, p, n);
+  ctx.meet_v(p, ctx.v(n));
+  ctx.meet_v(n, ctx.v(p));
 }
 
 }  // namespace msim::dev

@@ -34,6 +34,9 @@ class Resistor : public ckt::Device {
   // Lockstep ensemble kernel: device-outer / lane-inner conductance
   // stamps, writing all lanes of one CSR slot as an adjacent run.
   static bool stamp_lanes(const ckt::EnsembleRun& r);
+  // Interval transfer: conductive branch (hull-rule edge) plus Ohm's-law
+  // branch-current bounds on the verdict pass.
+  void range_eval(ckt::RangeContext& ctx) const override;
   void stamp_ac(ckt::AcStampContext& ctx) const override;
   void save_op(const num::RealVector& x, double temp_k) override;
   void append_noise_sources(std::vector<ckt::NoiseSource>& out,
@@ -73,6 +76,9 @@ class Capacitor : public ckt::Device {
   // Lockstep ensemble kernel: device-outer / lane-inner companion
   // stamps against each lane's own integration history.
   static bool stamp_lanes(const ckt::EnsembleRun& r);
+  // Interval transfer: open in the DC abstraction (no DC current at
+  // either plate).
+  void range_eval(ckt::RangeContext& ctx) const override;
   void stamp_ac(ckt::AcStampContext& ctx) const override;
   void begin_transient(const num::RealVector& x_op) override;
   void accept_step(const num::RealVector& x, double dt) override;
@@ -102,6 +108,9 @@ class Inductor : public ckt::Device {
   // (one devirtualized loop; see RealSystem batched assembly).
   static void stamp_batch(const ckt::Device* const* devs,
                           std::size_t n, ckt::StampContext& ctx);
+  // Interval transfer: DC short (terminal voltages equal) and a
+  // conductive hull-rule edge.
+  void range_eval(ckt::RangeContext& ctx) const override;
   void stamp_ac(ckt::AcStampContext& ctx) const override;
   void begin_transient(const num::RealVector& x_op) override;
   void accept_step(const num::RealVector& x, double dt) override;

@@ -2,6 +2,8 @@
 
 #include <complex>
 
+#include "circuit/range.h"
+
 namespace msim::dev {
 
 // ----------------------------------------------------------------- VSource
@@ -104,6 +106,29 @@ bool ISource::stamp_lanes(const ckt::EnsembleRun& r) {
     }
   }
   return ok;
+}
+
+
+void VSource::range_eval(ckt::RangeContext& ctx) const {
+  // v(p) - v(n) = V(t) at every time point, so the waveform hull
+  // transfers bounds in both directions.  This is what seeds exact
+  // supply intervals before any other narrowing can happen.
+  const ckt::NodeId p = nodes_[0], n = nodes_[1];
+  const num::Interval w = wave_.range();
+  ctx.meet_v(p, ctx.v(n) + w);
+  ctx.meet_v(n, ctx.v(p) - w);
+}
+
+void ISource::range_eval(ckt::RangeContext& ctx) const {
+  const ckt::NodeId p = nodes_[0], n = nodes_[1];
+  const num::Interval w = wave_.range();
+  if (w.lo == 0.0 && w.hi == 0.0) {
+    // An identically-zero source (probe / placeholder idiom) injects
+    // nothing, so its terminals stay hull-rule eligible.
+    ctx.declare_no_dc_current(this, p);
+    ctx.declare_no_dc_current(this, n);
+  }
+  if (ctx.verdict_pass()) ctx.note_current(this, w);
 }
 
 }  // namespace msim::dev

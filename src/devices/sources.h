@@ -34,6 +34,9 @@ class VSource : public ckt::Device {
   // Lockstep ensemble kernel, device-outer / lane-inner (each lane's
   // context carries its own time; see an::EnsembleSystem).
   static bool stamp_lanes(const ckt::EnsembleRun& r);
+  // Interval transfer: v(p) = v(n) + waveform hull, propagated both
+  // directions (this is what seeds exact supply intervals).
+  void range_eval(ckt::RangeContext& ctx) const override;
   void stamp_ac(ckt::AcStampContext& ctx) const override;
   std::vector<std::pair<std::string, double>> param_values() const override {
     return {{"dc", wave_.dc_value()}, {"ac_mag", wave_.ac_mag()}};
@@ -61,6 +64,9 @@ class ISource : public ckt::Device {
   // Lockstep ensemble kernel, device-outer / lane-inner (each lane's
   // context carries its own time; see an::EnsembleSystem).
   static bool stamp_lanes(const ckt::EnsembleRun& r);
+  // Interval transfer: a known current injection (identically-zero
+  // sources additionally qualify as zero-DC-current terminals).
+  void range_eval(ckt::RangeContext& ctx) const override;
   void stamp_ac(ckt::AcStampContext& ctx) const override;
   std::vector<std::pair<std::string, double>> param_values() const override {
     return {{"dc", wave_.dc_value()}, {"ac_mag", wave_.ac_mag()}};

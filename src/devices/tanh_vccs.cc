@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "circuit/range.h"
+
 namespace msim::dev {
 
 using ckt::kGround;
@@ -57,6 +59,22 @@ void TanhVccs::stamp_batch(const ckt::Device* const* devs, std::size_t n,
   // concrete class), so the qualified call devirtualizes the loop.
   for (std::size_t i = 0; i < n; ++i)
     static_cast<const TanhVccs*>(devs[i])->TanhVccs::stamp(ctx);
+}
+
+
+void TanhVccs::range_eval(ckt::RangeContext& ctx) const {
+  const ckt::NodeId p = nodes_[0], n = nodes_[1], cp = nodes_[2],
+                    cn = nodes_[3];
+  // Sense terminals draw no current -- unless a sense node doubles as
+  // an output terminal of this same device (self-referential wiring,
+  // where the node does carry the injected current).
+  if (cp != p && cp != n) ctx.declare_no_dc_current(this, cp);
+  if (cn != p && cn != n) ctx.declare_no_dc_current(this, cn);
+  if (ctx.verdict_pass()) {
+    // tanh saturates: |i| <= i_max with no knowledge of the control.
+    const double m = std::abs(i_max_);
+    ctx.note_current(this, num::Interval::bounds(-m, m));
+  }
 }
 
 }  // namespace msim::dev

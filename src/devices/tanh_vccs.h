@@ -25,6 +25,9 @@ class TanhVccs : public ckt::Device {
   // (one devirtualized loop; see RealSystem batched assembly).
   static void stamp_batch(const ckt::Device* const* devs,
                           std::size_t n, ckt::StampContext& ctx);
+  // Interval transfer: |i| <= i_max always (tanh saturates), so the
+  // injected current is bounded with no knowledge of the control.
+  void range_eval(ckt::RangeContext& ctx) const override;
   void save_op(const num::RealVector& x, double temp_k) override;
   void stamp_ac(ckt::AcStampContext& ctx) const override;
   bool is_nonlinear() const override { return true; }

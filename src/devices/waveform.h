@@ -6,6 +6,7 @@
 #include <cmath>
 
 #include "numeric/interp.h"
+#include "numeric/interval.h"
 
 namespace msim::dev {
 
@@ -64,6 +65,28 @@ class Waveform {
   }
 
   double dc_value() const { return value(0.0); }
+
+  // Hull of value(t) over all t >= 0: the interval the value-range
+  // static analysis widens this source to.  Exact for DC and pulse,
+  // conservative for sine (damping and delay only shrink the swing)
+  // and PWL (flat extrapolation stays inside the table hull).
+  num::Interval range() const {
+    switch (kind_) {
+      case Kind::kDc:
+        return num::Interval::point(dc_);
+      case Kind::kSin: {
+        const double a = std::abs(sin_ampl_);
+        return {dc_ - a, dc_ + a};
+      }
+      case Kind::kPulse:
+        return num::Interval::bounds(dc_, p_v2_);
+      case Kind::kPwl:
+        if (pwl_.empty()) return num::Interval::point(0.0);
+        return {pwl_.y_min(), pwl_.y_max()};
+    }
+    return num::Interval::top();
+  }
+
   double ac_mag() const { return ac_mag_; }
   double ac_phase() const { return ac_phase_; }
 

@@ -22,4 +22,12 @@ double PiecewiseLinear::operator()(double x) const {
   return ys_[i - 1] + t * (ys_[i] - ys_[i - 1]);
 }
 
+double PiecewiseLinear::y_min() const {
+  return ys_.empty() ? 0.0 : *std::min_element(ys_.begin(), ys_.end());
+}
+
+double PiecewiseLinear::y_max() const {
+  return ys_.empty() ? 0.0 : *std::max_element(ys_.begin(), ys_.end());
+}
+
 }  // namespace msim::num

@@ -22,6 +22,11 @@ class PiecewiseLinear {
   std::size_t size() const { return xs_.size(); }
   double x_min() const { return xs_.front(); }
   double x_max() const { return xs_.back(); }
+  // Extremes over the table values.  With flat extrapolation and linear
+  // interior segments these bound the function everywhere, which is
+  // what the value-range analysis widens a PWL source to.
+  double y_min() const;
+  double y_max() const;
 
  private:
   std::vector<double> xs_;

@@ -1,0 +1,113 @@
+// Closed intervals over the extended reals for the value-range static
+// analysis (an::range_analysis).  An Interval is an over-approximation
+// of the set of values an MNA unknown can take: [-inf, +inf] ("top")
+// means nothing is known, a point [v, v] means the value is pinned.
+//
+// The abstract interpreter starts every unknown at top and only ever
+// *narrows* (meets), so any iteration prefix is sound; these helpers
+// therefore never need outward rounding -- the one-ulp slack of plain
+// double arithmetic is dwarfed by the epsilon slack the verdict checks
+// apply.  Infinity is propagated explicitly so that no inf - inf or
+// 0 * inf NaN can leak into a bound.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace msim::num {
+
+struct Interval {
+  double lo = -std::numeric_limits<double>::infinity();
+  double hi = std::numeric_limits<double>::infinity();
+
+  static Interval top() { return {}; }
+  static Interval point(double v) { return {v, v}; }
+  // Endpoint order is normalized, so bounds(a, b) == bounds(b, a).
+  static Interval bounds(double a, double b) {
+    return {std::min(a, b), std::max(a, b)};
+  }
+
+  bool bounded() const { return std::isfinite(lo) && std::isfinite(hi); }
+  bool bounded_below() const { return std::isfinite(lo); }
+  bool bounded_above() const { return std::isfinite(hi); }
+  bool is_top() const { return !bounded_below() && !bounded_above(); }
+  bool contains(double v) const { return v >= lo && v <= hi; }
+
+  double width() const { return hi - lo; }
+  // Largest absolute value in the interval (+inf when unbounded).
+  double mag() const { return std::max(std::abs(lo), std::abs(hi)); }
+  // A finite representative point: the midpoint when bounded, the
+  // finite endpoint when half-bounded, 0 for top.
+  double mid() const {
+    if (bounded()) return 0.5 * (lo + hi);
+    if (bounded_below()) return lo;
+    if (bounded_above()) return hi;
+    return 0.0;
+  }
+};
+
+namespace detail {
+// Endpoint sums that keep -inf/-inf and +inf/+inf absorbing without
+// ever forming inf - inf (lo endpoints are never +inf, hi never -inf).
+inline double add_lo(double a, double b) {
+  return (std::isinf(a) || std::isinf(b))
+             ? -std::numeric_limits<double>::infinity()
+             : a + b;
+}
+inline double add_hi(double a, double b) {
+  return (std::isinf(a) || std::isinf(b))
+             ? std::numeric_limits<double>::infinity()
+             : a + b;
+}
+}  // namespace detail
+
+inline Interval operator-(const Interval& a) { return {-a.hi, -a.lo}; }
+
+inline Interval operator+(const Interval& a, const Interval& b) {
+  return {detail::add_lo(a.lo, b.lo), detail::add_hi(a.hi, b.hi)};
+}
+
+inline Interval operator-(const Interval& a, const Interval& b) {
+  return a + (-b);
+}
+
+inline Interval operator+(const Interval& a, double k) {
+  return a + Interval::point(k);
+}
+
+// k * [lo, hi] with sign handling; k = 0 collapses to the point 0 even
+// for unbounded operands (the multiplier annihilates).
+inline Interval scale(const Interval& a, double k) {
+  if (k == 0.0) return Interval::point(0.0);
+  if (k > 0.0) return {a.lo * k, a.hi * k};
+  return {a.hi * k, a.lo * k};
+}
+
+inline Interval hull(const Interval& a, const Interval& b) {
+  return {std::min(a.lo, b.lo), std::max(a.hi, b.hi)};
+}
+
+// Full interval product via corner products.  Finite-operand corners
+// only: a 0 * inf corner contributes 0 (exact for the conductance uses
+// here, where the unbounded factor is voltage and the zero is a gain).
+inline Interval mul(const Interval& a, const Interval& b) {
+  auto corner = [](double x, double y) {
+    if ((x == 0.0 && std::isinf(y)) || (y == 0.0 && std::isinf(x)))
+      return 0.0;
+    return x * y;
+  };
+  const double c[4] = {corner(a.lo, b.lo), corner(a.lo, b.hi),
+                       corner(a.hi, b.lo), corner(a.hi, b.hi)};
+  return {std::min({c[0], c[1], c[2], c[3]}),
+          std::max({c[0], c[1], c[2], c[3]})};
+}
+
+// Intersection.  An empty result (disjoint operands) is returned as-is
+// (lo > hi); callers that must stay sound under inconsistent inputs
+// check and refuse (ckt::RangeContext does).
+inline Interval intersect(const Interval& a, const Interval& b) {
+  return {std::max(a.lo, b.lo), std::min(a.hi, b.hi)};
+}
+
+}  // namespace msim::num

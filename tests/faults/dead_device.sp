@@ -1,0 +1,10 @@
+* fault: NMOS that provably never conducts (value-range pre-pass)
+* Gate, source and bulk are grounded and the drain is pinned positive,
+* so neither channel orientation can reach V_GS > V_TH anywhere in the
+* bound box; the range_dead pass reports the device as guaranteed off.
+.model nm nmos vth0=0.7 gamma=0.5 phi=0.65
+vd1 d 0 dc 1.0
+m1 d 0 0 0 nm w=10u l=1u
+rl d 0 100k
+.op
+.end

@@ -1,0 +1,10 @@
+* fault: bias node provably outside the supply rails (value-range pre-pass)
+* vb pins nb to 3.4 V while the only supply spans [0, 2.6] V, so the
+* interval pre-pass rejects the netlist before any factorization.
+vdd vdd 0 dc 2.6
+vb nb 0 dc 3.4
+r1 vdd a 10k
+r2 a 0 10k
+r3 nb a 100k
+.op
+.end

@@ -12,12 +12,14 @@
 #include "analysis/ac.h"
 #include "analysis/mna.h"
 #include "analysis/op.h"
+#include "analysis/range.h"
 #include "analysis/structural.h"
 #include "bench_util.h"
 #include "circuit/lint.h"
 #include "circuit/netlist.h"
 #include "devices/passive.h"
 #include "devices/sources.h"
+#include "numeric/interval.h"
 #include "spicefmt/parser.h"
 
 namespace {
@@ -314,6 +316,303 @@ TEST(LintFramework, RegistryReplacesPassesByName) {
   for (const auto& p : ckt::LintRegistry::instance().passes())
     if (p.name == "structural_rank") ++structural;
   EXPECT_EQ(structural, 1u);
+}
+
+// -------------------------------------------------------------------------
+// Value-range static analysis (interval abstract interpretation).
+
+TEST(ValueRange, IntervalArithmeticHandlesInfinitiesWithoutNaN) {
+  using num::Interval;
+  const Interval top = Interval::top();
+  EXPECT_TRUE(top.is_top());
+  EXPECT_TRUE(top.contains(1e300));
+
+  const auto a = Interval::bounds(-1.0, 2.0);
+  const auto b = Interval::bounds(3.0, 0.5);  // normalized to [0.5, 3]
+  EXPECT_DOUBLE_EQ((a + b).lo, -0.5);
+  EXPECT_DOUBLE_EQ((a + b).hi, 5.0);
+  EXPECT_DOUBLE_EQ((a - b).lo, -4.0);
+  EXPECT_DOUBLE_EQ((a - b).hi, 1.5);
+  EXPECT_DOUBLE_EQ(num::scale(a, -2.0).lo, -4.0);
+  EXPECT_DOUBLE_EQ(num::scale(a, -2.0).hi, 2.0);
+  EXPECT_DOUBLE_EQ(num::hull(a, b).lo, -1.0);
+  EXPECT_DOUBLE_EQ(num::hull(a, b).hi, 3.0);
+  EXPECT_DOUBLE_EQ(num::mul(a, b).lo, -3.0);
+  EXPECT_DOUBLE_EQ(num::mul(a, b).hi, 6.0);
+  EXPECT_DOUBLE_EQ(num::intersect(a, b).lo, 0.5);
+  EXPECT_DOUBLE_EQ(num::intersect(a, b).hi, 2.0);
+
+  // The NaN traps: inf - inf in a sum, 0 * inf in a product, and a
+  // zero gain applied to an unknown voltage must all stay well-defined.
+  EXPECT_TRUE((top + a).is_top());
+  EXPECT_TRUE((top - top).is_top());
+  const auto z = num::mul(top, Interval::point(0.0));
+  EXPECT_DOUBLE_EQ(z.lo, 0.0);
+  EXPECT_DOUBLE_EQ(z.hi, 0.0);
+  EXPECT_DOUBLE_EQ(num::scale(top, 0.0).width(), 0.0);
+}
+
+TEST(ValueRange, ResistiveDividerIsBoundedByTheSupplyHull) {
+  ckt::Netlist nl;
+  const auto vdd = nl.node("vdd");
+  const auto mid = nl.node("mid");
+  nl.add<dev::VSource>("vdd", vdd, ckt::kGround, 2.6);
+  nl.add<dev::Resistor>("r1", vdd, mid, 1e3);
+  nl.add<dev::Resistor>("r2", mid, ckt::kGround, 1e3);
+  nl.assign_unknowns();
+
+  const auto rep = an::range_analysis(nl);
+  ASSERT_TRUE(rep.converged);
+  ASSERT_TRUE(rep.supply_bounded);
+  EXPECT_DOUBLE_EQ(rep.supply_hull.lo, 0.0);
+  EXPECT_DOUBLE_EQ(rep.supply_hull.hi, 2.6);
+
+  // The supply node is pinned exactly; the divider tap is confined to
+  // the hull of its neighbours (maximum principle), not left at top.
+  const auto& v_vdd = rep.bounds[nl.node_unknown(vdd)];
+  EXPECT_DOUBLE_EQ(v_vdd.lo, 2.6);
+  EXPECT_DOUBLE_EQ(v_vdd.hi, 2.6);
+  const auto& v_mid = rep.bounds[nl.node_unknown(mid)];
+  ASSERT_TRUE(v_mid.bounded());
+  EXPECT_GE(v_mid.lo, 0.0);
+  EXPECT_LE(v_mid.hi, 2.6);
+  EXPECT_TRUE(rep.rail_violations.empty());
+  EXPECT_TRUE(rep.dead_devices.empty());
+}
+
+TEST(ValueRange, CurrentInjectorsDisqualifyTheHullRule) {
+  // A nonzero current source injects at x, so the maximum principle
+  // must NOT bound x (the voltage depends on the resistance and can
+  // exceed any neighbour hull).  A zero-valued source is inert and
+  // keeps its node eligible.
+  ckt::Netlist nl;
+  const auto x = nl.node("x");
+  const auto y = nl.node("y");
+  nl.add<dev::ISource>("i1", ckt::kGround, x, 1e-6);
+  nl.add<dev::Resistor>("r1", x, ckt::kGround, 1e3);
+  nl.add<dev::ISource>("i0", ckt::kGround, y, 0.0);
+  nl.add<dev::Resistor>("r2", y, ckt::kGround, 1e3);
+  nl.assign_unknowns();
+
+  const auto rep = an::range_analysis(nl);
+  EXPECT_TRUE(rep.bounds[nl.node_unknown(x)].is_top());
+  const auto& v_y = rep.bounds[nl.node_unknown(y)];
+  ASSERT_TRUE(v_y.bounded());
+  EXPECT_DOUBLE_EQ(v_y.lo, 0.0);
+  EXPECT_DOUBLE_EQ(v_y.hi, 0.0);
+}
+
+TEST(ValueRange, RailViolationRejectedBeforeAnyFactorization) {
+  auto parsed = spice::parse_netlist_file(fault_path("rail_violation.sp"));
+  auto& nl = *parsed.netlist;
+  nl.assign_unknowns();
+  an::register_analysis_lint_passes();
+
+  const auto issues = ckt::lint(nl);
+  ASSERT_TRUE(ckt::lint_has_errors(issues));
+  const auto* rail = find_issue(issues, ckt::LintKind::kRailViolation);
+  ASSERT_NE(rail, nullptr);
+  EXPECT_EQ(rail->severity, ckt::LintSeverity::kError);
+  EXPECT_EQ(rail->node, "nb");
+  EXPECT_EQ(rail->device, "vb");
+  EXPECT_EQ(rail->line, 5);
+  EXPECT_NE(rail->message.find("supply range"), std::string::npos);
+
+  const long factors_before = an::factor_call_count();
+  const auto op = an::solve_op(nl);
+  EXPECT_FALSE(op.converged);
+  EXPECT_EQ(op.diag.status, an::SolveStatus::kBadTopology);
+  EXPECT_EQ(op.diag.stage, "lint");
+  EXPECT_EQ(an::factor_call_count(), factors_before);
+}
+
+TEST(ValueRange, DeadDeviceWarnsAndStrictRejectsBeforeFactor) {
+  auto parsed = spice::parse_netlist_file(fault_path("dead_device.sp"));
+  auto& nl = *parsed.netlist;
+  nl.assign_unknowns();
+  an::register_analysis_lint_passes();
+
+  const auto issues = ckt::lint(nl);
+  EXPECT_FALSE(ckt::lint_has_errors(issues));
+  const auto* dead = find_issue(issues, ckt::LintKind::kDeadDevice);
+  ASSERT_NE(dead, nullptr);
+  EXPECT_EQ(dead->severity, ckt::LintSeverity::kWarning);
+  EXPECT_EQ(dead->device, "m1");
+  EXPECT_EQ(dead->line, 7);
+  EXPECT_NE(dead->message.find("provably off"), std::string::npos);
+
+  // Warnings do not block a normal solve ...
+  const auto op = an::solve_op(nl);
+  EXPECT_TRUE(op.converged);
+
+  // ... but strict mode rejects before the engine ever factors.
+  an::OpOptions strict;
+  strict.lint_strict = true;
+  const long factors_before = an::factor_call_count();
+  const auto op2 = an::solve_op(nl, strict);
+  EXPECT_EQ(op2.diag.status, an::SolveStatus::kBadTopology);
+  EXPECT_EQ(an::factor_call_count(), factors_before);
+}
+
+TEST(ValueRange, MicBoundsContainTheSolvedOpAtEveryGainCode) {
+  // Soundness over the switch-code family: the analysis treats each
+  // MOS switch as the [r_on, r_off] union, so ONE report's bounds must
+  // contain the solved operating point at every PGA gain code.
+  auto rig = bench::make_mic_rig();
+  rig->nl.assign_unknowns();
+  const auto rep = an::range_analysis(rig->nl);
+  ASSERT_TRUE(rep.supply_bounded);
+  EXPECT_TRUE(rep.rail_violations.empty());
+
+  for (int code = 0; code <= 5; ++code) {
+    rig->mic.set_gain_code(code);
+    const auto op = an::solve_op(rig->nl);
+    ASSERT_TRUE(op.converged) << "gain code " << code;
+    for (int n = 1; n < rig->nl.node_count(); ++n) {
+      const auto& iv = rep.bounds[rig->nl.node_unknown(n)];
+      const double slack =
+          1e-6 * std::max(1.0, iv.bounded() ? iv.mag() : 0.0);
+      EXPECT_GE(op.v(n), iv.lo - slack)
+          << "code " << code << " node " << rig->nl.node_name(n);
+      EXPECT_LE(op.v(n), iv.hi + slack)
+          << "code " << code << " node " << rig->nl.node_name(n);
+    }
+  }
+}
+
+TEST(ValueRange, CorpusRigsAndExamplesAreVerdictSilent) {
+  an::register_analysis_lint_passes();
+  auto expect_silent = [](ckt::Netlist& nl, const std::string& label) {
+    nl.assign_unknowns();
+    const auto issues = ckt::lint(nl);
+    for (const auto& i : issues) {
+      EXPECT_NE(i.kind, ckt::LintKind::kRailViolation)
+          << label << ": " << i.message;
+      EXPECT_NE(i.kind, ckt::LintKind::kDeadDevice)
+          << label << ": " << i.message;
+      EXPECT_NE(i.kind, ckt::LintKind::kConditioning)
+          << label << ": " << i.message;
+    }
+  };
+
+  auto mic = bench::make_mic_rig();
+  expect_silent(mic->nl, "mic");
+  auto chip = bench::make_chip_rig();
+  expect_silent(chip->nl, "chip");
+  auto drv = bench::make_drv_rig();
+  expect_silent(drv->nl, "drv");
+
+  const char* examples[] = {"bandgap_core.sp", "pga_ladder.sp",
+                            "rc_filter.sp"};
+  for (const char* name : examples) {
+    auto parsed = spice::parse_netlist_file(
+        std::string(MSIM_TEST_DIR) + "/../examples/netlists/" + name);
+    expect_silent(*parsed.netlist, name);
+  }
+}
+
+TEST(ValueRange, JsonReportIsStructured) {
+  ckt::Netlist nl;
+  const auto vdd = nl.node("vdd");
+  const auto mid = nl.node("mid");
+  nl.add<dev::VSource>("vdd", vdd, ckt::kGround, 2.6);
+  nl.add<dev::Resistor>("r1", vdd, mid, 1e3);
+  nl.add<dev::Resistor>("r2", mid, ckt::kGround, 1e3);
+  nl.assign_unknowns();
+
+  const std::string json = an::range_json(an::range_analysis(nl));
+  EXPECT_NE(json.find("\"converged\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"supply\":{\"bounded\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"headroom\":["), std::string::npos);
+  EXPECT_NE(json.find("\"rail_violations\":[]"), std::string::npos);
+  EXPECT_NE(json.find("\"dead_devices\":[]"), std::string::npos);
+  EXPECT_NE(json.find("\"conditioning\":{"), std::string::npos);
+
+  const std::string text = an::range_text(an::range_analysis(nl));
+  EXPECT_NE(text.find("value-range"), std::string::npos);
+}
+
+TEST(LintFramework, RangePassesCanBeDisabledByNameAndByKind) {
+  auto parsed = spice::parse_netlist_file(fault_path("rail_violation.sp"));
+  auto& nl = *parsed.netlist;
+  nl.assign_unknowns();
+  an::register_analysis_lint_passes();
+
+  ASSERT_TRUE(ckt::lint_has_errors(ckt::lint(nl)));
+
+  // Disable by pass name.
+  ckt::LintOptions by_name;
+  by_name.disable = {"value_range"};
+  EXPECT_FALSE(
+      has_issue(ckt::lint(nl, by_name), ckt::LintKind::kRailViolation));
+
+  // Disable by kind string.
+  ckt::LintOptions by_kind;
+  by_kind.disable = {"rail_violation"};
+  EXPECT_FALSE(
+      has_issue(ckt::lint(nl, by_kind), ckt::LintKind::kRailViolation));
+
+  // Default options re-arm the pass: disabling is per-invocation, not
+  // sticky registry state.
+  EXPECT_TRUE(has_issue(ckt::lint(nl), ckt::LintKind::kRailViolation));
+}
+
+TEST(LintFramework, ErrorsOrderBeforeWarningsAcrossPasses) {
+  // A netlist with both a rail-violation ERROR and a dangling-terminal
+  // WARNING: the report must list every error before any warning, and
+  // the relative order within a severity class must be stable.
+  ckt::Netlist nl;
+  const auto vdd = nl.node("vdd");
+  const auto nb = nl.node("nb");
+  const auto a = nl.node("a");
+  const auto stub = nl.node("stub");
+  nl.add<dev::VSource>("vdd", vdd, ckt::kGround, 2.6);
+  nl.add<dev::VSource>("vb", nb, ckt::kGround, 3.4);
+  nl.add<dev::Resistor>("r1", vdd, a, 1e4);
+  nl.add<dev::Resistor>("r2", a, ckt::kGround, 1e4);
+  nl.add<dev::Resistor>("r3", nb, a, 1e5);
+  nl.add<dev::Resistor>("r4", a, stub, 1e4);
+  nl.assign_unknowns();
+  an::register_analysis_lint_passes();
+
+  const auto issues = ckt::lint(nl);
+  ASSERT_TRUE(has_issue(issues, ckt::LintKind::kRailViolation));
+  ASSERT_TRUE(has_issue(issues, ckt::LintKind::kDanglingTerminal));
+  bool seen_warning = false;
+  for (const auto& i : issues) {
+    if (i.severity == ckt::LintSeverity::kWarning) seen_warning = true;
+    if (i.severity == ckt::LintSeverity::kError)
+      EXPECT_FALSE(seen_warning)
+          << "error listed after a warning: " << i.message;
+  }
+  EXPECT_EQ(issues.front().severity, ckt::LintSeverity::kError);
+}
+
+TEST(Preflight, RangeVerdictCachedAndInheritedThroughAdoption) {
+  // The range passes ride the same clean-verdict cache as the
+  // structural passes: a clean solve caches the verdict under the
+  // topology fingerprint, adopting samples inherit it, and the armed
+  // passes never force a per-sample re-run.
+  auto nominal = bench::make_mic_rig();
+  const auto op = an::solve_op(nominal->nl);
+  ASSERT_TRUE(op.converged);
+
+  auto sample = bench::make_mic_rig();
+  sample->nl.adopt_solver_cache(nominal->nl);
+  const long full_runs = an::preflight_full_runs();
+  const auto op2 = an::solve_op(sample->nl);
+  ASSERT_TRUE(op2.converged);
+  EXPECT_EQ(an::preflight_full_runs(), full_runs);
+
+  // A faulty netlist is never verdict-cached: each solve re-pays the
+  // full pre-pass and is rejected again.
+  auto parsed = spice::parse_netlist_file(fault_path("rail_violation.sp"));
+  auto& bad = *parsed.netlist;
+  bad.assign_unknowns();
+  const long bad_runs = an::preflight_full_runs();
+  EXPECT_FALSE(an::solve_op(bad).converged);
+  EXPECT_FALSE(an::solve_op(bad).converged);
+  EXPECT_EQ(an::preflight_full_runs(), bad_runs + 2);
 }
 
 }  // namespace

@@ -8,10 +8,10 @@ For every configuration present in both files (matched by section and
 name) the candidate's wall time may not exceed the baseline's by more
 than the threshold (default 15%).  The determinism and engine-agreement
 contract flags must also still hold in the candidate, and the
-structural pre-pass must stay cheap: every `structural_prepass` entry
-in the candidate must report an `added_fraction` below
---prepass-threshold (default 0.01, i.e. <1% of its MC scenario's wall
-time).  Exit status is 0 when everything passes, 1 otherwise --
+structural pre-pass must stay cheap: every `structural_prepass` and
+`range_prepass` entry in the candidate must report an `added_fraction`
+below --prepass-threshold (default 0.01, i.e. <1% of its MC scenario's
+wall time).  Exit status is 0 when everything passes, 1 otherwise --
 suitable for CI gating.
 
 Wall-clock timings are noisy; the harness already reports best-of-N,
@@ -122,24 +122,27 @@ def main():
         for name in sorted(b.keys() - c.keys()):
             failures.append(f"{section}/{name}: missing from candidate")
 
-    # The structural pre-pass is judged absolutely (against the scenario
-    # it rides on), not against the baseline: it must stay in the noise.
-    for cfg in cand.get("structural_prepass", []):
-        frac = cfg.get("added_fraction")
-        name = cfg.get("name", "?")
-        if frac is None:
-            failures.append(f"structural_prepass/{name}: "
-                            f"missing added_fraction")
-            continue
-        marker = "ok"
-        if frac >= args.prepass_threshold:
-            marker = "TOO EXPENSIVE"
-            failures.append(
-                f"structural_prepass/{name}: adds {100 * frac:.2f}% of "
-                f"scenario wall time "
-                f"(limit {100 * args.prepass_threshold:.2f}%)")
-        print(f"  structural_prepass/{name:<16} adds {100 * frac:6.3f}% "
-              f"of MC wall [{marker}]")
+    # The pre-passes are judged absolutely (against the scenario they
+    # ride on), not against the baseline: they must stay in the noise.
+    # `range_prepass` rows (value-range interval analysis) share the
+    # structural gate since both are paid before the first factorization.
+    for section in ("structural_prepass", "range_prepass"):
+        for cfg in cand.get(section, []):
+            frac = cfg.get("added_fraction")
+            name = cfg.get("name", "?")
+            if frac is None:
+                failures.append(f"{section}/{name}: "
+                                f"missing added_fraction")
+                continue
+            marker = "ok"
+            if frac >= args.prepass_threshold:
+                marker = "TOO EXPENSIVE"
+                failures.append(
+                    f"{section}/{name}: adds {100 * frac:.2f}% of "
+                    f"scenario wall time "
+                    f"(limit {100 * args.prepass_threshold:.2f}%)")
+            print(f"  {section}/{name:<16} adds {100 * frac:6.3f}% "
+                  f"of MC wall [{marker}]")
 
     # Budget-overhead gate, judged absolutely on the candidate: an
     # armed-but-idle RunBudget (cancellation polls only, never expiring)

@@ -1,7 +1,7 @@
 // msim_cli: run SPICE-format netlists from the command line.
 //
 //   msim_cli circuit.sp [--probe node1,node2,...] [--lint-only]
-//                       [--lint] [--lint-strict]
+//                       [--lint] [--lint-strict] [--range]
 //                       [--lint-disable pass1,pass2,...]
 //                       [--no-telemetry] [--tran-stats]
 //
@@ -52,6 +52,7 @@
 #include "analysis/structural.h"
 #include "analysis/sweep.h"
 #include "analysis/transient.h"
+#include "analysis/range.h"
 #include "circuit/lint.h"
 #include "devices/sources.h"
 #include "numeric/units.h"
@@ -118,6 +119,7 @@ struct CliOptions {
   bool lint_only = false;   // human-readable report, then exit
   bool lint_json = false;   // JSON report, then exit
   bool lint_strict = false;
+  bool range_json = false;  // value-range JSON report, then exit
   bool telemetry = true;
   bool tran_stats = false;  // factorization-reuse telemetry as JSON
   double budget_ms = 0.0;   // shared wall-clock budget (0 = unlimited)
@@ -138,6 +140,12 @@ int run(const CliOptions& cli) {
   ckt::LintOptions lint_opt;
   lint_opt.disable = cli.lint_disable;
   const auto issues = ckt::lint(nl, lint_opt);
+  if (cli.range_json) {
+    // Machine-readable value-range report: interval node bounds,
+    // supply hull, headroom, dead devices, conditioning forecast.
+    std::printf("%s\n", an::range_json(an::range_analysis(nl, {})).c_str());
+    return ckt::lint_has_errors(issues) ? 3 : 0;
+  }
   if (cli.lint_json) {
     std::printf("%s\n", ckt::lint_json(issues).c_str());
     if (ckt::lint_has_errors(issues)) return 3;
@@ -355,6 +363,8 @@ int main(int argc, char** argv) {
       cli.lint_json = true;
     else if (std::strcmp(argv[i], "--lint-strict") == 0)
       cli.lint_strict = true;
+    else if (std::strcmp(argv[i], "--range") == 0)
+      cli.range_json = true;
     else if (std::strcmp(argv[i], "--lint-disable") == 0 && i + 1 < argc)
       cli.lint_disable = split_csv(argv[++i]);
     else if (std::strcmp(argv[i], "--no-telemetry") == 0)
@@ -371,7 +381,7 @@ int main(int argc, char** argv) {
   if (cli.path.empty()) {
     std::fprintf(stderr,
                  "usage: msim_cli <netlist.sp> [--probe n1,n2,...] "
-                 "[--lint] [--lint-only] [--lint-strict] "
+                 "[--lint] [--lint-only] [--lint-strict] [--range] "
                  "[--lint-disable p1,p2,...] [--no-telemetry] "
                  "[--tran-stats] [--budget-ms N] [--ensemble N]\n");
     return 2;

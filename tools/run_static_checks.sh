@@ -3,23 +3,47 @@
 # warnings promoted to errors, plus the fault-injection test suites
 # under an AddressSanitizer + UBSan build (the recovery paths those
 # tests walk -- failed factorizations, budget aborts, NaN injection --
-# are exactly where lifetime bugs hide).  Intended as a CI gate:
+# are exactly where lifetime bugs hide) and the concurrency suites
+# under ThreadSanitizer (the worker-pool and lockstep-ensemble paths
+# are the only places the engine shares mutable state across threads).
+# Intended as a CI gate:
 #
-#   tools/run_static_checks.sh [build-dir]
+#   tools/run_static_checks.sh [--require-tools] [build-dir]
 #
 # Exit codes: 0 clean (or tool unavailable -- see below), 1 findings,
 # 2 setup failure.
 #
-# When clang-tidy is not installed the script prints a notice and exits
-# 0 so that environments without the LLVM toolchain (the minimal CI
-# image, contributor laptops) are not hard-blocked; install clang-tidy
-# (>= 14) to make the gate effective.  The sanitizer pass likewise
-# degrades to a notice when cmake/ctest or a sanitizer-capable compiler
-# is unavailable.
+# By default a missing tool (clang-tidy, cmake/ctest, a sanitizer-
+# capable compiler) degrades to a notice and exit 0 so that
+# environments without the LLVM toolchain (the minimal CI image,
+# contributor laptops) are not hard-blocked.  With --require-tools a
+# missing tool is a hard exit 2 instead: CI invokes the script this way
+# so the gate can never be vacuously green.
 set -u
 
+require_tools=0
+build_dir=""
+for arg in "$@"; do
+  case "$arg" in
+    --require-tools) require_tools=1 ;;
+    -*) echo "run_static_checks: unknown option '$arg'" >&2; exit 2 ;;
+    *) build_dir="$arg" ;;
+  esac
+done
+
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
-build_dir="${1:-$repo_root/build}"
+[ -n "$build_dir" ] || build_dir="$repo_root/build"
+
+# A tool is missing: notice + soft skip (return 0) by default, hard
+# exit 2 under --require-tools.
+missing_tool() {
+  if [ "$require_tools" -eq 1 ]; then
+    echo "run_static_checks: $1 (--require-tools: failing)" >&2
+    exit 2
+  fi
+  echo "run_static_checks: $1; skipping" >&2
+  return 0
+}
 
 # ---- sanitized fault-injection suites --------------------------------
 # Build the robustness suites with -fsanitize=address,undefined in a
@@ -30,7 +54,7 @@ build_dir="${1:-$repo_root/build}"
 run_sanitized_faults() {
   local san_dir="$repo_root/build-asan-ubsan"
   if ! command -v cmake >/dev/null 2>&1 || ! command -v ctest >/dev/null 2>&1; then
-    echo "run_static_checks: cmake/ctest not found; skipping sanitized fault suites" >&2
+    missing_tool "cmake/ctest not found (sanitized fault suites)"
     return 0
   fi
   echo "run_static_checks: building fault suites with asan+ubsan in $san_dir" >&2
@@ -39,7 +63,7 @@ run_sanitized_faults() {
         -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
         -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined" \
         >/dev/null 2>&1 || {
-    echo "run_static_checks: sanitized configure failed; skipping (compiler without asan/ubsan?)" >&2
+    missing_tool "sanitized configure failed (compiler without asan/ubsan?)"
     return 0
   }
   cmake --build "$san_dir" -j "$(nproc 2>/dev/null || echo 2)" \
@@ -51,11 +75,41 @@ run_sanitized_faults() {
   return 0
 }
 
+# ---- ThreadSanitizer concurrency suites ------------------------------
+# The worker pool (test_parallel) and the lockstep multi-lane ensemble
+# (test_ensemble) are the only code paths that share mutable state
+# across threads; run exactly those under -fsanitize=thread.  TSan and
+# ASan cannot coexist in one binary, hence the third build tree.
+run_tsan_suites() {
+  local tsan_dir="$repo_root/build-tsan"
+  if ! command -v cmake >/dev/null 2>&1 || ! command -v ctest >/dev/null 2>&1; then
+    missing_tool "cmake/ctest not found (tsan suites)"
+    return 0
+  fi
+  echo "run_static_checks: building concurrency suites with tsan in $tsan_dir" >&2
+  cmake -B "$tsan_dir" -S "$repo_root" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DCMAKE_CXX_FLAGS="-fsanitize=thread" \
+        -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" \
+        >/dev/null 2>&1 || {
+    missing_tool "tsan configure failed (compiler without tsan?)"
+    return 0
+  }
+  cmake --build "$tsan_dir" -j "$(nproc 2>/dev/null || echo 2)" \
+        --target test_ensemble test_parallel \
+        >/dev/null || return 1
+  (cd "$tsan_dir" && ctest --output-on-failure \
+        -R '^(test_ensemble|test_parallel)$') || return 1
+  echo "run_static_checks: tsan concurrency suites clean" >&2
+  return 0
+}
+
 run_sanitized_faults || exit 1
+run_tsan_suites || exit 1
 
 tidy="${CLANG_TIDY:-clang-tidy}"
 if ! command -v "$tidy" >/dev/null 2>&1; then
-  echo "run_static_checks: $tidy not found; skipping (install clang-tidy >= 14 to enable the gate)" >&2
+  missing_tool "$tidy not found (install clang-tidy >= 14 to enable the gate)"
   exit 0
 fi
 
