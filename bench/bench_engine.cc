@@ -10,7 +10,12 @@
 // must be bit-identical at 1, 2 and 8 threads.  The assembly_configs
 // section micro-benchmarks sparse re-assembly under the searched /
 // slot-cached / batched modes and gates on the slot modes replaying
-// with zero pattern binary searches.
+// with zero pattern binary searches.  The pss_configs section measures
+// one THD point by shooting periodic steady state against the
+// doubling-verified settle oracle (periods integrated, wall time, THD
+// agreement) and gates on the two estimates agreeing;
+// tools/bench_compare.py --pss-threshold additionally gates the
+// period_ratio.
 //
 //   --smoke          shrink every scenario (sample counts, repeats,
 //                    transient spans) so the whole harness plus all of
@@ -40,6 +45,7 @@
 #include "analysis/structural.h"
 #include "analysis/noise.h"
 #include "analysis/op.h"
+#include "analysis/pss.h"
 #include "analysis/transient.h"
 #include "bench_util.h"
 #include "circuit/netlist.h"
@@ -359,6 +365,124 @@ TranRun run_tran(const std::string& name, int repeats,
       maxd = std::max(maxd, std::abs(wf[i] - wm[i]));
   }
   run.agree = maxd < 1e-4;
+  return run;
+}
+
+// ------------------------------------------------- PSS vs verified settle
+//
+// One THD point by shooting periodic steady state vs the settle-and-
+// record transient oracle.  The oracle has no periodicity certificate,
+// so a blind measurement must prove its own convergence: run the legacy
+// settle depth (2 discarded periods + 3 recorded), double the depth,
+// and accept once two consecutive estimates agree within the gate
+// tolerance -- every integrated period of every round counts toward
+// its cost.  Shooting PSS carries the certificate internally (the
+// boundary residual ||x(0) - x(T)||), so its cost is one prefix period
+// plus one period per shot, and it records exactly one coherent period.
+struct PssRun {
+  std::string name;
+  double f0 = 1e3;
+  double settle_thd = 0.0;
+  double pss_thd = 0.0;
+  double settle_periods = 0.0;  // cumulative over all oracle rounds
+  double pss_periods = 0.0;     // PssTelemetry::periods_integrated
+  double settle_ms = 0.0;
+  double pss_ms = 0.0;
+  int settle_rounds = 0;
+  int shooting_iterations = 0;
+  double residual = 0.0;
+  bool ok = false;
+  bool agree = false;
+  double period_ratio() const {
+    return pss_periods > 0.0 ? settle_periods / pss_periods : 0.0;
+  }
+  double rel_err() const {
+    return settle_thd > 0.0 ? std::abs(pss_thd - settle_thd) / settle_thd
+                            : 0.0;
+  }
+  double speedup() const {
+    return pss_ms > 0.0 ? settle_ms / pss_ms : 0.0;
+  }
+};
+
+PssRun run_pss(
+    const std::string& name, double f0, double dt, double agree_tol,
+    int repeats,
+    const std::function<std::pair<ckt::NodeId, ckt::NodeId>(ckt::Netlist&)>&
+        make) {
+  PssRun run;
+  run.name = name;
+  run.f0 = f0;
+  run.settle_ms = std::numeric_limits<double>::infinity();
+  run.pss_ms = std::numeric_limits<double>::infinity();
+  const auto plan = sig::plan_coherent_capture(f0, dt);
+
+  for (int rep = 0; rep < repeats; ++rep) {
+    // Doubling-verified settle oracle.
+    double ms = 0.0, periods = 0.0, thd = -1.0, prev = -1.0;
+    int rounds = 0;
+    for (double s = 2.0; s <= 32.0; s *= 2.0) {
+      ckt::Netlist nl;
+      const auto [outp, outn] = make(nl);
+      an::TranOptions t;
+      t.dt = plan.dt;
+      t.record_after = s / f0;
+      t.t_stop = (s + 3.0) / f0;
+      const auto t0 = Clock::now();
+      const auto tr = an::run_transient(nl, t);
+      ms += ms_since(t0);
+      if (!tr.ok) {
+        std::fprintf(stderr, "pss '%s': settle oracle failed: %s\n",
+                     name.c_str(), tr.diag.message().c_str());
+        return run;
+      }
+      auto w = tr.diff_wave(outp, outn);
+      // Exact-integer-period window: the recorded span is one sample
+      // longer than 3 periods (fence-post), which would leak the
+      // fundamental into the harmonic bins at the 1e-5 level.
+      const std::size_t n3 = 3u * static_cast<std::size_t>(
+                                      plan.samples_per_period);
+      if (w.size() > n3) w.resize(n3);
+      thd = sig::measure_harmonics(w, t.dt, f0).thd;
+      periods += s + 3.0;
+      ++rounds;
+      if (prev >= 0.0 &&
+          std::abs(thd - prev) <= agree_tol * std::max(thd, prev))
+        break;
+      prev = thd;
+    }
+    if (ms < run.settle_ms) {
+      run.settle_ms = ms;
+      run.settle_thd = thd;
+      run.settle_periods = periods;
+      run.settle_rounds = rounds;
+    }
+
+    // Shooting PSS: one certified point.  A one-period prefix is
+    // enough -- the boundary Newton handles whatever transient remains.
+    ckt::Netlist nl;
+    const auto [outp, outn] = make(nl);
+    an::PssOptions o;
+    o.tran.dt = dt;
+    o.prefix_periods = 1.0;
+    const auto t0 = Clock::now();
+    const auto r = an::run_pss_shooting(nl, o);
+    const double pss_ms = ms_since(t0);
+    if (!r.ok) {
+      std::fprintf(stderr, "pss '%s': shooting failed: %s\n", name.c_str(),
+                   r.diag.message().c_str());
+      return run;
+    }
+    if (pss_ms < run.pss_ms) {
+      run.pss_ms = pss_ms;
+      run.pss_thd = r.harmonics(r.diff_wave(outp, outn)).thd;
+      run.pss_periods = r.telemetry.periods_integrated;
+      run.shooting_iterations = r.telemetry.shooting_iterations;
+      run.residual = r.telemetry.residual;
+    }
+  }
+  run.ok = true;
+  run.agree = run.rel_err() <= agree_tol;
   return run;
 }
 
@@ -1016,6 +1140,38 @@ int run_harness(const char* out_path, bool smoke, int mc_samples,
   std::printf("  slot modes replay with zero pattern searches: %s\n",
               asm_zero_lookups ? "yes" : "NO");
 
+  // PSS vs verified settle on the paper's two tone workloads.
+  const double kPssTol = 0.05;  // THD agreement gate, relative
+  const auto pss_drv = run_pss(
+      "buffer-hd", 1e3, 1e-6, kPssTol, kRepeats, [&](ckt::Netlist& nl) {
+        auto p = bench::build_drv_into(nl);
+        p.vsp->set_waveform(dev::Waveform::sine(0.0, 0.3, 1e3));
+        p.vsn->set_waveform(dev::Waveform::sine(0.0, -0.3, 1e3));
+        return std::make_pair(p.drv.outp, p.drv.outn);
+      });
+  const auto pss_mic = run_pss(
+      "micamp-tone", 1e3, 2e-6, kPssTol, kRepeats, [&](ckt::Netlist& nl) {
+        auto p = bench::build_mic_into(nl);
+        p.mic.set_gain_code(5);
+        p.vinp->set_waveform(dev::Waveform::sine(0.0, 1e-3, 1e3));
+        p.vinn->set_waveform(dev::Waveform::sine(0.0, -1e-3, 1e3));
+        return std::make_pair(p.mic.outp, p.mic.outn);
+      });
+  std::printf("engine harness: shooting PSS vs verified settle "
+              "(best of %d)\n",
+              kRepeats);
+  bool pss_ok = true;
+  for (const PssRun* r : {&pss_drv, &pss_mic}) {
+    std::printf("  %-14s settle %5.1f periods (%d rounds, %7.1f ms)  "
+                "pss %4.2f periods (%d shots, %7.1f ms)  ratio %5.2fx  "
+                "thd %.3e vs %.3e (drel %.1e) agree %s\n",
+                r->name.c_str(), r->settle_periods, r->settle_rounds,
+                r->settle_ms, r->pss_periods, r->shooting_iterations,
+                r->pss_ms, r->period_ratio(), r->pss_thd, r->settle_thd,
+                r->rel_err(), r->agree ? "yes" : "NO");
+    pss_ok = pss_ok && r->ok && r->agree;
+  }
+
   const double mic_speedup =
       dense.wall_ms /
       std::min({sparse1.wall_ms, sparse2.wall_ms, sparse8.wall_ms});
@@ -1078,6 +1234,25 @@ int run_harness(const char* out_path, bool smoke, int mc_samples,
   json_tran(f, tran_chip, false);
   json_tran(f, tran_rc, true);
   std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"pss_configs\": [\n");
+  for (const PssRun* r : {&pss_drv, &pss_mic})
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"f0_hz\": %g, "
+                 "\"wall_ms\": %.3f, \"settle_ms\": %.3f, "
+                 "\"speedup_vs_settle\": %.3f, "
+                 "\"settle_periods\": %.2f, \"settle_rounds\": %d, "
+                 "\"pss_periods\": %.2f, \"shooting_iterations\": %d, "
+                 "\"period_ratio\": %.3f, "
+                 "\"settle_thd\": %.8e, \"pss_thd\": %.8e, "
+                 "\"thd_rel_err\": %.3e, \"thd_agree\": %s, "
+                 "\"periodicity_residual\": %.3e}%s\n",
+                 r->name.c_str(), r->f0, r->pss_ms, r->settle_ms,
+                 r->speedup(), r->settle_periods, r->settle_rounds,
+                 r->pss_periods, r->shooting_iterations,
+                 r->period_ratio(), r->settle_thd, r->pss_thd,
+                 r->rel_err(), r->agree ? "true" : "false", r->residual,
+                 r == &pss_mic ? "" : ",");
+  std::fprintf(f, "  ],\n");
   std::fprintf(f, "  \"ensemble_configs\": [\n");
   json_ens(f, ens_mic_ps, ens_mic_ps,
            finals_agree(ens_mic_ps, ens_mic_ps, 1e-5), false);
@@ -1128,7 +1303,7 @@ int run_harness(const char* out_path, bool smoke, int mc_samples,
 
   return (deterministic && engines_agree && chip_deterministic &&
           chip_agree && tran_agree && asm_zero_lookups && budget_agree &&
-          ens_ok)
+          ens_ok && pss_ok)
              ? 0
              : 1;
 }

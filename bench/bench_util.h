@@ -144,6 +144,42 @@ inline std::unique_ptr<ChipRig> make_chip_rig(
 }
 
 // Driver rig in the Fig. 9 inverting connection with a 50 ohm load.
+struct DrvParts {
+  dev::VSource* vdd_src = nullptr;
+  dev::VSource* vss_src = nullptr;
+  dev::VSource* vsp = nullptr;
+  dev::VSource* vsn = nullptr;
+  core::ClassAbDriver drv;
+};
+
+inline DrvParts build_drv_into(
+    ckt::Netlist& nl, double vsup = 2.6, const core::DriverDesign& d = {},
+    double c_load = 0.0,
+    const proc::ProcessModel& pm = proc::ProcessModel::cmos12()) {
+  DrvParts r;
+  const auto nvdd = nl.node("vdd");
+  const auto nvss = nl.node("vss");
+  const auto src_p = nl.node("src_p");
+  const auto src_n = nl.node("src_n");
+  const auto fb_p = nl.node("fb_p");
+  const auto fb_n = nl.node("fb_n");
+  r.vdd_src = nl.add<dev::VSource>("Vdd", nvdd, ckt::kGround, vsup / 2.0);
+  r.vss_src =
+      nl.add<dev::VSource>("Vss", nvss, ckt::kGround, -vsup / 2.0);
+  r.vsp = nl.add<dev::VSource>("Vsp", src_p, ckt::kGround, 0.0);
+  r.vsn = nl.add<dev::VSource>("Vsn", src_n, ckt::kGround, 0.0);
+  r.drv = core::build_class_ab_driver(nl, pm, d, nvdd, nvss, ckt::kGround,
+                                      fb_p, fb_n);
+  nl.add<dev::Resistor>("Ra1", src_p, fb_n, 20e3);
+  nl.add<dev::Resistor>("Rf1", r.drv.outp, fb_n, 20e3);
+  nl.add<dev::Resistor>("Ra2", src_n, fb_p, 20e3);
+  nl.add<dev::Resistor>("Rf2", r.drv.outn, fb_p, 20e3);
+  nl.add<dev::Resistor>("RL", r.drv.outp, r.drv.outn, 50.0);
+  if (c_load > 0.0)
+    nl.add<dev::Capacitor>("CL", r.drv.outp, r.drv.outn, c_load);
+  return r;
+}
+
 struct DrvRig {
   ckt::Netlist nl;
   dev::VSource* vdd_src = nullptr;
@@ -158,27 +194,12 @@ inline std::unique_ptr<DrvRig> make_drv_rig(
     double c_load = 0.0,
     const proc::ProcessModel& pm = proc::ProcessModel::cmos12()) {
   auto r = std::make_unique<DrvRig>();
-  auto& nl = r->nl;
-  const auto nvdd = nl.node("vdd");
-  const auto nvss = nl.node("vss");
-  const auto src_p = nl.node("src_p");
-  const auto src_n = nl.node("src_n");
-  const auto fb_p = nl.node("fb_p");
-  const auto fb_n = nl.node("fb_n");
-  r->vdd_src = nl.add<dev::VSource>("Vdd", nvdd, ckt::kGround, vsup / 2.0);
-  r->vss_src =
-      nl.add<dev::VSource>("Vss", nvss, ckt::kGround, -vsup / 2.0);
-  r->vsp = nl.add<dev::VSource>("Vsp", src_p, ckt::kGround, 0.0);
-  r->vsn = nl.add<dev::VSource>("Vsn", src_n, ckt::kGround, 0.0);
-  r->drv = core::build_class_ab_driver(nl, pm, d, nvdd, nvss, ckt::kGround,
-                                       fb_p, fb_n);
-  nl.add<dev::Resistor>("Ra1", src_p, fb_n, 20e3);
-  nl.add<dev::Resistor>("Rf1", r->drv.outp, fb_n, 20e3);
-  nl.add<dev::Resistor>("Ra2", src_n, fb_p, 20e3);
-  nl.add<dev::Resistor>("Rf2", r->drv.outn, fb_p, 20e3);
-  nl.add<dev::Resistor>("RL", r->drv.outp, r->drv.outn, 50.0);
-  if (c_load > 0.0)
-    nl.add<dev::Capacitor>("CL", r->drv.outp, r->drv.outn, c_load);
+  DrvParts parts = build_drv_into(r->nl, vsup, d, c_load, pm);
+  r->vdd_src = parts.vdd_src;
+  r->vss_src = parts.vss_src;
+  r->vsp = parts.vsp;
+  r->vsn = parts.vsn;
+  r->drv = parts.drv;
   return r;
 }
 

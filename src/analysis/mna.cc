@@ -672,6 +672,13 @@ void RealSystem::solve_modified(const num::RealVector& x,
   stats_.solve_ns += solve_clock_.end_ns();
 }
 
+void RealSystem::solve_held(const num::RealVector& b, num::RealVector& y) {
+  if (kind_ == SolverKind::kSparse)
+    slu_.solve(b, y);
+  else
+    dlu_.solve(b, y);
+}
+
 // ----------------------------------------------------------- EnsembleSystem
 
 struct EnsembleSystem::Impl {

@@ -159,6 +159,13 @@ class RealSystem {
   // factorization is fresh; a fixed-point refinement otherwise.
   // Requires a prior successful factor().  `x_new` must not alias `x`.
   void solve_modified(const num::RealVector& x, num::RealVector& x_new);
+  // Raw substitution against the held factorization: y = J0^{-1} b,
+  // where J0 is whatever factor() last factored.  Leaves the assembled
+  // rhs untouched; `y` must not alias `b`.  The PSS shooting analysis
+  // propagates the sensitivity matrix Phi = dx(T)/dx(0) column-by-
+  // column through this -- every column rides the transient loop's
+  // existing LU, so building Phi costs zero extra factorizations.
+  void solve_held(const num::RealVector& b, num::RealVector& y);
 
   // True when the netlist this system was init'ed for has no nonlinear
   // devices (linear fast-path eligibility).

@@ -1,0 +1,138 @@
+// Periodic steady state by shooting-Newton.
+//
+// The distortion rigs only care about ONE steady tone period, but a
+// plain transient must integrate hundreds of settle periods before the
+// capacitor transients die out.  Shooting solves the periodicity
+// condition directly: integrate one period T = 1/f0 with the existing
+// transient engine, build the sensitivity matrix Phi = dx(T)/dx(0)
+// alongside it, and Newton-iterate on the boundary map
+//
+//     F(x0) = x(T; x0) - x0 = 0   =>   (I - Phi) dx0 = x(T) - x0.
+//
+// Phi is propagated column-by-column through RealSystem::solve_held
+// against the per-step LUs the transient loop already factored, so the
+// sensitivity ride-along costs zero extra factorizations on a
+// constant-dt run (see TranStepHook).  The per-step history Jacobian M
+// (the capacitor/inductor companion terms, the only dt-dependent part
+// of the MNA matrix) is extracted once, device-agnostically, as the
+// difference of two assemblies at dt and dt/2 -- every dt-independent
+// stamp cancels exactly.
+//
+// Columns of Phi are nonzero only for "dynamic" unknowns (structural
+// nonzero columns of M): a starting state enters the next period solely
+// through the device integration history primed by begin_transient, so
+// the dense Newton boundary system is m x m with m = dynamic unknowns,
+// typically far smaller than the full MNA dimension.
+//
+// Restart purity: each shot runs with TranOptions::initial_state plus
+// first_step_backward_euler, which makes x(T) a pure function of x0
+// (see transient.h).  For a linear circuit the period map is affine, so
+// one Newton update lands on the periodic orbit to machine precision.
+//
+// Known approximation: the trapezoidal inductor companion carries a
+// v_prev term whose sensitivity is folded into the cap-style recurrence
+// rather than tracked exactly; this only slows shooting convergence
+// (the periodicity residual always uses actually-integrated states and
+// is exact).  The paper's rigs are inductor-free.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/transient.h"
+#include "signal/meter.h"
+
+namespace msim::an {
+
+// Frequency of the deck's single periodic tone: every non-DC source
+// must be the same undamped, undelayed sine (any pulse/PWL source, a
+// damped or delayed sine, or two different sine frequencies make the
+// forcing non-periodic over one candidate period).  Returns 0 when no
+// such tone exists -- callers then fall back to settle-and-FFT or pass
+// PssOptions::f0_hz explicitly.
+double single_tone_hz(const ckt::Netlist& nl);
+
+struct PssOptions {
+  // Tone frequency; 0 = auto-detect via single_tone_hz(nl).
+  double f0_hz = 0.0;
+  // Samples per period (dt = 1/(f0 * spp), exactly coherent).  0 =
+  // derive from tran.dt via sig::plan_coherent_capture.
+  int samples_per_period = 0;
+  // Settle prefix integrated once before the first shot to put the
+  // Newton start inside the basin (skipped when x_warm is set).
+  double prefix_periods = 2.0;
+  // Newton updates on the boundary map before giving up.
+  int max_shooting = 8;
+  // Periodicity tolerance: converged when
+  //   max|x(T) - x(0)| <= ptol_abs + ptol_rel * max|x(T)|.
+  double ptol_abs = 1e-7;
+  double ptol_rel = 1e-6;
+  // Engine knobs forwarded to every integration (dt / t_stop / record /
+  // adaptive / initial_state / step_hook are overridden by the PSS
+  // driver; solver, tolerances, temp_k etc. apply as usual).
+  TranOptions tran;
+  // Optional budget / cancel hook; overrides tran.budget when set.
+  // Expiry returns a structured partial with the best boundary state so
+  // far as a restart handle (see PssResult).
+  core::RunBudget* budget = nullptr;
+  // Warm-start boundary state (e.g. a prior PssResult::x0 or a budget
+  // checkpoint); skips the settle prefix.  Borrowed, must outlive the
+  // call.
+  const num::RealVector* x_warm = nullptr;
+};
+
+// Effort accounting for one PSS solve.
+struct PssTelemetry {
+  int shooting_iterations = 0;     // Newton boundary updates applied
+  double periods_integrated = 0.0; // prefix + one per shot (the headline
+                                   // number settle-and-FFT is compared on)
+  double residual = 0.0;           // final max|x(T) - x(0)|
+  std::vector<double> residual_history;  // one entry per completed shot
+  int unknowns = 0;
+  int dynamic_unknowns = 0;        // Phi columns actually propagated
+  long phi_solve_count = 0;        // solve_held substitutions for Phi
+  long phi_ns = 0;  // Phi ride-along cost (M build + solves + matvecs),
+                    // disjoint from the stamp/factor/solve breakdown in
+                    // `tran` below
+  TranTelemetry tran;              // aggregated over prefix + all shots
+  // Multi-line human-readable summary (CLI / log output).
+  std::string summary() const;
+  // One-line JSON object (bench harness, msim_cli --tran-stats).
+  std::string json() const;
+};
+
+struct PssResult {
+  bool ok = false;
+  SolveDiag diag;           // stage "pss", "pss_prefix", "pss_period",
+                            // "pss_shooting" or "pss_boundary"
+  PssTelemetry telemetry;
+  double f0_hz = 0.0;
+  double dt = 0.0;          // coherent step actually used
+  // Converged periodic boundary state x(0) = x(T).
+  num::RealVector x0;
+  // Exactly one steady period: samples_per_period points covering
+  // t in [0, T) (the duplicate t = T endpoint is dropped, so feeding a
+  // node_wave straight into sig::measure_harmonics is exactly coherent).
+  std::vector<double> time;
+  std::vector<num::RealVector> x;
+  // Partial-result contract (budget / cancel), mirroring TranResult:
+  // `x_checkpoint` is the last accepted state of the interrupted
+  // integration -- pass it back as PssOptions::x_warm to resume.
+  bool truncated = false;
+  double t_checkpoint = 0.0;  // time within the interrupted run
+  num::RealVector x_checkpoint;
+
+  // Waveform of one node voltage over the steady period.
+  std::vector<double> node_wave(ckt::NodeId n) const;
+  // Differential waveform v(p) - v(n).
+  std::vector<double> diff_wave(ckt::NodeId p, ckt::NodeId n) const;
+  // Harmonic measurement of a steady-period waveform at the tone.
+  sig::HarmonicAnalysis harmonics(const std::vector<double>& wave,
+                                  int n_harmonics = 9) const;
+};
+
+// Solves for the periodic steady state of `nl` under its single tone.
+// Never throws on solver failure: inspect result.diag.
+PssResult run_pss_shooting(ckt::Netlist& nl, const PssOptions& opt);
+
+}  // namespace msim::an

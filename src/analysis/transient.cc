@@ -37,6 +37,11 @@ struct StepWorkspace {
   num::RealVector x_new;
   bool have_factor = false;
   double factor_dt = -1.0;
+  // Integrator the held factorization was stamped with: a backward-
+  // Euler step among trapezoidal ones (PSS first step) halves every
+  // companion conductance, so an integrator switch invalidates the
+  // held LU exactly like a dt change.
+  bool factor_trap = true;
   // Reuse-profitability controller state (see reuse_veto): running
   // iterations-per-converged-step averages for the two policies and the
   // accepted-step counter that drives the probe schedule.
@@ -121,16 +126,19 @@ StepOutcome newton_step(const ckt::Netlist& nl, const AssembleParams& p,
     ++out.iterations;
     ws.sys.assemble(nl, x, p);
     const bool use_stale = fresh_reason == nullptr && ws.have_factor &&
-                           same_dt(p.dt, ws.factor_dt);
+                           same_dt(p.dt, ws.factor_dt) &&
+                           ws.factor_trap == p.use_trapezoidal;
     if (use_stale) {
       // x_new = x + J0^{-1} (rhs - A x): the residual uses the fresh
       // assembly, only the preconditioner J0 is stale.
       ws.sys.solve_modified(x, ws.x_new);
       ++stale_iters;
     } else {
-      const char* reason = fresh_reason  ? fresh_reason
-                           : !ws.have_factor ? "initial"
-                                             : "dt_change";
+      const char* reason = fresh_reason        ? fresh_reason
+                           : !ws.have_factor   ? "initial"
+                           : same_dt(p.dt, ws.factor_dt)
+                               ? "integrator_change"
+                               : "dt_change";
       if (!ws.sys.factor(reason)) {
         ws.have_factor = false;
         out.fail = SolveStatus::kSingularMatrix;
@@ -139,6 +147,7 @@ StepOutcome newton_step(const ckt::Netlist& nl, const AssembleParams& p,
       }
       ws.have_factor = true;
       ws.factor_dt = p.dt;
+      ws.factor_trap = p.use_trapezoidal;
       ws.sys.solve(ws.x_new);
     }
     const num::RealVector& x_new = ws.x_new;
@@ -215,7 +224,8 @@ StepOutcome linear_step(const ckt::Netlist& nl, const AssembleParams& p,
   (void)opt;
   StepOutcome out;
   ++out.iterations;
-  if (ws.have_factor && same_dt(p.dt, ws.factor_dt)) {
+  if (ws.have_factor && same_dt(p.dt, ws.factor_dt) &&
+      ws.factor_trap == p.use_trapezoidal) {
     // Snap to the factored dt so the RHS companion terms stay exactly
     // consistent with the held factorization.
     AssembleParams ps = p;
@@ -225,7 +235,10 @@ StepOutcome linear_step(const ckt::Netlist& nl, const AssembleParams& p,
   } else {
     ws.sys.invalidate_base();
     ws.sys.assemble(nl, x, p);
-    if (!ws.sys.factor(ws.have_factor ? "dt_change" : "initial")) {
+    if (!ws.sys.factor(!ws.have_factor ? "initial"
+                       : same_dt(p.dt, ws.factor_dt)
+                           ? "integrator_change"
+                           : "dt_change")) {
       ws.have_factor = false;
       out.fail = SolveStatus::kSingularMatrix;
       out.bad_unknown = ws.sys.singular_col();
@@ -233,6 +246,7 @@ StepOutcome linear_step(const ckt::Netlist& nl, const AssembleParams& p,
     }
     ws.have_factor = true;
     ws.factor_dt = p.dt;
+    ws.factor_trap = p.use_trapezoidal;
   }
   ws.sys.solve(ws.x_new);
   for (std::size_t i = 0; i < ws.x_new.size(); ++i) {
@@ -382,29 +396,39 @@ TranResult run_transient_inner(ckt::Netlist& nl, const TranOptions& opt,
                                StepWorkspace& ws) {
   TranResult r;
 
-  OpOptions op_opt;
-  op_opt.temp_k = opt.temp_k;
-  op_opt.gmin = opt.gmin;
-  op_opt.gshunt = opt.gshunt;
-  op_opt.lint = opt.lint;
-  op_opt.lint_strict = opt.lint_strict;
-  op_opt.solver = opt.solver;
-  op_opt.budget = opt.budget;
-  const OpResult op = solve_op(nl, op_opt);
-  if (!op.converged) {
-    r.diag = op.diag;
-    r.diag.stage = "op:" + (op.diag.stage.empty() ? std::string("newton")
-                                                  : op.diag.stage);
-    if (is_budget_stop(op.diag.status) && opt.budget) {
-      r.telemetry.budget_truncated = true;
-      r.telemetry.budget_stop = core::to_string(opt.budget->stop_reason());
+  num::RealVector x0;
+  if (opt.initial_state) {
+    // Periodic restart: the caller supplies x(0) from an earlier run
+    // (PSS shooting update, budget checkpoint); no DC solve.
+    nl.assign_unknowns();  // idempotent; solve_op normally does this
+    x0 = *opt.initial_state;
+    r.telemetry.op_method = "initial_state";
+  } else {
+    OpOptions op_opt;
+    op_opt.temp_k = opt.temp_k;
+    op_opt.gmin = opt.gmin;
+    op_opt.gshunt = opt.gshunt;
+    op_opt.lint = opt.lint;
+    op_opt.lint_strict = opt.lint_strict;
+    op_opt.solver = opt.solver;
+    op_opt.budget = opt.budget;
+    const OpResult op = solve_op(nl, op_opt);
+    if (!op.converged) {
+      r.diag = op.diag;
+      r.diag.stage = "op:" + (op.diag.stage.empty() ? std::string("newton")
+                                                    : op.diag.stage);
+      if (is_budget_stop(op.diag.status) && opt.budget) {
+        r.telemetry.budget_truncated = true;
+        r.telemetry.budget_stop = core::to_string(opt.budget->stop_reason());
+      }
+      return r;
     }
-    return r;
+    r.telemetry.op_method = op.method;
+    r.telemetry.op_iterations = op.iterations;
+    x0 = op.x;
   }
-  r.telemetry.op_method = op.method;
-  r.telemetry.op_iterations = op.iterations;
 
-  for (const auto& d : nl.devices()) d->begin_transient(op.x);
+  for (const auto& d : nl.devices()) d->begin_transient(x0);
 
   AssembleParams p;
   p.mode = ckt::AnalysisMode::kTransient;
@@ -422,7 +446,7 @@ TranResult run_transient_inner(ckt::Netlist& nl, const TranOptions& opt,
       opt.linear_fast_path && !opt.adaptive && ws.sys.all_linear();
   r.telemetry.linear_fast_path_used = linear;
 
-  num::RealVector x = op.x;
+  num::RealVector x = std::move(x0);
   double t = 0.0;
   if (opt.record && opt.record_after <= 0.0) {
     r.time.push_back(0.0);
@@ -481,12 +505,21 @@ TranResult run_transient_inner(ckt::Netlist& nl, const TranOptions& opt,
         num::RealVector x_try = x;
         p.time = t + dt;
         p.dt = dt;
+        // PSS restart: stamp backward-Euler until the first accepted
+        // step re-anchors the capacitor current history (see
+        // TranOptions::first_step_backward_euler).
+        p.use_trapezoidal =
+            opt.use_trapezoidal && !(opt.first_step_backward_euler &&
+                                     tel.accepted_steps == 0);
         const StepOutcome out = linear
                                     ? linear_step(nl, p, opt, ws, x_try)
                                     : newton_step(nl, p, opt, ws, x_try);
         tel.newton_iterations += out.iterations;
         if (out.ok) {
-          for (const auto& d : nl.devices()) d->accept_step(x_try, dt);
+          if (opt.step_hook)
+            opt.step_hook->on_accepted(nl, ws.sys, p, x, x_try);
+          for (const auto& d : nl.devices())
+            d->accept_step(x_try, dt, p.use_trapezoidal);
           x = std::move(x_try);
           t += dt;
           ++tel.accepted_steps;
@@ -512,6 +545,8 @@ TranResult run_transient_inner(ckt::Netlist& nl, const TranOptions& opt,
       }
     }
     r.ok = true;
+    r.t_final = t;
+    r.x_final = x;
     return r;
   }
 
@@ -558,7 +593,8 @@ TranResult run_transient_inner(ckt::Netlist& nl, const TranOptions& opt,
       continue;
     }
     rejections = 0;
-    for (const auto& d : nl.devices()) d->accept_step(x_try, dt);
+    for (const auto& d : nl.devices())
+      d->accept_step(x_try, dt, p.use_trapezoidal);
     x = std::move(x_try);
     t += dt;
     ++tel.accepted_steps;
@@ -580,6 +616,8 @@ TranResult run_transient_inner(ckt::Netlist& nl, const TranOptions& opt,
       dt = std::min(dt * 1.1, dt_max);
   }
   r.ok = true;
+  r.t_final = t;
+  r.x_final = x;
   return r;
 }
 
@@ -675,7 +713,10 @@ bool same_tran_options(const TranOptions& a, const TranOptions& b) {
          a.dt_min == b.dt_min && a.dt_max == b.dt_max &&
          a.lte_tol == b.lte_tol && a.solver == b.solver &&
          a.reuse_factorization == b.reuse_factorization &&
-         a.linear_fast_path == b.linear_fast_path;
+         a.linear_fast_path == b.linear_fast_path &&
+         a.initial_state == b.initial_state &&
+         a.first_step_backward_euler == b.first_step_backward_euler &&
+         a.step_hook == b.step_hook;
 }
 
 // A dt cohort: the lanes of one block that still agree on position and
@@ -1031,7 +1072,7 @@ void run_ensemble_block(EnsembleBlock& b) {
     if (!acc.empty()) {
       for (int k : acc) {
         for (const auto& d : b.lanes[k]->devices())
-          d->accept_step(b.xs[k], dt);
+          d->accept_step(b.xs[k], dt, p.use_trapezoidal);
         b.x[k] = b.xs[k];
         ++b.results[k]->telemetry.accepted_steps;
         if (b.budget) b.budget->note_step();
@@ -1168,6 +1209,9 @@ TranEnsembleResult run_transient_ensemble(
     why = "adaptive";  // per-lane LTE dt controllers diverge immediately
   } else if (base.solver == SolverKind::kDense) {
     why = "dense_solver";
+  } else if (base.initial_state || base.step_hook ||
+             base.first_step_backward_euler) {
+    why = "pss_restart";  // lockstep lanes share one DC warm start
   } else {
     for (std::size_t i = 1; i < n && !why; ++i) {
       if (!same_tran_options(topts[i], base)) why = "options_differ";

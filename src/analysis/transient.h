@@ -26,6 +26,22 @@
 
 namespace msim::an {
 
+// Observation hook fired after every ACCEPTED advance of the fixed-step
+// loop (adaptive runs never fire it).  At the call, `sys` still holds
+// the step's assembled Jacobian and numeric factorization -- the PSS
+// shooting analysis propagates its sensitivity matrix Phi = dx(T)/dx(0)
+// through RealSystem::solve_held here, riding the LUs the step already
+// paid for.  `p` carries the step's actual dt and integrator (sub-
+// halved retries fire once per accepted sub-step).
+class TranStepHook {
+ public:
+  virtual ~TranStepHook() = default;
+  virtual void on_accepted(const ckt::Netlist& nl, RealSystem& sys,
+                           const AssembleParams& p,
+                           const num::RealVector& x_prev,
+                           const num::RealVector& x_new) = 0;
+};
+
 struct TranOptions {
   double t_stop = 1e-3;
   double dt = 1e-6;
@@ -80,6 +96,24 @@ struct TranOptions {
   // `truncated = true` plus the last-accepted checkpoint state -- a
   // structured partial result, never an exception.  Null = unlimited.
   core::RunBudget* budget = nullptr;
+
+  // --- Periodic-restart support (PSS shooting; see analysis/pss.h) ---
+  // Start the run from this state at t = 0 instead of solving a DC
+  // operating point (device integration history is reset onto it via
+  // begin_transient, exactly as for an OP).  The pointee must outlive
+  // the run.  Fixed-step mode only.
+  const num::RealVector* initial_state = nullptr;
+  // Stamp the run's FIRST accepted step backward-Euler, trapezoidal
+  // after.  BE never reads the capacitor current history that
+  // begin_transient zeroed, and accept_step re-anchors that history
+  // consistently with the BE companion, so a restart from an arbitrary
+  // mid-trajectory state injects no trapezoidal ringing -- and the whole
+  // run becomes a pure function of the starting state, which is what
+  // lets PSS Newton-iterate on the period map x(0) -> x(T).
+  bool first_step_backward_euler = false;
+  // Per-accepted-step observation hook (fixed-step mode only; borrowed,
+  // must outlive the run).  Null = none.
+  TranStepHook* step_hook = nullptr;
 };
 
 // Step-rejection and effort accounting for one transient run.
@@ -151,6 +185,11 @@ struct TranResult {
   bool truncated = false;
   double t_checkpoint = 0.0;
   num::RealVector x_checkpoint;
+  // Final accepted state and time (valid when ok; set regardless of
+  // `record`, so boundary-map consumers like the PSS shooting loop read
+  // x(t_stop) without digging through the recorded waveform).
+  double t_final = 0.0;
+  num::RealVector x_final;
 
   // Waveform of one node voltage.
   std::vector<double> node_wave(ckt::NodeId n) const;

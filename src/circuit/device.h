@@ -414,8 +414,13 @@ class Device {
   virtual bool is_nonlinear() const { return false; }
 
   // Called when a transient step is accepted, with the accepted solution;
-  // dynamic devices update their integration history here.
-  virtual void accept_step(const num::RealVector& /*x*/, double /*dt*/) {}
+  // dynamic devices update their integration history here.  `trapezoidal`
+  // names the integrator the step was STAMPED with, so the history update
+  // stays consistent with the companion model that produced `x` (a
+  // backward-Euler step among trapezoidal ones -- the PSS first step --
+  // must not apply the trapezoidal current update).
+  virtual void accept_step(const num::RealVector& /*x*/, double /*dt*/,
+                           bool /*trapezoidal*/) {}
   // Called before transient starts, with the DC operating point.
   virtual void begin_transient(const num::RealVector& /*x_op*/) {}
 

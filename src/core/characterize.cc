@@ -8,6 +8,7 @@
 #include "analysis/montecarlo.h"
 #include "analysis/noise.h"
 #include "analysis/op.h"
+#include "analysis/pss.h"
 #include "analysis/transient.h"
 #include "devices/passive.h"
 #include "devices/sources.h"
@@ -42,12 +43,40 @@ std::unique_ptr<MicBench> mic_bench(const MicAmpDesign& d,
   return b;
 }
 
+// Differential THD of a tone-driven rig, by shooting PSS (default: one
+// steady period, orders fewer settle periods) or by the settle-and-
+// record transient oracle, per DistortionOptions.  Returns -1 on solver
+// failure.
+double rig_thd(ckt::Netlist& nl, ckt::NodeId outp, ckt::NodeId outn,
+               double f0, double dt, const DistortionOptions& o) {
+  const bool pss =
+      o.use_pss == 1 || (o.use_pss != 0 && an::single_tone_hz(nl) > 0.0);
+  if (pss) {
+    an::PssOptions po;
+    po.f0_hz = f0;
+    po.tran.dt = dt;
+    const auto r = an::run_pss_shooting(nl, po);
+    if (r.ok) return r.harmonics(r.diff_wave(outp, outn)).thd;
+    if (o.use_pss == 1) return -1.0;
+    // Auto mode: shooting failed to converge, fall through to settle.
+  }
+  const double period = 1.0 / f0;
+  an::TranOptions t;
+  t.dt = sig::plan_coherent_capture(f0, dt).dt;
+  t.record_after = o.settle_periods * period;
+  t.t_stop = t.record_after + 3.0 * period;
+  const auto tr = an::run_transient(nl, t);
+  if (!tr.ok) return -1.0;
+  return sig::measure_harmonics(tr.diff_wave(outp, outn), t.dt, f0).thd;
+}
+
 }  // namespace
 
 MicAmpDatasheet characterize_mic_amp(const MicAmpDesign& d,
                                      const proc::ProcessModel& pm,
                                      int gain_code, int mc_samples,
-                                     unsigned seed) {
+                                     unsigned seed,
+                                     const DistortionOptions& dopt) {
   MicAmpDatasheet ds;
   auto b = mic_bench(d, pm);
   b->mic.set_gain_code(gain_code);
@@ -110,15 +139,10 @@ MicAmpDatasheet characterize_mic_amp(const MicAmpDesign& d,
     const double a_in = 0.2 / gain / 2.0;  // per-side amplitude
     b->vinp->set_waveform(dev::Waveform::sine(0.0, a_in, 1e3));
     b->vinn->set_waveform(dev::Waveform::sine(0.0, -a_in, 1e3));
-    an::TranOptions t;
-    t.t_stop = 5e-3;
-    t.dt = 2e-6;
-    t.record_after = 2e-3;
-    const auto tr = an::run_transient(b->nl, t);
-    if (tr.ok) {
-      const auto w = tr.diff_wave(b->mic.outp, b->mic.outn);
-      ds.thd_db = sig::measure_harmonics(w, t.dt, 1e3).thd_db;
-    }
+    const double thd =
+        rig_thd(b->nl, b->mic.outp, b->mic.outn, 1e3, 2e-6, dopt);
+    if (thd >= 0.0)
+      ds.thd_db = thd > 0.0 ? 20.0 * std::log10(thd) : -300.0;
   }
 
   // Input-referred offset from mismatch Monte Carlo.
@@ -154,7 +178,8 @@ MicAmpDatasheet characterize_mic_amp(const MicAmpDesign& d,
 
 DriverDatasheet characterize_driver(const DriverDesign& d,
                                     const proc::ProcessModel& pm,
-                                    double vsup) {
+                                    double vsup,
+                                    const DistortionOptions& dopt) {
   DriverDatasheet ds;
   auto build = [&](ckt::Netlist& nl, dev::VSource*& vsp,
                    dev::VSource*& vsn) {
@@ -196,14 +221,7 @@ DriverDatasheet characterize_driver(const DriverDesign& d,
     auto drv = build(nl, vsp, vsn);
     vsp->set_waveform(dev::Waveform::sine(0.0, vp, 1e3));
     vsn->set_waveform(dev::Waveform::sine(0.0, -vp, 1e3));
-    an::TranOptions t;
-    t.t_stop = 4e-3;
-    t.dt = 1e-6;
-    t.record_after = 1e-3;
-    const auto tr = an::run_transient(nl, t);
-    if (!tr.ok) return -1.0;
-    const auto w = tr.diff_wave(drv.outp, drv.outn);
-    return sig::measure_harmonics(w, t.dt, 1e3).thd;
+    return rig_thd(nl, drv.outp, drv.outn, 1e3, 1e-6, dopt);
   };
   ds.thd_full_swing = thd_at(1.0);
   for (double vp = 0.8; vp <= vsup / 2.0 + 0.2; vp += 0.05) {

@@ -101,10 +101,18 @@ void Capacitor::begin_transient(const num::RealVector& x_op) {
   i_prev_ = 0.0;
 }
 
-void Capacitor::accept_step(const num::RealVector& x, double dt) {
+void Capacitor::accept_step(const num::RealVector& x, double dt,
+                            bool trapezoidal) {
   const double v_new = branch_voltage(x);
-  // Trapezoidal update; consistent with the stamp above.
-  const double i_new = (2.0 * c_ / dt) * (v_new - v_prev_) - i_prev_;
+  // History update consistent with the stamp that produced `x`: the
+  // trapezoidal identity recovers i from the companion ieq; a backward-
+  // Euler step defines i = (C/dt) * dv directly (and never reads
+  // i_prev_, so a BE step among trapezoidal ones re-anchors the current
+  // history instead of propagating it -- the PSS period map relies on
+  // this to be a pure function of the starting state).
+  const double i_new = trapezoidal
+                           ? (2.0 * c_ / dt) * (v_new - v_prev_) - i_prev_
+                           : (c_ / dt) * (v_new - v_prev_);
   v_prev_ = v_new;
   i_prev_ = i_new;
 }
@@ -152,11 +160,13 @@ void Inductor::begin_transient(const num::RealVector& x_op) {
   v_prev_ = 0.0;
 }
 
-void Inductor::accept_step(const num::RealVector& x, double dt) {
+void Inductor::accept_step(const num::RealVector& x, double dt,
+                           bool trapezoidal) {
   auto v = [&](ckt::NodeId nd) { return nd == kGround ? 0.0 : x[nd - 1]; };
   i_prev_ = x[branch_base_];
   v_prev_ = v(nodes_[0]) - v(nodes_[1]);
   (void)dt;
+  (void)trapezoidal;  // plain state sampling, integrator-agnostic
 }
 
 

@@ -81,7 +81,8 @@ class Capacitor : public ckt::Device {
   void range_eval(ckt::RangeContext& ctx) const override;
   void stamp_ac(ckt::AcStampContext& ctx) const override;
   void begin_transient(const num::RealVector& x_op) override;
-  void accept_step(const num::RealVector& x, double dt) override;
+  void accept_step(const num::RealVector& x, double dt,
+                   bool trapezoidal) override;
   std::vector<std::pair<std::string, double>> param_values() const override {
     return {{"capacitance", c_}};
   }
@@ -113,7 +114,8 @@ class Inductor : public ckt::Device {
   void range_eval(ckt::RangeContext& ctx) const override;
   void stamp_ac(ckt::AcStampContext& ctx) const override;
   void begin_transient(const num::RealVector& x_op) override;
-  void accept_step(const num::RealVector& x, double dt) override;
+  void accept_step(const num::RealVector& x, double dt,
+                   bool trapezoidal) override;
   std::vector<std::pair<std::string, double>> param_values() const override {
     return {{"inductance", l_}};
   }

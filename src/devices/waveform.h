@@ -90,6 +90,15 @@ class Waveform {
   double ac_mag() const { return ac_mag_; }
   double ac_phase() const { return ac_phase_; }
 
+  // Shape introspection for periodic-steady-state tone detection: a deck
+  // drives a single tone when every non-DC source is the same undamped,
+  // undelayed sine (see an::single_tone_hz).
+  Kind kind() const { return kind_; }
+  double sine_ampl() const { return sin_ampl_; }
+  double sine_freq() const { return sin_freq_; }
+  double sine_delay() const { return sin_delay_; }
+  double sine_damping() const { return sin_damp_; }
+
   double value(double t) const {
     switch (kind_) {
       case Kind::kDc:

@@ -1,5 +1,6 @@
 #include "signal/meter.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "signal/fft.h"
@@ -57,6 +58,52 @@ HarmonicAnalysis measure_harmonics(const std::vector<double>& x, double dt,
     const double fk = k * f0_hz;
     if (fk >= nyquist) break;
     const double a = std::abs(goertzel(x, dt, fk));
+    h.harmonic_amp.push_back(a);
+    power += a * a;
+  }
+  h.thd = h.fundamental_amp > 0.0 ? std::sqrt(power) / h.fundamental_amp
+                                  : 0.0;
+  h.thd_db = h.thd > 0.0 ? 20.0 * std::log10(h.thd) : -300.0;
+  return h;
+}
+
+CoherentPlan plan_coherent_capture(double f0_hz, double dt_request,
+                                   int min_samples_per_period) {
+  CoherentPlan p;
+  if (f0_hz <= 0.0) return p;
+  const double period = 1.0 / f0_hz;
+  if (dt_request <= 0.0) dt_request = period / 1000.0;
+  long n = std::lround(period / dt_request);
+  if (n < min_samples_per_period) n = min_samples_per_period;
+  p.samples_per_period = static_cast<int>(n);
+  p.dt = period / static_cast<double>(n);
+  p.snapped =
+      std::abs(p.dt - dt_request) > 1e-12 * std::max(p.dt, dt_request);
+  return p;
+}
+
+HarmonicAnalysis measure_harmonics_windowed(const std::vector<double>& x,
+                                            double dt, double f0_hz,
+                                            int n_harmonics) {
+  const std::size_t n = x.size();
+  if (n < 2) return {};
+  // Remove the mean first: the bias offset of a single-supply rig is
+  // orders of magnitude above the harmonics, and the Hann window's DC
+  // lobe would otherwise smear it into the low bins.
+  const double m = mean(x);
+  // Periodic Hann, coherent gain exactly 0.5 -> 2x amplitude correction.
+  std::vector<double> w(n);
+  for (std::size_t i = 0; i < n; ++i)
+    w[i] = (x[i] - m) *
+           0.5 * (1.0 - std::cos(2.0 * M_PI * double(i) / double(n)));
+  HarmonicAnalysis h;
+  h.fundamental_amp = 2.0 * std::abs(goertzel(w, dt, f0_hz));
+  const double nyquist = 0.5 / dt;
+  double power = 0.0;
+  for (int k = 2; k <= n_harmonics + 1; ++k) {
+    const double fk = k * f0_hz;
+    if (fk >= nyquist) break;
+    const double a = 2.0 * std::abs(goertzel(w, dt, fk));
     h.harmonic_amp.push_back(a);
     power += a * a;
   }

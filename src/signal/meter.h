@@ -31,6 +31,33 @@ struct HarmonicAnalysis {
 HarmonicAnalysis measure_harmonics(const std::vector<double>& x, double dt,
                                    double f0_hz, int n_harmonics = 9);
 
+// Coherent-sampling plan for a tone at `f0_hz`: snaps a requested
+// sample step so that an integer number of samples spans EXACTLY one
+// fundamental period (samples_per_period * dt == 1/f0).  Captures built
+// on the plan put every harmonic dead on a DFT bin, so the rectangular-
+// window Goertzel of measure_harmonics is leakage-free -- this is how
+// the transient/PSS distortion rigs choose dt.  A dt_request <= 0 asks
+// for the default 1000 samples per period.
+struct CoherentPlan {
+  int samples_per_period = 0;  // N: N * dt covers one period exactly
+  double dt = 0.0;             // snapped step, (1/f0) / N
+  bool snapped = false;        // true when dt_request was adjusted
+};
+CoherentPlan plan_coherent_capture(double f0_hz, double dt_request,
+                                   int min_samples_per_period = 16);
+
+// Windowed-interpolation fallback for captures that are NOT an integer
+// number of fundamental periods (settle transients with arbitrary
+// record windows, externally supplied data): applies a periodic Hann
+// window before the per-harmonic Goertzel and corrects amplitudes for
+// the window's 0.5 coherent gain.  Leakage from a non-bin-centered
+// fundamental falls off much faster than with the rectangular window,
+// at the cost of ~1.5 bins of spectral smearing.  Prefer coherent
+// capture + measure_harmonics when you control dt.
+HarmonicAnalysis measure_harmonics_windowed(const std::vector<double>& x,
+                                            double dt, double f0_hz,
+                                            int n_harmonics = 9);
+
 // Amplitude spectrum (2/N-normalized, rectangular window) of a waveform;
 // returns {freq_hz, amplitude} pairs up to Nyquist.
 struct SpectrumPoint {

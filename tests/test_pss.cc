@@ -1,0 +1,365 @@
+// Shooting-Newton periodic steady state: THD agreement with the settle
+// oracle on the class-AB buffer, the periodicity-residual contract and
+// restart purity of the period map, one-update convergence on a linear
+// circuit, structured budget/cancel partials, and thread-count
+// determinism of MC-over-PSS through monte_carlo_shared.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "analysis/montecarlo.h"
+#include "analysis/pss.h"
+#include "analysis/transient.h"
+#include "bench_util.h"
+#include "circuit/netlist.h"
+#include "core/budget.h"
+#include "devices/passive.h"
+#include "devices/sources.h"
+#include "numeric/rng.h"
+#include "signal/meter.h"
+
+namespace {
+
+using namespace msim;
+
+// ------------------------------------------------------------ linear RC
+
+ckt::NodeId build_rc(ckt::Netlist& nl) {
+  const auto in = nl.node("in");
+  const auto out = nl.node("out");
+  nl.add<dev::VSource>("V1", in, ckt::kGround,
+                       dev::Waveform::sine(0.0, 1.0, 1e3));
+  nl.add<dev::Resistor>("R1", in, out, 1e3);
+  nl.add<dev::Capacitor>("C1", out, ckt::kGround, 100e-9);
+  return out;
+}
+
+// For a linear circuit the period map is affine and Phi is exact (the
+// per-step LUs are the true Jacobians), so a single Newton boundary
+// update must land on the periodic orbit to machine precision -- even
+// from a start state far outside steady state.
+TEST(Pss, LinearRcConvergesInOneShootingUpdate) {
+  ckt::Netlist nl;
+  const auto out = build_rc(nl);
+
+  an::PssOptions o;
+  o.samples_per_period = 512;
+  o.prefix_periods = 0.25;  // deliberately far from steady state
+  const auto r = an::run_pss_shooting(nl, o);
+  ASSERT_TRUE(r.ok) << r.diag.message();
+  EXPECT_EQ(r.f0_hz, 1e3);
+  EXPECT_EQ(r.telemetry.shooting_iterations, 1);
+  // Post-update periodicity residual is floating-point noise, far below
+  // the default tolerance.
+  EXPECT_LT(r.telemetry.residual, 1e-10);
+  // One capacitor voltage is the only dynamic unknown: the boundary
+  // Newton system is 1x1 even though the MNA system is larger.
+  EXPECT_EQ(r.telemetry.dynamic_unknowns, 1);
+  EXPECT_GT(r.telemetry.unknowns, 1);
+  EXPECT_GT(r.telemetry.phi_solve_count, 0);
+
+  // Exactly one coherent period recorded.
+  ASSERT_EQ(r.x.size(), 512u);
+  ASSERT_EQ(r.time.size(), 512u);
+  EXPECT_DOUBLE_EQ(r.time.front(), 0.0);
+
+  // Steady-state physics: |H(j w)| = 1/sqrt(1 + (wRC)^2), pure tone.
+  const auto h = r.harmonics(r.node_wave(out));
+  const double wrc = 2.0 * M_PI * 1e3 * 1e3 * 100e-9;
+  EXPECT_NEAR(h.fundamental_amp, 1.0 / std::sqrt(1.0 + wrc * wrc), 5e-4);
+  // The method's distortion floor: the pure-restart contract takes the
+  // first step of each period with backward Euler, a once-per-period
+  // O(dt^2) kink that reads as ~1e-5 THD at 512 samples/period.
+  EXPECT_LT(h.thd, 2e-5);
+}
+
+// The tone auto-detector: one undamped, undelayed sine is a tone; any
+// second frequency, damping, delay, or pulse/PWL forcing is not.
+TEST(Pss, SingleToneDetection) {
+  {
+    ckt::Netlist nl;
+    build_rc(nl);
+    EXPECT_EQ(an::single_tone_hz(nl), 1e3);
+  }
+  {
+    ckt::Netlist nl;
+    const auto out = build_rc(nl);
+    nl.add<dev::VSource>("V2", nl.node("aux"), ckt::kGround,
+                         dev::Waveform::sine(0.0, 0.1, 2e3));
+    (void)out;
+    EXPECT_EQ(an::single_tone_hz(nl), 0.0);
+  }
+  {
+    ckt::Netlist nl;
+    const auto in = nl.node("in");
+    nl.add<dev::VSource>("V1", in, ckt::kGround,
+                         dev::Waveform::sine(0.0, 1.0, 1e3, /*delay=*/1e-4));
+    nl.add<dev::Resistor>("R1", in, ckt::kGround, 1e3);
+    EXPECT_EQ(an::single_tone_hz(nl), 0.0);
+  }
+  {
+    ckt::Netlist nl;
+    const auto in = nl.node("in");
+    nl.add<dev::VSource>("V1", in, ckt::kGround,
+                         dev::Waveform::pulse(0.0, 1.0, 0.0, 1e-6, 1e-6,
+                                              0.5e-3, 1e-3));
+    nl.add<dev::Resistor>("R1", in, ckt::kGround, 1e3);
+    EXPECT_EQ(an::single_tone_hz(nl), 0.0);
+  }
+  {
+    // DC-only deck: no tone, and run_pss_shooting reports it cleanly.
+    ckt::Netlist nl;
+    const auto in = nl.node("in");
+    nl.add<dev::VSource>("V1", in, ckt::kGround, 1.0);
+    nl.add<dev::Resistor>("R1", in, ckt::kGround, 1e3);
+    EXPECT_EQ(an::single_tone_hz(nl), 0.0);
+    const auto r = an::run_pss_shooting(nl, {});
+    EXPECT_FALSE(r.ok);
+    EXPECT_EQ(r.diag.status, an::SolveStatus::kBadTopology);
+    EXPECT_EQ(r.diag.stage, "pss");
+  }
+}
+
+// ------------------------------------------------- class-AB buffer THD
+
+double settle_thd(double vp, double f0, double settle_periods) {
+  auto rig = bench::make_drv_rig();
+  rig->vsp->set_waveform(dev::Waveform::sine(0.0, vp, f0));
+  rig->vsn->set_waveform(dev::Waveform::sine(0.0, -vp, f0));
+  an::TranOptions t;
+  t.dt = 1e-6;
+  t.record_after = settle_periods / f0;
+  t.t_stop = t.record_after + 3.0 / f0;
+  const auto tr = an::run_transient(rig->nl, t);
+  if (!tr.ok) return -1.0;
+  return sig::measure_harmonics(tr.diff_wave(rig->drv.outp, rig->drv.outn),
+                                t.dt, f0)
+      .thd;
+}
+
+// PSS THD on the Fig. 9 buffer rig agrees with a deeply settled
+// transient oracle across drive amplitudes, while integrating a small
+// fixed number of periods (prefix + one per shot) instead of the
+// oracle's settle-plus-record span.
+TEST(Pss, BufferHdThdMatchesSettleOracle) {
+  const double f0 = 1e3;
+  for (const double vp : {0.15, 0.3, 1.0}) {
+    auto rig = bench::make_drv_rig();
+    rig->vsp->set_waveform(dev::Waveform::sine(0.0, vp, f0));
+    rig->vsn->set_waveform(dev::Waveform::sine(0.0, -vp, f0));
+    an::PssOptions o;
+    o.tran.dt = 1e-6;
+    const auto r = an::run_pss_shooting(rig->nl, o);
+    ASSERT_TRUE(r.ok) << "vp=" << vp << ": " << r.diag.message();
+    EXPECT_LE(r.telemetry.residual,
+              o.ptol_abs + o.ptol_rel * 2.0)  // xmax < 2 V on this rig
+        << "vp=" << vp;
+    const double thd_pss =
+        r.harmonics(r.diff_wave(rig->drv.outp, rig->drv.outn)).thd;
+
+    // Deep-settle oracle: 8 discarded periods is far past the rig's
+    // slowest transient.
+    const double thd_settle = settle_thd(vp, f0, 8.0);
+    ASSERT_GE(thd_settle, 0.0);
+    EXPECT_NEAR(thd_pss, thd_settle,
+                std::max(0.05 * thd_settle, 2e-5))
+        << "vp=" << vp;
+
+    // Effort: the whole PSS solve stays within a handful of periods
+    // (the oracle above integrated 11).  Zero shooting iterations is
+    // legal -- the fast-settling buffer can already be periodic after
+    // the prefix, making the first shot its own convergence proof.
+    EXPECT_LE(r.telemetry.periods_integrated, 8.0) << "vp=" << vp;
+  }
+}
+
+// ------------------------------------- periodicity residual + purity
+
+// The converged boundary state must actually close the orbit: re-
+// integrating one period from x0 (BE-first restart) returns to x0
+// within the advertised tolerance, and the period map is a PURE
+// function of the start state (two identical runs agree bitwise).
+TEST(Pss, PeriodicityResidualContractAndRestartPurity) {
+  auto rig = bench::make_drv_rig();
+  rig->vsp->set_waveform(dev::Waveform::sine(0.0, 0.3, 1e3));
+  rig->vsn->set_waveform(dev::Waveform::sine(0.0, -0.3, 1e3));
+  an::PssOptions o;
+  o.tran.dt = 1e-6;
+  const auto r = an::run_pss_shooting(rig->nl, o);
+  ASSERT_TRUE(r.ok) << r.diag.message();
+  ASSERT_FALSE(r.x0.empty());
+
+  an::TranOptions t = o.tran;
+  t.t_stop = 1.0 / r.f0_hz;
+  t.dt = r.dt;
+  t.record = false;
+  t.initial_state = &r.x0;
+  t.first_step_backward_euler = true;
+  const auto once = an::run_transient(rig->nl, t);
+  ASSERT_TRUE(once.ok) << once.diag.message();
+  EXPECT_EQ(once.telemetry.op_method, "initial_state");
+
+  double resid = 0.0, xmax = 0.0;
+  for (std::size_t i = 0; i < r.x0.size(); ++i) {
+    resid = std::max(resid, std::abs(once.x_final[i] - r.x0[i]));
+    xmax = std::max(xmax, std::abs(once.x_final[i]));
+  }
+  EXPECT_LE(resid, o.ptol_abs + o.ptol_rel * xmax);
+  EXPECT_EQ(resid, r.telemetry.residual);  // same map, same arithmetic
+
+  const auto again = an::run_transient(rig->nl, t);
+  ASSERT_TRUE(again.ok);
+  for (std::size_t i = 0; i < r.x0.size(); ++i)
+    ASSERT_EQ(once.x_final[i], again.x_final[i]) << "unknown " << i;
+}
+
+// ------------------------------------------------- budget / cancel
+
+// A budget expiring mid-PSS returns a structured partial: kBudget-
+// Exceeded with a "pss_*"-prefixed stage, truncated flag, and a restart
+// checkpoint that a second (x_warm) call can resume from.
+TEST(Pss, BudgetPartialAndWarmResume) {
+  auto rig = bench::make_drv_rig();
+  rig->vsp->set_waveform(dev::Waveform::sine(0.0, 0.3, 1e3));
+  rig->vsn->set_waveform(dev::Waveform::sine(0.0, -0.3, 1e3));
+
+  core::RunBudget budget;
+  budget.max_steps = 300;  // well inside the 2-period settle prefix
+  an::PssOptions o;
+  o.tran.dt = 1e-6;
+  o.budget = &budget;
+  const auto cut = an::run_pss_shooting(rig->nl, o);
+  EXPECT_FALSE(cut.ok);
+  EXPECT_TRUE(cut.truncated);
+  EXPECT_EQ(cut.diag.status, an::SolveStatus::kBudgetExceeded);
+  EXPECT_EQ(cut.diag.stage.rfind("pss_prefix", 0), 0u)
+      << "stage = " << cut.diag.stage;
+  EXPECT_NE(cut.diag.detail.find("steps"), std::string::npos)
+      << "detail = " << cut.diag.detail;
+  ASSERT_FALSE(cut.x_checkpoint.empty());
+  EXPECT_LT(cut.telemetry.periods_integrated, 2.0);
+
+  // Resume from the checkpoint with an unconstrained budget.
+  an::PssOptions o2;
+  o2.tran.dt = 1e-6;
+  o2.x_warm = &cut.x_checkpoint;
+  const auto r = an::run_pss_shooting(rig->nl, o2);
+  ASSERT_TRUE(r.ok) << r.diag.message();
+  EXPECT_LT(r.telemetry.residual, 1e-3);  // contract: converged
+
+  // A pre-fired cancel token stops the run with kCancelled.
+  core::CancelToken tok;
+  tok.request();
+  core::RunBudget cancel_budget;
+  cancel_budget.cancel = &tok;
+  an::PssOptions o3;
+  o3.tran.dt = 1e-6;
+  o3.budget = &cancel_budget;
+  const auto cancelled = an::run_pss_shooting(rig->nl, o3);
+  EXPECT_FALSE(cancelled.ok);
+  EXPECT_EQ(cancelled.diag.status, an::SolveStatus::kCancelled);
+}
+
+// ------------------------------------------------- MC-over-PSS
+
+// Mismatch Monte-Carlo where every sample's measurement is a full PSS
+// THD solve, run through monte_carlo_shared: statistics must be
+// bit-identical at 1, 2 and 8 threads (the shared-structure adoption
+// and case-0 anchoring must survive the PSS driver's repeated
+// run_transient calls on the sample netlist).
+TEST(Pss, MonteCarloOverPssIsThreadCountDeterministic) {
+  const auto pm = proc::ProcessModel::cmos12();
+  const int samples = 6;
+  // Node ids are deterministic across identically built netlists; grab
+  // the output pair once from a nominal rig.
+  const auto nominal = bench::make_mic_rig();
+  const auto outp = nominal->mic.outp;
+  const auto outn = nominal->mic.outn;
+
+  const auto run = [&](int threads) {
+    num::Rng rng(1995);
+    an::McOptions mo;
+    mo.threads = threads;
+    return an::monte_carlo_shared(
+        samples, rng,
+        [&](num::Rng& srng, ckt::Netlist& nl) {
+          auto parts = bench::build_mic_into(nl);
+          for (auto* seg : parts.mic.string_segments_p)
+            seg->apply_relative_error(pm.sample_resistor_mismatch(srng));
+          for (auto* seg : parts.mic.string_segments_n)
+            seg->apply_relative_error(pm.sample_resistor_mismatch(srng));
+          parts.mic.set_gain_code(5);
+          parts.vinp->set_waveform(dev::Waveform::sine(0.0, 2e-3, 1e3));
+          parts.vinn->set_waveform(dev::Waveform::sine(0.0, -2e-3, 1e3));
+        },
+        [&](ckt::Netlist& nl) {
+          an::PssOptions o;
+          o.samples_per_period = 250;
+          o.prefix_periods = 1.0;
+          auto r = an::run_pss_shooting(nl, o);
+          if (!r.ok) return an::McTrial::failed(r.diag);
+          return an::McTrial::of(r.harmonics(r.diff_wave(outp, outn)).thd);
+        },
+        mo);
+  };
+
+  const auto s1 = run(1);
+  const auto s2 = run(2);
+  const auto s8 = run(8);
+  EXPECT_EQ(s1.failures, 0) << "serial MC-over-PSS had failed samples";
+  for (const auto* s : {&s2, &s8}) {
+    ASSERT_EQ(s->samples.size(), s1.samples.size());
+    for (std::size_t i = 0; i < s1.samples.size(); ++i)
+      EXPECT_EQ(s->samples[i], s1.samples[i]) << "sample " << i;
+    EXPECT_EQ(s->mean(), s1.mean());
+    EXPECT_EQ(s->stddev(), s1.stddev());
+    EXPECT_EQ(s->min(), s1.min());
+    EXPECT_EQ(s->max(), s1.max());
+  }
+}
+
+// Telemetry renders: the summary mentions the headline counters and the
+// JSON carries the fields bench_compare.py reads.
+TEST(Pss, TelemetryRendering) {
+  ckt::Netlist nl;
+  build_rc(nl);
+  const auto r = an::run_pss_shooting(nl, {});
+  ASSERT_TRUE(r.ok);
+  const auto s = r.telemetry.summary();
+  EXPECT_NE(s.find("shooting"), std::string::npos);
+  EXPECT_NE(s.find("period"), std::string::npos);
+  const auto js = r.telemetry.json();
+  EXPECT_NE(js.find("\"periods_integrated\""), std::string::npos);
+  EXPECT_NE(js.find("\"residual\""), std::string::npos);
+  EXPECT_NE(js.find("\"phi_solve_count\""), std::string::npos);
+}
+
+// Coherent-capture planning and the windowed fallback (sig::meter).
+TEST(Pss, CoherentPlanAndWindowedFallback) {
+  // 1 kHz at a 3 us request: 333 samples, dt snapped to 1/333 ms.
+  const auto p = sig::plan_coherent_capture(1e3, 3e-6);
+  EXPECT_EQ(p.samples_per_period, 333);
+  EXPECT_NEAR(p.dt * p.samples_per_period, 1e-3, 1e-15);
+  EXPECT_TRUE(p.snapped);
+  // An already-coherent request is left alone.
+  const auto q = sig::plan_coherent_capture(1e3, 2e-6);
+  EXPECT_EQ(q.samples_per_period, 500);
+  EXPECT_FALSE(q.snapped);
+
+  // Non-integer number of periods: rectangular Goertzel leaks badly,
+  // the Hann-windowed fallback recovers amplitude and THD.
+  const double f0 = 997.0, dt = 1e-6;  // prime tone, 10.3 periods
+  const std::size_t n = 10337;
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) * dt;
+    x[i] = 0.7 + 1.0 * std::sin(2.0 * M_PI * f0 * t) +
+           0.01 * std::sin(2.0 * M_PI * 2.0 * f0 * t);
+  }
+  const auto hw = sig::measure_harmonics_windowed(x, dt, f0);
+  EXPECT_NEAR(hw.fundamental_amp, 1.0, 2e-3);
+  EXPECT_NEAR(hw.thd, 0.01, 5e-4);
+}
+
+}  // namespace

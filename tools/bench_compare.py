@@ -24,8 +24,8 @@ import json
 import sys
 
 SECTIONS = ("mc_configs", "chip_mc_configs", "ac_grid_configs",
-            "transient_configs", "ensemble_configs", "budget_overhead",
-            "assembly_configs")
+            "transient_configs", "pss_configs", "ensemble_configs",
+            "budget_overhead", "assembly_configs")
 CONTRACT_FLAGS = (
     "stats_bit_identical_across_threads",
     "dense_sparse_stats_agree",
@@ -89,6 +89,16 @@ def main():
         "least double chip-settle MC throughput over the per-sample "
         "path; ignored when the candidate predates the ensemble "
         "section)",
+    )
+    ap.add_argument(
+        "--pss-threshold",
+        type=float,
+        default=5.0,
+        help="min period_ratio (verified-settle periods / PSS periods) "
+        "the candidate must keep on every pss_configs entry (default "
+        "5.0: the shooting analysis must integrate at least 5x fewer "
+        "tone periods than the doubling-verified settle oracle; "
+        "ignored when the candidate predates the pss section)",
     )
     ap.add_argument(
         "--prepass-threshold",
@@ -193,6 +203,33 @@ def main():
                             f"full-Newton waveforms disagree")
         print(f"  transient_configs/{name:<18} speedup "
               f"{speedup:5.2f}x vs full Newton [{marker}]")
+
+    # PSS gate, judged absolutely on the candidate: shooting PSS must
+    # integrate at least --pss-threshold times fewer tone periods than
+    # the doubling-verified settle oracle, and its THD must agree with
+    # the oracle within the harness's relative-agreement gate (the
+    # thd_agree flag computed by bench_engine).
+    for cfg in cand.get("pss_configs", []):
+        name = cfg.get("name", "?")
+        ratio = cfg.get("period_ratio")
+        if ratio is None:
+            failures.append(f"pss_configs/{name}: missing period_ratio")
+            continue
+        marker = "ok"
+        if ratio < args.pss_threshold:
+            marker = "TOO MANY PERIODS"
+            failures.append(
+                f"pss_configs/{name}: PSS only {ratio:.2f}x fewer "
+                f"periods than verified settle "
+                f"(limit {args.pss_threshold:.2f}x)")
+        if not cfg.get("thd_agree", False):
+            marker = "DISAGREE"
+            failures.append(f"pss_configs/{name}: PSS THD disagrees "
+                            f"with the settle oracle")
+        print(f"  pss_configs/{name:<18} {cfg.get('pss_periods', 0):.2f} "
+              f"vs {cfg.get('settle_periods', 0):.1f} periods "
+              f"({ratio:5.2f}x) thd drel {cfg.get('thd_rel_err', 0):.1e} "
+              f"[{marker}]")
 
     # Assembly-mode gate, judged absolutely on the candidate: every
     # batched entry must keep its speedup over the binary-searched

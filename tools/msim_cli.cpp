@@ -37,6 +37,13 @@
 // SoA engine on any input; lane 0's waveform is reported, the ensemble
 // telemetry (blocks, cohorts, samples/s) goes to stderr and rides the
 // --tran-stats JSON.
+// `--pss` replaces each .tran with the shooting-Newton periodic
+// steady-state solve (the deck must carry a single periodic tone, which
+// sets the period; the .tran step is the sample-spacing request): the
+// CSV holds exactly one coherent steady period, the shooting telemetry
+// (iterations, periods integrated, residual) goes to stderr, and
+// --tran-stats prints the PSS telemetry JSON.  A budget cut reports the
+// structured partial and exits 4 like a truncated transient.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -52,6 +59,7 @@
 #include "analysis/structural.h"
 #include "analysis/sweep.h"
 #include "analysis/transient.h"
+#include "analysis/pss.h"
 #include "analysis/range.h"
 #include "circuit/lint.h"
 #include "devices/sources.h"
@@ -124,6 +132,7 @@ struct CliOptions {
   bool tran_stats = false;  // factorization-reuse telemetry as JSON
   double budget_ms = 0.0;   // shared wall-clock budget (0 = unlimited)
   int ensemble = 1;         // .tran lanes (> 1 = lockstep ensemble)
+  bool pss = false;         // .tran -> shooting periodic steady state
   std::vector<std::string> lint_disable;
 };
 
@@ -257,6 +266,38 @@ int run(const CliOptions& cli) {
       t.t_stop = arg_num(d, 1);
       t.temp_k = temp_k;
       t.budget = budget_p;
+      if (cli.pss) {
+        // Shooting-Newton PSS: the deck's tone fixes the period, the
+        // .tran step is the sample-spacing request (snapped coherent).
+        an::PssOptions po;
+        po.tran.dt = t.dt;
+        po.tran.temp_k = temp_k;
+        po.budget = budget_p;
+        const auto r = an::run_pss_shooting(nl, po);
+        if (cli.telemetry)
+          std::fputs(r.telemetry.summary().c_str(), stderr);
+        if (cli.tran_stats)
+          std::printf("%s\n", r.telemetry.json().c_str());
+        if (!r.ok && !r.truncated) {
+          std::fprintf(stderr, "pss failed: %s\n",
+                       r.diag.message().c_str());
+          return 1;
+        }
+        print_probe_header(nl, "time", probes);
+        for (std::size_t i = 0; i < r.time.size(); ++i) {
+          std::printf("%g", r.time[i]);
+          for (auto p : probes)
+            std::printf(",%.6g",
+                        p == ckt::kGround ? 0.0 : r.x[i][p - 1]);
+          std::printf("\n");
+        }
+        if (r.truncated) {
+          std::fprintf(stderr, "pss truncated: %s\n",
+                       r.diag.message().c_str());
+          return 4;
+        }
+        continue;
+      }
       an::TranResult res;
       if (cli.ensemble > 1) {
         an::TranEnsembleOptions eo;
@@ -375,6 +416,8 @@ int main(int argc, char** argv) {
       cli.budget_ms = std::atof(argv[++i]);
     else if (std::strcmp(argv[i], "--ensemble") == 0 && i + 1 < argc)
       cli.ensemble = std::atoi(argv[++i]);
+    else if (std::strcmp(argv[i], "--pss") == 0)
+      cli.pss = true;
     else
       cli.path = argv[i];
   }
@@ -383,7 +426,8 @@ int main(int argc, char** argv) {
                  "usage: msim_cli <netlist.sp> [--probe n1,n2,...] "
                  "[--lint] [--lint-only] [--lint-strict] [--range] "
                  "[--lint-disable p1,p2,...] [--no-telemetry] "
-                 "[--tran-stats] [--budget-ms N] [--ensemble N]\n");
+                 "[--tran-stats] [--budget-ms N] [--ensemble N] "
+                 "[--pss]\n");
     return 2;
   }
   try {

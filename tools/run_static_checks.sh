@@ -2,8 +2,9 @@
 # Static checks over src/: clang-tidy with the curated .clang-tidy set,
 # warnings promoted to errors, plus the fault-injection test suites
 # under an AddressSanitizer + UBSan build (the recovery paths those
-# tests walk -- failed factorizations, budget aborts, NaN injection --
-# are exactly where lifetime bugs hide) and the concurrency suites
+# tests walk -- failed factorizations, budget aborts, NaN injection,
+# shooting-PSS restarts and boundary solves -- are exactly where
+# lifetime bugs hide) and the concurrency suites
 # under ThreadSanitizer (the worker-pool and lockstep-ensemble paths
 # are the only places the engine shares mutable state across threads).
 # Intended as a CI gate:
@@ -68,9 +69,11 @@ run_sanitized_faults() {
   }
   cmake --build "$san_dir" -j "$(nproc 2>/dev/null || echo 2)" \
         --target test_robustness test_op_robustness test_ensemble \
+                 test_pss \
         >/dev/null || return 1
   (cd "$san_dir" && ctest --output-on-failure \
-        -R '^(test_robustness|test_op_robustness|test_ensemble)$') || return 1
+        -R '^(test_robustness|test_op_robustness|test_ensemble|test_pss)$') \
+    || return 1
   echo "run_static_checks: sanitized fault suites clean" >&2
   return 0
 }
