@@ -57,6 +57,9 @@
 #include "numeric/rng.h"
 #include "numeric/sparse.h"
 #include "process/process.h"
+#include "serve/deck.h"
+#include "serve/registry.h"
+#include "spicefmt/writer.h"
 
 namespace {
 
@@ -739,6 +742,93 @@ void json_asm(std::FILE* f, const AsmRun& r, bool last) {
   json_asm_mode(f, r, "batched", r.batched_ms, r.batched_lookups, last);
 }
 
+// ------------------------------------------------------------- serving
+
+// Sustained deck-service throughput: the same mixed op/AC/MC job stream
+// run three ways.  `cold` is the historical one-shot CLI path (no
+// registry: every job pays symbolic analysis and pattern searches);
+// `warm-structure` shares a primed serve::CacheRegistry with the
+// whole-result memo disabled (every job still solves, but adopts the
+// shared symbolic + slot tables); `warm-memo` is the full service path
+// (repeat jobs answered from the result memo).  bench_compare.py
+// --serve-threshold gates warm-memo jobs/sec at >= 3x cold.
+struct ServeJobSpec {
+  std::string deck;
+  serve::DeckOptions opt;
+};
+
+struct ServeRun {
+  std::string name;
+  double wall_ms = 1e300;
+  int jobs = 0;
+  long searches = 0;  // sparse pattern binary searches during the pass
+  int warm_jobs = 0;  // jobs that adopted cached solver structure
+  int memo_hits = 0;  // jobs answered verbatim from the result memo
+  bool ok = true;     // every job exited 0
+  double jobs_per_sec() const { return 1e3 * jobs / wall_ms; }
+};
+
+// Serializes the mic-amp rig at `gain_code` to SPICE deck text and
+// splices the analysis directives in front of the writer's `.end`.
+// Different gain codes toggle switch state only (same topology), so
+// the whole mix shares one registry fingerprint -- the realistic PGA
+// serving workload.
+std::string serve_mic_deck(int gain_code, const char* directives) {
+  auto rig = bench::make_mic_rig();
+  rig->mic.set_gain_code(gain_code);
+  std::string deck = spice::write_netlist(
+      rig->nl, "serve mic-amp g" + std::to_string(gain_code));
+  deck.insert(deck.rfind(".end"), directives);
+  return deck;
+}
+
+// Drops the nondeterministic "solver time:" telemetry lines before
+// byte comparison (same filter as tests/test_serve.cc).
+std::string serve_strip_timing(const std::string& s) {
+  std::string out;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    std::size_t nl = s.find('\n', pos);
+    if (nl == std::string::npos) nl = s.size() - 1;
+    const std::string line = s.substr(pos, nl - pos + 1);
+    if (line.rfind("solver time:", 0) != 0) out += line;
+    pos = nl + 1;
+  }
+  return out;
+}
+
+ServeRun run_serve_pass(const char* name,
+                        const std::vector<ServeJobSpec>& stream,
+                        serve::CacheRegistry* reg, bool use_memo,
+                        int repeats) {
+  ServeRun r;
+  r.name = name;
+  r.jobs = static_cast<int>(stream.size());
+  for (int rep = 0; rep < repeats; ++rep) {
+    const long s0 = num::sparse_search_count();
+    int warm = 0, memo = 0;
+    bool ok = true;
+    const auto t0 = Clock::now();
+    for (const auto& j : stream) {
+      serve::DeckOptions o = j.opt;
+      o.use_result_cache = use_memo;
+      const auto res = serve::run_deck(j.deck, o, reg);
+      ok = ok && res.exit_code == 0;
+      warm += res.warm ? 1 : 0;
+      memo += res.result_cached ? 1 : 0;
+    }
+    const double ms = ms_since(t0);
+    r.ok = r.ok && ok;
+    if (ms < r.wall_ms) {
+      r.wall_ms = ms;
+      r.searches = num::sparse_search_count() - s0;
+      r.warm_jobs = warm;
+      r.memo_hits = memo;
+    }
+  }
+  return r;
+}
+
 int run_harness(const char* out_path, bool smoke, int mc_samples,
                 int ens_threads) {
   // Smoke mode (bench_smoke ctest) shrinks every scenario so the whole
@@ -1172,6 +1262,103 @@ int run_harness(const char* out_path, bool smoke, int mc_samples,
     pss_ok = pss_ok && r->ok && r->agree;
   }
 
+  // Deck-service throughput: mixed mic-amp traffic (three gain codes,
+  // one shared topology fingerprint) plus an RC deck (second registry
+  // entry), each as .op, .op+.ac, and the mic/RC decks also as an
+  // 8-sample Monte-Carlo job.
+  const char* kOpDir = ".op\n";
+  const char* kAcDir = ".op\n.ac dec 5 100 1e6\n";
+  std::vector<ServeJobSpec> serve_unique;
+  const std::string rc_deck =
+      "serve rc\n"
+      "v1 in 0 dc 0 ac 1\n"
+      "r1 in out 1k\n"
+      "c1 out 0 100n\n";
+  for (int code : {0, 2, 5}) {
+    serve_unique.push_back({serve_mic_deck(code, kOpDir), {}});
+    serve_unique.push_back({serve_mic_deck(code, kAcDir), {}});
+  }
+  serve_unique.push_back({rc_deck + kOpDir + ".end\n", {}});
+  serve_unique.push_back({rc_deck + kAcDir + ".end\n", {}});
+  {
+    ServeJobSpec mc_mic{serve_mic_deck(0, kOpDir), {}};
+    mc_mic.opt.mc = 8;
+    serve_unique.push_back(mc_mic);
+    ServeJobSpec mc_rc{rc_deck + kOpDir + ".end\n", {}};
+    mc_rc.opt.mc = 8;
+    serve_unique.push_back(mc_rc);
+  }
+  const int kServeRounds = smoke ? 2 : 5;
+  std::vector<ServeJobSpec> serve_stream;
+  for (int i = 0; i < kServeRounds; ++i)
+    serve_stream.insert(serve_stream.end(), serve_unique.begin(),
+                        serve_unique.end());
+
+  const auto serve_cold = run_serve_pass("cold", serve_stream, nullptr,
+                                         false, kRepeats);
+  serve::CacheRegistry serve_reg;
+  // Prime in unique-job order so the first-publish winner for each
+  // fingerprint is the gain-0 mic deck / the RC deck -- the decks the
+  // bit-identity check below replays.
+  for (const auto& j : serve_unique) {
+    serve::DeckOptions o = j.opt;
+    o.use_result_cache = false;
+    (void)serve::run_deck(j.deck, o, &serve_reg);
+  }
+  const auto serve_warm = run_serve_pass("warm-structure", serve_stream,
+                                         &serve_reg, false, kRepeats);
+  // Memo prime: one pass with the result cache on stores each unique
+  // job's bytes; the timed passes then replay them verbatim.
+  for (const auto& j : serve_unique)
+    (void)serve::run_deck(j.deck, j.opt, &serve_reg);
+  const auto serve_memo = run_serve_pass("warm-memo", serve_stream,
+                                         &serve_reg, true, kRepeats);
+
+  // Bit-identity gate: warm output must match cold byte-for-byte
+  // (timing lines stripped) for every job whose deck published its
+  // fingerprint's structure.  Gain 3/6 jobs adopt symbolic analysis
+  // built from the gain-0 values, where pivot order (value-dependent
+  // Markowitz) may differ in the last ulp, so they are throughput-only.
+  bool serve_identical = true;
+  for (std::size_t i : {std::size_t{0}, std::size_t{1},  // mic g0 op/ac
+                        serve_unique.size() - 4,         // rc op
+                        serve_unique.size() - 3,         // rc ac
+                        serve_unique.size() - 2,         // mic g0 mc
+                        serve_unique.size() - 1}) {      // rc mc
+    serve::DeckOptions o = serve_unique[i].opt;
+    o.use_result_cache = false;
+    const auto cold_r = serve::run_deck(serve_unique[i].deck, o, nullptr);
+    const auto warm_r =
+        serve::run_deck(serve_unique[i].deck, o, &serve_reg);
+    serve_identical = serve_identical && warm_r.warm &&
+                      cold_r.exit_code == warm_r.exit_code &&
+                      serve_strip_timing(cold_r.out) ==
+                          serve_strip_timing(warm_r.out);
+  }
+  const auto serve_stats = serve_reg.stats();
+  const bool serve_zero_searches =
+      serve_warm.searches == 0 && serve_memo.searches == 0;
+  const bool serve_ok = serve_cold.ok && serve_warm.ok && serve_memo.ok &&
+                        serve_identical && serve_zero_searches &&
+                        serve_stats.fingerprint_collisions == 0;
+  const double serve_structure_speedup =
+      serve_cold.wall_ms / serve_warm.wall_ms;
+  const double serve_warm_speedup =
+      serve_cold.wall_ms / serve_memo.wall_ms;
+  std::printf("engine harness: deck service, %zu-job mixed op/AC/MC "
+              "stream (best of %d)\n",
+              serve_stream.size(), kRepeats);
+  for (const ServeRun* r : {&serve_cold, &serve_warm, &serve_memo})
+    std::printf("  %-14s %8.1f ms  %7.1f jobs/s  speedup %5.2fx  "
+                "searches %6ld  warm %3d  memo %3d\n",
+                r->name.c_str(), r->wall_ms, r->jobs_per_sec(),
+                serve_cold.wall_ms / r->wall_ms, r->searches,
+                r->warm_jobs, r->memo_hits);
+  std::printf("  warm passes replay with zero pattern searches: %s\n",
+              serve_zero_searches ? "yes" : "NO");
+  std::printf("  warm output bit-identical to cold: %s\n",
+              serve_identical ? "yes" : "NO");
+
   const double mic_speedup =
       dense.wall_ms /
       std::min({sparse1.wall_ms, sparse2.wall_ms, sparse8.wall_ms});
@@ -1280,6 +1467,33 @@ int run_harness(const char* out_path, bool smoke, int mc_samples,
   json_asm(f, asm_mic, false);
   json_asm(f, asm_chip, true);
   std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"serve_configs\": [\n");
+  for (const ServeRun* r : {&serve_cold, &serve_warm, &serve_memo})
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"wall_ms\": %.3f, "
+                 "\"jobs\": %d, \"jobs_per_sec\": %.1f, "
+                 "\"speedup_vs_cold\": %.3f, "
+                 "\"pattern_searches\": %ld, \"warm_jobs\": %d, "
+                 "\"memo_hits\": %d, \"all_jobs_ok\": %s}%s\n",
+                 r->name.c_str(), r->wall_ms, r->jobs, r->jobs_per_sec(),
+                 serve_cold.wall_ms / r->wall_ms, r->searches,
+                 r->warm_jobs, r->memo_hits, r->ok ? "true" : "false",
+                 r == &serve_memo ? "" : ",");
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"serve_registry\": {\"entries\": %zu, "
+               "\"hits\": %ld, \"misses\": %ld, \"evictions\": %ld, "
+               "\"fingerprint_collisions\": %ld, "
+               "\"result_entries\": %zu, \"result_hits\": %ld},\n",
+               serve_stats.entries, serve_stats.hits, serve_stats.misses,
+               serve_stats.evictions, serve_stats.fingerprint_collisions,
+               serve_stats.result_entries, serve_stats.result_hits);
+  std::fprintf(f, "  \"serve_outputs_identical\": %s,\n",
+               serve_identical ? "true" : "false");
+  std::fprintf(f, "  \"serve_warm_zero_searches\": %s,\n",
+               serve_zero_searches ? "true" : "false");
+  std::fprintf(f, "  \"serve_structure_speedup\": %.3f,\n",
+               serve_structure_speedup);
+  std::fprintf(f, "  \"serve_warm_speedup\": %.3f,\n", serve_warm_speedup);
   std::fprintf(f, "  \"assembly_zero_lookups\": %s,\n",
                asm_zero_lookups ? "true" : "false");
   std::fprintf(f, "  \"stats_bit_identical_across_threads\": %s,\n",
@@ -1303,7 +1517,7 @@ int run_harness(const char* out_path, bool smoke, int mc_samples,
 
   return (deterministic && engines_agree && chip_deterministic &&
           chip_agree && tran_agree && asm_zero_lookups && budget_agree &&
-          ens_ok && pss_ok)
+          ens_ok && pss_ok && serve_ok)
              ? 0
              : 1;
 }

@@ -50,6 +50,11 @@ AcResult run_ac_diag(ckt::Netlist& nl,
   nl.assign_unknowns();
 
   const std::size_t nf = freqs_hz.size();
+  // Serial priming: make sure the netlist cache carries a recorded
+  // stamp_ac slot pass before the chunk workers start, so every worker
+  // (and every later run adopting this cache) assembles search-free.
+  if (nf > 0)
+    prime_ac_slots(nl, opt.solver, 2.0 * M_PI * freqs_hz[0], opt.gshunt);
   int threads = opt.threads == 0 ? core::default_thread_count()
                                  : std::max(1, opt.threads);
   const std::size_t nchunks =

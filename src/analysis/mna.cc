@@ -1095,6 +1095,7 @@ void ComplexSystem::init(const ckt::Netlist& nl, SolverKind kind) {
   devices_ = ndev;
   ac_pass_ = num::StampSlotPass{};
   ac_diag_.clear();
+  ac_shared_.reset();
   if (kind_ == SolverKind::kSparse) {
     // Adopt the structural work already done by the large-signal system
     // (the usual case: AC/noise run after solve_op).  Never writes the
@@ -1105,21 +1106,32 @@ void ComplexSystem::init(const ckt::Netlist& nl, SolverKind kind) {
     if (cache.skeleton && cache.unknowns == n && cache.devices == ndev) {
       sjac_ = num::ComplexSparseMatrix(*cache.skeleton);
       if (cache.symbolic) slu_.adopt_symbolic(cache.symbolic);
+      // Adopt the cached slot snapshot when it matches this skeleton:
+      // the node-diagonal indices transfer verbatim, and a recorded
+      // stamp_ac pass (published by a serial prime_ac_slots) makes even
+      // the FIRST assemble a search-free replay.
+      if (cache.slots && cache.slots->skeleton == cache.skeleton.get() &&
+          cache.slots->nnz == sjac_.nnz()) {
+        ac_shared_ = cache.slots;
+        ac_diag_ = ac_shared_->diag;
+      }
     } else {
       sjac_ = num::ComplexSparseMatrix(
           num::RealSparseMatrix(mna_pattern(nl)));
     }
-    // Node-diagonal slots for the gshunt loop.  The stamp-slot pass
-    // itself is recorded lazily by the first assemble(): stamp_ac
-    // positions are frequency-independent, so one recording serves the
-    // whole grid chunk.
+    // Node-diagonal slots for the gshunt loop (when not adopted above).
+    // The stamp-slot pass itself is recorded lazily by the first
+    // assemble(): stamp_ac positions are frequency-independent, so one
+    // recording serves the whole grid chunk.
     const int nodes = nl.node_count() - 1;
-    ac_diag_.resize(static_cast<std::size_t>(nodes));
-    for (int i = 0; i < nodes; ++i) {
-      ac_diag_[static_cast<std::size_t>(i)] = sjac_.find_index(i, i);
-      if (ac_diag_[static_cast<std::size_t>(i)] < 0) {
-        ac_diag_.clear();
-        break;
+    if (static_cast<int>(ac_diag_.size()) != nodes) {
+      ac_diag_.resize(static_cast<std::size_t>(nodes));
+      for (int i = 0; i < nodes; ++i) {
+        ac_diag_[static_cast<std::size_t>(i)] = sjac_.find_index(i, i);
+        if (ac_diag_[static_cast<std::size_t>(i)] < 0) {
+          ac_diag_.clear();
+          break;
+        }
       }
     }
   } else {
@@ -1137,15 +1149,30 @@ void ComplexSystem::assemble(const ckt::Netlist& nl, double omega,
   rhs_.assign(static_cast<std::size_t>(n_), {0.0, 0.0});
   ckt::AcStampContext ctx(omega, sjac_, rhs_);
   const auto& devs = nl.devices();
-  if (ac_pass_.recorded && ac_pass_.windows.size() == devs.size()) {
+  // Replay source: the adopted shared snapshot when it carries a
+  // recorded pass, else this system's own recording.
+  const num::StampSlotPass* rp = nullptr;
+  if (ac_shared_ && ac_shared_->ac.recorded &&
+      ac_shared_->ac.windows.size() == devs.size())
+    rp = &ac_shared_->ac;
+  else if (ac_pass_.recorded && ac_pass_.windows.size() == devs.size())
+    rp = &ac_pass_;
+  if (rp) {
     bool ok = true;
     for (std::size_t i = 0; i < devs.size(); ++i) {
-      const auto [b, e] = ac_pass_.windows[i];
-      ctx.arm_slot_replay(ac_pass_.slots.data() + b, e - b);
+      const auto [b, e] = rp->windows[i];
+      ctx.arm_slot_replay(rp->slots.data() + b, e - b);
       devs[i]->stamp_ac(ctx);
       if (!ctx.finish_slot_replay()) ok = false;
     }
-    if (!ok) ac_pass_.recorded = false;  // re-record on the next point
+    if (!ok) {
+      // A device's write sequence diverged from the table (mismatched
+      // writes fell back to the searched path, so the matrix above is
+      // still correct).  Drop the stale source and re-record locally on
+      // the next point; the shared snapshot stays untouched.
+      ac_shared_.reset();
+      ac_pass_.recorded = false;
+    }
   } else {
     ac_pass_.slots.clear();
     ac_pass_.windows.clear();
@@ -1202,6 +1229,43 @@ void ComplexSystem::solve_transpose(const num::ComplexVector& b,
     slu_.solve_transpose(b, x);
   else
     dlu_.solve_transpose(b, x);
+}
+
+void ComplexSystem::publish_ac(const ckt::Netlist& nl) const {
+  if (kind_ != SolverKind::kSparse || !ac_pass_.recorded) return;
+  auto& cache = nl.solver_cache();
+  // Only publish when this system's matrix was built FROM the cache
+  // skeleton (init() guarantees that whenever the counts matched), so
+  // the recorded value indices transfer verbatim.
+  if (!cache.skeleton || cache.unknowns != n_ || cache.devices != devices_ ||
+      cache.skeleton->nnz() != sjac_.nnz())
+    return;
+  // Copy-on-write: never mutate the published snapshot -- concurrent
+  // readers (MC workers holding adopted shared_ptrs) may be replaying
+  // it.  The new snapshot keeps every large-signal pass already there.
+  auto t = cache.slots && cache.slots->skeleton == cache.skeleton.get() &&
+                   cache.slots->nnz == sjac_.nnz()
+               ? std::make_shared<num::StampSlotTables>(*cache.slots)
+               : std::make_shared<num::StampSlotTables>();
+  t->skeleton = cache.skeleton.get();
+  t->nnz = sjac_.nnz();
+  t->ac = ac_pass_;
+  if (t->diag.empty() && !ac_diag_.empty()) t->diag = ac_diag_;
+  cache.slots = std::move(t);
+}
+
+void prime_ac_slots(const ckt::Netlist& nl, SolverKind kind, double omega,
+                    double gshunt) {
+  if (kind != SolverKind::kSparse) return;
+  const auto& cache = nl.solver_cache();
+  if (cache.skeleton && cache.slots &&
+      cache.slots->skeleton == cache.skeleton.get() &&
+      cache.slots->ac.recorded)
+    return;  // already published (this process or an adopted registry entry)
+  ComplexSystem sys;
+  sys.init(nl, kind);
+  sys.assemble(nl, omega, gshunt);
+  sys.publish_ac(nl);
 }
 
 }  // namespace msim::an

@@ -352,6 +352,11 @@ class ComplexSystem {
   void init(const ckt::Netlist& nl, SolverKind kind);
 
   void assemble(const ckt::Netlist& nl, double omega, double gshunt);
+  // Publishes this system's locally recorded stamp_ac pass into the
+  // netlist's solver cache (copy-on-write StampSlotTables snapshot; see
+  // prime_ac_slots).  Serial-path only: never call while parallel
+  // frequency workers hold systems over the same netlist.
+  void publish_ac(const ckt::Netlist& nl) const;
   bool factor();
   int singular_col() const;
   double min_pivot() const;
@@ -373,14 +378,28 @@ class ComplexSystem {
   num::ComplexSparseMatrix sjac_;
   num::ComplexSparseLu slu_;
   num::ComplexVector rhs_;
-  // Purely LOCAL stamp-slot state (sparse path): the first assemble
-  // records every stamp_ac write and the node-diagonal slots; later
-  // frequency points replay with zero searches.  Never shared through
-  // the netlist cache -- parallel AC/noise chunk workers init and
-  // assemble concurrently, and the cache is read-only off the serial
-  // path.
+  // Stamp-slot state (sparse path).  `ac_shared_` is an immutable
+  // snapshot adopted from the netlist cache when it already carries a
+  // recorded stamp_ac pass (published by a previous serial
+  // prime_ac_slots over this topology, possibly through the serve
+  // registry): warm systems replay it read-only from their very first
+  // assemble, so parallel chunk workers do zero pattern searches.
+  // Otherwise the first assemble records into the LOCAL `ac_pass_`;
+  // the cache itself is only ever written from the serial driver path
+  // (publish_ac), never from chunk workers.
+  std::shared_ptr<const num::StampSlotTables> ac_shared_;
   num::StampSlotPass ac_pass_;
   std::vector<int> ac_diag_;
 };
+
+// Ensures the netlist's solver cache carries a recorded stamp_ac slot
+// pass: when it is missing, one ComplexSystem is primed serially (a
+// single searched assembly at `omega`) and its pass published
+// copy-on-write.  run_ac_diag / run_noise_diag call this before their
+// parallel frequency chunks so every worker -- and every later job
+// adopting the cache -- assembles search-free.  No-op for the dense
+// engine or when the pass is already cached.
+void prime_ac_slots(const ckt::Netlist& nl, SolverKind kind, double omega,
+                    double gshunt);
 
 }  // namespace msim::an

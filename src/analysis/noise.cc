@@ -114,6 +114,11 @@ NoiseResult run_noise_diag(ckt::Netlist& nl,
 
   const std::size_t n = static_cast<std::size_t>(nl.unknown_count());
   const std::size_t nf = freqs_hz.size();
+  // Serial priming of the shared stamp_ac slot pass (see run_ac_diag):
+  // chunk workers below then replay it search-free from their first
+  // assembly.
+  if (nf > 0)
+    prime_ac_slots(nl, opt.solver, 2.0 * M_PI * freqs_hz[0], opt.gshunt);
   int threads = opt.threads == 0 ? core::default_thread_count()
                                  : std::max(1, opt.threads);
   const std::size_t nchunks =

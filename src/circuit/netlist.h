@@ -109,6 +109,21 @@ class Netlist {
     verdict_ = other.verdict_;
   }
 
+  // Detached-snapshot overload for the serve-layer cache registry: the
+  // source netlist is long gone, only its published SolverCache and
+  // pre-pass verdict survive (shared pointers to immutable structure).
+  // The caller vouches for topology identity (fingerprint plus the
+  // registry's structural key check); a wrong-valued symbolic still
+  // degrades to one local re-analysis through SparseLu's pivot-floor
+  // guard, never to a wrong result.
+  void adopt_solver_cache(const num::SolverCache& cache,
+                          const StructuralVerdict& verdict) {
+    if (MSIM_FAULTPOINT("cache_adopt_fail")) return;
+    solver_cache_ = cache;
+    solver_cache_.structure_rev = structure_rev_;
+    verdict_ = verdict;
+  }
+
   // Structure-only hash consumed by the static pre-pass cache: two
   // netlists with the same devices (type, name, terminals, branch
   // counts) over the same node table hash equal regardless of values.

@@ -306,6 +306,12 @@ struct StampSlotTables {
   int nnz = 0;
   StampSlotPass base_dcop, base_tran;      // linear devices
   StampSlotPass newton_dcop, newton_tran;  // nonlinear devices
+  // Small-signal pass (every device's stamp_ac writes, one window per
+  // device).  Recorded by a ComplexSystem on the serial driver path and
+  // published here so parallel AC/noise chunk workers -- and, through
+  // the serve-layer cache registry, later processes' jobs over the same
+  // topology -- replay it read-only from their very first assembly.
+  StampSlotPass ac;
   std::vector<int> diag;                   // node rows only
 };
 

@@ -1,0 +1,103 @@
+#include "serve/scheduler.h"
+
+namespace msim::serve {
+
+Json SchedulerStats::json() const {
+  Json j = Json::object();
+  j.set("submitted", submitted);
+  j.set("executed", executed);
+  j.set("stolen", stolen);
+  j.set("workers", static_cast<double>(workers));
+  return j;
+}
+
+JobScheduler::JobScheduler(std::size_t workers) {
+  if (workers == 0) {
+    workers = std::thread::hardware_concurrency();
+    if (workers == 0) workers = 1;
+  }
+  queues_.resize(workers);
+  stats_.workers = workers;
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i)
+    threads_.emplace_back([this, i] { worker(i); });
+}
+
+JobScheduler::~JobScheduler() { stop(); }
+
+std::size_t JobScheduler::pending_locked() const {
+  std::size_t n = 0;
+  for (const auto& q : queues_) n += q.size();
+  return n;
+}
+
+void JobScheduler::submit(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    if (stopping_) return;
+    queues_[next_].push_back(std::move(job));
+    next_ = (next_ + 1) % queues_.size();
+    ++stats_.submitted;
+  }
+  cv_.notify_one();
+}
+
+void JobScheduler::worker(std::size_t id) {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    std::function<void()> job;
+    if (!queues_[id].empty()) {
+      job = std::move(queues_[id].front());
+      queues_[id].pop_front();
+    } else {
+      // Steal the oldest job (back of the deque) from the first
+      // non-empty sibling, scanning outward from this worker.
+      for (std::size_t k = 1; k < queues_.size(); ++k) {
+        auto& q = queues_[(id + k) % queues_.size()];
+        if (!q.empty()) {
+          job = std::move(q.back());
+          q.pop_back();
+          ++stats_.stolen;
+          break;
+        }
+      }
+    }
+    if (job) {
+      ++active_;
+      lk.unlock();
+      job();
+      lk.lock();
+      ++stats_.executed;
+      --active_;
+      if (active_ == 0 && pending_locked() == 0) idle_cv_.notify_all();
+      continue;
+    }
+    if (stopping_) return;
+    cv_.wait(lk);
+  }
+}
+
+void JobScheduler::wait_idle() {
+  std::unique_lock<std::mutex> lk(mu_);
+  idle_cv_.wait(lk,
+                [&] { return active_ == 0 && pending_locked() == 0; });
+}
+
+void JobScheduler::stop() {
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    if (stopping_ && threads_.empty()) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_)
+    if (t.joinable()) t.join();
+  threads_.clear();
+}
+
+SchedulerStats JobScheduler::stats() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return stats_;
+}
+
+}  // namespace msim::serve

@@ -1,0 +1,75 @@
+// Work-stealing job scheduler for the serve layer.
+//
+// Deliberately NOT layered on core::ThreadPool: the global pool's run()
+// holds its submission lock for the whole job, so a pool job that calls
+// parallel_for (as every analysis may) from a pool worker would
+// deadlock.  The scheduler owns its own threads; jobs that fan out
+// internally simply serialize on the global pool's lock -- no circular
+// wait, verified by tests/test_serve.cc under TSan.
+//
+// Topology: one deque per worker under a single mutex (job bodies are
+// whole netlist simulations, milliseconds to seconds -- lock traffic is
+// noise).  submit() deals round-robin; a worker drains its own deque
+// from the front and steals from a sibling's back when empty, so a
+// burst landing on one queue spreads across the fleet.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/json.h"
+
+namespace msim::serve {
+
+struct SchedulerStats {
+  long submitted = 0;
+  long executed = 0;
+  long stolen = 0;  // executed jobs taken from another worker's queue
+  std::size_t workers = 0;
+
+  Json json() const;
+};
+
+class JobScheduler {
+ public:
+  // 0 = hardware concurrency.
+  explicit JobScheduler(std::size_t workers = 0);
+  ~JobScheduler();  // stop()
+
+  JobScheduler(const JobScheduler&) = delete;
+  JobScheduler& operator=(const JobScheduler&) = delete;
+
+  // Enqueues a job.  Safe from any thread, including job bodies.
+  // Jobs submitted after stop() began are silently dropped.
+  void submit(std::function<void()> job);
+
+  // Blocks until every submitted job has finished.
+  void wait_idle();
+
+  // Drains the queues, then joins the workers.  Idempotent.
+  void stop();
+
+  std::size_t workers() const { return queues_.size(); }
+  SchedulerStats stats() const;
+
+ private:
+  void worker(std::size_t id);
+  std::size_t pending_locked() const;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;       // work available / stopping
+  std::condition_variable idle_cv_;  // all queues empty, nothing running
+  std::vector<std::deque<std::function<void()>>> queues_;
+  std::vector<std::thread> threads_;
+  std::size_t next_ = 0;    // round-robin submit cursor
+  std::size_t active_ = 0;  // jobs currently executing
+  bool stopping_ = false;
+  SchedulerStats stats_;
+};
+
+}  // namespace msim::serve

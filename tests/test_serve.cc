@@ -1,0 +1,572 @@
+// Serve layer: JSON protocol codec, the cross-request solver-cache
+// registry (adopt/publish/collision-guard/LRU), the shared deck runner
+// (CLI-equivalent bytes, warm zero-search repeats, whole-result memo,
+// Monte-Carlo mode), the work-stealing scheduler (bit-identity at any
+// worker count) and the Unix-socket daemon end to end.
+//
+// Run under TSan by tools/run_static_checks.sh: the concurrent
+// adopt/evict stress and the daemon smoke are the data-race gates for
+// the shared-immutable cache design.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/budget.h"
+#include "numeric/sparse.h"
+#include "serve/deck.h"
+#include "serve/json.h"
+#include "serve/registry.h"
+#include "serve/scheduler.h"
+#include "serve/server.h"
+#include "spicefmt/parser.h"
+
+namespace {
+
+using namespace msim;
+using serve::CacheRegistry;
+using serve::DeckOptions;
+using serve::DeckResult;
+using serve::Json;
+
+// -------------------------------------------------------------------
+// Test decks (all lint-clean).
+
+// Divider + .op only.
+constexpr const char* kOpDeck =
+    "* divider\n"
+    "v1 in 0 dc 1.0\n"
+    "r1 in out 1k\n"
+    "r2 out 0 1k\n"
+    ".op\n"
+    ".end\n";
+
+// RC low-pass, .op + .ac (exercises the shared AC slot pass).
+constexpr const char* kAcDeck =
+    "* rc low-pass\n"
+    "v1 in 0 dc 0 ac 1\n"
+    "r1 in out 1k\n"
+    "c1 out 0 100n\n"
+    ".op\n"
+    ".ac dec 5 10 10k\n"
+    ".end\n";
+
+// RC step response, short transient.
+constexpr const char* kTranDeck =
+    "* rc step\n"
+    "v1 in 0 pulse(0 1 1u 1u 1u 50u 100u)\n"
+    "r1 in out 1k\n"
+    "c1 out 0 1n\n"
+    ".tran 1u 40u\n"
+    ".end\n";
+
+// Distinct topology (three-node ladder) for multi-entry registry tests.
+constexpr const char* kLadderDeck =
+    "* ladder\n"
+    "v1 in 0 dc 2.0\n"
+    "r1 in a 1k\n"
+    "r2 a b 2k\n"
+    "r3 b 0 3k\n"
+    ".op\n"
+    ".end\n";
+
+// Drops the wall-clock-dependent "solver time: ..." telemetry line; the
+// rest of an op report is deterministic.
+std::string strip_timing(const std::string& s) {
+  std::string out;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    std::size_t nl = s.find('\n', pos);
+    if (nl == std::string::npos) nl = s.size() - 1;
+    const std::string line = s.substr(pos, nl - pos + 1);
+    if (line.rfind("solver time:", 0) != 0) out += line;
+    pos = nl + 1;
+  }
+  return out;
+}
+
+DeckResult run_no_memo(const std::string& deck, CacheRegistry* reg,
+                       DeckOptions opt = {}) {
+  opt.use_result_cache = false;
+  return serve::run_deck(deck, opt, reg);
+}
+
+// -------------------------------------------------------------------
+// JSON codec.
+
+TEST(ServeJson, RoundTripAndDeterministicDump) {
+  Json j = Json::object();
+  j.set("b", true);
+  j.set("a", 42);
+  j.set("s", "line\nbreak \"quoted\" \\ tab\t");
+  j.set("x", 1.25);
+  Json arr = Json::array();
+  arr.push(1);
+  arr.push("two");
+  arr.push(Json());
+  j.set("list", std::move(arr));
+
+  const std::string d = j.dump();
+  // Sorted keys, one line.
+  EXPECT_EQ(d.find('\n'), std::string::npos);
+  EXPECT_LT(d.find("\"a\""), d.find("\"b\""));
+
+  std::string err;
+  const Json back = Json::parse(d, &err);
+  EXPECT_TRUE(err.empty()) << err;
+  EXPECT_EQ(back["a"].as_number(), 42.0);
+  EXPECT_TRUE(back["b"].as_bool());
+  EXPECT_EQ(back["s"].as_string(), j["s"].as_string());
+  EXPECT_EQ(back["list"].items().size(), 3u);
+  EXPECT_EQ(back["list"].items()[1].as_string(), "two");
+  EXPECT_TRUE(back["list"].items()[2].is_null());
+  // dump(parse(dump(x))) is a fixed point.
+  EXPECT_EQ(back.dump(), d);
+}
+
+TEST(ServeJson, NumbersAndEscapes) {
+  EXPECT_EQ(Json(3.0).dump(), "3");
+  EXPECT_EQ(Json(-17).dump(), "-17");
+  EXPECT_EQ(Json::parse("1e3")["x"].is_null(), true);  // scalar, no keys
+  EXPECT_EQ(Json::parse("1e3").as_number(), 1000.0);
+  EXPECT_EQ(Json::parse("\"a\\u0041b\"").as_string(), "aAb");
+  const std::string rt = Json(0.1).dump();
+  EXPECT_EQ(Json::parse(rt).as_number(), 0.1);  // shortest round-trip
+}
+
+TEST(ServeJson, MalformedInputsReportErrors) {
+  for (const char* bad :
+       {"{", "[1,", "\"unterminated", "{\"a\":}", "tru", "{} extra",
+        "{\"a\" 1}"}) {
+    std::string err;
+    const Json j = Json::parse(bad, &err);
+    EXPECT_TRUE(j.is_null()) << bad;
+    EXPECT_FALSE(err.empty()) << bad;
+  }
+}
+
+// -------------------------------------------------------------------
+// Registry: adopt / publish / collision guard / LRU.
+
+TEST(ServeRegistry, ColdMissThenWarmHitSameBytes) {
+  CacheRegistry reg;
+  const DeckResult cold = run_no_memo(kOpDeck, &reg);
+  ASSERT_EQ(cold.exit_code, 0) << cold.err;
+  EXPECT_FALSE(cold.warm);
+
+  const DeckResult warm = run_no_memo(kOpDeck, &reg);
+  ASSERT_EQ(warm.exit_code, 0) << warm.err;
+  EXPECT_TRUE(warm.warm);
+  // Identical deck values -> identical symbolic -> identical bytes
+  // modulo the wall-clock telemetry line.
+  EXPECT_EQ(strip_timing(warm.out), strip_timing(cold.out));
+  EXPECT_EQ(warm.err, cold.err);
+
+  const serve::RegistryStats s = reg.stats();
+  EXPECT_EQ(s.entries, 1u);
+  EXPECT_EQ(s.hits, 1);
+  EXPECT_EQ(s.misses, 1);
+  EXPECT_EQ(s.fingerprint_collisions, 0);
+  EXPECT_GT(s.bytes, 0u);
+}
+
+TEST(ServeRegistry, CollisionGuardRejectsWrongStructuralKey) {
+  CacheRegistry reg;
+  ASSERT_EQ(run_no_memo(kOpDeck, &reg).exit_code, 0);
+
+  // Poison the deck's entry: same fingerprint, wrong structural key --
+  // the shape a 64-bit hash collision would take.
+  auto parsed = spice::parse_netlist(kOpDeck);
+  auto& nl = *parsed.netlist;
+  nl.assign_unknowns();
+  const std::uint64_t fp = nl.topology_fingerprint();
+  serve::StructuralKey wrong{nl.node_count() + 1,
+                             static_cast<int>(nl.devices().size()),
+                             nl.unknown_count()};
+  reg.publish_raw(fp, wrong, nl.solver_cache(), nl.structural_verdict(),
+                  true);
+
+  const DeckResult r = run_no_memo(kOpDeck, &reg);
+  ASSERT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_FALSE(r.warm);  // guard refused the poisoned entry
+  EXPECT_GE(reg.stats().fingerprint_collisions, 1);
+}
+
+TEST(ServeRegistry, LruEvictionUnderByteCap) {
+  CacheRegistry reg(/*max_bytes=*/1, /*max_result_bytes=*/1u << 20);
+  ASSERT_EQ(run_no_memo(kOpDeck, &reg).exit_code, 0);
+  ASSERT_EQ(run_no_memo(kLadderDeck, &reg).exit_code, 0);
+  const serve::RegistryStats s = reg.stats();
+  // A 1-byte cap cannot hold any entry: every publish evicts.
+  EXPECT_GE(s.evictions, 2);
+  EXPECT_EQ(s.entries, 0u);
+  // Eviction never broke a job.
+  const DeckResult r = run_no_memo(kOpDeck, &reg);
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_FALSE(r.warm);
+}
+
+TEST(ServeRegistry, ClearDropsEverything) {
+  CacheRegistry reg;
+  ASSERT_EQ(serve::run_deck(kOpDeck, {}, &reg).exit_code, 0);
+  EXPECT_EQ(reg.stats().entries, 1u);
+  EXPECT_EQ(reg.stats().result_entries, 1u);
+  reg.clear();
+  EXPECT_EQ(reg.stats().entries, 0u);
+  EXPECT_EQ(reg.stats().result_entries, 0u);
+  EXPECT_EQ(reg.stats().bytes, 0u);
+}
+
+// -------------------------------------------------------------------
+// Deck runner: warm jobs pay zero pattern searches.
+
+TEST(ServeDeck, WarmOpJobZeroPatternSearches) {
+  CacheRegistry reg;
+  ASSERT_EQ(run_no_memo(kOpDeck, &reg).exit_code, 0);
+  const long s0 = num::sparse_search_count();
+  const DeckResult warm = run_no_memo(kOpDeck, &reg);
+  ASSERT_EQ(warm.exit_code, 0) << warm.err;
+  ASSERT_TRUE(warm.warm);
+  EXPECT_EQ(num::sparse_search_count() - s0, 0)
+      << "warm .op repeat fell back to pattern searches";
+}
+
+TEST(ServeDeck, WarmAcJobZeroPatternSearches) {
+  CacheRegistry reg;
+  ASSERT_EQ(run_no_memo(kAcDeck, &reg).exit_code, 0);
+  const long s0 = num::sparse_search_count();
+  const DeckResult warm = run_no_memo(kAcDeck, &reg);
+  ASSERT_EQ(warm.exit_code, 0) << warm.err;
+  ASSERT_TRUE(warm.warm);
+  EXPECT_EQ(num::sparse_search_count() - s0, 0)
+      << "warm .ac repeat fell back to pattern searches "
+         "(AC slot pass not shared through the registry?)";
+}
+
+// -------------------------------------------------------------------
+// Deck runner: whole-result memoization.
+
+TEST(ServeDeck, ResultMemoReturnsVerbatimBytes) {
+  CacheRegistry reg;
+  const DeckResult first = serve::run_deck(kAcDeck, {}, &reg);
+  ASSERT_EQ(first.exit_code, 0) << first.err;
+  EXPECT_FALSE(first.result_cached);
+
+  const DeckResult repeat = serve::run_deck(kAcDeck, {}, &reg);
+  EXPECT_TRUE(repeat.result_cached);
+  // Verbatim: including the timing line -- no solve ran at all.
+  EXPECT_EQ(repeat.out, first.out);
+  EXPECT_EQ(repeat.err, first.err);
+  EXPECT_EQ(repeat.exit_code, 0);
+
+  // Different options -> different memo key.
+  DeckOptions probed;
+  probed.probe_arg = "out";
+  const DeckResult other = serve::run_deck(kAcDeck, probed, &reg);
+  EXPECT_FALSE(other.result_cached);
+  EXPECT_NE(other.out, first.out);
+}
+
+TEST(ServeDeck, BudgetedJobsNeverMemoized) {
+  CacheRegistry reg;
+  DeckOptions opt;
+  opt.budget_ms = 10000.0;  // armed but far from firing
+  const DeckResult a = serve::run_deck(kOpDeck, opt, &reg);
+  ASSERT_EQ(a.exit_code, 0);
+  const DeckResult b = serve::run_deck(kOpDeck, opt, &reg);
+  EXPECT_FALSE(b.result_cached);
+  EXPECT_EQ(reg.stats().result_entries, 0u);
+}
+
+TEST(ServeDeck, CancelledJobFailsAndIsNeverMemoized) {
+  core::CancelToken token;
+  token.request();  // cancelled before the run starts
+  core::RunBudget budget;
+  budget.cancel = &token;
+  DeckOptions opt;
+  opt.budget = &budget;
+  CacheRegistry reg;
+  // A cancel that fires before the first timestep kills the initial DC
+  // solve: the engine reports a failed (not truncated) run, exit 1.  A
+  // cancel mid-waveform truncates with exit 4; either way the result
+  // must stay out of the memo.
+  const DeckResult r = serve::run_deck(kTranDeck, opt, &reg);
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.err.find("transient failed"), std::string::npos) << r.err;
+  EXPECT_EQ(reg.stats().result_entries, 0u);
+}
+
+// -------------------------------------------------------------------
+// Deck runner: Monte-Carlo mode.
+
+TEST(ServeDeck, MonteCarloDeterministicAcrossRepeats) {
+  DeckOptions opt;
+  opt.mc = 8;
+  opt.mc_seed = 7;
+  opt.probe_arg = "out";
+  const DeckResult a = serve::run_deck(kOpDeck, opt, nullptr);
+  ASSERT_EQ(a.exit_code, 0) << a.err;
+  EXPECT_NE(a.out.find("mc,8 samples,0 failures"), std::string::npos)
+      << a.out;
+  EXPECT_NE(a.out.find("probe,mean,stddev,min,max"), std::string::npos);
+
+  const DeckResult b = serve::run_deck(kOpDeck, opt, nullptr);
+  EXPECT_EQ(b.out, a.out);  // same seed -> bit-identical statistics
+
+  opt.mc_seed = 8;
+  const DeckResult c = serve::run_deck(kOpDeck, opt, nullptr);
+  EXPECT_NE(c.out, a.out);  // different seed -> different spread
+}
+
+TEST(ServeDeck, MonteCarloAdoptsRegistryStructure) {
+  CacheRegistry reg;
+  // Prime the topology with a plain .op job, then run MC over the same
+  // deck: sample 0's build adopts the registry structure (MC
+  // perturbations move values, never topology).
+  ASSERT_EQ(run_no_memo(kOpDeck, &reg).exit_code, 0);
+  DeckOptions opt;
+  opt.mc = 4;
+  opt.probe_arg = "out";
+  const DeckResult mc = run_no_memo(kOpDeck, &reg, opt);
+  ASSERT_EQ(mc.exit_code, 0) << mc.err;
+  EXPECT_TRUE(mc.warm);
+  // Registry-warm and registry-cold MC produce the same statistics:
+  // adoption changes where the structure comes from, not the values.
+  const DeckResult cold = run_no_memo(kOpDeck, nullptr, opt);
+  EXPECT_EQ(cold.out, mc.out);
+}
+
+// -------------------------------------------------------------------
+// Batch mode.
+
+TEST(ServeBatch, SharedRegistryWarmsRepeats) {
+  const std::string dir = ::testing::TempDir();
+  const std::string p1 = dir + "serve_batch_a.sp";
+  const std::string p2 = dir + "serve_batch_b.sp";
+  { std::ofstream(p1) << kOpDeck; }
+  { std::ofstream(p2) << kLadderDeck; }
+
+  serve::CacheRegistry reg;
+  DeckOptions opt;
+  opt.use_result_cache = false;  // measure structural warmth, not memo
+  std::string out, err;
+  const serve::BatchResult b =
+      serve::run_batch({p1, p2, p1, p2, p1}, opt, reg, out, err);
+  EXPECT_EQ(b.exit_code, 0) << err;
+  EXPECT_EQ(b.jobs, 5);
+  EXPECT_EQ(b.warm_jobs, 3);  // 2 topologies cold once each
+  EXPECT_EQ(b.cached_jobs, 0);
+  EXPECT_NE(out.find("* job 0: " + p1), std::string::npos);
+
+  // Unreadable file: exit 2, other jobs unaffected.
+  std::string out2, err2;
+  const serve::BatchResult bad = serve::run_batch(
+      {p1, dir + "missing_deck.sp"}, opt, reg, out2, err2);
+  EXPECT_EQ(bad.exit_code, 2);
+  EXPECT_EQ(bad.jobs, 1);
+  EXPECT_NE(err2.find("cannot read"), std::string::npos);
+}
+
+// -------------------------------------------------------------------
+// Scheduler.
+
+TEST(ServeScheduler, ExecutesEverythingAndDrains) {
+  serve::JobScheduler sched(4);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 64; ++i)
+    sched.submit([&] { done.fetch_add(1); });
+  sched.wait_idle();
+  EXPECT_EQ(done.load(), 64);
+  const serve::SchedulerStats st = sched.stats();
+  EXPECT_EQ(st.submitted, 64);
+  EXPECT_EQ(st.executed, 64);
+  EXPECT_EQ(st.workers, 4u);
+  sched.stop();
+}
+
+TEST(ServeScheduler, StealingSpreadsOneHotQueue) {
+  // Round-robin submit fills all queues, but jobs that block until the
+  // gate opens force idle workers to steal the stragglers.
+  serve::JobScheduler sched(4);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 32; ++i)
+    sched.submit([&] { done.fetch_add(1); });
+  sched.wait_idle();
+  sched.stop();
+  EXPECT_EQ(done.load(), 32);
+}
+
+TEST(ServeScheduler, BitIdenticalResultsAtAnyWorkerCount) {
+  const std::vector<std::string> decks = {kOpDeck, kAcDeck, kLadderDeck,
+                                          kOpDeck, kAcDeck, kLadderDeck};
+  // Serial baseline, fresh registry.
+  std::vector<std::string> serial(decks.size());
+  {
+    CacheRegistry reg;
+    for (std::size_t i = 0; i < decks.size(); ++i)
+      serial[i] = strip_timing(run_no_memo(decks[i], &reg).out);
+  }
+  for (const std::size_t workers : {1u, 2u, 8u}) {
+    CacheRegistry reg;
+    serve::JobScheduler sched(workers);
+    std::vector<std::string> outs(decks.size());
+    for (std::size_t i = 0; i < decks.size(); ++i)
+      sched.submit([&, i] {
+        outs[i] = strip_timing(run_no_memo(decks[i], &reg).out);
+      });
+    sched.wait_idle();
+    sched.stop();
+    for (std::size_t i = 0; i < decks.size(); ++i)
+      EXPECT_EQ(outs[i], serial[i])
+          << "deck " << i << " differs at " << workers << " workers";
+  }
+}
+
+// -------------------------------------------------------------------
+// Concurrent adoption/eviction stress (the TSan gate).
+
+TEST(ServeStress, ConcurrentAdoptPublishEvictClear) {
+  const std::vector<std::string> decks = {kOpDeck, kAcDeck, kLadderDeck};
+  // Serial per-deck baseline.
+  std::vector<std::string> baseline;
+  {
+    CacheRegistry reg;
+    for (const auto& d : decks)
+      baseline.push_back(strip_timing(run_no_memo(d, &reg).out));
+  }
+  CacheRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kRepeats = 6;
+  std::vector<std::thread> threads;
+  std::atomic<int> mismatches{0};
+  threads.reserve(kThreads + 1);
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&, t] {
+      for (int r = 0; r < kRepeats; ++r) {
+        const std::size_t which =
+            static_cast<std::size_t>(t + r) % decks.size();
+        const DeckResult res = run_no_memo(decks[which], &reg);
+        if (res.exit_code != 0 ||
+            strip_timing(res.out) != baseline[which])
+          mismatches.fetch_add(1);
+      }
+    });
+  // Concurrent churn: clearing mid-flight exercises eviction while
+  // adopters hold shared_ptrs into the evicted entries.
+  threads.emplace_back([&] {
+    for (int i = 0; i < 10; ++i) {
+      reg.clear();
+      std::this_thread::yield();
+    }
+  });
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  // Every job either adopted or missed; nothing else.
+  const serve::RegistryStats s = reg.stats();
+  EXPECT_EQ(s.hits + s.misses, kThreads * kRepeats);
+  EXPECT_EQ(s.fingerprint_collisions, 0);
+}
+
+// -------------------------------------------------------------------
+// Daemon end to end (the serve_smoke ctest runs exactly this fixture).
+
+TEST(ServeSmoke, MixedJobsWarmHitsAndCleanShutdown) {
+  serve::ServerOptions so;
+  so.socket_path =
+      ::testing::TempDir() + "msim_serve_" + std::to_string(::getpid()) +
+      ".sock";
+  so.workers = 2;
+  serve::Server server(so);
+  std::string err;
+  ASSERT_TRUE(server.start(&err)) << err;
+  std::thread runner([&] { server.run(); });
+
+  auto submit = [&](const char* deck, bool memo) {
+    Json j = Json::object();
+    j.set("op", "submit");
+    j.set("deck", deck);
+    j.set("result_cache", memo);
+    std::string out, errs, terr;
+    bool warm = false, cached = false;
+    const int code = serve::submit_and_wait(so.socket_path, j, out, errs,
+                                            &terr, &warm, &cached);
+    EXPECT_EQ(code, 0) << terr << errs;
+    return std::tuple<std::string, bool, bool>(std::move(out), warm,
+                                               cached);
+  };
+
+  // Three mixed jobs: op (cold), ac (cold), op repeat (warm structure,
+  // memo off so the solve really runs).
+  const auto [op1, w1, c1] = submit(kOpDeck, false);
+  const auto [ac1, w2, c2] = submit(kAcDeck, false);
+  const auto [op2, w3, c3] = submit(kOpDeck, false);
+  EXPECT_FALSE(w1);
+  EXPECT_FALSE(w2);
+  EXPECT_TRUE(w3);
+  EXPECT_EQ(strip_timing(op2), strip_timing(op1));
+
+  // And a memoized repeat: verbatim bytes, no solve.
+  const auto [ac2a, w4, c4] = submit(kAcDeck, true);
+  const auto [ac2b, w5, c5] = submit(kAcDeck, true);
+  EXPECT_TRUE(c5);
+  EXPECT_EQ(ac2b, ac2a);
+
+  // Unknown-id cancel answers found:false (deterministic; an in-flight
+  // cancel race is exercised by CancelledJobTruncatesWithExit4).
+  Json cancel = Json::object();
+  cancel.set("op", "cancel");
+  cancel.set("id", "no-such-job");
+  const Json cr = serve::request(so.socket_path, cancel, &err);
+  EXPECT_TRUE(cr["ok"].as_bool()) << err;
+  EXPECT_FALSE(cr["found"].as_bool(true));
+
+  Json statreq = Json::object();
+  statreq.set("op", "stats");
+  const Json stats = serve::request(so.socket_path, statreq, &err);
+  ASSERT_TRUE(stats["ok"].as_bool()) << err;
+  EXPECT_GT(stats["registry"]["hits"].as_number(), 0.0);
+  EXPECT_EQ(stats["jobs"]["completed"].as_number(), 5.0);
+  EXPECT_GT(stats["jobs"]["warm"].as_number(), 0.0);
+  EXPECT_GT(stats["jobs"]["cached"].as_number(), 0.0);
+  EXPECT_EQ(stats["registry"]["fingerprint_collisions"].as_number(), 0.0);
+
+  Json bye = Json::object();
+  bye.set("op", "shutdown");
+  const Json ack = serve::request(so.socket_path, bye, &err);
+  EXPECT_TRUE(ack["ok"].as_bool()) << err;
+  runner.join();
+  // Socket unlinked on shutdown.
+  EXPECT_NE(::access(so.socket_path.c_str(), F_OK), 0);
+}
+
+TEST(ServeSmoke, MalformedAndUnknownRequestsAnswerErrors) {
+  serve::ServerOptions so;
+  so.socket_path = ::testing::TempDir() + "msim_serve_err_" +
+                   std::to_string(::getpid()) + ".sock";
+  so.workers = 1;
+  serve::Server server(so);
+  std::string err;
+  ASSERT_TRUE(server.start(&err)) << err;
+  std::thread runner([&] { server.run(); });
+
+  Json bogus = Json::object();
+  bogus.set("op", "frobnicate");
+  const Json r1 = serve::request(so.socket_path, bogus, &err);
+  EXPECT_FALSE(r1["ok"].as_bool(true));
+  EXPECT_NE(r1["error"].as_string().find("unknown op"), std::string::npos);
+
+  Json nodeck = Json::object();
+  nodeck.set("op", "submit");
+  const Json r2 = serve::request(so.socket_path, nodeck, &err);
+  EXPECT_FALSE(r2["ok"].as_bool(true));
+
+  server.shutdown();
+  runner.join();
+}
+
+}  // namespace

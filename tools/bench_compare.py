@@ -25,7 +25,7 @@ import sys
 
 SECTIONS = ("mc_configs", "chip_mc_configs", "ac_grid_configs",
             "transient_configs", "pss_configs", "ensemble_configs",
-            "budget_overhead", "assembly_configs")
+            "budget_overhead", "assembly_configs", "serve_configs")
 CONTRACT_FLAGS = (
     "stats_bit_identical_across_threads",
     "dense_sparse_stats_agree",
@@ -99,6 +99,16 @@ def main():
         "5.0: the shooting analysis must integrate at least 5x fewer "
         "tone periods than the doubling-verified settle oracle; "
         "ignored when the candidate predates the pss section)",
+    )
+    ap.add_argument(
+        "--serve-threshold",
+        type=float,
+        default=3.0,
+        help="min serve_warm_speedup (warm-memo jobs/sec over cold "
+        "one-shot jobs/sec on the mixed mic-amp stream) the candidate "
+        "must report, with zero pattern searches and bit-identical "
+        "output on the warm passes (default 3.0; ignored when the "
+        "candidate predates the serve section)",
     )
     ap.add_argument(
         "--prepass-threshold",
@@ -291,6 +301,51 @@ def main():
                     f"limit {args.ensemble_threshold:.2f}x")
             print(f"  chip ensemble speedup {chip_ens:5.2f}x vs "
                   f"per-sample [{marker}]")
+
+    # Serve gate, judged absolutely on the candidate: warm (memoized)
+    # service must clear --serve-threshold times the cold one-shot
+    # throughput on the mixed mic-amp stream, the warm passes must
+    # replay with zero sparse pattern searches and byte-identical
+    # output, and the registry must have seen no fingerprint collisions.
+    if "serve_configs" in cand:
+        for cfg in cand.get("serve_configs", []):
+            name = cfg.get("name", "?")
+            marker = "ok"
+            if not cfg.get("all_jobs_ok", False):
+                marker = "JOBS FAILED"
+                failures.append(f"serve_configs/{name}: some jobs "
+                                f"exited nonzero")
+            if (name != "cold" and cfg.get("pattern_searches", 1) != 0):
+                marker = "SEARCHED"
+                failures.append(
+                    f"serve_configs/{name}: {cfg['pattern_searches']} "
+                    f"pattern searches on a warm pass (must be zero)")
+            print(f"  serve_configs/{name:<18} "
+                  f"{cfg.get('jobs_per_sec', 0):9.1f} jobs/s "
+                  f"({cfg.get('speedup_vs_cold', 0):6.2f}x) [{marker}]")
+        warm = cand.get("serve_warm_speedup")
+        if warm is None:
+            failures.append("missing serve_warm_speedup")
+        else:
+            marker = "ok"
+            if warm < args.serve_threshold:
+                marker = "TOO SLOW"
+                failures.append(
+                    f"serve warm speedup {warm:.2f}x below limit "
+                    f"{args.serve_threshold:.2f}x")
+            print(f"  serve warm speedup {warm:8.2f}x vs cold one-shot "
+                  f"[{marker}]")
+        if not cand.get("serve_outputs_identical", False):
+            failures.append("serve warm output not bit-identical to "
+                            "cold")
+        if not cand.get("serve_warm_zero_searches", False):
+            failures.append("serve warm passes performed pattern "
+                            "searches")
+        reg = cand.get("serve_registry", {})
+        if reg.get("fingerprint_collisions", 0) != 0:
+            failures.append(
+                f"serve registry saw {reg['fingerprint_collisions']} "
+                f"fingerprint collision(s)")
 
     for flag in CONTRACT_FLAGS:
         if flag in base and not cand.get(flag, False):

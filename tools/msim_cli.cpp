@@ -33,38 +33,31 @@
 // the cut on stderr with exit code 4 instead of hanging.
 // `--ensemble N` runs each .tran as an N-lane lockstep ensemble (N
 // identical copies of the deck advanced together through
-// run_transient_ensemble): a quick way to exercise and benchmark the
-// SoA engine on any input; lane 0's waveform is reported, the ensemble
-// telemetry (blocks, cohorts, samples/s) goes to stderr and rides the
-// --tran-stats JSON.
+// run_transient_ensemble); lane 0's waveform is reported, the ensemble
+// telemetry goes to stderr and rides the --tran-stats JSON.
 // `--pss` replaces each .tran with the shooting-Newton periodic
-// steady-state solve (the deck must carry a single periodic tone, which
-// sets the period; the .tran step is the sample-spacing request): the
-// CSV holds exactly one coherent steady period, the shooting telemetry
-// (iterations, periods integrated, residual) goes to stderr, and
-// --tran-stats prints the PSS telemetry JSON.  A budget cut reports the
-// structured partial and exits 4 like a truncated transient.
+// steady-state solve; the CSV holds exactly one coherent steady period.
+// `--mc N` turns each .op into an N-sample Monte-Carlo run (1% gaussian
+// resistor spread, statistics over the first probe; deterministic
+// stream from `--mc-seed K`).
+// `--jobs list.txt` batch mode: runs every deck file named in the list
+// (one path per line, '#' comments) through ONE shared solver-cache
+// registry -- repeated topologies adopt the first job's sparsity
+// pattern / symbolic LU / stamp slots instead of re-deriving them, and
+// exact job repeats return memoized results.  Exit code is the worst
+// job's; a per-batch summary goes to stderr.
+//
+// The execution core lives in src/serve/deck.cc (serve::run_deck),
+// shared verbatim with the msim_serve daemon: a daemon job's bytes are
+// this CLI's bytes by construction.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
-#include "core/budget.h"
-
-#include "analysis/ac.h"
-#include "analysis/noise.h"
-#include "analysis/op.h"
-#include "analysis/op_report.h"
-#include "analysis/structural.h"
-#include "analysis/sweep.h"
-#include "analysis/transient.h"
-#include "analysis/pss.h"
-#include "analysis/range.h"
-#include "circuit/lint.h"
-#include "devices/sources.h"
-#include "numeric/units.h"
-#include "spicefmt/parser.h"
+#include "serve/deck.h"
+#include "serve/registry.h"
 
 using namespace msim;
 
@@ -85,355 +78,111 @@ std::vector<std::string> split_csv(const std::string& s) {
   return out;
 }
 
-std::vector<ckt::NodeId> resolve_probes(ckt::Netlist& nl,
-                                        const std::string& probe_arg) {
-  std::vector<ckt::NodeId> probes;
-  if (!probe_arg.empty()) {
-    for (const auto& name : split_csv(probe_arg)) {
-      const ckt::NodeId n = nl.find_node(name);
-      if (n == ckt::kInvalidNode) {
-        std::fprintf(stderr, "warning: probe node '%s' not in netlist; ignored\n",
-                     name.c_str());
-        continue;
-      }
-      probes.push_back(n);
-    }
-    return probes;
+// Job list: one deck path per line; blank lines and '#' comments skip.
+bool read_job_list(const std::string& path, std::vector<std::string>& out) {
+  std::string text;
+  if (!serve::read_file(path, text)) return false;
+  std::string cur;
+  auto flush = [&] {
+    while (!cur.empty() && (cur.back() == ' ' || cur.back() == '\t' ||
+                            cur.back() == '\r'))
+      cur.pop_back();
+    std::size_t b = 0;
+    while (b < cur.size() && (cur[b] == ' ' || cur[b] == '\t')) ++b;
+    if (b < cur.size() && cur[b] != '#') out.push_back(cur.substr(b));
+    cur.clear();
+  };
+  for (char c : text) {
+    if (c == '\n')
+      flush();
+    else
+      cur.push_back(c);
   }
-  for (int n = 1; n < nl.node_count() && probes.size() < 8; ++n) {
-    const auto& name = nl.node_name(n);
-    if (name.rfind('_', 0) == 0) continue;  // skip internal nodes
-    probes.push_back(n);
-  }
-  return probes;
-}
-
-void print_probe_header(const ckt::Netlist& nl, const char* x_name,
-                        const std::vector<ckt::NodeId>& probes) {
-  std::printf("%s", x_name);
-  for (auto p : probes) std::printf(",v(%s)", nl.node_name(p).c_str());
-  std::printf("\n");
-}
-
-double arg_num(const spice::AnalysisDirective& d, std::size_t i) {
-  if (i >= d.args.size())
-    throw std::runtime_error("missing argument in ." + d.kind);
-  return spice::parse_value(d.args[i]);
-}
-
-struct CliOptions {
-  std::string path;
-  std::string probe_arg;
-  bool lint_only = false;   // human-readable report, then exit
-  bool lint_json = false;   // JSON report, then exit
-  bool lint_strict = false;
-  bool range_json = false;  // value-range JSON report, then exit
-  bool telemetry = true;
-  bool tran_stats = false;  // factorization-reuse telemetry as JSON
-  double budget_ms = 0.0;   // shared wall-clock budget (0 = unlimited)
-  int ensemble = 1;         // .tran lanes (> 1 = lockstep ensemble)
-  bool pss = false;         // .tran -> shooting periodic steady state
-  std::vector<std::string> lint_disable;
-};
-
-int run(const CliOptions& cli) {
-  auto parsed = spice::parse_netlist_file(cli.path);
-  auto& nl = *parsed.netlist;
-  const double temp_k = num::celsius_to_kelvin(parsed.temp_c);
-  const auto probes = resolve_probes(nl, cli.probe_arg);
-
-  // Static pre-pass: all registered passes (including the analysis
-  // layer's structural-rank check), every issue surfaced, errors abort.
-  an::register_analysis_lint_passes();
-  if (!nl.devices().empty()) nl.assign_unknowns();
-  ckt::LintOptions lint_opt;
-  lint_opt.disable = cli.lint_disable;
-  const auto issues = ckt::lint(nl, lint_opt);
-  if (cli.range_json) {
-    // Machine-readable value-range report: interval node bounds,
-    // supply hull, headroom, dead devices, conditioning forecast.
-    std::printf("%s\n", an::range_json(an::range_analysis(nl, {})).c_str());
-    return ckt::lint_has_errors(issues) ? 3 : 0;
-  }
-  if (cli.lint_json) {
-    std::printf("%s\n", ckt::lint_json(issues).c_str());
-    if (ckt::lint_has_errors(issues)) return 3;
-    return issues.empty() ? 0 : (cli.lint_strict ? 3 : 1);
-  }
-  if (!issues.empty())
-    std::fputs(ckt::lint_report(issues).c_str(), stderr);
-  if (ckt::lint_has_errors(issues) ||
-      (cli.lint_strict && !issues.empty())) {
-    std::fprintf(stderr, "netlist lint failed; not simulating\n");
-    return 3;
-  }
-  if (cli.lint_only) return issues.empty() ? 0 : 1;
-
-  if (parsed.directives.empty()) {
-    std::fprintf(stderr, "no analysis directives; running .op\n");
-    parsed.directives.push_back({"op", {}});
-  }
-
-  // One shared budget across every directive of the run: the wall-clock
-  // limit bounds the whole invocation, not each analysis separately.
-  core::RunBudget budget(cli.budget_ms);
-  core::RunBudget* budget_p = cli.budget_ms > 0.0 ? &budget : nullptr;
-
-  for (const auto& d : parsed.directives) {
-    std::printf("* .%s", d.kind.c_str());
-    for (const auto& a : d.args) std::printf(" %s", a.c_str());
-    std::printf("  (T = %.1f C)\n", parsed.temp_c);
-
-    an::OpOptions op_opt;
-    op_opt.temp_k = temp_k;
-    op_opt.budget = budget_p;
-
-    if (d.kind == "op") {
-      const auto op = an::solve_op(nl, op_opt);
-      if (!op.converged) {
-        std::fprintf(stderr, "operating point failed: %s\n",
-                     op.diag.message().c_str());
-        return 1;
-      }
-      std::fputs(an::op_report(nl, op).c_str(), stdout);
-    } else if (d.kind == "dc") {
-      if (d.args.empty())
-        throw std::runtime_error(".dc needs a source name");
-      auto* src = nl.find_as<dev::VSource>(d.args[0]);
-      if (!src)
-        throw std::runtime_error("source not found: " + d.args[0]);
-      const double start = arg_num(d, 1), stop = arg_num(d, 2),
-                   step = arg_num(d, 3);
-      print_probe_header(nl, "v_sweep", probes);
-      std::vector<double> values;
-      for (double v = start; v <= stop + 0.5 * step; v += step)
-        values.push_back(v);
-      const auto sweep = an::dc_sweep(
-          nl, values,
-          [&](double v) { src->set_waveform(dev::Waveform::dc(v)); },
-          op_opt);
-      for (const auto& pt : sweep) {
-        if (!pt.op.converged) {
-          std::fprintf(stderr, "sweep point %g failed: %s\n", pt.value,
-                       pt.op.diag.message().c_str());
-          continue;
-        }
-        std::printf("%g", pt.value);
-        for (auto p : probes) std::printf(",%.6g", pt.op.v(p));
-        std::printf("\n");
-      }
-    } else if (d.kind == "ac") {
-      // .ac dec N fstart fstop
-      const int ppd = static_cast<int>(arg_num(d, 1));
-      const double f1 = arg_num(d, 2), f2 = arg_num(d, 3);
-      const auto op = an::solve_op(nl, op_opt);
-      if (!op.converged) {
-        std::fprintf(stderr, "operating point failed: %s\n",
-                     op.diag.message().c_str());
-        return 1;
-      }
-      const auto freqs = an::log_frequencies(f1, f2, ppd);
-      an::AcOptions aopt;
-      aopt.budget = budget_p;
-      const auto ac = an::run_ac_diag(nl, freqs, aopt);
-      if (!ac.ok() && !ac.truncated) {
-        std::fprintf(stderr, "ac analysis failed: %s\n",
-                     ac.diag.message().c_str());
-        return 1;
-      }
-      std::printf("freq");
-      for (auto p : probes)
-        std::printf(",mag(%s),phase_deg(%s)",
-                    nl.node_name(p).c_str(), nl.node_name(p).c_str());
-      std::printf("\n");
-      for (std::size_t i = 0; i < ac.solutions.size(); ++i) {
-        std::printf("%g", freqs[i]);
-        for (auto p : probes) {
-          const auto v = ac.v(i, p);
-          std::printf(",%.6g,%.4g", std::abs(v),
-                      std::arg(v) * 180.0 / M_PI);
-        }
-        std::printf("\n");
-      }
-      if (ac.truncated) {
-        std::fprintf(stderr, "ac grid truncated: %s\n",
-                     ac.diag.message().c_str());
-        return 4;
-      }
-    } else if (d.kind == "tran") {
-      an::TranOptions t;
-      t.dt = arg_num(d, 0);
-      t.t_stop = arg_num(d, 1);
-      t.temp_k = temp_k;
-      t.budget = budget_p;
-      if (cli.pss) {
-        // Shooting-Newton PSS: the deck's tone fixes the period, the
-        // .tran step is the sample-spacing request (snapped coherent).
-        an::PssOptions po;
-        po.tran.dt = t.dt;
-        po.tran.temp_k = temp_k;
-        po.budget = budget_p;
-        const auto r = an::run_pss_shooting(nl, po);
-        if (cli.telemetry)
-          std::fputs(r.telemetry.summary().c_str(), stderr);
-        if (cli.tran_stats)
-          std::printf("%s\n", r.telemetry.json().c_str());
-        if (!r.ok && !r.truncated) {
-          std::fprintf(stderr, "pss failed: %s\n",
-                       r.diag.message().c_str());
-          return 1;
-        }
-        print_probe_header(nl, "time", probes);
-        for (std::size_t i = 0; i < r.time.size(); ++i) {
-          std::printf("%g", r.time[i]);
-          for (auto p : probes)
-            std::printf(",%.6g",
-                        p == ckt::kGround ? 0.0 : r.x[i][p - 1]);
-          std::printf("\n");
-        }
-        if (r.truncated) {
-          std::fprintf(stderr, "pss truncated: %s\n",
-                       r.diag.message().c_str());
-          return 4;
-        }
-        continue;
-      }
-      an::TranResult res;
-      if (cli.ensemble > 1) {
-        an::TranEnsembleOptions eo;
-        eo.budget = budget_p;
-        auto er = an::run_transient_ensemble(
-            static_cast<std::size_t>(cli.ensemble),
-            [&](std::size_t, ckt::Netlist& snl, an::TranOptions& st) {
-              auto sample = spice::parse_netlist_file(cli.path);
-              snl = std::move(*sample.netlist);
-              st.dt = t.dt;
-              st.t_stop = t.t_stop;
-              st.temp_k = t.temp_k;
-            },
-            eo);
-        const auto& et = er.ensemble;
-        const std::string mode =
-            et.used_ensemble
-                ? "lockstep"
-                : "per-sample (" + et.fallback_reason + ")";
-        std::fprintf(stderr,
-                     "ensemble: %zu lanes, %d blocks (width %d), %s, "
-                     "%ld splits, %ld rejoins, %.1f samples/s\n",
-                     et.samples, et.blocks, et.lane_width, mode.c_str(),
-                     et.cohort_splits, et.cohort_rejoins,
-                     et.samples_per_sec);
-        res = std::move(er.results[0]);
-      } else {
-        res = an::run_transient(nl, t);
-      }
-      if (cli.telemetry)
-        std::fputs(res.telemetry.summary().c_str(), stderr);
-      if (cli.tran_stats)
-        std::printf("%s\n", res.telemetry.reuse_stats_json().c_str());
-      if (!res.ok && !res.truncated) {
-        std::fprintf(stderr, "transient failed: %s\n",
-                     res.diag.message().c_str());
-        return 1;
-      }
-      print_probe_header(nl, "time", probes);
-      for (std::size_t i = 0; i < res.time.size(); ++i) {
-        std::printf("%g", res.time[i]);
-        for (auto p : probes)
-          std::printf(",%.6g",
-                      p == ckt::kGround ? 0.0 : res.x[i][p - 1]);
-        std::printf("\n");
-      }
-      if (res.truncated) {
-        std::fprintf(stderr, "transient truncated: %s\n",
-                     res.diag.message().c_str());
-        return 4;
-      }
-    } else if (d.kind == "noise") {
-      // .noise out_node input_src dec N fstart fstop
-      if (d.args.size() < 6)
-        throw std::runtime_error(
-            ".noise out_node input_src dec N fstart fstop");
-      const auto op = an::solve_op(nl, op_opt);
-      if (!op.converged) {
-        std::fprintf(stderr, "operating point failed: %s\n",
-                     op.diag.message().c_str());
-        return 1;
-      }
-      an::NoiseOptions nopt;
-      nopt.out_p = nl.node(d.args[0]);
-      nopt.input_source = d.args[1];
-      nopt.temp_k = temp_k;
-      nopt.budget = budget_p;
-      const int ppd = static_cast<int>(arg_num(d, 3));
-      const auto freqs =
-          an::log_frequencies(arg_num(d, 4), arg_num(d, 5), ppd);
-      const auto res = an::run_noise_diag(nl, freqs, nopt);
-      if (!res.ok() && !res.truncated) {
-        std::fprintf(stderr, "noise analysis failed: %s\n",
-                     res.diag.message().c_str());
-        return 1;
-      }
-      std::printf("freq,onoise_V2_per_Hz,inoise_V_per_rtHz\n");
-      for (const auto& p : res.points)
-        std::printf("%g,%.6g,%.6g\n", p.freq_hz, p.s_out,
-                    std::sqrt(p.s_in));
-      if (res.truncated) {
-        std::fprintf(stderr, "noise grid truncated: %s\n",
-                     res.diag.message().c_str());
-        return 4;
-      }
-    } else {
-      std::fprintf(stderr, "unsupported directive .%s (skipped)\n",
-                   d.kind.c_str());
-    }
-  }
-  return 0;
+  flush();
+  return true;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  CliOptions cli;
+  std::string path, jobs_path;
+  serve::DeckOptions opt;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--probe") == 0 && i + 1 < argc)
-      cli.probe_arg = argv[++i];
+      opt.probe_arg = argv[++i];
     else if (std::strcmp(argv[i], "--lint-only") == 0)
-      cli.lint_only = true;
+      opt.lint_only = true;
     else if (std::strcmp(argv[i], "--lint") == 0)
-      cli.lint_json = true;
+      opt.lint_json = true;
     else if (std::strcmp(argv[i], "--lint-strict") == 0)
-      cli.lint_strict = true;
+      opt.lint_strict = true;
     else if (std::strcmp(argv[i], "--range") == 0)
-      cli.range_json = true;
+      opt.range_json = true;
     else if (std::strcmp(argv[i], "--lint-disable") == 0 && i + 1 < argc)
-      cli.lint_disable = split_csv(argv[++i]);
+      opt.lint_disable = split_csv(argv[++i]);
     else if (std::strcmp(argv[i], "--no-telemetry") == 0)
-      cli.telemetry = false;
+      opt.telemetry = false;
     else if (std::strcmp(argv[i], "--tran-stats") == 0)
-      cli.tran_stats = true;
+      opt.tran_stats = true;
     else if (std::strcmp(argv[i], "--budget-ms") == 0 && i + 1 < argc)
-      cli.budget_ms = std::atof(argv[++i]);
+      opt.budget_ms = std::atof(argv[++i]);
     else if (std::strcmp(argv[i], "--ensemble") == 0 && i + 1 < argc)
-      cli.ensemble = std::atoi(argv[++i]);
+      opt.ensemble = std::atoi(argv[++i]);
     else if (std::strcmp(argv[i], "--pss") == 0)
-      cli.pss = true;
+      opt.pss = true;
+    else if (std::strcmp(argv[i], "--mc") == 0 && i + 1 < argc)
+      opt.mc = std::atoi(argv[++i]);
+    else if (std::strcmp(argv[i], "--mc-seed") == 0 && i + 1 < argc)
+      opt.mc_seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
+      jobs_path = argv[++i];
+    else if (std::strcmp(argv[i], "--no-result-cache") == 0)
+      opt.use_result_cache = false;
     else
-      cli.path = argv[i];
+      path = argv[i];
   }
-  if (cli.path.empty()) {
+  if (path.empty() && jobs_path.empty()) {
     std::fprintf(stderr,
                  "usage: msim_cli <netlist.sp> [--probe n1,n2,...] "
                  "[--lint] [--lint-only] [--lint-strict] [--range] "
                  "[--lint-disable p1,p2,...] [--no-telemetry] "
                  "[--tran-stats] [--budget-ms N] [--ensemble N] "
-                 "[--pss]\n");
+                 "[--pss] [--mc N] [--mc-seed K]\n"
+                 "       msim_cli --jobs list.txt [job options]\n");
     return 2;
   }
-  try {
-    return run(cli);
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
+
+  if (!jobs_path.empty()) {
+    std::vector<std::string> paths;
+    if (!read_job_list(jobs_path, paths)) {
+      std::fprintf(stderr, "error: cannot read job list %s\n",
+                   jobs_path.c_str());
+      return 2;
+    }
+    serve::CacheRegistry registry;
+    std::string out, err;
+    const serve::BatchResult b =
+        serve::run_batch(paths, opt, registry, out, err);
+    std::fwrite(out.data(), 1, out.size(), stdout);
+    std::fwrite(err.data(), 1, err.size(), stderr);
+    const serve::RegistryStats rs = registry.stats();
+    std::fprintf(stderr,
+                 "batch: %d jobs, %d warm, %d memoized (%ld cache hits, "
+                 "%ld misses, %ld collisions)\n",
+                 b.jobs, b.warm_jobs, b.cached_jobs, rs.hits, rs.misses,
+                 rs.fingerprint_collisions);
+    return b.exit_code;
+  }
+
+  std::string deck;
+  if (!serve::read_file(path, deck)) {
+    // Matches the historical parse_netlist_file failure line.
+    std::fprintf(stderr, "error: cannot open netlist file: %s\n",
+                 path.c_str());
     return 1;
   }
+  const serve::DeckResult r = serve::run_deck(deck, opt, nullptr);
+  std::fwrite(r.out.data(), 1, r.out.size(), stdout);
+  std::fwrite(r.err.data(), 1, r.err.size(), stderr);
+  return r.exit_code;
 }

@@ -5,8 +5,9 @@
 # tests walk -- failed factorizations, budget aborts, NaN injection,
 # shooting-PSS restarts and boundary solves -- are exactly where
 # lifetime bugs hide) and the concurrency suites
-# under ThreadSanitizer (the worker-pool and lockstep-ensemble paths
-# are the only places the engine shares mutable state across threads).
+# under ThreadSanitizer (the worker pool, the lockstep ensemble, and
+# the serve registry / job scheduler are the places the engine shares
+# mutable state across threads).
 # Intended as a CI gate:
 #
 #   tools/run_static_checks.sh [--require-tools] [build-dir]
@@ -69,20 +70,22 @@ run_sanitized_faults() {
   }
   cmake --build "$san_dir" -j "$(nproc 2>/dev/null || echo 2)" \
         --target test_robustness test_op_robustness test_ensemble \
-                 test_pss \
+                 test_pss test_serve \
         >/dev/null || return 1
   (cd "$san_dir" && ctest --output-on-failure \
-        -R '^(test_robustness|test_op_robustness|test_ensemble|test_pss)$') \
+        -R '^(test_robustness|test_op_robustness|test_ensemble|test_pss|test_serve|serve_smoke)$') \
     || return 1
   echo "run_static_checks: sanitized fault suites clean" >&2
   return 0
 }
 
 # ---- ThreadSanitizer concurrency suites ------------------------------
-# The worker pool (test_parallel) and the lockstep multi-lane ensemble
-# (test_ensemble) are the only code paths that share mutable state
-# across threads; run exactly those under -fsanitize=thread.  TSan and
-# ASan cannot coexist in one binary, hence the third build tree.
+# The worker pool (test_parallel), the lockstep multi-lane ensemble
+# (test_ensemble), and the serve registry + work-stealing job scheduler
+# + daemon (test_serve, incl. the ServeStress concurrent adopt/publish/
+# evict churn) are the code paths that share mutable state across
+# threads; run exactly those under -fsanitize=thread.  TSan and ASan
+# cannot coexist in one binary, hence the third build tree.
 run_tsan_suites() {
   local tsan_dir="$repo_root/build-tsan"
   if ! command -v cmake >/dev/null 2>&1 || ! command -v ctest >/dev/null 2>&1; then
@@ -99,10 +102,10 @@ run_tsan_suites() {
     return 0
   }
   cmake --build "$tsan_dir" -j "$(nproc 2>/dev/null || echo 2)" \
-        --target test_ensemble test_parallel \
+        --target test_ensemble test_parallel test_serve \
         >/dev/null || return 1
   (cd "$tsan_dir" && ctest --output-on-failure \
-        -R '^(test_ensemble|test_parallel)$') || return 1
+        -R '^(test_ensemble|test_parallel|test_serve|serve_smoke)$') || return 1
   echo "run_static_checks: tsan concurrency suites clean" >&2
   return 0
 }
