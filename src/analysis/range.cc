@@ -379,6 +379,7 @@ void register_range_lint_passes() {
         "that provably never conduct, and an interval-scaled row-spread "
         "conditioning forecast";
     pass.default_enabled = true;
+    pass.value_dependent = true;  // interval bounds move with every value
     pass.run = [](const ckt::Netlist& nl, std::vector<ckt::LintIssue>& out) {
       const RangeOptions opt;
       const RangeReport rep = range_analysis(nl, opt);

@@ -206,7 +206,8 @@ LintRegistry::LintRegistry() : impl_(new Impl) {
   impl_->passes.push_back({"finite_params",
                            "device parameter values must be finite "
                            "(no NaN / Inf)",
-                           true, pass_finite_params});
+                           true, pass_finite_params,
+                           /*value_dependent=*/true});
 }
 
 LintRegistry::~LintRegistry() { delete impl_; }
@@ -260,6 +261,7 @@ std::vector<LintIssue> lint(const Netlist& nl, const LintOptions& opt) {
   };
   std::vector<LintIssue> all;
   for (const auto& p : LintRegistry::instance().passes()) {
+    if (opt.value_dependent_only && !p.value_dependent) continue;
     if (named(opt.disable, p.name)) continue;
     if (!p.default_enabled && !named(opt.enable, p.name)) continue;
     std::vector<LintIssue> found;

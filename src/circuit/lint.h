@@ -66,6 +66,12 @@ struct LintPass {
   std::string description;
   bool default_enabled = true;
   std::function<void(const Netlist&, std::vector<LintIssue>&)> run;
+  // True when the pass's verdict depends on device parameter *values*
+  // (finite_params, value_range), not just the topology.  A cache keyed
+  // by topology fingerprint may reuse the verdict of a value-independent
+  // pass across same-topology decks, but value-dependent passes must
+  // re-run for every deck (the fingerprint excludes values by design).
+  bool value_dependent = false;
 };
 
 // Per-invocation pass selection: a pass runs when
@@ -76,6 +82,11 @@ struct LintPass {
 struct LintOptions {
   std::vector<std::string> disable;
   std::vector<std::string> enable;
+  // Run only passes marked value_dependent.  For callers that proved
+  // the value-independent passes clean for this topology (the serve
+  // registry's warm path): structural verdicts transfer across decks
+  // with the same fingerprint, value verdicts never do.
+  bool value_dependent_only = false;
 };
 
 // Process-global pass registry.  Thread-safe; registration replaces an

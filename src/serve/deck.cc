@@ -149,16 +149,19 @@ int run_deck_impl(const std::string& deck_text, const DeckOptions& cli,
   ckt::LintOptions lint_opt;
   lint_opt.disable = cli.lint_disable;
   // A warm topology whose priming run's full lint was clean skips the
-  // lint pass outright: a clean deck produces zero issues and zero
-  // output either way, so the skip is output-invisible.  Any custom
-  // pass selection falls back to the full run.
-  const bool skip_lint =
+  // value-independent passes: same fingerprint means the structural
+  // passes reproduce the priming run's zero issues.  The value-dependent
+  // passes (finite_params, value_range) still run -- the fingerprint
+  // excludes device values, so a same-topology deck can smuggle in a
+  // NaN parameter or a fresh range violation the priming run never saw,
+  // and skipping them would simulate what a cold run refuses.  Either
+  // way the issue list matches a cold run of this exact deck.  Any
+  // custom pass selection falls back to the full run.
+  lint_opt.value_dependent_only =
       adopted.warm && adopted.lint_clean && cli.lint_disable.empty();
-  const std::vector<ckt::LintIssue> issues =
-      skip_lint ? std::vector<ckt::LintIssue>{} : ckt::lint(nl, lint_opt);
+  const std::vector<ckt::LintIssue> issues = ckt::lint(nl, lint_opt);
   publish.lint_clean =
-      issues.empty() && cli.lint_disable.empty() &&
-      (skip_lint || !nl.devices().empty());
+      issues.empty() && cli.lint_disable.empty() && !nl.devices().empty();
   if (cli.range_json) {
     // Machine-readable value-range report: interval node bounds,
     // supply hull, headroom, dead devices, conditioning forecast.
@@ -264,6 +267,19 @@ int run_deck_impl(const std::string& deck_text, const DeckOptions& cli,
         throw std::runtime_error("source not found: " + d.args[0]);
       const double start = arg_num(d, 1), stop = arg_num(d, 2),
                    step = arg_num(d, 3);
+      // A zero, non-finite or wrong-direction step never reaches stop:
+      // the loop below would pin a worker (or allocate unboundedly)
+      // until the process dies, beyond the reach of cancel/budget
+      // checks.  Reject before building the value grid, and cap the
+      // point count so a tiny-but-valid step cannot exhaust memory.
+      if (!std::isfinite(start) || !std::isfinite(stop) ||
+          !std::isfinite(step) || step == 0.0 ||
+          (stop - start) * step < 0.0)
+        throw std::runtime_error(
+            ".dc needs a finite, nonzero step from start toward stop");
+      constexpr double kMaxSweepPoints = 1e6;
+      if (std::abs(stop - start) / std::abs(step) >= kMaxSweepPoints)
+        throw std::runtime_error(".dc sweep exceeds 1e6 points");
       print_probe_header(out, nl, "v_sweep", probes);
       std::vector<double> values;
       for (double v = start; v <= stop + 0.5 * step; v += step)

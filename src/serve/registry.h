@@ -99,8 +99,11 @@ class CacheRegistry {
   // the SAME skeleton refreshes the symbolic/slots handles (a warm job
   // may have recorded a pass -- e.g. the AC slot pass -- the priming
   // job never ran).  `lint_clean` records whether the full deck lint
-  // reported zero issues, letting warm repeats skip the lint pass
-  // without changing any output.
+  // reported zero issues, letting warm repeats of the topology skip
+  // the value-INdependent lint passes: the fingerprint pins structure
+  // only, so the value-dependent passes (finite_params, value_range)
+  // must still run on every deck -- a same-topology deck can carry a
+  // NaN parameter the priming run never saw.
   void publish_from(const ckt::Netlist& nl, bool lint_clean);
 
   // Test hook: installs an entry verbatim (no consistency checks), so

@@ -4,6 +4,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
@@ -178,19 +179,26 @@ void Server::shutdown() {
   if (lfd >= 0) ::close(lfd);
   {
     std::lock_guard<std::mutex> g(conns_mu_);
-    for (auto& c : conns_)
+    for (auto& c : conns_) {
+      // write_mu keeps this from racing a reader that is concurrently
+      // closing (and thereby freeing for reuse) the same fd number.
+      std::lock_guard<std::mutex> wg(c->write_mu);
       if (c->open.load()) ::shutdown(c->fd, SHUT_RD);
+    }
   }
   // Let in-flight jobs finish (their results still flush to open
-  // connections), then join the readers and close the sockets.
+  // connections), then join the readers -- live ones and the handles
+  // already parked by self-reaped connections -- and close what's left.
   scheduler_.stop();
   std::vector<std::thread> readers;
   {
     std::lock_guard<std::mutex> g(conns_mu_);
-    readers.swap(conn_threads_);
+    for (auto& [c, t] : conn_threads_) readers.push_back(std::move(t));
+    conn_threads_.clear();
   }
   for (auto& t : readers)
     if (t.joinable()) t.join();
+  join_finished_threads();
   {
     std::lock_guard<std::mutex> g(conns_mu_);
     for (auto& c : conns_) {
@@ -210,6 +218,9 @@ void Server::accept_loop() {
       if (errno == EINTR) continue;
       return;  // listener closed (shutdown) or fatal
     }
+    // Join readers whose clients already hung up before tracking the
+    // new one; otherwise a long accept stream accretes dead handles.
+    join_finished_threads();
     if (stopping_.load()) {
       ::close(fd);
       return;
@@ -218,8 +229,8 @@ void Server::accept_loop() {
     conn->fd = fd;
     std::lock_guard<std::mutex> g(conns_mu_);
     conns_.push_back(conn);
-    conn_threads_.emplace_back(
-        [this, conn] { serve_connection(conn); });
+    conn_threads_[conn.get()] =
+        std::thread([this, conn] { serve_connection(conn); });
   }
 }
 
@@ -241,6 +252,39 @@ void Server::serve_connection(std::shared_ptr<Conn> conn) {
       if (!line.empty()) handle_line(conn, line);
     }
   }
+  // Peer is gone: release the fd now (a long-lived daemon that parks
+  // dead connections until shutdown eventually hits EMFILE and stops
+  // accepting anyone).  Results of this conn's in-flight jobs see
+  // open == false and are dropped cleanly.
+  reap_connection(conn);
+}
+
+void Server::reap_connection(const std::shared_ptr<Conn>& conn) {
+  {
+    std::lock_guard<std::mutex> g(conn->write_mu);
+    if (conn->open.exchange(false)) ::close(conn->fd);
+  }
+  std::lock_guard<std::mutex> g(conns_mu_);
+  conns_.erase(std::remove(conns_.begin(), conns_.end(), conn),
+               conns_.end());
+  auto it = conn_threads_.find(conn.get());
+  if (it != conn_threads_.end()) {
+    // A thread cannot join itself: park the handle for the acceptor
+    // (or shutdown) to join.  During shutdown the handle may already
+    // have moved out of the map -- the joiner owns it then.
+    finished_threads_.push_back(std::move(it->second));
+    conn_threads_.erase(it);
+  }
+}
+
+void Server::join_finished_threads() {
+  std::vector<std::thread> done;
+  {
+    std::lock_guard<std::mutex> g(conns_mu_);
+    done.swap(finished_threads_);
+  }
+  for (auto& t : done)
+    if (t.joinable()) t.join();
 }
 
 void Server::send_line(const std::shared_ptr<Conn>& conn, const Json& msg) {
@@ -320,10 +364,27 @@ void Server::handle_submit(const std::shared_ptr<Conn>& conn,
   auto ctl = std::make_shared<JobCtl>();
   ctl->budget.max_wall_ms = req["budget_ms"].as_number(0.0);
   ctl->budget.cancel = &ctl->token;
+  bool duplicate = false;
   {
     std::lock_guard<std::mutex> g(jobs_mu_);
-    if (id.empty()) id = "job-" + std::to_string(++auto_id_);
-    jobs_[id] = ctl;
+    if (id.empty()) {
+      do {  // skip generated ids a client happened to claim
+        id = "job-" + std::to_string(++auto_id_);
+      } while (jobs_.count(id));
+    }
+    duplicate = !jobs_.emplace(id, ctl).second;
+  }
+  if (duplicate) {
+    // Two live jobs under one id would interleave indistinguishable
+    // result lines, and the first completion's erase would strip the
+    // second job's JobCtl out from under a later cancel.
+    Json r = Json::object();
+    r.set("ok", false);
+    r.set("op", "submit");
+    r.set("id", id);
+    r.set("error", "job id '" + id + "' is already in flight");
+    send_line(conn, r);
+    return;
   }
   jobs_submitted_.fetch_add(1);
 
@@ -372,6 +433,12 @@ Json Server::stats_json() {
   r.set("registry", registry_.stats().json());
   r.set("scheduler", scheduler_.stats().json());
   r.set("jobs", std::move(jobs));
+  {
+    // Live connection gauge: stays bounded in a healthy daemon because
+    // disconnected clients are reaped immediately, not at shutdown.
+    std::lock_guard<std::mutex> g(conns_mu_);
+    r.set("connections", static_cast<double>(conns_.size()));
+  }
   return r;
 }
 

@@ -12,6 +12,9 @@
 //       "mc":0,"mc_seed":1,"tran_stats":false,"telemetry":true,
 //       "result_cache":true}
 //   <- {"ok":true,"op":"submit","id":"j1","status":"queued"}
+//      (an omitted id gets a daemon-generated one; an id that is
+//       already in flight is rejected with ok:false -- two live jobs
+//       under one id would make cancel and result lines ambiguous)
 //   ...job runs on a scheduler worker...
 //   <- {"op":"result","id":"j1","exit_code":0,"warm":true,
 //       "cached":false,"out":"...","err":"..."}
@@ -22,7 +25,7 @@
 //   -> {"op":"stats"}
 //   <- {"ok":true,"op":"stats","registry":{...},"scheduler":{...},
 //       "jobs":{"submitted":N,"completed":N,"warm":N,"cached":N,
-//               "cancelled":N}}
+//               "cancelled":N},"connections":N}
 //
 //   -> {"op":"shutdown"}
 //   <- {"ok":true,"op":"shutdown"}       then the daemon exits
@@ -35,7 +38,10 @@
 // Threading: one acceptor thread, one reader thread per connection,
 // job bodies on the scheduler workers.  Replies to one connection are
 // serialized by a per-connection write mutex (the submit ack and any
-// number of in-flight job results interleave line-atomically).
+// number of in-flight job results interleave line-atomically).  A
+// disconnected client's fd closes immediately and its reader thread is
+// reaped by the acceptor (a long-lived daemon must not leak one fd per
+// finished connection); results of its still-running jobs are dropped.
 #pragma once
 
 #include <atomic>
@@ -95,6 +101,12 @@ class Server {
 
   void accept_loop();
   void serve_connection(std::shared_ptr<Conn> conn);
+  // Closes the conn's fd (under its write mutex, so an in-flight
+  // result write fails cleanly instead of racing a reused fd number),
+  // drops it from conns_ and parks the reader's thread handle on
+  // finished_threads_ for the acceptor / shutdown to join.
+  void reap_connection(const std::shared_ptr<Conn>& conn);
+  void join_finished_threads();
   void handle_line(const std::shared_ptr<Conn>& conn,
                    const std::string& line);
   void handle_submit(const std::shared_ptr<Conn>& conn, const Json& req);
@@ -110,7 +122,11 @@ class Server {
   std::thread acceptor_;
   std::mutex conns_mu_;
   std::vector<std::shared_ptr<Conn>> conns_;
-  std::vector<std::thread> conn_threads_;
+  // Live reader threads keyed by their Conn; a reader that observes its
+  // peer hang up moves its own handle to finished_threads_ (a thread
+  // cannot join itself) where the acceptor joins it on the next accept.
+  std::unordered_map<Conn*, std::thread> conn_threads_;
+  std::vector<std::thread> finished_threads_;
   std::mutex jobs_mu_;
   std::unordered_map<std::string, std::shared_ptr<JobCtl>> jobs_;
   std::uint64_t auto_id_ = 0;

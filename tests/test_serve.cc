@@ -11,6 +11,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -246,6 +247,73 @@ TEST(ServeDeck, WarmAcJobZeroPatternSearches) {
   EXPECT_EQ(num::sparse_search_count() - s0, 0)
       << "warm .ac repeat fell back to pattern searches "
          "(AC slot pass not shared through the registry?)";
+}
+
+TEST(ServeDeck, WarmJobStillRunsValueDependentLint) {
+  // Same topology as kOpDeck (the fingerprint excludes values), but r2
+  // carries a NaN value: a cold run refuses to simulate at lint, exit
+  // 3.  A warm run adopting the clean priming verdict may skip the
+  // structural passes, but must still run the value-dependent ones and
+  // refuse with the exact same bytes -- skipping them would stamp NaN
+  // into the MNA matrix and "succeed" with garbage.
+  constexpr const char* kNanDeck =
+      "* divider\n"
+      "v1 in 0 dc 1.0\n"
+      "r1 in out 1k\n"
+      "r2 out 0 nan\n"
+      ".op\n"
+      ".end\n";
+  CacheRegistry fresh;
+  const DeckResult cold = run_no_memo(kNanDeck, &fresh);
+  EXPECT_EQ(cold.exit_code, 3);
+  EXPECT_NE(cold.err.find("non_finite_param"), std::string::npos)
+      << cold.err;
+
+  CacheRegistry reg;
+  ASSERT_EQ(run_no_memo(kOpDeck, &reg).exit_code, 0);  // clean priming
+  const DeckResult warm = run_no_memo(kNanDeck, &reg);
+  EXPECT_TRUE(warm.warm);
+  EXPECT_EQ(warm.exit_code, 3);
+  EXPECT_EQ(warm.out, cold.out);
+  EXPECT_EQ(warm.err, cold.err);
+
+  // The refusal must not poison the topology entry: a clean repeat of
+  // the priming deck still warms and still succeeds.
+  const DeckResult again = run_no_memo(kOpDeck, &reg);
+  EXPECT_TRUE(again.warm);
+  EXPECT_EQ(again.exit_code, 0) << again.err;
+}
+
+TEST(ServeDeck, DcSweepRejectsDegenerateSteps) {
+  auto divider_dc = [](const char* sweep) {
+    return std::string(
+               "* divider sweep\n"
+               "v1 in 0 dc 1.0\n"
+               "r1 in out 1k\n"
+               "r2 out 0 1k\n") +
+           sweep + ".end\n";
+  };
+  // A zero, non-finite or wrong-direction step would loop forever
+  // (unbounded allocation a cancel/budget check never reaches); the
+  // runner must reject it up front.
+  for (const char* bad : {".dc v1 0 1 0\n", ".dc v1 0 1 -0.5\n",
+                          ".dc v1 1 0 0.5\n", ".dc v1 0 inf 1\n",
+                          ".dc v1 0 1 nan\n"}) {
+    const DeckResult r = serve::run_deck(divider_dc(bad), {}, nullptr);
+    EXPECT_EQ(r.exit_code, 1) << bad;
+    EXPECT_NE(r.err.find("error:"), std::string::npos) << bad << r.err;
+  }
+  // A sweep past the point cap is refused rather than OOM-killed.
+  const DeckResult huge =
+      serve::run_deck(divider_dc(".dc v1 0 1 1e-9\n"), {}, nullptr);
+  EXPECT_EQ(huge.exit_code, 1);
+  EXPECT_NE(huge.err.find("exceeds"), std::string::npos) << huge.err;
+  // And a well-formed sweep still runs.
+  const DeckResult ok =
+      serve::run_deck(divider_dc(".dc v1 0 1 0.25\n"), {}, nullptr);
+  EXPECT_EQ(ok.exit_code, 0) << ok.err;
+  EXPECT_NE(ok.out.find("v_sweep"), std::string::npos);
+  EXPECT_NE(ok.out.find("\n1,"), std::string::npos);  // reached stop
 }
 
 // -------------------------------------------------------------------
@@ -542,6 +610,63 @@ TEST(ServeSmoke, MixedJobsWarmHitsAndCleanShutdown) {
   runner.join();
   // Socket unlinked on shutdown.
   EXPECT_NE(::access(so.socket_path.c_str(), F_OK), 0);
+}
+
+TEST(ServeSmoke, DuplicateIdsRejectedAndConnectionsReaped) {
+  serve::ServerOptions so;
+  so.socket_path = ::testing::TempDir() + "msim_serve_dup_" +
+                   std::to_string(::getpid()) + ".sock";
+  so.workers = 1;
+  serve::Server server(so);
+  std::string err;
+  ASSERT_TRUE(server.start(&err)) << err;
+  std::thread runner([&] { server.run(); });
+
+  // A slow job under id "dup": 5000-sample MC keeps it in flight long
+  // past the next round-trip.  The submitting connection closes right
+  // after the ack, so the job's result line lands on a reaped
+  // connection and must be dropped cleanly.
+  Json slow = Json::object();
+  slow.set("op", "submit");
+  slow.set("deck", kOpDeck);
+  slow.set("id", "dup");
+  slow.set("mc", 5000);
+  slow.set("probe", "out");
+  slow.set("result_cache", false);
+  const Json a1 = serve::request(so.socket_path, slow, &err);
+  ASSERT_TRUE(a1["ok"].as_bool(false)) << err;
+
+  // Same id while the first job is live: rejected, not shadowed.
+  Json dup = Json::object();
+  dup.set("op", "submit");
+  dup.set("deck", kOpDeck);
+  dup.set("id", "dup");
+  dup.set("result_cache", false);
+  const Json a2 = serve::request(so.socket_path, dup, &err);
+  EXPECT_FALSE(a2["ok"].as_bool(true)) << a2.dump();
+  EXPECT_NE(a2["error"].as_string().find("already in flight"),
+            std::string::npos)
+      << a2.dump();
+
+  // Disconnected clients are reaped immediately (fd closed, thread
+  // handle parked), so the live gauge drains to just the stats
+  // connection itself once the MC job finishes.
+  Json statreq = Json::object();
+  statreq.set("op", "stats");
+  double conns = 1e9, completed = 0;
+  for (int i = 0; i < 500; ++i) {
+    const Json s = serve::request(so.socket_path, statreq, &err);
+    ASSERT_TRUE(s["ok"].as_bool(false)) << err;
+    conns = s["connections"].as_number(1e9);
+    completed = s["jobs"]["completed"].as_number(0);
+    if (conns <= 1.0 && completed >= 1.0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_LE(conns, 1.0);
+  EXPECT_EQ(completed, 1.0);  // the rejected duplicate never ran
+
+  server.shutdown();
+  runner.join();
 }
 
 TEST(ServeSmoke, MalformedAndUnknownRequestsAnswerErrors) {
